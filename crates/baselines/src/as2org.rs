@@ -1,0 +1,48 @@
+//! CAIDA AS2Org (Cai et al., IMC 2010): the WHOIS-only baseline.
+//!
+//! AS2Org groups ASNs under the organization identifiers of RIR
+//! allocation databases. It covers *every* allocated network (delegation
+//! is compulsory) but sees only legal/contractual boundaries — which is
+//! why CenturyLink-AS209 and Level3-AS3356 still sit in different AS2Org
+//! clusters a decade after their merger (Fig. 3 of the Borges paper).
+
+use borges_core::orgkeys::oid_w_mapping;
+use borges_core::AsOrgMapping;
+use borges_whois::WhoisRegistry;
+
+/// Builds the AS2Org mapping from a WHOIS registry.
+pub fn as2org(whois: &WhoisRegistry) -> AsOrgMapping {
+    oid_w_mapping(whois)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use borges_synthnet::{GeneratorConfig, SyntheticInternet};
+    use borges_types::Asn;
+
+    #[test]
+    fn covers_every_delegated_asn() {
+        let world = SyntheticInternet::generate(&GeneratorConfig::tiny(5));
+        let m = as2org(&world.whois);
+        assert_eq!(m.asn_count(), world.whois.asn_count());
+    }
+
+    #[test]
+    fn misses_the_lumen_merger() {
+        let world = SyntheticInternet::generate(&GeneratorConfig::tiny(5));
+        let m = as2org(&world.whois);
+        assert!(
+            !m.same_org(Asn::new(3356), Asn::new(209)),
+            "AS2Org must reproduce the Fig. 3 blind spot"
+        );
+    }
+
+    #[test]
+    fn keeps_whois_consolidations() {
+        let world = SyntheticInternet::generate(&GeneratorConfig::tiny(5));
+        let m = as2org(&world.whois);
+        // Global Crossing was folded into Level3's WHOIS org long ago.
+        assert!(m.same_org(Asn::new(3356), Asn::new(3549)));
+    }
+}

@@ -1,0 +1,24 @@
+//! # borges-baselines
+//!
+//! The comparison methods of §5:
+//!
+//! * [`as2org()`] — CAIDA's long-standing AS2Org: group ASNs by WHOIS
+//!   organization identifier (`OID_W`). The θ = 0.3343 baseline of
+//!   Table 6.
+//! * [`as2orgplus()`] — Arturi et al.'s *as2org+*: AS2Org enriched with
+//!   PeeringDB. Its published methodology extracts sibling ASNs from
+//!   `notes`/`aka` with regular expressions plus heavy manual curation;
+//!   since Borges is evaluated fully automated, §5.1 compares against the
+//!   automated configuration (organization keys only). The regex
+//!   extractor is implemented too — it is the instructive comparator for
+//!   the LLM stage, with exactly the false-positive families the paper
+//!   blames on it (phone numbers, years, addresses misread as ASNs).
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod as2org;
+pub mod as2orgplus;
+
+pub use as2org::as2org;
+pub use as2orgplus::{as2orgplus, regex_extract, As2orgPlusConfig};

@@ -1,0 +1,114 @@
+//! Ablation bench (DESIGN.md §4): what the paper's design choices buy.
+//!
+//! * input dropout filter — LLM calls saved (§4.2);
+//! * output hallucination filter — fabricated ASNs admitted without it;
+//! * LLM vs the as2org+ regexes — the accuracy/cost trade at the heart
+//!   of the paper.
+//!
+//! Besides timing, each ablation prints its effect sizes once, so
+//! `cargo bench` output doubles as the ablation report.
+
+use borges_bench::{llm, medium_world};
+use borges_core::evalsets::ie_confusion;
+use borges_core::ner::{extract, NerConfig};
+use borges_baselines::regex_extract;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Once;
+
+fn print_effects_once() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let world = medium_world();
+        let model = llm();
+        let with = extract(&world.pdb, &model, NerConfig::default());
+        let without_input = extract(
+            &world.pdb,
+            &model,
+            NerConfig {
+                input_filter: false,
+                output_filter: true,
+            },
+        );
+        let without_output = extract(
+            &world.pdb,
+            &model,
+            NerConfig {
+                input_filter: true,
+                output_filter: false,
+            },
+        );
+        eprintln!("\n=== ablation effect sizes (medium world) ===");
+        eprintln!(
+            "input filter: {} LLM calls with filter vs {} without ({}x saved)",
+            with.stats.llm_calls,
+            without_input.stats.llm_calls,
+            without_input.stats.llm_calls as f64 / with.stats.llm_calls.max(1) as f64
+        );
+        eprintln!(
+            "output filter: {} reply ASNs rejected as hallucinations; without it, \
+{} entries would carry extractions (vs {})",
+            with.stats.filtered_out,
+            without_output.stats.entries_with_siblings,
+            with.stats.entries_with_siblings,
+        );
+        let llm_score = ie_confusion(&world.pdb, &world.text_labels, &with, None);
+        let mut regex_fp = 0usize;
+        let mut regex_tp = 0usize;
+        for net in world.pdb.nets().filter(|n| n.has_numeric_text()) {
+            let got = regex_extract(net.asn, &net.notes, &net.aka, true);
+            let expected = world.text_labels.get(&net.asn);
+            for asn in got {
+                if expected.map(|e| e.contains(&asn)).unwrap_or(false) {
+                    regex_tp += 1;
+                } else {
+                    regex_fp += 1;
+                }
+            }
+        }
+        eprintln!(
+            "LLM extraction accuracy {:.3} (precision {:.3}); as2org+ regexes: {} correct vs {} spurious ASNs",
+            llm_score.accuracy(),
+            llm_score.precision(),
+            regex_tp,
+            regex_fp
+        );
+        eprintln!("============================================\n");
+    });
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    print_effects_once();
+    let world = medium_world();
+    let model = llm();
+
+    let mut group = c.benchmark_group("ablation_filters");
+    group.sample_size(10);
+
+    group.bench_function("ner_with_filters", |b| {
+        b.iter(|| black_box(extract(&world.pdb, &model, NerConfig::default())))
+    });
+    group.bench_function("ner_without_input_filter", |b| {
+        b.iter(|| {
+            black_box(extract(
+                &world.pdb,
+                &model,
+                NerConfig {
+                    input_filter: false,
+                    output_filter: true,
+                },
+            ))
+        })
+    });
+    group.bench_function("regex_baseline_extraction", |b| {
+        b.iter(|| {
+            for net in world.pdb.nets() {
+                black_box(regex_extract(net.asn, &net.notes, &net.aka, true));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Table 3 bench: the cost of computing each feature's merge evidence in
+//! isolation on the medium world.
+
+use borges_bench::{llm, medium_scrape, medium_world};
+use borges_core::ner::{extract, NerConfig};
+use borges_core::orgkeys::{oid_p_groups, oid_w_groups};
+use borges_core::web::favicon::favicon_inference;
+use borges_core::web::rr::rr_inference;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_features(c: &mut Criterion) {
+    let world = medium_world();
+    let report = medium_scrape();
+    let model = llm();
+
+    let mut group = c.benchmark_group("table3_features");
+    group.sample_size(10);
+
+    group.bench_function("oid_w_groups", |b| {
+        b.iter(|| black_box(oid_w_groups(&world.whois)))
+    });
+    group.bench_function("oid_p_groups", |b| {
+        b.iter(|| black_box(oid_p_groups(&world.pdb)))
+    });
+    group.bench_function("ner_extract", |b| {
+        b.iter(|| black_box(extract(&world.pdb, &model, NerConfig::default())))
+    });
+    group.bench_function("ner_extract_parallel_4", |b| {
+        b.iter(|| {
+            black_box(borges_core::ner::extract_parallel(
+                &world.pdb,
+                &model,
+                NerConfig::default(),
+                4,
+            ))
+        })
+    });
+    group.bench_function("rr_inference", |b| {
+        b.iter(|| black_box(rr_inference(report)))
+    });
+    group.bench_function("favicon_inference", |b| {
+        b.iter(|| black_box(favicon_inference(report, &model)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_features);
+criterion_main!(benches);

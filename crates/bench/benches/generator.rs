@@ -1,0 +1,23 @@
+//! Substrate bench: synthetic-Internet generation throughput (the cost
+//! of producing the evaluation inputs at each scale).
+
+use borges_synthnet::{GeneratorConfig, SyntheticInternet};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_generator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generator");
+
+    group.bench_function("tiny", |b| {
+        b.iter(|| black_box(SyntheticInternet::generate(&GeneratorConfig::tiny(1))))
+    });
+
+    group.sample_size(10);
+    group.bench_function("medium", |b| {
+        b.iter(|| black_box(SyntheticInternet::generate(&GeneratorConfig::medium(1))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generator);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Tables 7–9 / Figures 8–9 bench: the §6 impact analyses on the medium
+//! world.
+
+use borges_bench::{medium_pipeline, medium_world};
+use borges_core::impact::{
+    country_footprint, hypergiant_sizes, population_comparison, transit_growth, AsnPopulation,
+};
+use borges_types::Asn;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn populations() -> BTreeMap<Asn, AsnPopulation> {
+    medium_world()
+        .populations
+        .iter()
+        .map(|(asn, rec)| {
+            (
+                *asn,
+                AsnPopulation {
+                    users: rec.users,
+                    country: rec.country,
+                },
+            )
+        })
+        .collect()
+}
+
+fn bench_impact(c: &mut Criterion) {
+    let world = medium_world();
+    let borges = medium_pipeline();
+    let base = borges.baseline_as2org();
+    let full = borges.full();
+    let pops = populations();
+
+    let mut group = c.benchmark_group("section6_impact");
+    group.sample_size(20);
+
+    group.bench_function("table7_8_population_comparison", |b| {
+        b.iter(|| black_box(population_comparison(&base, &full, &pops)))
+    });
+    group.bench_function("figure8_transit_growth", |b| {
+        b.iter(|| black_box(transit_growth(&base, &full, &world.asrank)))
+    });
+    group.bench_function("figure9_hypergiants", |b| {
+        b.iter(|| black_box(hypergiant_sizes(&world.hypergiants, &[&base, &full])))
+    });
+    group.bench_function("table9_footprint", |b| {
+        b.iter(|| black_box(country_footprint(&base, &full, &pops)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_impact);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Table 4 bench: LLM information extraction — per-record prompt build +
+//! completion + parse, and whole-snapshot throughput.
+
+use borges_bench::{llm, medium_world, tiny_world};
+use borges_core::evalsets::ie_confusion;
+use borges_core::ner::{extract, NerConfig};
+use borges_llm::chat::{ChatModel, ChatRequest};
+use borges_llm::ner::extract_siblings;
+use borges_llm::prompts::{build_ie_prompt, parse_ie_reply};
+use borges_types::Asn;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+const DT_NOTES: &str = "Deutsche Telekom Global Carrier.\nOur European subsidiaries:\n\
+- Magyar Telekom (AS5483)\n- Slovak Telekom (AS6855)\n- Hrvatski Telekom (AS5391)";
+
+fn bench_ner(c: &mut Criterion) {
+    let model = llm();
+
+    let mut group = c.benchmark_group("table4_ner");
+
+    group.bench_function("single_record_roundtrip", |b| {
+        b.iter(|| {
+            let prompt = build_ie_prompt(Asn::new(3320), black_box(DT_NOTES), "");
+            let reply = model.complete(&ChatRequest::user(prompt));
+            black_box(parse_ie_reply(&reply.text))
+        })
+    });
+
+    group.bench_function("extraction_model_only", |b| {
+        b.iter(|| black_box(extract_siblings(Asn::new(3320), black_box(DT_NOTES), "")))
+    });
+
+    group.bench_function("snapshot_tiny", |b| {
+        let world = tiny_world();
+        b.iter(|| black_box(extract(&world.pdb, &model, NerConfig::default())))
+    });
+
+    group.sample_size(10);
+    group.bench_function("snapshot_medium", |b| {
+        let world = medium_world();
+        b.iter(|| black_box(extract(&world.pdb, &model, NerConfig::default())))
+    });
+
+    group.bench_function("table4_scoring", |b| {
+        let world = medium_world();
+        let ner = extract(&world.pdb, &model, NerConfig::default());
+        b.iter(|| black_box(ie_confusion(&world.pdb, &world.text_labels, &ner, Some(320))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ner);
+criterion_main!(benches);

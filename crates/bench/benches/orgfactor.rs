@@ -1,0 +1,46 @@
+//! Table 6 / Figure 7 bench: mapping materialization (union-find over
+//! the universe) and Organization Factor computation.
+
+use borges_bench::medium_pipeline;
+use borges_core::orgfactor::{cumulative_curve, organization_factor};
+use borges_core::pipeline::FeatureSet;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_orgfactor(c: &mut Criterion) {
+    let borges = medium_pipeline();
+    let n = borges.universe().len();
+    let baseline = borges.baseline_as2org();
+    let full = borges.full();
+
+    let mut group = c.benchmark_group("table6_orgfactor");
+    group.sample_size(20);
+
+    group.bench_function("materialize_baseline", |b| {
+        b.iter(|| black_box(borges.mapping(FeatureSet::NONE)))
+    });
+    group.bench_function("materialize_full", |b| {
+        b.iter(|| black_box(borges.mapping(FeatureSet::ALL)))
+    });
+    group.bench_function("theta_baseline", |b| {
+        b.iter(|| black_box(organization_factor(&baseline, n)))
+    });
+    group.bench_function("theta_full", |b| {
+        b.iter(|| black_box(organization_factor(&full, n)))
+    });
+    group.bench_function("figure7_curve", |b| {
+        b.iter(|| black_box(cumulative_curve(&full, n)))
+    });
+    group.bench_function("all_16_combinations", |b| {
+        b.iter(|| {
+            for features in FeatureSet::all_combinations() {
+                let m = borges.mapping(features);
+                black_box(organization_factor(&m, n));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_orgfactor);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Topology substrate bench: relationship-graph construction, customer
+//! cones and AS-Rank at medium world scale (the inputs of Figure 8).
+
+use borges_bench::medium_world;
+use borges_topology::{customer_cones, rank, serial1};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_topology(c: &mut Criterion) {
+    let world = medium_world();
+    let graph = &world.topology;
+
+    let mut group = c.benchmark_group("topology");
+    group.sample_size(10);
+
+    group.bench_function("customer_cones_medium", |b| {
+        b.iter(|| black_box(customer_cones(graph)))
+    });
+    group.bench_function("asrank_medium", |b| {
+        b.iter(|| black_box(rank(graph)))
+    });
+    group.bench_function("serial1_roundtrip_medium", |b| {
+        b.iter(|| {
+            let text = serial1::serialize(graph);
+            black_box(serial1::parse_with_nodes(&text).expect("own output parses"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_topology);
+criterion_main!(benches);

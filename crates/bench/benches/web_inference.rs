@@ -1,0 +1,53 @@
+//! Table 5 / §4.3 bench: the web crawl, redirect-chain resolution,
+//! final-URL matching, favicon grouping, and Table 5 scoring.
+
+use borges_bench::{llm, medium_scrape, medium_world};
+use borges_core::evalsets::classifier_confusion;
+use borges_core::web::favicon::favicon_inference;
+use borges_core::web::rr::rr_inference;
+use borges_websim::{Scraper, SimWebClient, WebClient};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_web(c: &mut Criterion) {
+    let world = medium_world();
+    let report = medium_scrape();
+    let model = llm();
+
+    let mut group = c.benchmark_group("table5_web");
+    group.sample_size(10);
+
+    group.bench_function("single_fetch_with_redirects", |b| {
+        let client = SimWebClient::browser(&world.web);
+        let url = "http://www.clearwire.com".parse().unwrap();
+        b.iter(|| black_box(client.fetch(&url)))
+    });
+
+    group.bench_function("crawl_medium", |b| {
+        b.iter(|| {
+            let scraper = Scraper::new(SimWebClient::browser(&world.web));
+            black_box(scraper.crawl(world.pdb.nets().map(|n| (n.asn, n.website.as_str()))))
+        })
+    });
+
+    group.bench_function("rr_inference", |b| {
+        b.iter(|| black_box(rr_inference(report)))
+    });
+
+    group.bench_function("favicon_inference", |b| {
+        b.iter(|| black_box(favicon_inference(report, &model)))
+    });
+
+    group.bench_function("table5_scoring", |b| {
+        let inference = favicon_inference(report, &model);
+        b.iter(|| {
+            black_box(classifier_confusion(&inference, |x, y| {
+                world.truth.are_siblings(x, y)
+            }))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_web);
+criterion_main!(benches);

@@ -1,0 +1,449 @@
+//! The subcommands.
+
+use crate::opts::{CliError, Options};
+use borges_core::diff::diff;
+use borges_core::impact::OrgNamer;
+use borges_core::mapfile;
+use borges_core::orgfactor::organization_factor;
+use borges_core::pipeline::{Borges, FeatureSet};
+use borges_core::AsOrgMapping;
+use borges_llm::SimLlm;
+use borges_synthnet::io::{save, DatasetBundle};
+use borges_synthnet::{GeneratorConfig, SyntheticInternet};
+use borges_types::Asn;
+use borges_websim::SimWebClient;
+use std::path::Path;
+
+const HELP: &str = "\
+borges — AS-to-Organization mappings (Borges reproduction)
+
+USAGE:
+  borges generate --out DIR [--scale tiny|medium|paper] [--seed N] [--no-truth]
+      Generate a synthetic-Internet dataset bundle.
+  borges map --data DIR --out FILE [--features all|none|LIST] [--seed N] [--threads N]
+      Run the pipeline over a bundle and write the mapping.
+      LIST is comma-separated from: oid_p, na, rr, favicons.
+  borges eval --data DIR --mapping FILE [--mapping FILE ...]
+      Organization Factor (and, with an oracle, precision/recall) per mapping.
+  borges inspect --data DIR --mapping FILE --asn N
+      Show the inferred organization around one ASN.
+  borges diff --before FILE --after FILE
+      Compare two mapping releases (merges / splits / churn).
+  borges help
+      This message.
+";
+
+/// Runs the CLI; returns the text to print on stdout.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let (command, rest) = match args.split_first() {
+        Some((c, rest)) => (c.as_str(), rest),
+        None => return Ok(HELP.to_string()),
+    };
+    let opts = Options::parse(rest)?;
+    match command {
+        "generate" => generate(&opts),
+        "map" => map(&opts),
+        "eval" => eval(&opts),
+        "inspect" => inspect(&opts),
+        "diff" => diff_cmd(&opts),
+        "help" | "--help" | "-h" => Ok(HELP.to_string()),
+        other => Err(CliError::Usage(format!("unknown command {other:?}"))),
+    }
+}
+
+fn seed_of(opts: &Options) -> Result<u64, CliError> {
+    match opts.optional("seed")? {
+        Some(s) => s
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--seed {s:?} is not a number"))),
+        None => Ok(20240724),
+    }
+}
+
+fn generate(opts: &Options) -> Result<String, CliError> {
+    opts.allow_only(&["out", "scale", "seed", "no-truth"])?;
+    let out = opts.required("out")?;
+    let seed = seed_of(opts)?;
+    let config = match opts.optional("scale")?.unwrap_or("medium") {
+        "tiny" => GeneratorConfig::tiny(seed),
+        "medium" => GeneratorConfig::medium(seed),
+        "paper" => GeneratorConfig::paper(seed),
+        other => return Err(CliError::Usage(format!("unknown scale {other:?}"))),
+    };
+    let world = SyntheticInternet::generate(&config);
+    let dir = Path::new(out);
+    save(&world, dir).map_err(CliError::failed)?;
+    if opts.boolean("no-truth") {
+        for oracle in ["truth.psv", "labels.psv"] {
+            std::fs::remove_file(dir.join(oracle))
+                .map_err(|e| CliError::Failed(Box::new(e)))?;
+        }
+    }
+    Ok(format!(
+        "generated {} ASNs ({} PeeringDB networks, {} web hosts) into {}\n",
+        world.whois.asn_count(),
+        world.pdb.net_count(),
+        world.web.host_count(),
+        dir.display()
+    ))
+}
+
+fn parse_features(spec: &str) -> Result<FeatureSet, CliError> {
+    match spec {
+        "all" => return Ok(FeatureSet::ALL),
+        "none" => return Ok(FeatureSet::NONE),
+        _ => {}
+    }
+    let mut features = FeatureSet::NONE;
+    for token in spec.split(',') {
+        match token.trim() {
+            "oid_p" => features.oid_p = true,
+            "na" | "notes-aka" => features.na = true,
+            "rr" => features.rr = true,
+            "favicons" | "f" => features.favicons = true,
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown feature {other:?} (expected oid_p, na, rr, favicons)"
+                )))
+            }
+        }
+    }
+    Ok(features)
+}
+
+fn map(opts: &Options) -> Result<String, CliError> {
+    opts.allow_only(&["data", "out", "features", "seed", "threads"])?;
+    let data = opts.required("data")?;
+    let out = opts.required("out")?;
+    let features = parse_features(opts.optional("features")?.unwrap_or("all"))?;
+    let seed = seed_of(opts)?;
+    let threads: usize = match opts.optional("threads")? {
+        Some(t) => t
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--threads {t:?} is not a number")))?,
+        None => 1,
+    };
+
+    let bundle = DatasetBundle::load(Path::new(data)).map_err(CliError::failed)?;
+    let llm = SimLlm::new(seed);
+    let borges = if threads > 1 {
+        Borges::run_parallel(
+            &bundle.whois,
+            &bundle.pdb,
+            SimWebClient::browser(&bundle.web),
+            &llm,
+            threads,
+        )
+    } else {
+        Borges::run(
+            &bundle.whois,
+            &bundle.pdb,
+            SimWebClient::browser(&bundle.web),
+            &llm,
+        )
+    };
+    let mapping = borges.mapping(features);
+    std::fs::write(out, mapfile::serialize(&mapping))
+        .map_err(|e| CliError::Failed(Box::new(e)))?;
+    Ok(format!(
+        "{}: {} ASNs in {} organizations (features: {})\n",
+        out,
+        mapping.asn_count(),
+        mapping.org_count(),
+        features.label()
+    ))
+}
+
+fn load_mapping(path: &str) -> Result<AsOrgMapping, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| CliError::Failed(Box::new(e)))?;
+    mapfile::parse(&text).map_err(CliError::failed)
+}
+
+fn eval(opts: &Options) -> Result<String, CliError> {
+    opts.allow_only(&["data", "mapping"])?;
+    let data = opts.required("data")?;
+    let mapping_paths = opts.repeated("mapping");
+    if mapping_paths.is_empty() {
+        return Err(CliError::Usage("need at least one --mapping".to_string()));
+    }
+    let bundle = DatasetBundle::load(Path::new(data)).map_err(CliError::failed)?;
+    let universe = bundle.whois.asn_count().max(
+        bundle
+            .whois
+            .all_asns()
+            .chain(bundle.pdb.nets().map(|n| n.asn))
+            .collect::<std::collections::BTreeSet<_>>()
+            .len(),
+    );
+
+    let mut out = String::new();
+    out.push_str(&format!("universe: {universe} networks\n\n"));
+    out.push_str(&format!(
+        "{:<28} {:>8} {:>8}{}\n",
+        "mapping",
+        "orgs",
+        "θ",
+        if bundle.truth.is_some() {
+            "  precision   recall"
+        } else {
+            ""
+        }
+    ));
+    for path in mapping_paths {
+        let mapping = load_mapping(path)?;
+        let theta = organization_factor(&mapping, universe.max(mapping.asn_count()));
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>8.4}",
+            path,
+            mapping.org_count(),
+            theta
+        ));
+        if bundle.truth.is_some() {
+            let (precision, recall) = truth_scores(&bundle, &mapping);
+            out.push_str(&format!("  {precision:>9.3} {recall:>8.3}"));
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// Pairwise precision/recall of a mapping against the bundle's oracle.
+fn truth_scores(bundle: &DatasetBundle, mapping: &AsOrgMapping) -> (f64, f64) {
+    let truth = bundle.truth.as_ref().expect("caller checked");
+    // Recall: true sibling pairs recovered.
+    let mut by_org: std::collections::BTreeMap<usize, Vec<Asn>> = Default::default();
+    for (asn, (org, _)) in truth {
+        by_org.entry(*org).or_default().push(*asn);
+    }
+    let mut true_pairs = 0usize;
+    let mut recovered = 0usize;
+    for members in by_org.values() {
+        for i in 0..members.len() {
+            for j in i + 1..members.len() {
+                true_pairs += 1;
+                if mapping.same_org(members[i], members[j]) {
+                    recovered += 1;
+                }
+            }
+        }
+    }
+    // Precision: merged pairs that are truly siblings.
+    let mut merged = 0usize;
+    let mut correct = 0usize;
+    for (_, members) in mapping.clusters() {
+        for i in 0..members.len() {
+            for j in i + 1..members.len() {
+                merged += 1;
+                if bundle.are_siblings(members[i], members[j]) == Some(true) {
+                    correct += 1;
+                }
+            }
+        }
+    }
+    (
+        if merged == 0 { 1.0 } else { correct as f64 / merged as f64 },
+        if true_pairs == 0 { 1.0 } else { recovered as f64 / true_pairs as f64 },
+    )
+}
+
+fn inspect(opts: &Options) -> Result<String, CliError> {
+    opts.allow_only(&["data", "mapping", "asn"])?;
+    let data = opts.required("data")?;
+    let mapping = load_mapping(opts.required("mapping")?)?;
+    let asn: Asn = opts
+        .required("asn")?
+        .parse()
+        .map_err(|_| CliError::Usage("--asn must be a number or AS<number>".to_string()))?;
+
+    let bundle = DatasetBundle::load(Path::new(data)).map_err(CliError::failed)?;
+    let namer = OrgNamer::new(&bundle.pdb, &bundle.whois);
+
+    let siblings = mapping.siblings_of(asn);
+    if siblings.is_empty() {
+        return Ok(format!("{asn} is not in this mapping\n"));
+    }
+    let mut out = format!(
+        "{asn} — inferred organization with {} networks:\n",
+        siblings.len()
+    );
+    for &member in siblings {
+        out.push_str(&format!("  {:<12} {}", member.to_string(), namer.name_of(member)));
+        if let Some(truth) = &bundle.truth {
+            if let Some((_, name)) = truth.get(&member) {
+                out.push_str(&format!("   [truth: {name}]"));
+            }
+        }
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn diff_cmd(opts: &Options) -> Result<String, CliError> {
+    opts.allow_only(&["before", "after"])?;
+    let before = load_mapping(opts.required("before")?)?;
+    let after = load_mapping(opts.required("after")?)?;
+    let d = diff(&before, &after);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "before: {} orgs / {} ASNs   after: {} orgs / {} ASNs\n",
+        before.org_count(),
+        before.asn_count(),
+        after.org_count(),
+        after.asn_count()
+    ));
+    out.push_str(&format!(
+        "merges: {}   splits: {}   appeared ASNs: {}   disappeared ASNs: {}   unchanged orgs: {}\n",
+        d.merges.len(),
+        d.splits.len(),
+        d.appeared.len(),
+        d.disappeared.len(),
+        d.unchanged_clusters
+    ));
+    let mut merges = d.merges.clone();
+    merges.sort_by_key(|m| std::cmp::Reverse(m.fragments.iter().map(Vec::len).sum::<usize>()));
+    for merge in merges.iter().take(10) {
+        let total: usize = merge.fragments.iter().map(Vec::len).sum();
+        let anchors: Vec<String> = merge
+            .fragments
+            .iter()
+            .map(|f| f[0].to_string())
+            .collect();
+        out.push_str(&format!(
+            "  merge of {} fragments ({} ASNs): {}\n",
+            merge.fragments.len(),
+            total,
+            anchors.join(" + ")
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("borges-cli-test-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn help_is_shown_without_arguments() {
+        let out = run(&[]).unwrap();
+        assert!(out.contains("USAGE"));
+        assert!(run(&args(&["help"])).unwrap().contains("generate"));
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&args(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn feature_spec_parsing() {
+        assert_eq!(parse_features("all").unwrap(), FeatureSet::ALL);
+        assert_eq!(parse_features("none").unwrap(), FeatureSet::NONE);
+        let f = parse_features("oid_p,rr").unwrap();
+        assert!(f.oid_p && f.rr && !f.na && !f.favicons);
+        assert!(parse_features("bogus").is_err());
+    }
+
+    #[test]
+    fn full_workflow_generate_map_eval_inspect_diff() {
+        let dir = tmpdir("workflow");
+        let data = dir.join("world");
+        let out = run(&args(&[
+            "generate",
+            "--out",
+            data.to_str().unwrap(),
+            "--scale",
+            "tiny",
+            "--seed",
+            "5",
+        ]))
+        .unwrap();
+        assert!(out.contains("generated"));
+
+        let as2org_map = dir.join("as2org.map");
+        let borges_map = dir.join("borges.map");
+        let out = run(&args(&[
+            "map", "--data", data.to_str().unwrap(),
+            "--features", "none",
+            "--out", as2org_map.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("organizations"));
+        run(&args(&[
+            "map", "--data", data.to_str().unwrap(),
+            "--features", "all",
+            "--out", borges_map.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        let out = run(&args(&[
+            "eval", "--data", data.to_str().unwrap(),
+            "--mapping", as2org_map.to_str().unwrap(),
+            "--mapping", borges_map.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("precision"), "oracle present → scored: {out}");
+
+        let out = run(&args(&[
+            "inspect", "--data", data.to_str().unwrap(),
+            "--mapping", borges_map.to_str().unwrap(),
+            "--asn", "3356",
+        ]))
+        .unwrap();
+        assert!(out.contains("AS209"), "Lumen family visible: {out}");
+
+        let out = run(&args(&[
+            "diff",
+            "--before", as2org_map.to_str().unwrap(),
+            "--after", borges_map.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.contains("merges:"));
+        // Borges only merges relative to AS2Org — never splits.
+        assert!(out.contains("splits: 0"), "{out}");
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn eval_without_oracle_omits_scores() {
+        let dir = tmpdir("no-oracle");
+        let data = dir.join("world");
+        run(&args(&[
+            "generate",
+            "--out", data.to_str().unwrap(),
+            "--scale", "tiny",
+            "--no-truth",
+        ]))
+        .unwrap();
+        let map_path = dir.join("m.map");
+        run(&args(&[
+            "map", "--data", data.to_str().unwrap(),
+            "--out", map_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let out = run(&args(&[
+            "eval", "--data", data.to_str().unwrap(),
+            "--mapping", map_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(!out.contains("precision"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn typo_flags_are_caught() {
+        let err = run(&args(&["generate", "--outt", "x"])).unwrap_err();
+        assert!(err.to_string().contains("--outt"));
+    }
+}

@@ -1,0 +1,25 @@
+//! # borges-cli
+//!
+//! The `borges` command-line tool — the workflow a downstream user runs:
+//!
+//! ```text
+//! borges generate --out world/ --scale medium --seed 7   # a dataset bundle
+//! borges map --data world/ --out borges.map              # run the pipeline
+//! borges map --data world/ --features none --out as2org.map
+//! borges eval --data world/ --mapping as2org.map --mapping borges.map
+//! borges inspect --data world/ --mapping borges.map --asn 3356
+//! borges diff --before as2org.map --after borges.map
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace's dependency policy);
+//! every command is a pure function from parsed arguments to an output
+//! string, so the test suite drives the CLI without spawning processes.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod commands;
+mod opts;
+
+pub use commands::run;
+pub use opts::{CliError, Options};

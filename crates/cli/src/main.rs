@@ -1,0 +1,16 @@
+//! The `borges` binary. All logic lives in the library so it can be
+//! tested; this is the process shell.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match borges_cli::run(&args) {
+        Ok(output) => {
+            print!("{output}");
+        }
+        Err(e) => {
+            eprintln!("borges: {e}");
+            eprintln!("run `borges help` for usage");
+            std::process::exit(1);
+        }
+    }
+}

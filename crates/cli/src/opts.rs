@@ -1,0 +1,157 @@
+//! Flag parsing.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// A CLI failure (usage or execution).
+#[derive(Debug)]
+pub enum CliError {
+    /// Wrong invocation; the message explains what was expected.
+    Usage(String),
+    /// The command ran and failed.
+    Failed(Box<dyn Error + Send + Sync>),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Failed(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for CliError {}
+
+impl CliError {
+    /// Wraps an execution failure.
+    pub fn failed(e: impl Error + Send + Sync + 'static) -> Self {
+        CliError::Failed(Box::new(e))
+    }
+}
+
+/// Parsed `--flag value` options (flags may repeat; values accumulate).
+#[derive(Debug, Default)]
+pub struct Options {
+    values: BTreeMap<String, Vec<String>>,
+}
+
+impl Options {
+    /// Parses `--flag value` pairs. Bare `--flag` (no value or another
+    /// flag follows) records an empty string, supporting boolean flags.
+    pub fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut values: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = &args[i];
+            let flag = arg
+                .strip_prefix("--")
+                .ok_or_else(|| CliError::Usage(format!("unexpected argument {arg:?}")))?;
+            if flag.is_empty() {
+                return Err(CliError::Usage("empty flag".to_string()));
+            }
+            let value = if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                i += 1;
+                args[i].clone()
+            } else {
+                String::new()
+            };
+            values.entry(flag.to_string()).or_default().push(value);
+            i += 1;
+        }
+        Ok(Options { values })
+    }
+
+    /// The single value of a required flag.
+    pub fn required(&self, flag: &str) -> Result<&str, CliError> {
+        match self.values.get(flag).map(Vec::as_slice) {
+            Some([v]) if !v.is_empty() => Ok(v),
+            Some([_]) => Err(CliError::Usage(format!("--{flag} needs a value"))),
+            Some(_) => Err(CliError::Usage(format!("--{flag} given more than once"))),
+            None => Err(CliError::Usage(format!("missing required --{flag}"))),
+        }
+    }
+
+    /// The single value of an optional flag.
+    pub fn optional(&self, flag: &str) -> Result<Option<&str>, CliError> {
+        match self.values.get(flag).map(Vec::as_slice) {
+            None => Ok(None),
+            Some([v]) if !v.is_empty() => Ok(Some(v)),
+            Some([_]) => Err(CliError::Usage(format!("--{flag} needs a value"))),
+            Some(_) => Err(CliError::Usage(format!("--{flag} given more than once"))),
+        }
+    }
+
+    /// All values of a repeatable flag (may be empty).
+    pub fn repeated(&self, flag: &str) -> Vec<&str> {
+        self.values
+            .get(flag)
+            .map(|v| v.iter().map(String::as_str).collect())
+            .unwrap_or_default()
+    }
+
+    /// `true` when a boolean flag is present.
+    pub fn boolean(&self, flag: &str) -> bool {
+        self.values.contains_key(flag)
+    }
+
+    /// Rejects flags outside the allowed set (typo guard).
+    pub fn allow_only(&self, allowed: &[&str]) -> Result<(), CliError> {
+        for flag in self.values.keys() {
+            if !allowed.contains(&flag.as_str()) {
+                return Err(CliError::Usage(format!("unknown flag --{flag}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_flag_value_pairs() {
+        let o = Options::parse(&args(&["--out", "dir", "--seed", "7"])).unwrap();
+        assert_eq!(o.required("out").unwrap(), "dir");
+        assert_eq!(o.required("seed").unwrap(), "7");
+    }
+
+    #[test]
+    fn boolean_flags() {
+        let o = Options::parse(&args(&["--no-truth", "--out", "x"])).unwrap();
+        assert!(o.boolean("no-truth"));
+        assert!(!o.boolean("truth"));
+    }
+
+    #[test]
+    fn repeated_flags_accumulate() {
+        let o = Options::parse(&args(&["--mapping", "a", "--mapping", "b"])).unwrap();
+        assert_eq!(o.repeated("mapping"), vec!["a", "b"]);
+        assert!(o.required("mapping").is_err(), "required demands exactly one");
+    }
+
+    #[test]
+    fn missing_required_is_reported() {
+        let o = Options::parse(&[]).unwrap();
+        let err = o.required("out").unwrap_err().to_string();
+        assert!(err.contains("--out"));
+    }
+
+    #[test]
+    fn positional_arguments_are_rejected() {
+        assert!(Options::parse(&args(&["stray"])).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_by_allow_only() {
+        let o = Options::parse(&args(&["--outt", "x"])).unwrap();
+        let err = o.allow_only(&["out"]).unwrap_err().to_string();
+        assert!(err.contains("--outt"));
+    }
+}

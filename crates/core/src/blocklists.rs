@@ -1,0 +1,113 @@
+//! The manually curated blocklists of Appendix D.
+//!
+//! Small operators without their own web presence frequently put a
+//! mainstream platform page (Facebook, GitHub, LinkedIn, Discord, …) in
+//! the PeeringDB `website` field. Left unchecked, these would fuse
+//! hundreds of unrelated networks into one "organization" the moment
+//! their final URLs or favicons coincide. Borges therefore applies:
+//!
+//! * the **subdomain blocklist** (Table 10) — brand labels whose match
+//!   must never count as sibling evidence in the final-URL stage (§4.3.2);
+//! * the **final-URL blocklist** (Table 11) — registrable domains excluded
+//!   from the favicon stage (§4.3.3).
+
+use borges_types::Url;
+
+/// Table 10: brand labels ("subdomains" in the paper's wording) excluded
+/// from final-URL sibling inference.
+pub const SUBDOMAIN_BLOCKLIST: &[&str] = &[
+    "myspace",
+    "github",
+    "he",
+    "facebook",
+    "instagram",
+    "linkedin",
+    "bgp", // bgp.tools
+    "oracle",
+    "discord",
+    "peeringdb",
+];
+
+/// Table 11: registrable domains excluded from favicon-based inference.
+pub const FINAL_URL_BLOCKLIST: &[&str] = &[
+    "example.com",
+    "github.com",
+    "linkedin.com",
+    "facebook.com",
+    "discord.com",
+    "instagram.com",
+    "peeringdb.com",
+];
+
+/// `true` when a final URL must be ignored by the R&R matcher (§4.3.2):
+/// its brand label is on the subdomain blocklist.
+pub fn blocked_for_rr(url: &Url) -> bool {
+    match url.brand_label() {
+        Some(label) => SUBDOMAIN_BLOCKLIST.contains(&label),
+        None => true, // no brand evidence at all — never merge on it
+    }
+}
+
+/// `true` when a final URL must be ignored by the favicon stage (§4.3.3):
+/// its registrable domain is on the final-URL blocklist.
+pub fn blocked_for_favicon(url: &Url) -> bool {
+    match url.host().registrable_domain() {
+        Some(domain) => FINAL_URL_BLOCKLIST.contains(&domain),
+        None => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn url(s: &str) -> Url {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn social_platforms_are_blocked_everywhere() {
+        for u in [
+            "https://facebook.com/acmenet",
+            "https://github.com/acmenet",
+            "https://www.linkedin.com/company/acmenet",
+            "https://discord.com/invite/xyz",
+        ] {
+            assert!(blocked_for_rr(&url(u)), "{u} not RR-blocked");
+            assert!(blocked_for_favicon(&url(u)), "{u} not favicon-blocked");
+        }
+    }
+
+    #[test]
+    fn hurricane_electric_label_is_rr_blocked() {
+        // he.net hosts looking-glass pages for countless networks.
+        assert!(blocked_for_rr(&url("http://he.net/")));
+    }
+
+    #[test]
+    fn ordinary_operator_sites_pass() {
+        for u in [
+            "https://www.lumen.com/",
+            "https://www.clarochile.cl/personas/",
+            "https://www.orange.es/",
+        ] {
+            assert!(!blocked_for_rr(&url(u)), "{u} wrongly RR-blocked");
+            assert!(!blocked_for_favicon(&url(u)), "{u} wrongly favicon-blocked");
+        }
+    }
+
+    #[test]
+    fn labelless_urls_are_blocked_conservatively() {
+        assert!(blocked_for_rr(&url("http://localhost/")));
+        assert!(blocked_for_favicon(&url("http://localhost/")));
+    }
+
+    #[test]
+    fn blocklists_match_appendix_d_entries() {
+        assert!(SUBDOMAIN_BLOCKLIST.contains(&"peeringdb"));
+        assert!(SUBDOMAIN_BLOCKLIST.contains(&"oracle"));
+        assert!(FINAL_URL_BLOCKLIST.contains(&"example.com"));
+        assert!(FINAL_URL_BLOCKLIST.len() >= 5);
+        assert!(SUBDOMAIN_BLOCKLIST.len() >= 10);
+    }
+}

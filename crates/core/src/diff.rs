@@ -1,0 +1,202 @@
+//! Longitudinal mapping comparison.
+//!
+//! The paper's discussion (§7) regrets that no longitudinal archive
+//! exists for its web observations — organizational structures evolve
+//! through mergers, spinoffs and rebrandings, and a single snapshot
+//! cannot show the motion. Given two dated mappings (two releases of
+//! Borges, or Borges vs. a later AS2Org), [`diff`] explains what moved:
+//!
+//! * **merges** — an organization in the later mapping combining several
+//!   earlier organizations (the acquisition signature);
+//! * **splits** — an earlier organization scattered across several later
+//!   ones (the divestiture/spinoff signature: Lumen → Cirion/Colt);
+//! * ASNs appearing/disappearing (new allocations, returned resources).
+
+use crate::mapping::{AsOrgMapping, ClusterId};
+use borges_types::Asn;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A later-mapping organization assembled from several earlier ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeEvent {
+    /// Cluster in the *after* mapping.
+    pub after: ClusterId,
+    /// The earlier clusters it absorbed (each as its member list,
+    /// restricted to ASNs present in both mappings).
+    pub fragments: Vec<Vec<Asn>>,
+}
+
+/// An earlier organization scattered across several later ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitEvent {
+    /// Cluster in the *before* mapping.
+    pub before: ClusterId,
+    /// The later clusters its members went to.
+    pub pieces: Vec<Vec<Asn>>,
+}
+
+/// The full difference between two mappings.
+#[derive(Debug, Clone, Default)]
+pub struct MappingDiff {
+    /// Organizations that combined.
+    pub merges: Vec<MergeEvent>,
+    /// Organizations that scattered.
+    pub splits: Vec<SplitEvent>,
+    /// ASNs present only in the later mapping.
+    pub appeared: Vec<Asn>,
+    /// ASNs present only in the earlier mapping.
+    pub disappeared: Vec<Asn>,
+    /// Clusters with identical membership in both mappings.
+    pub unchanged_clusters: usize,
+}
+
+impl MappingDiff {
+    /// `true` when nothing moved at all.
+    pub fn is_empty(&self) -> bool {
+        self.merges.is_empty()
+            && self.splits.is_empty()
+            && self.appeared.is_empty()
+            && self.disappeared.is_empty()
+    }
+}
+
+/// Computes the difference between two mappings. Structural comparisons
+/// (merge/split detection) consider only ASNs present in *both* mappings,
+/// so allocation churn does not masquerade as reorganization.
+pub fn diff(before: &AsOrgMapping, after: &AsOrgMapping) -> MappingDiff {
+    let before_asns: BTreeSet<Asn> = before.asns().collect();
+    let after_asns: BTreeSet<Asn> = after.asns().collect();
+    let shared: BTreeSet<Asn> = before_asns.intersection(&after_asns).copied().collect();
+
+    let mut out = MappingDiff {
+        appeared: after_asns.difference(&before_asns).copied().collect(),
+        disappeared: before_asns.difference(&after_asns).copied().collect(),
+        ..Default::default()
+    };
+
+    // Group shared ASNs by (after cluster → before fragments) and
+    // (before cluster → after pieces).
+    let mut by_after: BTreeMap<ClusterId, BTreeMap<ClusterId, Vec<Asn>>> = BTreeMap::new();
+    let mut by_before: BTreeMap<ClusterId, BTreeMap<ClusterId, Vec<Asn>>> = BTreeMap::new();
+    for &asn in &shared {
+        let b = before.cluster_of(asn).expect("shared asn is in before");
+        let a = after.cluster_of(asn).expect("shared asn is in after");
+        by_after.entry(a).or_default().entry(b).or_default().push(asn);
+        by_before.entry(b).or_default().entry(a).or_default().push(asn);
+    }
+
+    for (after_id, fragments) in &by_after {
+        if fragments.len() > 1 {
+            out.merges.push(MergeEvent {
+                after: *after_id,
+                fragments: fragments.values().cloned().collect(),
+            });
+        }
+    }
+    for (before_id, pieces) in &by_before {
+        if pieces.len() > 1 {
+            out.splits.push(SplitEvent {
+                before: *before_id,
+                pieces: pieces.values().cloned().collect(),
+            });
+        }
+    }
+
+    // Unchanged: identical membership over the shared universe, and the
+    // cluster is whole in both (no appeared/disappeared members hiding
+    // inside).
+    for (after_id, fragments) in &by_after {
+        if fragments.len() != 1 {
+            continue;
+        }
+        let (before_id, members) = fragments.iter().next().expect("one fragment");
+        if by_before[before_id].len() == 1
+            && before.members(*before_id).len() == members.len()
+            && after.members(*after_id).len() == members.len()
+        {
+            out.unchanged_clusters += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(groups: &[&[u32]]) -> AsOrgMapping {
+        AsOrgMapping::from_groups(
+            groups
+                .iter()
+                .map(|g| g.iter().map(|&x| Asn::new(x)).collect()),
+        )
+    }
+
+    #[test]
+    fn identical_mappings_diff_empty() {
+        let a = m(&[&[1, 2], &[3]]);
+        let d = diff(&a, &a.clone());
+        assert!(d.is_empty());
+        assert_eq!(d.unchanged_clusters, 2);
+    }
+
+    #[test]
+    fn acquisition_shows_as_a_merge() {
+        let before = m(&[&[1, 2], &[3, 4], &[5]]);
+        let after = m(&[&[1, 2, 3, 4], &[5]]);
+        let d = diff(&before, &after);
+        assert_eq!(d.merges.len(), 1);
+        assert_eq!(d.merges[0].fragments.len(), 2);
+        assert!(d.splits.is_empty());
+        assert_eq!(d.unchanged_clusters, 1);
+    }
+
+    #[test]
+    fn spinoff_shows_as_a_split() {
+        // The Lumen → Cirion/Colt shape.
+        let before = m(&[&[1, 2, 3]]);
+        let after = m(&[&[1], &[2], &[3]]);
+        let d = diff(&before, &after);
+        assert!(d.merges.is_empty());
+        assert_eq!(d.splits.len(), 1);
+        assert_eq!(d.splits[0].pieces.len(), 3);
+    }
+
+    #[test]
+    fn reshuffle_is_both_merge_and_split() {
+        let before = m(&[&[1, 2], &[3, 4]]);
+        let after = m(&[&[1, 3], &[2, 4]]);
+        let d = diff(&before, &after);
+        assert_eq!(d.merges.len(), 2, "each after-cluster mixes fragments");
+        assert_eq!(d.splits.len(), 2, "each before-cluster scattered");
+        assert_eq!(d.unchanged_clusters, 0);
+    }
+
+    #[test]
+    fn allocation_churn_is_not_reorganization() {
+        let before = m(&[&[1, 2]]);
+        let after = m(&[&[1, 2, 99], &[100]]);
+        let d = diff(&before, &after);
+        assert!(d.merges.is_empty(), "new ASN joining is not a merge of orgs");
+        assert!(d.splits.is_empty());
+        assert_eq!(d.appeared, vec![Asn::new(99), Asn::new(100)]);
+        assert!(d.disappeared.is_empty());
+    }
+
+    #[test]
+    fn disappearing_asns_are_reported() {
+        let before = m(&[&[1, 2, 3]]);
+        let after = m(&[&[1, 2]]);
+        let d = diff(&before, &after);
+        assert_eq!(d.disappeared, vec![Asn::new(3)]);
+        assert!(d.splits.is_empty(), "losing an ASN is not a split");
+    }
+
+    #[test]
+    fn grown_cluster_is_not_unchanged() {
+        let before = m(&[&[1, 2]]);
+        let after = m(&[&[1, 2, 9]]);
+        let d = diff(&before, &after);
+        assert_eq!(d.unchanged_clusters, 0);
+    }
+}

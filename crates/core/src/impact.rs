@@ -1,0 +1,502 @@
+//! §6 — Borges's impact: populations, transit, hypergiants, footprints.
+//!
+//! All four analyses compare a *base* mapping (AS2Org) against an
+//! *improved* mapping (Borges) over the same universe. Because the
+//! improved mapping is produced by adding merge evidence to the base's
+//! union-find, every improved organization is a disjoint union of base
+//! organizations — the "fragments" below.
+
+use crate::mapping::{AsOrgMapping, ClusterId};
+use borges_peeringdb::PdbSnapshot;
+use borges_types::{Asn, CountryCode};
+use borges_whois::WhoisRegistry;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-ASN user estimate (the APNIC join of §6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AsnPopulation {
+    /// Estimated users behind the ASN.
+    pub users: u64,
+    /// Their market.
+    pub country: CountryCode,
+}
+
+/// Resolves display names for organizations (PeeringDB name first, WHOIS
+/// organization name second, `"AS<x>"` last).
+pub struct OrgNamer<'a> {
+    pdb: &'a PdbSnapshot,
+    whois: &'a WhoisRegistry,
+}
+
+impl<'a> OrgNamer<'a> {
+    /// Creates a namer over both registries.
+    pub fn new(pdb: &'a PdbSnapshot, whois: &'a WhoisRegistry) -> Self {
+        OrgNamer { pdb, whois }
+    }
+
+    /// A display name for the organization anchored at `asn`.
+    pub fn name_of(&self, asn: Asn) -> String {
+        if let Some(org) = self.pdb.org_of_asn(asn) {
+            return org.name.clone();
+        }
+        if let Some(org) = self.whois.org_of(asn) {
+            return org.name.as_str().to_string();
+        }
+        asn.to_string()
+    }
+}
+
+// ---------------------------------------------------------------------
+// §6.1 — access networks (Tables 7 & 8)
+// ---------------------------------------------------------------------
+
+/// One organization whose user population changed under the improved
+/// mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrgChange {
+    /// The member with the largest population (used for naming).
+    pub anchor: Asn,
+    /// Total users under the improved mapping.
+    pub improved_users: u64,
+    /// Users of the largest base fragment (what the base mapping saw as
+    /// "the organization").
+    pub base_max_users: u64,
+    /// Number of base fragments with population that merged.
+    pub fragments: usize,
+}
+
+impl OrgChange {
+    /// The paper's marginal-growth metric: improvement over the largest
+    /// prior group (§6.1's 300+200+100 → 100 example).
+    pub fn marginal_growth(&self) -> u64 {
+        self.improved_users - self.base_max_users
+    }
+}
+
+/// Table 7 + the 193-million-user headline.
+#[derive(Debug, Clone, Default)]
+pub struct PopulationComparison {
+    /// Organizations whose population changed, sorted by marginal growth
+    /// descending (Table 8 reads the head of this list).
+    pub changed: Vec<OrgChange>,
+    /// Organizations with population whose composition did not change.
+    pub unchanged_count: usize,
+    /// Mean base population (largest fragment) over changed orgs.
+    pub mean_base_changed: f64,
+    /// Mean improved population over changed orgs.
+    pub mean_improved_changed: f64,
+    /// Mean population over unchanged orgs.
+    pub mean_unchanged: f64,
+    /// Σ marginal growth over changed orgs.
+    pub total_marginal_growth: u64,
+    /// Total users in the population table.
+    pub total_users: u64,
+}
+
+impl PopulationComparison {
+    /// Total organizations carrying population (changed + unchanged).
+    pub fn total_orgs(&self) -> usize {
+        self.changed.len() + self.unchanged_count
+    }
+}
+
+/// Compares user populations between a base and an improved mapping.
+pub fn population_comparison(
+    base: &AsOrgMapping,
+    improved: &AsOrgMapping,
+    populations: &BTreeMap<Asn, AsnPopulation>,
+) -> PopulationComparison {
+    let mut out = PopulationComparison {
+        total_users: populations.values().map(|p| p.users).sum(),
+        ..Default::default()
+    };
+    let mut sum_unchanged = 0u64;
+    let mut sum_base_changed = 0u64;
+    let mut sum_improved_changed = 0u64;
+
+    for (_, members) in improved.clusters() {
+        let mut fragment_users: BTreeMap<ClusterId, u64> = BTreeMap::new();
+        let mut improved_users = 0u64;
+        let mut anchor = None;
+        let mut anchor_users = 0u64;
+        for &asn in members {
+            if let Some(pop) = populations.get(&asn) {
+                improved_users += pop.users;
+                if pop.users >= anchor_users {
+                    anchor_users = pop.users;
+                    anchor = Some(asn);
+                }
+                let frag = base
+                    .cluster_of(asn)
+                    .expect("improved mapping refines the base universe");
+                *fragment_users.entry(frag).or_insert(0) += pop.users;
+            }
+        }
+        let anchor = match anchor {
+            Some(a) => a,
+            None => continue, // no population → not part of this analysis
+        };
+        let base_max = fragment_users.values().copied().max().unwrap_or(0);
+        if fragment_users.len() > 1 && improved_users > base_max {
+            sum_base_changed += base_max;
+            sum_improved_changed += improved_users;
+            out.changed.push(OrgChange {
+                anchor,
+                improved_users,
+                base_max_users: base_max,
+                fragments: fragment_users.len(),
+            });
+        } else {
+            out.unchanged_count += 1;
+            sum_unchanged += improved_users;
+        }
+    }
+
+    out.changed
+        .sort_by(|a, b| b.marginal_growth().cmp(&a.marginal_growth()).then(a.anchor.cmp(&b.anchor)));
+    out.total_marginal_growth = out.changed.iter().map(OrgChange::marginal_growth).sum();
+    let n_changed = out.changed.len().max(1) as f64;
+    out.mean_base_changed = sum_base_changed as f64 / n_changed;
+    out.mean_improved_changed = sum_improved_changed as f64 / n_changed;
+    out.mean_unchanged = sum_unchanged as f64 / out.unchanged_count.max(1) as f64;
+    out
+}
+
+// ---------------------------------------------------------------------
+// §6.1 — transit networks (Fig. 8)
+// ---------------------------------------------------------------------
+
+/// A least-squares line fit over a rank window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankFit {
+    /// The window: ranks `1..=top_n`.
+    pub top_n: usize,
+    /// Slope of cumulative marginal growth vs rank.
+    pub slope: f64,
+    /// Intercept.
+    pub intercept: f64,
+    /// Mean marginal ASN growth per organization in the window.
+    pub avg_growth: f64,
+}
+
+/// Fig. 8's series: cumulative marginal network growth by AS-Rank.
+#[derive(Debug, Clone, Default)]
+pub struct TransitGrowth {
+    /// `(rank, cumulative marginal ASNs)` at every rank.
+    pub series: Vec<(usize, u64)>,
+    /// Linear fits for the top-100/1,000/10,000 windows (where the rank
+    /// list is long enough).
+    pub fits: Vec<RankFit>,
+}
+
+/// Computes cumulative marginal network growth of organizations by the
+/// rank of their best-ranked ASN. Marginal growth of an organization is
+/// `|improved cluster| − |base cluster of its best-ranked ASN|` — the
+/// ASN-level analogue of the population metric, as the paper defines for
+/// AS-Rank (§6.1).
+pub fn transit_growth(
+    base: &AsOrgMapping,
+    improved: &AsOrgMapping,
+    asrank: &[Asn],
+) -> TransitGrowth {
+    let mut seen: BTreeSet<ClusterId> = BTreeSet::new();
+    let mut cumulative = 0u64;
+    let mut series = Vec::with_capacity(asrank.len());
+    for (idx, &asn) in asrank.iter().enumerate() {
+        let rank = idx + 1;
+        if let Some(cluster) = improved.cluster_of(asn) {
+            if seen.insert(cluster) {
+                let improved_size = improved.members(cluster).len();
+                let base_size = base
+                    .cluster_of(asn)
+                    .map(|c| base.members(c).len())
+                    .unwrap_or(1);
+                cumulative += improved_size.saturating_sub(base_size) as u64;
+            }
+        }
+        series.push((rank, cumulative));
+    }
+    let fits = [100usize, 1_000, 10_000]
+        .into_iter()
+        .filter(|&n| n <= series.len())
+        .map(|n| {
+            let window = &series[..n];
+            let (slope, intercept) = least_squares(window);
+            RankFit {
+                top_n: n,
+                slope,
+                intercept,
+                avg_growth: window.last().map(|&(_, c)| c).unwrap_or(0) as f64 / n as f64,
+            }
+        })
+        .collect();
+    TransitGrowth { series, fits }
+}
+
+fn least_squares(points: &[(usize, u64)]) -> (f64, f64) {
+    let n = points.len() as f64;
+    if points.len() < 2 {
+        return (0.0, points.first().map(|&(_, y)| y as f64).unwrap_or(0.0));
+    }
+    let sum_x: f64 = points.iter().map(|&(x, _)| x as f64).sum();
+    let sum_y: f64 = points.iter().map(|&(_, y)| y as f64).sum();
+    let sum_xx: f64 = points.iter().map(|&(x, _)| (x * x) as f64).sum();
+    let sum_xy: f64 = points.iter().map(|&(x, y)| x as f64 * y as f64).sum();
+    let denom = n * sum_xx - sum_x * sum_x;
+    if denom.abs() < f64::EPSILON {
+        return (0.0, sum_y / n);
+    }
+    let slope = (n * sum_xy - sum_x * sum_y) / denom;
+    let intercept = (sum_y - slope * sum_x) / n;
+    (slope, intercept)
+}
+
+// ---------------------------------------------------------------------
+// §6.1 — hypergiants (Fig. 9)
+// ---------------------------------------------------------------------
+
+/// One bar group of Fig. 9: the hypergiant's organization size under each
+/// compared mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HypergiantRow {
+    /// Display name.
+    pub name: String,
+    /// Headline ASN.
+    pub asn: Asn,
+    /// Organization size under each mapping, in caller order.
+    pub sizes: Vec<usize>,
+}
+
+/// Computes Fig. 9's rows for a hypergiant roster across mappings.
+pub fn hypergiant_sizes(
+    roster: &[(String, Asn)],
+    mappings: &[&AsOrgMapping],
+) -> Vec<HypergiantRow> {
+    roster
+        .iter()
+        .map(|(name, asn)| HypergiantRow {
+            name: name.clone(),
+            asn: *asn,
+            sizes: mappings
+                .iter()
+                .map(|m| m.siblings_of(*asn).len().max(1))
+                .collect(),
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// §6.2 — country footprints (Table 9)
+// ---------------------------------------------------------------------
+
+/// One organization's footprint change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FootprintChange {
+    /// Max-population member (for naming).
+    pub anchor: Asn,
+    /// Countries with users under the base mapping.
+    pub base_countries: usize,
+    /// Countries with users under the improved mapping.
+    pub improved_countries: usize,
+}
+
+impl FootprintChange {
+    /// Countries gained.
+    pub fn gain(&self) -> usize {
+        self.improved_countries - self.base_countries
+    }
+}
+
+/// Table 9 + the "average marginal increase is 2.37 countries" headline.
+#[derive(Debug, Clone, Default)]
+pub struct FootprintComparison {
+    /// Organizations whose footprint expanded, sorted by gain descending.
+    pub expanded: Vec<FootprintChange>,
+    /// Mean gain over expanded organizations.
+    pub mean_gain: f64,
+}
+
+/// Compares country-level footprints (countries where the APNIC-style
+/// population table sees users for the organization).
+pub fn country_footprint(
+    base: &AsOrgMapping,
+    improved: &AsOrgMapping,
+    populations: &BTreeMap<Asn, AsnPopulation>,
+) -> FootprintComparison {
+    let mut out = FootprintComparison::default();
+    let mut total_gain = 0usize;
+
+    for (_, members) in improved.clusters() {
+        let mut improved_countries: BTreeSet<CountryCode> = BTreeSet::new();
+        let mut anchor = None;
+        let mut anchor_users = 0u64;
+        for &asn in members {
+            if let Some(pop) = populations.get(&asn) {
+                improved_countries.insert(pop.country);
+                if pop.users >= anchor_users {
+                    anchor_users = pop.users;
+                    anchor = Some(asn);
+                }
+            }
+        }
+        let anchor = match anchor {
+            Some(a) => a,
+            None => continue,
+        };
+        let base_countries: BTreeSet<CountryCode> = base
+            .siblings_of(anchor)
+            .iter()
+            .filter_map(|a| populations.get(a))
+            .map(|p| p.country)
+            .collect();
+        if improved_countries.len() > base_countries.len() {
+            total_gain += improved_countries.len() - base_countries.len();
+            out.expanded.push(FootprintChange {
+                anchor,
+                base_countries: base_countries.len(),
+                improved_countries: improved_countries.len(),
+            });
+        }
+    }
+
+    out.expanded
+        .sort_by(|a, b| b.gain().cmp(&a.gain()).then(a.anchor.cmp(&b.anchor)));
+    out.mean_gain = total_gain as f64 / out.expanded.len().max(1) as f64;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pop(entries: &[(u32, u64, &str)]) -> BTreeMap<Asn, AsnPopulation> {
+        entries
+            .iter()
+            .map(|&(asn, users, cc)| {
+                (
+                    Asn::new(asn),
+                    AsnPopulation {
+                        users,
+                        country: cc.parse().unwrap(),
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn m(groups: &[&[u32]]) -> AsOrgMapping {
+        AsOrgMapping::from_groups(
+            groups
+                .iter()
+                .map(|g| g.iter().map(|&x| Asn::new(x)).collect()),
+        )
+    }
+
+    #[test]
+    fn marginal_growth_matches_the_papers_example() {
+        // Org A (improved) merges B=300, C=200, D=100 users (the paper's
+        // §6.1 worked example says growth over the largest prior group).
+        let base = m(&[&[1], &[2], &[3]]);
+        let improved = m(&[&[1, 2, 3]]);
+        let populations = pop(&[(1, 300, "US"), (2, 200, "US"), (3, 100, "US")]);
+        let cmp = population_comparison(&base, &improved, &populations);
+        assert_eq!(cmp.changed.len(), 1);
+        assert_eq!(cmp.changed[0].base_max_users, 300);
+        assert_eq!(cmp.changed[0].improved_users, 600);
+        assert_eq!(cmp.changed[0].marginal_growth(), 300);
+        assert_eq!(cmp.total_marginal_growth, 300);
+        assert_eq!(cmp.changed[0].anchor, Asn::new(1));
+    }
+
+    #[test]
+    fn unchanged_orgs_are_counted_and_averaged() {
+        let base = m(&[&[1], &[2], &[3, 4]]);
+        let improved = m(&[&[1], &[2], &[3, 4]]);
+        let populations = pop(&[(1, 100, "US"), (2, 300, "US"), (3, 50, "US")]);
+        let cmp = population_comparison(&base, &improved, &populations);
+        assert!(cmp.changed.is_empty());
+        assert_eq!(cmp.unchanged_count, 3);
+        assert!((cmp.mean_unchanged - 150.0).abs() < 1e-9);
+        assert_eq!(cmp.total_orgs(), 3);
+    }
+
+    #[test]
+    fn merging_populationless_fragments_is_not_a_change() {
+        // The improved mapping merges a pop-carrying org with a transit
+        // org that has no users: population unchanged.
+        let base = m(&[&[1], &[2]]);
+        let improved = m(&[&[1, 2]]);
+        let populations = pop(&[(1, 500, "US")]);
+        let cmp = population_comparison(&base, &improved, &populations);
+        assert!(cmp.changed.is_empty());
+        assert_eq!(cmp.unchanged_count, 1);
+    }
+
+    #[test]
+    fn transit_growth_series_and_fit() {
+        // Rank order: 1, 2, 3, 4. Improved merges {1,2,3}; base splits.
+        let base = m(&[&[1], &[2], &[3], &[4]]);
+        let improved = m(&[&[1, 2, 3], &[4]]);
+        let asrank = vec![Asn::new(1), Asn::new(2), Asn::new(3), Asn::new(4)];
+        let growth = transit_growth(&base, &improved, &asrank);
+        // Rank 1: org {1,2,3}, growth 3−1 = 2. Ranks 2,3: same org, seen.
+        // Rank 4: growth 0.
+        assert_eq!(growth.series, vec![(1, 2), (2, 2), (3, 2), (4, 2)]);
+        assert!(growth.fits.is_empty(), "fewer than 100 ranks → no fits");
+    }
+
+    #[test]
+    fn transit_growth_counts_each_org_once() {
+        let base = m(&[&[1], &[2]]);
+        let improved = m(&[&[1, 2]]);
+        let asrank = vec![Asn::new(2), Asn::new(1)];
+        let growth = transit_growth(&base, &improved, &asrank);
+        assert_eq!(growth.series.last().unwrap().1, 1, "not double-counted");
+    }
+
+    #[test]
+    fn least_squares_recovers_a_line() {
+        let pts: Vec<(usize, u64)> = (1..=50).map(|x| (x, (3 * x + 7) as u64)).collect();
+        let (slope, intercept) = least_squares(&pts);
+        assert!((slope - 3.0).abs() < 1e-9);
+        assert!((intercept - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hypergiant_rows() {
+        let base = m(&[&[15133], &[22822, 1], &[15169]]);
+        let improved = m(&[&[15133, 22822, 1], &[15169]]);
+        let roster = vec![
+            ("EdgeCast".to_string(), Asn::new(15133)),
+            ("Google".to_string(), Asn::new(15169)),
+            ("Ghost".to_string(), Asn::new(9999)),
+        ];
+        let rows = hypergiant_sizes(&roster, &[&base, &improved]);
+        assert_eq!(rows[0].sizes, vec![1, 3]);
+        assert_eq!(rows[1].sizes, vec![1, 1]);
+        assert_eq!(rows[2].sizes, vec![1, 1], "unmapped ASN counts as itself");
+    }
+
+    #[test]
+    fn footprint_expansion() {
+        let base = m(&[&[1], &[2], &[3]]);
+        let improved = m(&[&[1, 2, 3]]);
+        let populations = pop(&[(1, 900, "JM"), (2, 100, "TT"), (3, 50, "HT")]);
+        let cmp = country_footprint(&base, &improved, &populations);
+        assert_eq!(cmp.expanded.len(), 1);
+        assert_eq!(cmp.expanded[0].base_countries, 1);
+        assert_eq!(cmp.expanded[0].improved_countries, 3);
+        assert_eq!(cmp.expanded[0].gain(), 2);
+        assert!((cmp.mean_gain - 2.0).abs() < 1e-9);
+        assert_eq!(cmp.expanded[0].anchor, Asn::new(1));
+    }
+
+    #[test]
+    fn same_country_merges_do_not_expand_footprint() {
+        let base = m(&[&[1], &[2]]);
+        let improved = m(&[&[1, 2]]);
+        let populations = pop(&[(1, 900, "US"), (2, 100, "US")]);
+        let cmp = country_footprint(&base, &improved, &populations);
+        assert!(cmp.expanded.is_empty());
+    }
+}

@@ -1,0 +1,203 @@
+//! On-disk mapping format.
+//!
+//! The paper's contribution is ultimately a dataset — an
+//! AS-to-Organization mapping others can consume. This module defines the
+//! release format: a pipe-separated text file in the spirit of CAIDA's
+//! AS2Org distribution, one line per ASN:
+//!
+//! ```text
+//! # borges-mapping v1
+//! # asn|org
+//! 209|org0
+//! 3356|org0
+//! 3549|org0
+//! 15133|org7
+//! ```
+//!
+//! Cluster ids are deterministic (`org<k>`, ordered by each cluster's
+//! smallest ASN), so the same mapping always serializes byte-identically
+//! and diffs between releases are meaningful.
+
+use crate::mapping::AsOrgMapping;
+use borges_types::Asn;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+const HEADER: &str = "# borges-mapping v1";
+
+/// A failure while reading a mapping file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapfileError {
+    /// Missing or wrong version header.
+    BadHeader,
+    /// A malformed data line.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// Why.
+        reason: &'static str,
+    },
+    /// The same ASN appeared twice.
+    DuplicateAsn {
+        /// 1-based line number of the second occurrence.
+        line: usize,
+        /// The repeated ASN.
+        asn: Asn,
+    },
+}
+
+impl fmt::Display for MapfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapfileError::BadHeader => write!(f, "missing '{HEADER}' header"),
+            MapfileError::BadLine { line, reason } => write!(f, "line {line}: {reason}"),
+            MapfileError::DuplicateAsn { line, asn } => {
+                write!(f, "line {line}: duplicate {asn}")
+            }
+        }
+    }
+}
+
+impl Error for MapfileError {}
+
+/// Serializes a mapping. Deterministic: ASNs ascending, cluster ids by
+/// smallest member.
+pub fn serialize(mapping: &AsOrgMapping) -> String {
+    let mut out = String::with_capacity(mapping.asn_count() * 12 + 64);
+    out.push_str(HEADER);
+    out.push('\n');
+    out.push_str("# asn|org\n");
+    for asn in mapping.asns() {
+        let cluster = mapping.cluster_of(asn).expect("asns() yields mapped ASNs");
+        out.push_str(&format!("{}|org{}\n", asn.value(), cluster.0));
+    }
+    out
+}
+
+/// Parses a mapping file.
+pub fn parse(text: &str) -> Result<AsOrgMapping, MapfileError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, first)) if first.trim_end() == HEADER => {}
+        _ => return Err(MapfileError::BadHeader),
+    }
+    let mut groups: BTreeMap<String, Vec<Asn>> = BTreeMap::new();
+    let mut seen: BTreeMap<Asn, usize> = BTreeMap::new();
+    for (idx, raw) in lines {
+        let line_no = idx + 1;
+        let line = raw.trim_end_matches('\r');
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (asn_str, org) = line.split_once('|').ok_or(MapfileError::BadLine {
+            line: line_no,
+            reason: "expected asn|org",
+        })?;
+        let asn: Asn = asn_str.parse().map_err(|_| MapfileError::BadLine {
+            line: line_no,
+            reason: "invalid asn",
+        })?;
+        if org.trim().is_empty() {
+            return Err(MapfileError::BadLine {
+                line: line_no,
+                reason: "empty org id",
+            });
+        }
+        if seen.insert(asn, line_no).is_some() {
+            return Err(MapfileError::DuplicateAsn { line: line_no, asn });
+        }
+        groups.entry(org.trim().to_string()).or_default().push(asn);
+    }
+    Ok(AsOrgMapping::from_groups(groups.into_values()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mapping() -> AsOrgMapping {
+        AsOrgMapping::from_groups(vec![
+            vec![Asn::new(209), Asn::new(3356), Asn::new(3549)],
+            vec![Asn::new(15133)],
+            vec![Asn::new(174), Asn::new(1239)],
+        ])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let m = mapping();
+        let text = serialize(&m);
+        let back = parse(&text).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(serialize(&back), text, "stable serialization");
+    }
+
+    #[test]
+    fn format_shape() {
+        let text = serialize(&mapping());
+        let mut lines = text.lines();
+        assert_eq!(lines.next(), Some(HEADER));
+        assert_eq!(lines.next(), Some("# asn|org"));
+        // ASNs ascending.
+        let asns: Vec<u32> = text
+            .lines()
+            .filter(|l| !l.starts_with('#'))
+            .map(|l| l.split('|').next().unwrap().parse().unwrap())
+            .collect();
+        let mut sorted = asns.clone();
+        sorted.sort_unstable();
+        assert_eq!(asns, sorted);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert_eq!(parse("209|org0\n").unwrap_err(), MapfileError::BadHeader);
+        assert_eq!(parse("").unwrap_err(), MapfileError::BadHeader);
+    }
+
+    #[test]
+    fn malformed_lines_rejected() {
+        let text = format!("{HEADER}\nnot-a-line\n");
+        assert!(matches!(
+            parse(&text).unwrap_err(),
+            MapfileError::BadLine { line: 2, .. }
+        ));
+        let text = format!("{HEADER}\nxyz|org0\n");
+        assert!(matches!(
+            parse(&text).unwrap_err(),
+            MapfileError::BadLine { line: 2, .. }
+        ));
+        let text = format!("{HEADER}\n209|\n");
+        assert!(matches!(
+            parse(&text).unwrap_err(),
+            MapfileError::BadLine { line: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_asn_rejected() {
+        let text = format!("{HEADER}\n209|a\n209|b\n");
+        assert!(matches!(
+            parse(&text).unwrap_err(),
+            MapfileError::DuplicateAsn { line: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn comments_and_blanks_tolerated() {
+        let text = format!("{HEADER}\n# generated by test\n\n209|a\n3356|a\n");
+        let m = parse(&text).unwrap();
+        assert!(m.same_org(Asn::new(209), Asn::new(3356)));
+    }
+
+    #[test]
+    fn arbitrary_org_labels_accepted_on_input() {
+        // Foreign mappings (e.g. hand-edited) may use any labels; only the
+        // partition matters.
+        let text = format!("{HEADER}\n1|LUMEN\n2|LUMEN\n3|COGENT\n");
+        let m = parse(&text).unwrap();
+        assert!(m.same_org(Asn::new(1), Asn::new(2)));
+        assert!(!m.same_org(Asn::new(1), Asn::new(3)));
+    }
+}

@@ -1,0 +1,395 @@
+//! §4.2 — LLM-based information extraction over `notes` and `aka`.
+//!
+//! The stage has three layers, exactly as the paper describes:
+//!
+//! 1. **Input filter** — a dropout filter keeps only entries whose free
+//!    text contains digits: fields without numbers cannot carry ASN
+//!    information, and skipping them saves most of the LLM calls.
+//! 2. **Extraction** — the remaining entries are rendered into the
+//!    few-shot prompt of Listing 2 and sent to the [`ChatModel`]; the
+//!    JSON reply is parsed into candidate sibling ASNs.
+//! 3. **Output filter** — to prevent hallucinations, a reply ASN is kept
+//!    only if its number sequence literally appears in the entry's
+//!    `notes`/`aka` text; non-routable ASNs and the subject's own ASN are
+//!    dropped too.
+
+use borges_llm::chat::{ChatModel, ChatRequest};
+use borges_llm::ner::all_routable_numbers;
+use borges_llm::prompts::{build_ie_prompt, parse_ie_reply};
+use borges_peeringdb::PdbSnapshot;
+use borges_types::Asn;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Counters for the extraction funnel (§5.2's "notes and aka" numbers).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NerStats {
+    /// PeeringDB entries in the snapshot.
+    pub entries_total: usize,
+    /// Entries with non-empty `notes` or `aka`.
+    pub entries_with_text: usize,
+    /// Entries passing the numeric input filter.
+    pub entries_numeric: usize,
+    /// … of which the digits are in `aka`.
+    pub numeric_in_aka: usize,
+    /// … of which the digits are in `notes`.
+    pub numeric_in_notes: usize,
+    /// LLM calls issued (== `entries_numeric`).
+    pub llm_calls: usize,
+    /// Reply ASNs rejected by the output hallucination filter.
+    pub filtered_out: usize,
+    /// Entries with at least one surviving extraction.
+    pub entries_with_siblings: usize,
+    /// Distinct sibling ASNs extracted (excluding subjects).
+    pub extracted_asns: usize,
+    /// Token accounting across every LLM call (what a hosted model would
+    /// bill for this stage).
+    pub usage: borges_llm::chat::Usage,
+}
+
+/// The result of running the NER stage over a snapshot.
+#[derive(Debug, Clone, Default)]
+pub struct NerResult {
+    /// For each subject ASN, the extracted (filtered) sibling ASNs.
+    pub per_entry: BTreeMap<Asn, Vec<Asn>>,
+    /// Funnel counters.
+    pub stats: NerStats,
+}
+
+impl NerResult {
+    /// All sibling edges `(subject, extracted)` in deterministic order —
+    /// the merge evidence this feature feeds the pipeline.
+    pub fn edges(&self) -> Vec<(Asn, Asn)> {
+        self.per_entry
+            .iter()
+            .flat_map(|(s, sibs)| sibs.iter().map(move |x| (*s, *x)))
+            .collect()
+    }
+
+    /// Every ASN this feature touches (subjects with extractions plus the
+    /// extracted siblings) — the "1,436 ASNs" universe of Table 3.
+    pub fn touched_asns(&self) -> BTreeSet<Asn> {
+        let mut set = BTreeSet::new();
+        for (subject, siblings) in &self.per_entry {
+            set.insert(*subject);
+            set.extend(siblings.iter().copied());
+        }
+        set
+    }
+}
+
+/// Configuration of the NER stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NerConfig {
+    /// Apply the numeric input dropout filter (§4.2). Disabling it is an
+    /// ablation: every entry with any text goes to the model.
+    pub input_filter: bool,
+    /// Apply the output hallucination filter (§4.2). Disabling it is an
+    /// ablation: every parsed reply ASN is trusted.
+    pub output_filter: bool,
+}
+
+impl Default for NerConfig {
+    fn default() -> Self {
+        NerConfig {
+            input_filter: true,
+            output_filter: true,
+        }
+    }
+}
+
+/// Runs the extraction stage over every network in the snapshot.
+pub fn extract(pdb: &PdbSnapshot, model: &dyn ChatModel, config: NerConfig) -> NerResult {
+    let mut result = extract_over(pdb.nets(), model, config);
+    finalize(&mut result);
+    result
+}
+
+/// Like [`extract`], issuing LLM calls from `threads` worker threads.
+///
+/// Entries are independent and the result maps are ASN-keyed, so the
+/// output is identical to the sequential run — this is how a production
+/// deployment keeps thousands of API calls off the critical path.
+pub fn extract_parallel(
+    pdb: &PdbSnapshot,
+    model: &(dyn ChatModel + Sync),
+    config: NerConfig,
+    threads: usize,
+) -> NerResult {
+    let nets: Vec<&borges_peeringdb::PdbNetwork> = pdb.nets().collect();
+    let threads = threads.max(1);
+    let chunk_size = nets.len().div_ceil(threads).max(1);
+    let partials: Vec<NerResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = nets
+            .chunks(chunk_size)
+            .map(|chunk| {
+                scope.spawn(move || extract_over(chunk.iter().copied(), model, config))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("ner worker panicked"))
+            .collect()
+    });
+    let mut result = NerResult::default();
+    for partial in partials {
+        result.stats.entries_total += partial.stats.entries_total;
+        result.stats.entries_with_text += partial.stats.entries_with_text;
+        result.stats.entries_numeric += partial.stats.entries_numeric;
+        result.stats.numeric_in_aka += partial.stats.numeric_in_aka;
+        result.stats.numeric_in_notes += partial.stats.numeric_in_notes;
+        result.stats.llm_calls += partial.stats.llm_calls;
+        result.stats.filtered_out += partial.stats.filtered_out;
+        result.stats.entries_with_siblings += partial.stats.entries_with_siblings;
+        result.stats.usage += partial.stats.usage;
+        result.per_entry.extend(partial.per_entry);
+    }
+    finalize(&mut result);
+    result
+}
+
+/// Computes the cross-entry aggregate (distinct extracted ASNs).
+fn finalize(result: &mut NerResult) {
+    let distinct: BTreeSet<Asn> = result
+        .per_entry
+        .values()
+        .flat_map(|v| v.iter().copied())
+        .collect();
+    result.stats.extracted_asns = distinct.len();
+}
+
+/// The per-entry extraction loop (no cross-entry aggregates).
+fn extract_over<'a>(
+    nets: impl Iterator<Item = &'a borges_peeringdb::PdbNetwork>,
+    model: &dyn ChatModel,
+    config: NerConfig,
+) -> NerResult {
+    let mut result = NerResult::default();
+    for net in nets {
+        result.stats.entries_total += 1;
+        if !net.has_text() {
+            continue;
+        }
+        result.stats.entries_with_text += 1;
+        let numeric = net.has_numeric_text();
+        if numeric {
+            result.stats.entries_numeric += 1;
+            if net.aka_has_digit() {
+                result.stats.numeric_in_aka += 1;
+            }
+            if net.notes_has_digit() {
+                result.stats.numeric_in_notes += 1;
+            }
+        }
+        if config.input_filter && !numeric {
+            continue;
+        }
+
+        let prompt = build_ie_prompt(net.asn, &net.notes, &net.aka);
+        let reply = model.complete(&ChatRequest::user(prompt));
+        result.stats.llm_calls += 1;
+        result.stats.usage += reply.usage;
+        let findings = parse_ie_reply(&reply.text);
+        if findings.is_empty() {
+            continue;
+        }
+
+        // Output filter: the reply may only name numbers present in the
+        // source text.
+        let allowed: BTreeSet<u32> = if config.output_filter {
+            all_routable_numbers(&format!("{}\n{}", net.notes, net.aka))
+                .into_iter()
+                .collect()
+        } else {
+            BTreeSet::new()
+        };
+
+        let mut siblings: Vec<Asn> = Vec::new();
+        for finding in findings {
+            let asn = finding.asn;
+            if asn == net.asn {
+                continue;
+            }
+            if config.output_filter && (!allowed.contains(&asn.value()) || !asn.is_routable()) {
+                result.stats.filtered_out += 1;
+                continue;
+            }
+            siblings.push(asn);
+        }
+        siblings.sort_unstable();
+        siblings.dedup();
+        if !siblings.is_empty() {
+            result.stats.entries_with_siblings += 1;
+            result.per_entry.insert(net.asn, siblings);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use borges_llm::chat::ChatResponse;
+    use borges_llm::SimLlm;
+    use borges_peeringdb::{PdbNetwork, PdbOrganization};
+    use borges_types::PdbOrgId;
+
+    fn snapshot(entries: &[(u32, &str, &str)]) -> PdbSnapshot {
+        let mut b = PdbSnapshot::builder().org(PdbOrganization {
+            id: PdbOrgId::new(1),
+            name: "org".into(),
+            website: String::new(),
+            country: "US".into(),
+        });
+        for (i, (asn, notes, aka)) in entries.iter().enumerate() {
+            b = b.net(PdbNetwork {
+                id: i as u64 + 1,
+                org_id: PdbOrgId::new(1),
+                asn: Asn::new(*asn),
+                name: format!("net{asn}"),
+                aka: aka.to_string(),
+                notes: notes.to_string(),
+                website: String::new(),
+            });
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn end_to_end_extraction() {
+        let pdb = snapshot(&[
+            (3320, "Our subsidiaries: AS6855 and AS5391.", ""),
+            (100, "Leading regional provider.", ""), // no digits → filtered
+            (200, "", ""),
+        ]);
+        let llm = SimLlm::flawless();
+        let r = extract(&pdb, &llm, NerConfig::default());
+        assert_eq!(r.stats.entries_total, 3);
+        assert_eq!(r.stats.entries_with_text, 2);
+        assert_eq!(r.stats.entries_numeric, 1);
+        assert_eq!(r.stats.llm_calls, 1, "input filter saves the second call");
+        assert_eq!(
+            r.per_entry.get(&Asn::new(3320)).unwrap(),
+            &vec![Asn::new(5391), Asn::new(6855)]
+        );
+        assert_eq!(r.stats.extracted_asns, 2);
+        assert_eq!(r.edges().len(), 2);
+    }
+
+    #[test]
+    fn input_filter_ablation_calls_on_all_text() {
+        let pdb = snapshot(&[
+            (1, "digit-free boilerplate", ""),
+            (2, "sibling AS100", ""),
+        ]);
+        let llm = SimLlm::flawless();
+        let with = extract(&pdb, &llm, NerConfig::default());
+        let without = extract(
+            &pdb,
+            &llm,
+            NerConfig {
+                input_filter: false,
+                output_filter: true,
+            },
+        );
+        assert_eq!(with.stats.llm_calls, 1);
+        assert_eq!(without.stats.llm_calls, 2);
+        // Same extractions either way — the filter only saves calls.
+        assert_eq!(with.per_entry, without.per_entry);
+    }
+
+    /// A model that hallucinates an ASN never present in the text.
+    struct Hallucinator;
+    impl ChatModel for Hallucinator {
+        fn complete(&self, _request: &ChatRequest) -> ChatResponse {
+            ChatResponse {
+                text: r#"[{"asn": 65000, "reason": "made up"}, {"asn": 7018, "reason": "also made up"}]"#.into(),
+                usage: Default::default(),
+            }
+        }
+        fn model_id(&self) -> &str {
+            "hallucinator"
+        }
+    }
+
+    #[test]
+    fn output_filter_blocks_hallucinations() {
+        let pdb = snapshot(&[(1, "We mention 42 once.", "")]);
+        let r = extract(&pdb, &Hallucinator, NerConfig::default());
+        assert!(r.per_entry.is_empty(), "hallucinated ASNs must not survive");
+        assert_eq!(r.stats.filtered_out, 2);
+
+        let unfiltered = extract(
+            &pdb,
+            &Hallucinator,
+            NerConfig {
+                input_filter: true,
+                output_filter: false,
+            },
+        );
+        assert_eq!(unfiltered.per_entry.get(&Asn::new(1)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn subject_asn_is_never_its_own_sibling() {
+        let pdb = snapshot(&[(3320, "Sibling networks: AS3320, AS5483.", "")]);
+        let llm = SimLlm::flawless();
+        let r = extract(&pdb, &llm, NerConfig::default());
+        assert_eq!(
+            r.per_entry.get(&Asn::new(3320)).unwrap(),
+            &vec![Asn::new(5483)]
+        );
+    }
+
+    #[test]
+    fn aka_and_notes_funnel_counters() {
+        let pdb = snapshot(&[
+            (1, "phone 555", "Edgecast, AS15133"),
+            (2, "max prefixes 100", ""),
+            (3, "", "former name only"),
+        ]);
+        let llm = SimLlm::flawless();
+        let r = extract(&pdb, &llm, NerConfig::default());
+        assert_eq!(r.stats.entries_numeric, 2);
+        assert_eq!(r.stats.numeric_in_aka, 1);
+        assert_eq!(r.stats.numeric_in_notes, 2);
+        assert_eq!(r.per_entry.get(&Asn::new(1)).unwrap(), &vec![Asn::new(15133)]);
+    }
+
+    #[test]
+    fn parallel_extraction_is_identical_to_sequential() {
+        let entries: Vec<(u32, String, String)> = (1..60)
+            .map(|i| {
+                (
+                    i,
+                    format!("Our subsidiaries: AS{} and AS{}.", 1000 + i, 2000 + i),
+                    String::new(),
+                )
+            })
+            .collect();
+        let borrowed: Vec<(u32, &str, &str)> = entries
+            .iter()
+            .map(|(a, n, k)| (*a, n.as_str(), k.as_str()))
+            .collect();
+        let pdb = snapshot(&borrowed);
+        let llm = SimLlm::new(5);
+        let sequential = extract(&pdb, &llm, NerConfig::default());
+        for threads in [1, 2, 3, 7] {
+            let parallel = extract_parallel(&pdb, &llm, NerConfig::default(), threads);
+            assert_eq!(parallel.per_entry, sequential.per_entry);
+            assert_eq!(parallel.stats, sequential.stats, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn upstream_listings_produce_no_edges() {
+        let pdb = snapshot(&[(
+            262287,
+            "We connect directly with the following ISPs,\n- Algar (AS16735)\n- Cogent (AS174)",
+            "",
+        )]);
+        let llm = SimLlm::flawless();
+        let r = extract(&pdb, &llm, NerConfig::default());
+        assert!(r.per_entry.is_empty(), "Listing 1 upstreams must be ignored");
+        assert_eq!(r.stats.llm_calls, 1);
+    }
+}

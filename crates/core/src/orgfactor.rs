@@ -1,0 +1,197 @@
+//! §5.4 — The Organization Factor (θ).
+//!
+//! θ measures how much of the network universe a mapping concentrates
+//! into multi-network organizations. Build the cumulative curve of
+//! organization sizes (sorted descending, padded with zeros to the
+//! universe size `n`), and integrate its excess over the all-singletons
+//! diagonal, normalized by `n²` (Eq. 1):
+//!
+//! ```text
+//! θ = (1/n²) Σᵢ (Cᵢ − i)      where Cᵢ = Σ_{j≤i} sⱼ
+//! ```
+//!
+//! θ = 0 when every organization manages one network; θ grows toward its
+//! supremum as networks concentrate (a single all-encompassing
+//! organization approaches `(n−1)/2n → 0.5` under Eq. 1 — the paper
+//! describes this curve-area construction in Fig. 7).
+//!
+//! As the paper stresses, θ is *not* an accuracy metric: merging
+//! everything blindly maximizes it. It must be read alongside the
+//! ground-truth precision checks in [`crate::evalsets`].
+
+use crate::mapping::AsOrgMapping;
+
+/// Computes θ for `mapping` over a universe of `n` networks.
+///
+/// ASNs of the universe missing from the mapping are counted as
+/// singleton organizations (delegation is compulsory: every network has
+/// at least its WHOIS organization).
+///
+/// # Panics
+/// If the mapping contains more ASNs than `n`.
+pub fn organization_factor(mapping: &AsOrgMapping, n: usize) -> f64 {
+    assert!(
+        mapping.asn_count() <= n,
+        "universe smaller than the mapping ({} < {})",
+        n,
+        mapping.asn_count()
+    );
+    if n == 0 {
+        return 0.0;
+    }
+    let mut acc: i128 = 0;
+    let mut cum: i128 = 0;
+    let mut i: i128 = 0;
+    for size in padded_sizes(mapping, n) {
+        i += 1;
+        cum += size as i128;
+        acc += cum - i;
+    }
+    acc as f64 / (n as f64 * n as f64)
+}
+
+/// θ normalized by its supremum for the universe size — rescaling Eq. 1
+/// to `[0, 1]` so that 1 means "every network under one organization",
+/// matching the paper's *verbal* definition of the metric's range.
+///
+/// Eq. 1's literal supremum is `(n−1)/2n` (see [`organization_factor`]);
+/// the published absolute values (0.3343–0.3576) are not reachable from
+/// the paper's own ASN/org counts under the literal reading, suggesting
+/// the authors normalized — this variant is the natural candidate and is
+/// reported alongside the literal value in Table 6's output.
+pub fn organization_factor_normalized(mapping: &AsOrgMapping, n: usize) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    let supremum = (n as f64 - 1.0) / (2.0 * n as f64);
+    organization_factor(mapping, n) / supremum
+}
+
+/// The cumulative organization-size curve `C_i` (Fig. 7's y-axis),
+/// padded with zero-size organizations to length `n`.
+pub fn cumulative_curve(mapping: &AsOrgMapping, n: usize) -> Vec<u64> {
+    let mut cum = 0u64;
+    padded_sizes(mapping, n)
+        .map(|s| {
+            cum += s as u64;
+            cum
+        })
+        .collect()
+}
+
+/// Sizes sorted descending, with implicit singletons for uncovered ASNs
+/// and zero padding to exactly `n` entries.
+fn padded_sizes(mapping: &AsOrgMapping, n: usize) -> impl Iterator<Item = usize> {
+    let mut sizes = mapping.sizes_desc();
+    let uncovered = n - mapping.asn_count();
+    // Descending order is preserved: singletons go after every size ≥ 1.
+    sizes.extend(std::iter::repeat(1).take(uncovered));
+    let pad = n.saturating_sub(sizes.len());
+    sizes.into_iter().chain(std::iter::repeat(0).take(pad))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use borges_types::Asn;
+
+    fn mapping(groups: &[&[u32]]) -> AsOrgMapping {
+        AsOrgMapping::from_groups(
+            groups
+                .iter()
+                .map(|g| g.iter().map(|&x| Asn::new(x)).collect()),
+        )
+    }
+
+    #[test]
+    fn all_singletons_is_zero() {
+        let m = mapping(&[&[1], &[2], &[3], &[4]]);
+        assert_eq!(organization_factor(&m, 4), 0.0);
+    }
+
+    #[test]
+    fn one_big_org_approaches_half() {
+        let ids: Vec<u32> = (1..=1000).collect();
+        let m = mapping(&[&ids]);
+        let theta = organization_factor(&m, 1000);
+        // Exact: (1/n²) Σ (n − i) = (n−1)/2n.
+        let expected = (1000.0 - 1.0) / (2.0 * 1000.0);
+        assert!((theta - expected).abs() < 1e-12, "{theta} vs {expected}");
+    }
+
+    #[test]
+    fn theta_is_monotone_under_merging() {
+        let split = mapping(&[&[1, 2], &[3, 4], &[5], &[6]]);
+        let merged = mapping(&[&[1, 2, 3, 4], &[5], &[6]]);
+        let a = organization_factor(&split, 6);
+        let b = organization_factor(&merged, 6);
+        assert!(b > a, "merging must increase θ ({a} → {b})");
+    }
+
+    #[test]
+    fn uncovered_asns_count_as_singletons() {
+        let m = mapping(&[&[1, 2]]);
+        // Universe of 4: sizes (2, 1, 1, 0): C = 2,3,4,4 → Σ(C−i) = 1+1+1+0.
+        let theta = organization_factor(&m, 4);
+        assert!((theta - 3.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_hand_computed_value() {
+        // sizes (3, 1): n = 4 → C = 3,4,4,4 → Σ(C−i) = 2+2+1+0 = 5.
+        let m = mapping(&[&[1, 2, 3], &[4]]);
+        let theta = organization_factor(&m, 4);
+        assert!((theta - 5.0 / 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_matches_theta() {
+        let m = mapping(&[&[1, 2, 3], &[4], &[5]]);
+        let n = 6;
+        let curve = cumulative_curve(&m, n);
+        assert_eq!(curve.len(), n);
+        // The uncovered 6th ASN pads in as a singleton, so the curve tops
+        // out at the universe size.
+        assert_eq!(*curve.last().unwrap() as usize, 6);
+        let manual: i128 = curve
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| c as i128 - (i as i128 + 1))
+            .sum();
+        let theta = organization_factor(&m, n);
+        assert!((theta - manual as f64 / (n * n) as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalized_theta_reaches_one_at_total_consolidation() {
+        let ids: Vec<u32> = (1..=500).collect();
+        let m = mapping(&[&ids]);
+        let t = organization_factor_normalized(&m, 500);
+        assert!((t - 1.0).abs() < 1e-12, "{t}");
+        let singletons = AsOrgMapping::from_groups((1..=500).map(|i| vec![Asn::new(i)]));
+        assert_eq!(organization_factor_normalized(&singletons, 500), 0.0);
+    }
+
+    #[test]
+    fn normalized_theta_preserves_ordering() {
+        let split = mapping(&[&[1, 2], &[3, 4], &[5], &[6]]);
+        let merged = mapping(&[&[1, 2, 3, 4], &[5], &[6]]);
+        assert!(
+            organization_factor_normalized(&merged, 6)
+                > organization_factor_normalized(&split, 6)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "universe smaller")]
+    fn undersized_universe_panics() {
+        let m = mapping(&[&[1, 2, 3]]);
+        organization_factor(&m, 2);
+    }
+
+    #[test]
+    fn empty_universe() {
+        let m = AsOrgMapping::default();
+        assert_eq!(organization_factor(&m, 0), 0.0);
+    }
+}

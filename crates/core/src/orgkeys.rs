@@ -1,0 +1,138 @@
+//! §4.1 — Organization keys: clustering by `OID_W` and `OID_P`.
+//!
+//! Both WHOIS and PeeringDB link networks to organization objects via a
+//! one-to-many relation. Grouping ASNs by those foreign keys gives the two
+//! foundational mappings; merging the *partially overlapping* clusters
+//! they produce (Fig. 3's Lumen/CenturyLink case) is what the
+//! pipeline's union-find does downstream.
+
+use crate::mapping::AsOrgMapping;
+use borges_peeringdb::PdbSnapshot;
+use borges_types::Asn;
+use borges_whois::WhoisRegistry;
+use std::collections::BTreeMap;
+
+/// Groups every allocated ASN by its WHOIS organization handle (`OID_W`) —
+/// exactly CAIDA AS2Org's core inference.
+pub fn oid_w_mapping(whois: &WhoisRegistry) -> AsOrgMapping {
+    let mut groups: BTreeMap<&str, Vec<Asn>> = BTreeMap::new();
+    for aut in whois.aut_nums() {
+        groups.entry(aut.org.as_str()).or_default().push(aut.asn);
+    }
+    AsOrgMapping::from_groups(groups.into_values())
+}
+
+/// Groups every PeeringDB-registered ASN by its PeeringDB organization
+/// (`OID_P`).
+pub fn oid_p_mapping(pdb: &PdbSnapshot) -> AsOrgMapping {
+    let mut groups: BTreeMap<u64, Vec<Asn>> = BTreeMap::new();
+    for net in pdb.nets() {
+        groups.entry(net.org_id.value()).or_default().push(net.asn);
+    }
+    AsOrgMapping::from_groups(groups.into_values())
+}
+
+/// The sibling *groups* each key source contributes as merge evidence for
+/// the pipeline (same content as the mappings, exposed as plain groups).
+pub fn oid_w_groups(whois: &WhoisRegistry) -> Vec<Vec<Asn>> {
+    oid_w_mapping(whois)
+        .clusters()
+        .map(|(_, m)| m.to_vec())
+        .collect()
+}
+
+/// See [`oid_w_groups`]; the PeeringDB analogue.
+pub fn oid_p_groups(pdb: &PdbSnapshot) -> Vec<Vec<Asn>> {
+    oid_p_mapping(pdb)
+        .clusters()
+        .map(|(_, m)| m.to_vec())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use borges_peeringdb::{PdbNetwork, PdbOrganization};
+    use borges_types::{OrgName, PdbOrgId, WhoisOrgId};
+    use borges_whois::{AutNum, Rir, WhoisOrg};
+
+    fn whois_fixture() -> WhoisRegistry {
+        let org = |id: &str| WhoisOrg {
+            id: WhoisOrgId::new(id),
+            name: OrgName::new(id),
+            country: "US".parse().unwrap(),
+            source: Rir::Arin,
+            changed: 0,
+        };
+        let aut = |asn: u32, org: &str| AutNum {
+            asn: Asn::new(asn),
+            name: format!("N{asn}"),
+            org: WhoisOrgId::new(org),
+            source: Rir::Arin,
+            changed: 0,
+        };
+        WhoisRegistry::builder()
+            .org(org("LPL"))
+            .org(org("CTL"))
+            .aut(aut(3356, "LPL"))
+            .aut(aut(3549, "LPL"))
+            .aut(aut(209, "CTL"))
+            .build()
+            .unwrap()
+    }
+
+    fn pdb_fixture() -> PdbSnapshot {
+        let org = |id: u64, name: &str| PdbOrganization {
+            id: PdbOrgId::new(id),
+            name: name.into(),
+            website: String::new(),
+            country: "US".into(),
+        };
+        let net = |id: u64, org: u64, asn: u32| PdbNetwork {
+            id,
+            org_id: PdbOrgId::new(org),
+            asn: Asn::new(asn),
+            name: format!("net{id}"),
+            aka: String::new(),
+            notes: String::new(),
+            website: String::new(),
+        };
+        PdbSnapshot::builder()
+            .org(org(1, "Lumen"))
+            .net(net(10, 1, 3356))
+            .net(net(11, 1, 209))
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn oid_w_reproduces_the_whois_split() {
+        let m = oid_w_mapping(&whois_fixture());
+        assert_eq!(m.org_count(), 2);
+        assert!(m.same_org(Asn::new(3356), Asn::new(3549)));
+        assert!(!m.same_org(Asn::new(3356), Asn::new(209)));
+    }
+
+    #[test]
+    fn oid_p_reproduces_the_pdb_merge() {
+        let m = oid_p_mapping(&pdb_fixture());
+        assert_eq!(m.org_count(), 1);
+        assert!(m.same_org(Asn::new(3356), Asn::new(209)));
+    }
+
+    #[test]
+    fn keys_cover_their_sources_exactly() {
+        let w = oid_w_mapping(&whois_fixture());
+        assert_eq!(w.asn_count(), 3);
+        let p = oid_p_mapping(&pdb_fixture());
+        assert_eq!(p.asn_count(), 2);
+    }
+
+    #[test]
+    fn group_views_match_mappings() {
+        let groups = oid_w_groups(&whois_fixture());
+        assert_eq!(groups.len(), 2);
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 3);
+    }
+}

@@ -1,0 +1,553 @@
+//! The Borges pipeline: feature computation and combination.
+//!
+//! [`Borges::run`] executes every stage once — organization keys (§4.1),
+//! LLM extraction (§4.2), the web crawl and both web inferences (§4.3) —
+//! and caches their merge evidence. [`Borges::mapping`] then materializes
+//! the AS-to-Organization mapping for **any subset of features**
+//! (Table 6 evaluates all 16 combinations), by seeding a union-find with
+//! the WHOIS universe (§5.4: vertices are all delegated networks) and
+//! replaying the selected evidence.
+
+use crate::mapping::AsOrgMapping;
+use crate::ner::{extract, NerConfig, NerResult};
+use crate::orgkeys;
+use crate::unionfind::UnionFind;
+use crate::web::favicon::{favicon_inference, FaviconInference};
+use crate::web::rr::{rr_inference, RrInference};
+use borges_llm::chat::ChatModel;
+use borges_peeringdb::PdbSnapshot;
+use borges_types::Asn;
+use borges_websim::{ScrapeReport, ScrapeStats, Scraper, WebClient};
+use borges_whois::WhoisRegistry;
+use std::collections::BTreeSet;
+
+/// A subset of Borges's four optional features. The WHOIS organization
+/// key (`OID_W`) is always on — it is the compulsory base that defines
+/// the universe, and with all four features off the pipeline *is* the
+/// AS2Org baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FeatureSet {
+    /// PeeringDB organization keys (§4.1).
+    pub oid_p: bool,
+    /// notes/aka LLM extraction (§4.2).
+    pub na: bool,
+    /// Final-URL matching (§4.3.2).
+    pub rr: bool,
+    /// Favicon decision tree (§4.3.3).
+    pub favicons: bool,
+}
+
+impl FeatureSet {
+    /// No optional features: the AS2Org baseline.
+    pub const NONE: FeatureSet = FeatureSet {
+        oid_p: false,
+        na: false,
+        rr: false,
+        favicons: false,
+    };
+
+    /// Everything on: full Borges.
+    pub const ALL: FeatureSet = FeatureSet {
+        oid_p: true,
+        na: true,
+        rr: true,
+        favicons: true,
+    };
+
+    /// All 16 combinations, in binary-counting order (Table 6 rows).
+    pub fn all_combinations() -> Vec<FeatureSet> {
+        (0..16)
+            .map(|bits| FeatureSet {
+                oid_p: bits & 1 != 0,
+                na: bits & 2 != 0,
+                rr: bits & 4 != 0,
+                favicons: bits & 8 != 0,
+            })
+            .collect()
+    }
+
+    /// A human-readable label like `"OID_P + N&A"` (or `"AS2Org"` for the
+    /// empty set).
+    pub fn label(&self) -> String {
+        let mut parts = Vec::new();
+        if self.oid_p {
+            parts.push("OID_P");
+        }
+        if self.na {
+            parts.push("N&A");
+        }
+        if self.rr {
+            parts.push("R&R");
+        }
+        if self.favicons {
+            parts.push("F");
+        }
+        if parts.is_empty() {
+            "AS2Org (base)".to_string()
+        } else {
+            parts.join(" + ")
+        }
+    }
+}
+
+/// One of the five evidence sources of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Feature {
+    /// PeeringDB org keys.
+    OidP,
+    /// WHOIS org keys.
+    OidW,
+    /// notes/aka extraction.
+    NotesAka,
+    /// Final-URL matching.
+    RefreshRedirect,
+    /// Favicon grouping.
+    Favicons,
+}
+
+impl Feature {
+    /// All five, in Table 3 row order.
+    pub const ALL: [Feature; 5] = [
+        Feature::OidP,
+        Feature::OidW,
+        Feature::NotesAka,
+        Feature::RefreshRedirect,
+        Feature::Favicons,
+    ];
+
+    /// The row label used in Table 3.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Feature::OidP => "OID_P",
+            Feature::OidW => "OID_W",
+            Feature::NotesAka => "notes and aka",
+            Feature::RefreshRedirect => "R&R",
+            Feature::Favicons => "Favicons",
+        }
+    }
+}
+
+/// Table 3 row: how many ASNs a feature says anything about, and how many
+/// organizations it groups them into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureContribution {
+    /// Number of ASes covered by the feature in isolation.
+    pub ases: usize,
+    /// Number of organizations the feature groups them into.
+    pub orgs: usize,
+}
+
+/// The computed pipeline: all evidence, ready to combine.
+#[derive(Debug, Clone)]
+pub struct Borges {
+    universe: Vec<Asn>,
+    oid_w_groups: Vec<Vec<Asn>>,
+    oid_p_groups: Vec<Vec<Asn>>,
+    /// §4.2 extraction output.
+    pub ner: NerResult,
+    /// §4.3.2 output.
+    pub rr: RrInference,
+    /// §4.3.3 output.
+    pub favicon: FaviconInference,
+    /// Crawl funnel statistics (§5.2).
+    pub scrape_stats: ScrapeStats,
+}
+
+impl Borges {
+    /// Runs every stage: crawls the web through `web_client`, extracts
+    /// siblings with `model`, and caches all merge evidence.
+    pub fn run<C: WebClient>(
+        whois: &WhoisRegistry,
+        pdb: &PdbSnapshot,
+        web_client: C,
+        model: &dyn ChatModel,
+    ) -> Self {
+        let scraper = Scraper::new(web_client);
+        let report = scraper.crawl(pdb.nets().map(|n| (n.asn, n.website.as_str())));
+        Self::from_scrape(whois, pdb, &report, model, NerConfig::default())
+    }
+
+    /// Like [`Borges::run`], fanning the crawl and the LLM calls out over
+    /// `threads` worker threads. Produces results identical to the
+    /// sequential run (entries are independent; all aggregation is
+    /// key-canonical) — only wall-clock time changes.
+    pub fn run_parallel<C: WebClient + Sync>(
+        whois: &WhoisRegistry,
+        pdb: &PdbSnapshot,
+        web_client: C,
+        model: &(dyn ChatModel + Sync),
+        threads: usize,
+    ) -> Self {
+        let scraper = Scraper::new(web_client);
+        let entries: Vec<(Asn, &str)> = pdb
+            .nets()
+            .map(|n| (n.asn, n.website.as_str()))
+            .collect();
+        let report = scraper.crawl_parallel(entries, threads);
+
+        let mut universe: BTreeSet<Asn> = whois.all_asns().collect();
+        universe.extend(pdb.nets().map(|n| n.asn));
+        Borges {
+            universe: universe.into_iter().collect(),
+            oid_w_groups: orgkeys::oid_w_groups(whois),
+            oid_p_groups: orgkeys::oid_p_groups(pdb),
+            ner: crate::ner::extract_parallel(pdb, model, NerConfig::default(), threads),
+            rr: rr_inference(&report),
+            favicon: favicon_inference(&report, model),
+            scrape_stats: report.stats.clone(),
+        }
+    }
+
+    /// Like [`Borges::run`] but with a pre-computed scrape report and an
+    /// explicit NER configuration (used by ablations and benches to avoid
+    /// re-crawling).
+    pub fn from_scrape(
+        whois: &WhoisRegistry,
+        pdb: &PdbSnapshot,
+        report: &ScrapeReport,
+        model: &dyn ChatModel,
+        ner_config: NerConfig,
+    ) -> Self {
+        let mut universe: BTreeSet<Asn> = whois.all_asns().collect();
+        // PeeringDB networks missing from WHOIS (rare, but real dumps have
+        // them) still belong to the mapping universe.
+        universe.extend(pdb.nets().map(|n| n.asn));
+
+        Borges {
+            universe: universe.into_iter().collect(),
+            oid_w_groups: orgkeys::oid_w_groups(whois),
+            oid_p_groups: orgkeys::oid_p_groups(pdb),
+            ner: extract(pdb, model, ner_config),
+            rr: rr_inference(report),
+            favicon: favicon_inference(report, model),
+            scrape_stats: report.stats.clone(),
+        }
+    }
+
+    /// The mapping universe (all delegated ASNs).
+    pub fn universe(&self) -> &[Asn] {
+        &self.universe
+    }
+
+    /// Materializes the mapping for a feature subset. `OID_W` is always
+    /// applied; selected features add their merge evidence on top, and
+    /// union-find reconciles partially overlapping clusters (§4.1).
+    ///
+    /// Evidence about ASNs outside the delegated universe — e.g. an
+    /// extraction false positive reading a year as an ASN that was never
+    /// allocated — is discarded: the mapping's vertex set is fixed to the
+    /// WHOIS universe (§5.4).
+    pub fn mapping(&self, features: FeatureSet) -> AsOrgMapping {
+        let allocated: BTreeSet<Asn> = self.universe.iter().copied().collect();
+        let mut uf = UnionFind::with_universe(self.universe.iter().copied());
+        for group in &self.oid_w_groups {
+            uf.union_group(group);
+        }
+        if features.oid_p {
+            for group in &self.oid_p_groups {
+                uf.union_group(group);
+            }
+        }
+        if features.na {
+            for (a, b) in self.ner.edges() {
+                if allocated.contains(&a) && allocated.contains(&b) {
+                    uf.union(a, b);
+                }
+            }
+        }
+        if features.rr {
+            for group in self.rr.merging_groups() {
+                let members: Vec<Asn> = group
+                    .iter()
+                    .copied()
+                    .filter(|a| allocated.contains(a))
+                    .collect();
+                uf.union_group(&members);
+            }
+        }
+        if features.favicons {
+            for group in &self.favicon.groups {
+                let members: Vec<Asn> = group
+                    .iter()
+                    .copied()
+                    .filter(|a| allocated.contains(a))
+                    .collect();
+                uf.union_group(&members);
+            }
+        }
+        AsOrgMapping::from_union_find(uf)
+    }
+
+    /// The AS2Org baseline (OID_W only).
+    pub fn baseline_as2org(&self) -> AsOrgMapping {
+        self.mapping(FeatureSet::NONE)
+    }
+
+    /// Full Borges (all features).
+    pub fn full(&self) -> AsOrgMapping {
+        self.mapping(FeatureSet::ALL)
+    }
+
+    /// Which evidence sources independently support `a` and `b` being
+    /// siblings — the provenance of a merge. An empty result for a pair
+    /// the full mapping merges means the link is *transitive only*
+    /// (each hop supported by some feature, but no single feature sees
+    /// the pair directly end to end).
+    pub fn evidence(&self, a: Asn, b: Asn) -> Vec<Feature> {
+        let mut out = Vec::new();
+        let connects = |groups: &[Vec<Asn>]| {
+            let mut uf = UnionFind::new();
+            for group in groups {
+                uf.union_group(group);
+            }
+            uf.same_set(a, b)
+        };
+        if connects(&self.oid_w_groups) {
+            out.push(Feature::OidW);
+        }
+        if connects(&self.oid_p_groups) {
+            out.push(Feature::OidP);
+        }
+        {
+            let mut uf = UnionFind::new();
+            for (x, y) in self.ner.edges() {
+                uf.union(x, y);
+            }
+            if uf.same_set(a, b) {
+                out.push(Feature::NotesAka);
+            }
+        }
+        {
+            let mut uf = UnionFind::new();
+            for group in self.rr.merging_groups() {
+                uf.union_group(group);
+            }
+            if uf.same_set(a, b) {
+                out.push(Feature::RefreshRedirect);
+            }
+        }
+        {
+            let mut uf = UnionFind::new();
+            for group in &self.favicon.groups {
+                uf.union_group(group);
+            }
+            if uf.same_set(a, b) {
+                out.push(Feature::Favicons);
+            }
+        }
+        out
+    }
+
+    /// Table 3: the feature's contribution in isolation.
+    pub fn contribution(&self, feature: Feature) -> FeatureContribution {
+        let count = |groups: &[Vec<Asn>]| {
+            let ases: usize = groups.iter().map(Vec::len).sum();
+            FeatureContribution {
+                ases,
+                orgs: groups.len(),
+            }
+        };
+        match feature {
+            Feature::OidW => count(&self.oid_w_groups),
+            Feature::OidP => count(&self.oid_p_groups),
+            Feature::RefreshRedirect => count(&self.rr.groups),
+            Feature::NotesAka => {
+                // Cluster the extraction edges on their own.
+                let mut uf = UnionFind::new();
+                for (a, b) in self.ner.edges() {
+                    uf.union(a, b);
+                }
+                let groups = uf.into_groups();
+                count(&groups)
+            }
+            Feature::Favicons => {
+                let mut uf = UnionFind::new();
+                for group in &self.favicon.groups {
+                    uf.union_group(group);
+                }
+                let groups = uf.into_groups();
+                count(&groups)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use borges_llm::SimLlm;
+    use borges_synthnet::{GeneratorConfig, SyntheticInternet};
+    use borges_websim::SimWebClient;
+
+    fn pipeline() -> (SyntheticInternet, Borges) {
+        let world = SyntheticInternet::generate(&GeneratorConfig::tiny(11));
+        let llm = SimLlm::flawless();
+        let borges = Borges::run(
+            &world.whois,
+            &world.pdb,
+            SimWebClient::browser(&world.web),
+            &llm,
+        );
+        (world, borges)
+    }
+
+    #[test]
+    fn baseline_reproduces_whois_split() {
+        let (_, borges) = pipeline();
+        let base = borges.baseline_as2org();
+        assert!(!base.same_org(Asn::new(3356), Asn::new(209)), "Fig. 3 split");
+    }
+
+    #[test]
+    fn oid_p_feature_merges_lumen() {
+        let (_, borges) = pipeline();
+        let m = borges.mapping(FeatureSet {
+            oid_p: true,
+            ..FeatureSet::NONE
+        });
+        assert!(m.same_org(Asn::new(3356), Asn::new(209)), "Fig. 3 merge");
+    }
+
+    #[test]
+    fn rr_feature_merges_edgio() {
+        let (_, borges) = pipeline();
+        let base = borges.baseline_as2org();
+        assert!(!base.same_org(Asn::new(22822), Asn::new(15133)));
+        let m = borges.mapping(FeatureSet {
+            rr: true,
+            ..FeatureSet::NONE
+        });
+        assert!(m.same_org(Asn::new(22822), Asn::new(15133)), "§4.3.2 case");
+    }
+
+    #[test]
+    fn na_feature_merges_deutsche_telekom() {
+        let (_, borges) = pipeline();
+        let m = borges.mapping(FeatureSet {
+            na: true,
+            ..FeatureSet::NONE
+        });
+        assert!(m.same_org(Asn::new(3320), Asn::new(6855)), "Fig. 4 case");
+        assert!(m.same_org(Asn::new(3320), Asn::new(5483)));
+    }
+
+    #[test]
+    fn favicon_feature_merges_claro() {
+        let (_, borges) = pipeline();
+        let m = borges.mapping(FeatureSet {
+            favicons: true,
+            ..FeatureSet::NONE
+        });
+        assert!(
+            m.same_org(Asn::new(27651), Asn::new(10396)),
+            "Claro Chile + Claro PR via favicon + LLM"
+        );
+    }
+
+    #[test]
+    fn full_borges_groups_monotonically_vs_baseline() {
+        let (_, borges) = pipeline();
+        let base = borges.baseline_as2org();
+        let full = borges.full();
+        assert_eq!(base.asn_count(), full.asn_count(), "same universe");
+        assert!(
+            full.org_count() < base.org_count(),
+            "features must merge organizations"
+        );
+        // Monotonicity: everything the baseline merged stays merged.
+        for (_, members) in base.clusters() {
+            for pair in members.windows(2) {
+                assert!(full.same_org(pair[0], pair[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn all_16_combinations_enumerate() {
+        let combos = FeatureSet::all_combinations();
+        assert_eq!(combos.len(), 16);
+        assert_eq!(combos[0], FeatureSet::NONE);
+        assert_eq!(combos[15], FeatureSet::ALL);
+        let labels: std::collections::BTreeSet<String> =
+            combos.iter().map(FeatureSet::label).collect();
+        assert_eq!(labels.len(), 16, "labels must be distinct");
+    }
+
+    #[test]
+    fn contributions_have_sensible_shapes() {
+        let (world, borges) = pipeline();
+        let oid_w = borges.contribution(Feature::OidW);
+        let oid_p = borges.contribution(Feature::OidP);
+        assert_eq!(oid_w.ases, world.whois.asn_count());
+        assert_eq!(oid_p.ases, world.pdb.net_count());
+        assert!(oid_w.ases > oid_p.ases, "WHOIS covers more than PeeringDB");
+        for f in Feature::ALL {
+            let c = borges.contribution(f);
+            assert!(c.orgs <= c.ases, "{:?}: more orgs than ASes", f);
+        }
+        let na = borges.contribution(Feature::NotesAka);
+        assert!(na.ases > 0, "scripted sibling notes must fire");
+        let rr = borges.contribution(Feature::RefreshRedirect);
+        assert!(rr.ases > 0 && rr.orgs < rr.ases);
+    }
+
+    #[test]
+    fn mapping_covers_the_whole_universe() {
+        let (world, borges) = pipeline();
+        let m = borges.full();
+        assert_eq!(m.asn_count(), borges.universe().len());
+        assert!(m.asn_count() >= world.whois.asn_count());
+    }
+
+    #[test]
+    fn evidence_provenance_names_the_right_features() {
+        let (_, borges) = pipeline();
+        // Lumen/CenturyLink: merged by the PeeringDB key, not WHOIS.
+        let ev = borges.evidence(Asn::new(3356), Asn::new(209));
+        assert!(ev.contains(&Feature::OidP), "{ev:?}");
+        assert!(!ev.contains(&Feature::OidW), "{ev:?}");
+        // Edgio: merged by final-URL matching.
+        let ev = borges.evidence(Asn::new(22822), Asn::new(15133));
+        assert!(ev.contains(&Feature::RefreshRedirect), "{ev:?}");
+        // Deutsche Telekom subsidiary: notes evidence.
+        let ev = borges.evidence(Asn::new(3320), Asn::new(6855));
+        assert!(ev.contains(&Feature::NotesAka), "{ev:?}");
+        // Claro Chile / Claro PR: favicon evidence.
+        let ev = borges.evidence(Asn::new(27651), Asn::new(10396));
+        assert!(ev.contains(&Feature::Favicons), "{ev:?}");
+        // Unrelated pair: no evidence at all.
+        assert!(borges.evidence(Asn::new(174), Asn::new(15169)).is_empty());
+    }
+
+    #[test]
+    fn parallel_pipeline_matches_sequential() {
+        let world = SyntheticInternet::generate(&GeneratorConfig::tiny(13));
+        let llm = SimLlm::new(13);
+        let sequential = Borges::run(
+            &world.whois,
+            &world.pdb,
+            SimWebClient::browser(&world.web),
+            &llm,
+        );
+        let parallel = Borges::run_parallel(
+            &world.whois,
+            &world.pdb,
+            SimWebClient::browser(&world.web),
+            &llm,
+            4,
+        );
+        assert_eq!(parallel.mapping(FeatureSet::ALL), sequential.mapping(FeatureSet::ALL));
+        assert_eq!(parallel.ner.per_entry, sequential.ner.per_entry);
+        assert_eq!(parallel.scrape_stats, sequential.scrape_stats);
+    }
+
+    #[test]
+    fn feature_order_does_not_matter() {
+        // Union-find is order-insensitive; two different routes to the
+        // same feature set must agree exactly.
+        let (_, borges) = pipeline();
+        let a = borges.mapping(FeatureSet::ALL);
+        let b = borges.mapping(FeatureSet::ALL);
+        assert_eq!(a, b);
+    }
+}

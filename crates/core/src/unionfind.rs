@@ -1,0 +1,204 @@
+//! Disjoint-set union over ASNs.
+//!
+//! Every Borges feature produces *merge evidence* — pairs or groups of
+//! ASNs claimed to share an organization. Reconciling partially
+//! overlapping clusters from different sources (§4.1's WHOIS/PeeringDB
+//! consolidation, and the feature combinations of Table 6) is transitive
+//! closure, i.e. union-find with path compression and union by size.
+
+use borges_types::Asn;
+use std::collections::BTreeMap;
+
+/// A disjoint-set forest keyed by [`Asn`].
+///
+/// Elements are added lazily: any ASN mentioned in a union or lookup is a
+/// member (initially its own singleton set).
+#[derive(Debug, Clone, Default)]
+pub struct UnionFind {
+    index: BTreeMap<Asn, usize>,
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl UnionFind {
+    /// An empty forest.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A forest pre-seeded with `universe` as singletons.
+    pub fn with_universe(universe: impl IntoIterator<Item = Asn>) -> Self {
+        let mut uf = Self::new();
+        for asn in universe {
+            uf.intern(asn);
+        }
+        uf
+    }
+
+    fn intern(&mut self, asn: Asn) -> usize {
+        if let Some(&i) = self.index.get(&asn) {
+            return i;
+        }
+        let i = self.parent.len();
+        self.index.insert(asn, i);
+        self.parent.push(i);
+        self.size.push(1);
+        i
+    }
+
+    fn find(&mut self, mut i: usize) -> usize {
+        while self.parent[i] != i {
+            self.parent[i] = self.parent[self.parent[i]]; // halving
+            i = self.parent[i];
+        }
+        i
+    }
+
+    /// Merges the sets of `a` and `b` (adding them if unseen). Returns
+    /// `true` when the union actually joined two distinct sets.
+    pub fn union(&mut self, a: Asn, b: Asn) -> bool {
+        let (ia, ib) = (self.intern(a), self.intern(b));
+        let (mut ra, mut rb) = (self.find(ia), self.find(ib));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+        true
+    }
+
+    /// Merges every ASN in `group` into one set. A single-element group
+    /// still registers its member (as a singleton).
+    pub fn union_group(&mut self, group: &[Asn]) {
+        if let Some(&first) = group.first() {
+            self.intern(first);
+        }
+        for pair in group.windows(2) {
+            self.union(pair[0], pair[1]);
+        }
+    }
+
+    /// Are `a` and `b` currently in the same set? (`false` if either is
+    /// unknown.)
+    pub fn same_set(&mut self, a: Asn, b: Asn) -> bool {
+        match (self.index.get(&a).copied(), self.index.get(&b).copied()) {
+            (Some(ia), Some(ib)) => self.find(ia) == self.find(ib),
+            _ => false,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` when no element was ever added.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Extracts the sets as sorted member lists (deterministic order:
+    /// sets sorted by their smallest ASN).
+    pub fn into_groups(mut self) -> Vec<Vec<Asn>> {
+        let mut by_root: BTreeMap<usize, Vec<Asn>> = BTreeMap::new();
+        let entries: Vec<(Asn, usize)> = self.index.iter().map(|(a, i)| (*a, *i)).collect();
+        for (asn, i) in entries {
+            let root = self.find(i);
+            by_root.entry(root).or_default().push(asn);
+        }
+        let mut groups: Vec<Vec<Asn>> = by_root.into_values().collect();
+        for g in &mut groups {
+            g.sort_unstable();
+        }
+        groups.sort_by_key(|g| g[0]);
+        groups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(n: u32) -> Asn {
+        Asn::new(n)
+    }
+
+    #[test]
+    fn singletons_until_unioned() {
+        let mut uf = UnionFind::with_universe([a(1), a(2), a(3)]);
+        assert!(!uf.same_set(a(1), a(2)));
+        assert!(uf.union(a(1), a(2)));
+        assert!(uf.same_set(a(1), a(2)));
+        assert!(!uf.same_set(a(1), a(3)));
+    }
+
+    #[test]
+    fn union_is_idempotent() {
+        let mut uf = UnionFind::new();
+        assert!(uf.union(a(1), a(2)));
+        assert!(!uf.union(a(1), a(2)));
+        assert!(!uf.union(a(2), a(1)));
+    }
+
+    #[test]
+    fn transitivity() {
+        let mut uf = UnionFind::new();
+        uf.union(a(1), a(2));
+        uf.union(a(2), a(3));
+        uf.union(a(4), a(5));
+        assert!(uf.same_set(a(1), a(3)));
+        assert!(!uf.same_set(a(3), a(4)));
+    }
+
+    #[test]
+    fn union_group_links_everything() {
+        let mut uf = UnionFind::new();
+        uf.union_group(&[a(1), a(2), a(3), a(4)]);
+        assert!(uf.same_set(a(1), a(4)));
+        uf.union_group(&[a(9)]);
+        assert_eq!(uf.len(), 5);
+    }
+
+    #[test]
+    fn unknown_elements_are_never_same_set() {
+        let mut uf = UnionFind::new();
+        uf.union(a(1), a(2));
+        assert!(!uf.same_set(a(1), a(99)));
+        assert!(!uf.same_set(a(98), a(99)));
+    }
+
+    #[test]
+    fn groups_are_sorted_and_complete() {
+        let mut uf = UnionFind::with_universe([a(10), a(5), a(7), a(1)]);
+        uf.union(a(10), a(1));
+        let groups = uf.into_groups();
+        assert_eq!(groups, vec![vec![a(1), a(10)], vec![a(5)], vec![a(7)]]);
+    }
+
+    #[test]
+    fn large_chain_has_flat_depth_behaviour() {
+        // Sanity/perf guard: a 100k-element chain must resolve instantly.
+        let mut uf = UnionFind::new();
+        for i in 1..100_000u32 {
+            uf.union(a(i), a(i + 1));
+        }
+        assert!(uf.same_set(a(1), a(100_000)));
+        assert_eq!(uf.into_groups().len(), 1);
+    }
+
+    #[test]
+    fn order_of_unions_does_not_change_groups() {
+        let mut uf1 = UnionFind::new();
+        uf1.union(a(1), a(2));
+        uf1.union(a(3), a(4));
+        uf1.union(a(2), a(3));
+        let mut uf2 = UnionFind::new();
+        uf2.union(a(2), a(3));
+        uf2.union(a(3), a(4));
+        uf2.union(a(1), a(2));
+        assert_eq!(uf1.into_groups(), uf2.into_groups());
+    }
+}

@@ -1,0 +1,361 @@
+//! §4.3.3 — Favicon grouping with LLM reclassification.
+//!
+//! The decision tree of Fig. 6:
+//!
+//! 1. **Blocklist** — final URLs on the Appendix D.2 list (mainstream
+//!    platforms) are excluded.
+//! 2. **Step 1: same favicon + same brand label** — URL groups sharing a
+//!    favicon *and* a brand label (`www.orange.es` / `www.orange.pl`)
+//!    merge without consulting the model.
+//! 3. **Step 2: LLM reclassification** — favicon groups spanning multiple
+//!    brand labels (the `clarochile.cl` / `claropr.com` family, but also
+//!    every Bootstrap-default-favicon coincidence) are sent to the chat
+//!    model with the favicon image and the URL list. A company-name reply
+//!    merges the whole group; a technology name or "I don't know" rejects
+//!    it.
+
+use crate::blocklists::blocked_for_favicon;
+use borges_llm::chat::{ChatModel, ChatRequest, Content, DecodingParams, Message, Role};
+use borges_llm::classifier::KNOWN_FRAMEWORKS;
+use borges_llm::prompts::{build_classifier_prompt, parse_classifier_reply, ClassifierReply};
+use borges_types::{Asn, FaviconHash, Url};
+use borges_websim::ScrapeReport;
+use std::collections::BTreeMap;
+
+/// Counters for the favicon stage (§5.2's favicon funnel).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaviconStats {
+    /// Distinct favicons observed across final URLs.
+    pub favicons_total: usize,
+    /// Favicons shared by more than one final URL (after blocklist).
+    pub favicons_shared: usize,
+    /// Final URLs involved in shared favicons.
+    pub urls_in_shared: usize,
+    /// Shared favicons containing a same-brand-label pair (step 1 hits).
+    pub same_label_groups: usize,
+    /// Groups merged by step 1 (no LLM).
+    pub merged_by_step1: usize,
+    /// LLM calls issued in step 2.
+    pub llm_calls: usize,
+    /// Groups merged by the LLM (company verdict).
+    pub merged_by_llm: usize,
+    /// Groups rejected as web-technology default icons.
+    pub framework_rejections: usize,
+    /// Groups the model declined to name.
+    pub dont_know: usize,
+    /// Token accounting across the step-2 LLM calls.
+    pub usage: borges_llm::chat::Usage,
+}
+
+/// How a favicon group was resolved — the audit trail the Table 5
+/// evaluation scores against ground truth.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GroupOutcome {
+    /// Step 1 merged the whole group (same favicon + same brand label).
+    MergedByStep1,
+    /// Step 2's LLM named a company and the group merged.
+    MergedByLlm,
+    /// Step 2's LLM named a web technology; rejected.
+    RejectedFramework,
+    /// Step 2's LLM declined; rejected.
+    RejectedUnknown,
+}
+
+/// The decision record for one shared-favicon group.
+#[derive(Debug, Clone)]
+pub struct GroupDecision {
+    /// The shared favicon.
+    pub favicon: FaviconHash,
+    /// The distinct (non-blocklisted) final URLs in the group.
+    pub urls: Vec<Url>,
+    /// Every ASN behind those URLs.
+    pub asns: Vec<Asn>,
+    /// Whether step 1 alone merged the *entire* group.
+    pub step1_merged_all: bool,
+    /// The final outcome.
+    pub outcome: GroupOutcome,
+}
+
+/// The output of the favicon stage.
+#[derive(Debug, Clone, Default)]
+pub struct FaviconInference {
+    /// Merge-evidence groups (each: ASNs inferred to share a company).
+    pub groups: Vec<Vec<Asn>>,
+    /// Per-shared-favicon decision records (for Table 5 scoring).
+    pub decisions: Vec<GroupDecision>,
+    /// Counters.
+    pub stats: FaviconStats,
+}
+
+/// Runs the favicon decision tree over a scrape report.
+pub fn favicon_inference(report: &ScrapeReport, model: &dyn ChatModel) -> FaviconInference {
+    favicon_inference_with(report, model, true)
+}
+
+/// Like [`favicon_inference`], with the Appendix D.2 blocklist optionally
+/// disabled (the ablation companion of
+/// [`rr_inference_with`](crate::web::rr::rr_inference_with)).
+pub fn favicon_inference_with(
+    report: &ScrapeReport,
+    model: &dyn ChatModel,
+    apply_blocklist: bool,
+) -> FaviconInference {
+    let mut out = FaviconInference::default();
+    let by_favicon = report.asns_by_favicon();
+    out.stats.favicons_total = by_favicon.len();
+
+    for (favicon, entries) in by_favicon {
+        // Blocklist, then collapse to distinct final URLs (a URL may carry
+        // several ASNs when several networks landed on it).
+        let mut by_url: BTreeMap<String, (Url, Vec<Asn>)> = BTreeMap::new();
+        for (url, asn) in entries {
+            if apply_blocklist && blocked_for_favicon(&url) {
+                continue;
+            }
+            by_url
+                .entry(url.canonical())
+                .or_insert_with(|| (url.clone(), Vec::new()))
+                .1
+                .push(asn);
+        }
+        if by_url.len() < 2 {
+            continue; // favicon grouping needs at least two distinct URLs
+        }
+        out.stats.favicons_shared += 1;
+        out.stats.urls_in_shared += by_url.len();
+
+        // Step 1: partition by brand label.
+        let mut by_label: BTreeMap<&str, Vec<&(Url, Vec<Asn>)>> = BTreeMap::new();
+        let mut unlabeled = 0usize;
+        for entry in by_url.values() {
+            match entry.0.brand_label() {
+                Some(label) => by_label.entry(label).or_default().push(entry),
+                None => unlabeled += 1,
+            }
+        }
+        let mut step1_merged_everything = false;
+        let mut any_step1 = false;
+        for group in by_label.values() {
+            if group.len() >= 2 {
+                any_step1 = true;
+                let asns: Vec<Asn> = group
+                    .iter()
+                    .flat_map(|(_, asns)| asns.iter().copied())
+                    .collect();
+                out.groups.push(asns);
+                out.stats.merged_by_step1 += 1;
+                if group.len() == by_url.len() {
+                    step1_merged_everything = true;
+                }
+            }
+        }
+        if any_step1 {
+            out.stats.same_label_groups += 1;
+        }
+
+        let group_urls: Vec<Url> = by_url.values().map(|(u, _)| u.clone()).collect();
+        let mut group_asns: Vec<Asn> = by_url
+            .values()
+            .flat_map(|(_, asns)| asns.iter().copied())
+            .collect();
+        group_asns.sort_unstable();
+        group_asns.dedup();
+
+        if step1_merged_everything && unlabeled == 0 {
+            out.decisions.push(GroupDecision {
+                favicon,
+                urls: group_urls,
+                asns: group_asns,
+                step1_merged_all: true,
+                outcome: GroupOutcome::MergedByStep1,
+            });
+            continue;
+        }
+
+        // Step 2: one LLM call for the whole favicon group.
+        let urls: Vec<String> = by_url.values().map(|(u, _)| u.canonical()).collect();
+        let request = ChatRequest {
+            messages: vec![Message {
+                role: Role::User,
+                parts: vec![
+                    Content::Text(build_classifier_prompt(&urls)),
+                    Content::Image { favicon },
+                ],
+            }],
+            params: DecodingParams::deterministic(),
+        };
+        out.stats.llm_calls += 1;
+        let reply = model.complete(&request);
+        out.stats.usage += reply.usage;
+        let outcome = match parse_classifier_reply(&reply.text) {
+            ClassifierReply::Name(name) => {
+                if is_framework_name(&name) {
+                    out.stats.framework_rejections += 1;
+                    GroupOutcome::RejectedFramework
+                } else {
+                    out.groups.push(group_asns.clone());
+                    out.stats.merged_by_llm += 1;
+                    GroupOutcome::MergedByLlm
+                }
+            }
+            ClassifierReply::DontKnow => {
+                out.stats.dont_know += 1;
+                GroupOutcome::RejectedUnknown
+            }
+        };
+        out.decisions.push(GroupDecision {
+            favicon,
+            urls: group_urls,
+            asns: group_asns,
+            step1_merged_all: false,
+            outcome,
+        });
+    }
+
+    for g in &mut out.groups {
+        g.sort_unstable();
+        g.dedup();
+    }
+    out
+}
+
+/// Is a classifier reply the name of a web technology rather than a
+/// company? (Case-insensitive match against the known-framework table the
+/// multimodal model recognizes.)
+fn is_framework_name(name: &str) -> bool {
+    let folded = name.to_ascii_lowercase();
+    KNOWN_FRAMEWORKS.iter().any(|f| *f == folded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use borges_llm::classifier::framework_favicon;
+    use borges_llm::SimLlm;
+    use borges_websim::{Scraper, SimWeb, SimWebClient};
+
+    fn icon(name: &str) -> FaviconHash {
+        FaviconHash::of_bytes(format!("brand:{name}").as_bytes())
+    }
+
+    fn world() -> SimWeb {
+        SimWeb::builder()
+            // Orange: shared favicon + shared label → step 1.
+            .page("www.orange.es", Some(icon("orange")))
+            .page("www.orange.pl", Some(icon("orange")))
+            // Claro: shared favicon, different labels → step 2, company.
+            .page_at("www.clarochile.cl", "https://www.clarochile.cl/personas/", Some(icon("claro")))
+            .page_at("www.claropr.com", "https://www.claropr.com/personas/", Some(icon("claro")))
+            // Bootstrap defaults on unrelated sites → step 2, framework.
+            .page("www.anosbd.com", Some(framework_favicon("bootstrap")))
+            .page("www.rptechzone.in", Some(framework_favicon("bootstrap")))
+            // DE-CIX: shared favicon, unrelated names → step 2, don't know.
+            .page("www.de-cix.net", Some(icon("decix")))
+            .page("www.aqaba-ix.net", Some(icon("decix")))
+            // A unique favicon (not shared) → ignored.
+            .page("www.lumen.com", Some(icon("lumen")))
+            .build()
+    }
+
+    fn report() -> ScrapeReport {
+        let web = world();
+        let scraper = Scraper::new(SimWebClient::browser(&web));
+        scraper.crawl(vec![
+            (Asn::new(1), "www.orange.es"),
+            (Asn::new(2), "www.orange.pl"),
+            (Asn::new(3), "www.clarochile.cl"),
+            (Asn::new(4), "www.claropr.com"),
+            (Asn::new(5), "www.anosbd.com"),
+            (Asn::new(6), "www.rptechzone.in"),
+            (Asn::new(7), "www.de-cix.net"),
+            (Asn::new(8), "www.aqaba-ix.net"),
+            (Asn::new(9), "www.lumen.com"),
+        ])
+    }
+
+    #[test]
+    fn decision_tree_resolves_all_four_families() {
+        let llm = SimLlm::flawless();
+        let inf = favicon_inference(&report(), &llm);
+
+        // Orange merged in step 1.
+        assert!(inf
+            .groups
+            .iter()
+            .any(|g| g == &vec![Asn::new(1), Asn::new(2)]));
+        assert_eq!(inf.stats.merged_by_step1, 1);
+
+        // Claro merged by the LLM.
+        assert!(inf
+            .groups
+            .iter()
+            .any(|g| g == &vec![Asn::new(3), Asn::new(4)]));
+        assert_eq!(inf.stats.merged_by_llm, 1);
+
+        // Bootstrap rejected as a framework.
+        assert_eq!(inf.stats.framework_rejections, 1);
+        assert!(!inf
+            .groups
+            .iter()
+            .any(|g| g.contains(&Asn::new(5)) || g.contains(&Asn::new(6))));
+
+        // DE-CIX declined — the paper's reported miss.
+        assert_eq!(inf.stats.dont_know, 1);
+        assert!(!inf.groups.iter().any(|g| g.contains(&Asn::new(7))));
+    }
+
+    #[test]
+    fn funnel_counters_are_consistent() {
+        let llm = SimLlm::flawless();
+        let inf = favicon_inference(&report(), &llm);
+        assert_eq!(inf.stats.favicons_total, 5);
+        assert_eq!(inf.stats.favicons_shared, 4, "lumen's icon is unique");
+        assert_eq!(inf.stats.urls_in_shared, 8);
+        // Orange merged fully by step 1 → no LLM call for it.
+        assert_eq!(inf.stats.llm_calls, 3);
+    }
+
+    #[test]
+    fn blocklisted_urls_are_invisible_to_the_stage() {
+        let web = SimWeb::builder()
+            .page("facebook.com", Some(icon("fb")))
+            .page("www.acme.com", Some(icon("fb"))) // same icon as facebook
+            .build();
+        let scraper = Scraper::new(SimWebClient::browser(&web));
+        let report = scraper.crawl(vec![
+            (Asn::new(1), "facebook.com"),
+            (Asn::new(2), "facebook.com"),
+            (Asn::new(3), "www.acme.com"),
+        ]);
+        let llm = SimLlm::flawless();
+        let inf = favicon_inference(&report, &llm);
+        // facebook.com is blocked, leaving one distinct URL — not shared.
+        assert_eq!(inf.stats.favicons_shared, 0);
+        assert!(inf.groups.is_empty());
+    }
+
+    #[test]
+    fn framework_name_detection() {
+        assert!(is_framework_name("Bootstrap"));
+        assert!(is_framework_name("wordpress"));
+        assert!(!is_framework_name("Claro"));
+    }
+
+    #[test]
+    fn multiple_asns_on_one_final_url_travel_together() {
+        let web = SimWeb::builder()
+            .page("www.claroa.com", Some(icon("claro")))
+            .page("www.clarob.com", Some(icon("claro")))
+            .build();
+        let scraper = Scraper::new(SimWebClient::browser(&web));
+        let report = scraper.crawl(vec![
+            (Asn::new(1), "www.claroa.com"),
+            (Asn::new(2), "www.claroa.com"),
+            (Asn::new(3), "www.clarob.com"),
+        ]);
+        let llm = SimLlm::flawless();
+        let inf = favicon_inference(&report, &llm);
+        assert_eq!(inf.groups.len(), 1);
+        assert_eq!(inf.groups[0], vec![Asn::new(1), Asn::new(2), Asn::new(3)]);
+    }
+}

@@ -1,0 +1,15 @@
+//! §4.3 — The web as a source of sibling inferences.
+//!
+//! Two sub-stages consume the scraper's observations:
+//!
+//! * [`rr`] — final-URL matching: networks whose reported websites lead
+//!   (directly or through refreshes and redirects) to the same final URL
+//!   are siblings (§4.3.2);
+//! * [`favicon`] — the favicon decision tree with LLM reclassification
+//!   (§4.3.3).
+
+pub mod favicon;
+pub mod rr;
+
+pub use favicon::{favicon_inference, FaviconInference, FaviconStats};
+pub use rr::{rr_inference, RrInference, RrStats};

@@ -1,0 +1,175 @@
+//! §4.3.2 — Final-URL matching ("Refresh and Redirect").
+//!
+//! Two networks registered under different PeeringDB organizations whose
+//! websites settle on the same final URL — directly (the Edgio case) or
+//! after redirect chains (the Clearwire case) — are inferred siblings.
+//! URLs whose brand label sits on the Appendix D.1 blocklist never count:
+//! a Facebook page shared by two rural ISPs is evidence of nothing.
+
+use crate::blocklists::blocked_for_rr;
+use borges_types::{Asn, Url};
+use borges_websim::ScrapeReport;
+use std::collections::BTreeMap;
+
+/// Counters for the final-URL matcher.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RrStats {
+    /// Networks with a resolved final URL.
+    pub networks_with_final_url: usize,
+    /// Networks dropped because their final URL is blocklisted.
+    pub blocked_networks: usize,
+    /// Distinct (non-blocked) final URLs.
+    pub distinct_final_urls: usize,
+    /// Final URLs shared by more than one network.
+    pub shared_final_urls: usize,
+}
+
+/// The output of final-URL matching.
+#[derive(Debug, Clone, Default)]
+pub struct RrInference {
+    /// One group per final URL: every ASN that landed there. Includes
+    /// singleton groups (they still assert "this ASN maps to this
+    /// website's organization" — the 22,523-network mapping of Table 3).
+    pub groups: Vec<Vec<Asn>>,
+    /// The final URL behind each group (parallel to `groups`).
+    pub final_urls: Vec<Url>,
+    /// Counters.
+    pub stats: RrStats,
+}
+
+impl RrInference {
+    /// Only the groups that actually merge ≥2 ASNs (the new sibling
+    /// evidence this feature contributes beyond identity).
+    pub fn merging_groups(&self) -> impl Iterator<Item = &Vec<Asn>> {
+        self.groups.iter().filter(|g| g.len() > 1)
+    }
+}
+
+/// Runs final-URL matching over a scrape report.
+pub fn rr_inference(report: &ScrapeReport) -> RrInference {
+    rr_inference_with(report, true)
+}
+
+/// Like [`rr_inference`], with the Appendix D.1 blocklist optionally
+/// disabled — the ablation that shows why it exists: without it, every
+/// network pointing at `facebook.com` fuses into one "organization",
+/// inflating θ while collapsing precision (the §5.4 caveat).
+pub fn rr_inference_with(report: &ScrapeReport, apply_blocklist: bool) -> RrInference {
+    let mut by_final: BTreeMap<String, (Url, Vec<Asn>)> = BTreeMap::new();
+    let mut stats = RrStats::default();
+
+    for (asn, site) in &report.sites {
+        let final_url = match &site.final_url {
+            Some(u) => u,
+            None => continue,
+        };
+        stats.networks_with_final_url += 1;
+        if apply_blocklist && blocked_for_rr(final_url) {
+            stats.blocked_networks += 1;
+            continue;
+        }
+        by_final
+            .entry(final_url.canonical())
+            .or_insert_with(|| (final_url.clone(), Vec::new()))
+            .1
+            .push(*asn);
+    }
+
+    stats.distinct_final_urls = by_final.len();
+    stats.shared_final_urls = by_final.values().filter(|(_, g)| g.len() > 1).count();
+
+    let mut groups = Vec::with_capacity(by_final.len());
+    let mut final_urls = Vec::with_capacity(by_final.len());
+    for (_, (url, mut group)) in by_final {
+        group.sort_unstable();
+        groups.push(group);
+        final_urls.push(url);
+    }
+    RrInference {
+        groups,
+        final_urls,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use borges_types::FaviconHash;
+    use borges_websim::{RedirectKind, Scraper, SimWeb, SimWebClient};
+
+    fn world() -> SimWeb {
+        SimWeb::builder()
+            .page("www.edg.io", Some(FaviconHash::of_bytes(b"edgio")))
+            .redirect("www.limelight.com", "https://www.edg.io/", RedirectKind::Http)
+            .redirect("www.edgecast.com", "https://www.edg.io/", RedirectKind::JavaScript)
+            .page("www.solo.example", None)
+            .page("facebook.com", Some(FaviconHash::of_bytes(b"fb")))
+            .build()
+    }
+
+    fn scrape(entries: Vec<(u32, &str)>) -> ScrapeReport {
+        let web = world();
+        let scraper = Scraper::new(SimWebClient::browser(&web));
+        let owned: Vec<(Asn, &str)> = entries
+            .into_iter()
+            .map(|(a, s)| (Asn::new(a), s))
+            .collect();
+        scraper.crawl(owned)
+    }
+
+    #[test]
+    fn edgio_merger_is_recovered() {
+        let report = scrape(vec![
+            (22822, "www.limelight.com"),
+            (15133, "www.edgecast.com"),
+            (7, "www.solo.example"),
+        ]);
+        let inf = rr_inference(&report);
+        assert_eq!(inf.stats.networks_with_final_url, 3);
+        assert_eq!(inf.stats.distinct_final_urls, 2);
+        assert_eq!(inf.stats.shared_final_urls, 1);
+        let merged: Vec<_> = inf.merging_groups().collect();
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0], &vec![Asn::new(15133), Asn::new(22822)]);
+    }
+
+    #[test]
+    fn facebook_pages_never_merge() {
+        let report = scrape(vec![(1, "facebook.com"), (2, "facebook.com")]);
+        let inf = rr_inference(&report);
+        assert_eq!(inf.stats.blocked_networks, 2);
+        assert_eq!(inf.merging_groups().count(), 0);
+    }
+
+    #[test]
+    fn dead_sites_contribute_nothing() {
+        let report = scrape(vec![(1, "nxdomain.example")]);
+        let inf = rr_inference(&report);
+        assert_eq!(inf.stats.networks_with_final_url, 0);
+        assert!(inf.groups.is_empty());
+    }
+
+    #[test]
+    fn singleton_groups_are_kept_for_the_mapping() {
+        let report = scrape(vec![(7, "www.solo.example")]);
+        let inf = rr_inference(&report);
+        assert_eq!(inf.groups.len(), 1);
+        assert_eq!(inf.groups[0], vec![Asn::new(7)]);
+        assert_eq!(inf.final_urls[0].host().as_str(), "www.solo.example");
+    }
+
+    #[test]
+    fn groups_align_with_final_urls() {
+        let report = scrape(vec![
+            (22822, "www.limelight.com"),
+            (7, "www.solo.example"),
+        ]);
+        let inf = rr_inference(&report);
+        assert_eq!(inf.groups.len(), inf.final_urls.len());
+        for (group, url) in inf.groups.iter().zip(&inf.final_urls) {
+            assert!(!group.is_empty());
+            assert!(!blocked_for_rr(url));
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! DESIGN.md ablation: the Appendix D blocklists' effect on θ and merge
+//! precision. Scale via BORGES_SCALE/BORGES_SEED.
+fn main() {
+    let ctx = borges_eval::ExperimentContext::from_env();
+    println!("{}", borges_eval::experiments::ablation_blocklists(&ctx));
+}

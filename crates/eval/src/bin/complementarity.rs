@@ -1,0 +1,6 @@
+//! §5.2 complementarity analysis: each feature's unique contribution of
+//! sibling pairs. Scale via BORGES_SCALE/BORGES_SEED.
+fn main() {
+    let ctx = borges_eval::ExperimentContext::from_env();
+    println!("{}", borges_eval::experiments::feature_complementarity(&ctx));
+}

@@ -1,0 +1,14 @@
+//! Regenerates every table and figure in one pass.
+//!
+//! Usage: `run_all [output-file]` — prints to stdout and, when a path is
+//! given, also writes the full report there (used to refresh
+//! EXPERIMENTS.md's measured sections).
+fn main() {
+    let ctx = borges_eval::ExperimentContext::from_env();
+    let report = borges_eval::experiments::run_all(&ctx);
+    println!("{report}");
+    if let Some(path) = std::env::args().nth(1) {
+        std::fs::write(&path, &report).expect("write report file");
+        eprintln!("report written to {path}");
+    }
+}

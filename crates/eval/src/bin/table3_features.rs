@@ -1,0 +1,5 @@
+//! Regenerates the paper's table3 output. Scale via BORGES_SCALE/BORGES_SEED.
+fn main() {
+    let ctx = borges_eval::ExperimentContext::from_env();
+    println!("{}", borges_eval::experiments::table3(&ctx));
+}

@@ -1,0 +1,5 @@
+//! Regenerates the paper's table6 output. Scale via BORGES_SCALE/BORGES_SEED.
+fn main() {
+    let ctx = borges_eval::ExperimentContext::from_env();
+    println!("{}", borges_eval::experiments::table6(&ctx).1);
+}

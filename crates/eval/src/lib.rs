@@ -1,0 +1,21 @@
+//! # borges-eval
+//!
+//! The experiment harness: regenerates every table and figure of the
+//! Borges paper's evaluation (§5–§6) against the synthetic Internet.
+//!
+//! One binary per table/figure lives in `src/bin/` (`table3_features`,
+//! `table4_ie_accuracy`, …, `run_all`); each is a thin wrapper over the
+//! functions in [`experiments`], which share one [`runner::ExperimentContext`]
+//! (generated world + pipeline run + baselines).
+//!
+//! Scale is controlled by environment variables: `BORGES_SCALE`
+//! (`tiny`/`medium`/`paper`, default `paper`) and `BORGES_SEED`.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod report;
+pub mod runner;
+
+pub use runner::{ExperimentContext, DEFAULT_SEED};

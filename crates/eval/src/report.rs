@@ -1,0 +1,133 @@
+//! Plain-text table rendering for the experiment binaries.
+//!
+//! The binaries print the same rows the paper's tables report; this
+//! module provides the aligned-column renderer and number formatting they
+//! share.
+
+/// Formats an integer with thousands separators (`117431` → `117,431`),
+/// matching the paper's table style.
+pub fn fmt_u64(value: u64) -> String {
+    let digits = value.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, ch) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+/// Formats a float with `decimals` places.
+pub fn fmt_f64(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row arity mismatch: {cells:?}"
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders with aligned columns, a header rule, and a trailing
+    /// newline. First column left-aligned; the rest right-aligned
+    /// (numeric convention).
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                if i == 0 {
+                    out.push_str(&format!("{:<width$}", cell, width = widths[i]));
+                } else {
+                    out.push_str(&format!("{:>width$}", cell, width = widths[i]));
+                }
+            }
+            // No trailing spaces.
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&self.headers, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thousands_separators() {
+        assert_eq!(fmt_u64(0), "0");
+        assert_eq!(fmt_u64(999), "999");
+        assert_eq!(fmt_u64(1_000), "1,000");
+        assert_eq!(fmt_u64(117_431), "117,431");
+        assert_eq!(fmt_u64(4_210_000_000), "4,210,000,000");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["Source", "ASes", "Orgs"]);
+        t.row(["OID_P", "30,955", "27,712"]);
+        t.row(["OID_W", "117,431", "95,300"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Source"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[3].contains("117,431"));
+        // Right alignment: the numeric columns line up at the right edge.
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_mismatch_panics() {
+        Table::new(["a", "b"]).row(["only one"]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(0.3576, 4), "0.3576");
+        assert_eq!(fmt_f64(2.371, 2), "2.37");
+    }
+}

@@ -1,0 +1,229 @@
+//! The favicon/domain company-vs-framework decision.
+//!
+//! §4.3.3 of the paper: once final URLs are grouped by shared favicon, the
+//! ambiguous groups are handed to GPT-4o-mini with the favicon image and
+//! the URL list, asking whether they identify one company (possibly via a
+//! parent brand) or a web technology's default icon (Bootstrap, WordPress,
+//! GoDaddy, IXC Soft, …).
+//!
+//! The simulated model reasons the way the real one does, from two
+//! information sources:
+//!
+//! * **Pretraining knowledge of default icons** — GPT recognizes the
+//!   Bootstrap/WordPress default favicon on sight. The simulator encodes
+//!   this as a well-known byte convention: a framework's default favicon is
+//!   `FaviconHash::of_bytes(b"framework:<name>")` (see
+//!   [`framework_favicon`]). The synthetic-web generator uses the same
+//!   convention, exactly as the real web serves the same default bytes
+//!   everywhere.
+//! * **Brand reasoning over the URLs** — shared brand tokens across domain
+//!   names (`clarochile.cl` / `claropr.com` → "claro") identify a company;
+//!   structurally unrelated domains do not. This reproduces the paper's
+//!   DE-CIX false negative: `de-cix.net`, `aqaba-ix.net` and `ruhr-cix.net`
+//!   share a favicon but no brand token, so the classifier declines.
+
+use borges_types::{FaviconHash, Url};
+
+/// Well-known web technologies whose default favicons appear across many
+/// unrelated sites (§4.3.3 names Bootstrap, WordPress, GoDaddy and IXC
+/// Soft; the rest are common in the same ecosystem).
+pub const KNOWN_FRAMEWORKS: &[&str] = &[
+    "bootstrap",
+    "wordpress",
+    "godaddy",
+    "ixc soft",
+    "wix",
+    "squarespace",
+    "joomla",
+    "drupal",
+    "cpanel",
+    "plesk",
+    "mikrotik",
+];
+
+/// The content hash of a framework's default favicon, under the workspace
+/// byte convention `framework:<name>`.
+pub fn framework_favicon(name: &str) -> FaviconHash {
+    FaviconHash::of_bytes(format!("framework:{}", name.to_ascii_lowercase()).as_bytes())
+}
+
+/// Looks up a favicon hash against the known default-favicon table,
+/// returning the technology's display name.
+pub fn known_framework_of(favicon: FaviconHash) -> Option<&'static str> {
+    KNOWN_FRAMEWORKS
+        .iter()
+        .find(|name| framework_favicon(name) == favicon)
+        .copied()
+}
+
+/// The classifier's verdict for one favicon group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaviconVerdict {
+    /// The group identifies one company (the brand name follows).
+    Company(String),
+    /// The favicon is a web technology's default icon.
+    Framework(String),
+    /// The model cannot tell ("I don't know") — treated as *not* one
+    /// company.
+    Unknown,
+}
+
+/// Minimum shared-prefix length for brand-token matching. Shorter prefixes
+/// ("te", "net") match half the industry and would conflate everyone.
+const MIN_BRAND_PREFIX: usize = 4;
+
+/// Classifies a favicon shared by a set of final URLs.
+///
+/// Decision order (mirroring how the multimodal model weighs evidence):
+/// 1. a recognized default icon ⇒ [`FaviconVerdict::Framework`];
+/// 2. all URLs share a brand token (identical brand labels, or a common
+///    prefix of length ≥ 4 spanning every label) ⇒
+///    [`FaviconVerdict::Company`];
+/// 3. otherwise ⇒ [`FaviconVerdict::Unknown`].
+pub fn classify_favicon_group(favicon: FaviconHash, urls: &[Url]) -> FaviconVerdict {
+    if let Some(name) = known_framework_of(favicon) {
+        return FaviconVerdict::Framework(display_name(name));
+    }
+    let labels: Vec<&str> = urls.iter().filter_map(Url::brand_label).collect();
+    if labels.is_empty() {
+        return FaviconVerdict::Unknown;
+    }
+    if labels.len() < urls.len() {
+        // Some URL had no extractable brand (bare TLD, single label) — the
+        // evidence is incomplete; decline rather than guess.
+        return FaviconVerdict::Unknown;
+    }
+    if labels.iter().all(|l| *l == labels[0]) {
+        return FaviconVerdict::Company(display_name(labels[0]));
+    }
+    let prefix = common_prefix(&labels);
+    if prefix.len() >= MIN_BRAND_PREFIX {
+        return FaviconVerdict::Company(display_name(&prefix));
+    }
+    FaviconVerdict::Unknown
+}
+
+fn common_prefix(labels: &[&str]) -> String {
+    let first = labels[0];
+    let mut len = first.len();
+    for label in &labels[1..] {
+        let shared = first
+            .bytes()
+            .zip(label.bytes())
+            .take_while(|(a, b)| a == b)
+            .count();
+        len = len.min(shared);
+        if len == 0 {
+            break;
+        }
+    }
+    // Don't cut multi-byte chars (brand labels are ASCII in practice, but
+    // hosts are user input).
+    while len > 0 && !first.is_char_boundary(len) {
+        len -= 1;
+    }
+    first[..len].to_string()
+}
+
+fn display_name(token: &str) -> String {
+    let mut chars = token.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn urls(list: &[&str]) -> Vec<Url> {
+        list.iter().map(|s| s.parse().unwrap()).collect()
+    }
+
+    fn icon(name: &str) -> FaviconHash {
+        FaviconHash::of_bytes(format!("brand:{name}").as_bytes())
+    }
+
+    #[test]
+    fn identical_brand_labels_are_one_company() {
+        let v = classify_favicon_group(
+            icon("orange"),
+            &urls(&["https://www.orange.es/", "https://www.orange.pl/"]),
+        );
+        assert_eq!(v, FaviconVerdict::Company("Orange".into()));
+    }
+
+    #[test]
+    fn claro_prefix_case_resolves() {
+        // The paper's running example: clarochile.cl vs claropr.com share
+        // the favicon and the "claro" prefix.
+        let v = classify_favicon_group(
+            icon("claro"),
+            &urls(&[
+                "https://www.clarochile.cl/personas/",
+                "https://www.claropr.com/personas/",
+                "https://www.claro.com.do/personas/",
+            ]),
+        );
+        assert_eq!(v, FaviconVerdict::Company("Claro".into()));
+    }
+
+    #[test]
+    fn bootstrap_default_icon_is_a_framework() {
+        let v = classify_favicon_group(
+            framework_favicon("bootstrap"),
+            &urls(&[
+                "https://www.anosbd.com/",
+                "https://www.rptechzone.in/",
+                "https://bapenda.riau.go.id/",
+            ]),
+        );
+        assert_eq!(v, FaviconVerdict::Framework("Bootstrap".into()));
+    }
+
+    #[test]
+    fn decix_style_unrelated_labels_decline() {
+        // §5.3's reported miss: same favicon, structurally unrelated names.
+        let v = classify_favicon_group(
+            icon("de-cix"),
+            &urls(&[
+                "https://www.de-cix.net/",
+                "https://www.aqaba-ix.net/",
+                "https://www.ruhr-cix.net/",
+            ]),
+        );
+        assert_eq!(v, FaviconVerdict::Unknown);
+    }
+
+    #[test]
+    fn short_shared_prefixes_do_not_conflate() {
+        let v = classify_favicon_group(
+            icon("x"),
+            &urls(&["https://www.tela.com/", "https://www.tenet.org/"]),
+        );
+        assert_eq!(v, FaviconVerdict::Unknown);
+    }
+
+    #[test]
+    fn single_url_is_its_own_company() {
+        let v = classify_favicon_group(icon("lumen"), &urls(&["https://www.lumen.com/"]));
+        assert_eq!(v, FaviconVerdict::Company("Lumen".into()));
+    }
+
+    #[test]
+    fn missing_brand_labels_decline() {
+        let v = classify_favicon_group(icon("x"), &urls(&["http://localhost/"]));
+        assert_eq!(v, FaviconVerdict::Unknown);
+        let v = classify_favicon_group(icon("x"), &[]);
+        assert_eq!(v, FaviconVerdict::Unknown);
+    }
+
+    #[test]
+    fn framework_table_is_self_consistent() {
+        for name in KNOWN_FRAMEWORKS {
+            assert_eq!(known_framework_of(framework_favicon(name)), Some(*name));
+        }
+        assert_eq!(known_framework_of(icon("claro")), None);
+    }
+}

@@ -1,0 +1,55 @@
+//! # borges-llm
+//!
+//! The LLM substrate of Borges.
+//!
+//! The paper drives OpenAI's GPT-4o-mini (temperature 0, top-p 1) with two
+//! few-shot prompts: an *information-extraction* prompt that pulls sibling
+//! ASNs out of PeeringDB `notes`/`aka` free text (§4.2, Listing 2), and a
+//! *classification* prompt that decides whether a favicon shared by a set
+//! of final URLs identifies one company or a web framework (§4.3.3,
+//! Listing 3). OpenAI is unreachable from this environment, so this crate
+//! supplies:
+//!
+//! * [`chat`] — the [`chat::ChatModel`] boundary trait (messages,
+//!   roles, image attachments, decoding parameters). A production binding
+//!   to any real chat API implements this one trait.
+//! * [`prompts`] — the paper's prompts, reimplemented as templates, plus
+//!   the parsing of model replies back into structured data.
+//! * [`ner`] — the deterministic extraction model behind
+//!   [`sim::SimLlm`]: a tokenizer, ASN-candidate scanner, and a
+//!   multilingual context classifier that separates sibling reports from
+//!   upstream/peer/BGP-community mentions and from decoy numerals (phone
+//!   numbers, years, street addresses, prefix limits).
+//! * [`classifier`] — the favicon/domain company-vs-framework decision.
+//! * [`faults`] — seeded error injection so the simulated model's confusion
+//!   matrix matches the accuracies the paper measured for GPT-4o-mini
+//!   (Tables 4 and 5), instead of being unrealistically perfect.
+//! * [`sim`] — [`sim::SimLlm`], tying it together behind
+//!   [`chat::ChatModel`].
+//!
+//! The simulated model is *not* an oracle: it reads the same prompt text a
+//! real model would receive, reasons only over that text, and makes the
+//! same kinds of mistakes the paper reports (e.g. trusting wrong
+//! self-reports, missing reciprocal claims).
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod chat;
+pub mod classifier;
+pub mod faults;
+pub mod middleware;
+pub mod ner;
+pub mod openai_wire;
+pub mod prompts;
+pub mod sim;
+
+pub use chat::{ChatModel, ChatRequest, ChatResponse, Content, DecodingParams, Message, Role};
+pub use classifier::{classify_favicon_group, FaviconVerdict};
+pub use faults::FaultProfile;
+pub use middleware::{CachingModel, RecordingModel};
+pub use ner::{extract_siblings, Extraction, ExtractionContext};
+pub use prompts::{
+    build_classifier_prompt, build_ie_prompt, parse_classifier_reply, parse_ie_reply,
+};
+pub use sim::SimLlm;

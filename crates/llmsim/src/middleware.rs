@@ -1,0 +1,213 @@
+//! Model middleware: caching and call recording.
+//!
+//! Production pipelines never hit a paid API twice with the same prompt —
+//! the paper's temperature-0 setting makes completions cacheable by
+//! construction. [`CachingModel`] memoizes any inner [`ChatModel`];
+//! [`RecordingModel`] keeps an audit log of every call (the raw material
+//! for the manual accuracy audits of §5.3).
+
+use crate::chat::{ChatModel, ChatRequest, ChatResponse, Usage};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Memoizes completions of an inner model, keyed by the full request
+/// (text + attached image + decoding parameters).
+///
+/// With a remote backend this saves real money on re-runs; the cache also
+/// makes retried pipelines deterministic even against a provider that
+/// updates weights mid-experiment.
+pub struct CachingModel<M> {
+    inner: M,
+    cache: Mutex<HashMap<String, ChatResponse>>,
+    hits: Mutex<u64>,
+}
+
+impl<M: ChatModel> CachingModel<M> {
+    /// Wraps `inner` with an empty cache.
+    pub fn new(inner: M) -> Self {
+        CachingModel {
+            inner,
+            cache: Mutex::new(HashMap::new()),
+            hits: Mutex::new(0),
+        }
+    }
+
+    /// Completions served from cache so far.
+    pub fn hits(&self) -> u64 {
+        *self.hits.lock()
+    }
+
+    /// Distinct requests seen so far.
+    pub fn entries(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    fn key(request: &ChatRequest) -> String {
+        let image = request
+            .image()
+            .map(|f| f.to_string())
+            .unwrap_or_default();
+        format!(
+            "{}\u{0}{}\u{0}{}\u{0}{}",
+            request.full_text(),
+            image,
+            request.params.temperature,
+            request.params.top_p
+        )
+    }
+}
+
+impl<M: ChatModel> ChatModel for CachingModel<M> {
+    fn complete(&self, request: &ChatRequest) -> ChatResponse {
+        let key = Self::key(request);
+        if let Some(hit) = self.cache.lock().get(&key) {
+            *self.hits.lock() += 1;
+            // A cache hit costs no tokens.
+            return ChatResponse {
+                text: hit.text.clone(),
+                usage: Usage::default(),
+            };
+        }
+        let response = self.inner.complete(request);
+        self.cache.lock().insert(key, response.clone());
+        response
+    }
+
+    fn model_id(&self) -> &str {
+        self.inner.model_id()
+    }
+}
+
+/// One audited model call.
+#[derive(Debug, Clone)]
+pub struct CallRecord {
+    /// The rendered prompt text.
+    pub prompt: String,
+    /// The completion text.
+    pub reply: String,
+    /// Token accounting.
+    pub usage: Usage,
+}
+
+/// Records every call to an inner model — the audit log a §5.3-style
+/// manual accuracy review reads.
+pub struct RecordingModel<M> {
+    inner: M,
+    log: Mutex<Vec<CallRecord>>,
+}
+
+impl<M: ChatModel> RecordingModel<M> {
+    /// Wraps `inner` with an empty log.
+    pub fn new(inner: M) -> Self {
+        RecordingModel {
+            inner,
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A snapshot of the call log.
+    pub fn log(&self) -> Vec<CallRecord> {
+        self.log.lock().clone()
+    }
+
+    /// Number of calls made.
+    pub fn calls(&self) -> usize {
+        self.log.lock().len()
+    }
+
+    /// Aggregate token usage across calls.
+    pub fn total_usage(&self) -> Usage {
+        self.log
+            .lock()
+            .iter()
+            .fold(Usage::default(), |acc, r| acc + r.usage)
+    }
+}
+
+impl<M: ChatModel> ChatModel for RecordingModel<M> {
+    fn complete(&self, request: &ChatRequest) -> ChatResponse {
+        let response = self.inner.complete(request);
+        self.log.lock().push(CallRecord {
+            prompt: request.full_text(),
+            reply: response.text.clone(),
+            usage: response.usage,
+        });
+        response
+    }
+
+    fn model_id(&self) -> &str {
+        self.inner.model_id()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prompts::build_ie_prompt;
+    use crate::SimLlm;
+    use borges_types::Asn;
+
+    fn request(asn: u32) -> ChatRequest {
+        ChatRequest::user(build_ie_prompt(
+            Asn::new(asn),
+            "Our subsidiaries: AS100.",
+            "",
+        ))
+    }
+
+    #[test]
+    fn caching_serves_repeats_for_free() {
+        let model = CachingModel::new(SimLlm::flawless());
+        let first = model.complete(&request(1));
+        assert!(first.usage.total() > 0, "first call bills tokens");
+        let second = model.complete(&request(1));
+        assert_eq!(second.text, first.text);
+        assert_eq!(second.usage.total(), 0, "cache hits are free");
+        assert_eq!(model.hits(), 1);
+        assert_eq!(model.entries(), 1);
+    }
+
+    #[test]
+    fn distinct_requests_miss() {
+        let model = CachingModel::new(SimLlm::flawless());
+        model.complete(&request(1));
+        model.complete(&request(2));
+        assert_eq!(model.hits(), 0);
+        assert_eq!(model.entries(), 2);
+    }
+
+    #[test]
+    fn cache_is_transparent_to_the_pipeline() {
+        // Same replies, with or without the cache.
+        let plain = SimLlm::new(3);
+        let cached = CachingModel::new(SimLlm::new(3));
+        for asn in [1u32, 2, 1, 3, 2] {
+            assert_eq!(
+                plain.complete(&request(asn)).text,
+                cached.complete(&request(asn)).text
+            );
+        }
+    }
+
+    #[test]
+    fn recording_keeps_the_audit_trail() {
+        let model = RecordingModel::new(SimLlm::flawless());
+        model.complete(&request(1));
+        model.complete(&request(2));
+        assert_eq!(model.calls(), 2);
+        let log = model.log();
+        assert!(log[0].prompt.contains("ASN 1"));
+        assert!(log[1].prompt.contains("ASN 2"));
+        assert!(log[0].reply.contains("100"));
+        assert!(model.total_usage().total() > 0);
+    }
+
+    #[test]
+    fn middleware_composes() {
+        let model = RecordingModel::new(CachingModel::new(SimLlm::flawless()));
+        model.complete(&request(1));
+        model.complete(&request(1));
+        assert_eq!(model.calls(), 2, "recorder sees both calls");
+        assert_eq!(model.model_id(), "sim-gpt-4o-mini", "id passes through");
+    }
+}

@@ -1,0 +1,636 @@
+//! The deterministic sibling-extraction model.
+//!
+//! This is the "reasoning" behind [`SimLlm`](crate::sim::SimLlm) for the
+//! information-extraction prompt (§4.2 of the paper). It does what a
+//! few-shot-prompted LLM does with a PeeringDB `notes`/`aka` field, using
+//! classic NLP machinery instead of a transformer:
+//!
+//! 1. **Segmentation** — the text is split into lines and sentences;
+//!    header lines ending in `:` (or `,` before a list) open a *block*
+//!    whose polarity (sibling vs connectivity) is inherited by the list
+//!    items under it. This is what resolves the paper's two running
+//!    examples: Deutsche Telekom's `notes` ("…subsidiaries: - AS6805 …")
+//!    and Maxihost/Latitude.sh's `notes` ("We connect directly with the
+//!    following ISPs, - Algar (AS16735) …" — Listing 1).
+//! 2. **Candidate scanning** — digit runs are located with their immediate
+//!    context: `AS`/`ASN` prefixes, phone/IP/decimal adjacency, unit
+//!    suffixes (`10G`, `100ms`).
+//! 3. **Context classification** — a multilingual cue lexicon votes each
+//!    segment *sibling* (filial, subsidiária, Tochtergesellschaft, "part
+//!    of", …) or *connectivity/other* (upstream, transit, peering, IX,
+//!    communities, …); decoy filters reject years, phone numbers, street
+//!    addresses and prefix limits.
+//!
+//! The model only sees the prompt text — it has no access to ground truth,
+//! and its mistakes are genuine (e.g. a sibling mentioned with no cue at
+//! all in `notes` is conservatively dropped, which is exactly the AT&T
+//! AS7132→AS7018 false negative the paper discusses in §5.3).
+
+use borges_types::Asn;
+
+/// Which free-text field a finding came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtractionContext {
+    /// The `notes` field.
+    Notes,
+    /// The `aka` field.
+    Aka,
+}
+
+/// One extracted sibling candidate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Extraction {
+    /// The sibling ASN.
+    pub asn: Asn,
+    /// Where it was found.
+    pub field: ExtractionContext,
+    /// A human-readable justification (the "Also explain why" part of the
+    /// prompt).
+    pub reason: String,
+}
+
+/// Cues indicating co-ownership. Lower-case; matched on word boundaries in
+/// lower-cased text. Multilingual: en/es/pt/de/fr/it/id.
+const SIBLING_CUES: &[&str] = &[
+    // English
+    "sibling", "siblings", "same organization", "same organisation", "same company",
+    "same group", "part of", "belongs to", "belong to", "owned by", "owns", "subsidiary",
+    "subsidiaries", "sister company", "sister companies", "sister network", "sister networks", "parent company", "merged with",
+    "merged into", "acquired", "acquisition", "formerly", "formerly known as", "also operate",
+    "also operates", "also operating", "our other", "other asns of", "division of", "branch of",
+    "group of companies", "holding", "rebranded", "now known as", "doing business as",
+    // Spanish
+    "filial", "filiales", "subsidiaria", "subsidiarias", "parte de", "pertenece a",
+    "misma organización", "mismo grupo", "también operamos", "empresa hermana",
+    // Portuguese
+    "subsidiária", "subsidiárias", "pertence a", "faz parte de", "mesmo grupo",
+    "empresa irmã", "também operamos",
+    // German
+    "tochtergesellschaft", "tochtergesellschaften", "gehört zu", "teil der", "teil von",
+    "schwestergesellschaft", "konzern",
+    // French
+    "filiale", "filiales", "fait partie de", "appartient à", "même groupe",
+    // Italian
+    "controllata", "fa parte di", "stesso gruppo",
+    // Indonesian
+    "anak perusahaan", "bagian dari", "grup yang sama",
+];
+
+/// Cues indicating connectivity or other non-sibling relations.
+const CONNECTIVITY_CUES: &[&str] = &[
+    // English
+    "upstream", "upstreams", "transit", "provider", "providers", "peering with",
+    "peers with", "peer with", "we peer", "peering policy", "exchange", "exchanges",
+    "ix", "ixp", "route server", "route servers", "community", "communities", "as-in",
+    "as-out", "customer of", "customers of", "we connect", "connected to", "connect with",
+    "connectivity", "directly with", "blackhole", "prepend", "looking glass", "downstream",
+    "downstreams", "session", "sessions", "bgp community",
+    // Spanish
+    "proveedor", "proveedores", "tránsito", "transito", "conectamos", "conectados a",
+    "intercambio de tráfico",
+    // Portuguese
+    "fornecedor", "fornecedores", "trânsito", "conectamos", "conectados a",
+    // German
+    "anbieter", "zusammenschaltung",
+    // French
+    "fournisseur", "fournisseurs", "transitaire",
+];
+
+/// Cues marking a number as a year.
+const YEAR_CUES: &[&str] = &[
+    "since", "founded", "established", "est.", "desde", "seit", "depuis", "dal", "sejak",
+    "operating since", "in business since",
+];
+
+/// Cues marking a number as part of a phone/fax contact.
+const PHONE_CUES: &[&str] = &[
+    "phone", "tel", "tel.", "telephone", "fax", "call us", "whatsapp", "noc:", "contact",
+    "teléfono", "telefone", "telefon", "téléphone",
+];
+
+/// Cues marking a number as part of a street address.
+const ADDRESS_CUES: &[&str] = &[
+    "suite", "floor", "ave", "avenue", "street", "st.", "road", "rd.", "zip", "p.o. box",
+    "po box", "postal", "caixa postal", "piso", "oficina", "carrera", "calle", "rua", "km",
+];
+
+/// Cues marking a number as a prefix limit / routing parameter.
+const LIMIT_CUES: &[&str] = &[
+    "prefix", "prefixes", "prefijos", "prefixos", "max-prefix", "maximum", "limit", "mtu",
+    "asn32", "med", "localpref", "local-pref",
+];
+
+/// Unit suffixes that disqualify a digit run (`10G`, `100ms`, `95th`…).
+const UNIT_SUFFIXES: &[&str] = &[
+    "g", "gb", "gbps", "gbit", "m", "mb", "mbps", "mbit", "t", "tb", "tbps", "ms", "th",
+    "k", "kb", "kbps", "x", "u", "gbe",
+];
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Polarity {
+    Sibling,
+    Connectivity,
+    Neutral,
+}
+
+/// Extracts sibling ASNs from one network's `notes` and `aka` fields.
+///
+/// `subject` is the network whose record is being read; its own ASN is
+/// never reported as its sibling.
+pub fn extract_siblings(subject: Asn, notes: &str, aka: &str) -> Vec<Extraction> {
+    let mut out: Vec<Extraction> = Vec::new();
+    scan_field(subject, notes, ExtractionContext::Notes, &mut out);
+    scan_field(subject, aka, ExtractionContext::Aka, &mut out);
+    // Deduplicate by ASN keeping the first (highest-confidence) reason.
+    let mut seen = std::collections::BTreeSet::new();
+    out.retain(|e| seen.insert(e.asn));
+    out
+}
+
+fn scan_field(subject: Asn, text: &str, field: ExtractionContext, out: &mut Vec<Extraction>) {
+    if text.trim().is_empty() {
+        return;
+    }
+    let mut block_polarity = Polarity::Neutral;
+    for raw_line in text.lines() {
+        let line = raw_line.trim();
+        if line.is_empty() {
+            // Blank lines end a block.
+            block_polarity = Polarity::Neutral;
+            continue;
+        }
+        let lower = line.to_lowercase();
+
+        for sentence in split_sentences(&lower) {
+            let polarity = classify_segment(sentence);
+            let effective = match polarity {
+                Polarity::Neutral => block_polarity,
+                p => p,
+            };
+            let candidates = scan_candidates(sentence);
+            // When the writer uses the `AS<number>` convention anywhere in
+            // the sentence, bare numbers there are ordinals/quantities,
+            // not ASNs ("Backbone 2 (AS160)").
+            let has_prefixed = candidates.iter().any(|c| c.as_prefixed);
+            for candidate in candidates {
+                if has_prefixed && !candidate.as_prefixed {
+                    continue;
+                }
+                let asn = Asn::new(candidate.value);
+                if asn == subject || !asn.is_routable() {
+                    continue;
+                }
+                if is_decoy(sentence, &candidate) {
+                    continue;
+                }
+                let accept = match effective {
+                    Polarity::Sibling => true,
+                    Polarity::Connectivity => false,
+                    Polarity::Neutral => {
+                        // No cue anywhere: `aka` entries list alternative
+                        // identities, so AS-prefixed numbers there are
+                        // credible; bare numbers and uncued `notes`
+                        // mentions are conservatively dropped (the prompt
+                        // demands explicit sibling context).
+                        field == ExtractionContext::Aka && candidate.as_prefixed
+                    }
+                };
+                if accept {
+                    let reason = match effective {
+                        Polarity::Sibling => format!(
+                            "mentioned in a sibling/ownership context: \"{}\"",
+                            truncate(sentence, 80)
+                        ),
+                        _ => format!(
+                            "listed as an alternative identity in the {} field",
+                            match field {
+                                ExtractionContext::Aka => "aka",
+                                ExtractionContext::Notes => "notes",
+                            }
+                        ),
+                    };
+                    out.push(Extraction { asn, field, reason });
+                }
+            }
+        }
+
+        // Header lines (ending with ':' or ',') set the block polarity
+        // for the list items that follow; the header's own polarity is
+        // that of its final sentence.
+        let is_header = line.ends_with(':') || line.ends_with(',');
+        if is_header {
+            if let Some(last) = split_sentences(&lower).last() {
+                let p = classify_segment(last);
+                if p != Polarity::Neutral {
+                    block_polarity = p;
+                }
+            }
+        }
+    }
+}
+
+/// Every routable-ASN-shaped number appearing in `text`, in order of first
+/// appearance, deduplicated. This is the candidate universe: the output
+/// hallucination filter (§4.2) restricts model replies to it, and the
+/// fault injector fabricates false positives only from it.
+pub fn all_routable_numbers(text: &str) -> Vec<u32> {
+    let lower = text.to_lowercase();
+    let mut seen = std::collections::BTreeSet::new();
+    let mut out = Vec::new();
+    for c in scan_candidates(&lower) {
+        let asn = Asn::new(c.value);
+        if asn.is_routable() && seen.insert(c.value) {
+            out.push(c.value);
+        }
+    }
+    out
+}
+
+/// Splits a line into sentences on `". "` / `"; "` boundaries. Dots inside
+/// IP addresses or decimals (no following space) do not split.
+fn split_sentences(lower: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    let bytes = lower.as_bytes();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        if (bytes[i] == b'.' || bytes[i] == b';' || bytes[i] == b'!' || bytes[i] == b'?')
+            && bytes[i + 1] == b' '
+        {
+            let seg = lower[start..=i].trim();
+            if !seg.is_empty() {
+                out.push(seg);
+            }
+            start = i + 2;
+            i += 2;
+            continue;
+        }
+        i += 1;
+    }
+    let seg = lower[start..].trim();
+    if !seg.is_empty() {
+        out.push(seg);
+    }
+    out
+}
+
+fn classify_segment(lower: &str) -> Polarity {
+    let sibling = SIBLING_CUES.iter().any(|cue| contains_phrase(lower, cue));
+    let connectivity = CONNECTIVITY_CUES.iter().any(|cue| contains_phrase(lower, cue));
+    match (sibling, connectivity) {
+        // Connectivity cues dominate: "our subsidiary peers with AS174" is
+        // about peering. This mirrors the prompt's explicit restrictions.
+        (_, true) => Polarity::Connectivity,
+        (true, false) => Polarity::Sibling,
+        (false, false) => Polarity::Neutral,
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Candidate {
+    value: u32,
+    as_prefixed: bool,
+    /// Byte offset of the first digit in the segment.
+    start: usize,
+    /// Byte offset just past the last digit.
+    end: usize,
+}
+
+/// Finds digit runs and their `AS`-prefix status.
+fn scan_candidates(lower: &str) -> Vec<Candidate> {
+    let bytes = lower.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i].is_ascii_digit() {
+            let start = i;
+            while i < bytes.len() && bytes[i].is_ascii_digit() {
+                i += 1;
+            }
+            let end = i;
+            let digits = &lower[start..end];
+            if digits.len() > 10 {
+                continue;
+            }
+            let value: u32 = match digits.parse() {
+                Ok(v) => v,
+                Err(_) => continue,
+            };
+            let as_prefixed = has_as_prefix(lower, start);
+            out.push(Candidate {
+                value,
+                as_prefixed,
+                start,
+                end,
+            });
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// `true` when the digit run at `start` is preceded by `AS`/`ASN` (with an
+/// optional separator: `AS3320`, `AS 3320`, `AS-3320`, `ASN:3320`).
+fn has_as_prefix(lower: &str, start: usize) -> bool {
+    let head = &lower[..start];
+    let trimmed = head.trim_end_matches([' ', '-', ':', '#']);
+    let t = trimmed.as_bytes();
+    let ends_with_word = |word: &str| {
+        if !trimmed.ends_with(word) {
+            return false;
+        }
+        let before = trimmed.len() - word.len();
+        before == 0 || !t[before - 1].is_ascii_alphanumeric()
+    };
+    ends_with_word("as") || ends_with_word("asn")
+}
+
+/// Rejects decoy numerals: IPs, decimals, phones, years, addresses,
+/// prefix limits, unit-suffixed quantities.
+fn is_decoy(lower: &str, c: &Candidate) -> bool {
+    let bytes = lower.as_bytes();
+
+    // Adjacent '.' + digit on either side ⇒ IP address or decimal.
+    let dotted_before = c.start >= 2
+        && bytes[c.start - 1] == b'.'
+        && bytes[c.start - 2].is_ascii_digit();
+    let dotted_after = c.end + 1 < bytes.len()
+        && bytes[c.end] == b'.'
+        && bytes[c.end + 1].is_ascii_digit();
+    if dotted_before || dotted_after {
+        return true;
+    }
+
+    // '+' immediately before (international phone), or digit-hyphen-digit
+    // chains longer than the run itself (555-1234).
+    if c.start >= 1 && bytes[c.start - 1] == b'+' {
+        return true;
+    }
+    let hyphen_chain = (c.end < bytes.len()
+        && bytes[c.end] == b'-'
+        && c.end + 1 < bytes.len()
+        && bytes[c.end + 1].is_ascii_digit())
+        || (c.start >= 2 && bytes[c.start - 1] == b'-' && bytes[c.start - 2].is_ascii_digit());
+    if hyphen_chain && !c.as_prefixed {
+        return true;
+    }
+
+    // Unit suffix (10g, 100ms…): letters immediately after the run forming
+    // a known unit.
+    if c.end < bytes.len() && bytes[c.end].is_ascii_alphabetic() {
+        let tail: String = lower[c.end..]
+            .chars()
+            .take_while(|ch| ch.is_ascii_alphabetic())
+            .collect();
+        if UNIT_SUFFIXES.contains(&tail.as_str()) {
+            return true;
+        }
+    }
+
+    if c.as_prefixed {
+        // An explicit AS prefix overrides the remaining contextual decoy
+        // heuristics.
+        return false;
+    }
+
+    // Years.
+    if (1900..=2035).contains(&c.value) && YEAR_CUES.iter().any(|cue| contains_phrase(lower, cue))
+    {
+        return true;
+    }
+    // Contact/address/limit contexts poison bare numbers in the segment.
+    if PHONE_CUES.iter().any(|cue| contains_phrase(lower, cue))
+        || ADDRESS_CUES.iter().any(|cue| contains_phrase(lower, cue))
+        || LIMIT_CUES.iter().any(|cue| contains_phrase(lower, cue))
+    {
+        return true;
+    }
+    false
+}
+
+/// Word-boundary-aware phrase containment over lower-cased text.
+fn contains_phrase(lower: &str, phrase: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = lower[from..].find(phrase) {
+        let start = from + pos;
+        let end = start + phrase.len();
+        let ok_before = start == 0
+            || !lower.as_bytes()[start - 1].is_ascii_alphanumeric();
+        let ok_after = end >= lower.len() || {
+            let b = lower.as_bytes()[end];
+            !b.is_ascii_alphanumeric()
+        };
+        if ok_before && ok_after {
+            return true;
+        }
+        from = start + 1;
+    }
+    false
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.len() <= max {
+        s.to_string()
+    } else {
+        let mut end = max;
+        while !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        format!("{}…", &s[..end])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asns(out: &[Extraction]) -> Vec<u32> {
+        let mut v: Vec<u32> = out.iter().map(|e| e.asn.value()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn deutsche_telekom_style_subsidiary_list() {
+        // Mirrors Figure 4: DT reports European subsidiaries in notes.
+        let notes = "Deutsche Telekom Global Carrier.\n\
+                     Our European subsidiaries:\n\
+                     - Magyar Telekom (AS5483)\n\
+                     - Slovak Telekom (AS6855)\n\
+                     - Hrvatski Telekom (AS5391)";
+        let out = extract_siblings(Asn::new(3320), notes, "");
+        assert_eq!(asns(&out), vec![5391, 5483, 6855]);
+    }
+
+    #[test]
+    fn maxihost_style_upstream_list_is_ignored() {
+        // Mirrors Listing 1 (Appendix B): upstream connectivity is NOT
+        // sibling information.
+        let notes = "Maxihost deploys high-performance physical servers.\n\
+                     \n\
+                     We connect directly with the following ISPs,\n\
+                     - Algar (AS16735)\n\
+                     - Sparkle (AS6762)\n\
+                     - Voxility (AS3223)\n\
+                     - GTT (AS3257)\n\
+                     - Cogent (AS174)";
+        let out = extract_siblings(Asn::new(262287), notes, "");
+        assert!(out.is_empty(), "extracted {:?}", out);
+    }
+
+    #[test]
+    fn blank_line_resets_block_polarity() {
+        let notes = "Our subsidiaries:\n- AS100 West\n\nUpstreams:\n- AS200";
+        let out = extract_siblings(Asn::new(1), notes, "");
+        assert_eq!(asns(&out), vec![100]);
+    }
+
+    #[test]
+    fn inline_sibling_sentence() {
+        let notes = "AS6470 is part of the Acme group, same organization as AS2914.";
+        let out = extract_siblings(Asn::new(1), notes, "");
+        assert_eq!(asns(&out), vec![2914, 6470]);
+    }
+
+    #[test]
+    fn connectivity_cue_dominates_mixed_sentence() {
+        let notes = "Our subsidiary network peers with AS174 at multiple locations.";
+        let out = extract_siblings(Asn::new(1), notes, "");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn aka_as_prefixed_numbers_are_credible_without_cues() {
+        let out = extract_siblings(Asn::new(22822), "", "Edgecast, AS15133");
+        assert_eq!(asns(&out), vec![15133]);
+    }
+
+    #[test]
+    fn aka_bare_numbers_are_not_extracted_without_cues() {
+        let out = extract_siblings(Asn::new(1), "", "Established 2010, 500 employees");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn notes_uncued_as_mention_is_dropped() {
+        // The AT&T case from §5.3: AS7132 claims AS7018 with no ownership
+        // cue → conservatively dropped (a real FN of the method).
+        let notes = "See AS7018 for peering details.";
+        let out = extract_siblings(Asn::new(7132), notes, "");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn own_asn_is_never_a_sibling() {
+        let notes = "Sibling networks: AS100, AS200";
+        let out = extract_siblings(Asn::new(100), notes, "");
+        assert_eq!(asns(&out), vec![200]);
+    }
+
+    #[test]
+    fn phone_numbers_are_rejected() {
+        let notes = "Part of Acme group. NOC: phone +1 555 0100, ext 3356.";
+        let out = extract_siblings(Asn::new(1), notes, "");
+        assert!(out.is_empty(), "extracted {:?}", out);
+    }
+
+    #[test]
+    fn years_are_rejected() {
+        let notes = "Subsidiary of Acme, founded 1998.";
+        let out = extract_siblings(Asn::new(1), notes, "");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn prefix_limits_are_rejected() {
+        let notes = "Same organization as AS5511. Max prefixes: 2000.";
+        let out = extract_siblings(Asn::new(1), notes, "");
+        assert_eq!(asns(&out), vec![5511]);
+    }
+
+    #[test]
+    fn ip_addresses_are_rejected() {
+        let notes = "Sibling AS2914. Route server at 192.0.2.1.";
+        let out = extract_siblings(Asn::new(1), notes, "");
+        assert_eq!(asns(&out), vec![2914]);
+    }
+
+    #[test]
+    fn unit_suffixed_quantities_are_rejected() {
+        let notes = "Our sister company AS3257 offers 100G ports.";
+        let out = extract_siblings(Asn::new(1), notes, "");
+        assert_eq!(asns(&out), vec![3257]);
+    }
+
+    #[test]
+    fn spanish_sibling_cue() {
+        let notes = "Somos filial de Telefónica, también operamos AS6147.";
+        let out = extract_siblings(Asn::new(1), notes, "");
+        assert_eq!(asns(&out), vec![6147]);
+    }
+
+    #[test]
+    fn portuguese_sibling_cue() {
+        let notes = "Esta rede pertence a Claro Brasil, mesmo grupo que AS4230.";
+        let out = extract_siblings(Asn::new(1), notes, "");
+        assert_eq!(asns(&out), vec![4230]);
+    }
+
+    #[test]
+    fn german_sibling_cue() {
+        let notes = "Tochtergesellschaft der Deutsche Telekom, siehe AS3320.";
+        let out = extract_siblings(Asn::new(1), notes, "");
+        assert_eq!(asns(&out), vec![3320]);
+    }
+
+    #[test]
+    fn spanish_connectivity_cue() {
+        let notes = "Conectamos con los proveedores AS174 y AS3356.";
+        let out = extract_siblings(Asn::new(1), notes, "");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn private_and_reserved_asns_are_dropped() {
+        let notes = "Siblings: AS64512, AS0, AS23456, AS65001, AS2914";
+        let out = extract_siblings(Asn::new(1), notes, "");
+        assert_eq!(asns(&out), vec![2914]);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let notes = "Siblings: AS100. Our sibling AS100 again.";
+        let out = extract_siblings(Asn::new(1), notes, "");
+        assert_eq!(asns(&out), vec![100]);
+    }
+
+    #[test]
+    fn as_prefix_variants() {
+        let notes = "Siblings: AS100, AS 200, AS-300, ASN:400, asn 500";
+        let out = extract_siblings(Asn::new(1), notes, "");
+        assert_eq!(asns(&out), vec![100, 200, 300, 400, 500]);
+    }
+
+    #[test]
+    fn word_ending_in_as_is_not_a_prefix() {
+        // "gas 3356" must not read as AS3356 — but in a sibling-cued line
+        // bare numbers are accepted anyway; use a neutral aka line where
+        // only AS-prefixed numbers count.
+        let out = extract_siblings(Asn::new(1), "", "texas 3356 gas 209");
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn empty_fields_yield_nothing() {
+        assert!(extract_siblings(Asn::new(1), "", "").is_empty());
+        assert!(extract_siblings(Asn::new(1), "   \n ", " \t").is_empty());
+    }
+
+    #[test]
+    fn reasons_are_informative() {
+        let notes = "Our subsidiaries: AS100";
+        let out = extract_siblings(Asn::new(1), notes, "");
+        assert!(out[0].reason.contains("sibling/ownership"));
+    }
+}

@@ -1,0 +1,210 @@
+//! OpenAI chat-completions wire format.
+//!
+//! The paper drives GPT-4o-mini through OpenAI's chat-completions API.
+//! This module converts between the workspace's [`ChatRequest`] /
+//! [`ChatResponse`] and the exact JSON bodies that API speaks — the only
+//! missing piece of a production backend is the HTTP transport (which is
+//! out of scope for this offline environment, deliberately: the adapter
+//! is pure and fully testable).
+//!
+//! ```
+//! use borges_llm::openai_wire;
+//! use borges_llm::chat::ChatRequest;
+//!
+//! let body = openai_wire::request_body(&ChatRequest::user("hi"), "gpt-4o-mini");
+//! assert_eq!(body["model"], "gpt-4o-mini");
+//! assert_eq!(body["temperature"], 0.0);
+//! ```
+
+use crate::chat::{ChatRequest, ChatResponse, Content, Role, Usage};
+use serde_json::{json, Value};
+use std::error::Error;
+use std::fmt;
+
+/// Failure to interpret an API response body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// What was missing or malformed.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "openai response: {}", self.reason)
+    }
+}
+
+impl Error for WireError {}
+
+fn role_name(role: Role) -> &'static str {
+    match role {
+        Role::System => "system",
+        Role::User => "user",
+        Role::Assistant => "assistant",
+    }
+}
+
+/// Builds the JSON body for `POST /v1/chat/completions`.
+///
+/// Image parts become `image_url` entries with a `data:` URL carrying the
+/// favicon identity — exactly the shape of Listing 3's multimodal message
+/// (a production client would substitute the real base64 payload).
+pub fn request_body(request: &ChatRequest, model: &str) -> Value {
+    let messages: Vec<Value> = request
+        .messages
+        .iter()
+        .map(|message| {
+            let needs_parts = message.parts.iter().any(|p| matches!(p, Content::Image { .. }));
+            let content: Value = if needs_parts {
+                Value::Array(
+                    message
+                        .parts
+                        .iter()
+                        .map(|part| match part {
+                            Content::Text(text) => json!({"type": "text", "text": text}),
+                            Content::Image { favicon } => json!({
+                                "type": "image_url",
+                                "image_url": {
+                                    "url": format!("data:image/x-favicon-hash;base64,{:016x}", favicon.raw())
+                                }
+                            }),
+                        })
+                        .collect(),
+                )
+            } else {
+                Value::String(message.joined_text())
+            };
+            json!({"role": role_name(message.role), "content": content})
+        })
+        .collect();
+    json!({
+        "model": model,
+        "temperature": request.params.temperature,
+        "top_p": request.params.top_p,
+        "messages": messages,
+    })
+}
+
+/// Parses a chat-completions response body into a [`ChatResponse`].
+pub fn parse_response(body: &Value) -> Result<ChatResponse, WireError> {
+    let text = body["choices"]
+        .get(0)
+        .and_then(|c| c["message"]["content"].as_str())
+        .ok_or(WireError {
+            reason: "missing choices[0].message.content",
+        })?
+        .to_string();
+    let usage = Usage {
+        prompt_tokens: body["usage"]["prompt_tokens"].as_u64().unwrap_or(0),
+        completion_tokens: body["usage"]["completion_tokens"].as_u64().unwrap_or(0),
+    };
+    Ok(ChatResponse { text, usage })
+}
+
+/// Renders the response body a conforming server would send for `response`
+/// (used to test the adapter against itself and to mock servers).
+pub fn response_body(response: &ChatResponse, model: &str) -> Value {
+    json!({
+        "id": "chatcmpl-borges",
+        "object": "chat.completion",
+        "model": model,
+        "choices": [{
+            "index": 0,
+            "message": {"role": "assistant", "content": response.text},
+            "finish_reason": "stop",
+        }],
+        "usage": {
+            "prompt_tokens": response.usage.prompt_tokens,
+            "completion_tokens": response.usage.completion_tokens,
+            "total_tokens": response.usage.total(),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chat::{ChatModel, DecodingParams, Message};
+    use crate::prompts::build_classifier_prompt;
+    use crate::SimLlm;
+    use borges_types::FaviconHash;
+
+    #[test]
+    fn request_body_carries_the_papers_decoding_params() {
+        let body = request_body(&ChatRequest::user("extract"), "gpt-4o-mini");
+        assert_eq!(body["model"], "gpt-4o-mini");
+        assert_eq!(body["temperature"], 0.0);
+        assert_eq!(body["top_p"], 1.0);
+        assert_eq!(body["messages"][0]["role"], "user");
+        assert_eq!(body["messages"][0]["content"], "extract");
+    }
+
+    #[test]
+    fn multimodal_messages_use_part_arrays() {
+        let request = ChatRequest {
+            messages: vec![Message {
+                role: Role::User,
+                parts: vec![
+                    Content::Text(build_classifier_prompt(&["https://a.com/".into()])),
+                    Content::Image {
+                        favicon: FaviconHash::from_raw(0xabcd),
+                    },
+                ],
+            }],
+            params: DecodingParams::deterministic(),
+        };
+        let body = request_body(&request, "gpt-4o-mini");
+        let parts = body["messages"][0]["content"].as_array().unwrap();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0]["type"], "text");
+        assert_eq!(parts[1]["type"], "image_url");
+        assert!(parts[1]["image_url"]["url"]
+            .as_str()
+            .unwrap()
+            .starts_with("data:image/"));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let original = ChatResponse {
+            text: r#"[{"asn": 209, "reason": "sibling"}]"#.to_string(),
+            usage: Usage {
+                prompt_tokens: 120,
+                completion_tokens: 14,
+            },
+        };
+        let body = response_body(&original, "gpt-4o-mini");
+        let back = parse_response(&body).unwrap();
+        assert_eq!(back, original);
+        assert_eq!(body["usage"]["total_tokens"], 134);
+    }
+
+    #[test]
+    fn malformed_responses_are_rejected() {
+        assert!(parse_response(&json!({})).is_err());
+        assert!(parse_response(&json!({"choices": []})).is_err());
+        assert!(parse_response(&json!({"choices": [{"message": {}}]})).is_err());
+    }
+
+    #[test]
+    fn simllm_over_the_wire_equals_simllm_direct() {
+        // A "server" backed by SimLlm, spoken to through the wire format,
+        // must reproduce the direct call exactly — the adapter adds and
+        // loses nothing.
+        let llm = SimLlm::new(7);
+        let request = ChatRequest::user(crate::prompts::build_ie_prompt(
+            borges_types::Asn::new(3320),
+            "Our subsidiaries: AS6855.",
+            "",
+        ));
+        let direct = llm.complete(&request);
+
+        let wire_request = request_body(&request, "gpt-4o-mini");
+        // The "server" reconstructs the text and answers.
+        let served_text = wire_request["messages"][0]["content"].as_str().unwrap();
+        let served = llm.complete(&ChatRequest::user(served_text));
+        let wire_response = response_body(&served, "gpt-4o-mini");
+        let back = parse_response(&wire_response).unwrap();
+        assert_eq!(back.text, direct.text);
+    }
+}

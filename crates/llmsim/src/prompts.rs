@@ -1,0 +1,274 @@
+//! The paper's prompts as templates, and reply parsing.
+//!
+//! Listing 2 (information extraction over `notes`/`aka`) and Listing 3
+//! (favicon/URL company classification) are reproduced here as the exact
+//! text the pipeline sends. Because prompts are owned by this module, so
+//! are their inverses: [`parse_ie_prompt_fields`] and
+//! [`parse_classifier_prompt_fields`] recover the structured fields from a
+//! rendered prompt (this is what the simulated model "reads"), and
+//! [`parse_ie_reply`] / [`parse_classifier_reply`] turn model completions
+//! back into structured data for the pipeline.
+
+use borges_types::Asn;
+use serde::{Deserialize, Serialize};
+
+/// The paper's JSON output contract appended to the IE prompt
+/// (`{format_instructions}` in Listing 2).
+pub const IE_FORMAT_INSTRUCTIONS: &str = "Reply with a JSON array, one object per sibling AS, \
+shaped like [{\"asn\": 3320, \"reason\": \"...\"}]. Reply [] if there are no siblings.";
+
+/// Renders the information-extraction prompt of Listing 2.
+///
+/// The wording follows the paper's released prompt: the model must report
+/// only ASNs operated by the same organization, ignore upstream/connectivity
+/// mentions and `as-in`/`as-out` sections, and only report numbers that are
+/// explicitly present in the fields.
+pub fn build_ie_prompt(asn: Asn, notes: &str, aka: &str) -> String {
+    format!(
+        "You are a network topology expert who wants to find Autonomous Systems (ASs) that \
+belong to the same organization by reading the peeringdb information.\n\
+\n\
+Please inform the ASs that are peering with the original AS.\n\
+Don't inform the AS that the original AS is connected to, inform the ones that are peering \
+as the same organization.\n\
+If some AS number is mentioned in the 'as-in' and 'as-out' sections in the Notes field, it \
+doesn't mean that they belong to the same organization.\n\
+\n\
+The PeeringDB information for the ASN {asn_num} is:\n\
+\n\
+Notes: <<<{notes}>>>\n\
+\n\
+AKA: <<<{aka}>>>\n\
+\n\
+{format_instructions}\n\
+\n\
+Just inform an AS if its number is explicitly written in the AKA or Notes fields provided.\n\
+You don't know the relation between a company name and its AS number.\n\
+Also explain why you choose the ASs informed.\n",
+        asn_num = asn.value(),
+        notes = notes,
+        aka = aka,
+        format_instructions = IE_FORMAT_INSTRUCTIONS,
+    )
+}
+
+/// The structured fields of a rendered IE prompt.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IePromptFields {
+    /// The subject network's ASN.
+    pub asn: Asn,
+    /// The `notes` field verbatim.
+    pub notes: String,
+    /// The `aka` field verbatim.
+    pub aka: String,
+}
+
+/// Recovers [`IePromptFields`] from a rendered IE prompt. Returns `None`
+/// for prompts not produced by [`build_ie_prompt`].
+pub fn parse_ie_prompt_fields(prompt: &str) -> Option<IePromptFields> {
+    let asn_str = substr_between(prompt, "for the ASN ", " is:")?;
+    let asn: Asn = asn_str.trim().parse().ok()?;
+    let notes = substr_between(prompt, "Notes: <<<", ">>>")?;
+    let after_notes = &prompt[prompt.find("Notes: <<<")? + 10 + notes.len()..];
+    let aka = substr_between(after_notes, "AKA: <<<", ">>>")?;
+    Some(IePromptFields {
+        asn,
+        notes: notes.to_string(),
+        aka: aka.to_string(),
+    })
+}
+
+/// One sibling finding in an IE reply.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IeFinding {
+    /// The extracted sibling ASN.
+    pub asn: Asn,
+    /// The model's stated justification.
+    pub reason: String,
+}
+
+/// Serializes findings into the reply format the IE contract demands
+/// (used by simulated models).
+pub fn render_ie_reply(findings: &[IeFinding]) -> String {
+    serde_json::to_string(findings).expect("findings serialize")
+}
+
+/// Parses an IE completion into findings.
+///
+/// Tolerates prose around the JSON array (real models often add
+/// explanation despite instructions); the first well-formed JSON array in
+/// the text wins. Returns an empty list when no array parses — the safe
+/// reading of a confused reply.
+pub fn parse_ie_reply(reply: &str) -> Vec<IeFinding> {
+    for (start, _) in reply.match_indices('[') {
+        let tail = &reply[start..];
+        // Find the matching close bracket by scanning depth.
+        let mut depth = 0usize;
+        for (off, ch) in tail.char_indices() {
+            match ch {
+                '[' => depth += 1,
+                ']' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        let candidate = &tail[..=off];
+                        if let Ok(findings) = serde_json::from_str::<Vec<IeFinding>>(candidate) {
+                            return findings;
+                        }
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    Vec::new()
+}
+
+/// Renders the classification prompt of Listing 3. The favicon image is
+/// attached separately as a [`Content::Image`](crate::chat::Content) part;
+/// this function renders the text part.
+pub fn build_classifier_prompt(final_urls: &[String]) -> String {
+    format!(
+        "Accessing these URLs [{urls}] returned the attached favicon. If it is a \
+telecommunications company, what is the company's name? If it is a subsidiary, provide the \
+parent company's name. If it is not a telecommunications company, is it a hosting \
+technology? Reply only with the name of the company or technology. If it is none of the \
+above, reply 'I don't know'.",
+        urls = final_urls.join(", "),
+    )
+}
+
+/// Recovers the URL list from a rendered classification prompt.
+pub fn parse_classifier_prompt_fields(prompt: &str) -> Option<Vec<String>> {
+    let urls = substr_between(prompt, "Accessing these URLs [", "] returned")?;
+    Some(
+        urls.split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect(),
+    )
+}
+
+/// A parsed classifier completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClassifierReply {
+    /// The model named a company or technology.
+    Name(String),
+    /// The model declined (`"I don't know"`).
+    DontKnow,
+}
+
+/// Parses a classification completion. Any spelling of "I don't know"
+/// (case/punctuation-insensitive) maps to [`ClassifierReply::DontKnow`];
+/// everything else is treated as a name, trimmed of quotes and periods.
+pub fn parse_classifier_reply(reply: &str) -> ClassifierReply {
+    let t = reply
+        .trim()
+        .trim_matches(|c: char| c == '"' || c == '\'' || c == '.' || c == '!')
+        .trim();
+    let folded: String = t
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .collect::<String>()
+        .to_ascii_lowercase();
+    if folded == "idontknow" || folded == "idk" || folded.is_empty() {
+        ClassifierReply::DontKnow
+    } else {
+        ClassifierReply::Name(t.to_string())
+    }
+}
+
+fn substr_between<'a>(text: &'a str, open: &str, close: &str) -> Option<&'a str> {
+    let start = text.find(open)? + open.len();
+    let end = text[start..].find(close)? + start;
+    Some(&text[start..end])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ie_prompt_roundtrips_fields() {
+        let notes = "Siblings: AS209 and AS3549.\nUpstream: AS174";
+        let aka = "Level 3, Lumen";
+        let prompt = build_ie_prompt(Asn::new(3356), notes, aka);
+        let fields = parse_ie_prompt_fields(&prompt).unwrap();
+        assert_eq!(fields.asn, Asn::new(3356));
+        assert_eq!(fields.notes, notes);
+        assert_eq!(fields.aka, aka);
+    }
+
+    #[test]
+    fn ie_prompt_mentions_the_restrictions() {
+        let prompt = build_ie_prompt(Asn::new(1), "", "");
+        assert!(prompt.contains("as-in"));
+        assert!(prompt.contains("explicitly written"));
+        assert!(prompt.contains(IE_FORMAT_INSTRUCTIONS));
+    }
+
+    #[test]
+    fn ie_reply_roundtrip() {
+        let findings = vec![
+            IeFinding {
+                asn: Asn::new(209),
+                reason: "listed as sibling".into(),
+            },
+            IeFinding {
+                asn: Asn::new(3549),
+                reason: "former Global Crossing".into(),
+            },
+        ];
+        let text = render_ie_reply(&findings);
+        assert_eq!(parse_ie_reply(&text), findings);
+    }
+
+    #[test]
+    fn ie_reply_tolerates_surrounding_prose() {
+        let text = "Sure! Here are the siblings:\n[{\"asn\": 209, \"reason\": \"sibling\"}]\nHope that helps.";
+        let parsed = parse_ie_reply(text);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].asn, Asn::new(209));
+    }
+
+    #[test]
+    fn ie_reply_empty_and_garbage() {
+        assert!(parse_ie_reply("[]").is_empty());
+        assert!(parse_ie_reply("no JSON here").is_empty());
+        assert!(parse_ie_reply("[1, 2, 3]").is_empty(), "wrong element shape");
+    }
+
+    #[test]
+    fn ie_reply_skips_malformed_array_and_finds_later_one() {
+        let text = "[broken [{\"asn\": 7, \"reason\": \"x\"}]";
+        let parsed = parse_ie_reply(text);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].asn, Asn::new(7));
+    }
+
+    #[test]
+    fn classifier_prompt_roundtrips_urls() {
+        let urls = vec![
+            "https://www.clarochile.cl/personas/".to_string(),
+            "https://www.claropr.com/personas/".to_string(),
+        ];
+        let prompt = build_classifier_prompt(&urls);
+        assert_eq!(parse_classifier_prompt_fields(&prompt).unwrap(), urls);
+    }
+
+    #[test]
+    fn classifier_reply_parsing() {
+        assert_eq!(
+            parse_classifier_reply("Claro"),
+            ClassifierReply::Name("Claro".into())
+        );
+        assert_eq!(
+            parse_classifier_reply("\"WordPress\"."),
+            ClassifierReply::Name("WordPress".into())
+        );
+        assert_eq!(parse_classifier_reply("I don't know"), ClassifierReply::DontKnow);
+        assert_eq!(parse_classifier_reply("I DON'T KNOW."), ClassifierReply::DontKnow);
+        assert_eq!(parse_classifier_reply("  "), ClassifierReply::DontKnow);
+    }
+}

@@ -1,0 +1,243 @@
+//! [`SimLlm`]: the simulated GPT-4o-mini behind [`ChatModel`].
+//!
+//! `SimLlm` receives the same rendered prompts a real model would, decides
+//! which task it is being asked to perform by reading them, and answers in
+//! the same textual formats. The pipeline cannot tell it apart from a real
+//! backend — swap in an HTTP adapter implementing [`ChatModel`] and
+//! nothing else changes.
+
+use crate::chat::{ChatModel, ChatRequest, ChatResponse};
+use crate::classifier::{classify_favicon_group, FaviconVerdict};
+use crate::faults::FaultProfile;
+use crate::ner::{all_routable_numbers, extract_siblings};
+use crate::prompts::{
+    parse_classifier_prompt_fields, parse_ie_prompt_fields, render_ie_reply, IeFinding,
+};
+use borges_types::{Asn, Url};
+
+/// The deterministic simulated LLM.
+///
+/// Construct with [`SimLlm::new`] for paper-calibrated error rates, or
+/// [`SimLlm::flawless`] to study the pipeline with a perfect extractor
+/// (ablation baseline).
+#[derive(Debug, Clone)]
+pub struct SimLlm {
+    faults: FaultProfile,
+    model_id: String,
+}
+
+impl SimLlm {
+    /// A model with the given fault profile.
+    pub fn with_faults(faults: FaultProfile) -> Self {
+        SimLlm {
+            faults,
+            model_id: "sim-gpt-4o-mini".to_string(),
+        }
+    }
+
+    /// The paper-calibrated model (GPT-4o-mini error rates, seeded).
+    pub fn new(seed: u64) -> Self {
+        Self::with_faults(FaultProfile::gpt4o_mini(seed))
+    }
+
+    /// A fault-free model whose only errors are genuine reasoning limits.
+    pub fn flawless() -> Self {
+        Self::with_faults(FaultProfile::none())
+    }
+
+    /// The active fault profile.
+    pub fn faults(&self) -> FaultProfile {
+        self.faults
+    }
+
+    fn answer_ie(&self, subject: Asn, notes: &str, aka: &str) -> String {
+        let mut findings: Vec<IeFinding> = extract_siblings(subject, notes, aka)
+            .into_iter()
+            .filter(|e| !self.faults.drops(subject, e.asn))
+            .map(|e| IeFinding {
+                asn: e.asn,
+                reason: e.reason,
+            })
+            .collect();
+
+        // Fabrications: numbers present in the text that the reasoning
+        // rejected can still slip through at the spurious rate.
+        let already: std::collections::BTreeSet<u32> =
+            findings.iter().map(|f| f.asn.value()).collect();
+        let full_text = format!("{notes}\n{aka}");
+        for value in all_routable_numbers(&full_text) {
+            if value != subject.value()
+                && !already.contains(&value)
+                && self.faults.fabricates(subject, value)
+            {
+                findings.push(IeFinding {
+                    asn: Asn::new(value),
+                    reason: "mentioned in the provided fields".to_string(),
+                });
+            }
+        }
+        render_ie_reply(&findings)
+    }
+
+    fn answer_classifier(&self, request: &ChatRequest, urls: &[String]) -> String {
+        let favicon = match request.image() {
+            Some(f) => f,
+            None => return "I don't know".to_string(),
+        };
+        let parsed: Vec<Url> = urls.iter().filter_map(|u| u.parse().ok()).collect();
+        if parsed.len() != urls.len() {
+            return "I don't know".to_string();
+        }
+        match classify_favicon_group(favicon, &parsed) {
+            FaviconVerdict::Company(name) => name,
+            FaviconVerdict::Framework(name) => name,
+            FaviconVerdict::Unknown => "I don't know".to_string(),
+        }
+    }
+}
+
+impl ChatModel for SimLlm {
+    fn complete(&self, request: &ChatRequest) -> ChatResponse {
+        assert!(
+            request.params.is_deterministic(),
+            "SimLlm reproduces the paper's temperature-0/top-p-1 setting only; \
+             got temperature={}, top_p={}",
+            request.params.temperature,
+            request.params.top_p
+        );
+        let text = request.full_text();
+        let reply = if let Some(fields) = parse_ie_prompt_fields(&text) {
+            self.answer_ie(fields.asn, &fields.notes, &fields.aka)
+        } else if let Some(urls) = parse_classifier_prompt_fields(&text) {
+            self.answer_classifier(request, &urls)
+        } else {
+            "I don't know".to_string()
+        };
+        let usage = crate::chat::Usage::estimate(&text, &reply);
+        ChatResponse { text: reply, usage }
+    }
+
+    fn model_id(&self) -> &str {
+        &self.model_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chat::{Content, Message, Role};
+    use crate::prompts::{build_classifier_prompt, build_ie_prompt, parse_ie_reply};
+    use borges_types::FaviconHash;
+
+    fn ie_request(asn: u32, notes: &str, aka: &str) -> ChatRequest {
+        ChatRequest::user(build_ie_prompt(Asn::new(asn), notes, aka))
+    }
+
+    #[test]
+    fn ie_end_to_end() {
+        let llm = SimLlm::flawless();
+        let req = ie_request(3320, "Our subsidiaries: AS6855 and AS5391.", "");
+        let reply = llm.complete(&req);
+        let findings = parse_ie_reply(&reply.text);
+        let mut asns: Vec<u32> = findings.iter().map(|f| f.asn.value()).collect();
+        asns.sort_unstable();
+        assert_eq!(asns, vec![5391, 6855]);
+    }
+
+    #[test]
+    fn classifier_end_to_end() {
+        let llm = SimLlm::flawless();
+        let urls = vec![
+            "https://www.orange.es/".to_string(),
+            "https://www.orange.pl/".to_string(),
+        ];
+        let req = ChatRequest {
+            messages: vec![Message {
+                role: Role::User,
+                parts: vec![
+                    Content::Text(build_classifier_prompt(&urls)),
+                    Content::Image {
+                        favicon: FaviconHash::of_bytes(b"brand:orange"),
+                    },
+                ],
+            }],
+            params: Default::default(),
+        };
+        assert_eq!(llm.complete(&req).text, "Orange");
+    }
+
+    #[test]
+    fn classifier_without_image_declines() {
+        let llm = SimLlm::flawless();
+        let req = ChatRequest::user(build_classifier_prompt(&["https://a.com/".to_string()]));
+        assert_eq!(llm.complete(&req).text, "I don't know");
+    }
+
+    #[test]
+    fn unknown_prompt_declines() {
+        let llm = SimLlm::flawless();
+        assert_eq!(llm.complete(&ChatRequest::user("hello")).text, "I don't know");
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature")]
+    fn non_deterministic_params_are_refused() {
+        let llm = SimLlm::flawless();
+        let mut req = ChatRequest::user("hi");
+        req.params.temperature = 0.7;
+        llm.complete(&req);
+    }
+
+    #[test]
+    fn faulty_model_is_deterministic() {
+        let llm = SimLlm::new(42);
+        let req = ie_request(1, "Siblings: AS100, AS200, AS300, AS400.", "");
+        let a = llm.complete(&req).text;
+        let b = llm.complete(&req).text;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fault_profile_changes_output_somewhere() {
+        // Across many records, an injected-fault model must diverge from a
+        // flawless one.
+        let flawless = SimLlm::flawless();
+        let faulty = SimLlm::with_faults(FaultProfile {
+            miss_rate: 0.5,
+            spurious_rate: 0.0,
+            seed: 3,
+        });
+        let mut diverged = false;
+        for asn in 1..50u32 {
+            let req = ie_request(asn, "Our subsidiaries: AS1111, AS2222.", "");
+            if flawless.complete(&req).text != faulty.complete(&req).text {
+                diverged = true;
+                break;
+            }
+        }
+        assert!(diverged);
+    }
+
+    #[test]
+    fn fabrications_only_use_numbers_present_in_text() {
+        let llm = SimLlm::with_faults(FaultProfile {
+            miss_rate: 0.0,
+            spurious_rate: 1.0,
+            seed: 1,
+        });
+        let req = ie_request(1, "Upstream providers: AS174. Phone 555.", "");
+        let findings = parse_ie_reply(&llm.complete(&req).text);
+        for f in &findings {
+            assert!(
+                [174u32, 555].contains(&f.asn.value()),
+                "fabricated {} out of thin air",
+                f.asn
+            );
+        }
+    }
+
+    #[test]
+    fn model_id_is_stable() {
+        assert_eq!(SimLlm::flawless().model_id(), "sim-gpt-4o-mini");
+    }
+}

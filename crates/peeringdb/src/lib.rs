@@ -1,0 +1,28 @@
+//! # borges-peeringdb
+//!
+//! The PeeringDB substrate of Borges.
+//!
+//! PeeringDB mirrors the WHOIS entity-relation structure — `org` objects
+//! linked one-to-many to `net` objects — but is *operator-driven*: records
+//! are maintained by the network engineers themselves, which makes the
+//! PeeringDB organization key (`OID_P`) reflect operational reality where
+//! WHOIS reflects legal allocation boundaries (§4.1 of the paper). PeeringDB
+//! is also where the free-text `notes`/`aka` fields (§4.2) and the
+//! self-reported `website` field (§4.3) live.
+//!
+//! This crate provides:
+//!
+//! * [`schema`] — `org`/`net` record types matching the PeeringDB API dump
+//!   field names;
+//! * [`snapshot`] — an indexed, immutable snapshot with a JSON round-trip in
+//!   the familiar `{"org": {"data": [...]}, "net": {"data": [...]}}` dump
+//!   shape, so genuine PeeringDB dumps can be adapted in.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod schema;
+pub mod snapshot;
+
+pub use schema::{PdbNetwork, PdbOrganization};
+pub use snapshot::{PdbSnapshot, PdbSnapshotBuilder, SnapshotError};

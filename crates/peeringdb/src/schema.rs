@@ -1,0 +1,153 @@
+//! PeeringDB record types.
+//!
+//! Field names follow the PeeringDB API dump so that serde can read adapted
+//! real dumps. Only the fields Borges consumes are modeled; PeeringDB's
+//! many peering-operational fields (`info_prefixes4`, `policy_general`, …)
+//! are irrelevant to organization mapping and are skipped on input.
+
+use borges_types::{Asn, PdbOrgId};
+use serde::{Deserialize, Serialize};
+
+/// A PeeringDB `org` object.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PdbOrganization {
+    /// Primary key — the `OID_P` organization key of §4.1.
+    pub id: PdbOrgId,
+    /// Organization display name.
+    pub name: String,
+    /// Organization website (raw operator input; may be empty or junk).
+    #[serde(default)]
+    pub website: String,
+    /// ISO-3166 alpha-2 country, or empty when unset.
+    #[serde(default)]
+    pub country: String,
+}
+
+/// A PeeringDB `net` object.
+///
+/// The three free-form fields — [`aka`](Self::aka), [`notes`](Self::notes)
+/// and [`website`](Self::website) — are the paper's raw material: `aka` and
+/// `notes` feed the LLM information-extraction stage (§4.2), `website`
+/// feeds the web-inference stage (§4.3). They are kept as raw strings;
+/// interpretation belongs to the pipeline, not the substrate.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PdbNetwork {
+    /// Primary key of the `net` object (not the ASN).
+    pub id: u64,
+    /// Foreign key to the owning [`PdbOrganization`].
+    pub org_id: PdbOrgId,
+    /// The network's ASN.
+    pub asn: Asn,
+    /// Network display name.
+    pub name: String,
+    /// "Also known as" — free text, frequently lists sibling brands/ASNs.
+    #[serde(default)]
+    pub aka: String,
+    /// Free-text notes — peering policy, upstreams, sibling reports, … in
+    /// any language.
+    #[serde(default)]
+    pub notes: String,
+    /// Self-reported website (raw operator input).
+    #[serde(default)]
+    pub website: String,
+}
+
+impl PdbNetwork {
+    /// `true` when either free-text field is non-empty after trimming —
+    /// the first funnel stage of §5.2.
+    pub fn has_text(&self) -> bool {
+        !self.aka.trim().is_empty() || !self.notes.trim().is_empty()
+    }
+
+    /// `true` when either free-text field contains an ASCII digit — the
+    /// paper's *input dropout filter* (§4.2): fields without numbers cannot
+    /// carry ASN information and are skipped before prompting the LLM.
+    pub fn has_numeric_text(&self) -> bool {
+        contains_digit(&self.aka) || contains_digit(&self.notes)
+    }
+
+    /// `true` when the `aka` field contains a digit.
+    pub fn aka_has_digit(&self) -> bool {
+        contains_digit(&self.aka)
+    }
+
+    /// `true` when the `notes` field contains a digit.
+    pub fn notes_has_digit(&self) -> bool {
+        contains_digit(&self.notes)
+    }
+
+    /// `true` when the operator filled in a website.
+    pub fn has_website(&self) -> bool {
+        !self.website.trim().is_empty()
+    }
+}
+
+fn contains_digit(s: &str) -> bool {
+    s.bytes().any(|b| b.is_ascii_digit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net() -> PdbNetwork {
+        PdbNetwork {
+            id: 1,
+            org_id: PdbOrgId::new(10),
+            asn: Asn::new(3356),
+            name: "Lumen".to_string(),
+            aka: String::new(),
+            notes: String::new(),
+            website: String::new(),
+        }
+    }
+
+    #[test]
+    fn text_detection() {
+        let mut n = net();
+        assert!(!n.has_text());
+        n.aka = "  ".to_string();
+        assert!(!n.has_text());
+        n.notes = "Level 3".to_string();
+        assert!(n.has_text());
+    }
+
+    #[test]
+    fn numeric_filter_matches_paper_semantics() {
+        let mut n = net();
+        n.notes = "we are also known as Level Three".to_string();
+        assert!(!n.has_numeric_text());
+        n.notes = "sibling of AS209".to_string();
+        assert!(n.has_numeric_text());
+        n.notes.clear();
+        n.aka = "Level 3".to_string();
+        assert!(n.has_numeric_text());
+    }
+
+    #[test]
+    fn website_detection() {
+        let mut n = net();
+        assert!(!n.has_website());
+        n.website = " \t".to_string();
+        assert!(!n.has_website());
+        n.website = "www.lumen.com".to_string();
+        assert!(n.has_website());
+    }
+
+    #[test]
+    fn serde_defaults_optional_fields() {
+        let j = r#"{"id":5,"org_id":2,"asn":209,"name":"CenturyLink"}"#;
+        let n: PdbNetwork = serde_json::from_str(j).unwrap();
+        assert_eq!(n.asn, Asn::new(209));
+        assert!(n.aka.is_empty() && n.notes.is_empty() && n.website.is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut n = net();
+        n.notes = "Deutsche Telekom siblings: AS3320".to_string();
+        let j = serde_json::to_string(&n).unwrap();
+        let back: PdbNetwork = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, n);
+    }
+}

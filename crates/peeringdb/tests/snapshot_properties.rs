@@ -1,0 +1,84 @@
+//! Property tests: arbitrary PeeringDB snapshots round-trip through the
+//! JSON dump format, free text included.
+
+use borges_peeringdb::{PdbNetwork, PdbOrganization, PdbSnapshot};
+use borges_types::{Asn, PdbOrgId};
+use proptest::prelude::*;
+
+fn snapshot_strategy() -> impl Strategy<Value = PdbSnapshot> {
+    // The map key is the org id, guaranteeing uniqueness.
+    let orgs = prop::collection::btree_map(1u64..50, "[A-Za-z0-9 .&()-]{1,30}", 1..12)
+        .prop_map(|m| {
+            m.into_iter()
+                .map(|(id, name)| PdbOrganization {
+                    id: PdbOrgId::new(id),
+                    name,
+                    website: String::new(),
+                    country: "US".to_string(),
+                })
+                .collect::<Vec<_>>()
+        });
+    orgs.prop_flat_map(|orgs| {
+        let n_orgs = orgs.len();
+        let net = (
+            1u32..100_000,
+            0usize..n_orgs,
+            // Free text: any printable unicode-ish content, including
+            // newlines, quotes and multilingual characters.
+            prop::string::string_regex("[\\PC]{0,80}").unwrap(),
+            prop::string::string_regex("[\\PC]{0,30}").unwrap(),
+        );
+        (
+            Just(orgs),
+            prop::collection::btree_map(1u32..100_000, (0usize..n_orgs, net), 0..25),
+        )
+    })
+    .prop_map(|(orgs, nets)| {
+        let org_ids: Vec<PdbOrgId> = orgs.iter().map(|o| o.id).collect();
+        // Fix org ids in the generated orgs to be unique already (btree map
+        // keyed them); build nets referencing existing orgs.
+        let nets: Vec<PdbNetwork> = nets
+            .into_iter()
+            .enumerate()
+            .map(|(i, (asn, (org_idx, (_, _, notes, aka))))| PdbNetwork {
+                id: i as u64 + 1,
+                org_id: org_ids[org_idx % org_ids.len()],
+                asn: Asn::new(asn),
+                name: format!("net-{asn}"),
+                aka,
+                notes,
+                website: String::new(),
+            })
+            .collect();
+        PdbSnapshot::builder()
+            .extend(orgs, nets)
+            .build()
+            .expect("generated snapshots are consistent")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn json_roundtrip_is_lossless(snapshot in snapshot_strategy()) {
+        let json = snapshot.to_json();
+        let back = PdbSnapshot::from_json(&json).expect("own output parses");
+        prop_assert_eq!(back.net_count(), snapshot.net_count());
+        prop_assert_eq!(back.org_count(), snapshot.org_count());
+        for net in snapshot.nets() {
+            let after = back.net_by_asn(net.asn).expect("net survives");
+            prop_assert_eq!(after, net);
+        }
+        prop_assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn numeric_text_detection_matches_definition(snapshot in snapshot_strategy()) {
+        for net in snapshot.nets() {
+            let has_digit = net.notes.bytes().any(|b| b.is_ascii_digit())
+                || net.aka.bytes().any(|b| b.is_ascii_digit());
+            prop_assert_eq!(net.has_numeric_text(), has_digit);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Generator calibration.
+//!
+//! Every knob of the synthetic Internet lives here. The presets are
+//! calibrated so that the emitted datasets land near the paper's §5
+//! statistics:
+//!
+//! * [`GeneratorConfig::paper`] — full scale (≈117k WHOIS ASNs, ≈31k
+//!   PeeringDB networks), used by the evaluation binaries;
+//! * [`GeneratorConfig::medium`] — ~10% scale for integration tests and
+//!   benches;
+//! * [`GeneratorConfig::tiny`] — a few hundred ASNs for unit tests.
+
+use serde::{Deserialize, Serialize};
+
+/// All generator knobs. Counts are *organization* counts per category;
+/// ASN counts follow from the per-category size distributions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GeneratorConfig {
+    /// RNG seed; two runs with the same config are byte-identical.
+    pub seed: u64,
+
+    // ----- world composition -------------------------------------------
+    /// Single-ASN organizations (the overwhelming majority of the world).
+    pub singleton_orgs: usize,
+    /// Small multi-ASN organizations (2–4 ASNs, one country).
+    pub small_multi_orgs: usize,
+    /// International conglomerates (regional subsidiaries in many
+    /// countries — the Deutsche Telekom / Claro / Digicel shape).
+    pub conglomerates: usize,
+    /// Transit providers (ASN count correlated with AS-Rank).
+    pub transit_orgs: usize,
+    /// Government mega-orgs (the DNIC/DoD shape: hundreds of ASNs under
+    /// one WHOIS org).
+    pub gov_mega_orgs: usize,
+    /// ASNs per government mega-org.
+    pub gov_mega_asns: usize,
+
+    // ----- PeeringDB registration --------------------------------------
+    /// Probability that a singleton org registers in PeeringDB.
+    pub pdb_rate_singleton: f64,
+    /// Probability that a small-multi org's ASN registers.
+    pub pdb_rate_small_multi: f64,
+    /// Probability that a conglomerate unit registers.
+    pub pdb_rate_conglomerate: f64,
+    /// Probability that a transit ASN registers.
+    pub pdb_rate_transit: f64,
+    /// Probability that a registered conglomerate is consolidated under a
+    /// single PeeringDB org (the CenturyLink+Level3 shape) rather than
+    /// split per unit.
+    pub pdb_consolidation_rate: f64,
+
+    // ----- WHOIS fragmentation ------------------------------------------
+    /// Probability that a conglomerate unit gets its own WHOIS org record
+    /// (vs. sharing the parent's).
+    pub whois_fragmentation_rate: f64,
+
+    // ----- free-text behaviour ------------------------------------------
+    /// Probability that a registered network fills in notes/aka at all.
+    pub text_rate: f64,
+    /// Probability that a conglomerate flagship's notes report sibling
+    /// ASNs.
+    pub sibling_report_rate: f64,
+    /// Probability that a registered network's text contains numeric decoys
+    /// (upstream lists, phones, years, prefix limits) without siblings.
+    pub decoy_rate: f64,
+
+    // ----- web behaviour -------------------------------------------------
+    /// Probability that a registered network fills in a website.
+    pub website_rate: f64,
+    /// Probability that a site referenced in PeeringDB is dead.
+    pub dead_site_rate: f64,
+    /// Probability that an acquired-but-unrebranded unit's site redirects
+    /// to the parent (the R&R signal).
+    pub redirect_rate: f64,
+    /// Probability that a redirect chain has an extra intermediate hop
+    /// (the Clearwire → Sprint → T-Mobile shape).
+    pub chained_redirect_rate: f64,
+    /// Probability that a redirect is implemented in JavaScript (needs a
+    /// headless browser to follow).
+    pub js_redirect_rate: f64,
+    /// Probability that a singleton's site uses a framework default
+    /// favicon instead of its own.
+    pub framework_favicon_rate: f64,
+    /// Probability that a singleton reports a social-platform URL
+    /// (facebook/github/…) as its website — the blocklist cases.
+    pub social_website_rate: f64,
+
+    // ----- population ----------------------------------------------------
+    /// Total Internet user population to distribute (the paper works
+    /// against ≈4.21 B).
+    pub total_users: u64,
+}
+
+impl GeneratorConfig {
+    /// Full paper scale (§5.1-§5.2 statistics).
+    pub fn paper(seed: u64) -> Self {
+        GeneratorConfig {
+            seed,
+            singleton_orgs: 84_000,
+            small_multi_orgs: 7_000,
+            conglomerates: 420,
+            transit_orgs: 700,
+            gov_mega_orgs: 10,
+            gov_mega_asns: 650,
+            ..Self::rates(seed)
+        }
+    }
+
+    /// ~10% scale for integration tests and benches.
+    pub fn medium(seed: u64) -> Self {
+        GeneratorConfig {
+            seed,
+            singleton_orgs: 8_400,
+            small_multi_orgs: 700,
+            conglomerates: 42,
+            transit_orgs: 70,
+            gov_mega_orgs: 1,
+            gov_mega_asns: 97,
+            ..Self::rates(seed)
+        }
+    }
+
+    /// A few hundred ASNs for unit tests.
+    pub fn tiny(seed: u64) -> Self {
+        GeneratorConfig {
+            seed,
+            singleton_orgs: 300,
+            small_multi_orgs: 30,
+            conglomerates: 8,
+            transit_orgs: 6,
+            gov_mega_orgs: 1,
+            gov_mega_asns: 12,
+            ..Self::rates(seed)
+        }
+    }
+
+    /// The behavioural rates shared by all presets (calibrated once
+    /// against §5.2's funnel).
+    fn rates(seed: u64) -> Self {
+        GeneratorConfig {
+            seed,
+            singleton_orgs: 0,
+            small_multi_orgs: 0,
+            conglomerates: 0,
+            transit_orgs: 0,
+            gov_mega_orgs: 0,
+            gov_mega_asns: 0,
+            pdb_rate_singleton: 0.22,
+            pdb_rate_small_multi: 0.45,
+            pdb_rate_conglomerate: 0.72,
+            pdb_rate_transit: 0.85,
+            pdb_consolidation_rate: 0.60,
+            whois_fragmentation_rate: 0.55,
+            text_rate: 0.57,
+            sibling_report_rate: 0.30,
+            decoy_rate: 0.075,
+            website_rate: 0.85,
+            dead_site_rate: 0.14,
+            redirect_rate: 0.55,
+            chained_redirect_rate: 0.25,
+            js_redirect_rate: 0.30,
+            framework_favicon_rate: 0.16,
+            social_website_rate: 0.015,
+            total_users: 4_210_000_000,
+        }
+    }
+
+    /// Rough expected ASN total for this config (used by tests to pick
+    /// sensible assertions, not by the generator).
+    pub fn approx_asn_count(&self) -> usize {
+        self.singleton_orgs
+            + self.small_multi_orgs * 3
+            + self.conglomerates * 14
+            + self.transit_orgs * 4
+            + self.gov_mega_orgs * self.gov_mega_asns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_is_in_the_whois_ballpark() {
+        let c = GeneratorConfig::paper(1);
+        let n = c.approx_asn_count();
+        assert!(
+            (100_000..140_000).contains(&n),
+            "approx ASN count {n} far from the paper's 117k"
+        );
+    }
+
+    #[test]
+    fn presets_differ_only_in_scale() {
+        let p = GeneratorConfig::paper(1);
+        let t = GeneratorConfig::tiny(1);
+        assert_eq!(p.text_rate, t.text_rate);
+        assert_eq!(p.website_rate, t.website_rate);
+        assert!(p.singleton_orgs > t.singleton_orgs);
+    }
+
+    #[test]
+    fn config_serializes() {
+        let c = GeneratorConfig::tiny(7);
+        let j = serde_json::to_string(&c).unwrap();
+        let back: GeneratorConfig = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, c);
+    }
+}

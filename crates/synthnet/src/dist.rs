@@ -1,0 +1,107 @@
+//! Small statistical helpers over `rand` (the workspace avoids pulling in
+//! `rand_distr` for two distributions).
+
+use rand::Rng;
+
+/// Log-normal sample: `exp(mu + sigma * z)` with `z` standard normal via
+/// Box–Muller.
+pub fn lognormal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (mu + sigma * z).exp()
+}
+
+/// Samples an index proportionally to `weights`.
+pub fn weighted_idx<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "weights must sum positive");
+    let mut x = rng.random::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        x -= w;
+        if x <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+/// Samples `n` distinct values from `0..universe` (Floyd's algorithm).
+pub fn sample_distinct<R: Rng + ?Sized>(rng: &mut R, universe: usize, n: usize) -> Vec<usize> {
+    let n = n.min(universe);
+    let mut chosen = std::collections::BTreeSet::new();
+    for j in universe - n..universe {
+        let t = rng.random_range(0..=j);
+        if !chosen.insert(t) {
+            chosen.insert(j);
+        }
+    }
+    let mut v: Vec<usize> = chosen.into_iter().collect();
+    // Shuffle so position carries no bias (Fisher–Yates).
+    for i in (1..v.len()).rev() {
+        let j = rng.random_range(0..=i);
+        v.swap(i, j);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn lognormal_is_positive_and_centered() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..10_000).map(|_| lognormal(&mut rng, 0.0, 0.5)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        // E[lognormal(0, 0.5)] = exp(0.125) ≈ 1.133
+        assert!((0.9..1.4).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn weighted_idx_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[weighted_idx(&mut rng, &[1.0, 2.0, 7.0])] += 1;
+        }
+        assert!(counts[2] > counts[1] && counts[1] > counts[0]);
+        let f2 = counts[2] as f64 / 30_000.0;
+        assert!((0.65..0.75).contains(&f2), "{counts:?}");
+    }
+
+    #[test]
+    fn sample_distinct_is_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            let v = sample_distinct(&mut rng, 60, 25);
+            assert_eq!(v.len(), 25);
+            let set: std::collections::BTreeSet<_> = v.iter().collect();
+            assert_eq!(set.len(), 25);
+            assert!(v.iter().all(|&x| x < 60));
+        }
+    }
+
+    #[test]
+    fn sample_distinct_caps_at_universe() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let v = sample_distinct(&mut rng, 5, 10);
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        let a: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..50).map(|_| weighted_idx(&mut rng, &[1.0, 1.0, 1.0])).collect()
+        };
+        let b: Vec<usize> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..50).map(|_| weighted_idx(&mut rng, &[1.0, 1.0, 1.0])).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

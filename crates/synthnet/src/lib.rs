@@ -1,0 +1,63 @@
+//! # borges-synthnet
+//!
+//! A generative model of the Internet's organizational structure — the
+//! ground-truth substrate the Borges reproduction is evaluated against.
+//!
+//! The paper (§5.4) stresses that *no ground truth exists* for
+//! AS-to-Organization mappings: the real ownership graph is private,
+//! fragmentary and constantly reshaped by mergers. The authors therefore
+//! validate with manual inspection plus an aggregate metric. This crate
+//! turns that weakness into a strength for reproduction purposes: it
+//! generates a plausible Internet **whose true ownership is known**, then
+//! derives the same imperfect views the paper's pipeline consumes:
+//!
+//! * a WHOIS registry that fragments conglomerates into per-subsidiary
+//!   org records (the Lumen/CenturyLink split of Fig. 3),
+//! * a PeeringDB snapshot with operator-written, multilingual, noisy
+//!   `notes`/`aka` text and self-reported websites,
+//! * a simulated web where acquired brands redirect to their parents,
+//!   regional subsidiaries share favicons, small operators serve framework
+//!   default icons or point at Facebook pages,
+//! * APNIC-like per-ASN user populations and an AS-Rank ordering for the
+//!   §6 impact analyses.
+//!
+//! Every anecdote the paper tells — Edgecast/Limelight behind
+//! `www.edg.io`, the Clearwire→Sprint→T-Mobile redirect chain, Deutsche
+//! Telekom's subsidiary notes, the Claro favicon family, Digicel's
+//! 25-market footprint, the DE-CIX classifier miss — is scripted into the
+//! world with its real ASNs (see [`scripted`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use borges_synthnet::{GeneratorConfig, SyntheticInternet};
+//!
+//! let world = SyntheticInternet::generate(&GeneratorConfig::tiny(42));
+//! assert!(world.whois.asn_count() > 300);
+//! assert!(world.pdb.net_count() > 50);
+//! // The oracle knows the truth the pipeline must recover:
+//! use borges_types::Asn;
+//! assert!(world.truth.are_siblings(Asn::new(3356), Asn::new(209)));
+//! ```
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod dist;
+pub mod evolve;
+pub mod generate;
+pub mod io;
+pub mod naming;
+pub mod orgmodel;
+pub mod scripted;
+pub mod textgen;
+pub mod topogen;
+
+pub use config::GeneratorConfig;
+pub use evolve::{EvolutionEvent, EvolveError};
+pub use generate::{PopulationRecord, SyntheticInternet};
+pub use orgmodel::{
+    level3_timeline, FaviconKind, GroundTruth, MnaEvent, MnaEventKind, OrgKind, TextPlan,
+    TruthOrg, TruthOrgId, TruthUnit, WebPlan,
+};

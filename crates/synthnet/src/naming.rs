@@ -1,0 +1,241 @@
+//! Deterministic name/brand/domain synthesis.
+//!
+//! Brands are generated collision-free from an index (syllable encoding),
+//! so the generator never needs a uniqueness check. Countries carry the
+//! ccTLD, a lower-case name token (for fused domains like
+//! `clarochile.cl`), and the language used by that market's PeeringDB
+//! free text.
+
+use borges_types::CountryCode;
+
+/// Languages the free-text generator writes in (matching the cue lexicons
+/// of the simulated LLM — and of real multilingual PeeringDB text).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Language {
+    /// English.
+    En,
+    /// Spanish.
+    Es,
+    /// Portuguese.
+    Pt,
+    /// German.
+    De,
+    /// French.
+    Fr,
+    /// Italian.
+    It,
+    /// Indonesian.
+    Id,
+}
+
+/// Static facts about a market the generator can place networks in.
+#[derive(Debug, Clone, Copy)]
+pub struct CountryInfo {
+    /// ISO alpha-2 code.
+    pub code: &'static str,
+    /// The ccTLD (without dot).
+    pub cctld: &'static str,
+    /// Lower-case name token for fused domains (`clarochile`).
+    pub token: &'static str,
+    /// Language of operator-written free text in this market.
+    pub language: Language,
+}
+
+/// The markets of the synthetic world. Ordered; generators index into this
+/// table deterministically.
+pub const COUNTRIES: &[CountryInfo] = &[
+    CountryInfo { code: "US", cctld: "com", token: "usa", language: Language::En },
+    CountryInfo { code: "DE", cctld: "de", token: "deutschland", language: Language::De },
+    CountryInfo { code: "GB", cctld: "co.uk", token: "uk", language: Language::En },
+    CountryInfo { code: "FR", cctld: "fr", token: "france", language: Language::Fr },
+    CountryInfo { code: "ES", cctld: "es", token: "espana", language: Language::Es },
+    CountryInfo { code: "IT", cctld: "it", token: "italia", language: Language::It },
+    CountryInfo { code: "PL", cctld: "pl", token: "polska", language: Language::En },
+    CountryInfo { code: "BR", cctld: "com.br", token: "brasil", language: Language::Pt },
+    CountryInfo { code: "AR", cctld: "com.ar", token: "argentina", language: Language::Es },
+    CountryInfo { code: "CL", cctld: "cl", token: "chile", language: Language::Es },
+    CountryInfo { code: "PE", cctld: "com.pe", token: "peru", language: Language::Es },
+    CountryInfo { code: "CO", cctld: "com.co", token: "colombia", language: Language::Es },
+    CountryInfo { code: "MX", cctld: "com.mx", token: "mexico", language: Language::Es },
+    CountryInfo { code: "PR", cctld: "com", token: "pr", language: Language::Es },
+    CountryInfo { code: "DO", cctld: "com.do", token: "rd", language: Language::Es },
+    CountryInfo { code: "JM", cctld: "com", token: "jamaica", language: Language::En },
+    CountryInfo { code: "TT", cctld: "com", token: "tt", language: Language::En },
+    CountryInfo { code: "HT", cctld: "com", token: "haiti", language: Language::Fr },
+    CountryInfo { code: "PA", cctld: "com.pa", token: "panama", language: Language::Es },
+    CountryInfo { code: "CR", cctld: "com", token: "costarica", language: Language::Es },
+    CountryInfo { code: "GT", cctld: "com.gt", token: "guatemala", language: Language::Es },
+    CountryInfo { code: "SV", cctld: "com.sv", token: "elsalvador", language: Language::Es },
+    CountryInfo { code: "HN", cctld: "com.hn", token: "honduras", language: Language::Es },
+    CountryInfo { code: "NI", cctld: "com.ni", token: "nicaragua", language: Language::Es },
+    CountryInfo { code: "BO", cctld: "com.bo", token: "bolivia", language: Language::Es },
+    CountryInfo { code: "PY", cctld: "com.py", token: "paraguay", language: Language::Es },
+    CountryInfo { code: "UY", cctld: "com.uy", token: "uruguay", language: Language::Es },
+    CountryInfo { code: "EC", cctld: "com.ec", token: "ecuador", language: Language::Es },
+    CountryInfo { code: "VE", cctld: "com.ve", token: "venezuela", language: Language::Es },
+    CountryInfo { code: "ID", cctld: "co.id", token: "indonesia", language: Language::Id },
+    CountryInfo { code: "MY", cctld: "com.my", token: "malaysia", language: Language::En },
+    CountryInfo { code: "SG", cctld: "com.sg", token: "sg", language: Language::En },
+    CountryInfo { code: "TH", cctld: "co.th", token: "thai", language: Language::En },
+    CountryInfo { code: "VN", cctld: "com.vn", token: "vietnam", language: Language::En },
+    CountryInfo { code: "PH", cctld: "com.ph", token: "ph", language: Language::En },
+    CountryInfo { code: "IN", cctld: "co.in", token: "india", language: Language::En },
+    CountryInfo { code: "PK", cctld: "com.pk", token: "pk", language: Language::En },
+    CountryInfo { code: "BD", cctld: "com.bd", token: "bd", language: Language::En },
+    CountryInfo { code: "JP", cctld: "co.jp", token: "japan", language: Language::En },
+    CountryInfo { code: "KR", cctld: "co.kr", token: "korea", language: Language::En },
+    CountryInfo { code: "TW", cctld: "com.tw", token: "taiwan", language: Language::En },
+    CountryInfo { code: "HK", cctld: "com.hk", token: "hk", language: Language::En },
+    CountryInfo { code: "AU", cctld: "com.au", token: "au", language: Language::En },
+    CountryInfo { code: "NZ", cctld: "co.nz", token: "nz", language: Language::En },
+    CountryInfo { code: "ZA", cctld: "co.za", token: "za", language: Language::En },
+    CountryInfo { code: "NG", cctld: "com.ng", token: "naija", language: Language::En },
+    CountryInfo { code: "KE", cctld: "co.ke", token: "kenya", language: Language::En },
+    CountryInfo { code: "EG", cctld: "com.eg", token: "misr", language: Language::En },
+    CountryInfo { code: "TR", cctld: "com.tr", token: "turk", language: Language::En },
+    CountryInfo { code: "NL", cctld: "nl", token: "nederland", language: Language::En },
+    CountryInfo { code: "SE", cctld: "se", token: "sverige", language: Language::En },
+    CountryInfo { code: "NO", cctld: "no", token: "norge", language: Language::En },
+    CountryInfo { code: "AT", cctld: "at", token: "austria", language: Language::De },
+    CountryInfo { code: "CH", cctld: "ch", token: "swiss", language: Language::De },
+    CountryInfo { code: "SK", cctld: "sk", token: "slovensko", language: Language::En },
+    CountryInfo { code: "HR", cctld: "hr", token: "hrvatska", language: Language::En },
+    CountryInfo { code: "CZ", cctld: "cz", token: "cesko", language: Language::En },
+    CountryInfo { code: "HU", cctld: "hu", token: "magyar", language: Language::En },
+    CountryInfo { code: "RO", cctld: "ro", token: "romania", language: Language::En },
+    CountryInfo { code: "PT", cctld: "pt", token: "portugal", language: Language::Pt },
+    CountryInfo { code: "GR", cctld: "gr", token: "hellas", language: Language::En },
+    CountryInfo { code: "CA", cctld: "ca", token: "canada", language: Language::En },
+];
+
+impl CountryInfo {
+    /// The parsed country code.
+    pub fn country_code(&self) -> CountryCode {
+        self.code.parse().expect("table codes are valid")
+    }
+}
+
+const SYLLABLES: &[&str] = &[
+    "ba", "ce", "di", "fo", "gu", "ha", "ki", "lo", "mu", "na", "pe", "qui", "ro", "sa",
+    "te", "vu", "wa", "xi", "yo", "zu",
+];
+
+const SUFFIXES: &[&str] = &[
+    "", "net", "com", "tel", "link", "wave", "fiber", "connect", "line", "data", "sys", "ix",
+];
+
+/// Generates the `idx`-th brand token.
+///
+/// Injective: the syllable encoding of `idx + 8000` is a bijection onto
+/// syllable strings of ≥4 syllables (3 syllables cover 0..8000), every
+/// syllable ends in a vowel, and no suffix in the suffix table can be a tail
+/// of a syllable string (each either ends in a consonant or contains a
+/// non-syllable bigram) — so `encoding + suffix` collides only when both
+/// parts collide, and both are functions of `idx`.
+pub fn brand(idx: usize) -> String {
+    let mut n = idx + 8000; // force ≥4 syllables → ≥8 chars
+    let mut syl = String::new();
+    loop {
+        syl.push_str(SYLLABLES[n % SYLLABLES.len()]);
+        n /= SYLLABLES.len();
+        if n == 0 {
+            break;
+        }
+    }
+    let suffix = SUFFIXES[(idx / 7) % SUFFIXES.len()];
+    format!("{syl}{suffix}")
+}
+
+/// Legal-name variants so the same brand appears differently across
+/// registries (`Acme Communications, Inc.` vs `ACME COMMUNICATIONS LLC`).
+pub fn legal_name(brand: &str, variant: usize) -> String {
+    let cap = capitalize(brand);
+    match variant % 5 {
+        0 => format!("{cap} Communications, Inc."),
+        1 => format!("{cap} Networks LLC"),
+        2 => format!("{} TELECOM", brand.to_uppercase()),
+        3 => format!("{cap} Holdings"),
+        _ => format!("{cap} S.A."),
+    }
+}
+
+/// The legal name of a conglomerate's unit in a market
+/// (`Acme Chile S.A.`).
+pub fn unit_legal_name(brand: &str, country: &CountryInfo) -> String {
+    format!("{} {}", capitalize(brand), capitalize(country.token))
+}
+
+/// A WHOIS handle like `ACME-141-ARIN`.
+pub fn whois_handle(brand: &str, serial: usize, rir: &str) -> String {
+    let head: String = brand
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .take(8)
+        .collect::<String>()
+        .to_uppercase();
+    format!("{head}-{serial}-{rir}")
+}
+
+/// Capitalizes the first character.
+pub fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn brands_are_unique_and_long_enough() {
+        let mut seen = BTreeSet::new();
+        for i in 0..50_000 {
+            let b = brand(i);
+            assert!(b.len() >= 4, "brand {b} too short for classifier prefixes");
+            assert!(seen.insert(b.clone()), "brand collision at {i}: {b}");
+        }
+    }
+
+    #[test]
+    fn brands_are_valid_host_labels() {
+        for i in 0..5_000 {
+            let b = brand(i);
+            assert!(b.chars().all(|c| c.is_ascii_lowercase()), "bad brand {b}");
+        }
+    }
+
+    #[test]
+    fn country_table_is_well_formed() {
+        let mut seen = BTreeSet::new();
+        for c in COUNTRIES {
+            assert!(seen.insert(c.code), "duplicate country {}", c.code);
+            c.country_code(); // must parse
+            assert!(!c.token.is_empty());
+            assert!(c.token.chars().all(|ch| ch.is_ascii_lowercase()));
+        }
+        assert!(COUNTRIES.len() >= 50, "need a broad market pool");
+    }
+
+    #[test]
+    fn legal_names_vary_by_variant() {
+        let names: BTreeSet<String> = (0..5).map(|v| legal_name("acme", v)).collect();
+        assert_eq!(names.len(), 5);
+    }
+
+    #[test]
+    fn whois_handles_look_right() {
+        assert_eq!(whois_handle("acmenet", 141, "ARIN"), "ACMENET-141-ARIN");
+        let h = whois_handle("verylongbrandname", 1, "RIPE");
+        assert!(h.starts_with("VERYLONG-1-"));
+    }
+
+    #[test]
+    fn unit_names_fuse_brand_and_market() {
+        let cl = COUNTRIES.iter().find(|c| c.code == "CL").unwrap();
+        assert_eq!(unit_legal_name("claro", cl), "Claro Chile");
+    }
+}

@@ -1,0 +1,494 @@
+//! Ground-truth organizational structures.
+//!
+//! The paper has no ground truth — the real Internet's ownership graph is
+//! unknown, which is why §5.4 leans on the Organization Factor plus manual
+//! accuracy checks. The simulator's advantage is that it *generates* the
+//! truth first ([`TruthOrg`]) and then derives the imperfect WHOIS /
+//! PeeringDB / web views from it, so every inference the pipeline makes can
+//! be scored exactly.
+//!
+//! [`MnaEvent`] models the merger/acquisition/rebrand timelines that make
+//! mappings drift (Figure 1's Level3 saga ships as
+//! [`level3_timeline`]).
+
+use borges_types::{Asn, FaviconHash};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifier of a ground-truth organization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TruthOrgId(pub usize);
+
+impl fmt::Display for TruthOrgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "truth_org:{}", self.0)
+    }
+}
+
+/// The category an organization was generated as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OrgKind {
+    /// One ASN, one country — most of the world.
+    Singleton,
+    /// 2–4 ASNs in one country.
+    SmallMulti,
+    /// International conglomerate with regional subsidiaries.
+    Conglomerate,
+    /// Transit provider.
+    Transit,
+    /// Government mega-org (the DoD shape).
+    GovMega,
+    /// Content hypergiant.
+    Hypergiant,
+    /// Internet exchange operator (the DE-CIX shape).
+    Ixp,
+}
+
+/// What a unit writes in its PeeringDB free-text fields.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TextPlan {
+    /// Fields left empty.
+    None,
+    /// Digit-free prose (filtered by the input dropout filter).
+    Boilerplate {
+        /// Style-bank index.
+        style: usize,
+    },
+    /// Numeric decoys, no sibling info (upstreams, phones, years…).
+    Decoys {
+        /// Style-bank index.
+        style: usize,
+        /// Unrelated ASNs mentioned (upstream providers etc.).
+        asns: Vec<Asn>,
+    },
+    /// A genuine sibling report in `notes`.
+    SiblingReport {
+        /// Style-bank index.
+        style: usize,
+        /// `(display name, asn)` of each reported sibling.
+        siblings: Vec<(String, Asn)>,
+    },
+    /// A genuine alternative identity in `aka`.
+    AkaSibling {
+        /// Style-bank index.
+        style: usize,
+        /// Former/alternative name.
+        former: String,
+        /// Its ASN.
+        asn: Asn,
+    },
+}
+
+/// The favicon a unit's site serves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaviconKind {
+    /// The parent brand's icon (shared across the conglomerate):
+    /// hash of `brand:<brand>`.
+    Brand(String),
+    /// A unit-specific icon nobody else shares.
+    UnitSpecific(String),
+    /// A web technology's default icon: hash of `framework:<name>` — the
+    /// byte convention shared with the LLM simulator's pretraining table.
+    Framework(&'static str),
+    /// No favicon at all.
+    None,
+}
+
+impl FaviconKind {
+    /// The content hash this favicon kind produces on the wire.
+    pub fn hash(&self) -> Option<FaviconHash> {
+        match self {
+            FaviconKind::Brand(b) => {
+                Some(FaviconHash::of_bytes(format!("brand:{b}").as_bytes()))
+            }
+            FaviconKind::UnitSpecific(u) => {
+                Some(FaviconHash::of_bytes(format!("unit:{u}").as_bytes()))
+            }
+            FaviconKind::Framework(name) => {
+                Some(FaviconHash::of_bytes(format!("framework:{name}").as_bytes()))
+            }
+            FaviconKind::None => None,
+        }
+    }
+}
+
+/// What a unit's PeeringDB `website` field leads to.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WebPlan {
+    /// No website reported.
+    None,
+    /// The unit's own site.
+    Own {
+        /// Host serving the site.
+        host: String,
+        /// Canonical path the site settles on (e.g. `/personas/`).
+        canonical_path: Option<String>,
+        /// Favicon served.
+        favicon: FaviconKind,
+    },
+    /// The reported host redirects to another unit's site (acquisition
+    /// not yet rebranded).
+    RedirectToHost {
+        /// The host written in PeeringDB.
+        reported_host: String,
+        /// The redirect target host (must carry an `Own` plan somewhere).
+        target_host: String,
+        /// Optional intermediate hop (the Clearwire→Sprint→T-Mobile
+        /// shape).
+        via: Option<String>,
+        /// Is the final hop implemented in JavaScript?
+        js: bool,
+    },
+    /// The reported site is dead.
+    Dead {
+        /// The host written in PeeringDB.
+        host: String,
+    },
+    /// A mainstream platform page (facebook/github/…) — the blocklist
+    /// cases of Appendix D.
+    Social {
+        /// Platform host, e.g. `facebook.com`.
+        platform: &'static str,
+    },
+}
+
+/// One ASN of a ground-truth organization, with its dataset plans.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TruthUnit {
+    /// The ASN.
+    pub asn: Asn,
+    /// Market index into [`crate::naming::COUNTRIES`].
+    pub country: usize,
+    /// Legal/display name of the unit.
+    pub legal_name: String,
+    /// Eyeball user population served (0 for non-access units).
+    pub users: u64,
+    /// Does the unit have its own WHOIS org record (fragmented), or does
+    /// it share its parent's?
+    pub whois_own_org: bool,
+    /// Is the unit registered in PeeringDB?
+    pub in_pdb: bool,
+    /// If registered: does it sit under its own PeeringDB org (split), or
+    /// the parent's (consolidated)?
+    pub pdb_own_org: bool,
+    /// Free-text plan.
+    pub text: TextPlan,
+    /// Website plan.
+    pub web: WebPlan,
+}
+
+/// A ground-truth organization: the real ownership unit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TruthOrg {
+    /// Identifier.
+    pub id: TruthOrgId,
+    /// Brand token (lower-case, host-label-safe).
+    pub brand: String,
+    /// Display name.
+    pub display_name: String,
+    /// Category.
+    pub kind: OrgKind,
+    /// Headquarters market index.
+    pub hq_country: usize,
+    /// All ASNs and their plans.
+    pub units: Vec<TruthUnit>,
+}
+
+impl TruthOrg {
+    /// Total eyeball users across units.
+    pub fn total_users(&self) -> u64 {
+        self.units.iter().map(|u| u.users).sum()
+    }
+
+    /// Distinct markets the org serves users in.
+    pub fn countries(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.units.iter().map(|u| u.country).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+}
+
+/// The oracle: ASN → true organization.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    orgs: Vec<TruthOrg>,
+    org_of: BTreeMap<Asn, TruthOrgId>,
+}
+
+impl GroundTruth {
+    /// Builds the oracle from generated orgs, checking ASN uniqueness.
+    pub fn new(orgs: Vec<TruthOrg>) -> Self {
+        let mut org_of = BTreeMap::new();
+        for org in &orgs {
+            for unit in &org.units {
+                let prev = org_of.insert(unit.asn, org.id);
+                assert!(
+                    prev.is_none(),
+                    "generator bug: {} allocated twice",
+                    unit.asn
+                );
+            }
+        }
+        GroundTruth { orgs, org_of }
+    }
+
+    /// The true organization of an ASN.
+    pub fn org_of(&self, asn: Asn) -> Option<TruthOrgId> {
+        self.org_of.get(&asn).copied()
+    }
+
+    /// The organization record.
+    pub fn org(&self, id: TruthOrgId) -> &TruthOrg {
+        &self.orgs[id.0]
+    }
+
+    /// Are two ASNs truly under the same organization?
+    pub fn are_siblings(&self, a: Asn, b: Asn) -> bool {
+        match (self.org_of(a), self.org_of(b)) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// Iterates all organizations.
+    pub fn orgs(&self) -> impl Iterator<Item = &TruthOrg> {
+        self.orgs.iter()
+    }
+
+    /// Iterates all `(asn, org)` pairs in ASN order.
+    pub fn assignments(&self) -> impl Iterator<Item = (Asn, TruthOrgId)> + '_ {
+        self.org_of.iter().map(|(a, o)| (*a, *o))
+    }
+
+    /// Total ASN count.
+    pub fn asn_count(&self) -> usize {
+        self.org_of.len()
+    }
+
+    /// Total organization count.
+    pub fn org_count(&self) -> usize {
+        self.orgs.len()
+    }
+
+    /// Clones the organizations out (for building an evolved successor
+    /// world — see [`crate::evolve`]).
+    pub fn to_orgs(&self) -> Vec<TruthOrg> {
+        self.orgs.clone()
+    }
+}
+
+/// A corporate-history event (for the motivational timeline analyses).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MnaEventKind {
+    /// `acquirer` buys `target`.
+    Acquisition {
+        /// Buying company.
+        acquirer: String,
+        /// Bought company.
+        target: String,
+    },
+    /// Two peers merge into one.
+    Merger {
+        /// First party.
+        a: String,
+        /// Second party.
+        b: String,
+        /// Name of the merged entity.
+        merged: String,
+    },
+    /// A company renames itself.
+    Rebrand {
+        /// Old name.
+        from: String,
+        /// New name.
+        to: String,
+    },
+    /// `parent` sells a region/division to `buyer`.
+    Spinoff {
+        /// Selling company.
+        parent: String,
+        /// The divested asset.
+        asset: String,
+        /// Receiving company.
+        buyer: String,
+    },
+}
+
+/// One dated corporate event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MnaEvent {
+    /// Calendar year.
+    pub year: u32,
+    /// What happened.
+    pub kind: MnaEventKind,
+}
+
+impl fmt::Display for MnaEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            MnaEventKind::Acquisition { acquirer, target } => {
+                write!(f, "{}: {} acquires {}", self.year, acquirer, target)
+            }
+            MnaEventKind::Merger { a, b, merged } => {
+                write!(f, "{}: {} and {} merge into {}", self.year, a, b, merged)
+            }
+            MnaEventKind::Rebrand { from, to } => {
+                write!(f, "{}: {} rebrands as {}", self.year, from, to)
+            }
+            MnaEventKind::Spinoff { parent, asset, buyer } => {
+                write!(f, "{}: {} spins off {} to {}", self.year, parent, asset, buyer)
+            }
+        }
+    }
+}
+
+/// Figure 1's Level3 timeline, scripted: the mergers, demergers,
+/// acquisitions and rebrandings that make the Lumen/CenturyLink case the
+/// paper's running example.
+pub fn level3_timeline() -> Vec<MnaEvent> {
+    vec![
+        MnaEvent {
+            year: 2009,
+            kind: MnaEventKind::Merger {
+                a: "CenturyTel".into(),
+                b: "EMBARQ".into(),
+                merged: "CenturyLink".into(),
+            },
+        },
+        MnaEvent {
+            year: 2010,
+            kind: MnaEventKind::Acquisition {
+                acquirer: "CenturyLink".into(),
+                target: "Qwest".into(),
+            },
+        },
+        MnaEvent {
+            year: 2011,
+            kind: MnaEventKind::Acquisition {
+                acquirer: "CenturyLink".into(),
+                target: "Savvis".into(),
+            },
+        },
+        MnaEvent {
+            year: 2011,
+            kind: MnaEventKind::Acquisition {
+                acquirer: "Level 3".into(),
+                target: "Global Crossing".into(),
+            },
+        },
+        MnaEvent {
+            year: 2016,
+            kind: MnaEventKind::Acquisition {
+                acquirer: "CenturyLink".into(),
+                target: "Level 3".into(),
+            },
+        },
+        MnaEvent {
+            year: 2020,
+            kind: MnaEventKind::Rebrand {
+                from: "CenturyLink".into(),
+                to: "Lumen".into(),
+            },
+        },
+        MnaEvent {
+            year: 2022,
+            kind: MnaEventKind::Spinoff {
+                parent: "Lumen".into(),
+                asset: "Latin American business".into(),
+                buyer: "Cirion".into(),
+            },
+        },
+        MnaEvent {
+            year: 2022,
+            kind: MnaEventKind::Spinoff {
+                parent: "Lumen".into(),
+                asset: "EMEA business".into(),
+                buyer: "Colt".into(),
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit(asn: u32) -> TruthUnit {
+        TruthUnit {
+            asn: Asn::new(asn),
+            country: 0,
+            legal_name: format!("Unit {asn}"),
+            users: 0,
+            whois_own_org: false,
+            in_pdb: false,
+            pdb_own_org: false,
+            text: TextPlan::None,
+            web: WebPlan::None,
+        }
+    }
+
+    fn org(id: usize, asns: &[u32]) -> TruthOrg {
+        TruthOrg {
+            id: TruthOrgId(id),
+            brand: format!("brand{id}"),
+            display_name: format!("Org {id}"),
+            kind: OrgKind::SmallMulti,
+            hq_country: 0,
+            units: asns.iter().map(|&a| unit(a)).collect(),
+        }
+    }
+
+    #[test]
+    fn ground_truth_oracle() {
+        let gt = GroundTruth::new(vec![org(0, &[1, 2]), org(1, &[3])]);
+        assert!(gt.are_siblings(Asn::new(1), Asn::new(2)));
+        assert!(!gt.are_siblings(Asn::new(1), Asn::new(3)));
+        assert!(!gt.are_siblings(Asn::new(1), Asn::new(99)));
+        assert_eq!(gt.asn_count(), 3);
+        assert_eq!(gt.org_count(), 2);
+        assert_eq!(gt.org_of(Asn::new(3)), Some(TruthOrgId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "allocated twice")]
+    fn duplicate_asn_is_a_generator_bug() {
+        GroundTruth::new(vec![org(0, &[1]), org(1, &[1])]);
+    }
+
+    #[test]
+    fn favicon_kinds_hash_consistently() {
+        let a = FaviconKind::Brand("claro".into()).hash().unwrap();
+        let b = FaviconKind::Brand("claro".into()).hash().unwrap();
+        let c = FaviconKind::Brand("orange".into()).hash().unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(FaviconKind::None.hash().is_none());
+        // Framework bytes follow the shared `framework:<name>` convention.
+        assert_eq!(
+            FaviconKind::Framework("bootstrap").hash().unwrap(),
+            FaviconHash::of_bytes(b"framework:bootstrap"),
+        );
+    }
+
+    #[test]
+    fn level3_timeline_matches_figure_1() {
+        let t = level3_timeline();
+        assert_eq!(t.len(), 8);
+        assert!(t.windows(2).all(|w| w[0].year <= w[1].year), "chronological");
+        let text: Vec<String> = t.iter().map(|e| e.to_string()).collect();
+        assert!(text.iter().any(|s| s.contains("Level 3") && s.contains("Global Crossing")));
+        assert!(text.iter().any(|s| s.contains("rebrands as Lumen")));
+        assert!(text.iter().any(|s| s.contains("Cirion")));
+    }
+
+    #[test]
+    fn org_aggregates() {
+        let mut o = org(0, &[1, 2, 3]);
+        o.units[0].users = 10;
+        o.units[1].users = 20;
+        o.units[2].country = 5;
+        assert_eq!(o.total_users(), 30);
+        assert_eq!(o.countries(), vec![0, 5]);
+    }
+}

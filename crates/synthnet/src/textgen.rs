@@ -1,0 +1,300 @@
+//! Free-text synthesis for `notes` and `aka` fields.
+//!
+//! PeeringDB free text is messy, multilingual, and mostly *not* about
+//! siblings — that is the entire reason the paper replaces regexes with an
+//! LLM. This module writes that mess on purpose:
+//!
+//! * [`sibling_notes`] — genuine sibling reports in six languages and
+//!   several shapes (header + bullet list, inline sentence, mixed with
+//!   upstream noise);
+//! * [`sibling_aka`] — alternative-identity `aka` strings carrying ASNs;
+//! * [`decoy_notes`] — numeric text with **no** sibling information:
+//!   upstream lists (the Maxihost/Listing 1 shape), peering policies with
+//!   prefix limits, NOC contacts with phone numbers, founding years,
+//!   route-server IPs;
+//! * [`boilerplate_notes`] — prose without digits (filtered out by the
+//!   input dropout filter before any LLM call).
+//!
+//! Every function is pure in `(inputs, style index)` so the generator is
+//! reproducible.
+
+use crate::naming::{capitalize, Language};
+use borges_types::Asn;
+
+/// A named sibling to mention in text.
+#[derive(Debug, Clone)]
+pub struct SiblingMention {
+    /// Display name of the sibling unit.
+    pub name: String,
+    /// Its ASN.
+    pub asn: Asn,
+}
+
+/// Renders a `notes` field that genuinely reports `siblings` as
+/// co-owned networks, in `language`, using one of several shapes selected
+/// by `style`.
+pub fn sibling_notes(
+    language: Language,
+    brand: &str,
+    siblings: &[SiblingMention],
+    style: usize,
+) -> String {
+    let cap = capitalize(brand);
+    let bullet_list = || {
+        siblings
+            .iter()
+            .map(|s| format!("- {} (AS{})", s.name, s.asn.value()))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let inline_asns = || {
+        siblings
+            .iter()
+            .map(|s| format!("AS{}", s.asn.value()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    match (language, style % 3) {
+        (Language::En, 0) => format!(
+            "{cap} global backbone.\nOur subsidiaries:\n{}",
+            bullet_list()
+        ),
+        (Language::En, 1) => format!(
+            "{cap} operates several networks under the same organization: {}.",
+            inline_asns()
+        ),
+        (Language::En, _) => format!(
+            "Part of the {cap} group. Sister networks: {}.\n\nPeering is open at all locations.",
+            inline_asns()
+        ),
+        (Language::Es, 0) => format!(
+            "Red troncal de {cap}.\nNuestras filiales:\n{}",
+            bullet_list()
+        ),
+        (Language::Es, _) => format!(
+            "Somos parte de {cap}. Redes del mismo grupo: {}.",
+            inline_asns()
+        ),
+        (Language::Pt, 0) => format!(
+            "Backbone da {cap}.\nNossas subsidiárias:\n{}",
+            bullet_list()
+        ),
+        (Language::Pt, _) => format!(
+            "Esta rede pertence a {cap}. Mesmo grupo que {}.",
+            inline_asns()
+        ),
+        (Language::De, 0) => format!(
+            "{cap} Konzernnetz.\nUnsere Tochtergesellschaften:\n{}",
+            bullet_list()
+        ),
+        (Language::De, _) => format!(
+            "Teil der {cap} Gruppe, gehört zu {}.",
+            inline_asns()
+        ),
+        (Language::Fr, 0) => format!(
+            "Réseau {cap}.\nNos filiales:\n{}",
+            bullet_list()
+        ),
+        (Language::Fr, _) => format!(
+            "Cette entité fait partie de {cap}, même groupe que {}.",
+            inline_asns()
+        ),
+        (Language::It, _) => format!(
+            "Rete {cap}. Fa parte di {cap}, stesso gruppo di {}.",
+            inline_asns()
+        ),
+        (Language::Id, _) => format!(
+            "Jaringan {cap}. Anak perusahaan dari {cap}, bagian dari {}.",
+            inline_asns()
+        ),
+    }
+}
+
+/// Renders an `aka` field listing a former/alternative identity with its
+/// ASN (the Edgecast/Limelight shape).
+pub fn sibling_aka(former_name: &str, asn: Asn, style: usize) -> String {
+    match style % 3 {
+        0 => format!("{former_name}, AS{}", asn.value()),
+        1 => format!("formerly {former_name} (AS{})", asn.value()),
+        _ => format!("{former_name} / AS{}", asn.value()),
+    }
+}
+
+/// Renders a `notes` field containing numeric *decoys* and no sibling
+/// information. The style bank covers every false-positive family the
+/// paper lists: upstream lists, phone numbers, years, addresses, prefix
+/// limits, IPs, BGP communities.
+pub fn decoy_notes(language: Language, brand: &str, decoy_asns: &[Asn], style: usize) -> String {
+    let cap = capitalize(brand);
+    let upstream_list = || {
+        decoy_asns
+            .iter()
+            .enumerate()
+            .map(|(i, a)| format!("- Carrier{} (AS{})", i + 1, a.value()))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let first = decoy_asns.first().map(|a| a.value()).unwrap_or(174);
+    match style % 7 {
+        0 => match language {
+            Language::Es => format!(
+                "{cap} despliega servidores en varias regiones.\n\nConectamos con los siguientes proveedores,\n{}",
+                upstream_list()
+            ),
+            Language::Pt => format!(
+                "{cap} opera data centers próprios.\n\nConectamos com os seguintes fornecedores,\n{}",
+                upstream_list()
+            ),
+            _ => format!(
+                "{cap} deploys high-performance servers in multiple regions.\n\nWe connect directly with the following ISPs,\n{}",
+                upstream_list()
+            ),
+        },
+        1 => format!(
+            "Peering policy: open. Max prefixes: {}. MTU 9000.",
+            1000 + (style * 37) % 4000
+        ),
+        2 => format!(
+            "{cap} NOC: phone +1 555 {:04}, available 24x7. Contact noc@{brand}.example.",
+            (style * 97) % 10_000
+        ),
+        3 => format!("Operating since {}. {cap} serves business customers.", 1995 + style % 25),
+        4 => format!(
+            "Offices: 100 Main Street, Suite {}, building B.",
+            200 + style % 700
+        ),
+        5 => format!(
+            "Route servers at 192.0.2.{} and 198.51.100.{}. Communities: {first}:100 for customers.",
+            1 + style % 250,
+            1 + (style * 3) % 250
+        ),
+        _ => format!(
+            "Upstream transit by AS{first}. Blackhole community {first}:666. 100G ports available.",
+        ),
+    }
+}
+
+/// Renders digit-free boilerplate (dropped by the input filter).
+pub fn boilerplate_notes(language: Language, brand: &str, style: usize) -> String {
+    let cap = capitalize(brand);
+    match (language, style % 4) {
+        (Language::Es, _) => format!("{cap} — proveedor regional de conectividad y servicios."),
+        (Language::Pt, _) => format!("{cap} — provedor de acesso e trânsito."),
+        (Language::De, _) => format!("{cap} — regionaler Netzbetreiber."),
+        (_, 0) => format!("{cap} is a regional provider of connectivity services."),
+        (_, 1) => "Peering policy: selective. Please contact our NOC via email.".to_string(),
+        (_, 2) => format!("{cap} operates a carrier-grade national backbone."),
+        (_, _) => "Open peering at all mutual locations. IXP presence listed below.".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mentions() -> Vec<SiblingMention> {
+        vec![
+            SiblingMention {
+                name: "Acme Chile".into(),
+                asn: Asn::new(27651),
+            },
+            SiblingMention {
+                name: "Acme Peru".into(),
+                asn: Asn::new(12252),
+            },
+        ]
+    }
+
+    #[test]
+    fn sibling_notes_contain_all_asns_in_every_language_and_style() {
+        for lang in [
+            Language::En,
+            Language::Es,
+            Language::Pt,
+            Language::De,
+            Language::Fr,
+            Language::It,
+            Language::Id,
+        ] {
+            for style in 0..3 {
+                let text = sibling_notes(lang, "acme", &mentions(), style);
+                assert!(
+                    text.contains("27651") && text.contains("12252"),
+                    "{lang:?}/{style}: {text}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decoy_notes_always_contain_digits() {
+        for style in 0..14 {
+            let text = decoy_notes(Language::En, "acme", &[Asn::new(174)], style);
+            assert!(
+                text.bytes().any(|b| b.is_ascii_digit()),
+                "style {style} produced digit-free decoys: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn boilerplate_never_contains_digits() {
+        for lang in [Language::En, Language::Es, Language::Pt, Language::De] {
+            for style in 0..4 {
+                let text = boilerplate_notes(lang, "acme", style);
+                assert!(
+                    !text.bytes().any(|b| b.is_ascii_digit()),
+                    "{lang:?}/{style} leaked digits: {text}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn aka_styles_carry_the_asn() {
+        for style in 0..3 {
+            let text = sibling_aka("Edgecast", Asn::new(15133), style);
+            assert!(text.contains("15133"));
+            assert!(text.contains("Edgecast"));
+        }
+    }
+
+    #[test]
+    fn extraction_agrees_with_labels_on_sibling_text() {
+        // The generated sibling text must actually be extractable by the
+        // simulated LLM — this is the contract between textgen and llmsim.
+        use borges_llm::ner::extract_siblings;
+        for lang in [
+            Language::En,
+            Language::Es,
+            Language::Pt,
+            Language::De,
+            Language::Fr,
+            Language::It,
+            Language::Id,
+        ] {
+            for style in 0..3 {
+                let text = sibling_notes(lang, "acme", &mentions(), style);
+                let out = extract_siblings(Asn::new(1), &text, "");
+                let mut got: Vec<u32> = out.iter().map(|e| e.asn.value()).collect();
+                got.sort_unstable();
+                assert_eq!(got, vec![12252, 27651], "{lang:?}/{style}: {text}");
+            }
+        }
+    }
+
+    #[test]
+    fn extraction_rejects_decoy_text() {
+        use borges_llm::ner::extract_siblings;
+        for style in 0..14 {
+            for lang in [Language::En, Language::Es, Language::Pt] {
+                let text = decoy_notes(lang, "acme", &[Asn::new(174), Asn::new(3356)], style);
+                let out = extract_siblings(Asn::new(1), &text, "");
+                assert!(
+                    out.is_empty(),
+                    "{lang:?}/{style} decoys extracted as siblings: {text} -> {out:?}"
+                );
+            }
+        }
+    }
+}

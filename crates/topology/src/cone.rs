@@ -1,0 +1,148 @@
+//! Customer-cone computation.
+//!
+//! The customer cone of AS *x* is the set of ASNs reachable from *x* by
+//! walking provider→customer edges only — *x* itself, its customers,
+//! their customers, and so on (Luckie et al., "AS Relationships, Customer
+//! Cones, and Validation", IMC 2013). Cone size is AS-Rank's primary key.
+//!
+//! Implementation: one BFS over the customer digraph per AS that has
+//! customers (stubs have cone 1 by definition). A visited set makes the
+//! walk cycle-tolerant — real relationship inferences occasionally
+//! contain p2c cycles, and the generator is not required to avoid them.
+
+use crate::graph::AsGraph;
+use borges_types::Asn;
+use std::collections::BTreeMap;
+
+/// Computes the customer-cone **size** of every AS in the graph.
+pub fn customer_cones(graph: &AsGraph) -> BTreeMap<Asn, usize> {
+    // Dense index for the visited bitmap.
+    let index: BTreeMap<Asn, usize> = graph.nodes().zip(0..).collect();
+    let mut cones: BTreeMap<Asn, usize> = BTreeMap::new();
+    let mut visited = vec![u32::MAX; index.len()];
+    let mut queue: Vec<Asn> = Vec::new();
+
+    for (epoch, asn) in graph.nodes().enumerate() {
+        if graph.is_stub(asn) {
+            cones.insert(asn, 1);
+            continue;
+        }
+        let epoch = epoch as u32;
+        let mut size = 0usize;
+        queue.clear();
+        queue.push(asn);
+        visited[index[&asn]] = epoch;
+        while let Some(current) = queue.pop() {
+            size += 1;
+            for &customer in graph.customers_of(current) {
+                let slot = &mut visited[index[&customer]];
+                if *slot != epoch {
+                    *slot = epoch;
+                    queue.push(customer);
+                }
+            }
+        }
+        cones.insert(asn, size);
+    }
+    cones
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(n: u32) -> Asn {
+        Asn::new(n)
+    }
+
+    fn graph(edges: &[(u32, u32)]) -> AsGraph {
+        let mut b = AsGraph::builder();
+        for &(p, c) in edges {
+            b.provider_customer(a(p), a(c));
+        }
+        b.build()
+    }
+
+    #[test]
+    fn chain_cones() {
+        // 1 → 2 → 3: cone(1)=3, cone(2)=2, cone(3)=1.
+        let g = graph(&[(1, 2), (2, 3)]);
+        let cones = customer_cones(&g);
+        assert_eq!(cones[&a(1)], 3);
+        assert_eq!(cones[&a(2)], 2);
+        assert_eq!(cones[&a(3)], 1);
+    }
+
+    #[test]
+    fn diamond_counts_each_asn_once() {
+        // 1 → {2,3} → 4: cone(1) = {1,2,3,4} = 4 (4 not double-counted).
+        let g = graph(&[(1, 2), (1, 3), (2, 4), (3, 4)]);
+        let cones = customer_cones(&g);
+        assert_eq!(cones[&a(1)], 4);
+        assert_eq!(cones[&a(2)], 2);
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        // 1 → 2 → 3 → 2 (inference artifact): cone(1) = {1,2,3}.
+        let g = graph(&[(1, 2), (2, 3), (3, 2)]);
+        let cones = customer_cones(&g);
+        assert_eq!(cones[&a(1)], 3);
+        assert_eq!(cones[&a(2)], 2);
+        assert_eq!(cones[&a(3)], 2);
+    }
+
+    #[test]
+    fn peering_does_not_extend_cones() {
+        let mut b = AsGraph::builder();
+        b.provider_customer(a(1), a(2));
+        b.peer_peer(a(1), a(9));
+        b.provider_customer(a(9), a(10));
+        let g = b.build();
+        let cones = customer_cones(&g);
+        assert_eq!(cones[&a(1)], 2, "peer 9's customers are not in 1's cone");
+        assert_eq!(cones[&a(9)], 2);
+    }
+
+    #[test]
+    fn stubs_have_cone_one() {
+        let mut b = AsGraph::builder();
+        b.node(a(5));
+        b.provider_customer(a(1), a(2));
+        let g = b.build();
+        let cones = customer_cones(&g);
+        assert_eq!(cones[&a(5)], 1);
+        assert_eq!(cones[&a(2)], 1);
+    }
+
+    #[test]
+    fn every_node_gets_a_cone() {
+        let g = graph(&[(1, 2), (3, 4), (1, 4)]);
+        let cones = customer_cones(&g);
+        assert_eq!(cones.len(), g.node_count());
+        // Cones are at least 1 and at most n.
+        for &size in cones.values() {
+            assert!((1..=g.node_count()).contains(&size));
+        }
+    }
+
+    #[test]
+    fn wide_tree_scales() {
+        // A two-level tree: root with 100 mid providers, each with 50
+        // stubs — 5,101 nodes, exercised for performance sanity.
+        let mut b = AsGraph::builder();
+        let mut next = 2u32;
+        for _ in 0..100 {
+            let mid = next;
+            next += 1;
+            b.provider_customer(a(1), a(mid));
+            for _ in 0..50 {
+                b.provider_customer(a(mid), a(next));
+                next += 1;
+            }
+        }
+        let g = b.build();
+        let cones = customer_cones(&g);
+        assert_eq!(cones[&a(1)], 5101);
+    }
+}

@@ -1,0 +1,33 @@
+//! # borges-topology
+//!
+//! The AS-level topology substrate behind CAIDA AS-Rank.
+//!
+//! §6.1 of the Borges paper ranks transit providers with CAIDA's AS-Rank,
+//! which orders ASNs by **customer-cone size**: the set of ASNs reachable
+//! by walking provider→customer edges downward (Luckie et al., IMC 2013).
+//! This crate implements that substrate from scratch:
+//!
+//! * [`graph`] — the annotated relationship graph (provider–customer and
+//!   peer–peer edges) with degree/tier statistics;
+//! * [`cone`] — exact customer-cone computation (per-provider BFS over
+//!   the customer DAG, cycle-tolerant);
+//! * [`rank()`] — the AS-Rank ordering: cone size, then transit degree,
+//!   then ASN.
+//!
+//! The synthetic-Internet generator builds a relationship graph that
+//! mirrors its organizational ground truth (transit orgs provide for
+//! stubs, conglomerate flagships provide for their subsidiaries,
+//! hypergiants peer broadly), and Figure 8's rank axis comes out of this
+//! crate's ranking — not from an ad-hoc score.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cone;
+pub mod graph;
+pub mod rank;
+pub mod serial1;
+
+pub use cone::customer_cones;
+pub use graph::{AsGraph, AsGraphBuilder, Relationship};
+pub use rank::{rank, RankEntry};

@@ -1,0 +1,101 @@
+//! AS-Rank: ordering ASNs by customer-cone size.
+//!
+//! CAIDA's AS-Rank orders by customer-cone size descending, breaking ties
+//! by transit degree and finally by ASN (for determinism). §6.1 of the
+//! Borges paper reads the top-100/1,000/10,000 of this ordering.
+
+use crate::cone::customer_cones;
+use crate::graph::AsGraph;
+use borges_types::Asn;
+
+/// One row of the ranking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankEntry {
+    /// 1-based rank.
+    pub rank: usize,
+    /// The AS.
+    pub asn: Asn,
+    /// Customer-cone size (primary key, descending).
+    pub cone: usize,
+    /// Total degree (secondary key, descending).
+    pub degree: usize,
+}
+
+/// Ranks every AS in the graph.
+pub fn rank(graph: &AsGraph) -> Vec<RankEntry> {
+    let cones = customer_cones(graph);
+    let mut entries: Vec<RankEntry> = graph
+        .nodes()
+        .map(|asn| RankEntry {
+            rank: 0,
+            asn,
+            cone: cones[&asn],
+            degree: graph.degree(asn),
+        })
+        .collect();
+    entries.sort_by(|x, y| {
+        y.cone
+            .cmp(&x.cone)
+            .then(y.degree.cmp(&x.degree))
+            .then(x.asn.cmp(&y.asn))
+    });
+    for (i, entry) in entries.iter_mut().enumerate() {
+        entry.rank = i + 1;
+    }
+    entries
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a(n: u32) -> Asn {
+        Asn::new(n)
+    }
+
+    #[test]
+    fn ranks_by_cone_then_degree_then_asn() {
+        let mut b = AsGraph::builder();
+        // 10: cone 3. 20: cone 2. 30/31: stubs; 31 peers more.
+        b.provider_customer(a(10), a(20));
+        b.provider_customer(a(20), a(30));
+        b.node(a(31));
+        b.peer_peer(a(31), a(40));
+        let g = b.build();
+        let ranking = rank(&g);
+        assert_eq!(ranking[0].asn, a(10));
+        assert_eq!(ranking[0].rank, 1);
+        assert_eq!(ranking[0].cone, 3);
+        assert_eq!(ranking[1].asn, a(20));
+        // Among cone-1 ASNs, higher degree first.
+        let pos31 = ranking.iter().position(|e| e.asn == a(31)).unwrap();
+        let pos30 = ranking.iter().position(|e| e.asn == a(30)).unwrap();
+        assert!(pos31 > pos30 || ranking[pos31].degree >= ranking[pos30].degree);
+    }
+
+    #[test]
+    fn ranking_is_a_permutation() {
+        let mut b = AsGraph::builder();
+        for i in 1..50u32 {
+            b.provider_customer(a(i % 7 + 1), a(i + 10));
+        }
+        let g = b.build();
+        let ranking = rank(&g);
+        assert_eq!(ranking.len(), g.node_count());
+        let mut ranks: Vec<usize> = ranking.iter().map(|e| e.rank).collect();
+        ranks.sort_unstable();
+        assert_eq!(ranks, (1..=g.node_count()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_ties() {
+        let mut b = AsGraph::builder();
+        for i in [5u32, 3, 9, 1] {
+            b.node(a(i));
+        }
+        let g = b.build();
+        let ranking = rank(&g);
+        let asns: Vec<u32> = ranking.iter().map(|e| e.asn.value()).collect();
+        assert_eq!(asns, vec![1, 3, 5, 9], "equal cone/degree → ASN order");
+    }
+}

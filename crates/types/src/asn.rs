@@ -1,0 +1,224 @@
+//! Autonomous System Numbers.
+//!
+//! The ASN is the atom of every AS-to-Organization mapping. This module
+//! provides a zero-cost [`Asn`] newtype over `u32` (ASNs are 32-bit since
+//! RFC 6793), lenient parsing of the textual forms that appear in WHOIS
+//! dumps, CAIDA AS2Org files and PeeringDB free text (`"AS3356"`,
+//! `"as3356"`, `"3356"`), and classification of the reserved/private ranges
+//! that the extraction stages must treat with suspicion.
+
+use crate::errors::ParseError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// An Autonomous System Number.
+///
+/// `Asn` is `Copy`, ordered, hashable and 4 bytes — it is used as a map key
+/// throughout the workspace.
+///
+/// ```
+/// use borges_types::Asn;
+///
+/// let lumen: Asn = "AS3356".parse().unwrap();
+/// assert_eq!(lumen, Asn::new(3356));
+/// assert_eq!(lumen.to_string(), "AS3356");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Asn(u32);
+
+impl Asn {
+    /// Wraps a raw 32-bit ASN.
+    pub const fn new(value: u32) -> Self {
+        Asn(value)
+    }
+
+    /// The raw numeric value.
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+
+    /// `true` for ASN 0, reserved by RFC 7607 and never a valid origin.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// `true` for the 16-bit private-use range 64512–65534 and the 32-bit
+    /// private-use range 4200000000–4294967294 (RFC 6996).
+    pub const fn is_private(self) -> bool {
+        (self.0 >= 64_512 && self.0 <= 65_534) || (self.0 >= 4_200_000_000 && self.0 <= 4_294_967_294)
+    }
+
+    /// `true` for the documentation ranges 64496–64511 and 65536–65551
+    /// (RFC 5398).
+    pub const fn is_documentation(self) -> bool {
+        (self.0 >= 64_496 && self.0 <= 64_511) || (self.0 >= 65_536 && self.0 <= 65_551)
+    }
+
+    /// `true` for AS_TRANS (23456, RFC 6793) and the last 16/32-bit values
+    /// (65535 and 4294967295), all reserved.
+    pub const fn is_reserved(self) -> bool {
+        self.0 == 23_456 || self.0 == 65_535 || self.0 == u32::MAX || self.is_zero()
+    }
+
+    /// `true` when the ASN is none of zero/private/documentation/reserved —
+    /// i.e. it could plausibly be globally routable.
+    ///
+    /// The NER output filter (§4.2 of the paper) uses this to reject
+    /// number sequences that cannot be real sibling ASNs.
+    pub const fn is_routable(self) -> bool {
+        !self.is_zero() && !self.is_private() && !self.is_documentation() && !self.is_reserved()
+    }
+
+    /// `true` when the ASN needs 32 bits (does not fit in the original
+    /// 16-bit number space).
+    pub const fn is_four_byte(self) -> bool {
+        self.0 > 65_535
+    }
+}
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+impl From<u32> for Asn {
+    fn from(value: u32) -> Self {
+        Asn(value)
+    }
+}
+
+impl From<Asn> for u32 {
+    fn from(asn: Asn) -> Self {
+        asn.0
+    }
+}
+
+impl FromStr for Asn {
+    type Err = ParseError;
+
+    /// Parses `"AS3356"`, `"as3356"`, `"As3356"` or `"3356"`.
+    ///
+    /// Surrounding whitespace is tolerated; anything else (embedded signs,
+    /// decimal points, overflow beyond `u32`) is an error. This parser is
+    /// deliberately strict: the lenient *candidate* scanning over free text
+    /// lives in the NER module, not here.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let t = s.trim();
+        let digits = t
+            .strip_prefix("AS")
+            .or_else(|| t.strip_prefix("as"))
+            .or_else(|| t.strip_prefix("As"))
+            .or_else(|| t.strip_prefix("aS"))
+            .unwrap_or(t);
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseError::new("asn", s, "expected AS<digits> or <digits>"));
+        }
+        digits
+            .parse::<u32>()
+            .map(Asn)
+            .map_err(|_| ParseError::new("asn", s, "value exceeds 32 bits"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_plain_digits() {
+        assert_eq!("3356".parse::<Asn>().unwrap(), Asn::new(3356));
+    }
+
+    #[test]
+    fn parses_as_prefix_case_insensitively() {
+        for s in ["AS3356", "as3356", "As3356", "aS3356"] {
+            assert_eq!(s.parse::<Asn>().unwrap(), Asn::new(3356), "failed on {s}");
+        }
+    }
+
+    #[test]
+    fn tolerates_surrounding_whitespace() {
+        assert_eq!("  AS209 \t".parse::<Asn>().unwrap(), Asn::new(209));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for s in ["", "AS", "AS-1", "AS3356x", "3356.0", "+3356", "ASN3356"] {
+            assert!(s.parse::<Asn>().is_err(), "accepted {s:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_overflow() {
+        assert!("4294967296".parse::<Asn>().is_err());
+        assert_eq!(
+            "4294967295".parse::<Asn>().unwrap(),
+            Asn::new(u32::MAX)
+        );
+    }
+
+    #[test]
+    fn display_uses_canonical_form() {
+        assert_eq!(Asn::new(15169).to_string(), "AS15169");
+    }
+
+    #[test]
+    fn private_ranges() {
+        assert!(Asn::new(64512).is_private());
+        assert!(Asn::new(65534).is_private());
+        assert!(!Asn::new(65535).is_private());
+        assert!(Asn::new(4_200_000_000).is_private());
+        assert!(Asn::new(4_294_967_294).is_private());
+        assert!(!Asn::new(4_294_967_295).is_private());
+        assert!(!Asn::new(3356).is_private());
+    }
+
+    #[test]
+    fn documentation_ranges() {
+        assert!(Asn::new(64496).is_documentation());
+        assert!(Asn::new(64511).is_documentation());
+        assert!(Asn::new(65536).is_documentation());
+        assert!(Asn::new(65551).is_documentation());
+        assert!(!Asn::new(65552).is_documentation());
+    }
+
+    #[test]
+    fn reserved_values() {
+        assert!(Asn::new(0).is_reserved());
+        assert!(Asn::new(23456).is_reserved());
+        assert!(Asn::new(65535).is_reserved());
+        assert!(Asn::new(u32::MAX).is_reserved());
+    }
+
+    #[test]
+    fn routability_excludes_special_ranges() {
+        assert!(Asn::new(3356).is_routable());
+        assert!(Asn::new(15169).is_routable());
+        assert!(!Asn::new(0).is_routable());
+        assert!(!Asn::new(23456).is_routable());
+        assert!(!Asn::new(64500).is_routable()); // documentation
+        assert!(!Asn::new(64512).is_routable()); // private
+    }
+
+    #[test]
+    fn four_byte_boundary() {
+        assert!(!Asn::new(65535).is_four_byte());
+        assert!(Asn::new(65536).is_four_byte());
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        assert!(Asn::new(209) < Asn::new(3356));
+    }
+
+    #[test]
+    fn serde_is_transparent() {
+        let json = serde_json::to_string(&Asn::new(3356)).unwrap();
+        assert_eq!(json, "3356");
+        let back: Asn = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Asn::new(3356));
+    }
+}

@@ -1,0 +1,189 @@
+//! ISO-3166 alpha-2 country codes.
+//!
+//! The conglomerate-footprint analysis (§6.2 of the paper) counts the
+//! number of countries in which APNIC population estimates see users for an
+//! organization. [`CountryCode`] is the 2-byte key for those joins.
+
+use crate::errors::ParseError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// An ISO-3166 alpha-2 country code, stored as two upper-case ASCII bytes.
+///
+/// ```
+/// use borges_types::CountryCode;
+/// let de: CountryCode = "de".parse().unwrap();
+/// assert_eq!(de.as_str(), "DE");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CountryCode([u8; 2]);
+
+impl CountryCode {
+    /// Builds a code from two ASCII letters (case-insensitive).
+    pub fn new(a: char, b: char) -> Result<Self, ParseError> {
+        if !a.is_ascii_alphabetic() || !b.is_ascii_alphabetic() {
+            return Err(ParseError::new("country", "..", "letters only"));
+        }
+        Ok(CountryCode([
+            a.to_ascii_uppercase() as u8,
+            b.to_ascii_uppercase() as u8,
+        ]))
+    }
+
+    /// The canonical upper-case form.
+    pub fn as_str(&self) -> &str {
+        // Invariant: both bytes are ASCII upper-case letters.
+        std::str::from_utf8(&self.0).expect("country code bytes are ASCII")
+    }
+
+    /// A human-readable English name for codes that appear in the paper's
+    /// tables; falls back to the code itself.
+    pub fn name(&self) -> &'static str {
+        match self.as_str() {
+            "AR" => "Argentina",
+            "AT" => "Austria",
+            "AU" => "Australia",
+            "BD" => "Bangladesh",
+            "BO" => "Bolivia",
+            "BR" => "Brazil",
+            "CA" => "Canada",
+            "CH" => "Switzerland",
+            "CL" => "Chile",
+            "CN" => "China",
+            "CO" => "Colombia",
+            "CR" => "Costa Rica",
+            "CZ" => "Czechia",
+            "DE" => "Germany",
+            "DO" => "Dominican Republic",
+            "EC" => "Ecuador",
+            "EG" => "Egypt",
+            "ES" => "Spain",
+            "FR" => "France",
+            "GB" => "United Kingdom",
+            "GR" => "Greece",
+            "GT" => "Guatemala",
+            "HK" => "Hong Kong",
+            "HN" => "Honduras",
+            "HR" => "Croatia",
+            "HT" => "Haiti",
+            "HU" => "Hungary",
+            "ID" => "Indonesia",
+            "IN" => "India",
+            "IT" => "Italy",
+            "JM" => "Jamaica",
+            "JP" => "Japan",
+            "KE" => "Kenya",
+            "KR" => "South Korea",
+            "MX" => "Mexico",
+            "MY" => "Malaysia",
+            "NG" => "Nigeria",
+            "NL" => "Netherlands",
+            "NO" => "Norway",
+            "NZ" => "New Zealand",
+            "PA" => "Panama",
+            "PE" => "Peru",
+            "PH" => "Philippines",
+            "PK" => "Pakistan",
+            "PL" => "Poland",
+            "PR" => "Puerto Rico",
+            "PT" => "Portugal",
+            "PY" => "Paraguay",
+            "RO" => "Romania",
+            "SE" => "Sweden",
+            "SG" => "Singapore",
+            "SK" => "Slovakia",
+            "SV" => "El Salvador",
+            "TH" => "Thailand",
+            "TR" => "Turkey",
+            "TT" => "Trinidad and Tobago",
+            "TW" => "Taiwan",
+            "TZ" => "Tanzania",
+            "US" => "United States",
+            "UY" => "Uruguay",
+            "VE" => "Venezuela",
+            "VN" => "Vietnam",
+            "ZA" => "South Africa",
+            _ => {
+                // Leak-free fallback: we cannot return a &'static str built
+                // from self, so unknown codes display generically.
+                "(unknown)"
+            }
+        }
+    }
+}
+
+impl fmt::Display for CountryCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for CountryCode {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let t = s.trim();
+        let mut chars = t.chars();
+        match (chars.next(), chars.next(), chars.next()) {
+            (Some(a), Some(b), None) => CountryCode::new(a, b)
+                .map_err(|_| ParseError::new("country", s, "letters only")),
+            _ => Err(ParseError::new("country", s, "expected two letters")),
+        }
+    }
+}
+
+impl Serialize for CountryCode {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self.as_str())
+    }
+}
+
+impl<'de> Deserialize<'de> for CountryCode {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        s.parse().map_err(serde::de::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_uppercases() {
+        let c: CountryCode = "br".parse().unwrap();
+        assert_eq!(c.as_str(), "BR");
+        assert_eq!(c.name(), "Brazil");
+    }
+
+    #[test]
+    fn rejects_wrong_lengths_and_digits() {
+        for s in ["", "B", "BRA", "B1", "1A"] {
+            assert!(s.parse::<CountryCode>().is_err(), "accepted {s:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_codes_still_display() {
+        let c: CountryCode = "ZZ".parse().unwrap();
+        assert_eq!(c.to_string(), "ZZ");
+        assert_eq!(c.name(), "(unknown)");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c: CountryCode = "DE".parse().unwrap();
+        let j = serde_json::to_string(&c).unwrap();
+        assert_eq!(j, "\"DE\"");
+        let back: CountryCode = serde_json::from_str(&j).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let ar: CountryCode = "AR".parse().unwrap();
+        let br: CountryCode = "BR".parse().unwrap();
+        assert!(ar < br);
+    }
+}

@@ -1,0 +1,106 @@
+//! Error types shared across the workspace.
+//!
+//! The workspace deliberately avoids error-handling macro crates; errors are
+//! small hand-rolled enums/structs implementing `std::error::Error`, in the
+//! spirit of keeping the foundation crate free of non-essential
+//! dependencies.
+
+use std::error::Error;
+use std::fmt;
+
+/// A failure to parse a textual representation of one of the vocabulary
+/// types ([`crate::Asn`], [`crate::Url`], [`crate::CountryCode`], …).
+///
+/// Carries the *kind* of value being parsed, a bounded copy of the offending
+/// input, and a static reason — enough to produce actionable diagnostics
+/// from dataset loaders without dragging the full input around.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    kind: &'static str,
+    input: String,
+    reason: &'static str,
+}
+
+/// Inputs echoed back in errors are truncated to this many bytes so a
+/// malformed multi-megabyte `notes` field cannot balloon an error message.
+const MAX_ECHO: usize = 64;
+
+impl ParseError {
+    /// Creates a new parse error for a value of `kind` (e.g. `"asn"`),
+    /// echoing at most the first 64 bytes of `input`.
+    pub fn new(kind: &'static str, input: &str, reason: &'static str) -> Self {
+        let mut echoed: String = input.chars().take(MAX_ECHO).collect();
+        if echoed.len() < input.len() {
+            echoed.push('…');
+        }
+        ParseError {
+            kind,
+            input: echoed,
+            reason,
+        }
+    }
+
+    /// The kind of value that failed to parse (`"asn"`, `"url"`, …).
+    pub fn kind(&self) -> &'static str {
+        self.kind
+    }
+
+    /// The (truncated) input that failed to parse.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+
+    /// The static reason message.
+    pub fn reason(&self) -> &'static str {
+        self.reason
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid {}: {:?} ({})",
+            self.kind, self.input, self.reason
+        )
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_kind_input_and_reason() {
+        let e = ParseError::new("asn", "ASxyz", "expected AS<digits> or <digits>");
+        let msg = e.to_string();
+        assert!(msg.contains("asn"));
+        assert!(msg.contains("ASxyz"));
+        assert!(msg.contains("expected"));
+    }
+
+    #[test]
+    fn long_inputs_are_truncated() {
+        let long = "x".repeat(500);
+        let e = ParseError::new("url", &long, "too long");
+        assert!(e.input().chars().count() <= MAX_ECHO + 1);
+        assert!(e.input().ends_with('…'));
+    }
+
+    #[test]
+    fn truncation_respects_char_boundaries() {
+        let long = "é".repeat(100);
+        let e = ParseError::new("url", &long, "too long");
+        // must not panic and must still be valid UTF-8 (guaranteed by String)
+        assert!(e.input().ends_with('…'));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err(_: &dyn Error) {}
+        let e = ParseError::new("asn", "", "empty");
+        takes_err(&e);
+    }
+}

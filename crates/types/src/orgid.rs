@@ -1,0 +1,237 @@
+//! Organizational identifiers.
+//!
+//! §4.1 of the paper builds its "organization keys" from two entity-relation
+//! models:
+//!
+//! * **WHOIS** — each RIR assigns every ASN to an organization record keyed
+//!   by an opaque registry handle (e.g. `LPL-141-ARIN`). We call this the
+//!   *WHOIS Org ID*, `OID_W`, modeled by [`WhoisOrgId`].
+//! * **PeeringDB** — networks (`net` objects) reference an `org` object by a
+//!   numeric primary key. We call this the *PeeringDB Org ID*, `OID_P`,
+//!   modeled by [`PdbOrgId`].
+//!
+//! [`OrgName`] is the human-readable organization name with a normalized
+//! comparison form, used for display and for fuzzy joins in the impact
+//! analyses (§6).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A WHOIS/RIR organization handle (`OID_W`), e.g. `"LPL-141-ARIN"`.
+///
+/// Handles are compared case-insensitively (registries are inconsistent
+/// about case); the canonical form is upper-case.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct WhoisOrgId(String);
+
+impl WhoisOrgId {
+    /// Creates a handle, canonicalizing to upper-case and trimming
+    /// whitespace.
+    pub fn new(handle: impl AsRef<str>) -> Self {
+        WhoisOrgId(handle.as_ref().trim().to_ascii_uppercase())
+    }
+
+    /// The canonical (upper-case) handle.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// `true` when the handle is empty — WHOIS dumps occasionally contain
+    /// dangling `aut` records; loaders use this to quarantine them.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for WhoisOrgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for WhoisOrgId {
+    fn from(s: &str) -> Self {
+        WhoisOrgId::new(s)
+    }
+}
+
+/// A PeeringDB organization primary key (`OID_P`).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct PdbOrgId(u64);
+
+impl PdbOrgId {
+    /// Wraps a raw PeeringDB org primary key.
+    pub const fn new(id: u64) -> Self {
+        PdbOrgId(id)
+    }
+
+    /// The raw primary key.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for PdbOrgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pdb_org:{}", self.0)
+    }
+}
+
+impl From<u64> for PdbOrgId {
+    fn from(id: u64) -> Self {
+        PdbOrgId(id)
+    }
+}
+
+/// A human-readable organization name.
+///
+/// Names are stored verbatim but compare through [`OrgName::normalized`],
+/// which lower-cases, strips punctuation, collapses whitespace, and drops
+/// the legal-suffix noise (`Inc`, `LLC`, `GmbH`, `S.A.`, …) that makes the
+/// same company look different across registries.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct OrgName(String);
+
+/// Legal-entity suffixes ignored by name normalization. Lower-case,
+/// punctuation-free (normalization strips punctuation before matching).
+const LEGAL_SUFFIXES: &[&str] = &[
+    "inc", "incorporated", "llc", "ltd", "limited", "gmbh", "ag", "sa", "srl", "sarl", "bv",
+    "nv", "ab", "as", "oy", "plc", "corp", "corporation", "co", "company", "spa", "pty",
+    "sro", "kk", "sas", "holdings", "holding", "group",
+];
+
+impl OrgName {
+    /// Wraps a raw organization name (stored verbatim, trimmed).
+    pub fn new(name: impl AsRef<str>) -> Self {
+        OrgName(name.as_ref().trim().to_string())
+    }
+
+    /// The name exactly as registered (trimmed).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The normalized comparison form: lower-case ASCII, punctuation
+    /// replaced by spaces, whitespace collapsed, trailing legal suffixes
+    /// removed.
+    ///
+    /// ```
+    /// use borges_types::OrgName;
+    /// assert_eq!(
+    ///     OrgName::new("Level 3 Communications, Inc.").normalized(),
+    ///     OrgName::new("LEVEL-3 COMMUNICATIONS LLC").normalized(),
+    /// );
+    /// ```
+    pub fn normalized(&self) -> String {
+        let lowered: String = self
+            .0
+            .chars()
+            .map(|c| {
+                if c.is_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    ' '
+                }
+            })
+            .collect();
+        let mut words: Vec<&str> = lowered.split_whitespace().collect();
+        while let Some(last) = words.last() {
+            if words.len() > 1 && LEGAL_SUFFIXES.contains(last) {
+                words.pop();
+            } else {
+                break;
+            }
+        }
+        words.join(" ")
+    }
+
+    /// `true` when two names normalize identically.
+    pub fn matches(&self, other: &OrgName) -> bool {
+        self.normalized() == other.normalized()
+    }
+}
+
+impl fmt::Display for OrgName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for OrgName {
+    fn from(s: &str) -> Self {
+        OrgName::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whois_handles_canonicalize_case() {
+        assert_eq!(WhoisOrgId::new("lpl-141-arin"), WhoisOrgId::new("LPL-141-ARIN"));
+        assert_eq!(WhoisOrgId::new(" LPL-141-ARIN "), WhoisOrgId::new("LPL-141-ARIN"));
+    }
+
+    #[test]
+    fn whois_handle_empty_detection() {
+        assert!(WhoisOrgId::new("   ").is_empty());
+        assert!(!WhoisOrgId::new("X").is_empty());
+    }
+
+    #[test]
+    fn pdb_org_id_roundtrips() {
+        let id = PdbOrgId::new(42);
+        assert_eq!(id.value(), 42);
+        assert_eq!(id.to_string(), "pdb_org:42");
+    }
+
+    #[test]
+    fn org_names_normalize_legal_suffixes() {
+        let a = OrgName::new("Level 3 Communications, Inc.");
+        let b = OrgName::new("LEVEL-3 COMMUNICATIONS LLC");
+        assert!(a.matches(&b));
+    }
+
+    #[test]
+    fn org_names_keep_distinct_companies_distinct() {
+        let a = OrgName::new("Deutsche Telekom AG");
+        let b = OrgName::new("Telekom Slovenije");
+        assert!(!a.matches(&b));
+    }
+
+    #[test]
+    fn normalization_never_empties_a_suffix_only_name() {
+        // A company literally named "Group" must not normalize to "".
+        assert_eq!(OrgName::new("Group").normalized(), "group");
+        assert_eq!(OrgName::new("Co").normalized(), "co");
+    }
+
+    #[test]
+    fn normalization_strips_multiple_suffixes() {
+        assert_eq!(
+            OrgName::new("Acme Holdings LLC").normalized(),
+            "acme"
+        );
+    }
+
+    #[test]
+    fn normalization_handles_unicode() {
+        // Non-ASCII alphanumerics survive (lower-cased ASCII only applies to
+        // ASCII); punctuation becomes separators.
+        assert_eq!(OrgName::new("Télécom-Paris").normalized(), "télécom paris");
+    }
+
+    #[test]
+    fn serde_transparency() {
+        let j = serde_json::to_string(&PdbOrgId::new(7)).unwrap();
+        assert_eq!(j, "7");
+        let j = serde_json::to_string(&WhoisOrgId::new("ABC-RIPE")).unwrap();
+        assert_eq!(j, "\"ABC-RIPE\"");
+    }
+}

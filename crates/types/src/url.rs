@@ -1,0 +1,499 @@
+//! URLs and host names, with the exact semantics the web-inference module
+//! (§4.3 of the paper) needs.
+//!
+//! This is *not* a general-purpose URL crate. It implements the slice of
+//! WHATWG-URL behaviour that PeeringDB `website` fields and redirect chains
+//! exercise:
+//!
+//! * lenient parsing (PeeringDB operators routinely omit the scheme),
+//! * normalization (case, default ports, empty paths) so that final-URL
+//!   matching (§4.3.2) compares canonical forms,
+//! * host-label decomposition with an embedded multi-label public-suffix
+//!   table, exposing the **brand label** — what the paper calls the shared
+//!   "subdomain" in examples like `www.orange.es` / `www.orange.pl`
+//!   (§4.3.3, step 1 of the decision tree).
+
+use crate::errors::ParseError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// URL schemes the simulator and scraper understand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    /// `http://`
+    Http,
+    /// `https://`
+    Https,
+}
+
+impl Scheme {
+    /// The scheme's default port (80/443).
+    pub const fn default_port(self) -> u16 {
+        match self {
+            Scheme::Http => 80,
+            Scheme::Https => 443,
+        }
+    }
+
+    /// The lower-case scheme string.
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            Scheme::Http => "http",
+            Scheme::Https => "https",
+        }
+    }
+}
+
+impl fmt::Display for Scheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Second-level (and deeper) public suffixes the label decomposition knows
+/// about, beyond plain single-label TLDs. A pragmatic subset of the Public
+/// Suffix List covering the markets the paper's examples span (LatAm,
+/// Europe, Asia-Pacific).
+const MULTI_LABEL_SUFFIXES: &[&str] = &[
+    "co.uk", "org.uk", "ac.uk", "gov.uk", "net.uk",
+    "com.br", "net.br", "org.br", "gov.br",
+    "com.ar", "net.ar", "org.ar", "gob.ar",
+    "com.au", "net.au", "org.au",
+    "co.jp", "ne.jp", "or.jp", "ad.jp",
+    "com.mx", "net.mx", "org.mx",
+    "com.do", "com.pe", "com.co", "com.ve", "com.uy", "com.py", "com.bo",
+    "com.ec", "com.gt", "com.ni", "com.sv", "com.hn", "com.pa",
+    "com.tr", "net.tr",
+    "co.za", "org.za",
+    "co.nz", "net.nz",
+    "co.kr", "or.kr",
+    "co.in", "net.in", "org.in",
+    "go.id", "co.id", "net.id", "or.id", "web.id",
+    "com.sg", "com.hk", "com.my", "com.ph", "com.pk", "com.bd", "com.np",
+    "com.cn", "net.cn", "org.cn",
+    "com.tw", "org.tw",
+    "co.th", "in.th",
+    "com.vn",
+    "com.eg", "com.ng", "co.ke", "co.tz",
+    "riau.go.id",
+];
+
+/// A normalized (lower-case, trailing-dot-free) host name.
+///
+/// ```
+/// use borges_types::Host;
+/// let h: Host = "WWW.Orange.ES".parse().unwrap();
+/// assert_eq!(h.as_str(), "www.orange.es");
+/// assert_eq!(h.brand_label(), Some("orange"));
+/// assert_eq!(h.registrable_domain(), Some("orange.es"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Host(String);
+
+impl Host {
+    /// The normalized host string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The dot-separated labels, left to right.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.0.split('.')
+    }
+
+    /// The number of labels matched by the public-suffix table, or 1 when
+    /// only the last label matches (plain TLD), or 0 for single-label hosts.
+    fn suffix_len(&self) -> usize {
+        let labels: Vec<&str> = self.labels().collect();
+        if labels.len() < 2 {
+            return 0;
+        }
+        // Longest multi-label suffix wins (e.g. riau.go.id over go.id).
+        let mut best = 1; // the plain TLD
+        for suffix in MULTI_LABEL_SUFFIXES {
+            let n = suffix.split('.').count();
+            if n < labels.len() && labels[labels.len() - n..].join(".") == *suffix && n > best {
+                best = n;
+            }
+        }
+        best
+    }
+
+    /// The registrable domain: the public suffix plus one label
+    /// (`orange.es` for `www.orange.es`, `riau.go.id` → itself has suffix
+    /// `go.id`, so `bapenda.riau.go.id` → `riau.go.id`).
+    ///
+    /// `None` when the host has no label left of the suffix (e.g. a bare
+    /// TLD or a single-label intranet name).
+    pub fn registrable_domain(&self) -> Option<&str> {
+        let labels: Vec<&str> = self.labels().collect();
+        let suffix = self.suffix_len();
+        if suffix == 0 || labels.len() <= suffix {
+            return None;
+        }
+        let keep = suffix + 1;
+        let skip_bytes: usize = labels[..labels.len() - keep]
+            .iter()
+            .map(|l| l.len() + 1)
+            .sum();
+        Some(&self.0[skip_bytes..])
+    }
+
+    /// The **brand label**: the label immediately left of the public suffix.
+    ///
+    /// This is the token the paper's favicon decision tree calls the shared
+    /// "subdomain": `www.orange.es` and `www.orange.pl` share the brand
+    /// label `orange` (§4.3.3 step 1).
+    pub fn brand_label(&self) -> Option<&str> {
+        let labels: Vec<&str> = self.labels().collect();
+        let suffix = self.suffix_len();
+        if suffix == 0 || labels.len() <= suffix {
+            return None;
+        }
+        Some(labels[labels.len() - suffix - 1])
+    }
+
+    /// `true` when both hosts resolve to the same brand label
+    /// (`None` never matches).
+    pub fn same_brand(&self, other: &Host) -> bool {
+        match (self.brand_label(), other.brand_label()) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Host {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl FromStr for Host {
+    type Err = ParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let t = s.trim().trim_end_matches('.').to_ascii_lowercase();
+        if t.is_empty() {
+            return Err(ParseError::new("host", s, "empty host"));
+        }
+        let valid = t.split('.').all(|label| {
+            !label.is_empty()
+                && label
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+                && !label.starts_with('-')
+                && !label.ends_with('-')
+        });
+        if !valid {
+            return Err(ParseError::new("host", s, "invalid host label"));
+        }
+        Ok(Host(t))
+    }
+}
+
+/// A parsed, normalized URL.
+///
+/// Normalization: scheme and host lower-cased, default ports dropped, empty
+/// path replaced by `/`, fragments stripped. Query strings are preserved
+/// (redirect targets in the wild use them).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Url {
+    scheme: Scheme,
+    host: Host,
+    port: Option<u16>,
+    path: String,
+    query: Option<String>,
+}
+
+impl Url {
+    /// Builds a URL from parts. `path` gains a leading `/` if missing; a
+    /// port equal to the scheme default is dropped.
+    pub fn new(scheme: Scheme, host: Host, port: Option<u16>, path: &str, query: Option<&str>) -> Self {
+        let path = if path.is_empty() {
+            "/".to_string()
+        } else if path.starts_with('/') {
+            path.to_string()
+        } else {
+            format!("/{path}")
+        };
+        let port = port.filter(|&p| p != scheme.default_port());
+        Url {
+            scheme,
+            host,
+            port,
+            path,
+            query: query.map(str::to_string),
+        }
+    }
+
+    /// Convenience constructor: `https://<host>/`.
+    pub fn https(host: &str) -> Result<Self, ParseError> {
+        Ok(Url::new(Scheme::Https, host.parse()?, None, "/", None))
+    }
+
+    /// Convenience constructor: `http://<host>/`.
+    pub fn http(host: &str) -> Result<Self, ParseError> {
+        Ok(Url::new(Scheme::Http, host.parse()?, None, "/", None))
+    }
+
+    /// The scheme.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// The host.
+    pub fn host(&self) -> &Host {
+        &self.host
+    }
+
+    /// The explicit port, if any (default ports are normalized away).
+    pub fn port(&self) -> Option<u16> {
+        self.port
+    }
+
+    /// The effective port (explicit or scheme default).
+    pub fn effective_port(&self) -> u16 {
+        self.port.unwrap_or(self.scheme.default_port())
+    }
+
+    /// The path (always starts with `/`).
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// The query string, without the leading `?`.
+    pub fn query(&self) -> Option<&str> {
+        self.query.as_deref()
+    }
+
+    /// Returns this URL with a different path/query (used to resolve
+    /// relative redirects).
+    pub fn with_path(&self, path: &str, query: Option<&str>) -> Url {
+        Url::new(self.scheme, self.host.clone(), self.port, path, query)
+    }
+
+    /// The canonical string form — the comparison key for final-URL
+    /// matching (§4.3.2).
+    pub fn canonical(&self) -> String {
+        self.to_string()
+    }
+
+    /// Shorthand for `self.host().brand_label()`.
+    pub fn brand_label(&self) -> Option<&str> {
+        self.host.brand_label()
+    }
+}
+
+impl fmt::Display for Url {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}://{}", self.scheme, self.host)?;
+        if let Some(p) = self.port {
+            write!(f, ":{p}")?;
+        }
+        f.write_str(&self.path)?;
+        if let Some(q) = &self.query {
+            write!(f, "?{q}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for Url {
+    type Err = ParseError;
+
+    /// Parses a URL leniently, the way a scraper must read PeeringDB
+    /// `website` fields:
+    ///
+    /// * missing scheme ⇒ assume `http` (what a browser address bar does),
+    /// * fragments are dropped,
+    /// * surrounding whitespace is trimmed.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let t = s.trim();
+        if t.is_empty() {
+            return Err(ParseError::new("url", s, "empty url"));
+        }
+        let (scheme, rest) = if let Some(rest) = strip_prefix_ci(t, "https://") {
+            (Scheme::Https, rest)
+        } else if let Some(rest) = strip_prefix_ci(t, "http://") {
+            (Scheme::Http, rest)
+        } else if t.contains("://") {
+            return Err(ParseError::new("url", s, "unsupported scheme"));
+        } else {
+            (Scheme::Http, t)
+        };
+
+        // Drop fragment first, then split off query, then path.
+        let rest = rest.split('#').next().unwrap_or("");
+        let (before_query, query) = match rest.split_once('?') {
+            Some((b, q)) => (b, Some(q)),
+            None => (rest, None),
+        };
+        let (authority, path) = match before_query.split_once('/') {
+            Some((a, p)) => (a, format!("/{p}")),
+            None => (before_query, "/".to_string()),
+        };
+        let (host_str, port) = match authority.rsplit_once(':') {
+            Some((h, p)) if p.bytes().all(|b| b.is_ascii_digit()) && !p.is_empty() => {
+                let port = p
+                    .parse::<u16>()
+                    .map_err(|_| ParseError::new("url", s, "port out of range"))?;
+                (h, Some(port))
+            }
+            _ => (authority, None),
+        };
+        let host: Host = host_str
+            .parse()
+            .map_err(|_| ParseError::new("url", s, "invalid host"))?;
+        Ok(Url::new(scheme, host, port, &path, query))
+    }
+}
+
+fn strip_prefix_ci<'a>(s: &'a str, prefix: &str) -> Option<&'a str> {
+    if s.len() >= prefix.len() && s[..prefix.len()].eq_ignore_ascii_case(prefix) {
+        Some(&s[prefix.len()..])
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_normalizes_case_and_trailing_dot() {
+        let h: Host = "WWW.Orange.FR.".parse().unwrap();
+        assert_eq!(h.as_str(), "www.orange.fr");
+    }
+
+    #[test]
+    fn host_rejects_bad_labels() {
+        for s in ["", ".", "a..b", "-leading.com", "trailing-.com", "sp ace.com"] {
+            assert!(s.parse::<Host>().is_err(), "accepted {s:?}");
+        }
+    }
+
+    #[test]
+    fn brand_label_simple_tld() {
+        let h: Host = "www.orange.es".parse().unwrap();
+        assert_eq!(h.brand_label(), Some("orange"));
+        assert_eq!(h.registrable_domain(), Some("orange.es"));
+    }
+
+    #[test]
+    fn brand_label_multi_label_suffix() {
+        let h: Host = "www.claro.com.do".parse().unwrap();
+        assert_eq!(h.brand_label(), Some("claro"));
+        assert_eq!(h.registrable_domain(), Some("claro.com.do"));
+    }
+
+    #[test]
+    fn brand_label_deep_suffix() {
+        let h: Host = "bapenda.riau.go.id".parse().unwrap();
+        assert_eq!(h.brand_label(), Some("bapenda"));
+    }
+
+    #[test]
+    fn brand_label_bare_registrable() {
+        let h: Host = "orange.fr".parse().unwrap();
+        assert_eq!(h.brand_label(), Some("orange"));
+    }
+
+    #[test]
+    fn brand_label_absent_for_tld_or_single_label() {
+        let h: Host = "localhost".parse().unwrap();
+        assert_eq!(h.brand_label(), None);
+        let h: Host = "com".parse().unwrap();
+        assert_eq!(h.brand_label(), None);
+    }
+
+    #[test]
+    fn same_brand_matches_across_cctlds() {
+        let a: Host = "www.orange.es".parse().unwrap();
+        let b: Host = "www.orange.pl".parse().unwrap();
+        assert!(a.same_brand(&b));
+    }
+
+    #[test]
+    fn same_brand_distinguishes_claro_variants() {
+        // The paper's motivating hard case: clarochile.cl vs claropr.com have
+        // *different* brand labels — step 1 must NOT merge them; step 2
+        // (favicon + LLM) does.
+        let a: Host = "www.clarochile.cl".parse().unwrap();
+        let b: Host = "www.claropr.com".parse().unwrap();
+        assert!(!a.same_brand(&b));
+    }
+
+    #[test]
+    fn url_parses_with_scheme() {
+        let u: Url = "https://www.edg.io/company".parse().unwrap();
+        assert_eq!(u.scheme(), Scheme::Https);
+        assert_eq!(u.host().as_str(), "www.edg.io");
+        assert_eq!(u.path(), "/company");
+    }
+
+    #[test]
+    fn url_defaults_to_http_without_scheme() {
+        let u: Url = "www.sprint.com".parse().unwrap();
+        assert_eq!(u.scheme(), Scheme::Http);
+        assert_eq!(u.to_string(), "http://www.sprint.com/");
+    }
+
+    #[test]
+    fn url_rejects_unknown_schemes() {
+        assert!("ftp://example.com".parse::<Url>().is_err());
+    }
+
+    #[test]
+    fn url_normalizes_default_ports() {
+        let u: Url = "https://example.com:443/x".parse().unwrap();
+        assert_eq!(u.port(), None);
+        assert_eq!(u.effective_port(), 443);
+        let u: Url = "https://example.com:8443/x".parse().unwrap();
+        assert_eq!(u.port(), Some(8443));
+    }
+
+    #[test]
+    fn url_strips_fragment_keeps_query() {
+        let u: Url = "http://a.com/p?x=1#frag".parse().unwrap();
+        assert_eq!(u.query(), Some("x=1"));
+        assert_eq!(u.to_string(), "http://a.com/p?x=1");
+    }
+
+    #[test]
+    fn url_empty_path_becomes_slash() {
+        let u: Url = "http://a.com".parse().unwrap();
+        assert_eq!(u.path(), "/");
+    }
+
+    #[test]
+    fn url_display_roundtrips_through_parse() {
+        for s in [
+            "https://www.clarochile.cl/personas/",
+            "http://www.t.ht.hr/",
+            "https://t3.gstatic.com/faviconV2?client=SOCIAL",
+            "http://host.com:8080/a/b",
+        ] {
+            let u: Url = s.parse().unwrap();
+            let round: Url = u.to_string().parse().unwrap();
+            assert_eq!(u, round, "roundtrip failed for {s}");
+        }
+    }
+
+    #[test]
+    fn with_path_resolves_relative_redirects() {
+        let u: Url = "https://a.com/old".parse().unwrap();
+        let v = u.with_path("/new", Some("r=1"));
+        assert_eq!(v.to_string(), "https://a.com/new?r=1");
+    }
+
+    #[test]
+    fn canonical_equality_is_final_url_matching() {
+        let a: Url = "HTTPS://WWW.EDG.IO".parse().unwrap();
+        let b: Url = "https://www.edg.io/".parse().unwrap();
+        assert_eq!(a.canonical(), b.canonical());
+    }
+}

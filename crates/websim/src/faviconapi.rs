@@ -1,0 +1,101 @@
+//! The favicon service — the simulator's stand-in for Google's favicon
+//! API.
+//!
+//! The paper downloads favicons through
+//! `t3.gstatic.com/faviconV2?…&url=<site>&size=16` (§4.3.1, footnote 3)
+//! rather than scraping `<link rel="icon">` tags itself. [`FaviconApi`]
+//! reproduces that interface: it builds the same request URLs and answers
+//! them from the hosted web, including the service's behaviour for dead
+//! sites (no icon) and redirecting hosts (the icon of the *final* page).
+
+use crate::client::{SimWebClient, WebClient};
+use crate::hosting::SimWeb;
+use borges_types::{FaviconHash, Url};
+
+/// The host the real service answers on.
+pub const API_HOST: &str = "t3.gstatic.com";
+
+/// A favicon-service client over a hosted web.
+#[derive(Debug, Clone)]
+pub struct FaviconApi<'w> {
+    web: &'w SimWeb,
+}
+
+impl<'w> FaviconApi<'w> {
+    /// A service over `web`.
+    pub fn new(web: &'w SimWeb) -> Self {
+        FaviconApi { web }
+    }
+
+    /// The request URL the real API would be queried with for `target`
+    /// (documentation/display purposes; [`FaviconApi::lookup`] answers it).
+    pub fn request_url(target: &Url, size: u16) -> Url {
+        format!(
+            "https://{API_HOST}/faviconV2?client=SOCIAL&type=FAVICON&fallback_opts=TYPE,SIZE,URL&url={}&size={}",
+            target.canonical(),
+            size
+        )
+        .parse()
+        .expect("request url is well-formed")
+    }
+
+    /// Resolves the favicon for `target`, following redirects the way the
+    /// real service does (it fetches the page like a browser before
+    /// extracting the icon).
+    pub fn lookup(&self, target: &Url) -> Option<FaviconHash> {
+        let client = SimWebClient::browser(self.web);
+        client.fetch(target).favicon
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::RedirectKind;
+
+    fn icon(name: &str) -> FaviconHash {
+        FaviconHash::of_bytes(name.as_bytes())
+    }
+
+    fn web() -> SimWeb {
+        SimWeb::builder()
+            .page("www.orange.fr", Some(icon("orange")))
+            .redirect("www.old-orange.fr", "https://www.orange.fr/", RedirectKind::Http)
+            .down("www.dead.example")
+            .build()
+    }
+
+    #[test]
+    fn request_url_matches_the_papers_footnote() {
+        let target: Url = "https://www.orange.fr/".parse().unwrap();
+        let url = FaviconApi::request_url(&target, 16);
+        assert_eq!(url.host().as_str(), API_HOST);
+        assert!(url.query().unwrap().contains("url=https://www.orange.fr/"));
+        assert!(url.query().unwrap().contains("size=16"));
+        assert_eq!(url.path(), "/faviconV2");
+    }
+
+    #[test]
+    fn lookup_serves_the_pages_icon() {
+        let web = web();
+        let api = FaviconApi::new(&web);
+        let target: Url = "https://www.orange.fr/".parse().unwrap();
+        assert_eq!(api.lookup(&target), Some(icon("orange")));
+    }
+
+    #[test]
+    fn lookup_follows_redirects_like_the_real_service() {
+        let web = web();
+        let api = FaviconApi::new(&web);
+        let target: Url = "http://www.old-orange.fr/".parse().unwrap();
+        assert_eq!(api.lookup(&target), Some(icon("orange")));
+    }
+
+    #[test]
+    fn dead_sites_have_no_icon() {
+        let web = web();
+        let api = FaviconApi::new(&web);
+        let target: Url = "http://www.dead.example/".parse().unwrap();
+        assert_eq!(api.lookup(&target), None);
+    }
+}

@@ -1,0 +1,148 @@
+//! The simulated web: a host table.
+
+use crate::site::{RedirectKind, SiteNode};
+use borges_types::{FaviconHash, Host, Url};
+use std::collections::BTreeMap;
+
+/// Builder for a [`SimWeb`].
+#[derive(Debug, Default)]
+pub struct SimWebBuilder {
+    hosts: BTreeMap<Host, SiteNode>,
+}
+
+impl SimWebBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a host serving `node`. Re-registering a host replaces the
+    /// previous node (last writer wins, like re-deploying a site).
+    pub fn host(mut self, host: &str, node: SiteNode) -> Self {
+        let host: Host = host.parse().expect("valid host literal");
+        self.hosts.insert(host, node);
+        self
+    }
+
+    /// Registers a page at `https://<host>/` with the given favicon.
+    pub fn page(self, host: &str, favicon: Option<FaviconHash>) -> Self {
+        let node = SiteNode::page(host, favicon);
+        self.host(host, node)
+    }
+
+    /// Registers a page whose canonical URL carries a path, e.g. the
+    /// paper's `https://www.clarochile.cl/personas/`.
+    pub fn page_at(self, host: &str, canonical: &str, favicon: Option<FaviconHash>) -> Self {
+        let canonical: Url = canonical.parse().expect("valid canonical url literal");
+        self.host(host, SiteNode::Page { canonical, favicon })
+    }
+
+    /// Registers a redirect from `host` to `to` (full URL).
+    pub fn redirect(self, host: &str, to: &str, kind: RedirectKind) -> Self {
+        let to: Url = to.parse().expect("valid redirect target literal");
+        self.host(host, SiteNode::Redirect { to, kind })
+    }
+
+    /// Registers a dead host.
+    pub fn down(self, host: &str) -> Self {
+        self.host(host, SiteNode::Down)
+    }
+
+    /// Registers a node directly (used by the generator, which already has
+    /// parsed values).
+    pub fn node(mut self, host: Host, node: SiteNode) -> Self {
+        self.hosts.insert(host, node);
+        self
+    }
+
+    /// Freezes the web.
+    pub fn build(self) -> SimWeb {
+        SimWeb { hosts: self.hosts }
+    }
+}
+
+/// The simulated web — an immutable host table the clients resolve against.
+///
+/// Hosts absent from the table behave like NXDOMAIN: fetches fail the same
+/// way they do for [`SiteNode::Down`].
+#[derive(Debug, Clone, Default)]
+pub struct SimWeb {
+    hosts: BTreeMap<Host, SiteNode>,
+}
+
+impl SimWeb {
+    /// A builder for a new web.
+    pub fn builder() -> SimWebBuilder {
+        SimWebBuilder::new()
+    }
+
+    /// What `host` serves, if registered.
+    pub fn lookup(&self, host: &Host) -> Option<&SiteNode> {
+        self.hosts.get(host)
+    }
+
+    /// Number of registered hosts.
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Iterates all `(host, node)` pairs in host order.
+    pub fn hosts(&self) -> impl Iterator<Item = (&Host, &SiteNode)> {
+        self.hosts.iter()
+    }
+
+    /// The favicon a final URL serves, mimicking the Google favicon API the
+    /// paper queries (§4.3.1): given a URL, return the favicon of the host's
+    /// page, if the host is up and serves one.
+    pub fn favicon_of(&self, url: &Url) -> Option<FaviconHash> {
+        match self.lookup(url.host())? {
+            SiteNode::Page { favicon, .. } => *favicon,
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_lookup() {
+        let web = SimWeb::builder()
+            .page("www.lumen.com", Some(FaviconHash::of_bytes(b"lumen")))
+            .down("www.dead.example")
+            .redirect("www.sprint.com", "https://www.t-mobile.com/", RedirectKind::Http)
+            .build();
+        assert_eq!(web.host_count(), 3);
+        let host: Host = "www.lumen.com".parse().unwrap();
+        assert!(matches!(web.lookup(&host), Some(SiteNode::Page { .. })));
+        let missing: Host = "nxdomain.example".parse().unwrap();
+        assert!(web.lookup(&missing).is_none());
+    }
+
+    #[test]
+    fn last_registration_wins() {
+        let web = SimWeb::builder()
+            .page("a.com", None)
+            .down("a.com")
+            .build();
+        let host: Host = "a.com".parse().unwrap();
+        assert!(matches!(web.lookup(&host), Some(SiteNode::Down)));
+        assert_eq!(web.host_count(), 1);
+    }
+
+    #[test]
+    fn favicon_of_returns_page_favicon_only() {
+        let icon = FaviconHash::of_bytes(b"claro");
+        let web = SimWeb::builder()
+            .page_at("www.clarochile.cl", "https://www.clarochile.cl/personas/", Some(icon))
+            .redirect("old.claro.cl", "https://www.clarochile.cl/", RedirectKind::Http)
+            .build();
+        let url: Url = "https://www.clarochile.cl/personas/".parse().unwrap();
+        assert_eq!(web.favicon_of(&url), Some(icon));
+        let url: Url = "https://old.claro.cl/".parse().unwrap();
+        assert_eq!(web.favicon_of(&url), None, "redirects serve no favicon");
+        let url: Url = "https://unknown.example/".parse().unwrap();
+        assert_eq!(web.favicon_of(&url), None);
+    }
+}

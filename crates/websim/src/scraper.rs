@@ -1,0 +1,357 @@
+//! The bulk crawl engine.
+//!
+//! §4.3.1 of the paper: Borges loads every website referenced in PeeringDB
+//! records, collecting the final URL each settles on and the favicon that
+//! final page serves. This module drives any [`WebClient`] over a batch of
+//! `(ASN, raw website string)` pairs, de-duplicating identical URLs through
+//! a cache, and produces both per-ASN observations and the funnel
+//! statistics reported in §5.2 (entries with websites → unique URLs →
+//! reachable sites → unique final URLs → unique favicons).
+
+use crate::client::{FetchResult, WebClient};
+use borges_types::{Asn, FaviconHash, Url};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// What the crawl observed for one network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScrapedSite {
+    /// The URL parsed from the PeeringDB `website` field.
+    pub requested: Url,
+    /// Where the browser ended up, when the site answered.
+    pub final_url: Option<Url>,
+    /// The favicon of the final page, when it serves one.
+    pub favicon: Option<FaviconHash>,
+}
+
+/// Funnel statistics for a crawl, mirroring the §5.2 narrative.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrapeStats {
+    /// Input pairs whose website field held a parseable URL.
+    pub entries_with_website: usize,
+    /// Input pairs whose website field was present but unparseable.
+    pub entries_with_invalid_url: usize,
+    /// Distinct requested URLs (the paper: 24,200 unique URLs).
+    pub unique_urls: usize,
+    /// Distinct requested URLs that resolved to a page (paper: 20,742).
+    pub reachable_urls: usize,
+    /// Distinct final URLs (paper: 20,094).
+    pub unique_final_urls: usize,
+    /// Distinct final URLs serving a favicon.
+    pub final_urls_with_favicon: usize,
+    /// Distinct favicons (paper: 14,516).
+    pub unique_favicons: usize,
+}
+
+/// The result of a crawl.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScrapeReport {
+    /// Per-ASN observations, for ASNs whose website parsed.
+    pub sites: BTreeMap<Asn, ScrapedSite>,
+    /// Funnel statistics.
+    pub stats: ScrapeStats,
+}
+
+impl ScrapeReport {
+    /// Groups ASNs by canonical final URL — the input of final-URL matching
+    /// (§4.3.2). Only ASNs that landed on a page appear.
+    pub fn asns_by_final_url(&self) -> BTreeMap<String, Vec<Asn>> {
+        let mut map: BTreeMap<String, Vec<Asn>> = BTreeMap::new();
+        for (asn, site) in &self.sites {
+            if let Some(final_url) = &site.final_url {
+                map.entry(final_url.canonical()).or_default().push(*asn);
+            }
+        }
+        map
+    }
+
+    /// Groups final URLs (with their ASNs) by favicon — the input of the
+    /// favicon decision tree (§4.3.3).
+    pub fn asns_by_favicon(&self) -> BTreeMap<FaviconHash, Vec<(Url, Asn)>> {
+        let mut map: BTreeMap<FaviconHash, Vec<(Url, Asn)>> = BTreeMap::new();
+        for (asn, site) in &self.sites {
+            if let (Some(final_url), Some(favicon)) = (&site.final_url, site.favicon) {
+                map.entry(favicon).or_default().push((final_url.clone(), *asn));
+            }
+        }
+        map
+    }
+}
+
+/// The crawl engine. Wraps a [`WebClient`] with a fetch cache so each
+/// distinct URL is loaded once regardless of how many networks reference
+/// it.
+pub struct Scraper<C> {
+    client: C,
+    cache: Mutex<HashMap<String, FetchResult>>,
+}
+
+impl<C: WebClient> Scraper<C> {
+    /// Creates a scraper over a client.
+    pub fn new(client: C) -> Self {
+        Scraper {
+            client,
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Fetches one URL through the cache.
+    pub fn fetch_cached(&self, url: &Url) -> FetchResult {
+        let key = url.canonical();
+        if let Some(hit) = self.cache.lock().get(&key) {
+            return hit.clone();
+        }
+        let result = self.client.fetch(url);
+        self.cache.lock().insert(key, result.clone());
+        result
+    }
+
+    /// Crawls a batch of `(asn, raw website field)` pairs.
+    ///
+    /// Entries with empty or unparseable website fields are counted in the
+    /// stats but produce no observation — exactly how a scraper must treat
+    /// operator junk.
+    pub fn crawl<'a>(
+        &self,
+        entries: impl IntoIterator<Item = (Asn, &'a str)>,
+    ) -> ScrapeReport {
+        let resolved = entries
+            .into_iter()
+            .map(|(asn, raw)| (asn, self.resolve(raw)));
+        assemble(resolved)
+    }
+
+    /// Like [`Scraper::crawl`], fetching with `threads` worker threads.
+    ///
+    /// Fetches are pure and per-entry independent, and assembly is
+    /// order-canonical (ASN-keyed maps), so the report is byte-identical
+    /// to the sequential one — parallelism only changes wall-clock time.
+    /// In a production deployment this is where a pool of headless
+    /// browsers would sit.
+    pub fn crawl_parallel(&self, entries: Vec<(Asn, &str)>, threads: usize) -> ScrapeReport
+    where
+        C: Sync,
+    {
+        let threads = threads.max(1);
+        let chunk_size = entries.len().div_ceil(threads).max(1);
+        let resolved: Vec<(Asn, Resolution)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = entries
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|(asn, raw)| (*asn, self.resolve(raw)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("scraper worker panicked"))
+                .collect()
+        });
+        assemble(resolved)
+    }
+
+    /// Parses and fetches one raw website field.
+    fn resolve(&self, raw: &str) -> Resolution {
+        let raw = raw.trim();
+        if raw.is_empty() {
+            return Resolution::Empty;
+        }
+        match raw.parse::<Url>() {
+            Ok(url) => {
+                let fetched = self.fetch_cached(&url);
+                Resolution::Fetched(Box::new((url, fetched)))
+            }
+            Err(_) => Resolution::Invalid,
+        }
+    }
+}
+
+/// The per-entry outcome of parsing + fetching a website field.
+enum Resolution {
+    Empty,
+    Invalid,
+    Fetched(Box<(Url, FetchResult)>),
+}
+
+/// Folds resolved entries into a report (single-threaded; canonical).
+fn assemble(entries: impl IntoIterator<Item = (Asn, Resolution)>) -> ScrapeReport {
+    let mut report = ScrapeReport::default();
+    let mut requested: BTreeSet<String> = BTreeSet::new();
+    let mut reachable: BTreeSet<String> = BTreeSet::new();
+    let mut finals: BTreeSet<String> = BTreeSet::new();
+    let mut finals_with_icon: BTreeSet<String> = BTreeSet::new();
+    let mut favicons: BTreeSet<FaviconHash> = BTreeSet::new();
+
+    for (asn, resolution) in entries {
+        let (url, fetched) = match resolution {
+            Resolution::Empty => continue,
+            Resolution::Invalid => {
+                report.stats.entries_with_invalid_url += 1;
+                continue;
+            }
+            Resolution::Fetched(boxed) => *boxed,
+        };
+        report.stats.entries_with_website += 1;
+        requested.insert(url.canonical());
+        if fetched.is_ok() {
+            reachable.insert(url.canonical());
+        }
+        if let Some(final_url) = &fetched.final_url {
+            finals.insert(final_url.canonical());
+            if let Some(icon) = fetched.favicon {
+                finals_with_icon.insert(final_url.canonical());
+                favicons.insert(icon);
+            }
+        }
+        report.sites.insert(
+            asn,
+            ScrapedSite {
+                requested: url,
+                final_url: fetched.final_url,
+                favicon: fetched.favicon,
+            },
+        );
+    }
+
+    report.stats.unique_urls = requested.len();
+    report.stats.reachable_urls = reachable.len();
+    report.stats.unique_final_urls = finals.len();
+    report.stats.final_urls_with_favicon = finals_with_icon.len();
+    report.stats.unique_favicons = favicons.len();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::SimWebClient;
+    use crate::hosting::SimWeb;
+    use crate::site::RedirectKind;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn icon(name: &str) -> FaviconHash {
+        FaviconHash::of_bytes(name.as_bytes())
+    }
+
+    fn web() -> SimWeb {
+        SimWeb::builder()
+            .page("www.edg.io", Some(icon("edgio")))
+            .redirect("www.limelight.com", "https://www.edg.io/", RedirectKind::Http)
+            .redirect("www.edgecast.com", "https://www.edg.io/", RedirectKind::JavaScript)
+            .page("www.cogentco.com", Some(icon("cogent")))
+            .down("www.gone.example")
+            .build()
+    }
+
+    #[test]
+    fn crawl_collects_final_urls_and_favicons() {
+        let web = web();
+        let scraper = Scraper::new(SimWebClient::browser(&web));
+        let report = scraper.crawl(vec![
+            (Asn::new(22822), "www.limelight.com"),
+            (Asn::new(15133), "www.edgecast.com"),
+            (Asn::new(174), "https://www.cogentco.com/"),
+            (Asn::new(99), "www.gone.example"),
+            (Asn::new(98), ""),
+            (Asn::new(97), "not a url at all"),
+        ]);
+        // The Limelight/Edgecast merger becomes visible: same final URL.
+        let groups = report.asns_by_final_url();
+        let edgio = groups.get("https://www.edg.io/").unwrap();
+        assert_eq!(edgio, &vec![Asn::new(15133), Asn::new(22822)]);
+
+        assert_eq!(report.stats.entries_with_website, 4);
+        assert_eq!(report.stats.entries_with_invalid_url, 1);
+        assert_eq!(report.stats.unique_urls, 4);
+        assert_eq!(report.stats.reachable_urls, 3);
+        assert_eq!(report.stats.unique_final_urls, 2);
+        assert_eq!(report.stats.unique_favicons, 2);
+    }
+
+    #[test]
+    fn dead_sites_yield_no_observation_urls() {
+        let web = web();
+        let scraper = Scraper::new(SimWebClient::browser(&web));
+        let report = scraper.crawl(vec![(Asn::new(99), "www.gone.example")]);
+        let site = report.sites.get(&Asn::new(99)).unwrap();
+        assert!(site.final_url.is_none());
+        assert!(site.favicon.is_none());
+        assert_eq!(report.stats.unique_final_urls, 0);
+    }
+
+    #[test]
+    fn favicon_grouping_carries_urls() {
+        let web = web();
+        let scraper = Scraper::new(SimWebClient::browser(&web));
+        let report = scraper.crawl(vec![
+            (Asn::new(22822), "www.limelight.com"),
+            (Asn::new(174), "www.cogentco.com"),
+        ]);
+        let by_icon = report.asns_by_favicon();
+        assert_eq!(by_icon.len(), 2);
+        let edgio_group = by_icon.get(&icon("edgio")).unwrap();
+        assert_eq!(edgio_group.len(), 1);
+        assert_eq!(edgio_group[0].1, Asn::new(22822));
+    }
+
+    #[test]
+    fn cache_deduplicates_fetches() {
+        struct CountingClient<'w> {
+            inner: SimWebClient<'w>,
+            calls: AtomicUsize,
+        }
+        impl WebClient for &CountingClient<'_> {
+            fn fetch(&self, url: &Url) -> FetchResult {
+                self.calls.fetch_add(1, Ordering::Relaxed);
+                self.inner.fetch(url)
+            }
+        }
+        let web = web();
+        let counting = CountingClient {
+            inner: SimWebClient::browser(&web),
+            calls: AtomicUsize::new(0),
+        };
+        let scraper = Scraper::new(&counting);
+        scraper.crawl(vec![
+            (Asn::new(1), "www.cogentco.com"),
+            (Asn::new(2), "www.cogentco.com"),
+            (Asn::new(3), "http://www.cogentco.com/"),
+        ]);
+        // All three normalize to the same canonical URL → exactly one fetch.
+        assert_eq!(counting.calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn parallel_crawl_is_identical_to_sequential() {
+        let web = web();
+        let scraper = Scraper::new(SimWebClient::browser(&web));
+        let entries = vec![
+            (Asn::new(22822), "www.limelight.com"),
+            (Asn::new(15133), "www.edgecast.com"),
+            (Asn::new(174), "www.cogentco.com"),
+            (Asn::new(99), "www.gone.example"),
+            (Asn::new(98), ""),
+            (Asn::new(97), "not a url at all"),
+        ];
+        let sequential = scraper.crawl(entries.clone());
+        for threads in [1, 2, 3, 8] {
+            let scraper = Scraper::new(SimWebClient::browser(&web));
+            let parallel = scraper.crawl_parallel(entries.clone(), threads);
+            assert_eq!(parallel, sequential, "diverged with {threads} threads");
+        }
+    }
+
+    #[test]
+    fn whitespace_websites_are_skipped_silently() {
+        let web = web();
+        let scraper = Scraper::new(SimWebClient::browser(&web));
+        let report = scraper.crawl(vec![(Asn::new(1), "   ")]);
+        assert!(report.sites.is_empty());
+        assert_eq!(report.stats.entries_with_website, 0);
+        assert_eq!(report.stats.entries_with_invalid_url, 0);
+    }
+}

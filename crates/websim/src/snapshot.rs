@@ -1,0 +1,135 @@
+//! Web-snapshot serialization.
+//!
+//! The paper notes (§7) that no longitudinal archive exists for the
+//! websites referenced in PeeringDB — once scraped, the observations are
+//! gone unless someone stores them. This module gives the simulated web a
+//! dated, diffable on-disk form (JSON), so crawls can be archived,
+//! reloaded, and compared across snapshots, and so the CLI can ship a
+//! whole world as files.
+
+use crate::hosting::{SimWeb, SimWebBuilder};
+use crate::site::SiteNode;
+use borges_types::Host;
+use serde::{Deserialize, Serialize};
+use std::error::Error;
+use std::fmt;
+
+/// A serialization failure.
+#[derive(Debug)]
+pub enum WebSnapshotError {
+    /// Malformed JSON.
+    Json(serde_json::Error),
+    /// A host string failed validation.
+    BadHost(borges_types::ParseError),
+}
+
+impl fmt::Display for WebSnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WebSnapshotError::Json(e) => write!(f, "web snapshot json: {e}"),
+            WebSnapshotError::BadHost(e) => write!(f, "web snapshot host: {e}"),
+        }
+    }
+}
+
+impl Error for WebSnapshotError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WebSnapshotError::Json(e) => Some(e),
+            WebSnapshotError::BadHost(e) => Some(e),
+        }
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct HostEntry {
+    host: String,
+    node: SiteNode,
+}
+
+#[derive(Serialize, Deserialize)]
+struct Dump {
+    hosts: Vec<HostEntry>,
+}
+
+/// Serializes a web to JSON (hosts in deterministic order).
+pub fn to_json(web: &SimWeb) -> String {
+    let dump = Dump {
+        hosts: web
+            .hosts()
+            .map(|(host, node)| HostEntry {
+                host: host.as_str().to_string(),
+                node: node.clone(),
+            })
+            .collect(),
+    };
+    serde_json::to_string_pretty(&dump).expect("web dump serialization cannot fail")
+}
+
+/// Parses a web snapshot back.
+pub fn from_json(text: &str) -> Result<SimWeb, WebSnapshotError> {
+    let dump: Dump = serde_json::from_str(text).map_err(WebSnapshotError::Json)?;
+    let mut builder = SimWebBuilder::new();
+    for entry in dump.hosts {
+        let host: Host = entry.host.parse().map_err(WebSnapshotError::BadHost)?;
+        builder = builder.node(host, entry.node);
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::site::RedirectKind;
+    use borges_types::FaviconHash;
+
+    fn web() -> SimWeb {
+        SimWeb::builder()
+            .page("www.edg.io", Some(FaviconHash::of_bytes(b"edgio")))
+            .page_at(
+                "www.clarochile.cl",
+                "https://www.clarochile.cl/personas/",
+                Some(FaviconHash::of_bytes(b"claro")),
+            )
+            .redirect("www.limelight.com", "https://www.edg.io/", RedirectKind::Http)
+            .redirect("www.edgecast.com", "https://www.edg.io/", RedirectKind::JavaScript)
+            .down("www.gone.example")
+            .build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_node() {
+        let original = web();
+        let text = to_json(&original);
+        let back = from_json(&text).unwrap();
+        assert_eq!(back.host_count(), original.host_count());
+        for (host, node) in original.hosts() {
+            assert_eq!(back.lookup(host), Some(node), "{host} changed");
+        }
+        assert_eq!(to_json(&back), text, "serialization is stable");
+    }
+
+    #[test]
+    fn fetch_behaviour_survives_roundtrip() {
+        use crate::client::{SimWebClient, WebClient};
+        let original = web();
+        let back = from_json(&to_json(&original)).unwrap();
+        for start in ["www.limelight.com", "www.edgecast.com", "www.gone.example"] {
+            let url = format!("http://{start}").parse().unwrap();
+            let a = SimWebClient::browser(&original).fetch(&url);
+            let b = SimWebClient::browser(&back).fetch(&url);
+            assert_eq!(a, b, "fetch of {start} diverged");
+        }
+    }
+
+    #[test]
+    fn malformed_json_is_reported() {
+        assert!(matches!(from_json("{"), Err(WebSnapshotError::Json(_))));
+    }
+
+    #[test]
+    fn bad_host_is_reported() {
+        let text = r#"{"hosts":[{"host":"bad host!","node":"Down"}]}"#;
+        assert!(matches!(from_json(text), Err(WebSnapshotError::BadHost(_))));
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests over the hosted-web simulator: fetches terminate on
+//! arbitrary redirect topologies, and snapshots round-trip.
+
+use borges_types::{FaviconHash, Url};
+use borges_websim::{
+    snapshot, FetchOutcome, RedirectKind, SimWeb, SimWebClient, WebClient,
+};
+use proptest::prelude::*;
+
+/// Arbitrary webs: n hosts, each either a page, down, or a redirect to a
+/// random host (possibly itself or a nonexistent one) — loops, dead ends
+/// and dangling targets all arise naturally.
+fn web_strategy() -> impl Strategy<Value = (SimWeb, usize)> {
+    (2usize..24)
+        .prop_flat_map(|n| {
+            (
+                prop::collection::vec(
+                    (0u8..4, 0usize..(n + 2), any::<bool>(), any::<u64>()),
+                    n..=n,
+                ),
+                Just(n),
+            )
+        })
+        .prop_map(|(specs, n)| {
+            let host_name = |i: usize| format!("h{i}.example");
+            let mut builder = SimWeb::builder();
+            for (i, (kind, target, js, icon_seed)) in specs.iter().enumerate() {
+                let host = host_name(i);
+                builder = match kind {
+                    0 => builder.page(
+                        &host,
+                        Some(FaviconHash::from_raw(*icon_seed | 1)),
+                    ),
+                    1 => builder.down(&host),
+                    _ => builder.redirect(
+                        &host,
+                        &format!("https://{}/", host_name(*target)),
+                        if *js {
+                            RedirectKind::JavaScript
+                        } else {
+                            RedirectKind::Http
+                        },
+                    ),
+                };
+            }
+            (builder.build(), n)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn fetch_always_terminates_consistently((web, n) in web_strategy()) {
+        let client = SimWebClient::browser(&web);
+        for i in 0..n {
+            let url: Url = format!("https://h{i}.example/").parse().unwrap();
+            let result = client.fetch(&url);
+            // Outcome/final-url consistency.
+            match result.outcome {
+                FetchOutcome::Ok => {
+                    prop_assert!(result.final_url.is_some());
+                }
+                _ => {
+                    prop_assert!(result.final_url.is_none());
+                    prop_assert!(result.favicon.is_none());
+                }
+            }
+            // The chain starts at the requested URL and is bounded.
+            prop_assert_eq!(result.chain.first().unwrap(), &url);
+            prop_assert!(result.chain.len() <= borges_websim::MAX_REDIRECTS + 2);
+            // Determinism.
+            prop_assert_eq!(client.fetch(&url), result);
+        }
+    }
+
+    #[test]
+    fn plain_http_differs_only_on_js((web, n) in web_strategy()) {
+        let browser = SimWebClient::browser(&web);
+        let plain = SimWebClient::plain_http(&web);
+        for i in 0..n {
+            let url: Url = format!("https://h{i}.example/").parse().unwrap();
+            let a = browser.fetch(&url);
+            let b = plain.fetch(&url);
+            // The plain client can never travel further than the browser.
+            prop_assert!(b.chain.len() <= a.chain.len());
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip((web, _) in web_strategy()) {
+        let text = snapshot::to_json(&web);
+        let back = snapshot::from_json(&text).unwrap();
+        prop_assert_eq!(back.host_count(), web.host_count());
+        prop_assert_eq!(snapshot::to_json(&back), text);
+    }
+}

@@ -1,0 +1,222 @@
+//! The RIR "delegated-extended" statistics format (ASN records).
+//!
+//! Each RIR publishes a daily delegation statistics file; the NRO merges
+//! them. Lines are pipe-separated:
+//!
+//! ```text
+//! 2|nro|20240701|3|19840101|20240701|+0000
+//! nro|*|asn|*|3|summary
+//! arin|US|asn|3356|1|20000101|allocated|opaque-id
+//! ```
+//!
+//! Measurement pipelines routinely join these files to learn an ASN's
+//! registration country and allocation date; Borges's WHOIS substrate can
+//! emit and consume the ASN records of this format, so delegation-level
+//! tooling interoperates with the generated worlds.
+
+use crate::registry::WhoisRegistry;
+use borges_types::{Asn, CountryCode};
+use std::error::Error;
+use std::fmt;
+
+/// One ASN delegation record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsnDelegation {
+    /// Lower-case registry name (`arin`, `ripencc`, …).
+    pub registry: String,
+    /// Registration country.
+    pub country: CountryCode,
+    /// First ASN of the block.
+    pub start: Asn,
+    /// Number of consecutive ASNs delegated.
+    pub count: u32,
+    /// Allocation date as `YYYYMMDD` (0 when unknown).
+    pub date: u32,
+    /// `allocated` or `assigned`.
+    pub status: String,
+}
+
+impl AsnDelegation {
+    /// Iterates every ASN covered by the record.
+    pub fn asns(&self) -> impl Iterator<Item = Asn> + '_ {
+        (0..self.count).map(|i| Asn::new(self.start.value() + i))
+    }
+}
+
+/// A delegated-extended parsing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DelegatedError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for DelegatedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.reason)
+    }
+}
+
+impl Error for DelegatedError {}
+
+/// Parses the ASN records of a delegated-extended file (header, summary,
+/// and non-ASN records are skipped, as downstream tools do).
+pub fn parse(text: &str) -> Result<Vec<AsnDelegation>, DelegatedError> {
+    let mut out = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim_end_matches('\r');
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('|').collect();
+        // Header (version line), summary lines, and ipv4/ipv6 records are
+        // recognized and skipped.
+        if fields.len() < 7 || fields[2] != "asn" || fields[5] == "summary" {
+            continue;
+        }
+        if fields[3] == "*" {
+            continue; // summary with asn type
+        }
+        let start: Asn = fields[3].parse().map_err(|_| DelegatedError {
+            line: line_no,
+            reason: "invalid start asn",
+        })?;
+        let count: u32 = fields[4].parse().map_err(|_| DelegatedError {
+            line: line_no,
+            reason: "invalid count",
+        })?;
+        if count == 0 {
+            return Err(DelegatedError {
+                line: line_no,
+                reason: "zero-length delegation",
+            });
+        }
+        let country: CountryCode = fields[1].parse().map_err(|_| DelegatedError {
+            line: line_no,
+            reason: "invalid country",
+        })?;
+        out.push(AsnDelegation {
+            registry: fields[0].to_ascii_lowercase(),
+            country,
+            start,
+            count,
+            date: fields[5].parse().unwrap_or(0),
+            status: fields[6].to_string(),
+        });
+    }
+    Ok(out)
+}
+
+/// Emits a delegated-extended file (ASN records only) from a registry.
+/// One record per ASN, ordered; the header carries the record count.
+pub fn serialize(registry: &WhoisRegistry, snapshot_date: u32) -> String {
+    let records: Vec<String> = registry
+        .aut_nums()
+        .map(|aut| {
+            let org = registry.org(&aut.org).expect("registry is consistent");
+            format!(
+                "{}|{}|asn|{}|1|{}|allocated|{}",
+                rir_name(org.source),
+                org.country,
+                aut.asn.value(),
+                if aut.changed == 0 { snapshot_date } else { aut.changed },
+                aut.org
+            )
+        })
+        .collect();
+    let mut out = format!(
+        "2|nro|{snapshot_date}|{}|19840101|{snapshot_date}|+0000\n",
+        records.len()
+    );
+    out.push_str(&format!("nro|*|asn|*|{}|summary\n", records.len()));
+    for record in records {
+        out.push_str(&record);
+        out.push('\n');
+    }
+    out
+}
+
+fn rir_name(rir: crate::schema::Rir) -> &'static str {
+    match rir {
+        crate::schema::Rir::Arin => "arin",
+        crate::schema::Rir::RipeNcc => "ripencc",
+        crate::schema::Rir::Apnic => "apnic",
+        crate::schema::Rir::Lacnic => "lacnic",
+        crate::schema::Rir::Afrinic => "afrinic",
+        crate::schema::Rir::Nir => "apnic", // NIR blocks surface via APNIC
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AutNum, Rir, WhoisOrg};
+    use borges_types::{OrgName, WhoisOrgId};
+
+    fn registry() -> WhoisRegistry {
+        WhoisRegistry::builder()
+            .org(WhoisOrg {
+                id: WhoisOrgId::new("LPL-ARIN"),
+                name: OrgName::new("Level 3"),
+                country: "US".parse().unwrap(),
+                source: Rir::Arin,
+                changed: 20000101,
+            })
+            .aut(AutNum {
+                asn: Asn::new(3356),
+                name: "LEVEL3".into(),
+                org: WhoisOrgId::new("LPL-ARIN"),
+                source: Rir::Arin,
+                changed: 20000101,
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn parses_real_style_lines() {
+        let text = "\
+2|nro|20240701|4|19840101|20240701|+0000
+nro|*|asn|*|2|summary
+nro|*|ipv4|*|1|summary
+arin|US|asn|3356|1|20000101|allocated|opaque
+ripencc|DE|asn|3320|2|19930901|allocated|opaque
+arin|US|ipv4|8.0.0.0|16777216|19921201|allocated|opaque
+";
+        let records = parse(text).unwrap();
+        assert_eq!(records.len(), 2, "only asn records: {records:?}");
+        assert_eq!(records[0].start, Asn::new(3356));
+        assert_eq!(records[1].count, 2);
+        let asns: Vec<Asn> = records[1].asns().collect();
+        assert_eq!(asns, vec![Asn::new(3320), Asn::new(3321)]);
+        assert_eq!(records[1].registry, "ripencc");
+        assert_eq!(records[1].country.as_str(), "DE");
+    }
+
+    #[test]
+    fn rejects_malformed_asn_records() {
+        assert!(parse("arin|US|asn|x|1|0|allocated|o\n").is_err());
+        assert!(parse("arin|US|asn|1|0|0|allocated|o\n").is_err());
+        assert!(parse("arin|ZZZ|asn|1|1|0|allocated|o\n").is_err());
+    }
+
+    #[test]
+    fn serialize_then_parse_covers_the_registry() {
+        let reg = registry();
+        let text = serialize(&reg, 20240724);
+        let records = parse(&text).unwrap();
+        assert_eq!(records.len(), reg.asn_count());
+        assert_eq!(records[0].start, Asn::new(3356));
+        assert_eq!(records[0].country.as_str(), "US");
+        assert_eq!(records[0].date, 20000101);
+        assert!(text.starts_with("2|nro|20240724|1|"));
+    }
+
+    #[test]
+    fn empty_and_comment_lines_are_skipped() {
+        let records = parse("# comment\n\n").unwrap();
+        assert!(records.is_empty());
+    }
+}

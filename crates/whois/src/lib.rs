@@ -1,0 +1,35 @@
+//! # borges-whois
+//!
+//! The WHOIS/RIR substrate of Borges.
+//!
+//! WHOIS delegation records are the *compulsory* organization source: every
+//! allocated ASN has exactly one WHOIS organization (`OID_W`), which is why
+//! the Organization Factor metric (§5.4 of the paper) uses the WHOIS ASN
+//! universe as its vertex set, and why CAIDA's long-standing AS2Org dataset
+//! is built from it.
+//!
+//! This crate provides:
+//!
+//! * [`schema`] — RIR organization and aut-num record types;
+//! * [`registry`] — an in-memory, indexed registry with referential
+//!   integrity checks (the substrate the rest of the pipeline queries);
+//! * [`as2org_format`] — a parser/serializer for CAIDA's published AS2Org
+//!   flat-file format, so genuine CAIDA snapshots can be loaded in place of
+//!   the synthetic ones;
+//! * [`delegated`] — the RIR delegated-extended statistics format (ASN
+//!   records), for tooling that joins on allocation country/date;
+//! * [`rpsl`] — the raw WHOIS/RPSL object format (`aut-num`,
+//!   `organisation`), the registries' native representation that AS2Org
+//!   is derived from.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod as2org_format;
+pub mod delegated;
+pub mod registry;
+pub mod rpsl;
+pub mod schema;
+
+pub use registry::{RegistryError, WhoisRegistry, WhoisRegistryBuilder};
+pub use schema::{AutNum, Rir, WhoisOrg};

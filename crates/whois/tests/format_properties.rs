@@ -1,0 +1,95 @@
+//! Property tests: arbitrary registries must round-trip through the
+//! CAIDA AS2Org flat-file format losslessly.
+
+use borges_types::{Asn, OrgName, WhoisOrgId};
+use borges_whois::{as2org_format, AutNum, Rir, WhoisOrg, WhoisRegistry};
+use proptest::prelude::*;
+
+fn rir_strategy() -> impl Strategy<Value = Rir> {
+    prop::sample::select(Rir::ALL.to_vec())
+}
+
+/// Org names must survive the pipe-separated format, so the generator
+/// avoids `|` and newlines — exactly the constraint the real file format
+/// imposes on registries.
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[A-Za-z0-9 .,&()-]{1,40}"
+        .prop_map(|s| s.trim().to_string())
+        .prop_filter("non-empty after trim", |s| !s.is_empty())
+}
+
+fn registry_strategy() -> impl Strategy<Value = WhoisRegistry> {
+    (
+        prop::collection::btree_map(1u32..200, (name_strategy(), rir_strategy()), 1..20),
+        prop::collection::btree_map(1u32..100_000, 0usize..20, 1..60),
+    )
+        .prop_map(|(org_specs, auts)| {
+            let orgs: Vec<WhoisOrg> = org_specs
+                .iter()
+                .map(|(id, (name, rir))| WhoisOrg {
+                    id: WhoisOrgId::new(format!("ORG-{id}")),
+                    name: OrgName::new(name),
+                    country: "US".parse().unwrap(),
+                    source: *rir,
+                    changed: 20240000 + id % 1000,
+                })
+                .collect();
+            let org_ids: Vec<WhoisOrgId> = orgs.iter().map(|o| o.id.clone()).collect();
+            let auts: Vec<AutNum> = auts
+                .into_iter()
+                .map(|(asn, org_idx)| AutNum {
+                    asn: Asn::new(asn),
+                    name: format!("NET{asn}"),
+                    org: org_ids[org_idx % org_ids.len()].clone(),
+                    source: Rir::Arin,
+                    changed: 0,
+                })
+                .collect();
+            WhoisRegistry::builder()
+                .extend(orgs, auts)
+                .build()
+                .expect("generated registries are consistent")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roundtrip_preserves_the_relation(registry in registry_strategy()) {
+        let text = as2org_format::serialize(&registry);
+        let parsed = as2org_format::parse(&text).expect("own output parses");
+        prop_assert_eq!(parsed.asn_count(), registry.asn_count());
+        prop_assert_eq!(parsed.org_count(), registry.org_count());
+        for asn in registry.all_asns() {
+            let before = registry.org_of(asn).unwrap();
+            let after = parsed.org_of(asn).unwrap();
+            prop_assert_eq!(&before.id, &after.id);
+            prop_assert_eq!(&before.name, &after.name);
+            prop_assert_eq!(before.source, after.source);
+        }
+    }
+
+    #[test]
+    fn serialization_is_a_fixed_point(registry in registry_strategy()) {
+        let once = as2org_format::serialize(&registry);
+        let twice = as2org_format::serialize(&as2org_format::parse(&once).unwrap());
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn parser_never_panics_on_mutations(
+        registry in registry_strategy(),
+        cut in 0usize..500,
+    ) {
+        // Truncating a valid file at an arbitrary byte must produce
+        // either a clean parse or a clean error — never a panic.
+        let text = as2org_format::serialize(&registry);
+        let cut = cut.min(text.len());
+        let mut truncated = text[..cut].to_string();
+        while !truncated.is_char_boundary(truncated.len()) {
+            truncated.pop();
+        }
+        let _ = as2org_format::parse(&truncated);
+    }
+}

@@ -1,0 +1,95 @@
+//! Plugging your own model into Borges.
+//!
+//! The pipeline is generic over [`ChatModel`] — a production deployment
+//! implements it with an HTTP call to OpenAI/Anthropic/a local model;
+//! here we implement it with a deliberately crude keyword heuristic and
+//! measure, against ground truth, how much worse it is than the
+//! simulated GPT-4o-mini. This is also exactly how the paper's future
+//! work ("exploration with … Meta's Llama and DeepSeek's R1", §8) would
+//! slot in.
+//!
+//! ```sh
+//! cargo run --example custom_llm
+//! ```
+
+use borges_core::evalsets::ie_confusion;
+use borges_core::ner::{extract, NerConfig};
+use borges_llm::chat::{ChatModel, ChatRequest, ChatResponse};
+use borges_llm::prompts::{parse_ie_prompt_fields, render_ie_reply, IeFinding};
+use borges_llm::SimLlm;
+use borges_synthnet::{GeneratorConfig, SyntheticInternet};
+use borges_types::Asn;
+
+/// A crude model: report every `AS<number>` it can see, with no context
+/// sensitivity at all (the failure mode that sank regex-based as2org+).
+struct NaiveModel;
+
+impl ChatModel for NaiveModel {
+    fn complete(&self, request: &ChatRequest) -> ChatResponse {
+        let text = request.full_text();
+        let findings = match parse_ie_prompt_fields(&text) {
+            Some(fields) => {
+                let haystack = format!("{}\n{}", fields.notes, fields.aka).to_lowercase();
+                let mut found = Vec::new();
+                let mut rest = haystack.as_str();
+                while let Some(pos) = rest.find("as") {
+                    rest = &rest[pos + 2..];
+                    let digits: String =
+                        rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+                    if let Ok(value) = digits.parse::<u32>() {
+                        let asn = Asn::new(value);
+                        if asn != fields.asn && asn.is_routable() {
+                            found.push(IeFinding {
+                                asn,
+                                reason: "matched AS<digits>".to_string(),
+                            });
+                        }
+                    }
+                }
+                found.sort_by_key(|f| f.asn);
+                found.dedup_by_key(|f| f.asn);
+                found
+            }
+            None => Vec::new(),
+        };
+        let text = render_ie_reply(&findings);
+        let usage = borges_llm::chat::Usage::estimate(&request.full_text(), &text);
+        ChatResponse { text, usage }
+    }
+
+    fn model_id(&self) -> &str {
+        "naive-keyword-model"
+    }
+}
+
+fn main() {
+    let world = SyntheticInternet::generate(&GeneratorConfig::tiny(42));
+
+    // Run the exact same NER stage with two different backends.
+    let naive = extract(&world.pdb, &NaiveModel, NerConfig::default());
+    let simulated = extract(&world.pdb, &SimLlm::new(42), NerConfig::default());
+
+    let naive_score = ie_confusion(&world.pdb, &world.text_labels, &naive, None);
+    let sim_score = ie_confusion(&world.pdb, &world.text_labels, &simulated, None);
+
+    println!("information-extraction accuracy on {} numeric records:", naive_score.total());
+    println!(
+        "  {:<22} accuracy {:.3}  precision {:.3}  recall {:.3}",
+        NaiveModel.model_id(),
+        naive_score.accuracy(),
+        naive_score.precision(),
+        naive_score.recall()
+    );
+    println!(
+        "  {:<22} accuracy {:.3}  precision {:.3}  recall {:.3}",
+        SimLlm::new(42).model_id(),
+        sim_score.accuracy(),
+        sim_score.precision(),
+        sim_score.recall()
+    );
+    println!(
+        "\nThe naive model reports upstream providers and BGP-community ASNs as\n\
+siblings (false positives), because it reads *tokens*, not *meaning* —\n\
+the paper's argument for prompting an LLM instead of writing regexes."
+    );
+}

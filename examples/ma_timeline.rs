@@ -1,0 +1,61 @@
+//! Figure 1: the Level3 merger/acquisition/rebranding timeline, and why
+//! redirect chains encode corporate history.
+//!
+//! The first half prints the scripted timeline the paper's Figure 1
+//! illustrates. The second half shows the *observable consequences* of
+//! such histories in the synthetic world: websites of acquired brands
+//! redirecting, hop by hop, to their current owners — exactly the signal
+//! Borges's R&R module (§4.3.2) mines.
+//!
+//! ```sh
+//! cargo run --example ma_timeline
+//! ```
+
+use borges_synthnet::{level3_timeline, GeneratorConfig, SyntheticInternet};
+use borges_websim::{SimWebClient, WebClient};
+
+fn main() {
+    println!("== Figure 1: Level3's corporate history ==");
+    for event in level3_timeline() {
+        println!("  {event}");
+    }
+
+    println!("\n== What those histories look like on the web ==");
+    let world = SyntheticInternet::generate(&GeneratorConfig::tiny(42));
+    let client = SimWebClient::browser(&world.web);
+
+    for (label, start) in [
+        ("Clearwire (acquired by Sprint 2012, then T-Mobile 2020)", "www.clearwire.com"),
+        ("Sprint fiber backbone (sold to Cogent 2023)", "www.sprint.com"),
+        ("Limelight (merged with Edgecast into Edgio 2022)", "www.limelight.com"),
+        ("CenturyLink (rebranded Lumen 2020)", "www.centurylink.com"),
+    ] {
+        let url = format!("http://{start}").parse().expect("valid url");
+        let fetched = client.fetch(&url);
+        print!("  {label}:\n    ");
+        for (i, hop) in fetched.chain.iter().enumerate() {
+            if i > 0 {
+                print!(" → ");
+            }
+            print!("{}", hop.host());
+        }
+        println!();
+    }
+
+    println!(
+        "\nA plain HTTP client (no JavaScript) misses some of those hops — the\n\
+reason the paper scrapes with a headless browser (§4.3.1):"
+    );
+    let plain = SimWebClient::plain_http(&world.web);
+    let url = "http://www.sprint.com".parse().expect("valid url");
+    let with_js = client.fetch(&url);
+    let without_js = plain.fetch(&url);
+    println!(
+        "  headless browser lands on: {}",
+        with_js.final_url.map(|u| u.host().to_string()).unwrap_or_default()
+    );
+    println!(
+        "  plain HTTP client stops at: {}",
+        without_js.final_url.map(|u| u.host().to_string()).unwrap_or_default()
+    );
+}

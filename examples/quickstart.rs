@@ -1,0 +1,80 @@
+//! Quickstart: generate a small synthetic Internet, run the full Borges
+//! pipeline over it, and compare the resulting AS-to-Organization mapping
+//! against the AS2Org baseline.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use borges_baselines::as2org;
+use borges_core::orgfactor::organization_factor;
+use borges_core::pipeline::{Borges, Feature};
+use borges_llm::SimLlm;
+use borges_synthnet::{GeneratorConfig, SyntheticInternet};
+use borges_types::Asn;
+use borges_websim::SimWebClient;
+
+fn main() {
+    // 1. A world to map. `GeneratorConfig::paper(..)` reproduces the
+    //    paper's scale (~112k ASNs); `tiny` keeps this example instant.
+    let world = SyntheticInternet::generate(&GeneratorConfig::tiny(42));
+    println!(
+        "world: {} ASNs in WHOIS, {} networks in PeeringDB, {} hosts on the web",
+        world.whois.asn_count(),
+        world.pdb.net_count(),
+        world.web.host_count(),
+    );
+
+    // 2. The model. `SimLlm::new(seed)` simulates GPT-4o-mini with the
+    //    paper's measured error rates; any `ChatModel` implementation
+    //    works here (see examples/custom_llm.rs).
+    let llm = SimLlm::new(42);
+
+    // 3. Run every stage once: organization keys, LLM extraction over
+    //    notes/aka, the web crawl, final-URL matching, favicon grouping.
+    let borges = Borges::run(
+        &world.whois,
+        &world.pdb,
+        SimWebClient::browser(&world.web),
+        &llm,
+    );
+
+    // 4. Materialize mappings and compare.
+    let baseline = as2org(&world.whois);
+    let full = borges.full();
+    let n = borges.universe().len();
+    println!(
+        "\nAS2Org:  {} organizations, θ = {:.4}",
+        baseline.org_count(),
+        organization_factor(&baseline, n)
+    );
+    println!(
+        "Borges:  {} organizations, θ = {:.4}",
+        full.org_count(),
+        organization_factor(&full, n)
+    );
+
+    // 5. What each feature contributed (Table 3 of the paper).
+    println!("\nfeature contributions:");
+    for feature in Feature::ALL {
+        let c = borges.contribution(feature);
+        println!("  {:<14} {:>6} ASes → {:>6} orgs", feature.label(), c.ases, c.orgs);
+    }
+
+    // 6. Ask the mapping a question the paper's Fig. 3 poses: does the
+    //    method know that Level3 (AS3356) and CenturyLink (AS209) are the
+    //    same company today?
+    let (l3, ctl) = (Asn::new(3356), Asn::new(209));
+    println!(
+        "\nAS2Org thinks Level3/CenturyLink are the same org: {}",
+        baseline.same_org(l3, ctl)
+    );
+    println!(
+        "Borges thinks Level3/CenturyLink are the same org: {}",
+        full.same_org(l3, ctl)
+    );
+    println!(
+        "ground truth: {}",
+        world.truth.are_siblings(l3, ctl)
+    );
+}

@@ -1,0 +1,105 @@
+//! §5.4's headline comparison: Borges > as2org+ > AS2Org, plus the
+//! structural relationships between the three methods.
+
+use borges_baselines::{as2org, as2orgplus, As2orgPlusConfig};
+use borges_core::orgfactor::organization_factor;
+use borges_core::pipeline::{Borges, FeatureSet};
+use borges_llm::SimLlm;
+use borges_synthnet::{GeneratorConfig, SyntheticInternet};
+use borges_websim::SimWebClient;
+
+fn setup() -> (SyntheticInternet, Borges) {
+    let world = SyntheticInternet::generate(&GeneratorConfig::tiny(55));
+    let llm = SimLlm::new(55);
+    let borges = Borges::run(
+        &world.whois,
+        &world.pdb,
+        SimWebClient::browser(&world.web),
+        &llm,
+    );
+    (world, borges)
+}
+
+#[test]
+fn theta_ordering_matches_the_paper() {
+    let (world, borges) = setup();
+    let n = borges.universe().len();
+    let theta_base = organization_factor(&as2org(&world.whois), n);
+    let theta_plus = organization_factor(
+        &as2orgplus(&world.whois, &world.pdb, As2orgPlusConfig::automated()),
+        n,
+    );
+    let theta_borges = organization_factor(&borges.full(), n);
+    assert!(
+        theta_base < theta_plus && theta_plus < theta_borges,
+        "ordering broken: AS2Org {theta_base:.4}, as2org+ {theta_plus:.4}, Borges {theta_borges:.4}"
+    );
+}
+
+#[test]
+fn as2org_equals_the_pipelines_baseline() {
+    let (world, borges) = setup();
+    let standalone = as2org(&world.whois);
+    let pipeline_base = borges.mapping(FeatureSet::NONE);
+    // The pipeline's universe may add PDB-only ASNs as singletons; every
+    // WHOIS-backed cluster must be identical.
+    for (_, members) in standalone.clusters() {
+        for pair in members.windows(2) {
+            assert!(pipeline_base.same_org(pair[0], pair[1]));
+        }
+    }
+    assert!(pipeline_base.org_count() >= standalone.org_count());
+}
+
+#[test]
+fn automated_as2orgplus_equals_the_oid_p_combination() {
+    let (world, borges) = setup();
+    let plus = as2orgplus(&world.whois, &world.pdb, As2orgPlusConfig::automated());
+    let oid_p_combo = borges.mapping(FeatureSet {
+        oid_p: true,
+        ..FeatureSet::NONE
+    });
+    assert_eq!(
+        plus, oid_p_combo,
+        "§5.1: the automated as2org+ configuration is exactly OID_W + OID_P"
+    );
+}
+
+#[test]
+fn regex_as2orgplus_has_lower_merge_precision_than_borges() {
+    let (world, borges) = setup();
+    let precision = |m: &borges_core::AsOrgMapping| {
+        let mut merged = 0usize;
+        let mut correct = 0usize;
+        for (_, members) in m.clusters() {
+            for i in 0..members.len() {
+                for j in i + 1..members.len() {
+                    merged += 1;
+                    if world.truth.are_siblings(members[i], members[j]) {
+                        correct += 1;
+                    }
+                }
+            }
+        }
+        correct as f64 / merged.max(1) as f64
+    };
+    let regex = as2orgplus(&world.whois, &world.pdb, As2orgPlusConfig::with_regex());
+    let borges_full = borges.full();
+    let (p_regex, p_borges) = (precision(&regex), precision(&borges_full));
+    assert!(
+        p_regex < p_borges,
+        "regex extraction should be less precise: regex {p_regex:.3} vs Borges {p_borges:.3}"
+    );
+}
+
+#[test]
+fn borges_dominates_both_baselines_in_org_consolidation() {
+    let (world, borges) = setup();
+    let base = as2org(&world.whois);
+    let plus = as2orgplus(&world.whois, &world.pdb, As2orgPlusConfig::automated());
+    let full = borges.full();
+    // Monotone consolidation (universe sizes differ by PDB-only ASNs, so
+    // compare cluster merging on the shared WHOIS clusters).
+    assert!(full.org_count() < plus.org_count());
+    assert!(plus.org_count() <= base.org_count() + world.pdb.net_count());
+}

@@ -1,0 +1,124 @@
+//! Dataset format fidelity: generated worlds must survive serialization
+//! through the real-world file formats (CAIDA AS2Org flat files,
+//! PeeringDB JSON dumps) without loss — this is what makes the parsers
+//! usable on genuine snapshots.
+
+use borges_peeringdb::PdbSnapshot;
+use borges_synthnet::{GeneratorConfig, SyntheticInternet};
+use borges_whois::{as2org_format, delegated, rpsl};
+
+#[test]
+fn whois_roundtrips_through_caida_format() {
+    let world = SyntheticInternet::generate(&GeneratorConfig::tiny(8));
+    let text = as2org_format::serialize(&world.whois);
+    let parsed = as2org_format::parse(&text).expect("own output parses");
+
+    assert_eq!(parsed.asn_count(), world.whois.asn_count());
+    assert_eq!(parsed.org_count(), world.whois.org_count());
+    for asn in world.whois.all_asns() {
+        let before = world.whois.org_of(asn).unwrap();
+        let after = parsed.org_of(asn).unwrap();
+        assert_eq!(before.id, after.id, "{asn} changed org");
+        assert_eq!(before.name, after.name);
+        assert_eq!(before.country, after.country);
+    }
+    // Stability: serialize(parse(serialize(x))) == serialize(x).
+    assert_eq!(text, as2org_format::serialize(&parsed));
+}
+
+#[test]
+fn pdb_roundtrips_through_json_dump() {
+    let world = SyntheticInternet::generate(&GeneratorConfig::tiny(8));
+    let json = world.pdb.to_json();
+    let parsed = PdbSnapshot::from_json(&json).expect("own output parses");
+
+    assert_eq!(parsed.net_count(), world.pdb.net_count());
+    assert_eq!(parsed.org_count(), world.pdb.org_count());
+    for net in world.pdb.nets() {
+        let back = parsed.net_by_asn(net.asn).expect("net survives");
+        assert_eq!(back, net);
+    }
+    assert_eq!(json, parsed.to_json());
+}
+
+#[test]
+fn medium_world_roundtrips_too() {
+    // Scale check: formats must hold up beyond toy sizes.
+    let world = SyntheticInternet::generate(&GeneratorConfig::medium(8));
+    let text = as2org_format::serialize(&world.whois);
+    let parsed = as2org_format::parse(&text).unwrap();
+    assert_eq!(parsed.asn_count(), world.whois.asn_count());
+
+    let json = world.pdb.to_json();
+    let back = PdbSnapshot::from_json(&json).unwrap();
+    assert_eq!(back.net_count(), world.pdb.net_count());
+}
+
+#[test]
+fn whois_roundtrips_through_rpsl_objects() {
+    // The registries' native representation: generated registry → RPSL
+    // text → parsed registry must preserve the (asn → org) relation that
+    // AS2Org is derived from.
+    let world = SyntheticInternet::generate(&GeneratorConfig::tiny(8));
+    let text = rpsl::serialize(&world.whois);
+    let parsed = rpsl::parse(&text).expect("own RPSL parses");
+    assert_eq!(parsed.asn_count(), world.whois.asn_count());
+    assert_eq!(parsed.org_count(), world.whois.org_count());
+    for asn in world.whois.all_asns() {
+        assert_eq!(
+            world.whois.org_of(asn).unwrap().id,
+            parsed.org_of(asn).unwrap().id,
+            "{asn} moved organizations through RPSL"
+        );
+    }
+}
+
+#[test]
+fn delegated_extended_covers_the_registry() {
+    let world = SyntheticInternet::generate(&GeneratorConfig::tiny(8));
+    let text = delegated::serialize(&world.whois, 20240724);
+    let records = delegated::parse(&text).expect("own delegated file parses");
+    let covered: std::collections::BTreeSet<_> =
+        records.iter().flat_map(|r| r.asns()).collect();
+    let expected: std::collections::BTreeSet<_> = world.whois.all_asns().collect();
+    assert_eq!(covered, expected, "delegation stats must cover every ASN");
+    // Countries agree with the registry's organizations.
+    for record in records.iter().take(50) {
+        let org = world.whois.org_of(record.start).unwrap();
+        assert_eq!(record.country, org.country);
+    }
+}
+
+#[test]
+fn three_whois_formats_tell_the_same_story() {
+    // CAIDA flat file, RPSL, and delegated-extended are three views of
+    // one registry; ASN universes must coincide across all of them.
+    let world = SyntheticInternet::generate(&GeneratorConfig::tiny(8));
+    let caida = as2org_format::parse(&as2org_format::serialize(&world.whois)).unwrap();
+    let via_rpsl = rpsl::parse(&rpsl::serialize(&world.whois)).unwrap();
+    let stats = delegated::parse(&delegated::serialize(&world.whois, 20240724)).unwrap();
+    let from_stats: std::collections::BTreeSet<_> =
+        stats.iter().flat_map(|r| r.asns()).collect();
+    assert_eq!(
+        caida.all_asns().collect::<Vec<_>>(),
+        via_rpsl.all_asns().collect::<Vec<_>>()
+    );
+    assert_eq!(caida.all_asns().collect::<std::collections::BTreeSet<_>>(), from_stats);
+}
+
+#[test]
+fn free_text_survives_json_escaping() {
+    // Multilingual notes with newlines, quotes and unicode must round-trip
+    // byte-exactly (the NER stage depends on the text being intact).
+    let world = SyntheticInternet::generate(&GeneratorConfig::tiny(8));
+    let json = world.pdb.to_json();
+    let parsed = PdbSnapshot::from_json(&json).unwrap();
+    let mut checked = 0;
+    for net in world.pdb.nets().filter(|n| n.has_text()) {
+        let back = parsed.net_by_asn(net.asn).unwrap();
+        assert_eq!(back.notes, net.notes);
+        assert_eq!(back.aka, net.aka);
+        checked += 1;
+    }
+    assert!(checked > 20, "not enough text records exercised: {checked}");
+}

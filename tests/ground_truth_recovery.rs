@@ -1,0 +1,155 @@
+//! Ground-truth scoring: the advantage a synthetic world gives us over
+//! the paper (which had no oracle). Each feature's merges are checked
+//! against the true ownership graph.
+
+use borges_core::pipeline::{Borges, FeatureSet};
+use borges_core::AsOrgMapping;
+use borges_llm::SimLlm;
+use borges_synthnet::{GeneratorConfig, GroundTruth, SyntheticInternet};
+use borges_websim::SimWebClient;
+
+struct Scores {
+    precision: f64,
+    recall: f64,
+}
+
+fn score(mapping: &AsOrgMapping, truth: &GroundTruth) -> Scores {
+    let mut true_pairs = 0usize;
+    let mut recovered = 0usize;
+    for org in truth.orgs() {
+        for i in 0..org.units.len() {
+            for j in i + 1..org.units.len() {
+                true_pairs += 1;
+                if mapping.same_org(org.units[i].asn, org.units[j].asn) {
+                    recovered += 1;
+                }
+            }
+        }
+    }
+    let mut merged = 0usize;
+    let mut correct = 0usize;
+    for (_, members) in mapping.clusters() {
+        for i in 0..members.len() {
+            for j in i + 1..members.len() {
+                merged += 1;
+                if truth.are_siblings(members[i], members[j]) {
+                    correct += 1;
+                }
+            }
+        }
+    }
+    Scores {
+        precision: if merged == 0 { 1.0 } else { correct as f64 / merged as f64 },
+        recall: if true_pairs == 0 { 1.0 } else { recovered as f64 / true_pairs as f64 },
+    }
+}
+
+fn pipeline() -> (SyntheticInternet, Borges) {
+    let world = SyntheticInternet::generate(&GeneratorConfig::tiny(31));
+    let llm = SimLlm::new(31);
+    let borges = Borges::run(
+        &world.whois,
+        &world.pdb,
+        SimWebClient::browser(&world.web),
+        &llm,
+    );
+    (world, borges)
+}
+
+#[test]
+fn each_feature_improves_recall_and_keeps_high_precision() {
+    let (world, borges) = pipeline();
+    let base = score(&borges.mapping(FeatureSet::NONE), &world.truth);
+    for features in [
+        FeatureSet { oid_p: true, ..FeatureSet::NONE },
+        FeatureSet { na: true, ..FeatureSet::NONE },
+        FeatureSet { rr: true, ..FeatureSet::NONE },
+        FeatureSet { favicons: true, ..FeatureSet::NONE },
+        FeatureSet::ALL,
+    ] {
+        let s = score(&borges.mapping(features), &world.truth);
+        assert!(
+            s.recall >= base.recall,
+            "{}: recall regressed {:.3} → {:.3}",
+            features.label(),
+            base.recall,
+            s.recall
+        );
+        assert!(
+            s.precision > 0.85,
+            "{}: precision collapsed to {:.3}",
+            features.label(),
+            s.precision
+        );
+    }
+}
+
+#[test]
+fn full_borges_recovers_most_true_pairs() {
+    let (world, borges) = pipeline();
+    let full = score(&borges.mapping(FeatureSet::ALL), &world.truth);
+    let base = score(&borges.mapping(FeatureSet::NONE), &world.truth);
+    assert!(
+        full.recall > base.recall * 1.3,
+        "full pipeline should add ≥30% relative recall ({:.3} → {:.3})",
+        base.recall,
+        full.recall
+    );
+}
+
+#[test]
+fn ner_edges_are_overwhelmingly_true() {
+    let (world, borges) = pipeline();
+    let edges = borges.ner.edges();
+    assert!(!edges.is_empty());
+    let correct = edges
+        .iter()
+        .filter(|(a, b)| world.truth.are_siblings(*a, *b))
+        .count();
+    let precision = correct as f64 / edges.len() as f64;
+    assert!(
+        precision > 0.85,
+        "LLM extraction edge precision {precision:.3} ({correct}/{})",
+        edges.len()
+    );
+}
+
+#[test]
+fn rr_merges_are_overwhelmingly_true() {
+    let (world, borges) = pipeline();
+    let mut pairs = 0usize;
+    let mut correct = 0usize;
+    for group in borges.rr.merging_groups() {
+        for i in 0..group.len() {
+            for j in i + 1..group.len() {
+                pairs += 1;
+                if world.truth.are_siblings(group[i], group[j]) {
+                    correct += 1;
+                }
+            }
+        }
+    }
+    assert!(pairs > 0);
+    let precision = correct as f64 / pairs as f64;
+    assert!(precision > 0.9, "R&R precision {precision:.3}");
+}
+
+#[test]
+fn favicon_merges_are_overwhelmingly_true() {
+    let (world, borges) = pipeline();
+    let mut pairs = 0usize;
+    let mut correct = 0usize;
+    for group in &borges.favicon.groups {
+        for i in 0..group.len() {
+            for j in i + 1..group.len() {
+                pairs += 1;
+                if world.truth.are_siblings(group[i], group[j]) {
+                    correct += 1;
+                }
+            }
+        }
+    }
+    assert!(pairs > 0);
+    let precision = correct as f64 / pairs as f64;
+    assert!(precision > 0.85, "favicon precision {precision:.3}");
+}

@@ -1,0 +1,121 @@
+//! Table 6 invariants: behaviour of the 16 feature combinations.
+
+use borges_core::orgfactor::organization_factor;
+use borges_core::pipeline::{Borges, FeatureSet};
+use borges_llm::SimLlm;
+use borges_synthnet::{GeneratorConfig, SyntheticInternet};
+use borges_websim::SimWebClient;
+
+fn pipeline() -> (usize, Borges) {
+    let world = SyntheticInternet::generate(&GeneratorConfig::tiny(99));
+    let llm = SimLlm::new(99);
+    let borges = Borges::run(
+        &world.whois,
+        &world.pdb,
+        SimWebClient::browser(&world.web),
+        &llm,
+    );
+    let n = borges.universe().len();
+    (n, borges)
+}
+
+fn subset(a: FeatureSet, b: FeatureSet) -> bool {
+    (!a.oid_p || b.oid_p) && (!a.na || b.na) && (!a.rr || b.rr) && (!a.favicons || b.favicons)
+}
+
+#[test]
+fn theta_is_monotone_over_feature_inclusion() {
+    let (n, borges) = pipeline();
+    let combos = FeatureSet::all_combinations();
+    let thetas: Vec<f64> = combos
+        .iter()
+        .map(|f| organization_factor(&borges.mapping(*f), n))
+        .collect();
+    for (i, a) in combos.iter().enumerate() {
+        for (j, b) in combos.iter().enumerate() {
+            if subset(*a, *b) {
+                assert!(
+                    thetas[j] >= thetas[i] - 1e-12,
+                    "θ({}) = {} < θ({}) = {} despite feature inclusion",
+                    b.label(),
+                    thetas[j],
+                    a.label(),
+                    thetas[i]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn org_count_is_antitone_over_feature_inclusion() {
+    let (_, borges) = pipeline();
+    let combos = FeatureSet::all_combinations();
+    let counts: Vec<usize> = combos
+        .iter()
+        .map(|f| borges.mapping(*f).org_count())
+        .collect();
+    for (i, a) in combos.iter().enumerate() {
+        for (j, b) in combos.iter().enumerate() {
+            if subset(*a, *b) {
+                assert!(
+                    counts[j] <= counts[i],
+                    "more features must never split organizations: {} vs {}",
+                    a.label(),
+                    b.label()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn every_combination_covers_the_same_universe() {
+    let (n, borges) = pipeline();
+    for features in FeatureSet::all_combinations() {
+        let m = borges.mapping(features);
+        assert_eq!(m.asn_count(), n, "{} lost ASNs", features.label());
+    }
+}
+
+#[test]
+fn every_feature_strictly_improves_theta_alone() {
+    let (n, borges) = pipeline();
+    let base = organization_factor(&borges.mapping(FeatureSet::NONE), n);
+    for features in [
+        FeatureSet { oid_p: true, ..FeatureSet::NONE },
+        FeatureSet { na: true, ..FeatureSet::NONE },
+        FeatureSet { rr: true, ..FeatureSet::NONE },
+        FeatureSet { favicons: true, ..FeatureSet::NONE },
+    ] {
+        let theta = organization_factor(&borges.mapping(features), n);
+        assert!(
+            theta > base,
+            "{} alone should add merges over the baseline (θ {base} → {theta})",
+            features.label()
+        );
+    }
+}
+
+#[test]
+fn full_borges_is_the_best_combination() {
+    let (n, borges) = pipeline();
+    let full = organization_factor(&borges.mapping(FeatureSet::ALL), n);
+    for features in FeatureSet::all_combinations() {
+        let theta = organization_factor(&borges.mapping(features), n);
+        assert!(theta <= full + 1e-12, "{} beats ALL?", features.label());
+    }
+}
+
+#[test]
+fn mapping_materialization_is_pure() {
+    let (_, borges) = pipeline();
+    for features in FeatureSet::all_combinations() {
+        assert_eq!(
+            borges.mapping(features),
+            borges.mapping(features),
+            "mapping({}) not deterministic",
+            features.label()
+        );
+    }
+}
