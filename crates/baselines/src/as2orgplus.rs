@@ -158,7 +158,11 @@ mod tests {
         // from siblings — the LLM can.
         let notes = "We connect directly with the following ISPs,\n- Cogent (AS174)";
         let got = regex_extract(a(262287), notes, "", false);
-        assert_eq!(got, vec![a(174)], "as2org+ must exhibit this false positive");
+        assert_eq!(
+            got,
+            vec![a(174)],
+            "as2org+ must exhibit this false positive"
+        );
     }
 
     #[test]

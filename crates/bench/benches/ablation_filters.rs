@@ -8,10 +8,10 @@
 //! Besides timing, each ablation prints its effect sizes once, so
 //! `cargo bench` output doubles as the ablation report.
 
+use borges_baselines::regex_extract;
 use borges_bench::{llm, medium_world};
 use borges_core::evalsets::ie_confusion;
 use borges_core::ner::{extract, NerConfig};
-use borges_baselines::regex_extract;
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::Once;

@@ -45,7 +45,14 @@ fn bench_ner(c: &mut Criterion) {
     group.bench_function("table4_scoring", |b| {
         let world = medium_world();
         let ner = extract(&world.pdb, &model, NerConfig::default());
-        b.iter(|| black_box(ie_confusion(&world.pdb, &world.text_labels, &ner, Some(320))))
+        b.iter(|| {
+            black_box(ie_confusion(
+                &world.pdb,
+                &world.text_labels,
+                &ner,
+                Some(320),
+            ))
+        })
     });
     group.finish();
 }

@@ -16,9 +16,7 @@ fn bench_topology(c: &mut Criterion) {
     group.bench_function("customer_cones_medium", |b| {
         b.iter(|| black_box(customer_cones(graph)))
     });
-    group.bench_function("asrank_medium", |b| {
-        b.iter(|| black_box(rank(graph)))
-    });
+    group.bench_function("asrank_medium", |b| b.iter(|| black_box(rank(graph))));
     group.bench_function("serial1_roundtrip_medium", |b| {
         b.iter(|| {
             let text = serial1::serialize(graph);

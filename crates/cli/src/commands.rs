@@ -23,6 +23,8 @@ USAGE:
   borges map --data DIR --out FILE [--features all|none|LIST] [--seed N] [--threads N]
       Run the pipeline over a bundle and write the mapping.
       LIST is comma-separated from: oid_p, na, rr, favicons.
+      --threads defaults to the machine's available parallelism; it
+      drives the crawl, the LLM extraction, and mapping materialization.
   borges eval --data DIR --mapping FILE [--mapping FILE ...]
       Organization Factor (and, with an oracle, precision/recall) per mapping.
   borges inspect --data DIR --mapping FILE --asn N
@@ -75,8 +77,7 @@ fn generate(opts: &Options) -> Result<String, CliError> {
     save(&world, dir).map_err(CliError::failed)?;
     if opts.boolean("no-truth") {
         for oracle in ["truth.psv", "labels.psv"] {
-            std::fs::remove_file(dir.join(oracle))
-                .map_err(|e| CliError::Failed(Box::new(e)))?;
+            std::fs::remove_file(dir.join(oracle)).map_err(|e| CliError::Failed(Box::new(e)))?;
         }
     }
     Ok(format!(
@@ -121,7 +122,7 @@ fn map(opts: &Options) -> Result<String, CliError> {
         Some(t) => t
             .parse()
             .map_err(|_| CliError::Usage(format!("--threads {t:?} is not a number")))?,
-        None => 1,
+        None => borges_parallel::default_threads(),
     };
 
     let bundle = DatasetBundle::load(Path::new(data)).map_err(CliError::failed)?;
@@ -142,9 +143,11 @@ fn map(opts: &Options) -> Result<String, CliError> {
             &llm,
         )
     };
-    let mapping = borges.mapping(features);
-    std::fs::write(out, mapfile::serialize(&mapping))
-        .map_err(|e| CliError::Failed(Box::new(e)))?;
+    let mapping = borges
+        .mappings_parallel(std::slice::from_ref(&features), threads)
+        .pop()
+        .expect("one feature set in, one mapping out");
+    std::fs::write(out, mapfile::serialize(&mapping)).map_err(|e| CliError::Failed(Box::new(e)))?;
     Ok(format!(
         "{}: {} ASNs in {} organizations (features: {})\n",
         out,
@@ -241,8 +244,16 @@ fn truth_scores(bundle: &DatasetBundle, mapping: &AsOrgMapping) -> (f64, f64) {
         }
     }
     (
-        if merged == 0 { 1.0 } else { correct as f64 / merged as f64 },
-        if true_pairs == 0 { 1.0 } else { recovered as f64 / true_pairs as f64 },
+        if merged == 0 {
+            1.0
+        } else {
+            correct as f64 / merged as f64
+        },
+        if true_pairs == 0 {
+            1.0
+        } else {
+            recovered as f64 / true_pairs as f64
+        },
     )
 }
 
@@ -267,7 +278,11 @@ fn inspect(opts: &Options) -> Result<String, CliError> {
         siblings.len()
     );
     for &member in siblings {
-        out.push_str(&format!("  {:<12} {}", member.to_string(), namer.name_of(member)));
+        out.push_str(&format!(
+            "  {:<12} {}",
+            member.to_string(),
+            namer.name_of(member)
+        ));
         if let Some(truth) = &bundle.truth {
             if let Some((_, name)) = truth.get(&member) {
                 out.push_str(&format!("   [truth: {name}]"));
@@ -303,11 +318,7 @@ fn diff_cmd(opts: &Options) -> Result<String, CliError> {
     merges.sort_by_key(|m| std::cmp::Reverse(m.fragments.iter().map(Vec::len).sum::<usize>()));
     for merge in merges.iter().take(10) {
         let total: usize = merge.fragments.iter().map(Vec::len).sum();
-        let anchors: Vec<String> = merge
-            .fragments
-            .iter()
-            .map(|f| f[0].to_string())
-            .collect();
+        let anchors: Vec<String> = merge.fragments.iter().map(|f| f[0].to_string()).collect();
         out.push_str(&format!(
             "  merge of {} fragments ({} ASNs): {}\n",
             merge.fragments.len(),
@@ -373,39 +384,57 @@ mod tests {
         let as2org_map = dir.join("as2org.map");
         let borges_map = dir.join("borges.map");
         let out = run(&args(&[
-            "map", "--data", data.to_str().unwrap(),
-            "--features", "none",
-            "--out", as2org_map.to_str().unwrap(),
+            "map",
+            "--data",
+            data.to_str().unwrap(),
+            "--features",
+            "none",
+            "--out",
+            as2org_map.to_str().unwrap(),
         ]))
         .unwrap();
         assert!(out.contains("organizations"));
         run(&args(&[
-            "map", "--data", data.to_str().unwrap(),
-            "--features", "all",
-            "--out", borges_map.to_str().unwrap(),
+            "map",
+            "--data",
+            data.to_str().unwrap(),
+            "--features",
+            "all",
+            "--out",
+            borges_map.to_str().unwrap(),
         ]))
         .unwrap();
 
         let out = run(&args(&[
-            "eval", "--data", data.to_str().unwrap(),
-            "--mapping", as2org_map.to_str().unwrap(),
-            "--mapping", borges_map.to_str().unwrap(),
+            "eval",
+            "--data",
+            data.to_str().unwrap(),
+            "--mapping",
+            as2org_map.to_str().unwrap(),
+            "--mapping",
+            borges_map.to_str().unwrap(),
         ]))
         .unwrap();
         assert!(out.contains("precision"), "oracle present → scored: {out}");
 
         let out = run(&args(&[
-            "inspect", "--data", data.to_str().unwrap(),
-            "--mapping", borges_map.to_str().unwrap(),
-            "--asn", "3356",
+            "inspect",
+            "--data",
+            data.to_str().unwrap(),
+            "--mapping",
+            borges_map.to_str().unwrap(),
+            "--asn",
+            "3356",
         ]))
         .unwrap();
         assert!(out.contains("AS209"), "Lumen family visible: {out}");
 
         let out = run(&args(&[
             "diff",
-            "--before", as2org_map.to_str().unwrap(),
-            "--after", borges_map.to_str().unwrap(),
+            "--before",
+            as2org_map.to_str().unwrap(),
+            "--after",
+            borges_map.to_str().unwrap(),
         ]))
         .unwrap();
         assert!(out.contains("merges:"));
@@ -421,20 +450,28 @@ mod tests {
         let data = dir.join("world");
         run(&args(&[
             "generate",
-            "--out", data.to_str().unwrap(),
-            "--scale", "tiny",
+            "--out",
+            data.to_str().unwrap(),
+            "--scale",
+            "tiny",
             "--no-truth",
         ]))
         .unwrap();
         let map_path = dir.join("m.map");
         run(&args(&[
-            "map", "--data", data.to_str().unwrap(),
-            "--out", map_path.to_str().unwrap(),
+            "map",
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            map_path.to_str().unwrap(),
         ]))
         .unwrap();
         let out = run(&args(&[
-            "eval", "--data", data.to_str().unwrap(),
-            "--mapping", map_path.to_str().unwrap(),
+            "eval",
+            "--data",
+            data.to_str().unwrap(),
+            "--mapping",
+            map_path.to_str().unwrap(),
         ]))
         .unwrap();
         assert!(!out.contains("precision"));

@@ -133,7 +133,10 @@ mod tests {
     fn repeated_flags_accumulate() {
         let o = Options::parse(&args(&["--mapping", "a", "--mapping", "b"])).unwrap();
         assert_eq!(o.repeated("mapping"), vec!["a", "b"]);
-        assert!(o.required("mapping").is_err(), "required demands exactly one");
+        assert!(
+            o.required("mapping").is_err(),
+            "required demands exactly one"
+        );
     }
 
     #[test]

@@ -81,8 +81,18 @@ pub fn diff(before: &AsOrgMapping, after: &AsOrgMapping) -> MappingDiff {
     for &asn in &shared {
         let b = before.cluster_of(asn).expect("shared asn is in before");
         let a = after.cluster_of(asn).expect("shared asn is in after");
-        by_after.entry(a).or_default().entry(b).or_default().push(asn);
-        by_before.entry(b).or_default().entry(a).or_default().push(asn);
+        by_after
+            .entry(a)
+            .or_default()
+            .entry(b)
+            .or_default()
+            .push(asn);
+        by_before
+            .entry(b)
+            .or_default()
+            .entry(a)
+            .or_default()
+            .push(asn);
     }
 
     for (after_id, fragments) in &by_after {
@@ -177,7 +187,10 @@ mod tests {
         let before = m(&[&[1, 2]]);
         let after = m(&[&[1, 2, 99], &[100]]);
         let d = diff(&before, &after);
-        assert!(d.merges.is_empty(), "new ASN joining is not a merge of orgs");
+        assert!(
+            d.merges.is_empty(),
+            "new ASN joining is not a merge of orgs"
+        );
         assert!(d.splits.is_empty());
         assert_eq!(d.appeared, vec![Asn::new(99), Asn::new(100)]);
         assert!(d.disappeared.is_empty());

@@ -139,10 +139,7 @@ pub fn classifier_confusion(
 ) -> ClassifierEval {
     let mut eval = ClassifierEval::default();
     for decision in &inference.decisions {
-        let truly_one_org = decision
-            .asns
-            .windows(2)
-            .all(|w| are_siblings(w[0], w[1]));
+        let truly_one_org = decision.asns.windows(2).all(|w| are_siblings(w[0], w[1]));
 
         // Step 1.
         match (truly_one_org, decision.step1_merged_all) {
@@ -249,8 +246,7 @@ mod tests {
         let world = SyntheticInternet::generate(&GeneratorConfig::tiny(3));
         let llm = SimLlm::flawless();
         let scraper = Scraper::new(SimWebClient::browser(&world.web));
-        let report =
-            scraper.crawl(world.pdb.nets().map(|n| (n.asn, n.website.as_str())));
+        let report = scraper.crawl(world.pdb.nets().map(|n| (n.asn, n.website.as_str())));
         let inference = favicon_inference(&report, &llm);
         assert!(!inference.decisions.is_empty());
         let eval = classifier_confusion(&inference, |a, b| world.truth.are_siblings(a, b));

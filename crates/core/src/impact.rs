@@ -152,8 +152,11 @@ pub fn population_comparison(
         }
     }
 
-    out.changed
-        .sort_by(|a, b| b.marginal_growth().cmp(&a.marginal_growth()).then(a.anchor.cmp(&b.anchor)));
+    out.changed.sort_by(|a, b| {
+        b.marginal_growth()
+            .cmp(&a.marginal_growth())
+            .then(a.anchor.cmp(&b.anchor))
+    });
     out.total_marginal_growth = out.changed.iter().map(OrgChange::marginal_growth).sum();
     let n_changed = out.changed.len().max(1) as f64;
     out.mean_base_changed = sum_base_changed as f64 / n_changed;

@@ -180,11 +180,8 @@ mod tests {
 
     #[test]
     fn sizes_desc_and_largest() {
-        let m = AsOrgMapping::from_groups(vec![
-            vec![a(1)],
-            vec![a(2), a(3), a(4)],
-            vec![a(5), a(6)],
-        ]);
+        let m =
+            AsOrgMapping::from_groups(vec![vec![a(1)], vec![a(2), a(3), a(4)], vec![a(5), a(6)]]);
         assert_eq!(m.sizes_desc(), vec![3, 2, 1]);
         let (id, size) = m.largest().unwrap();
         assert_eq!(size, 3);

@@ -21,6 +21,12 @@ use borges_types::Asn;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Counters for the extraction funnel (§5.2's "notes and aka" numbers).
+///
+/// Stats from disjoint entry batches combine with `+=` — that is how
+/// [`extract_parallel`] folds its per-chunk partials. The one
+/// non-additive field, `extracted_asns` (a *distinct* count), is summed
+/// like the rest and then recomputed over the merged result by the
+/// caller.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NerStats {
     /// PeeringDB entries in the snapshot.
@@ -44,6 +50,35 @@ pub struct NerStats {
     /// Token accounting across every LLM call (what a hosted model would
     /// bill for this stage).
     pub usage: borges_llm::chat::Usage,
+}
+
+impl std::ops::AddAssign for NerStats {
+    fn add_assign(&mut self, rhs: Self) {
+        // Full destructuring: adding a field to NerStats without
+        // deciding how it merges is a compile error here.
+        let NerStats {
+            entries_total,
+            entries_with_text,
+            entries_numeric,
+            numeric_in_aka,
+            numeric_in_notes,
+            llm_calls,
+            filtered_out,
+            entries_with_siblings,
+            extracted_asns,
+            usage,
+        } = rhs;
+        self.entries_total += entries_total;
+        self.entries_with_text += entries_with_text;
+        self.entries_numeric += entries_numeric;
+        self.numeric_in_aka += numeric_in_aka;
+        self.numeric_in_notes += numeric_in_notes;
+        self.llm_calls += llm_calls;
+        self.filtered_out += filtered_out;
+        self.entries_with_siblings += entries_with_siblings;
+        self.extracted_asns += extracted_asns;
+        self.usage += usage;
+    }
 }
 
 /// The result of running the NER stage over a snapshot.
@@ -116,33 +151,16 @@ pub fn extract_parallel(
     threads: usize,
 ) -> NerResult {
     let nets: Vec<&borges_peeringdb::PdbNetwork> = pdb.nets().collect();
-    let threads = threads.max(1);
-    let chunk_size = nets.len().div_ceil(threads).max(1);
-    let partials: Vec<NerResult> = std::thread::scope(|scope| {
-        let handles: Vec<_> = nets
-            .chunks(chunk_size)
-            .map(|chunk| {
-                scope.spawn(move || extract_over(chunk.iter().copied(), model, config))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("ner worker panicked"))
-            .collect()
+    let partials = borges_parallel::map_chunks(&nets, threads, |chunk| {
+        extract_over(chunk.iter().copied(), model, config)
     });
     let mut result = NerResult::default();
     for partial in partials {
-        result.stats.entries_total += partial.stats.entries_total;
-        result.stats.entries_with_text += partial.stats.entries_with_text;
-        result.stats.entries_numeric += partial.stats.entries_numeric;
-        result.stats.numeric_in_aka += partial.stats.numeric_in_aka;
-        result.stats.numeric_in_notes += partial.stats.numeric_in_notes;
-        result.stats.llm_calls += partial.stats.llm_calls;
-        result.stats.filtered_out += partial.stats.filtered_out;
-        result.stats.entries_with_siblings += partial.stats.entries_with_siblings;
-        result.stats.usage += partial.stats.usage;
+        result.stats += partial.stats;
         result.per_entry.extend(partial.per_entry);
     }
+    // `+=` summed the per-chunk distinct counts; recompute the true
+    // cross-chunk distinct count.
     finalize(&mut result);
     result
 }
@@ -277,10 +295,7 @@ mod tests {
 
     #[test]
     fn input_filter_ablation_calls_on_all_text() {
-        let pdb = snapshot(&[
-            (1, "digit-free boilerplate", ""),
-            (2, "sibling AS100", ""),
-        ]);
+        let pdb = snapshot(&[(1, "digit-free boilerplate", ""), (2, "sibling AS100", "")]);
         let llm = SimLlm::flawless();
         let with = extract(&pdb, &llm, NerConfig::default());
         let without = extract(
@@ -352,7 +367,10 @@ mod tests {
         assert_eq!(r.stats.entries_numeric, 2);
         assert_eq!(r.stats.numeric_in_aka, 1);
         assert_eq!(r.stats.numeric_in_notes, 2);
-        assert_eq!(r.per_entry.get(&Asn::new(1)).unwrap(), &vec![Asn::new(15133)]);
+        assert_eq!(
+            r.per_entry.get(&Asn::new(1)).unwrap(),
+            &vec![Asn::new(15133)]
+        );
     }
 
     #[test]
@@ -381,6 +399,21 @@ mod tests {
     }
 
     #[test]
+    fn stats_sum_with_add_assign() {
+        let pdb_a = snapshot(&[(3320, "Our subsidiaries: AS6855 and AS5391.", "")]);
+        let pdb_b = snapshot(&[(100, "Leading regional provider.", ""), (200, "", "")]);
+        let llm = SimLlm::flawless();
+        let a = extract(&pdb_a, &llm, NerConfig::default());
+        let b = extract(&pdb_b, &llm, NerConfig::default());
+        let mut summed = a.stats;
+        summed += b.stats;
+        assert_eq!(summed.entries_total, 3);
+        assert_eq!(summed.entries_with_text, 2);
+        assert_eq!(summed.llm_calls, 1);
+        assert_eq!(summed.usage, a.stats.usage + b.stats.usage);
+    }
+
+    #[test]
     fn upstream_listings_produce_no_edges() {
         let pdb = snapshot(&[(
             262287,
@@ -389,7 +422,10 @@ mod tests {
         )]);
         let llm = SimLlm::flawless();
         let r = extract(&pdb, &llm, NerConfig::default());
-        assert!(r.per_entry.is_empty(), "Listing 1 upstreams must be ignored");
+        assert!(
+            r.per_entry.is_empty(),
+            "Listing 1 upstreams must be ignored"
+        );
         assert_eq!(r.stats.llm_calls, 1);
     }
 }

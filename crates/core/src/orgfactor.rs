@@ -177,8 +177,7 @@ mod tests {
         let split = mapping(&[&[1, 2], &[3, 4], &[5], &[6]]);
         let merged = mapping(&[&[1, 2, 3, 4], &[5], &[6]]);
         assert!(
-            organization_factor_normalized(&merged, 6)
-                > organization_factor_normalized(&split, 6)
+            organization_factor_normalized(&merged, 6) > organization_factor_normalized(&split, 6)
         );
     }
 

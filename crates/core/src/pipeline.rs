@@ -4,19 +4,30 @@
 //! LLM extraction (§4.2), the web crawl and both web inferences (§4.3) —
 //! and caches their merge evidence. [`Borges::mapping`] then materializes
 //! the AS-to-Organization mapping for **any subset of features**
-//! (Table 6 evaluates all 16 combinations), by seeding a union-find with
-//! the WHOIS universe (§5.4: vertices are all delegated networks) and
-//! replaying the selected evidence.
+//! (Table 6 evaluates all 16 combinations).
+//!
+//! ## Evidence compilation
+//!
+//! Construction compiles every evidence source into dense-id edge lists
+//! over the fixed universe (§5.4: vertices are all delegated networks):
+//! ASNs are interned once through an [`AsnInterner`], evidence about
+//! never-allocated ASNs is filtered out once, and the compulsory OID_W
+//! closure is computed once into a [`DenseUnionFind`] base. Each
+//! `mapping()` call then clones the base (two `memcpy`s) and replays
+//! only the selected feature edges — no tree-map interning and no
+//! membership checks on the hot path, which makes materialization both
+//! cheap and embarrassingly parallel across feature combinations
+//! ([`Borges::mappings_parallel`]).
 
 use crate::mapping::AsOrgMapping;
 use crate::ner::{extract, NerConfig, NerResult};
 use crate::orgkeys;
-use crate::unionfind::UnionFind;
+use crate::unionfind::{DenseUnionFind, UnionFind};
 use crate::web::favicon::{favicon_inference, FaviconInference};
 use crate::web::rr::{rr_inference, RrInference};
 use borges_llm::chat::ChatModel;
 use borges_peeringdb::PdbSnapshot;
-use borges_types::Asn;
+use borges_types::{Asn, AsnInterner};
 use borges_websim::{ScrapeReport, ScrapeStats, Scraper, WebClient};
 use borges_whois::WhoisRegistry;
 use std::collections::BTreeSet;
@@ -137,10 +148,79 @@ pub struct FeatureContribution {
     pub orgs: usize,
 }
 
+/// All five evidence sources compiled to dense-id edge lists over the
+/// fixed universe, plus the precomputed OID_W base closure.
+///
+/// Compiled once at pipeline construction; replayed (against a clone of
+/// `base`) on every [`Borges::mapping`] call. Evidence naming ASNs
+/// outside the universe is dropped here, mirroring the membership
+/// filtering the per-call path used to do: an NER edge survives only if
+/// *both* endpoints are allocated, while R&R/favicon groups are
+/// filtered member-wise and then chained.
+#[derive(Debug, Clone)]
+struct CompiledEvidence {
+    interner: AsnInterner,
+    /// The compulsory OID_W feature, already closed over the universe.
+    base: DenseUnionFind,
+    oid_p: Vec<(u32, u32)>,
+    na: Vec<(u32, u32)>,
+    rr: Vec<(u32, u32)>,
+    favicons: Vec<(u32, u32)>,
+}
+
+impl CompiledEvidence {
+    fn compile(
+        universe: BTreeSet<Asn>,
+        oid_w_groups: &[Vec<Asn>],
+        oid_p_groups: &[Vec<Asn>],
+        ner: &NerResult,
+        rr: &RrInference,
+        favicon: &FaviconInference,
+    ) -> Self {
+        let interner = AsnInterner::new(universe);
+
+        let mut base = DenseUnionFind::new(interner.len());
+        base.union_edges(&chain_groups(&interner, oid_w_groups));
+
+        let na = ner
+            .edges()
+            .into_iter()
+            .filter_map(|(a, b)| Some((interner.id(a)?, interner.id(b)?)))
+            .collect();
+
+        CompiledEvidence {
+            base,
+            oid_p: chain_groups(&interner, oid_p_groups),
+            na,
+            rr: chain_groups(&interner, rr.merging_groups()),
+            favicons: chain_groups(&interner, &favicon.groups),
+            interner,
+        }
+    }
+}
+
+/// Compiles sibling groups into dense-id edges: each group's in-universe
+/// members are chained pairwise — the same spanning chain
+/// [`UnionFind::union_group`] walks, after the same membership filter
+/// the per-call path used to apply.
+fn chain_groups<'g>(
+    interner: &AsnInterner,
+    groups: impl IntoIterator<Item = &'g Vec<Asn>>,
+) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    let mut ids: Vec<u32> = Vec::new();
+    for group in groups {
+        ids.clear();
+        ids.extend(group.iter().filter_map(|&asn| interner.id(asn)));
+        out.extend(ids.windows(2).map(|pair| (pair[0], pair[1])));
+    }
+    out
+}
+
 /// The computed pipeline: all evidence, ready to combine.
 #[derive(Debug, Clone)]
 pub struct Borges {
-    universe: Vec<Asn>,
+    compiled: CompiledEvidence,
     oid_w_groups: Vec<Vec<Asn>>,
     oid_p_groups: Vec<Vec<Asn>>,
     /// §4.2 extraction output.
@@ -179,23 +259,10 @@ impl Borges {
         threads: usize,
     ) -> Self {
         let scraper = Scraper::new(web_client);
-        let entries: Vec<(Asn, &str)> = pdb
-            .nets()
-            .map(|n| (n.asn, n.website.as_str()))
-            .collect();
+        let entries: Vec<(Asn, &str)> = pdb.nets().map(|n| (n.asn, n.website.as_str())).collect();
         let report = scraper.crawl_parallel(entries, threads);
-
-        let mut universe: BTreeSet<Asn> = whois.all_asns().collect();
-        universe.extend(pdb.nets().map(|n| n.asn));
-        Borges {
-            universe: universe.into_iter().collect(),
-            oid_w_groups: orgkeys::oid_w_groups(whois),
-            oid_p_groups: orgkeys::oid_p_groups(pdb),
-            ner: crate::ner::extract_parallel(pdb, model, NerConfig::default(), threads),
-            rr: rr_inference(&report),
-            favicon: favicon_inference(&report, model),
-            scrape_stats: report.stats.clone(),
-        }
+        let ner = crate::ner::extract_parallel(pdb, model, NerConfig::default(), threads);
+        Self::assemble(whois, pdb, &report, ner, model)
     }
 
     /// Like [`Borges::run`] but with a pre-computed scrape report and an
@@ -208,25 +275,45 @@ impl Borges {
         model: &dyn ChatModel,
         ner_config: NerConfig,
     ) -> Self {
+        let ner = extract(pdb, model, ner_config);
+        Self::assemble(whois, pdb, report, ner, model)
+    }
+
+    /// Shared tail of every constructor: runs the web inferences, fixes
+    /// the universe, and compiles all evidence to dense edge lists.
+    fn assemble(
+        whois: &WhoisRegistry,
+        pdb: &PdbSnapshot,
+        report: &ScrapeReport,
+        ner: NerResult,
+        model: &dyn ChatModel,
+    ) -> Self {
         let mut universe: BTreeSet<Asn> = whois.all_asns().collect();
         // PeeringDB networks missing from WHOIS (rare, but real dumps have
         // them) still belong to the mapping universe.
         universe.extend(pdb.nets().map(|n| n.asn));
 
+        let oid_w_groups = orgkeys::oid_w_groups(whois);
+        let oid_p_groups = orgkeys::oid_p_groups(pdb);
+        let rr = rr_inference(report);
+        let favicon = favicon_inference(report, model);
+        let compiled =
+            CompiledEvidence::compile(universe, &oid_w_groups, &oid_p_groups, &ner, &rr, &favicon);
+
         Borges {
-            universe: universe.into_iter().collect(),
-            oid_w_groups: orgkeys::oid_w_groups(whois),
-            oid_p_groups: orgkeys::oid_p_groups(pdb),
-            ner: extract(pdb, model, ner_config),
-            rr: rr_inference(report),
-            favicon: favicon_inference(report, model),
+            compiled,
+            oid_w_groups,
+            oid_p_groups,
+            ner,
+            rr,
+            favicon,
             scrape_stats: report.stats.clone(),
         }
     }
 
-    /// The mapping universe (all delegated ASNs).
+    /// The mapping universe (all delegated ASNs), ascending.
     pub fn universe(&self) -> &[Asn] {
-        &self.universe
+        self.compiled.interner.asns()
     }
 
     /// Materializes the mapping for a feature subset. `OID_W` is always
@@ -235,47 +322,38 @@ impl Borges {
     ///
     /// Evidence about ASNs outside the delegated universe — e.g. an
     /// extraction false positive reading a year as an ASN that was never
-    /// allocated — is discarded: the mapping's vertex set is fixed to the
-    /// WHOIS universe (§5.4).
+    /// allocated — was discarded at compile time: the mapping's vertex
+    /// set is fixed to the WHOIS universe (§5.4).
+    ///
+    /// This is a pure replay over pre-compiled state: clone the OID_W
+    /// base closure, union the selected edge lists, read the groups out.
+    /// Calls are independent, so any number can run concurrently — see
+    /// [`Borges::mappings_parallel`].
     pub fn mapping(&self, features: FeatureSet) -> AsOrgMapping {
-        let allocated: BTreeSet<Asn> = self.universe.iter().copied().collect();
-        let mut uf = UnionFind::with_universe(self.universe.iter().copied());
-        for group in &self.oid_w_groups {
-            uf.union_group(group);
-        }
+        let mut uf = self.compiled.base.clone();
         if features.oid_p {
-            for group in &self.oid_p_groups {
-                uf.union_group(group);
-            }
+            uf.union_edges(&self.compiled.oid_p);
         }
         if features.na {
-            for (a, b) in self.ner.edges() {
-                if allocated.contains(&a) && allocated.contains(&b) {
-                    uf.union(a, b);
-                }
-            }
+            uf.union_edges(&self.compiled.na);
         }
         if features.rr {
-            for group in self.rr.merging_groups() {
-                let members: Vec<Asn> = group
-                    .iter()
-                    .copied()
-                    .filter(|a| allocated.contains(a))
-                    .collect();
-                uf.union_group(&members);
-            }
+            uf.union_edges(&self.compiled.rr);
         }
         if features.favicons {
-            for group in &self.favicon.groups {
-                let members: Vec<Asn> = group
-                    .iter()
-                    .copied()
-                    .filter(|a| allocated.contains(a))
-                    .collect();
-                uf.union_group(&members);
-            }
+            uf.union_edges(&self.compiled.favicons);
         }
-        AsOrgMapping::from_union_find(uf)
+        AsOrgMapping::from_groups(uf.into_groups(&self.compiled.interner))
+    }
+
+    /// Materializes one mapping per feature set, fanning the independent
+    /// replays out over `threads` worker threads. Results come back in
+    /// input order and are bit-identical to calling [`Borges::mapping`]
+    /// sequentially (assembly is key-canonical; threads change only
+    /// wall-clock time). This is how the Table 6 sweep runs all 16
+    /// combinations.
+    pub fn mappings_parallel(&self, features: &[FeatureSet], threads: usize) -> Vec<AsOrgMapping> {
+        borges_parallel::map_items(features, threads, |&f| self.mapping(f))
     }
 
     /// The AS2Org baseline (OID_W only).
@@ -395,7 +473,10 @@ mod tests {
     fn baseline_reproduces_whois_split() {
         let (_, borges) = pipeline();
         let base = borges.baseline_as2org();
-        assert!(!base.same_org(Asn::new(3356), Asn::new(209)), "Fig. 3 split");
+        assert!(
+            !base.same_org(Asn::new(3356), Asn::new(209)),
+            "Fig. 3 split"
+        );
     }
 
     #[test]
@@ -536,9 +617,78 @@ mod tests {
             &llm,
             4,
         );
-        assert_eq!(parallel.mapping(FeatureSet::ALL), sequential.mapping(FeatureSet::ALL));
+        assert_eq!(
+            parallel.mapping(FeatureSet::ALL),
+            sequential.mapping(FeatureSet::ALL)
+        );
         assert_eq!(parallel.ner.per_entry, sequential.ner.per_entry);
         assert_eq!(parallel.scrape_stats, sequential.scrape_stats);
+    }
+
+    #[test]
+    fn mappings_parallel_matches_sequential_mapping() {
+        let (_, borges) = pipeline();
+        let combos = FeatureSet::all_combinations();
+        let sequential: Vec<_> = combos.iter().map(|&f| borges.mapping(f)).collect();
+        for threads in [1, 2, 7] {
+            assert_eq!(
+                borges.mappings_parallel(&combos, threads),
+                sequential,
+                "diverged with {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_replay_matches_sparse_rebuild() {
+        // The dense replay must reproduce, bit for bit, what the original
+        // per-call sparse rebuild produced for every feature subset.
+        let (_, borges) = pipeline();
+        let allocated: BTreeSet<Asn> = borges.universe().iter().copied().collect();
+        for features in FeatureSet::all_combinations() {
+            let mut uf = UnionFind::with_universe(borges.universe().iter().copied());
+            for group in &borges.oid_w_groups {
+                uf.union_group(group);
+            }
+            if features.oid_p {
+                for group in &borges.oid_p_groups {
+                    uf.union_group(group);
+                }
+            }
+            if features.na {
+                for (a, b) in borges.ner.edges() {
+                    if allocated.contains(&a) && allocated.contains(&b) {
+                        uf.union(a, b);
+                    }
+                }
+            }
+            if features.rr {
+                for group in borges.rr.merging_groups() {
+                    let members: Vec<Asn> = group
+                        .iter()
+                        .copied()
+                        .filter(|a| allocated.contains(a))
+                        .collect();
+                    uf.union_group(&members);
+                }
+            }
+            if features.favicons {
+                for group in &borges.favicon.groups {
+                    let members: Vec<Asn> = group
+                        .iter()
+                        .copied()
+                        .filter(|a| allocated.contains(a))
+                        .collect();
+                    uf.union_group(&members);
+                }
+            }
+            assert_eq!(
+                borges.mapping(features),
+                AsOrgMapping::from_union_find(uf),
+                "replay diverged for {}",
+                features.label()
+            );
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! consolidation, and the feature combinations of Table 6) is transitive
 //! closure, i.e. union-find with path compression and union by size.
 
-use borges_types::Asn;
+use borges_types::{Asn, AsnInterner};
 use std::collections::BTreeMap;
 
 /// A disjoint-set forest keyed by [`Asn`].
@@ -118,6 +118,108 @@ impl UnionFind {
     }
 }
 
+/// A disjoint-set forest over the dense ids of a fixed universe.
+///
+/// Where [`UnionFind`] interns ASNs lazily through a `BTreeMap` (right
+/// for ad-hoc evidence probes), `DenseUnionFind` is sized once for an
+/// [`AsnInterner`] universe and then never allocates: two flat `Vec`s,
+/// path-halving finds, union by size. Cloning is two `memcpy`s, which
+/// is what makes the pipeline's replay scheme cheap — the OID_W closure
+/// is computed once and cloned per feature combination.
+#[derive(Debug, Clone)]
+pub struct DenseUnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl DenseUnionFind {
+    /// A forest of `len` singleton sets (ids `0..len`).
+    pub fn new(len: usize) -> Self {
+        assert!(len <= u32::MAX as usize, "universe exceeds u32 id space");
+        DenseUnionFind {
+            parent: (0..len as u32).collect(),
+            size: vec![1; len],
+        }
+    }
+
+    /// Number of elements (fixed at construction).
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// `true` for a zero-element forest.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    fn find(&mut self, mut i: u32) -> u32 {
+        while self.parent[i as usize] != i {
+            self.parent[i as usize] = self.parent[self.parent[i as usize] as usize]; // halving
+            i = self.parent[i as usize];
+        }
+        i
+    }
+
+    /// Merges the sets of ids `a` and `b`. Returns `true` when the union
+    /// actually joined two distinct sets.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        true
+    }
+
+    /// Replays a batch of merge edges.
+    pub fn union_edges(&mut self, edges: &[(u32, u32)]) {
+        for &(a, b) in edges {
+            self.union(a, b);
+        }
+    }
+
+    /// Are ids `a` and `b` currently in the same set?
+    pub fn same_set(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Extracts the sets as sorted ASN member lists via `interner`
+    /// (which must be the universe this forest was sized for), in the
+    /// same canonical order as [`UnionFind::into_groups`]: members
+    /// ascending, groups ordered by their smallest ASN.
+    ///
+    /// Because interner ids follow ascending ASN order, one pass over
+    /// `0..len` builds every group already sorted — no per-group sort.
+    pub fn into_groups(mut self, interner: &AsnInterner) -> Vec<Vec<Asn>> {
+        assert_eq!(
+            self.len(),
+            interner.len(),
+            "interner/forest universe mismatch"
+        );
+        let n = self.len() as u32;
+        // First visit of each root (in ascending ASN order) fixes its
+        // group's position, which is exactly smallest-ASN order.
+        let mut group_of_root: Vec<u32> = vec![u32::MAX; self.len()];
+        let mut groups: Vec<Vec<Asn>> = Vec::new();
+        for id in 0..n {
+            let root = self.find(id) as usize;
+            let slot = if group_of_root[root] == u32::MAX {
+                group_of_root[root] = groups.len() as u32;
+                groups.push(Vec::with_capacity(self.size[root] as usize));
+                groups.len() - 1
+            } else {
+                group_of_root[root] as usize
+            };
+            groups[slot].push(interner.asn(id));
+        }
+        groups
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,5 +302,65 @@ mod tests {
         uf2.union(a(3), a(4));
         uf2.union(a(1), a(2));
         assert_eq!(uf1.into_groups(), uf2.into_groups());
+    }
+
+    #[test]
+    fn dense_union_and_same_set() {
+        let mut uf = DenseUnionFind::new(5);
+        assert!(uf.union(0, 3));
+        assert!(!uf.union(3, 0));
+        assert!(uf.same_set(0, 3));
+        assert!(!uf.same_set(0, 1));
+        uf.union_edges(&[(1, 2), (2, 4)]);
+        assert!(uf.same_set(1, 4));
+        assert!(!uf.same_set(0, 4));
+    }
+
+    #[test]
+    fn dense_groups_match_sparse_groups() {
+        // Same universe, same edges, through both implementations.
+        let universe: Vec<Asn> = [17, 3, 99, 41, 8, 23].map(a).to_vec();
+        let interner = AsnInterner::new(universe.iter().copied());
+        let edges = [(a(3), a(99)), (a(41), a(8)), (a(8), a(3))];
+
+        let mut sparse = UnionFind::with_universe(universe.iter().copied());
+        let mut dense = DenseUnionFind::new(interner.len());
+        for &(x, y) in &edges {
+            sparse.union(x, y);
+            dense.union(interner.id(x).unwrap(), interner.id(y).unwrap());
+        }
+        assert_eq!(dense.into_groups(&interner), sparse.into_groups());
+    }
+
+    #[test]
+    fn dense_groups_are_canonically_ordered() {
+        let interner = AsnInterner::new([10, 20, 30, 40].map(a));
+        let mut uf = DenseUnionFind::new(4);
+        // Merge 40 into 20's set; group order must still follow the
+        // smallest member (10 first, then {20, 40}, then 30).
+        uf.union(interner.id(a(40)).unwrap(), interner.id(a(20)).unwrap());
+        let groups = uf.into_groups(&interner);
+        assert_eq!(groups, vec![vec![a(10)], vec![a(20), a(40)], vec![a(30)]]);
+    }
+
+    #[test]
+    fn dense_clone_then_replay_is_independent() {
+        // The pipeline's replay scheme: base closure cloned per feature
+        // combination, each replay isolated from the others.
+        let mut base = DenseUnionFind::new(6);
+        base.union(0, 1);
+        let mut with_extra = base.clone();
+        with_extra.union(2, 3);
+        assert!(with_extra.same_set(2, 3));
+        assert!(!base.same_set(2, 3), "clone must not leak back");
+        assert!(base.same_set(0, 1));
+    }
+
+    #[test]
+    fn dense_empty_forest() {
+        let uf = DenseUnionFind::new(0);
+        assert!(uf.is_empty());
+        let interner = AsnInterner::new([]);
+        assert!(uf.into_groups(&interner).is_empty());
     }
 }

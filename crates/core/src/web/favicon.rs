@@ -244,8 +244,16 @@ mod tests {
             .page("www.orange.es", Some(icon("orange")))
             .page("www.orange.pl", Some(icon("orange")))
             // Claro: shared favicon, different labels → step 2, company.
-            .page_at("www.clarochile.cl", "https://www.clarochile.cl/personas/", Some(icon("claro")))
-            .page_at("www.claropr.com", "https://www.claropr.com/personas/", Some(icon("claro")))
+            .page_at(
+                "www.clarochile.cl",
+                "https://www.clarochile.cl/personas/",
+                Some(icon("claro")),
+            )
+            .page_at(
+                "www.claropr.com",
+                "https://www.claropr.com/personas/",
+                Some(icon("claro")),
+            )
             // Bootstrap defaults on unrelated sites → step 2, framework.
             .page("www.anosbd.com", Some(framework_favicon("bootstrap")))
             .page("www.rptechzone.in", Some(framework_favicon("bootstrap")))

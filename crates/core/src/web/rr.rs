@@ -101,8 +101,16 @@ mod tests {
     fn world() -> SimWeb {
         SimWeb::builder()
             .page("www.edg.io", Some(FaviconHash::of_bytes(b"edgio")))
-            .redirect("www.limelight.com", "https://www.edg.io/", RedirectKind::Http)
-            .redirect("www.edgecast.com", "https://www.edg.io/", RedirectKind::JavaScript)
+            .redirect(
+                "www.limelight.com",
+                "https://www.edg.io/",
+                RedirectKind::Http,
+            )
+            .redirect(
+                "www.edgecast.com",
+                "https://www.edg.io/",
+                RedirectKind::JavaScript,
+            )
             .page("www.solo.example", None)
             .page("facebook.com", Some(FaviconHash::of_bytes(b"fb")))
             .build()
@@ -111,10 +119,7 @@ mod tests {
     fn scrape(entries: Vec<(u32, &str)>) -> ScrapeReport {
         let web = world();
         let scraper = Scraper::new(SimWebClient::browser(&web));
-        let owned: Vec<(Asn, &str)> = entries
-            .into_iter()
-            .map(|(a, s)| (Asn::new(a), s))
-            .collect();
+        let owned: Vec<(Asn, &str)> = entries.into_iter().map(|(a, s)| (Asn::new(a), s)).collect();
         scraper.crawl(owned)
     }
 
@@ -161,10 +166,7 @@ mod tests {
 
     #[test]
     fn groups_align_with_final_urls() {
-        let report = scrape(vec![
-            (22822, "www.limelight.com"),
-            (7, "www.solo.example"),
-        ]);
+        let report = scrape(vec![(22822, "www.limelight.com"), (7, "www.solo.example")]);
         let inf = rr_inference(&report);
         assert_eq!(inf.groups.len(), inf.final_urls.len());
         for (group, url) in inf.groups.iter().zip(&inf.final_urls) {

@@ -2,5 +2,8 @@
 //! sibling pairs. Scale via BORGES_SCALE/BORGES_SEED.
 fn main() {
     let ctx = borges_eval::ExperimentContext::from_env();
-    println!("{}", borges_eval::experiments::feature_complementarity(&ctx));
+    println!(
+        "{}",
+        borges_eval::experiments::feature_complementarity(&ctx)
+    );
 }

@@ -11,7 +11,9 @@ use borges_core::evalsets::{classifier_confusion, ie_confusion, ClassifierEval, 
 use borges_core::impact::{
     country_footprint, hypergiant_sizes, population_comparison, transit_growth,
 };
-use borges_core::orgfactor::{cumulative_curve, organization_factor, organization_factor_normalized};
+use borges_core::orgfactor::{
+    cumulative_curve, organization_factor, organization_factor_normalized,
+};
 use borges_core::orgkeys::{oid_p_mapping, oid_w_mapping};
 use borges_core::pipeline::{Feature, FeatureSet};
 
@@ -139,7 +141,12 @@ pub fn table4(ctx: &ExperimentContext) -> (Confusion, String) {
         &ctx.borges.ner,
         Some(320),
     );
-    let full = ie_confusion(&ctx.world.pdb, &ctx.world.text_labels, &ctx.borges.ner, None);
+    let full = ie_confusion(
+        &ctx.world.pdb,
+        &ctx.world.text_labels,
+        &ctx.borges.ner,
+        None,
+    );
     let mut out = confusion_table(
         "Table 4: LLM-based Information Extraction accuracy (320-record audit sample)",
         &sample,
@@ -213,10 +220,12 @@ pub fn table6(ctx: &ExperimentContext) -> (Vec<(String, f64)>, String) {
         ("AS2Org (baseline)".to_string(), theta_as2org),
         ("as2org+ (automated)".to_string(), theta_plus),
     ];
-    for features in FeatureSet::all_combinations().into_iter().skip(1) {
-        let mapping = ctx.borges.mapping(features);
-        let theta = organization_factor(&mapping, n);
-        let label = if features == FeatureSet::ALL {
+    let combinations: Vec<FeatureSet> =
+        FeatureSet::all_combinations().into_iter().skip(1).collect();
+    let mappings = ctx.borges.mappings_parallel(&combinations, ctx.threads);
+    for (features, mapping) in combinations.iter().zip(&mappings) {
+        let theta = organization_factor(mapping, n);
+        let label = if *features == FeatureSet::ALL {
             "Borges (all features)".to_string()
         } else {
             features.label()
@@ -335,16 +344,18 @@ pub fn table8(ctx: &ExperimentContext) -> String {
             fmt_u64(change.marginal_growth()),
         ]);
     }
-    format!("Table 8: top 20 marginal AS population growths\n\n{}", t.render())
+    format!(
+        "Table 8: top 20 marginal AS population growths\n\n{}",
+        t.render()
+    )
 }
 
 /// Figure 8 — cumulative marginal network growth by AS-Rank, with linear
 /// fits over the top-100/1,000/10,000 windows.
 pub fn figure8(ctx: &ExperimentContext) -> String {
     let growth = transit_growth(&ctx.as2org, &ctx.full, &ctx.world.asrank);
-    let mut out = String::from(
-        "Figure 8: marginal network growth of organizations sorted by AS-Rank\n\n",
-    );
+    let mut out =
+        String::from("Figure 8: marginal network growth of organizations sorted by AS-Rank\n\n");
     let mut fits = Table::new(["window", "slope", "avg ASNs gained/org"]);
     for fit in &growth.fits {
         fits.row([
@@ -435,13 +446,40 @@ pub fn feature_complementarity(ctx: &ExperimentContext) -> String {
         fmt_u64(full_pairs),
         "-".to_string(),
     ]);
-    for (label, features) in [
-        ("OID_P", FeatureSet { oid_p: false, ..FeatureSet::ALL }),
-        ("N&A", FeatureSet { na: false, ..FeatureSet::ALL }),
-        ("R&R", FeatureSet { rr: false, ..FeatureSet::ALL }),
-        ("Favicons", FeatureSet { favicons: false, ..FeatureSet::ALL }),
-    ] {
-        let without = pairs(&ctx.borges.mapping(features));
+    let ablations = [
+        (
+            "OID_P",
+            FeatureSet {
+                oid_p: false,
+                ..FeatureSet::ALL
+            },
+        ),
+        (
+            "N&A",
+            FeatureSet {
+                na: false,
+                ..FeatureSet::ALL
+            },
+        ),
+        (
+            "R&R",
+            FeatureSet {
+                rr: false,
+                ..FeatureSet::ALL
+            },
+        ),
+        (
+            "Favicons",
+            FeatureSet {
+                favicons: false,
+                ..FeatureSet::ALL
+            },
+        ),
+    ];
+    let feature_sets: Vec<FeatureSet> = ablations.iter().map(|(_, f)| *f).collect();
+    let mappings = ctx.borges.mappings_parallel(&feature_sets, ctx.threads);
+    for ((label, _), mapping) in ablations.iter().zip(&mappings) {
+        let without = pairs(mapping);
         t.row([
             label.to_string(),
             fmt_u64(without),
@@ -532,7 +570,10 @@ pub fn ablation_blocklists(ctx: &ExperimentContext) -> String {
     let with = build(true);
     let without = build(false);
     let mut t = Table::new(["configuration", "orgs", "θ", "merge precision"]);
-    for (label, m) in [("blocklists ON (paper)", &with), ("blocklists OFF", &without)] {
+    for (label, m) in [
+        ("blocklists ON (paper)", &with),
+        ("blocklists OFF", &without),
+    ] {
         t.row([
             label.to_string(),
             fmt_u64(m.org_count() as u64),
@@ -614,7 +655,10 @@ mod tests {
         let plus = theta("as2org+");
         let borges = theta("Borges");
         assert!(plus > base, "as2org+ must beat AS2Org ({plus} vs {base})");
-        assert!(borges > plus, "Borges must beat as2org+ ({borges} vs {plus})");
+        assert!(
+            borges > plus,
+            "Borges must beat as2org+ ({borges} vs {plus})"
+        );
     }
 
     #[test]
@@ -640,7 +684,10 @@ mod tests {
         let as2org_size: usize = cols[cols.len() - 3].replace(',', "").parse().unwrap();
         let borges_size: usize = cols[cols.len() - 1].replace(',', "").parse().unwrap();
         assert!(borges_size > as2org_size, "{edgecast_line}");
-        assert!(borges_size >= 10, "Edgio family is 11 ASNs: {edgecast_line}");
+        assert!(
+            borges_size >= 10,
+            "Edgio family is 11 ASNs: {edgecast_line}"
+        );
     }
 
     #[test]

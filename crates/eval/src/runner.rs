@@ -28,6 +28,10 @@ pub struct ExperimentContext {
     pub as2orgplus: AsOrgMapping,
     /// Full Borges mapping (all features).
     pub full: AsOrgMapping,
+    /// Worker threads for batched mapping materialization
+    /// ([`Borges::mappings_parallel`]); defaults to the machine's
+    /// available parallelism.
+    pub threads: usize,
 }
 
 impl ExperimentContext {
@@ -51,6 +55,7 @@ impl ExperimentContext {
             as2org,
             as2orgplus,
             full,
+            threads: borges_parallel::default_threads(),
         }
     }
 

@@ -97,8 +97,12 @@ mod tests {
     #[test]
     fn decisions_are_deterministic() {
         let p = FaultProfile::gpt4o_mini(42);
-        let a: Vec<bool> = (1..500).map(|i| p.drops(Asn::new(7), Asn::new(i))).collect();
-        let b: Vec<bool> = (1..500).map(|i| p.drops(Asn::new(7), Asn::new(i))).collect();
+        let a: Vec<bool> = (1..500)
+            .map(|i| p.drops(Asn::new(7), Asn::new(i)))
+            .collect();
+        let b: Vec<bool> = (1..500)
+            .map(|i| p.drops(Asn::new(7), Asn::new(i)))
+            .collect();
         assert_eq!(a, b);
     }
 
@@ -125,8 +129,12 @@ mod tests {
             seed: 1,
         };
         let p2 = FaultProfile { seed: 2, ..p1 };
-        let a: Vec<bool> = (1..200).map(|i| p1.drops(Asn::new(3), Asn::new(i))).collect();
-        let b: Vec<bool> = (1..200).map(|i| p2.drops(Asn::new(3), Asn::new(i))).collect();
+        let a: Vec<bool> = (1..200)
+            .map(|i| p1.drops(Asn::new(3), Asn::new(i)))
+            .collect();
+        let b: Vec<bool> = (1..200)
+            .map(|i| p2.drops(Asn::new(3), Asn::new(i)))
+            .collect();
         assert_ne!(a, b);
     }
 
@@ -148,7 +156,9 @@ mod tests {
             spurious_rate: 0.5,
             seed: 9,
         };
-        let drops: Vec<bool> = (1..300).map(|i| p.drops(Asn::new(5), Asn::new(i))).collect();
+        let drops: Vec<bool> = (1..300)
+            .map(|i| p.drops(Asn::new(5), Asn::new(i)))
+            .collect();
         let fabs: Vec<bool> = (1..300).map(|i| p.fabricates(Asn::new(5), i)).collect();
         assert_ne!(drops, fabs);
     }

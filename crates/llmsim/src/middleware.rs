@@ -43,10 +43,7 @@ impl<M: ChatModel> CachingModel<M> {
     }
 
     fn key(request: &ChatRequest) -> String {
-        let image = request
-            .image()
-            .map(|f| f.to_string())
-            .unwrap_or_default();
+        let image = request.image().map(|f| f.to_string()).unwrap_or_default();
         format!(
             "{}\u{0}{}\u{0}{}\u{0}{}",
             request.full_text(),

@@ -53,77 +53,221 @@ pub struct Extraction {
 /// lower-cased text. Multilingual: en/es/pt/de/fr/it/id.
 const SIBLING_CUES: &[&str] = &[
     // English
-    "sibling", "siblings", "same organization", "same organisation", "same company",
-    "same group", "part of", "belongs to", "belong to", "owned by", "owns", "subsidiary",
-    "subsidiaries", "sister company", "sister companies", "sister network", "sister networks", "parent company", "merged with",
-    "merged into", "acquired", "acquisition", "formerly", "formerly known as", "also operate",
-    "also operates", "also operating", "our other", "other asns of", "division of", "branch of",
-    "group of companies", "holding", "rebranded", "now known as", "doing business as",
+    "sibling",
+    "siblings",
+    "same organization",
+    "same organisation",
+    "same company",
+    "same group",
+    "part of",
+    "belongs to",
+    "belong to",
+    "owned by",
+    "owns",
+    "subsidiary",
+    "subsidiaries",
+    "sister company",
+    "sister companies",
+    "sister network",
+    "sister networks",
+    "parent company",
+    "merged with",
+    "merged into",
+    "acquired",
+    "acquisition",
+    "formerly",
+    "formerly known as",
+    "also operate",
+    "also operates",
+    "also operating",
+    "our other",
+    "other asns of",
+    "division of",
+    "branch of",
+    "group of companies",
+    "holding",
+    "rebranded",
+    "now known as",
+    "doing business as",
     // Spanish
-    "filial", "filiales", "subsidiaria", "subsidiarias", "parte de", "pertenece a",
-    "misma organización", "mismo grupo", "también operamos", "empresa hermana",
+    "filial",
+    "filiales",
+    "subsidiaria",
+    "subsidiarias",
+    "parte de",
+    "pertenece a",
+    "misma organización",
+    "mismo grupo",
+    "también operamos",
+    "empresa hermana",
     // Portuguese
-    "subsidiária", "subsidiárias", "pertence a", "faz parte de", "mesmo grupo",
-    "empresa irmã", "também operamos",
+    "subsidiária",
+    "subsidiárias",
+    "pertence a",
+    "faz parte de",
+    "mesmo grupo",
+    "empresa irmã",
+    "também operamos",
     // German
-    "tochtergesellschaft", "tochtergesellschaften", "gehört zu", "teil der", "teil von",
-    "schwestergesellschaft", "konzern",
+    "tochtergesellschaft",
+    "tochtergesellschaften",
+    "gehört zu",
+    "teil der",
+    "teil von",
+    "schwestergesellschaft",
+    "konzern",
     // French
-    "filiale", "filiales", "fait partie de", "appartient à", "même groupe",
+    "filiale",
+    "filiales",
+    "fait partie de",
+    "appartient à",
+    "même groupe",
     // Italian
-    "controllata", "fa parte di", "stesso gruppo",
+    "controllata",
+    "fa parte di",
+    "stesso gruppo",
     // Indonesian
-    "anak perusahaan", "bagian dari", "grup yang sama",
+    "anak perusahaan",
+    "bagian dari",
+    "grup yang sama",
 ];
 
 /// Cues indicating connectivity or other non-sibling relations.
 const CONNECTIVITY_CUES: &[&str] = &[
     // English
-    "upstream", "upstreams", "transit", "provider", "providers", "peering with",
-    "peers with", "peer with", "we peer", "peering policy", "exchange", "exchanges",
-    "ix", "ixp", "route server", "route servers", "community", "communities", "as-in",
-    "as-out", "customer of", "customers of", "we connect", "connected to", "connect with",
-    "connectivity", "directly with", "blackhole", "prepend", "looking glass", "downstream",
-    "downstreams", "session", "sessions", "bgp community",
+    "upstream",
+    "upstreams",
+    "transit",
+    "provider",
+    "providers",
+    "peering with",
+    "peers with",
+    "peer with",
+    "we peer",
+    "peering policy",
+    "exchange",
+    "exchanges",
+    "ix",
+    "ixp",
+    "route server",
+    "route servers",
+    "community",
+    "communities",
+    "as-in",
+    "as-out",
+    "customer of",
+    "customers of",
+    "we connect",
+    "connected to",
+    "connect with",
+    "connectivity",
+    "directly with",
+    "blackhole",
+    "prepend",
+    "looking glass",
+    "downstream",
+    "downstreams",
+    "session",
+    "sessions",
+    "bgp community",
     // Spanish
-    "proveedor", "proveedores", "tránsito", "transito", "conectamos", "conectados a",
+    "proveedor",
+    "proveedores",
+    "tránsito",
+    "transito",
+    "conectamos",
+    "conectados a",
     "intercambio de tráfico",
     // Portuguese
-    "fornecedor", "fornecedores", "trânsito", "conectamos", "conectados a",
+    "fornecedor",
+    "fornecedores",
+    "trânsito",
+    "conectamos",
+    "conectados a",
     // German
-    "anbieter", "zusammenschaltung",
+    "anbieter",
+    "zusammenschaltung",
     // French
-    "fournisseur", "fournisseurs", "transitaire",
+    "fournisseur",
+    "fournisseurs",
+    "transitaire",
 ];
 
 /// Cues marking a number as a year.
 const YEAR_CUES: &[&str] = &[
-    "since", "founded", "established", "est.", "desde", "seit", "depuis", "dal", "sejak",
-    "operating since", "in business since",
+    "since",
+    "founded",
+    "established",
+    "est.",
+    "desde",
+    "seit",
+    "depuis",
+    "dal",
+    "sejak",
+    "operating since",
+    "in business since",
 ];
 
 /// Cues marking a number as part of a phone/fax contact.
 const PHONE_CUES: &[&str] = &[
-    "phone", "tel", "tel.", "telephone", "fax", "call us", "whatsapp", "noc:", "contact",
-    "teléfono", "telefone", "telefon", "téléphone",
+    "phone",
+    "tel",
+    "tel.",
+    "telephone",
+    "fax",
+    "call us",
+    "whatsapp",
+    "noc:",
+    "contact",
+    "teléfono",
+    "telefone",
+    "telefon",
+    "téléphone",
 ];
 
 /// Cues marking a number as part of a street address.
 const ADDRESS_CUES: &[&str] = &[
-    "suite", "floor", "ave", "avenue", "street", "st.", "road", "rd.", "zip", "p.o. box",
-    "po box", "postal", "caixa postal", "piso", "oficina", "carrera", "calle", "rua", "km",
+    "suite",
+    "floor",
+    "ave",
+    "avenue",
+    "street",
+    "st.",
+    "road",
+    "rd.",
+    "zip",
+    "p.o. box",
+    "po box",
+    "postal",
+    "caixa postal",
+    "piso",
+    "oficina",
+    "carrera",
+    "calle",
+    "rua",
+    "km",
 ];
 
 /// Cues marking a number as a prefix limit / routing parameter.
 const LIMIT_CUES: &[&str] = &[
-    "prefix", "prefixes", "prefijos", "prefixos", "max-prefix", "maximum", "limit", "mtu",
-    "asn32", "med", "localpref", "local-pref",
+    "prefix",
+    "prefixes",
+    "prefijos",
+    "prefixos",
+    "max-prefix",
+    "maximum",
+    "limit",
+    "mtu",
+    "asn32",
+    "med",
+    "localpref",
+    "local-pref",
 ];
 
 /// Unit suffixes that disqualify a digit run (`10G`, `100ms`, `95th`…).
 const UNIT_SUFFIXES: &[&str] = &[
-    "g", "gb", "gbps", "gbit", "m", "mb", "mbps", "mbit", "t", "tb", "tbps", "ms", "th",
-    "k", "kb", "kbps", "x", "u", "gbe",
+    "g", "gb", "gbps", "gbit", "m", "mb", "mbps", "mbit", "t", "tb", "tbps", "ms", "th", "k", "kb",
+    "kbps", "x", "u", "gbe",
 ];
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -276,7 +420,9 @@ fn split_sentences(lower: &str) -> Vec<&str> {
 
 fn classify_segment(lower: &str) -> Polarity {
     let sibling = SIBLING_CUES.iter().any(|cue| contains_phrase(lower, cue));
-    let connectivity = CONNECTIVITY_CUES.iter().any(|cue| contains_phrase(lower, cue));
+    let connectivity = CONNECTIVITY_CUES
+        .iter()
+        .any(|cue| contains_phrase(lower, cue));
     match (sibling, connectivity) {
         // Connectivity cues dominate: "our subsidiary peers with AS174" is
         // about peering. This mirrors the prompt's explicit restrictions.
@@ -352,12 +498,10 @@ fn is_decoy(lower: &str, c: &Candidate) -> bool {
     let bytes = lower.as_bytes();
 
     // Adjacent '.' + digit on either side ⇒ IP address or decimal.
-    let dotted_before = c.start >= 2
-        && bytes[c.start - 1] == b'.'
-        && bytes[c.start - 2].is_ascii_digit();
-    let dotted_after = c.end + 1 < bytes.len()
-        && bytes[c.end] == b'.'
-        && bytes[c.end + 1].is_ascii_digit();
+    let dotted_before =
+        c.start >= 2 && bytes[c.start - 1] == b'.' && bytes[c.start - 2].is_ascii_digit();
+    let dotted_after =
+        c.end + 1 < bytes.len() && bytes[c.end] == b'.' && bytes[c.end + 1].is_ascii_digit();
     if dotted_before || dotted_after {
         return true;
     }
@@ -395,8 +539,7 @@ fn is_decoy(lower: &str, c: &Candidate) -> bool {
     }
 
     // Years.
-    if (1900..=2035).contains(&c.value) && YEAR_CUES.iter().any(|cue| contains_phrase(lower, cue))
-    {
+    if (1900..=2035).contains(&c.value) && YEAR_CUES.iter().any(|cue| contains_phrase(lower, cue)) {
         return true;
     }
     // Contact/address/limit contexts poison bare numbers in the segment.
@@ -415,8 +558,7 @@ fn contains_phrase(lower: &str, phrase: &str) -> bool {
     while let Some(pos) = lower[from..].find(phrase) {
         let start = from + pos;
         let end = start + phrase.len();
-        let ok_before = start == 0
-            || !lower.as_bytes()[start - 1].is_ascii_alphanumeric();
+        let ok_before = start == 0 || !lower.as_bytes()[start - 1].is_ascii_alphanumeric();
         let ok_after = end >= lower.len() || {
             let b = lower.as_bytes()[end];
             !b.is_ascii_alphanumeric()

@@ -236,7 +236,10 @@ mod tests {
     fn ie_reply_empty_and_garbage() {
         assert!(parse_ie_reply("[]").is_empty());
         assert!(parse_ie_reply("no JSON here").is_empty());
-        assert!(parse_ie_reply("[1, 2, 3]").is_empty(), "wrong element shape");
+        assert!(
+            parse_ie_reply("[1, 2, 3]").is_empty(),
+            "wrong element shape"
+        );
     }
 
     #[test]
@@ -267,8 +270,14 @@ mod tests {
             parse_classifier_reply("\"WordPress\"."),
             ClassifierReply::Name("WordPress".into())
         );
-        assert_eq!(parse_classifier_reply("I don't know"), ClassifierReply::DontKnow);
-        assert_eq!(parse_classifier_reply("I DON'T KNOW."), ClassifierReply::DontKnow);
+        assert_eq!(
+            parse_classifier_reply("I don't know"),
+            ClassifierReply::DontKnow
+        );
+        assert_eq!(
+            parse_classifier_reply("I DON'T KNOW."),
+            ClassifierReply::DontKnow
+        );
         assert_eq!(parse_classifier_reply("  "), ClassifierReply::DontKnow);
     }
 }

@@ -176,7 +176,10 @@ mod tests {
     #[test]
     fn unknown_prompt_declines() {
         let llm = SimLlm::flawless();
-        assert_eq!(llm.complete(&ChatRequest::user("hello")).text, "I don't know");
+        assert_eq!(
+            llm.complete(&ChatRequest::user("hello")).text,
+            "I don't know"
+        );
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! # borges-parallel
+//!
+//! Chunked scoped-thread fan-out, shared by every embarrassingly
+//! parallel stage of the workspace: the web crawl, the LLM extraction
+//! loop, and mapping materialization across feature combinations.
+//!
+//! All three stages have the same shape — a slice of independent work
+//! items, a pure per-item (or per-chunk) function, and key-canonical
+//! downstream assembly that makes the result independent of execution
+//! order. The helpers here encode exactly that shape with
+//! `std::thread::scope`, replacing the hand-rolled copies that used to
+//! live in each crate:
+//!
+//! * results come back **in input order** (handles are joined in spawn
+//!   order), so callers need no re-sorting;
+//! * items are split into at most `threads` contiguous chunks of
+//!   near-equal size (`ceil(len / threads)`), one worker thread per
+//!   chunk — cheap for coarse items, and deterministic;
+//! * a panicking worker propagates the panic to the caller instead of
+//!   poisoning a channel or deadlocking a join.
+//!
+//! The crate is dependency-free so any layer — including the web
+//! simulator, which sits *below* the core pipeline — can use it.
+
+#![deny(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+/// The worker-thread count to use when the caller has no opinion: the
+/// machine's available parallelism, or 1 when it cannot be determined
+/// (the fan-out helpers degrade to sequential execution at 1).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to at most `threads` contiguous chunks of `items`, one
+/// scoped worker thread per chunk, returning the per-chunk results in
+/// input (chunk) order.
+///
+/// This is the primitive for stages that fold each chunk into a partial
+/// aggregate (e.g. per-chunk extraction statistics) and merge the
+/// partials afterwards. `threads` is clamped to at least 1; an empty
+/// `items` yields an empty result without spawning.
+pub fn map_chunks<'a, T, R, F>(items: &'a [T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a [T]) -> R + Sync,
+{
+    let threads = threads.max(1);
+    let chunk_size = items.len().div_ceil(threads).max(1);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_size)
+            .map(|chunk| scope.spawn(|| f(chunk)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|handle| match handle.join() {
+                Ok(result) => result,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    })
+}
+
+/// Applies `f` to every item of `items` across at most `threads` scoped
+/// worker threads, returning the per-item results in input order.
+///
+/// This is the primitive for stages whose unit of work is one item
+/// (one URL to fetch, one feature combination to materialize).
+pub fn map_items<'a, T, R, F>(items: &'a [T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    map_chunks(items, threads, |chunk| {
+        chunk.iter().map(&f).collect::<Vec<R>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_preserve_input_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        for threads in [1, 2, 3, 7, 64] {
+            let doubled = map_items(&items, threads, |x| x * 2);
+            assert_eq!(doubled.len(), items.len());
+            assert!(doubled.iter().enumerate().all(|(i, &v)| v == 2 * i as u64));
+        }
+    }
+
+    #[test]
+    fn chunk_results_concatenate_to_the_whole() {
+        let items: Vec<usize> = (0..103).collect();
+        let sums = map_chunks(&items, 4, |chunk| chunk.iter().sum::<usize>());
+        assert_eq!(sums.len(), 4, "103 items over 4 threads → 4 chunks");
+        assert_eq!(sums.iter().sum::<usize>(), items.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn empty_input_spawns_nothing() {
+        let spawned = AtomicUsize::new(0);
+        let out: Vec<u32> = map_chunks(&[] as &[u32], 8, |_chunk| {
+            spawned.fetch_add(1, Ordering::Relaxed);
+            0
+        });
+        assert!(out.is_empty());
+        assert_eq!(spawned.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        let items = [1, 2, 3];
+        assert_eq!(map_items(&items, 0, |x| x + 1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn more_threads_than_items_is_fine() {
+        let items = [5u32, 6];
+        assert_eq!(map_items(&items, 32, |x| *x), vec![5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker boom")]
+    fn worker_panics_propagate() {
+        let items = [1u32, 2, 3, 4];
+        map_items(&items, 2, |x| {
+            if *x == 3 {
+                panic!("worker boom");
+            }
+            *x
+        });
+    }
+
+    #[test]
+    fn borrowed_results_keep_input_lifetime() {
+        // The 'a on map_items lets workers return references into items.
+        let items: Vec<String> = (0..10).map(|i| i.to_string()).collect();
+        let refs: Vec<&str> = map_items(&items, 3, |s| s.as_str());
+        assert_eq!(refs[7], "7");
+    }
+}

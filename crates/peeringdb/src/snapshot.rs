@@ -294,7 +294,10 @@ mod tests {
             .net(net(100, 99, 3356))
             .build()
             .unwrap_err();
-        assert!(matches!(err, SnapshotError::DanglingOrgRef { net: 100, .. }));
+        assert!(matches!(
+            err,
+            SnapshotError::DanglingOrgRef { net: 100, .. }
+        ));
     }
 
     #[test]

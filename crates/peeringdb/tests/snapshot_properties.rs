@@ -7,8 +7,8 @@ use proptest::prelude::*;
 
 fn snapshot_strategy() -> impl Strategy<Value = PdbSnapshot> {
     // The map key is the org id, guaranteeing uniqueness.
-    let orgs = prop::collection::btree_map(1u64..50, "[A-Za-z0-9 .&()-]{1,30}", 1..12)
-        .prop_map(|m| {
+    let orgs =
+        prop::collection::btree_map(1u64..50, "[A-Za-z0-9 .&()-]{1,30}", 1..12).prop_map(|m| {
             m.into_iter()
                 .map(|(id, name)| PdbOrganization {
                     id: PdbOrgId::new(id),

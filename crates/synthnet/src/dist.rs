@@ -96,11 +96,15 @@ mod tests {
     fn deterministic_under_same_seed() {
         let a: Vec<usize> = {
             let mut rng = StdRng::seed_from_u64(9);
-            (0..50).map(|_| weighted_idx(&mut rng, &[1.0, 1.0, 1.0])).collect()
+            (0..50)
+                .map(|_| weighted_idx(&mut rng, &[1.0, 1.0, 1.0]))
+                .collect()
         };
         let b: Vec<usize> = {
             let mut rng = StdRng::seed_from_u64(9);
-            (0..50).map(|_| weighted_idx(&mut rng, &[1.0, 1.0, 1.0])).collect()
+            (0..50)
+                .map(|_| weighted_idx(&mut rng, &[1.0, 1.0, 1.0]))
+                .collect()
         };
         assert_eq!(a, b);
     }

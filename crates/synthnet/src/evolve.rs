@@ -11,9 +11,7 @@
 //! Two snapshots of the same world can then be mapped independently and
 //! compared with `borges_core::diff`-style tooling downstream.
 
-use crate::generate::{
-    collect_populations, compute_asrank, emit_pdb, emit_web, emit_whois,
-};
+use crate::generate::{collect_populations, compute_asrank, emit_pdb, emit_web, emit_whois};
 use crate::naming::COUNTRIES;
 use crate::orgmodel::{GroundTruth, OrgKind, TruthOrg, TruthOrgId, WebPlan};
 use crate::SyntheticInternet;
@@ -194,10 +192,7 @@ pub fn apply_events(
                     unit.whois_own_org = true;
                     unit.pdb_own_org = true;
                     unit.web = WebPlan::Own {
-                        host: format!(
-                            "www.{}.{}",
-                            new_brand, COUNTRIES[unit.country].cctld
-                        ),
+                        host: format!("www.{}.{}", new_brand, COUNTRIES[unit.country].cctld),
                         canonical_path: None,
                         favicon: crate::orgmodel::FaviconKind::Brand(new_brand.clone()),
                     };
@@ -408,9 +403,7 @@ mod tests {
             )
             .unwrap();
         assert!(after.truth.are_siblings(Asn::new(174), Asn::new(3320)));
-        let org = after
-            .truth
-            .org(after.truth.org_of(Asn::new(3320)).unwrap());
+        let org = after.truth.org(after.truth.org_of(Asn::new(3320)).unwrap());
         assert_eq!(org.brand, "magentanet");
     }
 }

@@ -23,8 +23,8 @@ use crate::orgmodel::{
 use crate::scripted;
 use crate::textgen::{self, SiblingMention};
 use borges_peeringdb::{PdbNetwork, PdbOrganization, PdbSnapshot};
-use borges_types::{Asn, CountryCode, PdbOrgId, WhoisOrgId};
 use borges_topology::AsGraph;
+use borges_types::{Asn, CountryCode, PdbOrgId, WhoisOrgId};
 use borges_websim::{RedirectKind, SimWeb};
 use borges_whois::{AutNum, Rir, WhoisOrg, WhoisRegistry};
 use rand::rngs::StdRng;
@@ -206,8 +206,7 @@ fn gen_gov_mega(
 /// targets are diverse).
 fn decoy_asns(rng: &mut StdRng) -> Vec<Asn> {
     const TRANSIT_POOL: &[u32] = &[
-        174, 701, 1299, 2914, 3257, 3356, 3491, 5511, 6453, 6461, 6762, 6939, 7018, 9002,
-        12956,
+        174, 701, 1299, 2914, 3257, 3356, 3491, 5511, 6453, 6461, 6762, 6939, 7018, 9002, 12956,
     ];
     let n = rng.random_range(1..=3);
     (0..n)
@@ -644,7 +643,7 @@ fn gen_singletons(
                             "ixc soft"
                         } else {
                             ["bootstrap", "wordpress", "godaddy", "wix"]
-                                [rng.random_range(0..4)]
+                                [rng.random_range(0..4usize)]
                         };
                         (
                             format!("www.{brand}.{}", COUNTRIES[country].cctld),
@@ -743,8 +742,9 @@ pub(crate) fn emit_whois(truth: &GroundTruth, rng: &mut StdRng) -> WhoisRegistry
         for unit in &org.units {
             let cinfo = &COUNTRIES[unit.country];
             let rir = rir_of(cinfo);
-            let changed = 20_050_101 / 10_000 * 10_000 + rng.random_range(0..20) * 10_000
-                + rng.random_range(101..1231);
+            let changed = 20_050_101u32 / 10_000 * 10_000
+                + rng.random_range(0..20u32) * 10_000
+                + rng.random_range(101..1231u32);
             let handle = if unit.whois_own_org {
                 let h = WhoisOrgId::new(naming::whois_handle(
                     &format!("{}{}", org.brand, cinfo.token),
@@ -795,7 +795,10 @@ pub(crate) fn emit_whois(truth: &GroundTruth, rng: &mut StdRng) -> WhoisRegistry
         .expect("generator emits a consistent WHOIS view")
 }
 
-pub(crate) fn emit_pdb(truth: &GroundTruth, rng: &mut StdRng) -> (PdbSnapshot, BTreeMap<Asn, Vec<Asn>>) {
+pub(crate) fn emit_pdb(
+    truth: &GroundTruth,
+    rng: &mut StdRng,
+) -> (PdbSnapshot, BTreeMap<Asn, Vec<Asn>>) {
     let mut orgs: Vec<PdbOrganization> = Vec::new();
     let mut nets: Vec<PdbNetwork> = Vec::new();
     let mut labels: BTreeMap<Asn, Vec<Asn>> = BTreeMap::new();
@@ -808,8 +811,7 @@ pub(crate) fn emit_pdb(truth: &GroundTruth, rng: &mut StdRng) -> (PdbSnapshot, B
             continue;
         }
         // One consolidated org for the `pdb_own_org == false` members.
-        let consolidated: Vec<&&TruthUnit> =
-            registered.iter().filter(|u| !u.pdb_own_org).collect();
+        let consolidated: Vec<&&TruthUnit> = registered.iter().filter(|u| !u.pdb_own_org).collect();
         let consolidated_org = if consolidated.is_empty() {
             None
         } else {
@@ -1137,10 +1139,7 @@ mod tests {
         let limelight = client.fetch(&"http://www.limelight.com".parse().unwrap());
         let edgecast = client.fetch(&"http://www.edgecast.com".parse().unwrap());
         assert_eq!(limelight.final_url, edgecast.final_url);
-        assert_eq!(
-            limelight.final_url.unwrap().host().as_str(),
-            "www.edg.io"
-        );
+        assert_eq!(limelight.final_url.unwrap().host().as_str(), "www.edg.io");
     }
 
     #[test]
@@ -1197,7 +1196,10 @@ mod tests {
         let expected = world.config.approx_asn_count();
         let actual = world.truth.asn_count();
         let ratio = actual as f64 / expected as f64;
-        assert!((0.6..1.4).contains(&ratio), "{actual} vs expected {expected}");
+        assert!(
+            (0.6..1.4).contains(&ratio),
+            "{actual} vs expected {expected}"
+        );
     }
 
     #[test]

@@ -25,8 +25,8 @@ use crate::config::GeneratorConfig;
 use crate::generate::PopulationRecord;
 use crate::SyntheticInternet;
 use borges_peeringdb::PdbSnapshot;
-use borges_types::{Asn, CountryCode};
 use borges_topology::{serial1, AsGraph};
+use borges_types::{Asn, CountryCode};
 use borges_websim::{snapshot as websnap, SimWeb};
 use borges_whois::{as2org_format, WhoisRegistry};
 use std::collections::BTreeMap;
@@ -298,7 +298,8 @@ mod tests {
     use crate::GeneratorConfig;
 
     fn tmpdir(name: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!("borges-io-test-{name}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("borges-io-test-{name}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }

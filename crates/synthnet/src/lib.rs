@@ -58,6 +58,6 @@ pub use config::GeneratorConfig;
 pub use evolve::{EvolutionEvent, EvolveError};
 pub use generate::{PopulationRecord, SyntheticInternet};
 pub use orgmodel::{
-    level3_timeline, FaviconKind, GroundTruth, MnaEvent, MnaEventKind, OrgKind, TextPlan,
-    TruthOrg, TruthOrgId, TruthUnit, WebPlan,
+    level3_timeline, FaviconKind, GroundTruth, MnaEvent, MnaEventKind, OrgKind, TextPlan, TruthOrg,
+    TruthOrgId, TruthUnit, WebPlan,
 };

@@ -44,68 +44,378 @@ pub struct CountryInfo {
 /// The markets of the synthetic world. Ordered; generators index into this
 /// table deterministically.
 pub const COUNTRIES: &[CountryInfo] = &[
-    CountryInfo { code: "US", cctld: "com", token: "usa", language: Language::En },
-    CountryInfo { code: "DE", cctld: "de", token: "deutschland", language: Language::De },
-    CountryInfo { code: "GB", cctld: "co.uk", token: "uk", language: Language::En },
-    CountryInfo { code: "FR", cctld: "fr", token: "france", language: Language::Fr },
-    CountryInfo { code: "ES", cctld: "es", token: "espana", language: Language::Es },
-    CountryInfo { code: "IT", cctld: "it", token: "italia", language: Language::It },
-    CountryInfo { code: "PL", cctld: "pl", token: "polska", language: Language::En },
-    CountryInfo { code: "BR", cctld: "com.br", token: "brasil", language: Language::Pt },
-    CountryInfo { code: "AR", cctld: "com.ar", token: "argentina", language: Language::Es },
-    CountryInfo { code: "CL", cctld: "cl", token: "chile", language: Language::Es },
-    CountryInfo { code: "PE", cctld: "com.pe", token: "peru", language: Language::Es },
-    CountryInfo { code: "CO", cctld: "com.co", token: "colombia", language: Language::Es },
-    CountryInfo { code: "MX", cctld: "com.mx", token: "mexico", language: Language::Es },
-    CountryInfo { code: "PR", cctld: "com", token: "pr", language: Language::Es },
-    CountryInfo { code: "DO", cctld: "com.do", token: "rd", language: Language::Es },
-    CountryInfo { code: "JM", cctld: "com", token: "jamaica", language: Language::En },
-    CountryInfo { code: "TT", cctld: "com", token: "tt", language: Language::En },
-    CountryInfo { code: "HT", cctld: "com", token: "haiti", language: Language::Fr },
-    CountryInfo { code: "PA", cctld: "com.pa", token: "panama", language: Language::Es },
-    CountryInfo { code: "CR", cctld: "com", token: "costarica", language: Language::Es },
-    CountryInfo { code: "GT", cctld: "com.gt", token: "guatemala", language: Language::Es },
-    CountryInfo { code: "SV", cctld: "com.sv", token: "elsalvador", language: Language::Es },
-    CountryInfo { code: "HN", cctld: "com.hn", token: "honduras", language: Language::Es },
-    CountryInfo { code: "NI", cctld: "com.ni", token: "nicaragua", language: Language::Es },
-    CountryInfo { code: "BO", cctld: "com.bo", token: "bolivia", language: Language::Es },
-    CountryInfo { code: "PY", cctld: "com.py", token: "paraguay", language: Language::Es },
-    CountryInfo { code: "UY", cctld: "com.uy", token: "uruguay", language: Language::Es },
-    CountryInfo { code: "EC", cctld: "com.ec", token: "ecuador", language: Language::Es },
-    CountryInfo { code: "VE", cctld: "com.ve", token: "venezuela", language: Language::Es },
-    CountryInfo { code: "ID", cctld: "co.id", token: "indonesia", language: Language::Id },
-    CountryInfo { code: "MY", cctld: "com.my", token: "malaysia", language: Language::En },
-    CountryInfo { code: "SG", cctld: "com.sg", token: "sg", language: Language::En },
-    CountryInfo { code: "TH", cctld: "co.th", token: "thai", language: Language::En },
-    CountryInfo { code: "VN", cctld: "com.vn", token: "vietnam", language: Language::En },
-    CountryInfo { code: "PH", cctld: "com.ph", token: "ph", language: Language::En },
-    CountryInfo { code: "IN", cctld: "co.in", token: "india", language: Language::En },
-    CountryInfo { code: "PK", cctld: "com.pk", token: "pk", language: Language::En },
-    CountryInfo { code: "BD", cctld: "com.bd", token: "bd", language: Language::En },
-    CountryInfo { code: "JP", cctld: "co.jp", token: "japan", language: Language::En },
-    CountryInfo { code: "KR", cctld: "co.kr", token: "korea", language: Language::En },
-    CountryInfo { code: "TW", cctld: "com.tw", token: "taiwan", language: Language::En },
-    CountryInfo { code: "HK", cctld: "com.hk", token: "hk", language: Language::En },
-    CountryInfo { code: "AU", cctld: "com.au", token: "au", language: Language::En },
-    CountryInfo { code: "NZ", cctld: "co.nz", token: "nz", language: Language::En },
-    CountryInfo { code: "ZA", cctld: "co.za", token: "za", language: Language::En },
-    CountryInfo { code: "NG", cctld: "com.ng", token: "naija", language: Language::En },
-    CountryInfo { code: "KE", cctld: "co.ke", token: "kenya", language: Language::En },
-    CountryInfo { code: "EG", cctld: "com.eg", token: "misr", language: Language::En },
-    CountryInfo { code: "TR", cctld: "com.tr", token: "turk", language: Language::En },
-    CountryInfo { code: "NL", cctld: "nl", token: "nederland", language: Language::En },
-    CountryInfo { code: "SE", cctld: "se", token: "sverige", language: Language::En },
-    CountryInfo { code: "NO", cctld: "no", token: "norge", language: Language::En },
-    CountryInfo { code: "AT", cctld: "at", token: "austria", language: Language::De },
-    CountryInfo { code: "CH", cctld: "ch", token: "swiss", language: Language::De },
-    CountryInfo { code: "SK", cctld: "sk", token: "slovensko", language: Language::En },
-    CountryInfo { code: "HR", cctld: "hr", token: "hrvatska", language: Language::En },
-    CountryInfo { code: "CZ", cctld: "cz", token: "cesko", language: Language::En },
-    CountryInfo { code: "HU", cctld: "hu", token: "magyar", language: Language::En },
-    CountryInfo { code: "RO", cctld: "ro", token: "romania", language: Language::En },
-    CountryInfo { code: "PT", cctld: "pt", token: "portugal", language: Language::Pt },
-    CountryInfo { code: "GR", cctld: "gr", token: "hellas", language: Language::En },
-    CountryInfo { code: "CA", cctld: "ca", token: "canada", language: Language::En },
+    CountryInfo {
+        code: "US",
+        cctld: "com",
+        token: "usa",
+        language: Language::En,
+    },
+    CountryInfo {
+        code: "DE",
+        cctld: "de",
+        token: "deutschland",
+        language: Language::De,
+    },
+    CountryInfo {
+        code: "GB",
+        cctld: "co.uk",
+        token: "uk",
+        language: Language::En,
+    },
+    CountryInfo {
+        code: "FR",
+        cctld: "fr",
+        token: "france",
+        language: Language::Fr,
+    },
+    CountryInfo {
+        code: "ES",
+        cctld: "es",
+        token: "espana",
+        language: Language::Es,
+    },
+    CountryInfo {
+        code: "IT",
+        cctld: "it",
+        token: "italia",
+        language: Language::It,
+    },
+    CountryInfo {
+        code: "PL",
+        cctld: "pl",
+        token: "polska",
+        language: Language::En,
+    },
+    CountryInfo {
+        code: "BR",
+        cctld: "com.br",
+        token: "brasil",
+        language: Language::Pt,
+    },
+    CountryInfo {
+        code: "AR",
+        cctld: "com.ar",
+        token: "argentina",
+        language: Language::Es,
+    },
+    CountryInfo {
+        code: "CL",
+        cctld: "cl",
+        token: "chile",
+        language: Language::Es,
+    },
+    CountryInfo {
+        code: "PE",
+        cctld: "com.pe",
+        token: "peru",
+        language: Language::Es,
+    },
+    CountryInfo {
+        code: "CO",
+        cctld: "com.co",
+        token: "colombia",
+        language: Language::Es,
+    },
+    CountryInfo {
+        code: "MX",
+        cctld: "com.mx",
+        token: "mexico",
+        language: Language::Es,
+    },
+    CountryInfo {
+        code: "PR",
+        cctld: "com",
+        token: "pr",
+        language: Language::Es,
+    },
+    CountryInfo {
+        code: "DO",
+        cctld: "com.do",
+        token: "rd",
+        language: Language::Es,
+    },
+    CountryInfo {
+        code: "JM",
+        cctld: "com",
+        token: "jamaica",
+        language: Language::En,
+    },
+    CountryInfo {
+        code: "TT",
+        cctld: "com",
+        token: "tt",
+        language: Language::En,
+    },
+    CountryInfo {
+        code: "HT",
+        cctld: "com",
+        token: "haiti",
+        language: Language::Fr,
+    },
+    CountryInfo {
+        code: "PA",
+        cctld: "com.pa",
+        token: "panama",
+        language: Language::Es,
+    },
+    CountryInfo {
+        code: "CR",
+        cctld: "com",
+        token: "costarica",
+        language: Language::Es,
+    },
+    CountryInfo {
+        code: "GT",
+        cctld: "com.gt",
+        token: "guatemala",
+        language: Language::Es,
+    },
+    CountryInfo {
+        code: "SV",
+        cctld: "com.sv",
+        token: "elsalvador",
+        language: Language::Es,
+    },
+    CountryInfo {
+        code: "HN",
+        cctld: "com.hn",
+        token: "honduras",
+        language: Language::Es,
+    },
+    CountryInfo {
+        code: "NI",
+        cctld: "com.ni",
+        token: "nicaragua",
+        language: Language::Es,
+    },
+    CountryInfo {
+        code: "BO",
+        cctld: "com.bo",
+        token: "bolivia",
+        language: Language::Es,
+    },
+    CountryInfo {
+        code: "PY",
+        cctld: "com.py",
+        token: "paraguay",
+        language: Language::Es,
+    },
+    CountryInfo {
+        code: "UY",
+        cctld: "com.uy",
+        token: "uruguay",
+        language: Language::Es,
+    },
+    CountryInfo {
+        code: "EC",
+        cctld: "com.ec",
+        token: "ecuador",
+        language: Language::Es,
+    },
+    CountryInfo {
+        code: "VE",
+        cctld: "com.ve",
+        token: "venezuela",
+        language: Language::Es,
+    },
+    CountryInfo {
+        code: "ID",
+        cctld: "co.id",
+        token: "indonesia",
+        language: Language::Id,
+    },
+    CountryInfo {
+        code: "MY",
+        cctld: "com.my",
+        token: "malaysia",
+        language: Language::En,
+    },
+    CountryInfo {
+        code: "SG",
+        cctld: "com.sg",
+        token: "sg",
+        language: Language::En,
+    },
+    CountryInfo {
+        code: "TH",
+        cctld: "co.th",
+        token: "thai",
+        language: Language::En,
+    },
+    CountryInfo {
+        code: "VN",
+        cctld: "com.vn",
+        token: "vietnam",
+        language: Language::En,
+    },
+    CountryInfo {
+        code: "PH",
+        cctld: "com.ph",
+        token: "ph",
+        language: Language::En,
+    },
+    CountryInfo {
+        code: "IN",
+        cctld: "co.in",
+        token: "india",
+        language: Language::En,
+    },
+    CountryInfo {
+        code: "PK",
+        cctld: "com.pk",
+        token: "pk",
+        language: Language::En,
+    },
+    CountryInfo {
+        code: "BD",
+        cctld: "com.bd",
+        token: "bd",
+        language: Language::En,
+    },
+    CountryInfo {
+        code: "JP",
+        cctld: "co.jp",
+        token: "japan",
+        language: Language::En,
+    },
+    CountryInfo {
+        code: "KR",
+        cctld: "co.kr",
+        token: "korea",
+        language: Language::En,
+    },
+    CountryInfo {
+        code: "TW",
+        cctld: "com.tw",
+        token: "taiwan",
+        language: Language::En,
+    },
+    CountryInfo {
+        code: "HK",
+        cctld: "com.hk",
+        token: "hk",
+        language: Language::En,
+    },
+    CountryInfo {
+        code: "AU",
+        cctld: "com.au",
+        token: "au",
+        language: Language::En,
+    },
+    CountryInfo {
+        code: "NZ",
+        cctld: "co.nz",
+        token: "nz",
+        language: Language::En,
+    },
+    CountryInfo {
+        code: "ZA",
+        cctld: "co.za",
+        token: "za",
+        language: Language::En,
+    },
+    CountryInfo {
+        code: "NG",
+        cctld: "com.ng",
+        token: "naija",
+        language: Language::En,
+    },
+    CountryInfo {
+        code: "KE",
+        cctld: "co.ke",
+        token: "kenya",
+        language: Language::En,
+    },
+    CountryInfo {
+        code: "EG",
+        cctld: "com.eg",
+        token: "misr",
+        language: Language::En,
+    },
+    CountryInfo {
+        code: "TR",
+        cctld: "com.tr",
+        token: "turk",
+        language: Language::En,
+    },
+    CountryInfo {
+        code: "NL",
+        cctld: "nl",
+        token: "nederland",
+        language: Language::En,
+    },
+    CountryInfo {
+        code: "SE",
+        cctld: "se",
+        token: "sverige",
+        language: Language::En,
+    },
+    CountryInfo {
+        code: "NO",
+        cctld: "no",
+        token: "norge",
+        language: Language::En,
+    },
+    CountryInfo {
+        code: "AT",
+        cctld: "at",
+        token: "austria",
+        language: Language::De,
+    },
+    CountryInfo {
+        code: "CH",
+        cctld: "ch",
+        token: "swiss",
+        language: Language::De,
+    },
+    CountryInfo {
+        code: "SK",
+        cctld: "sk",
+        token: "slovensko",
+        language: Language::En,
+    },
+    CountryInfo {
+        code: "HR",
+        cctld: "hr",
+        token: "hrvatska",
+        language: Language::En,
+    },
+    CountryInfo {
+        code: "CZ",
+        cctld: "cz",
+        token: "cesko",
+        language: Language::En,
+    },
+    CountryInfo {
+        code: "HU",
+        cctld: "hu",
+        token: "magyar",
+        language: Language::En,
+    },
+    CountryInfo {
+        code: "RO",
+        cctld: "ro",
+        token: "romania",
+        language: Language::En,
+    },
+    CountryInfo {
+        code: "PT",
+        cctld: "pt",
+        token: "portugal",
+        language: Language::Pt,
+    },
+    CountryInfo {
+        code: "GR",
+        cctld: "gr",
+        token: "hellas",
+        language: Language::En,
+    },
+    CountryInfo {
+        code: "CA",
+        cctld: "ca",
+        token: "canada",
+        language: Language::En,
+    },
 ];
 
 impl CountryInfo {
@@ -116,8 +426,8 @@ impl CountryInfo {
 }
 
 const SYLLABLES: &[&str] = &[
-    "ba", "ce", "di", "fo", "gu", "ha", "ki", "lo", "mu", "na", "pe", "qui", "ro", "sa",
-    "te", "vu", "wa", "xi", "yo", "zu",
+    "ba", "ce", "di", "fo", "gu", "ha", "ki", "lo", "mu", "na", "pe", "qui", "ro", "sa", "te",
+    "vu", "wa", "xi", "yo", "zu",
 ];
 
 const SUFFIXES: &[&str] = &[

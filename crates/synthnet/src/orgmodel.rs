@@ -98,15 +98,13 @@ impl FaviconKind {
     /// The content hash this favicon kind produces on the wire.
     pub fn hash(&self) -> Option<FaviconHash> {
         match self {
-            FaviconKind::Brand(b) => {
-                Some(FaviconHash::of_bytes(format!("brand:{b}").as_bytes()))
-            }
+            FaviconKind::Brand(b) => Some(FaviconHash::of_bytes(format!("brand:{b}").as_bytes())),
             FaviconKind::UnitSpecific(u) => {
                 Some(FaviconHash::of_bytes(format!("unit:{u}").as_bytes()))
             }
-            FaviconKind::Framework(name) => {
-                Some(FaviconHash::of_bytes(format!("framework:{name}").as_bytes()))
-            }
+            FaviconKind::Framework(name) => Some(FaviconHash::of_bytes(
+                format!("framework:{name}").as_bytes(),
+            )),
             FaviconKind::None => None,
         }
     }
@@ -336,8 +334,16 @@ impl fmt::Display for MnaEvent {
             MnaEventKind::Rebrand { from, to } => {
                 write!(f, "{}: {} rebrands as {}", self.year, from, to)
             }
-            MnaEventKind::Spinoff { parent, asset, buyer } => {
-                write!(f, "{}: {} spins off {} to {}", self.year, parent, asset, buyer)
+            MnaEventKind::Spinoff {
+                parent,
+                asset,
+                buyer,
+            } => {
+                write!(
+                    f,
+                    "{}: {} spins off {} to {}",
+                    self.year, parent, asset, buyer
+                )
             }
         }
     }
@@ -475,9 +481,14 @@ mod tests {
     fn level3_timeline_matches_figure_1() {
         let t = level3_timeline();
         assert_eq!(t.len(), 8);
-        assert!(t.windows(2).all(|w| w[0].year <= w[1].year), "chronological");
+        assert!(
+            t.windows(2).all(|w| w[0].year <= w[1].year),
+            "chronological"
+        );
         let text: Vec<String> = t.iter().map(|e| e.to_string()).collect();
-        assert!(text.iter().any(|s| s.contains("Level 3") && s.contains("Global Crossing")));
+        assert!(text
+            .iter()
+            .any(|s| s.contains("Level 3") && s.contains("Global Crossing")));
         assert!(text.iter().any(|s| s.contains("rebrands as Lumen")));
         assert!(text.iter().any(|s| s.contains("Cirion")));
     }

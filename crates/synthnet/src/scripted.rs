@@ -11,9 +11,7 @@
 //! discusses.
 
 use crate::naming::COUNTRIES;
-use crate::orgmodel::{
-    FaviconKind, OrgKind, TextPlan, TruthOrg, TruthOrgId, TruthUnit, WebPlan,
-};
+use crate::orgmodel::{FaviconKind, OrgKind, TextPlan, TruthOrg, TruthOrgId, TruthUnit, WebPlan};
 use borges_types::Asn;
 
 /// Index of a country code in [`COUNTRIES`].
@@ -141,16 +139,24 @@ pub fn scripted_orgs(next_id: &mut usize) -> Vec<TruthOrg> {
         let mut units = vec![limelight, edgecast];
         // Limelight's regional delivery ASNs, consolidated in PDB under
         // the Limelight org (so AS2Org misses them but OID_P finds them).
-        for (i, asn) in [23059u32, 23135, 25804, 26506, 37277, 38622, 45396, 55429, 60261]
-            .into_iter()
-            .enumerate()
+        for (i, asn) in [
+            23059u32, 23135, 25804, 26506, 37277, 38622, 45396, 55429, 60261,
+        ]
+        .into_iter()
+        .enumerate()
         {
             let mut u = unit(asn, "US", &format!("Limelight Delivery {}", i + 1));
             u.whois_own_org = true;
             u.pdb_own_org = false;
             units.push(u);
         }
-        mk("edgio", "Edgio (Limelight + Edgecast)", OrgKind::Hypergiant, "US", units);
+        mk(
+            "edgio",
+            "Edgio (Limelight + Edgecast)",
+            OrgKind::Hypergiant,
+            "US",
+            units,
+        );
     }
 
     // ---- Cogent + the former Sprint backbone (§1, §4.3.2) --------------
@@ -256,12 +262,18 @@ pub fn scripted_orgs(next_id: &mut usize) -> Vec<TruthOrg> {
     {
         let mut br = unit(4230, "BR", "Claro Brasil (Embratel)");
         br.users = 16_912_676;
-        br.web = own_site("www.claro.com.br", FaviconKind::UnitSpecific("claro-br".into()));
+        br.web = own_site(
+            "www.claro.com.br",
+            FaviconKind::UnitSpecific("claro-br".into()),
+        );
         let mut net = unit(28573, "BR", "Claro NET Virtua");
         net.users = 4_004_674;
         net.whois_own_org = true;
         net.pdb_own_org = false;
-        net.web = own_site("www.netcombo.com.br", FaviconKind::UnitSpecific("claro-br".into()));
+        net.web = own_site(
+            "www.netcombo.com.br",
+            FaviconKind::UnitSpecific("claro-br".into()),
+        );
         mk(
             "clarobrasil",
             "Claro Brasil",
@@ -274,14 +286,30 @@ pub fn scripted_orgs(next_id: &mut usize) -> Vec<TruthOrg> {
     // ---- Digicel (Table 1, Table 9's biggest footprint jump) -----------
     {
         let markets: &[(&str, u32, u64)] = &[
-            ("JM", 23520, 812_331), ("TT", 27665, 530_114), ("HT", 27759, 1_911_230),
-            ("PA", 52423, 391_225), ("GT", 52467, 204_118), ("SV", 27773, 150_009),
-            ("HN", 52262, 171_556), ("NI", 14754, 122_007), ("BO", 26611, 98_431),
-            ("PY", 23201, 310_887), ("UY", 28000, 87_334), ("EC", 27668, 71_090),
-            ("VE", 21826, 64_118), ("CO", 10299, 58_003), ("PE", 21575, 51_440),
-            ("CL", 27986, 44_812), ("AR", 22927, 41_366), ("DO", 64_126, 612_450),
-            ("PR", 14638, 122_384), ("MX", 13999, 93_441), ("BR", 53135, 80_221),
-            ("KE", 36926, 401_282), ("NG", 37148, 388_190), ("ZA", 37457, 91_338),
+            ("JM", 23520, 812_331),
+            ("TT", 27665, 530_114),
+            ("HT", 27759, 1_911_230),
+            ("PA", 52423, 391_225),
+            ("GT", 52467, 204_118),
+            ("SV", 27773, 150_009),
+            ("HN", 52262, 171_556),
+            ("NI", 14754, 122_007),
+            ("BO", 26611, 98_431),
+            ("PY", 23201, 310_887),
+            ("UY", 28000, 87_334),
+            ("EC", 27668, 71_090),
+            ("VE", 21826, 64_118),
+            ("CO", 10299, 58_003),
+            ("PE", 21575, 51_440),
+            ("CL", 27986, 44_812),
+            ("AR", 22927, 41_366),
+            ("DO", 64_126, 612_450),
+            ("PR", 14638, 122_384),
+            ("MX", 13999, 93_441),
+            ("BR", 53135, 80_221),
+            ("KE", 36926, 401_282),
+            ("NG", 37148, 388_190),
+            ("ZA", 37457, 91_338),
             ("SG", 45494, 17_665),
         ];
         let units = markets
@@ -303,7 +331,13 @@ pub fn scripted_orgs(next_id: &mut usize) -> Vec<TruthOrg> {
                 u
             })
             .collect();
-        mk("digicel", "Digicel Group", OrgKind::Conglomerate, "JM", units);
+        mk(
+            "digicel",
+            "Digicel Group",
+            OrgKind::Conglomerate,
+            "JM",
+            units,
+        );
     }
 
     // ---- Orange / Open Transit (§2.2, Table 9) --------------------------
@@ -318,7 +352,10 @@ pub fn scripted_orgs(next_id: &mut usize) -> Vec<TruthOrg> {
         pl.users = 4_615_055;
         pl.web = own_site("www.orange.pl", FaviconKind::Brand("orange".into()));
         let mut transit = unit(5511, "FR", "Open Transit International");
-        transit.web = own_site("www.opentransit.net", FaviconKind::UnitSpecific("opentransit".into()));
+        transit.web = own_site(
+            "www.opentransit.net",
+            FaviconKind::UnitSpecific("opentransit".into()),
+        );
         transit.text = TextPlan::SiblingReport {
             style: 1,
             siblings: vec![("Orange S.A.".into(), Asn::new(3215))],
@@ -484,7 +521,10 @@ pub fn scripted_orgs(next_id: &mut usize) -> Vec<TruthOrg> {
         };
         let mut telkomsel = unit(23693, "ID", "Telkomsel");
         telkomsel.users = 18_220_101;
-        telkomsel.web = own_site("www.telkomsel.co.id", FaviconKind::Brand("telkom-id".into()));
+        telkomsel.web = own_site(
+            "www.telkomsel.co.id",
+            FaviconKind::Brand("telkom-id".into()),
+        );
         let mut telin = unit(7714, "ID", "Telin (Telekomunikasi Indonesia International)");
         telin.users = 2_324_182;
         mk(
@@ -532,9 +572,18 @@ pub fn scripted_orgs(next_id: &mut usize) -> Vec<TruthOrg> {
             "Zscaler",
             OrgKind::Conglomerate,
             &[
-                ("US", 22616, 0), ("GB", 394089, 0), ("DE", 394090, 0), ("FR", 394091, 0),
-                ("NL", 394092, 0), ("JP", 394093, 0), ("AU", 394094, 0), ("IN", 394095, 0),
-                ("BR", 394096, 0), ("SG", 394097, 0), ("HK", 394098, 0), ("ZA", 394099, 0),
+                ("US", 22616, 0),
+                ("GB", 394089, 0),
+                ("DE", 394090, 0),
+                ("FR", 394091, 0),
+                ("NL", 394092, 0),
+                ("JP", 394093, 0),
+                ("AU", 394094, 0),
+                ("IN", 394095, 0),
+                ("BR", 394096, 0),
+                ("SG", 394097, 0),
+                ("HK", 394098, 0),
+                ("ZA", 394099, 0),
             ],
             5,
         );
@@ -543,10 +592,17 @@ pub fn scripted_orgs(next_id: &mut usize) -> Vec<TruthOrg> {
             "NTT Global IP Network",
             OrgKind::Transit,
             &[
-                ("JP", 2914, 2_204_118), ("US", 398680, 110_221), ("GB", 398681, 90_332),
-                ("DE", 398682, 81_008), ("SG", 398683, 72_114), ("AU", 398684, 31_337),
-                ("IN", 398685, 120_772), ("BR", 398686, 55_431), ("HK", 398687, 20_118),
-                ("FR", 398688, 44_023), ("NL", 398689, 38_950),
+                ("JP", 2914, 2_204_118),
+                ("US", 398680, 110_221),
+                ("GB", 398681, 90_332),
+                ("DE", 398682, 81_008),
+                ("SG", 398683, 72_114),
+                ("AU", 398684, 31_337),
+                ("IN", 398685, 120_772),
+                ("BR", 398686, 55_431),
+                ("HK", 398687, 20_118),
+                ("FR", 398688, 44_023),
+                ("NL", 398689, 38_950),
             ],
             2,
         );
@@ -555,11 +611,20 @@ pub fn scripted_orgs(next_id: &mut usize) -> Vec<TruthOrg> {
             "Cable & Wireless Communications",
             OrgKind::Conglomerate,
             &[
-                ("PA", 1273, 871_223), ("JM", 398690, 402_115), ("TT", 398691, 318_400),
-                ("BO", 398692, 92_138), ("DO", 398693, 301_254), ("CO", 398694, 150_087),
-                ("PE", 398695, 88_932), ("CL", 398696, 61_740), ("EC", 398697, 72_309),
-                ("GT", 398698, 58_221), ("HN", 398699, 40_812), ("NI", 398700, 31_209),
-                ("SV", 398701, 28_441), ("CR", 398702, 94_310),
+                ("PA", 1273, 871_223),
+                ("JM", 398690, 402_115),
+                ("TT", 398691, 318_400),
+                ("BO", 398692, 92_138),
+                ("DO", 398693, 301_254),
+                ("CO", 398694, 150_087),
+                ("PE", 398695, 88_932),
+                ("CL", 398696, 61_740),
+                ("EC", 398697, 72_309),
+                ("GT", 398698, 58_221),
+                ("HN", 398699, 40_812),
+                ("NI", 398700, 31_209),
+                ("SV", 398701, 28_441),
+                ("CR", 398702, 94_310),
             ],
             7,
         );
@@ -568,10 +633,18 @@ pub fn scripted_orgs(next_id: &mut usize) -> Vec<TruthOrg> {
             "Columbus Networks",
             OrgKind::Transit,
             &[
-                ("TT", 27866, 104_221), ("JM", 398703, 81_337), ("DO", 398704, 72_015),
-                ("CO", 398705, 66_902), ("PA", 398706, 31_224), ("VE", 398707, 28_540),
-                ("HN", 398708, 14_202), ("NI", 398709, 11_871), ("GT", 398710, 9_322),
-                ("SV", 398711, 8_100), ("EC", 398712, 7_204), ("PE", 398713, 6_118),
+                ("TT", 27866, 104_221),
+                ("JM", 398703, 81_337),
+                ("DO", 398704, 72_015),
+                ("CO", 398705, 66_902),
+                ("PA", 398706, 31_224),
+                ("VE", 398707, 28_540),
+                ("HN", 398708, 14_202),
+                ("NI", 398709, 11_871),
+                ("GT", 398710, 9_322),
+                ("SV", 398711, 8_100),
+                ("EC", 398712, 7_204),
+                ("PE", 398713, 6_118),
                 ("CL", 398714, 5_530),
             ],
             5,
@@ -581,9 +654,15 @@ pub fn scripted_orgs(next_id: &mut usize) -> Vec<TruthOrg> {
             "MainOne (Equinix West Africa)",
             OrgKind::Transit,
             &[
-                ("NG", 37282, 304_118), ("KE", 398715, 41_225), ("ZA", 398716, 38_114),
-                ("EG", 398717, 21_037), ("PT", 398718, 11_240), ("FR", 398719, 8_033),
-                ("GB", 398720, 7_441), ("US", 398721, 6_209), ("BR", 398722, 4_118),
+                ("NG", 37282, 304_118),
+                ("KE", 398715, 41_225),
+                ("ZA", 398716, 38_114),
+                ("EG", 398717, 21_037),
+                ("PT", 398718, 11_240),
+                ("FR", 398719, 8_033),
+                ("GB", 398720, 7_441),
+                ("US", 398721, 6_209),
+                ("BR", 398722, 4_118),
             ],
             3,
         );
@@ -592,9 +671,15 @@ pub fn scripted_orgs(next_id: &mut usize) -> Vec<TruthOrg> {
             "Leaseweb",
             OrgKind::Conglomerate,
             &[
-                ("NL", 60781, 41_227), ("US", 398723, 30_081), ("DE", 398724, 24_332),
-                ("GB", 398725, 18_004), ("SG", 398726, 12_117), ("AU", 398727, 9_338),
-                ("JP", 398728, 8_221), ("HK", 398729, 6_030), ("CA", 398730, 5_114),
+                ("NL", 60781, 41_227),
+                ("US", 398723, 30_081),
+                ("DE", 398724, 24_332),
+                ("GB", 398725, 18_004),
+                ("SG", 398726, 12_117),
+                ("AU", 398727, 9_338),
+                ("JP", 398728, 8_221),
+                ("HK", 398729, 6_030),
+                ("CA", 398730, 5_114),
             ],
             3,
         );
@@ -603,13 +688,26 @@ pub fn scripted_orgs(next_id: &mut usize) -> Vec<TruthOrg> {
             "Contabo",
             OrgKind::Conglomerate,
             &[
-                ("DE", 51167, 28_114), ("US", 398731, 17_002), ("GB", 398732, 11_338),
-                ("SG", 398733, 8_221), ("JP", 398734, 6_114), ("AU", 398735, 5_023),
-                ("IN", 398736, 4_338), ("BR", 398737, 3_902), ("FR", 398738, 3_114),
-                ("NL", 398739, 2_889), ("PL", 398740, 2_204), ("ES", 398741, 1_998),
-                ("IT", 398742, 1_787), ("SE", 398743, 1_204), ("PT", 398744, 1_008),
-                ("MX", 398745, 981), ("CL", 398746, 874), ("CO", 398747, 733),
-                ("TR", 398748, 692), ("ZA", 398749, 607),
+                ("DE", 51167, 28_114),
+                ("US", 398731, 17_002),
+                ("GB", 398732, 11_338),
+                ("SG", 398733, 8_221),
+                ("JP", 398734, 6_114),
+                ("AU", 398735, 5_023),
+                ("IN", 398736, 4_338),
+                ("BR", 398737, 3_902),
+                ("FR", 398738, 3_114),
+                ("NL", 398739, 2_889),
+                ("PL", 398740, 2_204),
+                ("ES", 398741, 1_998),
+                ("IT", 398742, 1_787),
+                ("SE", 398743, 1_204),
+                ("PT", 398744, 1_008),
+                ("MX", 398745, 981),
+                ("CL", 398746, 874),
+                ("CO", 398747, 733),
+                ("TR", 398748, 692),
+                ("ZA", 398749, 607),
             ],
             15,
         );
@@ -618,10 +716,17 @@ pub fn scripted_orgs(next_id: &mut usize) -> Vec<TruthOrg> {
             "SoftLayer (IBM Cloud)",
             OrgKind::Conglomerate,
             &[
-                ("US", 36351, 51_227), ("NL", 398750, 14_031), ("SG", 398751, 11_224),
-                ("JP", 398752, 9_338), ("AU", 398753, 7_114), ("GB", 398754, 6_204),
-                ("DE", 398755, 5_338), ("BR", 398756, 4_774), ("IN", 398757, 3_908),
-                ("HK", 398758, 3_114), ("CA", 398759, 2_889),
+                ("US", 36351, 51_227),
+                ("NL", 398750, 14_031),
+                ("SG", 398751, 11_224),
+                ("JP", 398752, 9_338),
+                ("AU", 398753, 7_114),
+                ("GB", 398754, 6_204),
+                ("DE", 398755, 5_338),
+                ("BR", 398756, 4_774),
+                ("IN", 398757, 3_908),
+                ("HK", 398758, 3_114),
+                ("CA", 398759, 2_889),
             ],
             7,
         );
@@ -630,8 +735,11 @@ pub fn scripted_orgs(next_id: &mut usize) -> Vec<TruthOrg> {
             "UNINETT (Sikt)",
             OrgKind::Transit,
             &[
-                ("NO", 224, 182_114), ("SE", 398760, 21_337), ("DE", 398761, 11_204),
-                ("NL", 398762, 8_338), ("GB", 398763, 6_114),
+                ("NO", 224, 182_114),
+                ("SE", 398760, 21_337),
+                ("DE", 398761, 11_204),
+                ("NL", 398762, 8_338),
+                ("GB", 398763, 6_114),
             ],
             1,
         );
@@ -640,9 +748,15 @@ pub fn scripted_orgs(next_id: &mut usize) -> Vec<TruthOrg> {
             "xTom GmbH",
             OrgKind::Conglomerate,
             &[
-                ("DE", 3214, 9_338), ("US", 398764, 5_204), ("JP", 398765, 4_114),
-                ("HK", 398766, 3_338), ("AU", 398767, 2_204), ("NL", 398768, 1_998),
-                ("GB", 398769, 1_787), ("SG", 398770, 1_338), ("TW", 398771, 1_104),
+                ("DE", 3214, 9_338),
+                ("US", 398764, 5_204),
+                ("JP", 398765, 4_114),
+                ("HK", 398766, 3_338),
+                ("AU", 398767, 2_204),
+                ("NL", 398768, 1_998),
+                ("GB", 398769, 1_787),
+                ("SG", 398770, 1_338),
+                ("TW", 398771, 1_104),
             ],
             4,
         );
@@ -651,13 +765,27 @@ pub fn scripted_orgs(next_id: &mut usize) -> Vec<TruthOrg> {
         // its notes list upstream providers, which the LLM must NOT read
         // as siblings; its true siblings are recovered via OID_P and web.
         let mut latitude_units: Vec<TruthUnit> = [
-            ("BR", 262287u32, 18_114u64), ("US", 398772, 9_204), ("MX", 398773, 5_338),
-            ("CL", 398774, 3_204), ("AR", 398775, 2_889), ("CO", 398776, 2_204),
-            ("GB", 398777, 1_998), ("DE", 398778, 1_787), ("JP", 398779, 1_338),
-            ("AU", 398780, 1_104), ("SG", 398781, 981), ("IN", 398782, 874),
-            ("FR", 398783, 733), ("NL", 398784, 692), ("ES", 398785, 607),
-            ("IT", 398786, 554), ("CA", 398787, 501), ("ZA", 398788, 441),
-            ("TR", 398789, 392), ("PE", 398790, 338), ("UY", 398791, 287),
+            ("BR", 262287u32, 18_114u64),
+            ("US", 398772, 9_204),
+            ("MX", 398773, 5_338),
+            ("CL", 398774, 3_204),
+            ("AR", 398775, 2_889),
+            ("CO", 398776, 2_204),
+            ("GB", 398777, 1_998),
+            ("DE", 398778, 1_787),
+            ("JP", 398779, 1_338),
+            ("AU", 398780, 1_104),
+            ("SG", 398781, 981),
+            ("IN", 398782, 874),
+            ("FR", 398783, 733),
+            ("NL", 398784, 692),
+            ("ES", 398785, 607),
+            ("IT", 398786, 554),
+            ("CA", 398787, 501),
+            ("ZA", 398788, 441),
+            ("TR", 398789, 392),
+            ("PE", 398790, 338),
+            ("UY", 398791, 287),
         ]
         .iter()
         .enumerate()
@@ -725,8 +853,12 @@ mod tests {
     fn hypergiant_roster_is_the_papers_16() {
         let r = hypergiant_roster();
         assert_eq!(r.len(), 16);
-        assert!(r.iter().any(|(n, a)| *n == "Google" && *a == Asn::new(15169)));
-        assert!(r.iter().any(|(n, a)| *n == "EdgeCast" && *a == Asn::new(15133)));
+        assert!(r
+            .iter()
+            .any(|(n, a)| *n == "Google" && *a == Asn::new(15169)));
+        assert!(r
+            .iter()
+            .any(|(n, a)| *n == "EdgeCast" && *a == Asn::new(15133)));
     }
 
     #[test]
@@ -734,12 +866,22 @@ mod tests {
         let mut id = 0;
         let orgs = scripted_orgs(&mut id);
         let lumen = orgs.iter().find(|o| o.brand == "lumen").unwrap();
-        let level3 = lumen.units.iter().find(|u| u.asn == Asn::new(3356)).unwrap();
+        let level3 = lumen
+            .units
+            .iter()
+            .find(|u| u.asn == Asn::new(3356))
+            .unwrap();
         let ctl = lumen.units.iter().find(|u| u.asn == Asn::new(209)).unwrap();
         // Level3 shares the parent WHOIS org (with Global Crossing) while
         // CenturyLink has its own — so WHOIS still splits 3356 from 209.
-        assert!(!level3.whois_own_org && ctl.whois_own_org, "WHOIS splits them");
-        assert!(!level3.pdb_own_org && !ctl.pdb_own_org, "PDB consolidates them");
+        assert!(
+            !level3.whois_own_org && ctl.whois_own_org,
+            "WHOIS splits them"
+        );
+        assert!(
+            !level3.pdb_own_org && !ctl.pdb_own_org,
+            "PDB consolidates them"
+        );
     }
 
     #[test]
@@ -756,7 +898,11 @@ mod tests {
             })
             .collect();
         assert_eq!(targets.into_iter().collect::<Vec<_>>(), vec!["www.edg.io"]);
-        assert_eq!(edgio.units.len(), 11, "Limelight + Edgecast + 9 delivery ASNs");
+        assert_eq!(
+            edgio.units.len(),
+            11,
+            "Limelight + Edgecast + 9 delivery ASNs"
+        );
     }
 
     #[test]

@@ -87,14 +87,8 @@ pub fn sibling_notes(
             "{cap} Konzernnetz.\nUnsere Tochtergesellschaften:\n{}",
             bullet_list()
         ),
-        (Language::De, _) => format!(
-            "Teil der {cap} Gruppe, gehört zu {}.",
-            inline_asns()
-        ),
-        (Language::Fr, 0) => format!(
-            "Réseau {cap}.\nNos filiales:\n{}",
-            bullet_list()
-        ),
+        (Language::De, _) => format!("Teil der {cap} Gruppe, gehört zu {}.", inline_asns()),
+        (Language::Fr, 0) => format!("Réseau {cap}.\nNos filiales:\n{}", bullet_list()),
         (Language::Fr, _) => format!(
             "Cette entité fait partie de {cap}, même groupe que {}.",
             inline_asns()

@@ -128,8 +128,12 @@ pub(crate) fn emit_topology(truth: &GroundTruth, rng: &mut StdRng) -> AsGraph {
             None => continue,
         };
         match org.kind {
-            OrgKind::Transit | OrgKind::Conglomerate | OrgKind::Hypergiant
-            | OrgKind::GovMega | OrgKind::SmallMulti | OrgKind::Ixp => {
+            OrgKind::Transit
+            | OrgKind::Conglomerate
+            | OrgKind::Hypergiant
+            | OrgKind::GovMega
+            | OrgKind::SmallMulti
+            | OrgKind::Ixp => {
                 // Subsidiaries sit under the flagship.
                 for unit in &org.units[1..] {
                     builder.provider_customer(flagship, unit.asn);

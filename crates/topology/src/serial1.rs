@@ -151,7 +151,10 @@ mod tests {
     #[test]
     fn rejects_malformed_lines() {
         assert_eq!(parse("1|2\n").unwrap_err().line, 1);
-        assert_eq!(parse("1|2|7\n").unwrap_err().reason, "relationship must be -1 or 0");
+        assert_eq!(
+            parse("1|2|7\n").unwrap_err().reason,
+            "relationship must be -1 or 0"
+        );
         assert!(parse("x|2|-1\n").is_err());
         assert!(parse("1|2|-1|extra\n").is_err());
     }

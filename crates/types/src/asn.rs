@@ -47,7 +47,8 @@ impl Asn {
     /// `true` for the 16-bit private-use range 64512–65534 and the 32-bit
     /// private-use range 4200000000–4294967294 (RFC 6996).
     pub const fn is_private(self) -> bool {
-        (self.0 >= 64_512 && self.0 <= 65_534) || (self.0 >= 4_200_000_000 && self.0 <= 4_294_967_294)
+        (self.0 >= 64_512 && self.0 <= 65_534)
+            || (self.0 >= 4_200_000_000 && self.0 <= 4_294_967_294)
     }
 
     /// `true` for the documentation ranges 64496–64511 and 65536–65551
@@ -154,10 +155,7 @@ mod tests {
     #[test]
     fn rejects_overflow() {
         assert!("4294967296".parse::<Asn>().is_err());
-        assert_eq!(
-            "4294967295".parse::<Asn>().unwrap(),
-            Asn::new(u32::MAX)
-        );
+        assert_eq!("4294967295".parse::<Asn>().unwrap(), Asn::new(u32::MAX));
     }
 
     #[test]

@@ -126,8 +126,9 @@ impl FromStr for CountryCode {
         let t = s.trim();
         let mut chars = t.chars();
         match (chars.next(), chars.next(), chars.next()) {
-            (Some(a), Some(b), None) => CountryCode::new(a, b)
-                .map_err(|_| ParseError::new("country", s, "letters only")),
+            (Some(a), Some(b), None) => {
+                CountryCode::new(a, b).map_err(|_| ParseError::new("country", s, "letters only"))
+            }
             _ => Err(ParseError::new("country", s, "expected two letters")),
         }
     }

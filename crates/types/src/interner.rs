@@ -1,0 +1,131 @@
+//! Dense integer ids over a fixed ASN universe.
+//!
+//! The pipeline's mapping universe (§5.4: every delegated network) is
+//! fixed the moment the WHOIS snapshot is loaded. [`AsnInterner`] maps
+//! each universe member to a dense `u32` id so downstream algorithms —
+//! union-find closure, edge replay, mapping assembly — can run on flat
+//! `Vec` storage instead of `BTreeMap<Asn, _>` trees: no per-lookup
+//! tree walks, no allocation after construction, and cheap cloning for
+//! fan-out across threads.
+
+use crate::Asn;
+use std::collections::HashMap;
+
+/// A bijection between a sorted ASN universe and `0..len()` ids.
+///
+/// Ids are assigned in ascending ASN order, so iterating ids `0..len()`
+/// visits the universe in sorted order — assembly code relies on this
+/// to produce canonically ordered groups without re-sorting members.
+#[derive(Debug, Clone, Default)]
+pub struct AsnInterner {
+    asns: Vec<Asn>,
+    index: HashMap<Asn, u32>,
+}
+
+impl AsnInterner {
+    /// Builds an interner over `universe` (sorted and de-duplicated
+    /// internally; input order does not matter).
+    pub fn new(universe: impl IntoIterator<Item = Asn>) -> Self {
+        let mut asns: Vec<Asn> = universe.into_iter().collect();
+        asns.sort_unstable();
+        asns.dedup();
+        assert!(
+            asns.len() <= u32::MAX as usize,
+            "ASN universe exceeds u32 id space"
+        );
+        let index = asns
+            .iter()
+            .enumerate()
+            .map(|(i, &asn)| (asn, i as u32))
+            .collect();
+        AsnInterner { asns, index }
+    }
+
+    /// The dense id of `asn`, or `None` when it is outside the universe.
+    ///
+    /// A `None` here is how evidence about never-allocated ASNs (e.g. an
+    /// extraction false positive reading a year as an ASN) gets
+    /// discarded before it can pollute a mapping.
+    #[inline]
+    pub fn id(&self, asn: Asn) -> Option<u32> {
+        self.index.get(&asn).copied()
+    }
+
+    /// The ASN with dense id `id`.
+    ///
+    /// # Panics
+    /// If `id >= len()` — ids only come from [`AsnInterner::id`], so an
+    /// out-of-range id is a caller bug.
+    #[inline]
+    pub fn asn(&self, id: u32) -> Asn {
+        self.asns[id as usize]
+    }
+
+    /// `true` when `asn` belongs to the universe.
+    #[inline]
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.index.contains_key(&asn)
+    }
+
+    /// Universe size.
+    pub fn len(&self) -> usize {
+        self.asns.len()
+    }
+
+    /// `true` for an empty universe.
+    pub fn is_empty(&self) -> bool {
+        self.asns.is_empty()
+    }
+
+    /// The universe in ascending ASN order (id order).
+    pub fn asns(&self) -> &[Asn] {
+        &self.asns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_follow_sorted_order() {
+        let interner = AsnInterner::new([Asn::new(30), Asn::new(10), Asn::new(20)]);
+        assert_eq!(interner.len(), 3);
+        assert_eq!(interner.id(Asn::new(10)), Some(0));
+        assert_eq!(interner.id(Asn::new(20)), Some(1));
+        assert_eq!(interner.id(Asn::new(30)), Some(2));
+        assert_eq!(interner.asn(1), Asn::new(20));
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let interner = AsnInterner::new([Asn::new(5), Asn::new(5), Asn::new(7)]);
+        assert_eq!(interner.len(), 2);
+        assert_eq!(interner.asns(), &[Asn::new(5), Asn::new(7)]);
+    }
+
+    #[test]
+    fn outsiders_have_no_id() {
+        let interner = AsnInterner::new([Asn::new(1)]);
+        assert_eq!(interner.id(Asn::new(2)), None);
+        assert!(!interner.contains(Asn::new(2)));
+        assert!(interner.contains(Asn::new(1)));
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let members: Vec<Asn> = (0..500).map(|i| Asn::new(i * 3 + 1)).collect();
+        let interner = AsnInterner::new(members.iter().copied());
+        for &asn in &members {
+            let id = interner.id(asn).expect("member has an id");
+            assert_eq!(interner.asn(id), asn);
+        }
+    }
+
+    #[test]
+    fn empty_universe() {
+        let interner = AsnInterner::new([]);
+        assert!(interner.is_empty());
+        assert_eq!(interner.id(Asn::new(1)), None);
+    }
+}

@@ -17,6 +17,8 @@
 //!   key of the favicon classifier (§4.3.3).
 //! * [`CountryCode`] — ISO-3166 alpha-2 codes for the footprint analysis
 //!   (§6.2).
+//! * [`AsnInterner`] — dense `u32` ids over a fixed ASN universe, the
+//!   basis of the pipeline's allocation-free evidence replay.
 //!
 //! The crate is dependency-light on purpose: everything downstream —
 //! substrate simulators, the pipeline, baselines and the evaluation harness —
@@ -29,6 +31,7 @@ pub mod asn;
 pub mod country;
 pub mod errors;
 pub mod favicon;
+pub mod interner;
 pub mod orgid;
 pub mod url;
 
@@ -36,5 +39,6 @@ pub use asn::Asn;
 pub use country::CountryCode;
 pub use errors::ParseError;
 pub use favicon::FaviconHash;
+pub use interner::AsnInterner;
 pub use orgid::{OrgName, PdbOrgId, WhoisOrgId};
 pub use url::{Host, Url};

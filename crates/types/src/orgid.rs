@@ -100,9 +100,34 @@ pub struct OrgName(String);
 /// Legal-entity suffixes ignored by name normalization. Lower-case,
 /// punctuation-free (normalization strips punctuation before matching).
 const LEGAL_SUFFIXES: &[&str] = &[
-    "inc", "incorporated", "llc", "ltd", "limited", "gmbh", "ag", "sa", "srl", "sarl", "bv",
-    "nv", "ab", "as", "oy", "plc", "corp", "corporation", "co", "company", "spa", "pty",
-    "sro", "kk", "sas", "holdings", "holding", "group",
+    "inc",
+    "incorporated",
+    "llc",
+    "ltd",
+    "limited",
+    "gmbh",
+    "ag",
+    "sa",
+    "srl",
+    "sarl",
+    "bv",
+    "nv",
+    "ab",
+    "as",
+    "oy",
+    "plc",
+    "corp",
+    "corporation",
+    "co",
+    "company",
+    "spa",
+    "pty",
+    "sro",
+    "kk",
+    "sas",
+    "holdings",
+    "holding",
+    "group",
 ];
 
 impl OrgName {
@@ -174,8 +199,14 @@ mod tests {
 
     #[test]
     fn whois_handles_canonicalize_case() {
-        assert_eq!(WhoisOrgId::new("lpl-141-arin"), WhoisOrgId::new("LPL-141-ARIN"));
-        assert_eq!(WhoisOrgId::new(" LPL-141-ARIN "), WhoisOrgId::new("LPL-141-ARIN"));
+        assert_eq!(
+            WhoisOrgId::new("lpl-141-arin"),
+            WhoisOrgId::new("LPL-141-ARIN")
+        );
+        assert_eq!(
+            WhoisOrgId::new(" LPL-141-ARIN "),
+            WhoisOrgId::new("LPL-141-ARIN")
+        );
     }
 
     #[test]
@@ -214,10 +245,7 @@ mod tests {
 
     #[test]
     fn normalization_strips_multiple_suffixes() {
-        assert_eq!(
-            OrgName::new("Acme Holdings LLC").normalized(),
-            "acme"
-        );
+        assert_eq!(OrgName::new("Acme Holdings LLC").normalized(), "acme");
     }
 
     #[test]

@@ -56,26 +56,77 @@ impl fmt::Display for Scheme {
 /// Suffix List covering the markets the paper's examples span (LatAm,
 /// Europe, Asia-Pacific).
 const MULTI_LABEL_SUFFIXES: &[&str] = &[
-    "co.uk", "org.uk", "ac.uk", "gov.uk", "net.uk",
-    "com.br", "net.br", "org.br", "gov.br",
-    "com.ar", "net.ar", "org.ar", "gob.ar",
-    "com.au", "net.au", "org.au",
-    "co.jp", "ne.jp", "or.jp", "ad.jp",
-    "com.mx", "net.mx", "org.mx",
-    "com.do", "com.pe", "com.co", "com.ve", "com.uy", "com.py", "com.bo",
-    "com.ec", "com.gt", "com.ni", "com.sv", "com.hn", "com.pa",
-    "com.tr", "net.tr",
-    "co.za", "org.za",
-    "co.nz", "net.nz",
-    "co.kr", "or.kr",
-    "co.in", "net.in", "org.in",
-    "go.id", "co.id", "net.id", "or.id", "web.id",
-    "com.sg", "com.hk", "com.my", "com.ph", "com.pk", "com.bd", "com.np",
-    "com.cn", "net.cn", "org.cn",
-    "com.tw", "org.tw",
-    "co.th", "in.th",
+    "co.uk",
+    "org.uk",
+    "ac.uk",
+    "gov.uk",
+    "net.uk",
+    "com.br",
+    "net.br",
+    "org.br",
+    "gov.br",
+    "com.ar",
+    "net.ar",
+    "org.ar",
+    "gob.ar",
+    "com.au",
+    "net.au",
+    "org.au",
+    "co.jp",
+    "ne.jp",
+    "or.jp",
+    "ad.jp",
+    "com.mx",
+    "net.mx",
+    "org.mx",
+    "com.do",
+    "com.pe",
+    "com.co",
+    "com.ve",
+    "com.uy",
+    "com.py",
+    "com.bo",
+    "com.ec",
+    "com.gt",
+    "com.ni",
+    "com.sv",
+    "com.hn",
+    "com.pa",
+    "com.tr",
+    "net.tr",
+    "co.za",
+    "org.za",
+    "co.nz",
+    "net.nz",
+    "co.kr",
+    "or.kr",
+    "co.in",
+    "net.in",
+    "org.in",
+    "go.id",
+    "co.id",
+    "net.id",
+    "or.id",
+    "web.id",
+    "com.sg",
+    "com.hk",
+    "com.my",
+    "com.ph",
+    "com.pk",
+    "com.bd",
+    "com.np",
+    "com.cn",
+    "net.cn",
+    "org.cn",
+    "com.tw",
+    "org.tw",
+    "co.th",
+    "in.th",
     "com.vn",
-    "com.eg", "com.ng", "co.ke", "co.tz",
+    "com.eg",
+    "com.ng",
+    "co.ke",
+    "co.tz",
     "riau.go.id",
 ];
 
@@ -211,7 +262,13 @@ pub struct Url {
 impl Url {
     /// Builds a URL from parts. `path` gains a leading `/` if missing; a
     /// port equal to the scheme default is dropped.
-    pub fn new(scheme: Scheme, host: Host, port: Option<u16>, path: &str, query: Option<&str>) -> Self {
+    pub fn new(
+        scheme: Scheme,
+        host: Host,
+        port: Option<u16>,
+        path: &str,
+        query: Option<&str>,
+    ) -> Self {
         let path = if path.is_empty() {
             "/".to_string()
         } else if path.starts_with('/') {
@@ -371,7 +428,14 @@ mod tests {
 
     #[test]
     fn host_rejects_bad_labels() {
-        for s in ["", ".", "a..b", "-leading.com", "trailing-.com", "sp ace.com"] {
+        for s in [
+            "",
+            ".",
+            "a..b",
+            "-leading.com",
+            "trailing-.com",
+            "sp ace.com",
+        ] {
             assert!(s.parse::<Host>().is_err(), "accepted {s:?}");
         }
     }

@@ -186,8 +186,16 @@ mod tests {
     /// The paper's Clearwire example: clearwire → sprint → t-mobile.
     fn sprint_web() -> SimWeb {
         SimWeb::builder()
-            .redirect("www.clearwire.com", "https://www.sprint.com/", RedirectKind::Http)
-            .redirect("www.sprint.com", "https://www.t-mobile.com/", RedirectKind::JavaScript)
+            .redirect(
+                "www.clearwire.com",
+                "https://www.sprint.com/",
+                RedirectKind::Http,
+            )
+            .redirect(
+                "www.sprint.com",
+                "https://www.t-mobile.com/",
+                RedirectKind::JavaScript,
+            )
             .page("www.t-mobile.com", Some(icon("t-mobile")))
             .build()
     }

@@ -60,7 +60,11 @@ mod tests {
     fn web() -> SimWeb {
         SimWeb::builder()
             .page("www.orange.fr", Some(icon("orange")))
-            .redirect("www.old-orange.fr", "https://www.orange.fr/", RedirectKind::Http)
+            .redirect(
+                "www.old-orange.fr",
+                "https://www.orange.fr/",
+                RedirectKind::Http,
+            )
             .down("www.dead.example")
             .build()
     }

@@ -111,7 +111,11 @@ mod tests {
         let web = SimWeb::builder()
             .page("www.lumen.com", Some(FaviconHash::of_bytes(b"lumen")))
             .down("www.dead.example")
-            .redirect("www.sprint.com", "https://www.t-mobile.com/", RedirectKind::Http)
+            .redirect(
+                "www.sprint.com",
+                "https://www.t-mobile.com/",
+                RedirectKind::Http,
+            )
             .build();
         assert_eq!(web.host_count(), 3);
         let host: Host = "www.lumen.com".parse().unwrap();
@@ -122,10 +126,7 @@ mod tests {
 
     #[test]
     fn last_registration_wins() {
-        let web = SimWeb::builder()
-            .page("a.com", None)
-            .down("a.com")
-            .build();
+        let web = SimWeb::builder().page("a.com", None).down("a.com").build();
         let host: Host = "a.com".parse().unwrap();
         assert!(matches!(web.lookup(&host), Some(SiteNode::Down)));
         assert_eq!(web.host_count(), 1);
@@ -135,8 +136,16 @@ mod tests {
     fn favicon_of_returns_page_favicon_only() {
         let icon = FaviconHash::of_bytes(b"claro");
         let web = SimWeb::builder()
-            .page_at("www.clarochile.cl", "https://www.clarochile.cl/personas/", Some(icon))
-            .redirect("old.claro.cl", "https://www.clarochile.cl/", RedirectKind::Http)
+            .page_at(
+                "www.clarochile.cl",
+                "https://www.clarochile.cl/personas/",
+                Some(icon),
+            )
+            .redirect(
+                "old.claro.cl",
+                "https://www.clarochile.cl/",
+                RedirectKind::Http,
+            )
             .build();
         let url: Url = "https://www.clarochile.cl/personas/".parse().unwrap();
         assert_eq!(web.favicon_of(&url), Some(icon));

@@ -36,5 +36,5 @@ pub mod snapshot;
 
 pub use client::{FetchOutcome, FetchResult, SimWebClient, WebClient, MAX_REDIRECTS};
 pub use hosting::{SimWeb, SimWebBuilder};
-pub use scraper::{ScrapeReport, ScrapeStats, Scraper, ScrapedSite};
+pub use scraper::{ScrapeReport, ScrapeStats, ScrapedSite, Scraper};
 pub use site::{RedirectKind, SiteNode};

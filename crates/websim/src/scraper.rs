@@ -25,6 +25,11 @@ pub struct ScrapedSite {
 }
 
 /// Funnel statistics for a crawl, mirroring the §5.2 narrative.
+///
+/// Stats combine with `+=` for accumulating funnels across *disjoint*
+/// crawl batches (e.g. per-region shards of a production crawl). The
+/// `unique_*` fields are distinct counts within each batch; summing
+/// them is exact only when the batches share no URLs/favicons.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ScrapeStats {
     /// Input pairs whose website field held a parseable URL.
@@ -41,6 +46,29 @@ pub struct ScrapeStats {
     pub final_urls_with_favicon: usize,
     /// Distinct favicons (paper: 14,516).
     pub unique_favicons: usize,
+}
+
+impl std::ops::AddAssign for ScrapeStats {
+    fn add_assign(&mut self, rhs: Self) {
+        // Full destructuring: adding a field to ScrapeStats without
+        // deciding how it merges is a compile error here.
+        let ScrapeStats {
+            entries_with_website,
+            entries_with_invalid_url,
+            unique_urls,
+            reachable_urls,
+            unique_final_urls,
+            final_urls_with_favicon,
+            unique_favicons,
+        } = rhs;
+        self.entries_with_website += entries_with_website;
+        self.entries_with_invalid_url += entries_with_invalid_url;
+        self.unique_urls += unique_urls;
+        self.reachable_urls += reachable_urls;
+        self.unique_final_urls += unique_final_urls;
+        self.final_urls_with_favicon += final_urls_with_favicon;
+        self.unique_favicons += unique_favicons;
+    }
 }
 
 /// The result of a crawl.
@@ -71,7 +99,9 @@ impl ScrapeReport {
         let mut map: BTreeMap<FaviconHash, Vec<(Url, Asn)>> = BTreeMap::new();
         for (asn, site) in &self.sites {
             if let (Some(final_url), Some(favicon)) = (&site.final_url, site.favicon) {
-                map.entry(favicon).or_default().push((final_url.clone(), *asn));
+                map.entry(favicon)
+                    .or_default()
+                    .push((final_url.clone(), *asn));
             }
         }
         map
@@ -111,10 +141,7 @@ impl<C: WebClient> Scraper<C> {
     /// Entries with empty or unparseable website fields are counted in the
     /// stats but produce no observation — exactly how a scraper must treat
     /// operator junk.
-    pub fn crawl<'a>(
-        &self,
-        entries: impl IntoIterator<Item = (Asn, &'a str)>,
-    ) -> ScrapeReport {
+    pub fn crawl<'a>(&self, entries: impl IntoIterator<Item = (Asn, &'a str)>) -> ScrapeReport {
         let resolved = entries
             .into_iter()
             .map(|(asn, raw)| (asn, self.resolve(raw)));
@@ -132,25 +159,8 @@ impl<C: WebClient> Scraper<C> {
     where
         C: Sync,
     {
-        let threads = threads.max(1);
-        let chunk_size = entries.len().div_ceil(threads).max(1);
-        let resolved: Vec<(Asn, Resolution)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = entries
-                .chunks(chunk_size)
-                .map(|chunk| {
-                    scope.spawn(move || {
-                        chunk
-                            .iter()
-                            .map(|(asn, raw)| (*asn, self.resolve(raw)))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("scraper worker panicked"))
-                .collect()
-        });
+        let resolved =
+            borges_parallel::map_items(&entries, threads, |(asn, raw)| (*asn, self.resolve(raw)));
         assemble(resolved)
     }
 
@@ -240,8 +250,16 @@ mod tests {
     fn web() -> SimWeb {
         SimWeb::builder()
             .page("www.edg.io", Some(icon("edgio")))
-            .redirect("www.limelight.com", "https://www.edg.io/", RedirectKind::Http)
-            .redirect("www.edgecast.com", "https://www.edg.io/", RedirectKind::JavaScript)
+            .redirect(
+                "www.limelight.com",
+                "https://www.edg.io/",
+                RedirectKind::Http,
+            )
+            .redirect(
+                "www.edgecast.com",
+                "https://www.edg.io/",
+                RedirectKind::JavaScript,
+            )
             .page("www.cogentco.com", Some(icon("cogent")))
             .down("www.gone.example")
             .build()
@@ -343,6 +361,27 @@ mod tests {
             let parallel = scraper.crawl_parallel(entries.clone(), threads);
             assert_eq!(parallel, sequential, "diverged with {threads} threads");
         }
+    }
+
+    #[test]
+    fn stats_accumulate_across_disjoint_batches() {
+        let web = web();
+        let scraper = Scraper::new(SimWebClient::browser(&web));
+        let batch_a = vec![
+            (Asn::new(22822), "www.limelight.com"),
+            (Asn::new(99), "www.gone.example"),
+        ];
+        let batch_b = vec![
+            (Asn::new(174), "www.cogentco.com"),
+            (Asn::new(97), "not a url at all"),
+        ];
+        let combined: Vec<_> = batch_a.iter().chain(&batch_b).cloned().collect();
+
+        let mut summed = scraper.crawl(batch_a).stats;
+        summed += scraper.crawl(batch_b).stats;
+        // Disjoint URL sets → the funnel sums exactly.
+        let fresh = Scraper::new(SimWebClient::browser(&web));
+        assert_eq!(summed, fresh.crawl(combined).stats);
     }
 
     #[test]

@@ -91,8 +91,16 @@ mod tests {
                 "https://www.clarochile.cl/personas/",
                 Some(FaviconHash::of_bytes(b"claro")),
             )
-            .redirect("www.limelight.com", "https://www.edg.io/", RedirectKind::Http)
-            .redirect("www.edgecast.com", "https://www.edg.io/", RedirectKind::JavaScript)
+            .redirect(
+                "www.limelight.com",
+                "https://www.edg.io/",
+                RedirectKind::Http,
+            )
+            .redirect(
+                "www.edgecast.com",
+                "https://www.edg.io/",
+                RedirectKind::JavaScript,
+            )
             .down("www.gone.example")
             .build()
     }

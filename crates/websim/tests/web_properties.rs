@@ -2,9 +2,7 @@
 //! arbitrary redirect topologies, and snapshots round-trip.
 
 use borges_types::{FaviconHash, Url};
-use borges_websim::{
-    snapshot, FetchOutcome, RedirectKind, SimWeb, SimWebClient, WebClient,
-};
+use borges_websim::{snapshot, FetchOutcome, RedirectKind, SimWeb, SimWebClient, WebClient};
 use proptest::prelude::*;
 
 /// Arbitrary webs: n hosts, each either a page, down, or a redirect to a
@@ -27,10 +25,7 @@ fn web_strategy() -> impl Strategy<Value = (SimWeb, usize)> {
             for (i, (kind, target, js, icon_seed)) in specs.iter().enumerate() {
                 let host = host_name(i);
                 builder = match kind {
-                    0 => builder.page(
-                        &host,
-                        Some(FaviconHash::from_raw(*icon_seed | 1)),
-                    ),
+                    0 => builder.page(&host, Some(FaviconHash::from_raw(*icon_seed | 1))),
                     1 => builder.down(&host),
                     _ => builder.redirect(
                         &host,

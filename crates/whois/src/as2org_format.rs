@@ -68,7 +68,11 @@ impl fmt::Display for As2orgError {
                 found,
                 expected,
             } => write!(f, "line {line}: {found} fields, expected {expected}"),
-            As2orgError::BadField { line, field, source } => {
+            As2orgError::BadField {
+                line,
+                field,
+                source,
+            } => {
                 write!(f, "line {line}: bad {field}: {source}")
             }
             As2orgError::UnknownFormat { line } => {
@@ -145,13 +149,12 @@ pub fn parse(text: &str) -> Result<WhoisRegistry, As2orgError> {
                         expected: 5,
                     });
                 }
-                let country: CountryCode = fields[3].parse().map_err(|source| {
-                    As2orgError::BadField {
+                let country: CountryCode =
+                    fields[3].parse().map_err(|source| As2orgError::BadField {
                         line: line_no,
                         field: "country",
                         source,
-                    }
-                })?;
+                    })?;
                 let source: Rir = fields[4].parse().map_err(|source| As2orgError::BadField {
                     line: line_no,
                     field: "source",
@@ -227,11 +230,7 @@ pub fn serialize(registry: &WhoisRegistry) -> String {
     for org in registry.orgs() {
         out.push_str(&format!(
             "{}|{}|{}|{}|{}\n",
-            org.id,
-            org.changed,
-            org.name,
-            org.country,
-            org.source
+            org.id, org.changed, org.name, org.country, org.source
         ));
     }
     out.push_str(AUT_HEADER);
@@ -303,7 +302,11 @@ CL-38-ARIN|20231215|CenturyLink Communications|US|ARIN
     fn wrong_field_count_is_reported_with_line() {
         let text = format!("{ORG_HEADER}\nonly|three|fields\n");
         match parse(&text).unwrap_err() {
-            As2orgError::FieldCount { line, found, expected } => {
+            As2orgError::FieldCount {
+                line,
+                found,
+                expected,
+            } => {
                 assert_eq!((line, found, expected), (2, 3, 5));
             }
             other => panic!("unexpected: {other}"),
@@ -338,7 +341,8 @@ CL-38-ARIN|20231215|CenturyLink Communications|US|ARIN
 
     #[test]
     fn comments_and_blank_lines_are_ignored() {
-        let text = format!("# program start\n\n{ORG_HEADER}\n# interior comment\nX-RIPE|0|X|DE|RIPE\n\n");
+        let text =
+            format!("# program start\n\n{ORG_HEADER}\n# interior comment\nX-RIPE|0|X|DE|RIPE\n\n");
         let reg = parse(&text).unwrap();
         assert_eq!(reg.org_count(), 1);
     }

@@ -121,7 +121,11 @@ pub fn serialize(registry: &WhoisRegistry, snapshot_date: u32) -> String {
                 rir_name(org.source),
                 org.country,
                 aut.asn.value(),
-                if aut.changed == 0 { snapshot_date } else { aut.changed },
+                if aut.changed == 0 {
+                    snapshot_date
+                } else {
+                    aut.changed
+                },
                 aut.org
             )
         })

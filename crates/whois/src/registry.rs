@@ -105,7 +105,11 @@ impl WhoisRegistryBuilder {
             }
             members.entry(aut.org.clone()).or_default().insert(aut.asn);
         }
-        Ok(WhoisRegistry { orgs, auts, members })
+        Ok(WhoisRegistry {
+            orgs,
+            auts,
+            members,
+        })
     }
 }
 

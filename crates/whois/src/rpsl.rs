@@ -147,20 +147,21 @@ pub fn parse(text: &str) -> Result<WhoisRegistry, RpslError> {
     for object in split_objects(text) {
         match object.class() {
             Some("organisation") | Some("organization") => {
-                let id = object.get("organisation").or_else(|| object.get("organization"))
+                let id = object
+                    .get("organisation")
+                    .or_else(|| object.get("organization"))
                     .expect("class attribute exists");
                 let name = object.get("org-name").ok_or(RpslError::MissingAttribute {
                     class: "organisation",
                     attribute: "org-name",
                     line: object.first_line,
                 })?;
-                let country: CountryCode = object
-                    .get("country")
-                    .unwrap_or("ZZ")
-                    .parse()
-                    .map_err(|_| RpslError::BadValue {
-                        attribute: "country".into(),
-                        line: object.first_line,
+                let country: CountryCode =
+                    object.get("country").unwrap_or("ZZ").parse().map_err(|_| {
+                        RpslError::BadValue {
+                            attribute: "country".into(),
+                            line: object.first_line,
+                        }
                     })?;
                 let source: Rir = object
                     .get("source")
@@ -239,10 +240,7 @@ pub fn serialize(registry: &WhoisRegistry) -> String {
     for org in registry.orgs() {
         out.push_str(&format!(
             "organisation:   {}\norg-name:       {}\ncountry:        {}\nsource:         {}\n\n",
-            org.id,
-            org.name,
-            org.country,
-            org.source
+            org.id, org.name, org.country, org.source
         ));
     }
     for aut in registry.aut_nums() {
@@ -321,14 +319,20 @@ nic-hdl:        IH-TEST
         let text = "organisation: ORG-X\ncountry: US\nsource: ARIN\n";
         assert!(matches!(
             parse(text).unwrap_err(),
-            RpslError::MissingAttribute { attribute: "org-name", .. }
+            RpslError::MissingAttribute {
+                attribute: "org-name",
+                ..
+            }
         ));
     }
 
     #[test]
     fn bad_autnum_is_an_error() {
         let text = "aut-num: ASXYZ\norg: ORG-X\nsource: ARIN\n";
-        assert!(matches!(parse(text).unwrap_err(), RpslError::BadValue { .. }));
+        assert!(matches!(
+            parse(text).unwrap_err(),
+            RpslError::BadValue { .. }
+        ));
     }
 
     #[test]
@@ -347,7 +351,10 @@ source: ARIN
 last-modified: 2023-01-15T00:00:00Z
 ";
         let reg = parse(text).unwrap();
-        assert_eq!(reg.org(&WhoisOrgId::new("ORG-X")).unwrap().changed, 20240701);
+        assert_eq!(
+            reg.org(&WhoisOrgId::new("ORG-X")).unwrap().changed,
+            20240701
+        );
         assert_eq!(reg.aut_num(Asn::new(10)).unwrap().changed, 20230115);
     }
 
@@ -359,10 +366,7 @@ last-modified: 2023-01-15T00:00:00Z
         assert_eq!(back.asn_count(), reg.asn_count());
         assert_eq!(back.org_count(), reg.org_count());
         for asn in reg.all_asns() {
-            assert_eq!(
-                reg.org_of(asn).unwrap().id,
-                back.org_of(asn).unwrap().id
-            );
+            assert_eq!(reg.org_of(asn).unwrap().id, back.org_of(asn).unwrap().id);
         }
     }
 }

@@ -34,8 +34,7 @@ impl ChatModel for NaiveModel {
                 let mut rest = haystack.as_str();
                 while let Some(pos) = rest.find("as") {
                     rest = &rest[pos + 2..];
-                    let digits: String =
-                        rest.chars().take_while(|c| c.is_ascii_digit()).collect();
+                    let digits: String = rest.chars().take_while(|c| c.is_ascii_digit()).collect();
                     if let Ok(value) = digits.parse::<u32>() {
                         let asn = Asn::new(value);
                         if asn != fields.asn && asn.is_routable() {
@@ -72,7 +71,10 @@ fn main() {
     let naive_score = ie_confusion(&world.pdb, &world.text_labels, &naive, None);
     let sim_score = ie_confusion(&world.pdb, &world.text_labels, &simulated, None);
 
-    println!("information-extraction accuracy on {} numeric records:", naive_score.total());
+    println!(
+        "information-extraction accuracy on {} numeric records:",
+        naive_score.total()
+    );
     println!(
         "  {:<22} accuracy {:.3}  precision {:.3}  recall {:.3}",
         NaiveModel.model_id(),

@@ -30,7 +30,10 @@ fn map(world: &SyntheticInternet, seed: u64) -> borges_core::AsOrgMapping {
 
 fn main() {
     let before_world = SyntheticInternet::generate(&GeneratorConfig::tiny(42));
-    println!("snapshot t₀: {} organizations (truth)", before_world.truth.org_count());
+    println!(
+        "snapshot t₀: {} organizations (truth)",
+        before_world.truth.org_count()
+    );
 
     let events = vec![
         EvolutionEvent::Acquisition {

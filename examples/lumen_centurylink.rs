@@ -51,9 +51,7 @@ fn main() {
     for (_, members) in pdb_map.clusters() {
         uf.union_group(members);
     }
-    println!(
-        "  WHOIS brings {{AS3356, AS3549}}; PeeringDB brings {{AS3356, AS209}};"
-    );
+    println!("  WHOIS brings {{AS3356, AS3549}}; PeeringDB brings {{AS3356, AS209}};");
     println!(
         "  union-find closes the triangle: AS3549 ~ AS209? {}",
         uf.same_set(gblx, centurylink)

@@ -25,9 +25,18 @@ fn main() {
     let client = SimWebClient::browser(&world.web);
 
     for (label, start) in [
-        ("Clearwire (acquired by Sprint 2012, then T-Mobile 2020)", "www.clearwire.com"),
-        ("Sprint fiber backbone (sold to Cogent 2023)", "www.sprint.com"),
-        ("Limelight (merged with Edgecast into Edgio 2022)", "www.limelight.com"),
+        (
+            "Clearwire (acquired by Sprint 2012, then T-Mobile 2020)",
+            "www.clearwire.com",
+        ),
+        (
+            "Sprint fiber backbone (sold to Cogent 2023)",
+            "www.sprint.com",
+        ),
+        (
+            "Limelight (merged with Edgecast into Edgio 2022)",
+            "www.limelight.com",
+        ),
         ("CenturyLink (rebranded Lumen 2020)", "www.centurylink.com"),
     ] {
         let url = format!("http://{start}").parse().expect("valid url");
@@ -52,10 +61,16 @@ reason the paper scrapes with a headless browser (§4.3.1):"
     let without_js = plain.fetch(&url);
     println!(
         "  headless browser lands on: {}",
-        with_js.final_url.map(|u| u.host().to_string()).unwrap_or_default()
+        with_js
+            .final_url
+            .map(|u| u.host().to_string())
+            .unwrap_or_default()
     );
     println!(
         "  plain HTTP client stops at: {}",
-        without_js.final_url.map(|u| u.host().to_string()).unwrap_or_default()
+        without_js
+            .final_url
+            .map(|u| u.host().to_string())
+            .unwrap_or_default()
     );
 }

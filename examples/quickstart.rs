@@ -58,7 +58,12 @@ fn main() {
     println!("\nfeature contributions:");
     for feature in Feature::ALL {
         let c = borges.contribution(feature);
-        println!("  {:<14} {:>6} ASes → {:>6} orgs", feature.label(), c.ases, c.orgs);
+        println!(
+            "  {:<14} {:>6} ASes → {:>6} orgs",
+            feature.label(),
+            c.ases,
+            c.orgs
+        );
     }
 
     // 6. Ask the mapping a question the paper's Fig. 3 poses: does the
@@ -73,8 +78,5 @@ fn main() {
         "Borges thinks Level3/CenturyLink are the same org: {}",
         full.same_org(l3, ctl)
     );
-    println!(
-        "ground truth: {}",
-        world.truth.are_siblings(l3, ctl)
-    );
+    println!("ground truth: {}", world.truth.are_siblings(l3, ctl));
 }

@@ -78,8 +78,7 @@ fn delegated_extended_covers_the_registry() {
     let world = SyntheticInternet::generate(&GeneratorConfig::tiny(8));
     let text = delegated::serialize(&world.whois, 20240724);
     let records = delegated::parse(&text).expect("own delegated file parses");
-    let covered: std::collections::BTreeSet<_> =
-        records.iter().flat_map(|r| r.asns()).collect();
+    let covered: std::collections::BTreeSet<_> = records.iter().flat_map(|r| r.asns()).collect();
     let expected: std::collections::BTreeSet<_> = world.whois.all_asns().collect();
     assert_eq!(covered, expected, "delegation stats must cover every ASN");
     // Countries agree with the registry's organizations.
@@ -97,13 +96,15 @@ fn three_whois_formats_tell_the_same_story() {
     let caida = as2org_format::parse(&as2org_format::serialize(&world.whois)).unwrap();
     let via_rpsl = rpsl::parse(&rpsl::serialize(&world.whois)).unwrap();
     let stats = delegated::parse(&delegated::serialize(&world.whois, 20240724)).unwrap();
-    let from_stats: std::collections::BTreeSet<_> =
-        stats.iter().flat_map(|r| r.asns()).collect();
+    let from_stats: std::collections::BTreeSet<_> = stats.iter().flat_map(|r| r.asns()).collect();
     assert_eq!(
         caida.all_asns().collect::<Vec<_>>(),
         via_rpsl.all_asns().collect::<Vec<_>>()
     );
-    assert_eq!(caida.all_asns().collect::<std::collections::BTreeSet<_>>(), from_stats);
+    assert_eq!(
+        caida.all_asns().collect::<std::collections::BTreeSet<_>>(),
+        from_stats
+    );
 }
 
 #[test]

@@ -41,6 +41,61 @@ fn different_seeds_differ() {
 }
 
 #[test]
+fn parallel_mappings_match_sequential_exactly() {
+    // The threaded fan-out must be invisible in the output: for every
+    // feature combination and any thread count, mappings_parallel is
+    // byte-identical to the sequential replay.
+    let world = SyntheticInternet::generate(&GeneratorConfig::tiny(21));
+    let llm = SimLlm::new(21);
+    let borges = Borges::run(
+        &world.whois,
+        &world.pdb,
+        SimWebClient::browser(&world.web),
+        &llm,
+    );
+    let combinations = FeatureSet::all_combinations();
+    let sequential: Vec<_> = combinations.iter().map(|&f| borges.mapping(f)).collect();
+    for threads in [1, 2, 7] {
+        assert_eq!(
+            borges.mappings_parallel(&combinations, threads),
+            sequential,
+            "parallel materialization diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn parallel_run_matches_sequential_run() {
+    // The crawl and extraction fan-outs assemble key-canonically, so a
+    // threaded pipeline run compiles the same evidence as a sequential
+    // one: every feature combination maps identically.
+    let world = SyntheticInternet::generate(&GeneratorConfig::tiny(33));
+    let llm = SimLlm::new(33);
+    let sequential = Borges::run(
+        &world.whois,
+        &world.pdb,
+        SimWebClient::browser(&world.web),
+        &llm,
+    );
+    let parallel = Borges::run_parallel(
+        &world.whois,
+        &world.pdb,
+        SimWebClient::browser(&world.web),
+        &llm,
+        4,
+    );
+    assert_eq!(sequential.universe(), parallel.universe());
+    for features in FeatureSet::all_combinations() {
+        assert_eq!(
+            sequential.mapping(features),
+            parallel.mapping(features),
+            "run vs run_parallel diverged for {}",
+            features.label()
+        );
+    }
+}
+
+#[test]
 fn experiment_context_is_reproducible() {
     std::env::set_var("BORGES_SCALE", "tiny");
     std::env::set_var("BORGES_SEED", "123");

@@ -27,7 +27,10 @@ fn figure3_lumen_centurylink() {
     let (l3, ctl, gblx) = (Asn::new(3356), Asn::new(209), Asn::new(3549));
     assert!(!base.same_org(l3, ctl), "AS2Org must miss the merger");
     assert!(full.same_org(l3, ctl), "Borges must recover it via OID_P");
-    assert!(full.same_org(gblx, ctl), "transitive closure through Level3");
+    assert!(
+        full.same_org(gblx, ctl),
+        "transitive closure through Level3"
+    );
     assert!(world.truth.are_siblings(l3, ctl));
 }
 
@@ -107,7 +110,10 @@ fn digicel_footprint_expands() {
     let digicel_jm = Asn::new(23520);
     let base_size = base.siblings_of(digicel_jm).len();
     let full_size = full.siblings_of(digicel_jm).len();
-    assert!(base_size <= 4, "AS2Org sees only the consolidated 4 markets");
+    assert!(
+        base_size <= 4,
+        "AS2Org sees only the consolidated 4 markets"
+    );
     assert!(
         full_size >= 20,
         "Borges should recover most of Digicel's 25 markets (got {full_size})"
@@ -124,7 +130,10 @@ fn blocklists_keep_social_platform_users_apart() {
     for net in world.pdb.nets() {
         for platform in ["facebook.com", "github.com", "linkedin.com"] {
             if net.website.contains(platform) {
-                platform_reporters.entry(platform).or_default().push(net.asn);
+                platform_reporters
+                    .entry(platform)
+                    .or_default()
+                    .push(net.asn);
             }
         }
     }
@@ -158,7 +167,10 @@ fn full_mapping_beats_baseline_on_truth_recall_without_precision_collapse() {
         }
     }
     let recall = |m: &borges_core::AsOrgMapping| {
-        true_pairs.iter().filter(|(a, b)| m.same_org(*a, *b)).count() as f64
+        true_pairs
+            .iter()
+            .filter(|(a, b)| m.same_org(*a, *b))
+            .count() as f64
             / true_pairs.len() as f64
     };
     let precision = |m: &borges_core::AsOrgMapping| {

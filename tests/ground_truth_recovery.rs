@@ -39,8 +39,16 @@ fn score(mapping: &AsOrgMapping, truth: &GroundTruth) -> Scores {
         }
     }
     Scores {
-        precision: if merged == 0 { 1.0 } else { correct as f64 / merged as f64 },
-        recall: if true_pairs == 0 { 1.0 } else { recovered as f64 / true_pairs as f64 },
+        precision: if merged == 0 {
+            1.0
+        } else {
+            correct as f64 / merged as f64
+        },
+        recall: if true_pairs == 0 {
+            1.0
+        } else {
+            recovered as f64 / true_pairs as f64
+        },
     }
 }
 
@@ -61,10 +69,22 @@ fn each_feature_improves_recall_and_keeps_high_precision() {
     let (world, borges) = pipeline();
     let base = score(&borges.mapping(FeatureSet::NONE), &world.truth);
     for features in [
-        FeatureSet { oid_p: true, ..FeatureSet::NONE },
-        FeatureSet { na: true, ..FeatureSet::NONE },
-        FeatureSet { rr: true, ..FeatureSet::NONE },
-        FeatureSet { favicons: true, ..FeatureSet::NONE },
+        FeatureSet {
+            oid_p: true,
+            ..FeatureSet::NONE
+        },
+        FeatureSet {
+            na: true,
+            ..FeatureSet::NONE
+        },
+        FeatureSet {
+            rr: true,
+            ..FeatureSet::NONE
+        },
+        FeatureSet {
+            favicons: true,
+            ..FeatureSet::NONE
+        },
         FeatureSet::ALL,
     ] {
         let s = score(&borges.mapping(features), &world.truth);

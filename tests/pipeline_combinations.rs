@@ -83,10 +83,22 @@ fn every_feature_strictly_improves_theta_alone() {
     let (n, borges) = pipeline();
     let base = organization_factor(&borges.mapping(FeatureSet::NONE), n);
     for features in [
-        FeatureSet { oid_p: true, ..FeatureSet::NONE },
-        FeatureSet { na: true, ..FeatureSet::NONE },
-        FeatureSet { rr: true, ..FeatureSet::NONE },
-        FeatureSet { favicons: true, ..FeatureSet::NONE },
+        FeatureSet {
+            oid_p: true,
+            ..FeatureSet::NONE
+        },
+        FeatureSet {
+            na: true,
+            ..FeatureSet::NONE
+        },
+        FeatureSet {
+            rr: true,
+            ..FeatureSet::NONE
+        },
+        FeatureSet {
+            favicons: true,
+            ..FeatureSet::NONE
+        },
     ] {
         let theta = organization_factor(&borges.mapping(features), n);
         assert!(

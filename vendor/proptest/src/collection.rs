@@ -1,0 +1,26 @@
+//! Collection strategies (`prop::collection::{vec, btree_map}`).
+
+use crate::{BTreeMapStrategy, SizeRange, Strategy, VecStrategy};
+
+/// A `Vec` of `size` elements drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// A `BTreeMap` of `size` entries with keys from `key` and values from
+/// `value` (key collisions re-draw).
+pub fn btree_map<K, V>(key: K, value: V, size: impl Into<SizeRange>) -> BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    BTreeMapStrategy {
+        key,
+        value,
+        size: size.into(),
+    }
+}

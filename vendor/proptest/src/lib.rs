@@ -1,0 +1,541 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this vendored
+//! crate implements the subset of proptest the workspace's property
+//! tests use: [`Strategy`] with `prop_map` / `prop_flat_map` /
+//! `prop_filter`, `any::<T>()`, `Just`, integer-range strategies,
+//! tuple strategies, `prop::collection::{vec, btree_map}`,
+//! `prop::sample::select`, `prop::string::string_regex` (a small
+//! `[class]{m,n}` regex subset, including `\PC`), [`ProptestConfig`],
+//! and the `proptest!` / `prop_assert*` / `prop_assume!` macros.
+//!
+//! Semantics differ from real proptest in one deliberate way: failing
+//! cases are **not shrunk** — the failing input is reported as
+//! generated (each case is derived deterministically from the test
+//! name and case index, so failures reproduce exactly on re-run).
+
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+pub mod sample;
+pub mod string;
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 128 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Deterministic per-case RNG (xoshiro256**, seeded from the test name)
+// ---------------------------------------------------------------------
+
+/// The generator handed to strategies (one per test case).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    /// Derives the RNG for one `(test, case)` pair. FNV-1a over the
+    /// test path keeps distinct tests on distinct streams.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in test_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut state = hash ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut state);
+        }
+        if s == [0; 4] {
+            s[0] = 1;
+        }
+        TestRng { s }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, n)` (fixed-point multiply, n > 0).
+    pub(crate) fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+
+    /// Uniform value in `[lo, hi]` over a wide signed domain.
+    pub(crate) fn int_in(&mut self, lo: i128, hi: i128) -> i128 {
+        debug_assert!(lo <= hi);
+        let span = (hi - lo + 1) as u128;
+        let draw = (u128::from(self.next_u64()) * span) >> 64;
+        lo + draw as i128
+    }
+
+    pub(crate) fn random_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+}
+
+// ---------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a dependent strategy from each generated value.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Rejects generated values failing `predicate` (re-draws; gives up
+    /// with a panic after a bounded number of rejections).
+    fn prop_filter<R, F: Fn(&Self::Value) -> bool>(self, _whence: R, predicate: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            predicate,
+        }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    predicate: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..10_000 {
+            let candidate = self.inner.generate(rng);
+            if (self.predicate)(&candidate) {
+                return candidate;
+            }
+        }
+        panic!("prop_filter rejected 10000 candidates in a row");
+    }
+}
+
+/// A strategy producing one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// --- primitive strategies -------------------------------------------
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    #[doc(hidden)]
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.random_bool()
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Printable ASCII keeps `any::<char>()` debuggable.
+        char::from_u32(0x20 + rng.below(0x5F) as u32).expect("printable ASCII")
+    }
+}
+
+/// The canonical strategy for `T` (uniform over the domain).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// See [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                rng.int_in(self.start as i128, self.end as i128 - 1) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                rng.int_in(*self.start() as i128, *self.end() as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// String literals are regex strategies (`"[a-z]{1,8}"` etc.).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string::Pattern::parse(self)
+            .unwrap_or_else(|e| panic!("invalid regex strategy {self:?}: {e}"))
+            .generate(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+// ---------------------------------------------------------------------
+// Size ranges for collections
+// ---------------------------------------------------------------------
+
+/// Element-count bounds for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl SizeRange {
+    fn sample(self, rng: &mut TestRng) -> usize {
+        rng.int_in(self.lo as i128, self.hi_inclusive as i128) as usize
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty collection size range");
+        SizeRange {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+/// See [`collection::vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// See [`collection::btree_map`].
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: SizeRange,
+}
+
+impl<K, V> Strategy for BTreeMapStrategy<K, V>
+where
+    K: Strategy,
+    K::Value: Ord,
+    V: Strategy,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let target = self.size.sample(rng);
+        let mut map = BTreeMap::new();
+        // Key collisions re-draw; bail out if the key space is too
+        // small to ever reach the target.
+        let mut attempts = 0usize;
+        while map.len() < target && attempts < target * 50 + 100 {
+            attempts += 1;
+            let key = self.key.generate(rng);
+            if let std::collections::btree_map::Entry::Vacant(slot) = map.entry(key) {
+                slot.insert(self.value.generate(rng));
+            }
+        }
+        map
+    }
+}
+
+// ---------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------
+
+/// Defines property tests. Each case binds the patterns from fresh
+/// strategy draws and runs the body; the body runs inside a closure so
+/// `prop_assume!`'s early `return` skips just that case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($config:expr; $(
+        #[test]
+        fn $name:ident( $($pattern:pat_param in $strategy:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        #[test]
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            for __case in 0..__config.cases {
+                let mut __rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(let $pattern = $crate::Strategy::generate(&($strategy), &mut __rng);)+
+                #[allow(unused_mut)]
+                let mut __case_body = || -> () { $body };
+                __case_body();
+            }
+        }
+    )*};
+}
+
+/// Asserts inside a property test (no shrinking, so plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assert inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// The conventional glob import: strategies, config, macros, and the
+/// whole crate under the name `prop` (for `prop::collection::vec` etc.).
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples((a, b) in (1u32..10, 5usize..=6), flag in any::<bool>()) {
+            prop_assert!((1..10).contains(&a));
+            prop_assert!(b == 5 || b == 6);
+            let _ = flag;
+        }
+
+        #[test]
+        fn collections(v in prop::collection::vec(any::<u8>(), 2..5),
+                       m in prop::collection::btree_map(1u64..50, 0u32..3, 1..12)) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!((1..12).contains(&m.len()));
+        }
+
+        #[test]
+        fn regex_strategies(s in "[a-z][a-z0-9]{0,8}", t in "[\\PC]{0,20}") {
+            prop_assert!(!s.is_empty() && s.len() <= 9);
+            prop_assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            prop_assert!(t.chars().count() <= 20);
+            prop_assert!(t.chars().all(|c| !c.is_control()));
+        }
+
+        #[test]
+        fn assume_skips(n in 0u32..10) {
+            prop_assume!(n >= 5);
+            prop_assert!(n >= 5);
+        }
+    }
+
+    #[test]
+    fn determinism_per_case() {
+        let s = crate::collection::vec(any::<u64>(), 3..10);
+        let a = s.generate(&mut TestRng::for_case("x", 7));
+        let b = s.generate(&mut TestRng::for_case("x", 7));
+        let c = s.generate(&mut TestRng::for_case("x", 8));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn select_and_filter() {
+        let mut rng = TestRng::for_case("select", 0);
+        let s = crate::sample::select(vec!["a", "b"]);
+        for _ in 0..20 {
+            let v = s.generate(&mut rng);
+            assert!(v == "a" || v == "b");
+        }
+        let f = (0u32..100).prop_filter("even", |n| n % 2 == 0);
+        for _ in 0..20 {
+            assert_eq!(f.generate(&mut rng) % 2, 0);
+        }
+    }
+}

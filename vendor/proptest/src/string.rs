@@ -1,0 +1,250 @@
+//! String strategies from a small regex subset.
+//!
+//! Supported patterns are sequences of character-class atoms, each
+//! with an optional `{m}` / `{m,n}` repeat: `[a-z][a-z0-9]{0,8}`,
+//! `[ -~]{0,120}`, `[\PC]{0,80}`. Inside a class: literal characters,
+//! `lo-hi` ranges, a trailing literal `-`, and `\PC` (any printable,
+//! non-control character — sampled from a fixed set of assigned
+//! Unicode ranges).
+
+use crate::{Strategy, TestRng};
+
+/// Compiles `pattern` into a string strategy, or reports why the
+/// pattern falls outside the supported subset.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    Pattern::parse(pattern)
+        .map(|pattern| RegexGeneratorStrategy { pattern })
+        .map_err(Error)
+}
+
+/// Unsupported-pattern error from [`string_regex`].
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unsupported regex pattern: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// See [`string_regex`].
+#[derive(Debug, Clone)]
+pub struct RegexGeneratorStrategy {
+    pattern: Pattern,
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        self.pattern.generate(rng)
+    }
+}
+
+/// A parsed pattern: atoms with repeat counts.
+#[derive(Debug, Clone)]
+pub(crate) struct Pattern {
+    atoms: Vec<Atom>,
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    class: Class,
+    min: usize,
+    max: usize,
+}
+
+/// A character class as sampleable codepoint ranges (inclusive).
+#[derive(Debug, Clone)]
+struct Class {
+    ranges: Vec<(u32, u32)>,
+    /// Total codepoints across `ranges` (for uniform sampling).
+    total: u64,
+}
+
+/// `\PC` stand-in: printable characters drawn from assigned ranges
+/// across several scripts (ASCII, Latin-1/Extended, Greek, Cyrillic,
+/// CJK, emoji) — enough to exercise Unicode handling in round-trips.
+const PRINTABLE_RANGES: &[(u32, u32)] = &[
+    (0x0020, 0x007E),
+    (0x00A1, 0x017F),
+    (0x0391, 0x03C9),
+    (0x0410, 0x044F),
+    (0x4E00, 0x4E8C),
+    (0x1F300, 0x1F320),
+];
+
+impl Class {
+    fn from_ranges(ranges: Vec<(u32, u32)>) -> Self {
+        let total = ranges
+            .iter()
+            .map(|(lo, hi)| u64::from(hi - lo) + 1)
+            .sum::<u64>();
+        Class { ranges, total }
+    }
+
+    fn sample(&self, rng: &mut TestRng) -> char {
+        let mut index = rng.below(self.total);
+        for &(lo, hi) in &self.ranges {
+            let span = u64::from(hi - lo) + 1;
+            if index < span {
+                // Ranges only contain valid, non-surrogate scalars.
+                return char::from_u32(lo + index as u32).expect("valid scalar in class range");
+            }
+            index -= span;
+        }
+        unreachable!("class sampling index within total")
+    }
+}
+
+impl Pattern {
+    pub(crate) fn parse(pattern: &str) -> Result<Pattern, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let mut atoms = Vec::new();
+        while pos < chars.len() {
+            if chars[pos] != '[' {
+                return Err(format!(
+                    "expected `[` at offset {pos} (only class atoms are supported)"
+                ));
+            }
+            pos += 1;
+            let class = parse_class(&chars, &mut pos)?;
+            let (min, max) = parse_repeat(&chars, &mut pos)?;
+            atoms.push(Atom { class, min, max });
+        }
+        if atoms.is_empty() {
+            return Err("empty pattern".to_string());
+        }
+        Ok(Pattern { atoms })
+    }
+
+    pub(crate) fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in &self.atoms {
+            let count = rng.int_in(atom.min as i128, atom.max as i128) as usize;
+            for _ in 0..count {
+                out.push(atom.class.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+/// Parses the body of a `[...]` class; `pos` starts just past `[` and
+/// ends just past `]`.
+fn parse_class(chars: &[char], pos: &mut usize) -> Result<Class, String> {
+    let mut ranges: Vec<(u32, u32)> = Vec::new();
+    loop {
+        let ch = *chars
+            .get(*pos)
+            .ok_or_else(|| "unterminated character class".to_string())?;
+        *pos += 1;
+        match ch {
+            ']' => break,
+            '\\' => {
+                let escaped = *chars
+                    .get(*pos)
+                    .ok_or_else(|| "dangling `\\` in class".to_string())?;
+                *pos += 1;
+                match escaped {
+                    'P' => {
+                        let category = *chars
+                            .get(*pos)
+                            .ok_or_else(|| "truncated \\P escape".to_string())?;
+                        *pos += 1;
+                        if category != 'C' {
+                            return Err(format!("unsupported category \\P{category}"));
+                        }
+                        ranges.extend_from_slice(PRINTABLE_RANGES);
+                    }
+                    '\\' | '-' | ']' | '[' => ranges.push((escaped as u32, escaped as u32)),
+                    other => return Err(format!("unsupported class escape \\{other}")),
+                }
+            }
+            lo => {
+                // `lo-hi` range unless `-` is the class's last member.
+                if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).is_some_and(|c| *c != ']') {
+                    let hi = chars[*pos + 1];
+                    *pos += 2;
+                    if (hi as u32) < (lo as u32) {
+                        return Err(format!("inverted range {lo}-{hi}"));
+                    }
+                    ranges.push((lo as u32, hi as u32));
+                } else {
+                    ranges.push((lo as u32, lo as u32));
+                }
+            }
+        }
+    }
+    if ranges.is_empty() {
+        return Err("empty character class".to_string());
+    }
+    Ok(Class::from_ranges(ranges))
+}
+
+/// Parses an optional `{m}` / `{m,n}` repeat; absent means exactly 1.
+fn parse_repeat(chars: &[char], pos: &mut usize) -> Result<(usize, usize), String> {
+    if chars.get(*pos) != Some(&'{') {
+        return Ok((1, 1));
+    }
+    *pos += 1;
+    let mut body = String::new();
+    loop {
+        let ch = *chars
+            .get(*pos)
+            .ok_or_else(|| "unterminated repeat".to_string())?;
+        *pos += 1;
+        if ch == '}' {
+            break;
+        }
+        body.push(ch);
+    }
+    let parse_count = |s: &str| {
+        s.parse::<usize>()
+            .map_err(|_| format!("invalid repeat count `{s}`"))
+    };
+    let (min, max) = match body.split_once(',') {
+        Some((min, max)) => (parse_count(min)?, parse_count(max)?),
+        None => {
+            let n = parse_count(&body)?;
+            (n, n)
+        }
+    };
+    if min > max {
+        return Err(format!("inverted repeat {{{min},{max}}}"));
+    }
+    Ok((min, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_used_patterns() {
+        for pattern in ["[a-z][a-z0-9]{0,8}", "[a-z0-9/]{0,12}", "[ -~]{0,120}", "[\\PC]{0,80}"] {
+            string_regex(pattern).unwrap_or_else(|e| panic!("{pattern}: {e}"));
+        }
+    }
+
+    #[test]
+    fn generated_strings_match_class() {
+        let strategy = string_regex("[ -~]{3,7}").unwrap();
+        let mut rng = TestRng::for_case("class", 0);
+        for _ in 0..100 {
+            let s = strategy.generate(&mut rng);
+            let n = s.chars().count();
+            assert!((3..=7).contains(&n), "bad length {n}");
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn rejects_unsupported() {
+        assert!(string_regex("abc").is_err());
+        assert!(string_regex("[a-z").is_err());
+        assert!(string_regex("").is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! Support machinery shared by the derive macros and data formats.
+//!
+//! Not a stable API — the derive-generated code and `serde_json` are the
+//! only intended consumers.
+
+use crate::de::{self, Deserialize};
+use crate::ser::{self, Serialize, Serializer};
+use std::fmt;
+use std::marker::PhantomData;
+
+/// The single self-describing value tree everything funnels through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Content>),
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// A short human label for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) | Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// A serializer whose output *is* the content tree.
+pub struct ContentSerializer<E> {
+    marker: PhantomData<E>,
+}
+
+impl<E: ser::Error> Serializer for ContentSerializer<E> {
+    type Ok = Content;
+    type Error = E;
+    fn serialize_content(self, content: Content) -> Result<Content, E> {
+        Ok(content)
+    }
+}
+
+/// Serializes any value to a [`Content`] tree.
+pub fn to_content<T: Serialize + ?Sized, E: ser::Error>(value: &T) -> Result<Content, E> {
+    value.serialize(ContentSerializer {
+        marker: PhantomData,
+    })
+}
+
+/// A deserializer that reads back from a [`Content`] tree.
+pub struct ContentDeserializer<E> {
+    content: Content,
+    marker: PhantomData<E>,
+}
+
+impl<E> ContentDeserializer<E> {
+    /// Wraps `content` for deserialization.
+    pub fn new(content: Content) -> Self {
+        ContentDeserializer {
+            content,
+            marker: PhantomData,
+        }
+    }
+}
+
+impl<'de, E: de::Error> crate::de::Deserializer<'de> for ContentDeserializer<E> {
+    type Error = E;
+    fn take_content(self) -> Result<Content, E> {
+        Ok(self.content)
+    }
+}
+
+/// Deserializes any value from a [`Content`] tree.
+pub fn from_content<'de, T: Deserialize<'de>, E: de::Error>(content: Content) -> Result<T, E> {
+    T::deserialize(ContentDeserializer::new(content))
+}
+
+/// Field-by-field reader over a `Content::Map`, used by derived
+/// `Deserialize` impls for structs.
+pub struct MapReader<E> {
+    entries: Vec<(String, Content)>,
+    marker: PhantomData<E>,
+}
+
+impl<E: de::Error> MapReader<E> {
+    /// Requires `content` to be a map.
+    pub fn new(content: Content) -> Result<Self, E> {
+        match content {
+            Content::Map(entries) => Ok(MapReader {
+                entries,
+                marker: PhantomData,
+            }),
+            other => Err(E::custom(format_args!(
+                "invalid type: expected map, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    fn take(&mut self, name: &str) -> Option<Content> {
+        let position = self.entries.iter().position(|(key, _)| key == name)?;
+        Some(self.entries.remove(position).1)
+    }
+
+    /// A required field.
+    pub fn field<'de, T: Deserialize<'de>>(&mut self, name: &str) -> Result<T, E> {
+        match self.take(name) {
+            Some(content) => from_content(content),
+            None => Err(E::custom(format_args!("missing field `{name}`"))),
+        }
+    }
+
+    /// An optional field (`#[serde(default)]`).
+    pub fn opt_field<'de, T: Deserialize<'de>>(&mut self, name: &str) -> Result<Option<T>, E> {
+        match self.take(name) {
+            Some(content) => from_content(content).map(Some),
+            None => Ok(None),
+        }
+    }
+}
+
+/// Shared error rendering for unknown enum variants.
+pub fn unknown_variant<E: de::Error>(variant: &str, of: &'static str) -> E {
+    E::custom(format_args!("unknown variant `{variant}` of `{of}`"))
+}
+
+/// Shared error rendering for enum content that is neither a string nor
+/// a single-key map.
+pub fn invalid_enum<E: de::Error>(content: &Content, of: &'static str) -> E {
+    E::custom(format_args!(
+        "invalid type for enum `{of}`: found {}",
+        content.kind()
+    ))
+}
+
+impl fmt::Display for Content {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.kind())
+    }
+}

@@ -1,0 +1,147 @@
+//! Deserialization half of the simplified data model.
+
+use crate::__private::{from_content, Content};
+use std::fmt::Display;
+
+/// Errors produced while deserializing.
+pub trait Error: Sized + std::error::Error {
+    /// An error carrying a custom message.
+    fn custom<T: Display>(msg: T) -> Self;
+}
+
+/// A data format that can produce a [`Content`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Deserialization failure.
+    type Error: Error;
+
+    /// Produces the whole value tree.
+    fn take_content(self) -> Result<Content, Self::Error>;
+}
+
+/// A value constructible from any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self`.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+fn type_error<E: Error>(expected: &str, found: &Content) -> E {
+    E::custom(format_args!(
+        "invalid type: expected {expected}, found {}",
+        found.kind()
+    ))
+}
+
+impl<'de> Deserialize<'de> for u64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::U64(v) => Ok(v),
+            Content::I64(v) if v >= 0 => Ok(v as u64),
+            other => Err(type_error("u64", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for i64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::I64(v) => Ok(v),
+            Content::U64(v) => i64::try_from(v)
+                .map_err(|_| D::Error::custom(format_args!("integer {v} overflows i64"))),
+            other => Err(type_error("i64", &other)),
+        }
+    }
+}
+
+macro_rules! impl_deserialize_via_u64 {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let wide = u64::deserialize(deserializer)?;
+                <$t>::try_from(wide).map_err(|_| {
+                    D::Error::custom(format_args!(
+                        "integer {wide} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_deserialize_via_i64 {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                let wide = i64::deserialize(deserializer)?;
+                <$t>::try_from(wide).map_err(|_| {
+                    D::Error::custom(format_args!(
+                        "integer {wide} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+
+impl_deserialize_via_u64!(u8, u16, u32, usize);
+impl_deserialize_via_i64!(i8, i16, i32, isize);
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::F64(v) => Ok(v),
+            Content::U64(v) => Ok(v as f64),
+            Content::I64(v) => Ok(v as f64),
+            other => Err(type_error("f64", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        f64::deserialize(deserializer).map(|v| v as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Bool(v) => Ok(v),
+            other => Err(type_error("bool", &other)),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Str(v) => Ok(v),
+            other => Err(type_error("string", &other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Null => Ok(None),
+            content => from_content(content).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_content()? {
+            Content::Seq(items) => items.into_iter().map(from_content).collect(),
+            other => Err(type_error("sequence", &other)),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}

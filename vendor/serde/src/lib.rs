@@ -1,0 +1,23 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors a simplified serde: instead of the visitor-based zero-copy
+//! data model, every value funnels through one owned, self-describing
+//! tree ([`__private::Content`]). Serializers consume a `Content`;
+//! deserializers produce one. This costs allocations but preserves the
+//! public trait shapes the workspace relies on — `Serialize`,
+//! `Deserialize<'de>`, `Serializer`, `Deserializer<'de>`,
+//! `ser::Error::custom` / `de::Error::custom` — and the derive macros
+//! (re-exported from the vendored `serde_derive`), including
+//! `#[serde(transparent)]` and field-level `#[serde(default)]`.
+
+pub mod de;
+pub mod ser;
+
+#[doc(hidden)]
+pub mod __private;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,537 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no crates.io access, so `syn`/`quote` are
+//! unavailable; this macro hand-parses the item's `TokenStream` and
+//! emits impl code as a string. It supports exactly the shapes this
+//! workspace derives:
+//!
+//! - named structs (with optional generic type parameters and
+//!   field-level `#[serde(default)]`),
+//! - `#[serde(transparent)]` newtype structs,
+//! - enums with unit, newtype and struct variants (externally tagged:
+//!   unit variants serialize as `"Name"`, payload variants as
+//!   `{"Name": …}` — the same representation as real serde).
+//!
+//! Generated `Deserialize` code leans on type inference (`MapReader::
+//! field` returns whatever the struct field needs), so field *types*
+//! never have to be parsed — only identifiers.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(item) => {
+            if serialize {
+                generate_serialize(&item)
+            } else {
+                generate_deserialize(&item)
+            }
+        }
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("derive generated invalid Rust")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    /// Generic type-parameter idents (no bounds supported or needed).
+    generics: Vec<String>,
+    transparent: bool,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named fields with their `#[serde(default)]` flags.
+    NamedStruct(Vec<Field>),
+    /// Tuple struct with N fields (only N == 1 is supported, as
+    /// `#[serde(transparent)]`-style newtype).
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    Unit,
+    Newtype,
+    Struct(Vec<String>),
+}
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let token = self.tokens.get(self.pos).cloned();
+        self.pos += 1;
+        token
+    }
+
+    fn at_punct(&self, ch: char) -> bool {
+        matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ch)
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if self.at_punct(ch) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn at_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    fn expect_ident(&mut self) -> Result<String, String> {
+        match self.bump() {
+            Some(TokenTree::Ident(i)) => Ok(i.to_string()),
+            other => Err(format!("expected identifier, found {other:?}")),
+        }
+    }
+}
+
+#[derive(Default)]
+struct SerdeAttrs {
+    transparent: bool,
+    default: bool,
+}
+
+/// Consumes leading `#[...]` attributes, accumulating serde flags.
+fn parse_attrs(cursor: &mut Cursor) -> SerdeAttrs {
+    let mut flags = SerdeAttrs::default();
+    while cursor.at_punct('#') {
+        cursor.bump();
+        let Some(TokenTree::Group(group)) = cursor.bump() else {
+            break;
+        };
+        let mut inner = Cursor::new(group.stream());
+        if inner.at_ident("serde") {
+            inner.bump();
+            if let Some(TokenTree::Group(args)) = inner.bump() {
+                for token in args.stream() {
+                    if let TokenTree::Ident(word) = token {
+                        match word.to_string().as_str() {
+                            "transparent" => flags.transparent = true,
+                            "default" => flags.default = true,
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+    flags
+}
+
+fn skip_visibility(cursor: &mut Cursor) {
+    if cursor.at_ident("pub") {
+        cursor.bump();
+        if matches!(cursor.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            cursor.bump();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut cursor = Cursor::new(input);
+    let attrs = parse_attrs(&mut cursor);
+    skip_visibility(&mut cursor);
+
+    let keyword = cursor.expect_ident()?;
+    let name = cursor.expect_ident()?;
+    let mut generics = Vec::new();
+    if cursor.eat_punct('<') {
+        let mut depth = 1usize;
+        let mut after_quote = false;
+        while depth > 0 {
+            match cursor.bump() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => depth += 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => depth -= 1,
+                Some(TokenTree::Punct(p)) if p.as_char() == '\'' => after_quote = true,
+                Some(TokenTree::Ident(i)) => {
+                    if depth == 1 && !after_quote {
+                        generics.push(i.to_string());
+                    }
+                    after_quote = false;
+                }
+                Some(_) => after_quote = false,
+                None => return Err("unclosed generics".to_string()),
+            }
+        }
+    }
+
+    let kind = match keyword.as_str() {
+        "struct" => match cursor.bump() {
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(body.stream())?)
+            }
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(body.stream()))
+            }
+            other => return Err(format!("unsupported struct body: {other:?}")),
+        },
+        "enum" => match cursor.bump() {
+            Some(TokenTree::Group(body)) if body.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(body.stream())?)
+            }
+            other => return Err(format!("unsupported enum body: {other:?}")),
+        },
+        other => return Err(format!("cannot derive for `{other}` items")),
+    };
+
+    Ok(Item {
+        name,
+        generics,
+        transparent: attrs.transparent,
+        kind,
+    })
+}
+
+/// Skips one field type: everything up to a comma at angle-bracket
+/// depth zero (field types here never contain function pointers or
+/// other comma-bearing constructs outside `<...>`).
+fn skip_type(cursor: &mut Cursor) {
+    let mut angle = 0usize;
+    loop {
+        match cursor.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle == 0 => {
+                cursor.bump();
+                return;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                angle += 1;
+                cursor.bump();
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                angle = angle.saturating_sub(1);
+                cursor.bump();
+            }
+            Some(_) => {
+                cursor.bump();
+            }
+            None => return,
+        }
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut cursor = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while cursor.peek().is_some() {
+        let attrs = parse_attrs(&mut cursor);
+        if cursor.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut cursor);
+        let name = cursor.expect_ident()?;
+        if !cursor.eat_punct(':') {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        skip_type(&mut cursor);
+        fields.push(Field {
+            name,
+            default: attrs.default,
+        });
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut cursor = Cursor::new(stream);
+    if cursor.peek().is_none() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0usize;
+    while let Some(token) = cursor.bump() {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle = angle.saturating_sub(1),
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if cursor.peek().is_some() {
+                    count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut cursor = Cursor::new(stream);
+    let mut variants = Vec::new();
+    while cursor.peek().is_some() {
+        parse_attrs(&mut cursor);
+        if cursor.peek().is_none() {
+            break;
+        }
+        let name = cursor.expect_ident()?;
+        let shape = match cursor.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let count = count_tuple_fields(g.stream());
+                cursor.bump();
+                if count != 1 {
+                    return Err(format!(
+                        "variant `{name}`: only single-field tuple variants are supported"
+                    ));
+                }
+                Shape::Newtype
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream())?;
+                cursor.bump();
+                Shape::Struct(fields.into_iter().map(|f| f.name).collect())
+            }
+            _ => Shape::Unit,
+        };
+        cursor.eat_punct(',');
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn impl_header_serialize(item: &Item) -> String {
+    if item.generics.is_empty() {
+        format!("impl ::serde::Serialize for {}", item.name)
+    } else {
+        let bounds: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::Serialize"))
+            .collect();
+        format!(
+            "impl<{}> ::serde::Serialize for {}<{}>",
+            bounds.join(", "),
+            item.name,
+            item.generics.join(", ")
+        )
+    }
+}
+
+fn impl_header_deserialize(item: &Item) -> String {
+    let mut params = vec!["'de".to_string()];
+    params.extend(
+        item.generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::Deserialize<'de>")),
+    );
+    let ty_args = if item.generics.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", item.generics.join(", "))
+    };
+    format!(
+        "impl<{}> ::serde::Deserialize<'de> for {}{}",
+        params.join(", "),
+        item.name,
+        ty_args
+    )
+}
+
+fn generate_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::TupleStruct(1) => {
+            "::serde::Serialize::serialize(&self.0, __serializer)".to_string()
+        }
+        Kind::TupleStruct(_) => {
+            return format!(
+                "compile_error!(\"derive(Serialize): `{name}`: only newtype tuple structs are supported\");"
+            );
+        }
+        Kind::NamedStruct(fields) if item.transparent => {
+            let field = &fields[0].name;
+            format!("::serde::Serialize::serialize(&self.{field}, __serializer)")
+        }
+        Kind::NamedStruct(fields) => {
+            let mut lines = vec![format!(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::__private::Content)> = ::std::vec::Vec::with_capacity({});",
+                fields.len()
+            )];
+            for field in fields {
+                lines.push(format!(
+                    "__fields.push((::std::string::String::from(\"{0}\"), ::serde::__private::to_content(&self.{0})?));",
+                    field.name
+                ));
+            }
+            lines.push(
+                "__serializer.serialize_content(::serde::__private::Content::Map(__fields))"
+                    .to_string(),
+            );
+            lines.join("\n")
+        }
+        Kind::Enum(variants) => {
+            let mut arms = Vec::new();
+            for variant in variants {
+                let v = &variant.name;
+                match &variant.shape {
+                    Shape::Unit => arms.push(format!(
+                        "{name}::{v} => __serializer.serialize_content(::serde::__private::Content::Str(::std::string::String::from(\"{v}\"))),"
+                    )),
+                    Shape::Newtype => arms.push(format!(
+                        "{name}::{v}(__field) => __serializer.serialize_content(::serde::__private::Content::Map(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::__private::to_content(__field)?)])),"
+                    )),
+                    Shape::Struct(fields) => {
+                        let mut pushes = String::new();
+                        for f in fields {
+                            pushes.push_str(&format!(
+                                "__inner.push((::std::string::String::from(\"{f}\"), ::serde::__private::to_content({f})?));\n"
+                            ));
+                        }
+                        arms.push(format!(
+                            "{name}::{v} {{ {pattern} }} => {{\nlet mut __inner: ::std::vec::Vec<(::std::string::String, ::serde::__private::Content)> = ::std::vec::Vec::with_capacity({cap});\n{pushes}__serializer.serialize_content(::serde::__private::Content::Map(::std::vec![(::std::string::String::from(\"{v}\"), ::serde::__private::Content::Map(__inner))]))\n}},",
+                            pattern = fields.join(", "),
+                            cap = fields.len(),
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{}\n}}", arms.join("\n"))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n#[allow(clippy::all, unused_mut)]\n{header} {{\n    fn serialize<__S: ::serde::Serializer>(&self, __serializer: __S) -> ::std::result::Result<__S::Ok, __S::Error> {{\n{body}\n    }}\n}}",
+        header = impl_header_serialize(item),
+    )
+}
+
+fn named_struct_constructor(name: &str, fields: &[Field]) -> String {
+    let mut inits = Vec::new();
+    for field in fields {
+        if field.default {
+            inits.push(format!(
+                "{0}: __map.opt_field(\"{0}\")?.unwrap_or_default(),",
+                field.name
+            ));
+        } else {
+            inits.push(format!("{0}: __map.field(\"{0}\")?,", field.name));
+        }
+    }
+    format!("{name} {{\n{}\n}}", inits.join("\n"))
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__deserializer)?))"
+        ),
+        Kind::TupleStruct(_) => {
+            return format!(
+                "compile_error!(\"derive(Deserialize): `{name}`: only newtype tuple structs are supported\");"
+            );
+        }
+        Kind::NamedStruct(fields) if item.transparent => {
+            let field = &fields[0].name;
+            format!(
+                "::std::result::Result::Ok({name} {{ {field}: ::serde::Deserialize::deserialize(__deserializer)? }})"
+            )
+        }
+        Kind::NamedStruct(fields) => format!(
+            "let mut __map = ::serde::__private::MapReader::<__D::Error>::new(::serde::Deserializer::take_content(__deserializer)?)?;\n::std::result::Result::Ok({})",
+            named_struct_constructor(name, fields)
+        ),
+        Kind::Enum(variants) => {
+            let has_unit = variants.iter().any(|v| matches!(v.shape, Shape::Unit));
+            let has_payload = variants.iter().any(|v| !matches!(v.shape, Shape::Unit));
+            let mut arms = Vec::new();
+            if has_unit {
+                let mut unit_arms = Vec::new();
+                for variant in variants {
+                    if matches!(variant.shape, Shape::Unit) {
+                        let v = &variant.name;
+                        unit_arms
+                            .push(format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),"));
+                    }
+                }
+                arms.push(format!(
+                    "::serde::__private::Content::Str(__variant) => match __variant.as_str() {{\n{}\n__other => ::std::result::Result::Err(::serde::__private::unknown_variant::<__D::Error>(__other, \"{name}\")),\n}},",
+                    unit_arms.join("\n")
+                ));
+            }
+            if has_payload {
+                let mut payload_arms = Vec::new();
+                for variant in variants {
+                    let v = &variant.name;
+                    match &variant.shape {
+                        Shape::Unit => {}
+                        Shape::Newtype => payload_arms.push(format!(
+                            "\"{v}\" => ::std::result::Result::Ok({name}::{v}(::serde::__private::from_content::<_, __D::Error>(__value)?)),"
+                        )),
+                        Shape::Struct(fields) => {
+                            let field_structs: Vec<Field> = fields
+                                .iter()
+                                .map(|f| Field {
+                                    name: f.clone(),
+                                    default: false,
+                                })
+                                .collect();
+                            payload_arms.push(format!(
+                                "\"{v}\" => {{\nlet mut __map = ::serde::__private::MapReader::<__D::Error>::new(__value)?;\n::std::result::Result::Ok({})\n}},",
+                                named_struct_constructor(&format!("{name}::{v}"), &field_structs)
+                            ));
+                        }
+                    }
+                }
+                arms.push(format!(
+                    "::serde::__private::Content::Map(mut __entries) => {{\nif __entries.len() != 1 {{\nreturn ::std::result::Result::Err(::serde::de::Error::custom(\"expected a single-key map for enum {name}\"));\n}}\nlet (__variant, __value) = __entries.pop().expect(\"length checked\");\nmatch __variant.as_str() {{\n{}\n__other => ::std::result::Result::Err(::serde::__private::unknown_variant::<__D::Error>(__other, \"{name}\")),\n}}\n}},",
+                    payload_arms.join("\n")
+                ));
+            }
+            arms.push(format!(
+                "__other => ::std::result::Result::Err(::serde::__private::invalid_enum::<__D::Error>(&__other, \"{name}\")),"
+            ));
+            format!(
+                "match ::serde::Deserializer::take_content(__deserializer)? {{\n{}\n}}",
+                arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n#[allow(clippy::all, unused_mut)]\n{header} {{\n    fn deserialize<__D: ::serde::Deserializer<'de>>(__deserializer: __D) -> ::std::result::Result<Self, __D::Error> {{\n{body}\n    }}\n}}",
+        header = impl_header_deserialize(item),
+    )
+}

@@ -1,0 +1,122 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Implements the API subset the workspace uses — `from_str`,
+//! `to_string`, `to_string_pretty`, [`Value`] (with indexing, `as_*`
+//! accessors and the `json!` macro) and [`Error`] — on top of the
+//! vendored serde's `Content` data model. The writer is deterministic
+//! (field order = declaration order; pretty mode uses two-space
+//! indentation), which is what the snapshot round-trip tests rely on.
+
+mod read;
+mod value;
+mod write;
+
+pub use value::{Number, Value};
+
+use serde::__private::{from_content, to_content, Content};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Serialization/deserialization failure.
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Error({:?})", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+/// Deserializes a value from JSON text.
+pub fn from_str<T: for<'de> Deserialize<'de>>(text: &str) -> Result<T, Error> {
+    let content = read::parse(text)?;
+    from_content(content)
+}
+
+/// Serializes a value to compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let content: Content = to_content(value)?;
+    Ok(write::write(&content, false))
+}
+
+/// Serializes a value to pretty-printed JSON (2-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let content: Content = to_content(value)?;
+    Ok(write::write(&content, true))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        assert_eq!(from_str::<u64>("42").unwrap(), 42);
+        assert_eq!(from_str::<i64>("-7").unwrap(), -7);
+        assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
+        assert_eq!(from_str::<bool>("true").unwrap(), true);
+        assert_eq!(from_str::<String>(r#""a\nb""#).unwrap(), "a\nb");
+        assert_eq!(to_string(&42u64).unwrap(), "42");
+        assert_eq!(to_string("a\"b").unwrap(), r#""a\"b""#);
+    }
+
+    #[test]
+    fn roundtrip_unicode_and_escapes() {
+        let source = "emoji \u{1F300} / quote \" / control \u{0007} / ñandú 中文";
+        let json = to_string(&source.to_string()).unwrap();
+        assert_eq!(from_str::<String>(&json).unwrap(), source);
+        // \u-escapes (including surrogate pairs) parse too.
+        assert_eq!(from_str::<String>(r#""🌀""#).unwrap(), "\u{1F300}");
+    }
+
+    #[test]
+    fn malformed_inputs_error_cleanly() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+        assert!(from_str::<Value>("\"unterminated").is_err());
+        assert!(from_str::<Value>("1 trailing").is_err());
+    }
+
+    #[test]
+    fn value_indexing() {
+        let v = json!({"a": [1, 2], "b": {"c": "x"}});
+        assert_eq!(v["a"][0], 1);
+        assert_eq!(v["b"]["c"], "x");
+        assert!(v["missing"].is_null());
+        assert_eq!(v["a"].as_array().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn pretty_shape() {
+        let text = to_string_pretty(&json!({"k": [1], "e": {}})).unwrap();
+        assert_eq!(text, "{\n  \"k\": [\n    1\n  ],\n  \"e\": {}\n}");
+    }
+}

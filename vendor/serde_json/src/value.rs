@@ -1,0 +1,482 @@
+//! The dynamically-typed [`Value`] tree and the `json!` macro.
+
+use crate::Error;
+use serde::__private::Content;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+/// A JSON number: exact integers where possible, floats otherwise.
+#[derive(Debug, Clone, Copy)]
+pub enum Number {
+    /// A non-negative integer.
+    PosInt(u64),
+    /// A negative integer.
+    NegInt(i64),
+    /// A float.
+    Float(f64),
+}
+
+impl Number {
+    /// The value as `u64`, if exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(v) => Some(v),
+            Number::NegInt(v) => u64::try_from(v).ok(),
+            Number::Float(_) => None,
+        }
+    }
+
+    /// The value as `f64` (lossy for huge integers).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::PosInt(v) => v as f64,
+            Number::NegInt(v) => v as f64,
+            Number::Float(v) => v,
+        }
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Number::PosInt(a), Number::PosInt(b)) => a == b,
+            (Number::NegInt(a), Number::NegInt(b)) => a == b,
+            _ => self.as_f64() == other.as_f64(),
+        }
+    }
+}
+
+/// A parsed JSON value.
+///
+/// Objects preserve insertion order (like serde_json with its default
+/// feature set disabled — i.e. *not* sorted), which keeps writer output
+/// byte-stable under round-trips.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`
+    #[default]
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (ordered key–value pairs).
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Member access: `value.get("key")` or `value.get(3)`. Returns
+    /// `None` on kind mismatch or missing member.
+    pub fn get<I: JsonIndex>(&self, index: I) -> Option<&Value> {
+        index.index_into(self)
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `u64`, if exactly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The bool payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The array payload.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// `true` if this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// `true` if this is an array.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Value::Array(_))
+    }
+
+    /// `true` if this is an object.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Value::Object(_))
+    }
+
+    /// Serializes any `Serialize` value by reference (the `json!`
+    /// macro routes interpolated expressions here, matching upstream's
+    /// by-reference semantics so field accesses are not moved).
+    #[doc(hidden)]
+    pub fn from_serialize<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+        let content = serde::__private::to_content::<T, crate::Error>(value)
+            .expect("serialization into Value is infallible");
+        Value::from_content(content)
+    }
+
+    fn from_content(content: Content) -> Value {
+        match content {
+            Content::Null => Value::Null,
+            Content::Bool(b) => Value::Bool(b),
+            Content::U64(v) => Value::Number(Number::PosInt(v)),
+            Content::I64(v) if v >= 0 => Value::Number(Number::PosInt(v as u64)),
+            Content::I64(v) => Value::Number(Number::NegInt(v)),
+            Content::F64(v) => Value::Number(Number::Float(v)),
+            Content::Str(s) => Value::String(s),
+            Content::Seq(items) => {
+                Value::Array(items.into_iter().map(Value::from_content).collect())
+            }
+            Content::Map(entries) => Value::Object(
+                entries
+                    .into_iter()
+                    .map(|(k, v)| (k, Value::from_content(v)))
+                    .collect(),
+            ),
+        }
+    }
+
+    fn to_content(&self) -> Content {
+        match self {
+            Value::Null => Content::Null,
+            Value::Bool(b) => Content::Bool(*b),
+            Value::Number(Number::PosInt(v)) => Content::U64(*v),
+            Value::Number(Number::NegInt(v)) => Content::I64(*v),
+            Value::Number(Number::Float(v)) => Content::F64(*v),
+            Value::String(s) => Content::Str(s.clone()),
+            Value::Array(items) => Content::Seq(items.iter().map(Value::to_content).collect()),
+            Value::Object(entries) => Content::Map(
+                entries
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.to_content()))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(self.to_content())
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Ok(Value::from_content(deserializer.take_content()?))
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&crate::write::write(&self.to_content(), false))
+    }
+}
+
+impl std::str::FromStr for Value {
+    type Err = Error;
+    fn from_str(text: &str) -> Result<Self, Error> {
+        crate::from_str(text)
+    }
+}
+
+/// Types usable with [`Value::get`] and `value[...]`.
+pub trait JsonIndex {
+    /// Looks `self` up in `value`.
+    fn index_into<'v>(&self, value: &'v Value) -> Option<&'v Value>;
+}
+
+impl JsonIndex for usize {
+    fn index_into<'v>(&self, value: &'v Value) -> Option<&'v Value> {
+        value.as_array()?.get(*self)
+    }
+}
+
+impl JsonIndex for str {
+    fn index_into<'v>(&self, value: &'v Value) -> Option<&'v Value> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .find(|(key, _)| key == self)
+                .map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl JsonIndex for String {
+    fn index_into<'v>(&self, value: &'v Value) -> Option<&'v Value> {
+        self.as_str().index_into(value)
+    }
+}
+
+impl<I: JsonIndex + ?Sized> JsonIndex for &I {
+    fn index_into<'v>(&self, value: &'v Value) -> Option<&'v Value> {
+        (**self).index_into(value)
+    }
+}
+
+impl<I: JsonIndex> std::ops::Index<I> for Value {
+    type Output = Value;
+    /// Missing members index to `Value::Null` (like serde_json).
+    fn index(&self, index: I) -> &Value {
+        index.index_into(self).unwrap_or(&NULL)
+    }
+}
+
+// --- equality against plain Rust values (for assert_eq! ergonomics) ---
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+macro_rules! impl_eq_number {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                match self {
+                    Value::Number(n) => n.as_f64() == *other as f64,
+                    _ => false,
+                }
+            }
+        }
+    )*};
+}
+
+impl_eq_number!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+// --- conversions used by the json! macro ---
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Value {
+        Value::Array(v)
+    }
+}
+
+macro_rules! impl_from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(Number::PosInt(v as u64))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                if v >= 0 {
+                    Value::Number(Number::PosInt(v as u64))
+                } else {
+                    Value::Number(Number::NegInt(v as i64))
+                }
+            }
+        }
+    )*};
+}
+
+impl_from_unsigned!(u8, u16, u32, u64, usize);
+impl_from_signed!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::Float(v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::Float(f64::from(v)))
+    }
+}
+
+/// Builds a [`Value`] from JSON-looking syntax with expression
+/// interpolation, e.g. `json!({"model": model, "choices": [{"index": 0}]})`.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({}) => { $crate::Value::Object(::std::vec::Vec::new()) };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ({ $($body:tt)+ }) => { $crate::json_object_internal!([] $($body)+) };
+    ([ $($body:tt)+ ]) => { $crate::json_array_internal!([] $($body)+) };
+    ($other:expr) => { $crate::Value::from_serialize(&$other) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_internal {
+    // All pairs accumulated.
+    ([$($done:tt)*]) => { $crate::Value::Object(::std::vec![$($done)*]) };
+    // Start of a `"key": value` entry — hand off to the value muncher.
+    ([$($done:tt)*] $key:literal : $($rest:tt)+) => {
+        $crate::json_value_internal!([$($done)*] $key [] $($rest)+)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_value_internal {
+    // Value tokens complete at a top-level comma.
+    ([$($done:tt)*] $key:literal [$($val:tt)+] , $($rest:tt)*) => {
+        $crate::json_object_internal!(
+            [$($done)* (::std::string::String::from($key), $crate::json!($($val)+)),]
+            $($rest)*
+        )
+    };
+    // Value tokens complete at end of input.
+    ([$($done:tt)*] $key:literal [$($val:tt)+]) => {
+        $crate::json_object_internal!(
+            [$($done)* (::std::string::String::from($key), $crate::json!($($val)+)),]
+        )
+    };
+    // Munch one more value token.
+    ([$($done:tt)*] $key:literal [$($val:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::json_value_internal!([$($done)*] $key [$($val)* $next] $($rest)*)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_internal {
+    // All elements accumulated.
+    ([$($done:tt)*]) => { $crate::Value::Array(::std::vec![$($done)*]) };
+    // Start munching the next element.
+    ([$($done:tt)*] $($rest:tt)+) => {
+        $crate::json_element_internal!([$($done)*] [] $($rest)+)
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_element_internal {
+    ([$($done:tt)*] [$($val:tt)+] , $($rest:tt)*) => {
+        $crate::json_array_internal!([$($done)* $crate::json!($($val)+),] $($rest)*)
+    };
+    ([$($done:tt)*] [$($val:tt)+]) => {
+        $crate::json_array_internal!([$($done)* $crate::json!($($val)+),])
+    };
+    ([$($done:tt)*] [$($val:tt)*] $next:tt $($rest:tt)*) => {
+        $crate::json_element_internal!([$($done)*] [$($val)* $next] $($rest)*)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[allow(unused_imports)]
+    use crate::{json, Value};
+
+    #[test]
+    fn literals_and_interpolation() {
+        let name = String::from("borges");
+        let count: u64 = 3;
+        let v = json!({
+            "name": name,
+            "temperature": 0.0,
+            "count": count,
+            "nested": {"flag": true, "nothing": null},
+            "list": [1, "two", {"three": 3}],
+            "trailing": "comma",
+        });
+        assert_eq!(v["name"], "borges");
+        assert_eq!(v["temperature"], 0.0);
+        assert_eq!(v["count"], 3);
+        assert_eq!(v["nested"]["flag"], true);
+        assert!(v["nested"]["nothing"].is_null());
+        assert_eq!(v["list"][1], "two");
+        assert_eq!(v["list"][2]["three"], 3);
+        assert_eq!(v["trailing"], "comma");
+    }
+
+    #[test]
+    fn method_call_values() {
+        struct Wrap(u64);
+        impl Wrap {
+            fn total(&self) -> u64 {
+                self.0 * 2
+            }
+        }
+        let w = Wrap(21);
+        let v = json!({"total": w.total(), "formatted": format!("n={}", w.0)});
+        assert_eq!(v["total"], 42);
+        assert_eq!(v["formatted"], "n=21");
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert!(json!({}).is_object());
+        assert!(json!([]).is_array());
+        assert_eq!(json!({"a": [], "b": {}})["a"], json!([]));
+    }
+}

@@ -1,0 +1,99 @@
+//! Deterministic JSON writer (compact and 2-space pretty modes).
+
+use serde::__private::Content;
+
+pub fn write(content: &Content, pretty: bool) -> String {
+    let mut out = String::new();
+    emit(content, pretty, 0, &mut out);
+    out
+}
+
+fn emit(content: &Content, pretty: bool, indent: usize, out: &mut String) {
+    match content {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => emit_f64(*v, out),
+        Content::Str(s) => emit_str(s, out),
+        Content::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(pretty, indent + 1, out);
+                emit(item, pretty, indent + 1, out);
+            }
+            newline_indent(pretty, indent, out);
+            out.push(']');
+        }
+        Content::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (key, value)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                newline_indent(pretty, indent + 1, out);
+                emit_str(key, out);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                emit(value, pretty, indent + 1, out);
+            }
+            newline_indent(pretty, indent, out);
+            out.push('}');
+        }
+    }
+}
+
+fn newline_indent(pretty: bool, indent: usize, out: &mut String) {
+    if pretty {
+        out.push('\n');
+        for _ in 0..indent {
+            out.push_str("  ");
+        }
+    }
+}
+
+fn emit_f64(v: f64, out: &mut String) {
+    if v.is_finite() {
+        // Rust's shortest-roundtrip Display; integral floats print
+        // without a fraction and read back as integers, which the
+        // numeric deserializers accept for float targets.
+        out.push_str(&v.to_string());
+    } else {
+        // JSON has no Infinity/NaN; match serde_json's lossy `null`.
+        out.push_str("null");
+    }
+}
+
+fn emit_str(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
