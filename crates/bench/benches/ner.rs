@@ -22,7 +22,7 @@ fn bench_ner(c: &mut Criterion) {
     group.bench_function("single_record_roundtrip", |b| {
         b.iter(|| {
             let prompt = build_ie_prompt(Asn::new(3320), black_box(DT_NOTES), "");
-            let reply = model.complete(&ChatRequest::user(prompt));
+            let reply = model.complete(&ChatRequest::user(prompt)).unwrap();
             black_box(parse_ie_reply(&reply.text))
         })
     });

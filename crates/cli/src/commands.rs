@@ -7,11 +7,12 @@ use borges_core::mapfile;
 use borges_core::orgfactor::organization_factor;
 use borges_core::pipeline::{Borges, FeatureSet};
 use borges_core::AsOrgMapping;
-use borges_llm::SimLlm;
+use borges_llm::{FlakyModel, SimLlm};
+use borges_resilience::{EpisodePlan, RetryPolicy};
 use borges_synthnet::io::{save, DatasetBundle};
 use borges_synthnet::{GeneratorConfig, SyntheticInternet};
 use borges_types::Asn;
-use borges_websim::SimWebClient;
+use borges_websim::{FlakyWebClient, SimWebClient};
 use std::path::Path;
 
 const HELP: &str = "\
@@ -21,10 +22,17 @@ USAGE:
   borges generate --out DIR [--scale tiny|medium|paper] [--seed N] [--no-truth]
       Generate a synthetic-Internet dataset bundle.
   borges map --data DIR --out FILE [--features all|none|LIST] [--seed N] [--threads N]
+             [--fault-rate R] [--retries N] [--chaos-seed N]
       Run the pipeline over a bundle and write the mapping.
       LIST is comma-separated from: oid_p, na, rr, favicons.
       --threads defaults to the machine's available parallelism; it
       drives the crawl, the LLM extraction, and mapping materialization.
+      --fault-rate R injects seeded transient transport faults (R in
+      [0,1]) at both the crawl and the LLM boundary; --retries N caps
+      recovery at N retries per call (default 4; 0 disables recovery);
+      --chaos-seed decorrelates fault episodes and backoff jitter
+      (default 7). Giving any of the three selects the resilient
+      (sequential) pipeline and appends a per-feature coverage report.
   borges eval --data DIR --mapping FILE [--mapping FILE ...]
       Organization Factor (and, with an oracle, precision/recall) per mapping.
   borges inspect --data DIR --mapping FILE --asn N
@@ -112,12 +120,97 @@ fn parse_features(spec: &str) -> Result<FeatureSet, CliError> {
     Ok(features)
 }
 
+/// The `map` command's resilience knobs, parsed from
+/// `--fault-rate` / `--retries` / `--chaos-seed`. `None` when none of
+/// the three flags were given (the bare fast path).
+struct ChaosOpts {
+    fault_rate: f64,
+    policy: RetryPolicy,
+    chaos_seed: u64,
+}
+
+fn chaos_opts(opts: &Options) -> Result<Option<ChaosOpts>, CliError> {
+    let fault_rate = opts.optional("fault-rate")?;
+    let retries = opts.optional("retries")?;
+    let chaos_seed = opts.optional("chaos-seed")?;
+    if fault_rate.is_none() && retries.is_none() && chaos_seed.is_none() {
+        return Ok(None);
+    }
+    let fault_rate: f64 = match fault_rate {
+        Some(r) => r
+            .parse()
+            .ok()
+            .filter(|r| (0.0..=1.0).contains(r))
+            .ok_or_else(|| {
+                CliError::Usage(format!("--fault-rate {r:?} is not a number in [0,1]"))
+            })?,
+        None => 0.0,
+    };
+    let chaos_seed: u64 = match chaos_seed {
+        Some(s) => s
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--chaos-seed {s:?} is not a number")))?,
+        None => 7,
+    };
+    let policy = match retries {
+        Some(n) => {
+            let retries: u32 = n
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--retries {n:?} is not a number")))?;
+            if retries == 0 {
+                RetryPolicy::none()
+            } else {
+                RetryPolicy {
+                    max_attempts: retries + 1,
+                    ..RetryPolicy::standard(chaos_seed)
+                }
+            }
+        }
+        None => RetryPolicy::standard(chaos_seed),
+    };
+    Ok(Some(ChaosOpts {
+        fault_rate,
+        policy,
+        chaos_seed,
+    }))
+}
+
+fn coverage_lines(borges: &Borges) -> String {
+    let c = borges.coverage();
+    let row = |label: &str, f: borges_core::FeatureCoverage| {
+        format!(
+            "  {:<16} attempted {:>6}  succeeded {:>6}  abandoned {:>6}\n",
+            label, f.attempted, f.succeeded, f.abandoned
+        )
+    };
+    let recovered = borges.scrape_stats.resilience.recovered
+        + borges.ner.stats.resilience.recovered
+        + borges.favicon.stats.resilience.recovered;
+    format!(
+        "coverage:\n{}{}{}  ({} calls recovered by retries; every abandoned record is accounted)\n",
+        row("crawl", c.crawl),
+        row("notes-aka", c.notes_aka),
+        row("favicon groups", c.favicon_groups),
+        recovered
+    )
+}
+
 fn map(opts: &Options) -> Result<String, CliError> {
-    opts.allow_only(&["data", "out", "features", "seed", "threads"])?;
+    opts.allow_only(&[
+        "data",
+        "out",
+        "features",
+        "seed",
+        "threads",
+        "fault-rate",
+        "retries",
+        "chaos-seed",
+    ])?;
     let data = opts.required("data")?;
     let out = opts.required("out")?;
     let features = parse_features(opts.optional("features")?.unwrap_or("all"))?;
     let seed = seed_of(opts)?;
+    let chaos = chaos_opts(opts)?;
     let threads: usize = match opts.optional("threads")? {
         Some(t) => t
             .parse()
@@ -127,7 +220,29 @@ fn map(opts: &Options) -> Result<String, CliError> {
 
     let bundle = DatasetBundle::load(Path::new(data)).map_err(CliError::failed)?;
     let llm = SimLlm::new(seed);
-    let borges = if threads > 1 {
+    let mut coverage = String::new();
+    let borges = if let Some(chaos) = chaos {
+        // The resilient path is sequential: fault bursts are stateful per
+        // subject, so interleaving would perturb which attempt of a burst
+        // each worker observes.
+        let plan = EpisodePlan {
+            transient_rate: chaos.fault_rate,
+            permanent_rate: 0.0,
+            max_burst: 3,
+            seed: chaos.chaos_seed,
+        };
+        let web = FlakyWebClient::new(SimWebClient::browser(&bundle.web), plan);
+        let model = FlakyModel::new(
+            &llm,
+            EpisodePlan {
+                seed: chaos.chaos_seed ^ 0x4c4c_4d00,
+                ..plan
+            },
+        );
+        let borges = Borges::run_resilient(&bundle.whois, &bundle.pdb, web, &model, chaos.policy);
+        coverage = coverage_lines(&borges);
+        borges
+    } else if threads > 1 {
         Borges::run_parallel(
             &bundle.whois,
             &bundle.pdb,
@@ -149,11 +264,12 @@ fn map(opts: &Options) -> Result<String, CliError> {
         .expect("one feature set in, one mapping out");
     std::fs::write(out, mapfile::serialize(&mapping)).map_err(|e| CliError::Failed(Box::new(e)))?;
     Ok(format!(
-        "{}: {} ASNs in {} organizations (features: {})\n",
+        "{}: {} ASNs in {} organizations (features: {})\n{}",
         out,
         mapping.asn_count(),
         mapping.org_count(),
-        features.label()
+        features.label(),
+        coverage
     ))
 }
 
@@ -482,5 +598,106 @@ mod tests {
     fn typo_flags_are_caught() {
         let err = run(&args(&["generate", "--outt", "x"])).unwrap_err();
         assert!(err.to_string().contains("--outt"));
+    }
+
+    #[test]
+    fn chaos_map_with_recoverable_faults_matches_the_bare_map() {
+        let dir = tmpdir("chaos-recoverable");
+        let data = dir.join("world");
+        run(&args(&[
+            "generate",
+            "--out",
+            data.to_str().unwrap(),
+            "--scale",
+            "tiny",
+            "--seed",
+            "5",
+        ]))
+        .unwrap();
+
+        let bare_map = dir.join("bare.map");
+        run(&args(&[
+            "map",
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            bare_map.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        let chaos_map = dir.join("chaos.map");
+        let out = run(&args(&[
+            "map",
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            chaos_map.to_str().unwrap(),
+            "--fault-rate",
+            "0.15",
+            "--chaos-seed",
+            "3",
+        ]))
+        .unwrap();
+        assert!(out.contains("coverage:"), "{out}");
+        assert!(out.contains("abandoned      0"), "{out}");
+
+        // The keystone, end to end through the CLI: recoverable chaos
+        // writes a byte-identical mapping file.
+        assert_eq!(
+            std::fs::read(&bare_map).unwrap(),
+            std::fs::read(&chaos_map).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_map_without_retries_reports_losses() {
+        let dir = tmpdir("chaos-degraded");
+        let data = dir.join("world");
+        run(&args(&[
+            "generate",
+            "--out",
+            data.to_str().unwrap(),
+            "--scale",
+            "tiny",
+            "--seed",
+            "5",
+        ]))
+        .unwrap();
+        let map_path = dir.join("degraded.map");
+        let out = run(&args(&[
+            "map",
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            map_path.to_str().unwrap(),
+            "--fault-rate",
+            "0.5",
+            "--retries",
+            "0",
+        ]))
+        .unwrap();
+        // The run completed, wrote a mapping, and owned up to its losses.
+        assert!(map_path.exists());
+        assert!(out.contains("coverage:"), "{out}");
+        let crawl_line = out.lines().find(|l| l.contains("crawl")).unwrap();
+        assert!(
+            !crawl_line.trim_end().ends_with(" 0"),
+            "losses expected: {out}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_flag_validation() {
+        for bad in [
+            vec!["map", "--data", "x", "--out", "y", "--fault-rate", "1.5"],
+            vec!["map", "--data", "x", "--out", "y", "--fault-rate", "nope"],
+            vec!["map", "--data", "x", "--out", "y", "--retries", "-1"],
+            vec!["map", "--data", "x", "--out", "y", "--chaos-seed", "zz"],
+        ] {
+            let err = run(&args(&bad)).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{bad:?}");
+        }
     }
 }

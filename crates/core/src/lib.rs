@@ -62,5 +62,7 @@ pub mod web;
 
 pub use mapping::{AsOrgMapping, ClusterId};
 pub use orgfactor::organization_factor;
-pub use pipeline::{Borges, Feature, FeatureContribution, FeatureSet};
+pub use pipeline::{
+    Borges, CoverageReport, Feature, FeatureContribution, FeatureCoverage, FeatureSet,
+};
 pub use unionfind::UnionFind;

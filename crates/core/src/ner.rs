@@ -17,6 +17,7 @@ use borges_llm::chat::{ChatModel, ChatRequest};
 use borges_llm::ner::all_routable_numbers;
 use borges_llm::prompts::{build_ie_prompt, parse_ie_reply};
 use borges_peeringdb::PdbSnapshot;
+use borges_resilience::ResilienceStats;
 use borges_types::Asn;
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -39,8 +40,12 @@ pub struct NerStats {
     pub numeric_in_aka: usize,
     /// … of which the digits are in `notes`.
     pub numeric_in_notes: usize,
-    /// LLM calls issued (== `entries_numeric`).
+    /// LLM calls issued (== `entries_numeric` when nothing is abandoned).
     pub llm_calls: usize,
+    /// LLM calls whose transport failed after all recovery was exhausted;
+    /// the entry is skipped and the stage proceeds on partial evidence.
+    /// Always: `llm_abandoned + replies parsed == llm_calls`.
+    pub llm_abandoned: usize,
     /// Reply ASNs rejected by the output hallucination filter.
     pub filtered_out: usize,
     /// Entries with at least one surviving extraction.
@@ -50,6 +55,9 @@ pub struct NerStats {
     /// Token accounting across every LLM call (what a hosted model would
     /// bill for this stage).
     pub usage: borges_llm::chat::Usage,
+    /// What the resilient model stack spent on this stage (zero over a
+    /// bare model).
+    pub resilience: ResilienceStats,
 }
 
 impl std::ops::AddAssign for NerStats {
@@ -63,10 +71,12 @@ impl std::ops::AddAssign for NerStats {
             numeric_in_aka,
             numeric_in_notes,
             llm_calls,
+            llm_abandoned,
             filtered_out,
             entries_with_siblings,
             extracted_asns,
             usage,
+            resilience,
         } = rhs;
         self.entries_total += entries_total;
         self.entries_with_text += entries_with_text;
@@ -74,10 +84,13 @@ impl std::ops::AddAssign for NerStats {
         self.numeric_in_aka += numeric_in_aka;
         self.numeric_in_notes += numeric_in_notes;
         self.llm_calls += llm_calls;
+        self.llm_abandoned += llm_abandoned;
         self.filtered_out += filtered_out;
         self.entries_with_siblings += entries_with_siblings;
         self.extracted_asns += extracted_asns;
         self.usage += usage;
+        self.resilience += resilience;
+        debug_assert!(self.llm_abandoned <= self.llm_calls);
     }
 }
 
@@ -203,8 +216,19 @@ fn extract_over<'a>(
         }
 
         let prompt = build_ie_prompt(net.asn, &net.notes, &net.aka);
-        let reply = model.complete(&ChatRequest::user(prompt));
+        // The call is counted before it is made: an abandoned call is
+        // still an attempted call, so `llm_abandoned + parsed == llm_calls`
+        // holds by construction.
         result.stats.llm_calls += 1;
+        let reply = match model.complete(&ChatRequest::user(prompt)) {
+            Ok(reply) => reply,
+            Err(_transport) => {
+                // Budgets exhausted (or a hard block): record the loss and
+                // degrade gracefully — the other entries still extract.
+                result.stats.llm_abandoned += 1;
+                continue;
+            }
+        };
         result.stats.usage += reply.usage;
         let findings = parse_ie_reply(&reply.text);
         if findings.is_empty() {
@@ -315,11 +339,14 @@ mod tests {
     /// A model that hallucinates an ASN never present in the text.
     struct Hallucinator;
     impl ChatModel for Hallucinator {
-        fn complete(&self, _request: &ChatRequest) -> ChatResponse {
-            ChatResponse {
+        fn complete(
+            &self,
+            _request: &ChatRequest,
+        ) -> Result<ChatResponse, borges_resilience::TransportError> {
+            Ok(ChatResponse {
                 text: r#"[{"asn": 65000, "reason": "made up"}, {"asn": 7018, "reason": "also made up"}]"#.into(),
                 usage: Default::default(),
-            }
+            })
         }
         fn model_id(&self) -> &str {
             "hallucinator"
@@ -411,6 +438,55 @@ mod tests {
         assert_eq!(summed.entries_with_text, 2);
         assert_eq!(summed.llm_calls, 1);
         assert_eq!(summed.usage, a.stats.usage + b.stats.usage);
+    }
+
+    /// A backend that fails transport for even-numbered subjects.
+    struct HalfDead;
+    impl ChatModel for HalfDead {
+        fn complete(
+            &self,
+            request: &ChatRequest,
+        ) -> Result<ChatResponse, borges_resilience::TransportError> {
+            let text = request.full_text();
+            let even = text
+                .split_once("for the ASN ")
+                .and_then(|(_, rest)| {
+                    rest.split(|c: char| !c.is_ascii_digit())
+                        .next()
+                        .and_then(|d| d.parse::<u32>().ok())
+                })
+                .is_some_and(|asn| asn % 2 == 0);
+            if even {
+                Err(borges_resilience::TransportError::Timeout)
+            } else {
+                SimLlm::flawless().complete(request)
+            }
+        }
+        fn model_id(&self) -> &str {
+            "half-dead"
+        }
+    }
+
+    #[test]
+    fn chaos_transport_failures_degrade_not_panic() {
+        let pdb = snapshot(&[
+            (1, "Our subsidiaries: AS100.", ""),
+            (2, "Our subsidiaries: AS200.", ""),
+            (3, "Our subsidiaries: AS300.", ""),
+            (4, "Our subsidiaries: AS400.", ""),
+        ]);
+        let r = extract(&pdb, &HalfDead, NerConfig::default());
+        // Every call is accounted: attempted == abandoned + answered.
+        assert_eq!(r.stats.llm_calls, 4);
+        assert_eq!(r.stats.llm_abandoned, 2);
+        assert_eq!(r.per_entry.len(), 2, "odd subjects still extract");
+        assert!(r.per_entry.contains_key(&Asn::new(1)));
+        assert!(r.per_entry.contains_key(&Asn::new(3)));
+        // The surviving extractions are exactly the flawless ones.
+        let flawless = extract(&pdb, &SimLlm::flawless(), NerConfig::default());
+        for (asn, sibs) in &r.per_entry {
+            assert_eq!(flawless.per_entry.get(asn), Some(sibs));
+        }
     }
 
     #[test]

@@ -26,9 +26,11 @@ use crate::unionfind::{DenseUnionFind, UnionFind};
 use crate::web::favicon::{favicon_inference, FaviconInference};
 use crate::web::rr::{rr_inference, RrInference};
 use borges_llm::chat::ChatModel;
+use borges_llm::RetryingModel;
 use borges_peeringdb::PdbSnapshot;
+use borges_resilience::{BreakerConfig, RetryPolicy};
 use borges_types::{Asn, AsnInterner};
-use borges_websim::{ScrapeReport, ScrapeStats, Scraper, WebClient};
+use borges_websim::{RetryingWebClient, ScrapeReport, ScrapeStats, Scraper, WebClient};
 use borges_whois::WhoisRegistry;
 use std::collections::BTreeSet;
 
@@ -217,6 +219,82 @@ fn chain_groups<'g>(
     out
 }
 
+/// How much of one feature's attempted work survived the transport —
+/// one row of the [`CoverageReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FeatureCoverage {
+    /// Units of work the stage attempted (entries, LLM calls, groups).
+    pub attempted: usize,
+    /// Units whose transport transaction completed (whatever the
+    /// in-world answer was).
+    pub succeeded: usize,
+    /// Units abandoned after the resilience budget ran out (or
+    /// immediately, when no retry layer was installed).
+    pub abandoned: usize,
+}
+
+impl FeatureCoverage {
+    fn new(attempted: usize, abandoned: usize) -> Self {
+        FeatureCoverage {
+            attempted,
+            succeeded: attempted - abandoned,
+            abandoned,
+        }
+    }
+
+    /// Accounting invariant: nothing silently dropped. Holds by
+    /// construction for every report the pipeline builds; exposed so
+    /// callers (and the chaos tests) can assert it end to end.
+    pub fn accounted(&self) -> bool {
+        self.succeeded + self.abandoned == self.attempted
+    }
+
+    /// No losses at all — the degraded and flawless pipelines coincide.
+    pub fn complete(&self) -> bool {
+        self.abandoned == 0
+    }
+
+    /// Fraction of attempted work that survived (1.0 for an idle stage).
+    pub fn fraction(&self) -> f64 {
+        if self.attempted == 0 {
+            1.0
+        } else {
+            self.succeeded as f64 / self.attempted as f64
+        }
+    }
+}
+
+/// Per-feature account of what the pipeline attempted, kept, and lost to
+/// the transport — the "partial evidence" contract: a degraded run tells
+/// you exactly what is missing instead of failing or lying by omission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CoverageReport {
+    /// The crawl: PeeringDB entries with a parseable website URL.
+    pub crawl: FeatureCoverage,
+    /// §4.2 extraction: LLM calls over notes/aka text.
+    pub notes_aka: FeatureCoverage,
+    /// §4.3.3 step 2: LLM calls over shared-favicon groups.
+    pub favicon_groups: FeatureCoverage,
+}
+
+impl CoverageReport {
+    /// Every row individually accounted (see
+    /// [`FeatureCoverage::accounted`]).
+    pub fn accounted(&self) -> bool {
+        self.crawl.accounted() && self.notes_aka.accounted() && self.favicon_groups.accounted()
+    }
+
+    /// Nothing was lost anywhere: the mapping is built on full evidence.
+    pub fn complete(&self) -> bool {
+        self.crawl.complete() && self.notes_aka.complete() && self.favicon_groups.complete()
+    }
+
+    /// Total abandoned units across all rows.
+    pub fn total_abandoned(&self) -> usize {
+        self.crawl.abandoned + self.notes_aka.abandoned + self.favicon_groups.abandoned
+    }
+}
+
 /// The computed pipeline: all evidence, ready to combine.
 #[derive(Debug, Clone)]
 pub struct Borges {
@@ -265,6 +343,51 @@ impl Borges {
         Self::assemble(whois, pdb, &report, ner, model)
     }
 
+    /// Like [`Borges::run`], with every boundary wrapped in the
+    /// resilience stack: the web client behind a
+    /// [`RetryingWebClient`] with per-host circuit breakers, and the chat
+    /// model behind one [`RetryingModel`] per LLM stage (NER and the
+    /// favicon classifier get separate retry/breaker state, so a meltdown
+    /// in one stage cannot poison the other's budget accounting).
+    ///
+    /// The retry/breaker spend of each boundary is stamped into the
+    /// matching stats block ([`ScrapeStats::resilience`],
+    /// [`NerStats::resilience`](crate::ner::NerStats),
+    /// [`FaviconStats::resilience`](crate::web::favicon::FaviconStats)),
+    /// and [`Borges::coverage`] reports what survived.
+    ///
+    /// Determinism contract: over a fault-free (or recoverable-within-
+    /// budget) world this produces a mapping **bit-identical** to
+    /// [`Borges::run`] over the bare stack — retries erase recoverable
+    /// faults entirely. When faults are not recoverable, the run still
+    /// completes: abandoned work is counted, the mapping is built from
+    /// the evidence that survived, and every abandoned record shows up in
+    /// the coverage report.
+    pub fn run_resilient<C: WebClient>(
+        whois: &WhoisRegistry,
+        pdb: &PdbSnapshot,
+        web_client: C,
+        model: &dyn ChatModel,
+        policy: RetryPolicy,
+    ) -> Self {
+        let breaker = BreakerConfig::standard();
+        let web = RetryingWebClient::new(web_client, policy).with_breakers(breaker);
+        let scraper = Scraper::new(&web);
+        let mut report = scraper.crawl(pdb.nets().map(|n| (n.asn, n.website.as_str())));
+        report.stats.resilience = web.stats();
+
+        let ner_model = RetryingModel::new(model, policy).with_breaker(breaker);
+        let mut ner = extract(pdb, &ner_model, NerConfig::default());
+        ner.stats.resilience = ner_model.stats();
+
+        let rr = rr_inference(&report);
+        let favicon_model = RetryingModel::new(model, policy).with_breaker(breaker);
+        let mut favicon = favicon_inference(&report, &favicon_model);
+        favicon.stats.resilience = favicon_model.stats();
+
+        Self::finish(whois, pdb, &report, ner, rr, favicon)
+    }
+
     /// Like [`Borges::run`] but with a pre-computed scrape report and an
     /// explicit NER configuration (used by ablations and benches to avoid
     /// re-crawling).
@@ -279,14 +402,32 @@ impl Borges {
         Self::assemble(whois, pdb, report, ner, model)
     }
 
-    /// Shared tail of every constructor: runs the web inferences, fixes
-    /// the universe, and compiles all evidence to dense edge lists.
+    /// Shared tail of the bare-stack constructors: runs the web
+    /// inferences over `model` directly, then hands off to
+    /// [`Borges::finish`].
     fn assemble(
         whois: &WhoisRegistry,
         pdb: &PdbSnapshot,
         report: &ScrapeReport,
         ner: NerResult,
         model: &dyn ChatModel,
+    ) -> Self {
+        let rr = rr_inference(report);
+        let favicon = favicon_inference(report, model);
+        Self::finish(whois, pdb, report, ner, rr, favicon)
+    }
+
+    /// Shared tail of every constructor: fixes the universe and compiles
+    /// all (pre-computed) evidence to dense edge lists. Takes the web
+    /// inferences ready-made so callers can run them behind whatever
+    /// client/model stack they choose (see [`Borges::run_resilient`]).
+    fn finish(
+        whois: &WhoisRegistry,
+        pdb: &PdbSnapshot,
+        report: &ScrapeReport,
+        ner: NerResult,
+        rr: RrInference,
+        favicon: FaviconInference,
     ) -> Self {
         let mut universe: BTreeSet<Asn> = whois.all_asns().collect();
         // PeeringDB networks missing from WHOIS (rare, but real dumps have
@@ -295,8 +436,6 @@ impl Borges {
 
         let oid_w_groups = orgkeys::oid_w_groups(whois);
         let oid_p_groups = orgkeys::oid_p_groups(pdb);
-        let rr = rr_inference(report);
-        let favicon = favicon_inference(report, model);
         let compiled =
             CompiledEvidence::compile(universe, &oid_w_groups, &oid_p_groups, &ner, &rr, &favicon);
 
@@ -364,6 +503,24 @@ impl Borges {
     /// Full Borges (all features).
     pub fn full(&self) -> AsOrgMapping {
         self.mapping(FeatureSet::ALL)
+    }
+
+    /// The per-feature coverage report: what each transport-facing stage
+    /// attempted, kept, and abandoned. Over a bare or fully-recovered
+    /// stack this is [`complete`](CoverageReport::complete); it is
+    /// [`accounted`](CoverageReport::accounted) always.
+    pub fn coverage(&self) -> CoverageReport {
+        CoverageReport {
+            crawl: FeatureCoverage::new(
+                self.scrape_stats.entries_with_website,
+                self.scrape_stats.entries_abandoned,
+            ),
+            notes_aka: FeatureCoverage::new(self.ner.stats.llm_calls, self.ner.stats.llm_abandoned),
+            favicon_groups: FeatureCoverage::new(
+                self.favicon.stats.llm_calls,
+                self.favicon.stats.llm_abandoned,
+            ),
+        }
     }
 
     /// Which evidence sources independently support `a` and `b` being
@@ -688,6 +845,147 @@ mod tests {
                 "replay diverged for {}",
                 features.label()
             );
+        }
+    }
+
+    #[test]
+    fn chaos_resilient_run_on_a_flawless_world_matches_run() {
+        let world = SyntheticInternet::generate(&GeneratorConfig::tiny(11));
+        let llm = SimLlm::flawless();
+        let bare = Borges::run(
+            &world.whois,
+            &world.pdb,
+            SimWebClient::browser(&world.web),
+            &llm,
+        );
+        let resilient = Borges::run_resilient(
+            &world.whois,
+            &world.pdb,
+            SimWebClient::browser(&world.web),
+            &llm,
+            borges_resilience::RetryPolicy::standard(11),
+        );
+        for features in FeatureSet::all_combinations() {
+            assert_eq!(resilient.mapping(features), bare.mapping(features));
+        }
+        let coverage = resilient.coverage();
+        assert!(coverage.accounted());
+        assert!(coverage.complete());
+        // The stack was transparent: one attempt per call, nothing retried.
+        let web = resilient.scrape_stats.resilience;
+        assert_eq!(web.attempts, web.calls);
+        assert_eq!(web.recovered + web.abandoned, 0);
+        assert_eq!(
+            resilient.ner.stats.resilience.calls as usize,
+            resilient.ner.stats.llm_calls
+        );
+        assert_eq!(
+            resilient.favicon.stats.resilience.calls as usize,
+            resilient.favicon.stats.llm_calls
+        );
+    }
+
+    #[test]
+    fn chaos_recoverable_faults_yield_a_bit_identical_mapping() {
+        use borges_llm::FlakyModel;
+        use borges_resilience::{EpisodePlan, RetryPolicy};
+        use borges_websim::FlakyWebClient;
+
+        let world = SyntheticInternet::generate(&GeneratorConfig::tiny(11));
+        let flawless = Borges::run(
+            &world.whois,
+            &world.pdb,
+            SimWebClient::browser(&world.web),
+            &SimLlm::flawless(),
+        );
+        for seed in [1u64, 2, 3] {
+            let flaky_web = FlakyWebClient::new(
+                SimWebClient::browser(&world.web),
+                EpisodePlan::calibrated(seed),
+            );
+            let flaky_llm = FlakyModel::new(SimLlm::flawless(), EpisodePlan::calibrated(seed ^ 1));
+            let chaotic = Borges::run_resilient(
+                &world.whois,
+                &world.pdb,
+                flaky_web,
+                &flaky_llm,
+                RetryPolicy::standard(seed),
+            );
+            // The keystone: every recoverable episode is erased entirely.
+            for features in FeatureSet::all_combinations() {
+                assert_eq!(
+                    chaotic.mapping(features),
+                    flawless.mapping(features),
+                    "seed {seed}, {}",
+                    features.label()
+                );
+            }
+            let coverage = chaotic.coverage();
+            assert!(coverage.complete(), "seed {seed}: nothing may be lost");
+            assert!(coverage.accounted());
+            assert!(
+                chaotic.scrape_stats.resilience.recovered
+                    + chaotic.ner.stats.resilience.recovered
+                    + chaotic.favicon.stats.resilience.recovered
+                    > 0,
+                "seed {seed}: the plan must actually have injected faults"
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_unrecoverable_faults_degrade_with_full_accounting() {
+        use borges_llm::FlakyModel;
+        use borges_resilience::{EpisodePlan, RetryPolicy};
+        use borges_websim::FlakyWebClient;
+
+        let world = SyntheticInternet::generate(&GeneratorConfig::tiny(11));
+        let flawless = Borges::run(
+            &world.whois,
+            &world.pdb,
+            SimWebClient::browser(&world.web),
+            &SimLlm::flawless(),
+        );
+        // Permanent outages and no retries: losses are guaranteed.
+        let flaky_web = FlakyWebClient::new(
+            SimWebClient::browser(&world.web),
+            EpisodePlan::with_outages(7),
+        );
+        let flaky_llm = FlakyModel::new(SimLlm::flawless(), EpisodePlan::with_outages(8));
+        let degraded = Borges::run_resilient(
+            &world.whois,
+            &world.pdb,
+            flaky_web,
+            &flaky_llm,
+            RetryPolicy::none(),
+        );
+
+        // The run completed and every loss is on the books.
+        let coverage = degraded.coverage();
+        assert!(coverage.accounted(), "abandoned + succeeded == attempted");
+        assert!(
+            coverage.total_abandoned() > 0,
+            "outages must cost something"
+        );
+        // Client-level accounting: one call per distinct URL (the cache
+        // dedups), and every call either succeeded or was abandoned.
+        let web = degraded.scrape_stats.resilience;
+        assert_eq!(web.calls as usize, degraded.scrape_stats.unique_urls);
+        assert_eq!(web.succeeded() + web.abandoned, web.calls);
+
+        // Degradation only removes evidence: everything still merged is
+        // merged in the flawless world too, and the universe is intact.
+        let full = degraded.full();
+        let reference = flawless.full();
+        assert_eq!(full.asn_count(), reference.asn_count());
+        for (_, members) in full.clusters() {
+            for pair in members.windows(2) {
+                assert!(
+                    reference.same_org(pair[0], pair[1]),
+                    "degraded run invented a merge: {:?}",
+                    pair
+                );
+            }
         }
     }
 

@@ -37,6 +37,12 @@ pub struct FaviconStats {
     pub merged_by_step1: usize,
     /// LLM calls issued in step 2.
     pub llm_calls: usize,
+    /// Step-2 calls abandoned because the transport failed (budgets
+    /// exhausted or no retry layer installed). The group is recorded as
+    /// [`GroupOutcome::Abandoned`] and contributes no merge evidence.
+    ///
+    /// Always: `llm_abandoned + replies parsed == llm_calls`.
+    pub llm_abandoned: usize,
     /// Groups merged by the LLM (company verdict).
     pub merged_by_llm: usize,
     /// Groups rejected as web-technology default icons.
@@ -45,6 +51,11 @@ pub struct FaviconStats {
     pub dont_know: usize,
     /// Token accounting across the step-2 LLM calls.
     pub usage: borges_llm::chat::Usage,
+    /// Retry/breaker accounting when the stage ran behind a
+    /// [`RetryingModel`](borges_llm::RetryingModel) (stamped by
+    /// [`Borges::run_resilient`](crate::pipeline::Borges::run_resilient);
+    /// zero otherwise).
+    pub resilience: borges_resilience::ResilienceStats,
 }
 
 /// How a favicon group was resolved — the audit trail the Table 5
@@ -59,6 +70,10 @@ pub enum GroupOutcome {
     RejectedFramework,
     /// Step 2's LLM declined; rejected.
     RejectedUnknown,
+    /// Step 2's transport failed after every retry (or none were
+    /// configured): no verdict exists. The group merges nothing —
+    /// degradation removes evidence, it never invents any.
+    Abandoned,
 }
 
 /// The decision record for one shared-favicon group.
@@ -184,8 +199,23 @@ pub fn favicon_inference_with(
             }],
             params: DecodingParams::deterministic(),
         };
+        // Count the call before issuing it, so the funnel stays exact
+        // (`llm_abandoned + parsed == llm_calls`) on every path out.
         out.stats.llm_calls += 1;
-        let reply = model.complete(&request);
+        let reply = match model.complete(&request) {
+            Ok(reply) => reply,
+            Err(_transport) => {
+                out.stats.llm_abandoned += 1;
+                out.decisions.push(GroupDecision {
+                    favicon,
+                    urls: group_urls,
+                    asns: group_asns,
+                    step1_merged_all: false,
+                    outcome: GroupOutcome::Abandoned,
+                });
+                continue;
+            }
+        };
         out.stats.usage += reply.usage;
         let outcome = match parse_classifier_reply(&reply.text) {
             ClassifierReply::Name(name) => {
@@ -347,6 +377,79 @@ mod tests {
         assert!(is_framework_name("Bootstrap"));
         assert!(is_framework_name("wordpress"));
         assert!(!is_framework_name("Claro"));
+    }
+
+    /// Delegates to [`SimLlm`] except for one favicon, whose step-2 call
+    /// dies on the wire — the "budgets exhausted" endpoint of the retry
+    /// stack, seen from the decision tree's side.
+    struct DeadIcon {
+        inner: SimLlm,
+        dead: FaviconHash,
+    }
+
+    impl ChatModel for DeadIcon {
+        fn model_id(&self) -> &str {
+            self.inner.model_id()
+        }
+
+        fn complete(
+            &self,
+            request: &ChatRequest,
+        ) -> Result<borges_llm::chat::ChatResponse, borges_resilience::TransportError> {
+            let hits_dead_icon = request.messages.iter().any(|m| {
+                m.parts
+                    .iter()
+                    .any(|p| matches!(p, Content::Image { favicon } if *favicon == self.dead))
+            });
+            if hits_dead_icon {
+                Err(borges_resilience::TransportError::Timeout)
+            } else {
+                self.inner.complete(request)
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_abandoned_group_degrades_without_inventing_merges() {
+        let flawless = favicon_inference(&report(), &SimLlm::flawless());
+        let dead = DeadIcon {
+            inner: SimLlm::flawless(),
+            dead: icon("claro"),
+        };
+        let inf = favicon_inference(&report(), &dead);
+
+        // Accounting: every call is either parsed or abandoned.
+        assert_eq!(inf.stats.llm_calls, 3);
+        assert_eq!(inf.stats.llm_abandoned, 1);
+        assert_eq!(
+            inf.stats.llm_abandoned
+                + inf.stats.merged_by_llm
+                + inf.stats.framework_rejections
+                + inf.stats.dont_know,
+            inf.stats.llm_calls
+        );
+
+        // The dead group is recorded, not silently dropped.
+        let abandoned: Vec<_> = inf
+            .decisions
+            .iter()
+            .filter(|d| d.outcome == GroupOutcome::Abandoned)
+            .collect();
+        assert_eq!(abandoned.len(), 1);
+        assert_eq!(abandoned[0].favicon, icon("claro"));
+        assert_eq!(inf.decisions.len(), flawless.decisions.len());
+
+        // Degradation removes evidence but never invents any: the merge
+        // groups are a strict subset of the flawless run's.
+        assert!(inf.groups.iter().all(|g| flawless.groups.contains(g)));
+        assert!(!inf
+            .groups
+            .iter()
+            .any(|g| g.contains(&Asn::new(3)) || g.contains(&Asn::new(4))));
+        // Unaffected groups are untouched.
+        assert_eq!(inf.stats.merged_by_step1, 1);
+        assert_eq!(inf.stats.framework_rejections, 1);
+        assert_eq!(inf.stats.dont_know, 1);
     }
 
     #[test]

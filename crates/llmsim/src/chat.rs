@@ -5,6 +5,7 @@
 //! nothing else. The message shape follows the OpenAI chat API closely
 //! enough that a production implementation is a thin HTTP adapter.
 
+use borges_resilience::TransportError;
 use borges_types::FaviconHash;
 use serde::{Deserialize, Serialize};
 
@@ -215,16 +216,25 @@ pub struct ChatResponse {
 
 /// A model that completes chats. Object-safe so pipelines can hold
 /// `Box<dyn ChatModel>`.
+///
+/// `complete` is fallible: `Err(`[`TransportError`]`)` means the call never
+/// produced a usable completion (timeout, 429/5xx, a reply truncated
+/// mid-payload). Semantic mistakes — a model extracting the wrong sibling
+/// — are *not* transport errors; those stay inside `Ok` replies exactly as
+/// before. [`crate::sim::SimLlm`] itself never fails; faults enter through
+/// [`crate::middleware::FlakyModel`] and are absorbed by
+/// [`crate::middleware::RetryingModel`].
 pub trait ChatModel {
-    /// Produces a completion for `request`.
-    fn complete(&self, request: &ChatRequest) -> ChatResponse;
+    /// Produces a completion for `request`, or reports that the transport
+    /// failed to deliver one.
+    fn complete(&self, request: &ChatRequest) -> Result<ChatResponse, TransportError>;
 
     /// A short model identifier (for logs and experiment records).
     fn model_id(&self) -> &str;
 }
 
 impl<M: ChatModel + ?Sized> ChatModel for &M {
-    fn complete(&self, request: &ChatRequest) -> ChatResponse {
+    fn complete(&self, request: &ChatRequest) -> Result<ChatResponse, TransportError> {
         (**self).complete(request)
     }
     fn model_id(&self) -> &str {
@@ -233,7 +243,7 @@ impl<M: ChatModel + ?Sized> ChatModel for &M {
 }
 
 impl<M: ChatModel + ?Sized> ChatModel for Box<M> {
-    fn complete(&self, request: &ChatRequest) -> ChatResponse {
+    fn complete(&self, request: &ChatRequest) -> Result<ChatResponse, TransportError> {
         (**self).complete(request)
     }
     fn model_id(&self) -> &str {
@@ -288,18 +298,18 @@ mod tests {
     fn trait_is_object_safe() {
         struct Echo;
         impl ChatModel for Echo {
-            fn complete(&self, request: &ChatRequest) -> ChatResponse {
-                ChatResponse {
+            fn complete(&self, request: &ChatRequest) -> Result<ChatResponse, TransportError> {
+                Ok(ChatResponse {
                     text: request.full_text(),
                     usage: Usage::default(),
-                }
+                })
             }
             fn model_id(&self) -> &str {
                 "echo"
             }
         }
         let boxed: Box<dyn ChatModel> = Box::new(Echo);
-        let resp = boxed.complete(&ChatRequest::user("hello"));
+        let resp = boxed.complete(&ChatRequest::user("hello")).unwrap();
         assert_eq!(resp.text, "hello");
         assert_eq!(boxed.model_id(), "echo");
     }

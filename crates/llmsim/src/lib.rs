@@ -24,6 +24,9 @@
 //! * [`faults`] — seeded error injection so the simulated model's confusion
 //!   matrix matches the accuracies the paper measured for GPT-4o-mini
 //!   (Tables 4 and 5), instead of being unrealistically perfect.
+//!   (Transport-level faults — 429s, 500s, timeouts, truncated replies —
+//!   are separate: [`middleware::FlakyModel`] injects them and
+//!   [`middleware::RetryingModel`] recovers from them.)
 //! * [`sim`] — [`sim::SimLlm`], tying it together behind
 //!   [`chat::ChatModel`].
 //!
@@ -47,7 +50,7 @@ pub mod sim;
 pub use chat::{ChatModel, ChatRequest, ChatResponse, Content, DecodingParams, Message, Role};
 pub use classifier::{classify_favicon_group, FaviconVerdict};
 pub use faults::FaultProfile;
-pub use middleware::{CachingModel, RecordingModel};
+pub use middleware::{CachingModel, FlakyModel, RecordingModel, RetryingModel, LLM_FAULT_KINDS};
 pub use ner::{extract_siblings, Extraction, ExtractionContext};
 pub use prompts::{
     build_classifier_prompt, build_ie_prompt, parse_classifier_reply, parse_ie_reply,

@@ -197,12 +197,12 @@ mod tests {
             "Our subsidiaries: AS6855.",
             "",
         ));
-        let direct = llm.complete(&request);
+        let direct = llm.complete(&request).unwrap();
 
         let wire_request = request_body(&request, "gpt-4o-mini");
         // The "server" reconstructs the text and answers.
         let served_text = wire_request["messages"][0]["content"].as_str().unwrap();
-        let served = llm.complete(&ChatRequest::user(served_text));
+        let served = llm.complete(&ChatRequest::user(served_text)).unwrap();
         let wire_response = response_body(&served, "gpt-4o-mini");
         let back = parse_response(&wire_response).unwrap();
         assert_eq!(back.text, direct.text);

@@ -13,6 +13,7 @@ use crate::ner::{all_routable_numbers, extract_siblings};
 use crate::prompts::{
     parse_classifier_prompt_fields, parse_ie_prompt_fields, render_ie_reply, IeFinding,
 };
+use borges_resilience::TransportError;
 use borges_types::{Asn, Url};
 
 /// The deterministic simulated LLM.
@@ -97,7 +98,10 @@ impl SimLlm {
 }
 
 impl ChatModel for SimLlm {
-    fn complete(&self, request: &ChatRequest) -> ChatResponse {
+    // The simulated backend itself is never flaky: transport faults enter
+    // through `FlakyModel`, keeping fault injection orthogonal to the
+    // extraction-accuracy faults `FaultProfile` models.
+    fn complete(&self, request: &ChatRequest) -> Result<ChatResponse, TransportError> {
         assert!(
             request.params.is_deterministic(),
             "SimLlm reproduces the paper's temperature-0/top-p-1 setting only; \
@@ -114,7 +118,7 @@ impl ChatModel for SimLlm {
             "I don't know".to_string()
         };
         let usage = crate::chat::Usage::estimate(&text, &reply);
-        ChatResponse { text: reply, usage }
+        Ok(ChatResponse { text: reply, usage })
     }
 
     fn model_id(&self) -> &str {
@@ -137,7 +141,7 @@ mod tests {
     fn ie_end_to_end() {
         let llm = SimLlm::flawless();
         let req = ie_request(3320, "Our subsidiaries: AS6855 and AS5391.", "");
-        let reply = llm.complete(&req);
+        let reply = llm.complete(&req).unwrap();
         let findings = parse_ie_reply(&reply.text);
         let mut asns: Vec<u32> = findings.iter().map(|f| f.asn.value()).collect();
         asns.sort_unstable();
@@ -163,21 +167,21 @@ mod tests {
             }],
             params: Default::default(),
         };
-        assert_eq!(llm.complete(&req).text, "Orange");
+        assert_eq!(llm.complete(&req).unwrap().text, "Orange");
     }
 
     #[test]
     fn classifier_without_image_declines() {
         let llm = SimLlm::flawless();
         let req = ChatRequest::user(build_classifier_prompt(&["https://a.com/".to_string()]));
-        assert_eq!(llm.complete(&req).text, "I don't know");
+        assert_eq!(llm.complete(&req).unwrap().text, "I don't know");
     }
 
     #[test]
     fn unknown_prompt_declines() {
         let llm = SimLlm::flawless();
         assert_eq!(
-            llm.complete(&ChatRequest::user("hello")).text,
+            llm.complete(&ChatRequest::user("hello")).unwrap().text,
             "I don't know"
         );
     }
@@ -188,15 +192,15 @@ mod tests {
         let llm = SimLlm::flawless();
         let mut req = ChatRequest::user("hi");
         req.params.temperature = 0.7;
-        llm.complete(&req);
+        let _ = llm.complete(&req);
     }
 
     #[test]
     fn faulty_model_is_deterministic() {
         let llm = SimLlm::new(42);
         let req = ie_request(1, "Siblings: AS100, AS200, AS300, AS400.", "");
-        let a = llm.complete(&req).text;
-        let b = llm.complete(&req).text;
+        let a = llm.complete(&req).unwrap().text;
+        let b = llm.complete(&req).unwrap().text;
         assert_eq!(a, b);
     }
 
@@ -213,7 +217,7 @@ mod tests {
         let mut diverged = false;
         for asn in 1..50u32 {
             let req = ie_request(asn, "Our subsidiaries: AS1111, AS2222.", "");
-            if flawless.complete(&req).text != faulty.complete(&req).text {
+            if flawless.complete(&req).unwrap().text != faulty.complete(&req).unwrap().text {
                 diverged = true;
                 break;
             }
@@ -229,7 +233,7 @@ mod tests {
             seed: 1,
         });
         let req = ie_request(1, "Upstream providers: AS174. Phone 555.", "");
-        let findings = parse_ie_reply(&llm.complete(&req).text);
+        let findings = parse_ie_reply(&llm.complete(&req).unwrap().text);
         for f in &findings {
             assert!(
                 [174u32, 555].contains(&f.asn.value()),

@@ -1,0 +1,96 @@
+//! Property tests for the transport middleware: the resilience stack
+//! must be invisible whenever there is nothing (or only recoverable
+//! chaos) to resist — the model-side mirror of
+//! `websim/tests/web_properties.rs`.
+
+use borges_llm::chat::{ChatModel, ChatRequest};
+use borges_llm::prompts::build_ie_prompt;
+use borges_llm::{CachingModel, FlakyModel, RetryingModel, SimLlm};
+use borges_resilience::{EpisodePlan, RetryPolicy};
+use borges_types::Asn;
+use proptest::prelude::*;
+
+fn request(asn: u32) -> ChatRequest {
+    ChatRequest::user(build_ie_prompt(
+        Asn::new(asn),
+        &format!("Network {asn}. Our subsidiaries: AS{}.", asn + 1),
+        "",
+    ))
+}
+
+proptest! {
+    // A zero-rate injector plus a retrying wrapper over a flawless
+    // backend replies bit-identically to the bare backend, request for
+    // request, whatever the seeds.
+    #[test]
+    fn chaos_idle_resilience_stack_is_transparent(
+        model_seed in 0u64..500,
+        policy_seed in 0u64..500,
+        asns in proptest::collection::vec(1u32..10_000, 1..40),
+    ) {
+        let bare = SimLlm::new(model_seed);
+        let stacked = RetryingModel::new(
+            FlakyModel::new(SimLlm::new(model_seed), EpisodePlan::none()),
+            RetryPolicy::standard(policy_seed),
+        );
+        for &asn in &asns {
+            prop_assert_eq!(
+                bare.complete(&request(asn)),
+                stacked.complete(&request(asn))
+            );
+        }
+        let stats = stacked.stats();
+        prop_assert_eq!(stats.calls, asns.len() as u64);
+        prop_assert_eq!(stats.attempts, stats.calls);
+        prop_assert_eq!(stats.recovered + stats.abandoned, 0);
+    }
+
+    // Calibrated chaos (transient bursts within the retry budget) is
+    // erased entirely: same replies as the bare backend, nothing
+    // abandoned.
+    #[test]
+    fn chaos_recoverable_model_faults_are_erased(
+        model_seed in 0u64..200,
+        chaos_seed in 0u64..200,
+        asns in proptest::collection::vec(1u32..10_000, 1..40),
+    ) {
+        let bare = SimLlm::new(model_seed);
+        let stacked = RetryingModel::new(
+            FlakyModel::new(SimLlm::new(model_seed), EpisodePlan::calibrated(chaos_seed)),
+            RetryPolicy::standard(chaos_seed),
+        );
+        for &asn in &asns {
+            prop_assert_eq!(
+                bare.complete(&request(asn)),
+                stacked.complete(&request(asn))
+            );
+        }
+        prop_assert_eq!(stacked.stats().abandoned, 0);
+    }
+
+    // The full middleware sandwich — cache over retries over chaos —
+    // stays transparent, and repeats are served without re-billing.
+    #[test]
+    fn chaos_cache_composes_with_the_resilience_stack(
+        model_seed in 0u64..200,
+        asns in proptest::collection::vec(1u32..100, 1..30),
+    ) {
+        let bare = SimLlm::new(model_seed);
+        let stacked = CachingModel::new(RetryingModel::new(
+            FlakyModel::new(SimLlm::new(model_seed), EpisodePlan::calibrated(model_seed)),
+            RetryPolicy::standard(model_seed),
+        ));
+        for &asn in &asns {
+            // Twice: the second round is all cache hits.
+            prop_assert_eq!(
+                bare.complete(&request(asn)).unwrap().text,
+                stacked.complete(&request(asn)).unwrap().text
+            );
+            prop_assert_eq!(
+                bare.complete(&request(asn)).unwrap().text,
+                stacked.complete(&request(asn)).unwrap().text
+            );
+        }
+        prop_assert!(stacked.hits() >= asns.len() as u64);
+    }
+}

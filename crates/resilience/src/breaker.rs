@@ -1,0 +1,264 @@
+//! Per-host circuit breakers.
+//!
+//! A crawl hitting a struggling host should stop hammering it long before
+//! the per-call retry budget does — that is the breaker's job. The state
+//! machine is the classic one: **closed** (counting consecutive failures)
+//! → **open** (fast-failing every call for a cooling window) →
+//! **half-open** (one probe decides: success closes, failure re-opens).
+//! Time comes from the injected [`Clock`], so the whole cycle is testable
+//! without sleeping.
+
+use crate::clock::Clock;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip a closed breaker.
+    pub failure_threshold: u32,
+    /// How long an open breaker fast-fails before half-opening, in
+    /// clock milliseconds.
+    pub open_ms: u64,
+}
+
+impl BreakerConfig {
+    /// The calibrated default: trip after 8 consecutive failures, cool
+    /// for 10 s. The threshold sits above the longest transient episode a
+    /// calibrated [`crate::EpisodePlan`] injects (burst ≤ 3 plus retry
+    /// probes), so recoverable worlds never trip it.
+    pub const fn standard() -> Self {
+        BreakerConfig {
+            failure_threshold: 8,
+            open_ms: 10_000,
+        }
+    }
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig::standard()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Closed { consecutive_failures: u32 },
+    Open { until_ms: u64 },
+    HalfOpen,
+}
+
+/// What recording a failure did to the breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerVerdict {
+    /// The breaker stayed closed (or was already open).
+    Unchanged,
+    /// This failure tripped the breaker into the open state.
+    Tripped,
+}
+
+/// One host's breaker.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: Mutex<State>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: Mutex::new(State::Closed {
+                consecutive_failures: 0,
+            }),
+        }
+    }
+
+    /// May a call proceed right now? Open breakers fast-fail until their
+    /// window elapses, then admit one half-open probe.
+    pub fn allow(&self, clock: &dyn Clock) -> bool {
+        let mut state = self.state.lock();
+        match *state {
+            State::Closed { .. } | State::HalfOpen => true,
+            State::Open { until_ms } => {
+                if clock.now_ms() >= until_ms {
+                    *state = State::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Reports a successful call: closes the breaker and clears the
+    /// failure streak.
+    pub fn record_success(&self) {
+        *self.state.lock() = State::Closed {
+            consecutive_failures: 0,
+        };
+    }
+
+    /// Reports a failed call; returns [`BreakerVerdict::Tripped`] when
+    /// this failure opened the breaker.
+    pub fn record_failure(&self, clock: &dyn Clock) -> BreakerVerdict {
+        let mut state = self.state.lock();
+        match *state {
+            State::HalfOpen => {
+                // The probe failed: straight back to open.
+                *state = State::Open {
+                    until_ms: clock.now_ms() + self.config.open_ms,
+                };
+                BreakerVerdict::Tripped
+            }
+            State::Closed {
+                consecutive_failures,
+            } => {
+                let failures = consecutive_failures + 1;
+                if failures >= self.config.failure_threshold {
+                    *state = State::Open {
+                        until_ms: clock.now_ms() + self.config.open_ms,
+                    };
+                    BreakerVerdict::Tripped
+                } else {
+                    *state = State::Closed {
+                        consecutive_failures: failures,
+                    };
+                    BreakerVerdict::Unchanged
+                }
+            }
+            State::Open { .. } => BreakerVerdict::Unchanged,
+        }
+    }
+
+    /// `true` while calls would be fast-failed (ignoring window expiry).
+    pub fn is_open(&self) -> bool {
+        matches!(*self.state.lock(), State::Open { .. })
+    }
+}
+
+/// Lazily creates one [`CircuitBreaker`] per key (the crawl keys by
+/// host; the LLM boundary uses a single key per backend).
+#[derive(Debug)]
+pub struct BreakerRegistry {
+    config: BreakerConfig,
+    breakers: Mutex<HashMap<String, Arc<CircuitBreaker>>>,
+}
+
+impl BreakerRegistry {
+    /// An empty registry; breakers materialize on first use.
+    pub fn new(config: BreakerConfig) -> Self {
+        BreakerRegistry {
+            config,
+            breakers: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The breaker for `key`, created closed on first access.
+    pub fn breaker(&self, key: &str) -> Arc<CircuitBreaker> {
+        self.breakers
+            .lock()
+            .entry(key.to_string())
+            .or_insert_with(|| Arc::new(CircuitBreaker::new(self.config)))
+            .clone()
+    }
+
+    /// Number of keys with a materialized breaker.
+    pub fn len(&self) -> usize {
+        self.breakers.lock().len()
+    }
+
+    /// `true` when no breaker has been created yet.
+    pub fn is_empty(&self) -> bool {
+        self.breakers.lock().is_empty()
+    }
+
+    /// Keys whose breaker is currently open.
+    pub fn open_keys(&self) -> Vec<String> {
+        let mut keys: Vec<String> = self
+            .breakers
+            .lock()
+            .iter()
+            .filter(|(_, b)| b.is_open())
+            .map(|(k, _)| k.clone())
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::SimClock;
+
+    fn config() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            open_ms: 100,
+        }
+    }
+
+    #[test]
+    fn chaos_breaker_walks_the_full_cycle() {
+        let clock = SimClock::new();
+        let b = CircuitBreaker::new(config());
+
+        // Closed: admits calls, counts failures.
+        assert!(b.allow(&clock));
+        assert_eq!(b.record_failure(&clock), BreakerVerdict::Unchanged);
+        assert_eq!(b.record_failure(&clock), BreakerVerdict::Unchanged);
+        assert_eq!(b.record_failure(&clock), BreakerVerdict::Tripped);
+
+        // Open: fast-fails until the window elapses.
+        assert!(!b.allow(&clock));
+        assert!(b.is_open());
+        clock.sleep_ms(99);
+        assert!(!b.allow(&clock));
+        clock.sleep_ms(1);
+
+        // Half-open: one probe allowed; failure re-opens…
+        assert!(b.allow(&clock));
+        assert_eq!(b.record_failure(&clock), BreakerVerdict::Tripped);
+        assert!(!b.allow(&clock));
+        clock.sleep_ms(100);
+
+        // …and a successful probe closes.
+        assert!(b.allow(&clock));
+        b.record_success();
+        assert!(b.allow(&clock));
+        assert!(!b.is_open());
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let clock = SimClock::new();
+        let b = CircuitBreaker::new(config());
+        for _ in 0..10 {
+            b.record_failure(&clock);
+            b.record_success();
+        }
+        assert!(b.allow(&clock), "alternating failures never trip");
+    }
+
+    #[test]
+    fn registry_hands_out_one_breaker_per_key() {
+        let clock = SimClock::new();
+        let reg = BreakerRegistry::new(config());
+        assert!(reg.is_empty());
+        let a1 = reg.breaker("a.com");
+        let a2 = reg.breaker("a.com");
+        let b = reg.breaker("b.com");
+        assert!(Arc::ptr_eq(&a1, &a2));
+        assert!(!Arc::ptr_eq(&a1, &b));
+        assert_eq!(reg.len(), 2);
+
+        for _ in 0..3 {
+            a1.record_failure(&clock);
+        }
+        assert_eq!(reg.open_keys(), vec!["a.com".to_string()]);
+        assert!(b.allow(&clock), "other hosts unaffected");
+    }
+}

@@ -1,0 +1,118 @@
+//! The transport-error taxonomy.
+//!
+//! Every failure an external boundary can surface is either *transient*
+//! (the next attempt may succeed: the crawl's timeouts and resets, the
+//! API's 429/5xx, a truncated reply) or *permanent* (no number of retries
+//! helps: a WAF block, a request the server will always reject). The
+//! distinction is the whole retry contract — [`crate::RetryPolicy`]
+//! retries transients and aborts immediately on permanents.
+
+use std::error::Error;
+use std::fmt;
+
+/// Whether retrying can possibly help.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// The next attempt may succeed (timeouts, resets, 429/5xx, truncated
+    /// payloads, a breaker that will close again).
+    Transient,
+    /// Retrying is wasted budget (hard blocks, malformed requests).
+    Permanent,
+}
+
+/// A transport-level failure of an external call — the error half of the
+/// now-fallible `WebClient::fetch` and `ChatModel::complete` boundaries.
+///
+/// Semantic errors (a model that extracts the wrong sibling, a site that
+/// redirects somewhere surprising) are *not* transport errors; those stay
+/// inside the `Ok` payloads exactly as before. This enum is only about
+/// the call not completing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransportError {
+    /// The peer did not answer within the client's time budget.
+    Timeout,
+    /// The connection dropped mid-exchange.
+    ConnectionReset,
+    /// HTTP 429 — the service asked us to slow down.
+    RateLimited,
+    /// HTTP 500 — the service failed internally.
+    ServerError,
+    /// HTTP 503 — the service is temporarily refusing work.
+    ServiceUnavailable,
+    /// The reply arrived cut off mid-payload (e.g. truncated JSON from a
+    /// streaming chat API); the content is unusable but a re-ask may work.
+    TruncatedReply,
+    /// HTTP 403 — a hard block (WAF, robots enforcement). Retrying the
+    /// same request will keep failing.
+    Forbidden,
+    /// A client-side fast-fail: the per-host circuit breaker is open.
+    /// Transient by definition — the breaker half-opens after its cooling
+    /// window.
+    CircuitOpen,
+}
+
+impl TransportError {
+    /// The retryability class of this error.
+    pub fn class(&self) -> FaultClass {
+        match self {
+            TransportError::Forbidden => FaultClass::Permanent,
+            TransportError::Timeout
+            | TransportError::ConnectionReset
+            | TransportError::RateLimited
+            | TransportError::ServerError
+            | TransportError::ServiceUnavailable
+            | TransportError::TruncatedReply
+            | TransportError::CircuitOpen => FaultClass::Transient,
+        }
+    }
+
+    /// `true` when a retry may succeed.
+    pub fn is_transient(&self) -> bool {
+        self.class() == FaultClass::Transient
+    }
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            TransportError::Timeout => "request timed out",
+            TransportError::ConnectionReset => "connection reset by peer",
+            TransportError::RateLimited => "rate limited (HTTP 429)",
+            TransportError::ServerError => "internal server error (HTTP 500)",
+            TransportError::ServiceUnavailable => "service unavailable (HTTP 503)",
+            TransportError::TruncatedReply => "reply truncated mid-payload",
+            TransportError::Forbidden => "request forbidden (HTTP 403)",
+            TransportError::CircuitOpen => "circuit breaker open",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl Error for TransportError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_hard_blocks_are_permanent() {
+        let all = [
+            TransportError::Timeout,
+            TransportError::ConnectionReset,
+            TransportError::RateLimited,
+            TransportError::ServerError,
+            TransportError::ServiceUnavailable,
+            TransportError::TruncatedReply,
+            TransportError::Forbidden,
+            TransportError::CircuitOpen,
+        ];
+        let permanents: Vec<_> = all.iter().filter(|e| !e.is_transient()).collect();
+        assert_eq!(permanents, vec![&TransportError::Forbidden]);
+    }
+
+    #[test]
+    fn errors_display_and_box() {
+        let e: Box<dyn Error> = Box::new(TransportError::RateLimited);
+        assert!(e.to_string().contains("429"));
+    }
+}

@@ -1,0 +1,256 @@
+//! Seeded transport-fault episodes.
+//!
+//! Fault injection follows the same philosophy as `llmsim::FaultProfile`:
+//! every decision is a splitmix-style hash of `(seed, subject)`, so the
+//! same seed always produces the same faults — simulated chaos with
+//! ground truth, which is what makes *recovery* verifiable (a flaky world
+//! whose every episode is recoverable must reproduce the flawless world's
+//! mapping bit for bit).
+//!
+//! The unit is an **episode**: a subject (a host for the crawl, a request
+//! for the LLM) either is clean, suffers a *transient* episode (a burst of
+//! `1..=max_burst` consecutive failures of one seeded kind, after which
+//! calls succeed again), or is *permanently* blocked. [`FaultInjector`]
+//! tracks how much of each burst has been delivered.
+
+use crate::error::TransportError;
+use crate::splitmix64;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// The seeded fault model for one boundary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpisodePlan {
+    /// Probability that a subject suffers a transient episode.
+    pub transient_rate: f64,
+    /// Probability that a subject is permanently blocked (checked first).
+    pub permanent_rate: f64,
+    /// Longest transient burst (consecutive failures before recovery).
+    pub max_burst: u32,
+    /// Seed decorrelating episodes between experiments.
+    pub seed: u64,
+}
+
+impl EpisodePlan {
+    /// No injected faults.
+    pub const fn none() -> Self {
+        EpisodePlan {
+            transient_rate: 0.0,
+            permanent_rate: 0.0,
+            max_burst: 0,
+            seed: 0,
+        }
+    }
+
+    /// Calibrated transient-only chaos: ~15% of subjects suffer a burst
+    /// of at most 3 failures — fully recoverable under
+    /// [`crate::RetryPolicy::standard`] (5 attempts).
+    pub const fn calibrated(seed: u64) -> Self {
+        EpisodePlan {
+            transient_rate: 0.15,
+            permanent_rate: 0.0,
+            max_burst: 3,
+            seed,
+        }
+    }
+
+    /// Calibrated chaos plus hard blocks: like [`EpisodePlan::calibrated`]
+    /// with 10% of subjects permanently refused — the degraded-mode
+    /// scenario where the pipeline must proceed on partial evidence.
+    pub const fn with_outages(seed: u64) -> Self {
+        EpisodePlan {
+            transient_rate: 0.15,
+            permanent_rate: 0.10,
+            max_burst: 3,
+            seed,
+        }
+    }
+
+    fn unit(&self, domain: u64, key: u64) -> f64 {
+        let x = splitmix64(
+            self.seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(domain)
+                .wrapping_add(key),
+        );
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// The episode assigned to `key` — a pure function of the plan.
+    pub fn episode(&self, key: u64, kinds: &[TransportError]) -> Episode {
+        if kinds.is_empty() {
+            return Episode::Clean;
+        }
+        if self.permanent_rate > 0.0 && self.unit(0x5045_524d, key) < self.permanent_rate {
+            return Episode::Permanent;
+        }
+        if self.transient_rate > 0.0
+            && self.max_burst > 0
+            && self.unit(0x5452_414e, key) < self.transient_rate
+        {
+            let roll = splitmix64(self.seed.wrapping_add(key).wrapping_add(0x4255_5253));
+            let burst = 1 + (roll % self.max_burst as u64) as u32;
+            let kind = kinds[(roll >> 32) as usize % kinds.len()];
+            return Episode::Transient { burst, kind };
+        }
+        Episode::Clean
+    }
+}
+
+/// What the plan decided for one subject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Episode {
+    /// Calls pass through untouched.
+    Clean,
+    /// The first `burst` calls fail with `kind`, then calls succeed.
+    Transient {
+        /// Consecutive failures to deliver.
+        burst: u32,
+        /// The error each failed call surfaces.
+        kind: TransportError,
+    },
+    /// Every call fails with [`TransportError::Forbidden`].
+    Permanent,
+}
+
+/// Stateful delivery of an [`EpisodePlan`]: remembers, per subject, how
+/// many of the burst's failures have been handed out.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: EpisodePlan,
+    kinds: Vec<TransportError>,
+    delivered: Mutex<HashMap<u64, u32>>,
+}
+
+impl FaultInjector {
+    /// An injector drawing transient faults from `kinds`.
+    pub fn new(plan: EpisodePlan, kinds: &[TransportError]) -> Self {
+        FaultInjector {
+            plan,
+            kinds: kinds.to_vec(),
+            delivered: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The plan in force.
+    pub fn plan(&self) -> EpisodePlan {
+        self.plan
+    }
+
+    /// Called before each underlying call for subject `key`:
+    /// `Some(error)` injects a failure, `None` lets the call through.
+    pub fn intercept(&self, key: u64) -> Option<TransportError> {
+        match self.plan.episode(key, &self.kinds) {
+            Episode::Clean => None,
+            Episode::Permanent => Some(TransportError::Forbidden),
+            Episode::Transient { burst, kind } => {
+                let mut delivered = self.delivered.lock();
+                let count = delivered.entry(key).or_insert(0);
+                if *count < burst {
+                    *count += 1;
+                    Some(kind)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Forgets delivered bursts — a fresh injector for a re-run.
+    pub fn reset(&self) {
+        self.delivered.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KINDS: [TransportError; 2] = [TransportError::Timeout, TransportError::ServerError];
+
+    #[test]
+    fn chaos_none_plan_never_injects() {
+        let inj = FaultInjector::new(EpisodePlan::none(), &KINDS);
+        for key in 0..2000 {
+            assert_eq!(inj.intercept(key), None);
+        }
+    }
+
+    #[test]
+    fn chaos_transient_bursts_end() {
+        let plan = EpisodePlan {
+            transient_rate: 1.0,
+            permanent_rate: 0.0,
+            max_burst: 4,
+            seed: 9,
+        };
+        let inj = FaultInjector::new(plan, &KINDS);
+        for key in 0..200u64 {
+            let mut failures = 0;
+            while let Some(e) = inj.intercept(key) {
+                assert!(e.is_transient());
+                failures += 1;
+                assert!(failures <= 4, "burst exceeded max_burst");
+            }
+            assert!(failures >= 1, "rate 1.0 must fault every subject");
+            // Once recovered, the subject stays clean.
+            assert_eq!(inj.intercept(key), None);
+        }
+    }
+
+    #[test]
+    fn chaos_permanent_episodes_never_recover() {
+        let plan = EpisodePlan {
+            transient_rate: 0.0,
+            permanent_rate: 1.0,
+            max_burst: 0,
+            seed: 1,
+        };
+        let inj = FaultInjector::new(plan, &KINDS);
+        for _ in 0..50 {
+            assert_eq!(inj.intercept(42), Some(TransportError::Forbidden));
+        }
+    }
+
+    #[test]
+    fn chaos_episodes_are_deterministic_and_seed_sensitive() {
+        let plan = EpisodePlan::calibrated(7);
+        let other = EpisodePlan::calibrated(8);
+        let a: Vec<Episode> = (0..500).map(|k| plan.episode(k, &KINDS)).collect();
+        let b: Vec<Episode> = (0..500).map(|k| plan.episode(k, &KINDS)).collect();
+        let c: Vec<Episode> = (0..500).map(|k| other.episode(k, &KINDS)).collect();
+        assert_eq!(a, b);
+        assert_ne!(a, c, "seeds must decorrelate");
+    }
+
+    #[test]
+    fn chaos_rates_are_roughly_honored() {
+        let plan = EpisodePlan {
+            transient_rate: 0.10,
+            permanent_rate: 0.0,
+            max_burst: 2,
+            seed: 5,
+        };
+        let n = 20_000u64;
+        let faulted = (0..n)
+            .filter(|&k| plan.episode(crate::splitmix64(k), &KINDS) != Episode::Clean)
+            .count() as f64;
+        let frac = faulted / n as f64;
+        assert!((0.08..0.12).contains(&frac), "observed {frac}");
+    }
+
+    #[test]
+    fn chaos_reset_restarts_bursts() {
+        let plan = EpisodePlan {
+            transient_rate: 1.0,
+            permanent_rate: 0.0,
+            max_burst: 1,
+            seed: 2,
+        };
+        let inj = FaultInjector::new(plan, &KINDS);
+        assert!(inj.intercept(3).is_some());
+        assert!(inj.intercept(3).is_none());
+        inj.reset();
+        assert!(inj.intercept(3).is_some(), "reset replays the episode");
+    }
+}

@@ -284,7 +284,9 @@ mod tests {
         // And the acquired flagship's site now redirects to the acquirer.
         use borges_websim::{SimWebClient, WebClient};
         let client = SimWebClient::browser(&after.web);
-        let r = client.fetch(&"http://www.cogentco.com".parse().unwrap());
+        let r = client
+            .fetch(&"http://www.cogentco.com".parse().unwrap())
+            .unwrap();
         assert_eq!(
             r.final_url.unwrap().host().as_str(),
             "www.telekom.de",
@@ -306,7 +308,9 @@ mod tests {
             .unwrap();
         use borges_websim::{SimWebClient, WebClient};
         let client = SimWebClient::browser(&after.web);
-        let r = client.fetch(&"http://www.cogentco.com".parse().unwrap());
+        let r = client
+            .fetch(&"http://www.cogentco.com".parse().unwrap())
+            .unwrap();
         assert_eq!(r.final_url.unwrap().host().as_str(), "www.zentransit.com");
         // Truth organization survives the rename.
         assert!(after.truth.are_siblings(Asn::new(174), Asn::new(1239)));

@@ -1122,7 +1122,9 @@ mod tests {
         use borges_websim::{SimWebClient, WebClient};
         let world = tiny();
         let client = SimWebClient::browser(&world.web);
-        let r = client.fetch(&"http://www.clearwire.com".parse().unwrap());
+        let r = client
+            .fetch(&"http://www.clearwire.com".parse().unwrap())
+            .unwrap();
         assert!(r.hops() >= 2, "must pass through the intermediate hop");
         assert_eq!(
             r.final_url.unwrap().host().as_str(),
@@ -1136,8 +1138,12 @@ mod tests {
         use borges_websim::{SimWebClient, WebClient};
         let world = tiny();
         let client = SimWebClient::browser(&world.web);
-        let limelight = client.fetch(&"http://www.limelight.com".parse().unwrap());
-        let edgecast = client.fetch(&"http://www.edgecast.com".parse().unwrap());
+        let limelight = client
+            .fetch(&"http://www.limelight.com".parse().unwrap())
+            .unwrap();
+        let edgecast = client
+            .fetch(&"http://www.edgecast.com".parse().unwrap())
+            .unwrap();
         assert_eq!(limelight.final_url, edgecast.final_url);
         assert_eq!(limelight.final_url.unwrap().host().as_str(), "www.edg.io");
     }

@@ -44,7 +44,7 @@ impl<'w> FaviconApi<'w> {
     /// extracting the icon).
     pub fn lookup(&self, target: &Url) -> Option<FaviconHash> {
         let client = SimWebClient::browser(self.web);
-        client.fetch(target).favicon
+        client.fetch(target).ok().and_then(|result| result.favicon)
     }
 }
 

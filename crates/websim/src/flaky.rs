@@ -1,0 +1,136 @@
+//! Seeded transport faults for the crawl boundary.
+//!
+//! [`FlakyWebClient`] wraps any [`WebClient`] and injects the failures a
+//! real Selenium fleet meets: timeouts, connection resets, 503s and 429s —
+//! decided per *host* by a seeded [`EpisodePlan`] (splitmix-style, like
+//! `llmsim::FaultProfile::decide`), so a given world + seed always breaks
+//! in exactly the same places. Transient episodes are bursts: the first
+//! `k` fetches against an afflicted host fail, then the host recovers —
+//! which is what makes recovery *verifiable*: wrap this client in
+//! [`crate::retry::RetryingWebClient`] with a budget that covers the burst
+//! and the crawl must reproduce the flawless crawl bit for bit.
+
+use crate::client::{FetchResult, WebClient};
+use borges_resilience::{stable_hash, EpisodePlan, FaultInjector, TransportError};
+use borges_types::Url;
+
+/// The transient fault kinds a crawl can meet.
+pub const WEB_FAULT_KINDS: [TransportError; 4] = [
+    TransportError::Timeout,
+    TransportError::ConnectionReset,
+    TransportError::ServiceUnavailable,
+    TransportError::RateLimited,
+];
+
+/// A [`WebClient`] middleware injecting seeded per-host fault episodes.
+pub struct FlakyWebClient<C> {
+    inner: C,
+    injector: FaultInjector,
+}
+
+impl<C: WebClient> FlakyWebClient<C> {
+    /// Wraps `inner` with the fault episodes `plan` prescribes.
+    pub fn new(inner: C, plan: EpisodePlan) -> Self {
+        FlakyWebClient {
+            inner,
+            injector: FaultInjector::new(plan, &WEB_FAULT_KINDS),
+        }
+    }
+
+    /// The plan in force.
+    pub fn plan(&self) -> EpisodePlan {
+        self.injector.plan()
+    }
+
+    /// The stable key episodes are decided by: the URL's host. Every URL
+    /// on a host shares its episode — outages afflict servers, not paths.
+    pub fn episode_key(url: &Url) -> u64 {
+        stable_hash(url.host().as_str().as_bytes())
+    }
+}
+
+impl<C: WebClient> WebClient for FlakyWebClient<C> {
+    fn fetch(&self, url: &Url) -> Result<FetchResult, TransportError> {
+        if let Some(error) = self.injector.intercept(Self::episode_key(url)) {
+            return Err(error);
+        }
+        self.inner.fetch(url)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::SimWebClient;
+    use crate::hosting::SimWeb;
+
+    fn web(hosts: usize) -> SimWeb {
+        let mut b = SimWeb::builder();
+        for i in 0..hosts {
+            b = b.page(&format!("h{i}.example"), None);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn chaos_zero_rate_is_transparent() {
+        let web = web(50);
+        let bare = SimWebClient::browser(&web);
+        let flaky = FlakyWebClient::new(SimWebClient::browser(&web), EpisodePlan::none());
+        for i in 0..50 {
+            let url: Url = format!("https://h{i}.example/").parse().unwrap();
+            assert_eq!(flaky.fetch(&url), bare.fetch(&url));
+        }
+    }
+
+    #[test]
+    fn chaos_bursts_recover_and_match_the_bare_client() {
+        let web = web(200);
+        let bare = SimWebClient::browser(&web);
+        let flaky = FlakyWebClient::new(SimWebClient::browser(&web), EpisodePlan::calibrated(11));
+        let mut faulted_hosts = 0;
+        for i in 0..200 {
+            let url: Url = format!("https://h{i}.example/").parse().unwrap();
+            let mut failures = 0;
+            let result = loop {
+                match flaky.fetch(&url) {
+                    Ok(r) => break r,
+                    Err(e) => {
+                        assert!(e.is_transient(), "calibrated plan is transient-only");
+                        failures += 1;
+                        assert!(failures <= 3, "calibrated burst is at most 3");
+                    }
+                }
+            };
+            if failures > 0 {
+                faulted_hosts += 1;
+            }
+            // After the burst, the flaky client is the bare client.
+            assert_eq!(Ok(result), bare.fetch(&url));
+        }
+        // ~15% of 200 hosts; loose bounds to stay seed-robust.
+        assert!((10..=60).contains(&faulted_hosts), "got {faulted_hosts}");
+    }
+
+    #[test]
+    fn chaos_episodes_afflict_hosts_not_urls() {
+        let web = SimWeb::builder().page("h.example", None).build();
+        let flaky = FlakyWebClient::new(
+            SimWebClient::browser(&web),
+            EpisodePlan {
+                transient_rate: 1.0,
+                permanent_rate: 0.0,
+                max_burst: 1,
+                seed: 3,
+            },
+        );
+        let a: Url = "https://h.example/a".parse().unwrap();
+        let b: Url = "https://h.example/b".parse().unwrap();
+        assert_eq!(FlakyWebClient::<SimWebClient<'_>>::episode_key(&a), {
+            FlakyWebClient::<SimWebClient<'_>>::episode_key(&b)
+        });
+        // The single-failure burst is shared across the host's URLs.
+        assert!(flaky.fetch(&a).is_err());
+        assert!(flaky.fetch(&b).is_ok());
+    }
+}

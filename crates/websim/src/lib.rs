@@ -20,7 +20,12 @@
 //!   reproducing why the paper needed Selenium rather than plain HTTP;
 //! * [`scraper`] — the bulk crawl engine producing final URLs and favicons
 //!   for every PeeringDB `website` entry, with the funnel statistics §5.2
-//!   reports.
+//!   reports;
+//! * [`flaky`] — [`flaky::FlakyWebClient`], seeded per-host transport-fault
+//!   episodes (timeouts, resets, 503/429) for chaos testing the crawl;
+//! * [`retry`] — [`retry::RetryingWebClient`], the recovery stack
+//!   (deterministic backoff, budgets, per-host circuit breakers) that
+//!   absorbs recoverable faults and accounts for the rest.
 //!
 //! Everything is deterministic; the "web" is a value you construct.
 
@@ -29,12 +34,16 @@
 
 pub mod client;
 pub mod faviconapi;
+pub mod flaky;
 pub mod hosting;
+pub mod retry;
 pub mod scraper;
 pub mod site;
 pub mod snapshot;
 
 pub use client::{FetchOutcome, FetchResult, SimWebClient, WebClient, MAX_REDIRECTS};
+pub use flaky::{FlakyWebClient, WEB_FAULT_KINDS};
 pub use hosting::{SimWeb, SimWebBuilder};
+pub use retry::RetryingWebClient;
 pub use scraper::{ScrapeReport, ScrapeStats, ScrapedSite, Scraper};
 pub use site::{RedirectKind, SiteNode};

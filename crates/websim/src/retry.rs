@@ -1,0 +1,239 @@
+//! The resilient crawl client.
+//!
+//! [`RetryingWebClient`] wraps any [`WebClient`] with the recovery stack
+//! from `borges-resilience`: a [`RetryPolicy`] (exponential backoff,
+//! deterministic jitter, attempt + deadline budgets) and an optional
+//! per-host [`BreakerRegistry`]. Backoff sleeps on an injectable [`Clock`]
+//! — the default [`SimClock`] makes retried crawls as fast as unretried
+//! ones — and everything the stack spends is tallied in a
+//! [`ResilienceStats`] the scraper folds into its funnel.
+
+use crate::client::{FetchResult, WebClient};
+use borges_resilience::{
+    stable_hash, BreakerConfig, BreakerRegistry, BreakerVerdict, Clock, ResilienceStats,
+    RetryPolicy, SimClock, TransportError,
+};
+use borges_types::Url;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A [`WebClient`] middleware that retries transient transport failures
+/// and (optionally) fast-fails hosts whose circuit breaker is open.
+pub struct RetryingWebClient<C> {
+    inner: C,
+    policy: RetryPolicy,
+    clock: Arc<dyn Clock>,
+    breakers: Option<BreakerRegistry>,
+    stats: Mutex<ResilienceStats>,
+}
+
+impl<C: WebClient> RetryingWebClient<C> {
+    /// Wraps `inner` under `policy`, sleeping on a virtual [`SimClock`]
+    /// and with no circuit breakers.
+    pub fn new(inner: C, policy: RetryPolicy) -> Self {
+        RetryingWebClient {
+            inner,
+            policy,
+            clock: Arc::new(SimClock::new()),
+            breakers: None,
+            stats: Mutex::new(ResilienceStats::default()),
+        }
+    }
+
+    /// Adds per-host circuit breakers.
+    pub fn with_breakers(mut self, config: BreakerConfig) -> Self {
+        self.breakers = Some(BreakerRegistry::new(config));
+        self
+    }
+
+    /// Replaces the clock (a production deployment passes
+    /// [`borges_resilience::SystemClock`]).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// What the stack has spent so far.
+    pub fn stats(&self) -> ResilienceStats {
+        *self.stats.lock()
+    }
+
+    /// Hosts whose breaker is currently open (empty without breakers).
+    pub fn open_hosts(&self) -> Vec<String> {
+        self.breakers
+            .as_ref()
+            .map(|r| r.open_keys())
+            .unwrap_or_default()
+    }
+}
+
+impl<C: WebClient> WebClient for RetryingWebClient<C> {
+    fn fetch(&self, url: &Url) -> Result<FetchResult, TransportError> {
+        let host = url.host().as_str().to_string();
+        let key = stable_hash(host.as_bytes());
+        let breaker = self.breakers.as_ref().map(|r| r.breaker(&host));
+        let mut trips = 0u64;
+        let mut fast_fails = 0u64;
+
+        let outcome = self.policy.run(&*self.clock, key, |_attempt| {
+            if let Some(b) = &breaker {
+                if !b.allow(&*self.clock) {
+                    fast_fails += 1;
+                    return Err(TransportError::CircuitOpen);
+                }
+            }
+            match self.inner.fetch(url) {
+                Ok(result) => {
+                    if let Some(b) = &breaker {
+                        b.record_success();
+                    }
+                    Ok(result)
+                }
+                Err(e) => {
+                    if let Some(b) = &breaker {
+                        if b.record_failure(&*self.clock) == BreakerVerdict::Tripped {
+                            trips += 1;
+                        }
+                    }
+                    Err(e)
+                }
+            }
+        });
+
+        let mut stats = self.stats.lock();
+        stats.calls += 1;
+        stats.attempts += outcome.attempts as u64;
+        stats.breaker_trips += trips;
+        stats.breaker_fast_fails += fast_fails;
+        if outcome.recovered() {
+            stats.recovered += 1;
+        }
+        if outcome.result.is_err() {
+            stats.abandoned += 1;
+        }
+        outcome.result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::SimWebClient;
+    use crate::flaky::FlakyWebClient;
+    use crate::hosting::SimWeb;
+    use borges_resilience::EpisodePlan;
+
+    fn web(hosts: usize) -> SimWeb {
+        let mut b = SimWeb::builder();
+        for i in 0..hosts {
+            b = b.page(&format!("h{i}.example"), None);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn chaos_retries_erase_recoverable_faults() {
+        let web = web(100);
+        let bare = SimWebClient::browser(&web);
+        let client = RetryingWebClient::new(
+            FlakyWebClient::new(SimWebClient::browser(&web), EpisodePlan::calibrated(5)),
+            RetryPolicy::standard(5),
+        );
+        for i in 0..100 {
+            let url: Url = format!("https://h{i}.example/").parse().unwrap();
+            assert_eq!(client.fetch(&url), bare.fetch(&url));
+        }
+        let stats = client.stats();
+        assert_eq!(stats.calls, 100);
+        assert_eq!(stats.abandoned, 0, "calibrated chaos is fully recoverable");
+        assert!(stats.recovered > 0, "some hosts needed retries");
+        assert!(stats.attempts > stats.calls);
+    }
+
+    #[test]
+    fn chaos_permanent_blocks_are_abandoned_with_budget_left() {
+        let web = web(1);
+        let client = RetryingWebClient::new(
+            FlakyWebClient::new(
+                SimWebClient::browser(&web),
+                EpisodePlan {
+                    transient_rate: 0.0,
+                    permanent_rate: 1.0,
+                    max_burst: 0,
+                    seed: 1,
+                },
+            ),
+            RetryPolicy::standard(1),
+        );
+        let url: Url = "https://h0.example/".parse().unwrap();
+        assert_eq!(client.fetch(&url), Err(TransportError::Forbidden));
+        let stats = client.stats();
+        assert_eq!(stats.abandoned, 1);
+        assert_eq!(stats.attempts, 1, "permanent errors are not retried");
+    }
+
+    #[test]
+    fn chaos_breaker_fast_fails_a_dead_host_then_reprobes() {
+        let web = web(1);
+        let clock = Arc::new(SimClock::new());
+        let client = RetryingWebClient::new(
+            FlakyWebClient::new(
+                SimWebClient::browser(&web),
+                EpisodePlan {
+                    transient_rate: 1.0,
+                    permanent_rate: 0.0,
+                    // A burst far beyond the retry budget: the host is
+                    // effectively down for many consecutive fetches.
+                    max_burst: 40,
+                    seed: 2,
+                },
+            ),
+            RetryPolicy {
+                max_attempts: 3,
+                base_delay_ms: 10,
+                max_delay_ms: 10,
+                deadline_ms: u64::MAX,
+                jitter_seed: 2,
+            },
+        )
+        .with_breakers(BreakerConfig {
+            failure_threshold: 4,
+            open_ms: 1_000_000,
+        })
+        .with_clock(clock);
+        let url: Url = "https://h0.example/".parse().unwrap();
+
+        // First logical call: 3 real attempts, breaker still closed.
+        assert!(client.fetch(&url).is_err());
+        // Second: one more real failure trips the breaker at 4.
+        assert!(client.fetch(&url).is_err());
+        assert_eq!(client.stats().breaker_trips, 1);
+        assert_eq!(client.open_hosts(), vec!["h0.example".to_string()]);
+
+        // Third: the open breaker fast-fails without touching the host.
+        let before = client.stats().breaker_fast_fails;
+        assert_eq!(client.fetch(&url), Err(TransportError::CircuitOpen));
+        assert!(client.stats().breaker_fast_fails > before);
+    }
+
+    #[test]
+    fn chaos_stats_account_for_every_call() {
+        let web = web(300);
+        let client = RetryingWebClient::new(
+            FlakyWebClient::new(SimWebClient::browser(&web), EpisodePlan::with_outages(9)),
+            RetryPolicy::standard(9),
+        );
+        let mut ok = 0u64;
+        for i in 0..300 {
+            let url: Url = format!("https://h{i}.example/").parse().unwrap();
+            if client.fetch(&url).is_ok() {
+                ok += 1;
+            }
+        }
+        let stats = client.stats();
+        assert_eq!(stats.calls, 300);
+        assert_eq!(stats.succeeded(), ok, "no silent drops");
+        assert!(stats.abandoned > 0, "outage plan blocks some hosts");
+        assert_eq!(stats.succeeded() + stats.abandoned, stats.calls);
+    }
+}

@@ -7,8 +7,15 @@
 //! a cache, and produces both per-ASN observations and the funnel
 //! statistics reported in §5.2 (entries with websites → unique URLs →
 //! reachable sites → unique final URLs → unique favicons).
+//!
+//! The crawl degrades gracefully: an entry whose fetch fails at the
+//! transport layer (after whatever retries the client stack performs) is
+//! *abandoned* — counted in [`ScrapeStats::entries_abandoned`], dropped
+//! from the observations, and the crawl proceeds. Nothing panics; nothing
+//! disappears silently.
 
 use crate::client::{FetchResult, WebClient};
+use borges_resilience::{ResilienceStats, TransportError};
 use borges_types::{Asn, FaviconHash, Url};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -26,16 +33,30 @@ pub struct ScrapedSite {
 
 /// Funnel statistics for a crawl, mirroring the §5.2 narrative.
 ///
+/// # Merging
+///
 /// Stats combine with `+=` for accumulating funnels across *disjoint*
 /// crawl batches (e.g. per-region shards of a production crawl). The
-/// `unique_*` fields are distinct counts within each batch; summing
-/// them is exact only when the batches share no URLs/favicons.
+/// `unique_*` fields are distinct counts *within each batch*; summing them
+/// is exact only when the batches share no URLs/favicons. Concretely: if
+/// batch A crawls `{limelight.com, gone.example}` and batch B crawls
+/// `{limelight.com, cogentco.com}`, the merged `unique_urls` is
+/// 2 + 2 = 4, but a single crawl of the union would report 3 — the shared
+/// `limelight.com` is double-counted. The merge still *debug-asserts* the
+/// funnel's monotonicity invariants (each stage no larger than the one
+/// above it), which hold for any merge; what overlap breaks is only the
+/// "distinct across the union" reading. See the
+/// `overlapping_batches_overcount_the_funnel` test for the pinned
+/// semantics.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ScrapeStats {
     /// Input pairs whose website field held a parseable URL.
     pub entries_with_website: usize,
     /// Input pairs whose website field was present but unparseable.
     pub entries_with_invalid_url: usize,
+    /// Input pairs whose fetch failed at the transport layer after all
+    /// recovery was exhausted — abandoned, not silently dropped.
+    pub entries_abandoned: usize,
     /// Distinct requested URLs (the paper: 24,200 unique URLs).
     pub unique_urls: usize,
     /// Distinct requested URLs that resolved to a page (paper: 20,742).
@@ -46,6 +67,24 @@ pub struct ScrapeStats {
     pub final_urls_with_favicon: usize,
     /// Distinct favicons (paper: 14,516).
     pub unique_favicons: usize,
+    /// What the resilient client stack spent getting here (zero when the
+    /// crawl ran over a bare client).
+    pub resilience: ResilienceStats,
+}
+
+impl ScrapeStats {
+    /// The funnel's internal ordering: every stage is at most as large as
+    /// the stage above it. These hold for a single crawl *and* for any
+    /// `+=`-merge of crawls (sums preserve `<=`), so a violation always
+    /// means corrupted accounting rather than batch overlap.
+    fn debug_check_funnel(&self) {
+        debug_assert!(self.unique_urls <= self.entries_with_website);
+        debug_assert!(self.reachable_urls <= self.unique_urls);
+        debug_assert!(self.unique_final_urls <= self.reachable_urls);
+        debug_assert!(self.final_urls_with_favicon <= self.unique_final_urls);
+        debug_assert!(self.unique_favicons <= self.final_urls_with_favicon);
+        debug_assert!(self.entries_abandoned <= self.entries_with_website);
+    }
 }
 
 impl std::ops::AddAssign for ScrapeStats {
@@ -55,26 +94,32 @@ impl std::ops::AddAssign for ScrapeStats {
         let ScrapeStats {
             entries_with_website,
             entries_with_invalid_url,
+            entries_abandoned,
             unique_urls,
             reachable_urls,
             unique_final_urls,
             final_urls_with_favicon,
             unique_favicons,
+            resilience,
         } = rhs;
         self.entries_with_website += entries_with_website;
         self.entries_with_invalid_url += entries_with_invalid_url;
+        self.entries_abandoned += entries_abandoned;
         self.unique_urls += unique_urls;
         self.reachable_urls += reachable_urls;
         self.unique_final_urls += unique_final_urls;
         self.final_urls_with_favicon += final_urls_with_favicon;
         self.unique_favicons += unique_favicons;
+        self.resilience += resilience;
+        self.debug_check_funnel();
     }
 }
 
 /// The result of a crawl.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ScrapeReport {
-    /// Per-ASN observations, for ASNs whose website parsed.
+    /// Per-ASN observations, for ASNs whose website parsed and whose fetch
+    /// completed (abandoned entries appear only in the stats).
     pub sites: BTreeMap<Asn, ScrapedSite>,
     /// Funnel statistics.
     pub stats: ScrapeStats,
@@ -110,10 +155,12 @@ impl ScrapeReport {
 
 /// The crawl engine. Wraps a [`WebClient`] with a fetch cache so each
 /// distinct URL is loaded once regardless of how many networks reference
-/// it.
+/// it. Terminal transport errors are cached too (negative caching): once
+/// the client stack has exhausted its budget on a URL, other entries
+/// referencing it share the verdict instead of re-hammering the host.
 pub struct Scraper<C> {
     client: C,
-    cache: Mutex<HashMap<String, FetchResult>>,
+    cache: Mutex<HashMap<String, Result<FetchResult, TransportError>>>,
 }
 
 impl<C: WebClient> Scraper<C> {
@@ -126,7 +173,7 @@ impl<C: WebClient> Scraper<C> {
     }
 
     /// Fetches one URL through the cache.
-    pub fn fetch_cached(&self, url: &Url) -> FetchResult {
+    pub fn fetch_cached(&self, url: &Url) -> Result<FetchResult, TransportError> {
         let key = url.canonical();
         if let Some(hit) = self.cache.lock().get(&key) {
             return hit.clone();
@@ -140,7 +187,9 @@ impl<C: WebClient> Scraper<C> {
     ///
     /// Entries with empty or unparseable website fields are counted in the
     /// stats but produce no observation — exactly how a scraper must treat
-    /// operator junk.
+    /// operator junk. Entries whose fetch fails at the transport layer are
+    /// likewise counted ([`ScrapeStats::entries_abandoned`]) and skipped:
+    /// the crawl completes on partial evidence rather than dying.
     pub fn crawl<'a>(&self, entries: impl IntoIterator<Item = (Asn, &'a str)>) -> ScrapeReport {
         let resolved = entries
             .into_iter()
@@ -171,10 +220,10 @@ impl<C: WebClient> Scraper<C> {
             return Resolution::Empty;
         }
         match raw.parse::<Url>() {
-            Ok(url) => {
-                let fetched = self.fetch_cached(&url);
-                Resolution::Fetched(Box::new((url, fetched)))
-            }
+            Ok(url) => match self.fetch_cached(&url) {
+                Ok(fetched) => Resolution::Fetched(Box::new((url, fetched))),
+                Err(e) => Resolution::Failed(url, e),
+            },
             Err(_) => Resolution::Invalid,
         }
     }
@@ -185,6 +234,7 @@ enum Resolution {
     Empty,
     Invalid,
     Fetched(Box<(Url, FetchResult)>),
+    Failed(Url, TransportError),
 }
 
 /// Folds resolved entries into a report (single-threaded; canonical).
@@ -201,6 +251,15 @@ fn assemble(entries: impl IntoIterator<Item = (Asn, Resolution)>) -> ScrapeRepor
             Resolution::Empty => continue,
             Resolution::Invalid => {
                 report.stats.entries_with_invalid_url += 1;
+                continue;
+            }
+            Resolution::Failed(url, _error) => {
+                // The URL was real and we tried: it stays in the funnel's
+                // top stages, but produces no observation. abandoned +
+                // observed == entries_with_website, always.
+                report.stats.entries_with_website += 1;
+                report.stats.entries_abandoned += 1;
+                requested.insert(url.canonical());
                 continue;
             }
             Resolution::Fetched(boxed) => *boxed,
@@ -232,6 +291,7 @@ fn assemble(entries: impl IntoIterator<Item = (Asn, Resolution)>) -> ScrapeRepor
     report.stats.unique_final_urls = finals.len();
     report.stats.final_urls_with_favicon = finals_with_icon.len();
     report.stats.unique_favicons = favicons.len();
+    report.stats.debug_check_funnel();
     report
 }
 
@@ -284,6 +344,7 @@ mod tests {
 
         assert_eq!(report.stats.entries_with_website, 4);
         assert_eq!(report.stats.entries_with_invalid_url, 1);
+        assert_eq!(report.stats.entries_abandoned, 0);
         assert_eq!(report.stats.unique_urls, 4);
         assert_eq!(report.stats.reachable_urls, 3);
         assert_eq!(report.stats.unique_final_urls, 2);
@@ -322,8 +383,8 @@ mod tests {
             inner: SimWebClient<'w>,
             calls: AtomicUsize,
         }
-        impl WebClient for &CountingClient<'_> {
-            fn fetch(&self, url: &Url) -> FetchResult {
+        impl WebClient for CountingClient<'_> {
+            fn fetch(&self, url: &Url) -> Result<FetchResult, TransportError> {
                 self.calls.fetch_add(1, Ordering::Relaxed);
                 self.inner.fetch(url)
             }
@@ -341,6 +402,47 @@ mod tests {
         ]);
         // All three normalize to the same canonical URL → exactly one fetch.
         assert_eq!(counting.calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn transport_failures_are_abandoned_not_dropped() {
+        /// Fails permanently for one host, passes everything else through.
+        struct BlockingClient<'w> {
+            inner: SimWebClient<'w>,
+            blocked_host: &'static str,
+        }
+        impl WebClient for BlockingClient<'_> {
+            fn fetch(&self, url: &Url) -> Result<FetchResult, TransportError> {
+                if url.host().as_str() == self.blocked_host {
+                    Err(TransportError::Forbidden)
+                } else {
+                    self.inner.fetch(url)
+                }
+            }
+        }
+        let web = web();
+        let client = BlockingClient {
+            inner: SimWebClient::browser(&web),
+            blocked_host: "www.limelight.com",
+        };
+        let scraper = Scraper::new(&client);
+        let report = scraper.crawl(vec![
+            (Asn::new(22822), "www.limelight.com"),
+            (Asn::new(174), "www.cogentco.com"),
+            (Asn::new(97), "not a url at all"),
+        ]);
+        // The blocked entry is accounted, not silently dropped…
+        assert_eq!(report.stats.entries_with_website, 2);
+        assert_eq!(report.stats.entries_abandoned, 1);
+        assert_eq!(report.stats.unique_urls, 2);
+        // …and produces no observation.
+        assert!(!report.sites.contains_key(&Asn::new(22822)));
+        assert!(report.sites.contains_key(&Asn::new(174)));
+        // abandoned + observed == entries_with_website.
+        assert_eq!(
+            report.stats.entries_abandoned + report.sites.len(),
+            report.stats.entries_with_website
+        );
     }
 
     #[test]
@@ -382,6 +484,44 @@ mod tests {
         // Disjoint URL sets → the funnel sums exactly.
         let fresh = Scraper::new(SimWebClient::browser(&web));
         assert_eq!(summed, fresh.crawl(combined).stats);
+    }
+
+    /// Pins the documented `+=` caveat: merging batches that *share* URLs
+    /// overcounts the `unique_*` stages relative to a single crawl of the
+    /// union, while the per-entry counters still sum exactly.
+    #[test]
+    fn overlapping_batches_overcount_the_funnel() {
+        let web = web();
+        let scraper = Scraper::new(SimWebClient::browser(&web));
+        // Both batches crawl limelight.com — the overlap.
+        let batch_a = vec![
+            (Asn::new(22822), "www.limelight.com"),
+            (Asn::new(99), "www.gone.example"),
+        ];
+        let batch_b = vec![
+            (Asn::new(23), "www.limelight.com"),
+            (Asn::new(174), "www.cogentco.com"),
+        ];
+        let union = vec![
+            (Asn::new(22822), "www.limelight.com"),
+            (Asn::new(99), "www.gone.example"),
+            (Asn::new(23), "www.limelight.com"),
+            (Asn::new(174), "www.cogentco.com"),
+        ];
+
+        let mut summed = scraper.crawl(batch_a).stats;
+        summed += scraper.crawl(batch_b).stats;
+        let single = Scraper::new(SimWebClient::browser(&web)).crawl(union).stats;
+
+        // Per-entry counters sum exactly regardless of overlap…
+        assert_eq!(summed.entries_with_website, single.entries_with_website);
+        // …but every distinct-count stage double-counts the shared URL.
+        assert_eq!(single.unique_urls, 3);
+        assert_eq!(summed.unique_urls, 4);
+        assert_eq!(single.reachable_urls, 2);
+        assert_eq!(summed.reachable_urls, 3);
+        assert_eq!(single.unique_favicons, 2);
+        assert_eq!(summed.unique_favicons, 3);
     }
 
     #[test]

@@ -1,8 +1,13 @@
 //! Property tests over the hosted-web simulator: fetches terminate on
-//! arbitrary redirect topologies, and snapshots round-trip.
+//! arbitrary redirect topologies, snapshots round-trip, and the resilience
+//! middleware is transparent when there is nothing to recover from.
 
+use borges_resilience::{EpisodePlan, RetryPolicy};
 use borges_types::{FaviconHash, Url};
-use borges_websim::{snapshot, FetchOutcome, RedirectKind, SimWeb, SimWebClient, WebClient};
+use borges_websim::{
+    snapshot, FetchOutcome, FlakyWebClient, RedirectKind, RetryingWebClient, SimWeb, SimWebClient,
+    WebClient,
+};
 use proptest::prelude::*;
 
 /// Arbitrary webs: n hosts, each either a page, down, or a redirect to a
@@ -50,7 +55,7 @@ proptest! {
         let client = SimWebClient::browser(&web);
         for i in 0..n {
             let url: Url = format!("https://h{i}.example/").parse().unwrap();
-            let result = client.fetch(&url);
+            let result = client.fetch(&url).unwrap();
             // Outcome/final-url consistency.
             match result.outcome {
                 FetchOutcome::Ok => {
@@ -65,7 +70,7 @@ proptest! {
             prop_assert_eq!(result.chain.first().unwrap(), &url);
             prop_assert!(result.chain.len() <= borges_websim::MAX_REDIRECTS + 2);
             // Determinism.
-            prop_assert_eq!(client.fetch(&url), result);
+            prop_assert_eq!(client.fetch(&url).unwrap(), result);
         }
     }
 
@@ -75,11 +80,57 @@ proptest! {
         let plain = SimWebClient::plain_http(&web);
         for i in 0..n {
             let url: Url = format!("https://h{i}.example/").parse().unwrap();
-            let a = browser.fetch(&url);
-            let b = plain.fetch(&url);
+            let a = browser.fetch(&url).unwrap();
+            let b = plain.fetch(&url).unwrap();
             // The plain client can never travel further than the browser.
             prop_assert!(b.chain.len() <= a.chain.len());
         }
+    }
+
+    // The resilience stack over a flawless backend is invisible: every
+    // fetch result is bit-identical to the bare client's, whether the
+    // middleware is a zero-rate fault injector, a retrying wrapper, or
+    // both stacked.
+    #[test]
+    fn chaos_resilience_stack_is_transparent_on_a_flawless_web(
+        (web, n) in web_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let bare = SimWebClient::browser(&web);
+        let idle_flaky = FlakyWebClient::new(SimWebClient::browser(&web), EpisodePlan::none());
+        let retrying = RetryingWebClient::new(
+            FlakyWebClient::new(SimWebClient::browser(&web), EpisodePlan::none()),
+            RetryPolicy::standard(seed),
+        );
+        for i in 0..n {
+            let url: Url = format!("https://h{i}.example/").parse().unwrap();
+            let expected = bare.fetch(&url);
+            prop_assert_eq!(idle_flaky.fetch(&url), expected.clone());
+            prop_assert_eq!(retrying.fetch(&url), expected);
+        }
+        let stats = retrying.stats();
+        prop_assert_eq!(stats.calls, n as u64);
+        prop_assert_eq!(stats.attempts, n as u64, "no fault, no retry");
+        prop_assert_eq!(stats.recovered + stats.abandoned, 0);
+    }
+
+    // Retries over *calibrated* (recoverable) chaos reproduce the bare
+    // client bit for bit — the keystone property, at the client layer.
+    #[test]
+    fn chaos_recoverable_faults_are_erased_by_retries(
+        (web, n) in web_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let bare = SimWebClient::browser(&web);
+        let retrying = RetryingWebClient::new(
+            FlakyWebClient::new(SimWebClient::browser(&web), EpisodePlan::calibrated(seed)),
+            RetryPolicy::standard(seed),
+        );
+        for i in 0..n {
+            let url: Url = format!("https://h{i}.example/").parse().unwrap();
+            prop_assert_eq!(retrying.fetch(&url), bare.fetch(&url));
+        }
+        prop_assert_eq!(retrying.stats().abandoned, 0);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use borges_core::ner::{extract, NerConfig};
 use borges_llm::chat::{ChatModel, ChatRequest, ChatResponse};
 use borges_llm::prompts::{parse_ie_prompt_fields, render_ie_reply, IeFinding};
 use borges_llm::SimLlm;
+use borges_resilience::TransportError;
 use borges_synthnet::{GeneratorConfig, SyntheticInternet};
 use borges_types::Asn;
 
@@ -25,7 +26,7 @@ use borges_types::Asn;
 struct NaiveModel;
 
 impl ChatModel for NaiveModel {
-    fn complete(&self, request: &ChatRequest) -> ChatResponse {
+    fn complete(&self, request: &ChatRequest) -> Result<ChatResponse, TransportError> {
         let text = request.full_text();
         let findings = match parse_ie_prompt_fields(&text) {
             Some(fields) => {
@@ -53,7 +54,7 @@ impl ChatModel for NaiveModel {
         };
         let text = render_ie_reply(&findings);
         let usage = borges_llm::chat::Usage::estimate(&request.full_text(), &text);
-        ChatResponse { text, usage }
+        Ok(ChatResponse { text, usage })
     }
 
     fn model_id(&self) -> &str {

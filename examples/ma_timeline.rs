@@ -40,7 +40,7 @@ fn main() {
         ("CenturyLink (rebranded Lumen 2020)", "www.centurylink.com"),
     ] {
         let url = format!("http://{start}").parse().expect("valid url");
-        let fetched = client.fetch(&url);
+        let fetched = client.fetch(&url).unwrap();
         print!("  {label}:\n    ");
         for (i, hop) in fetched.chain.iter().enumerate() {
             if i > 0 {
@@ -57,8 +57,8 @@ reason the paper scrapes with a headless browser (§4.3.1):"
     );
     let plain = SimWebClient::plain_http(&world.web);
     let url = "http://www.sprint.com".parse().expect("valid url");
-    let with_js = client.fetch(&url);
-    let without_js = plain.fetch(&url);
+    let with_js = client.fetch(&url).unwrap();
+    let without_js = plain.fetch(&url).unwrap();
     println!(
         "  headless browser lands on: {}",
         with_js

@@ -119,8 +119,8 @@ fn llm_replies_are_stable_across_calls() {
         "Our subsidiaries: AS5483, AS6855, AS5391. Upstream: AS1299.",
         "",
     ));
-    let first = llm.complete(&req).text;
+    let first = llm.complete(&req).unwrap().text;
     for _ in 0..10 {
-        assert_eq!(llm.complete(&req).text, first);
+        assert_eq!(llm.complete(&req).unwrap().text, first);
     }
 }
