@@ -7,10 +7,11 @@ use borges_core::mapfile;
 use borges_core::orgfactor::organization_factor;
 use borges_core::pipeline::{Borges, FeatureSet};
 use borges_core::AsOrgMapping;
-use borges_llm::{FlakyModel, SimLlm};
+use borges_llm::{CachingModel, FlakyModel, SimLlm};
 use borges_resilience::{EpisodePlan, RetryPolicy};
 use borges_synthnet::io::{save, DatasetBundle};
 use borges_synthnet::{GeneratorConfig, SyntheticInternet};
+use borges_telemetry::{CacheReport, Telemetry, Verbosity};
 use borges_types::Asn;
 use borges_websim::{FlakyWebClient, SimWebClient};
 use std::path::Path;
@@ -23,6 +24,7 @@ USAGE:
       Generate a synthetic-Internet dataset bundle.
   borges map --data DIR --out FILE [--features all|none|LIST] [--seed N] [--threads N]
              [--fault-rate R] [--retries N] [--chaos-seed N]
+             [--trace-out FILE] [--metrics-out FILE] [--report-out FILE]
       Run the pipeline over a bundle and write the mapping.
       LIST is comma-separated from: oid_p, na, rr, favicons.
       --threads defaults to the machine's available parallelism; it
@@ -33,6 +35,10 @@ USAGE:
       --chaos-seed decorrelates fault episodes and backoff jitter
       (default 7). Giving any of the three selects the resilient
       (sequential) pipeline and appends a per-feature coverage report.
+      --trace-out writes the canonical span journal (JSONL, identical
+      across thread counts); --metrics-out writes the counters and
+      duration histograms in Prometheus exposition format;
+      --report-out writes the unified run ledger as JSON.
   borges eval --data DIR --mapping FILE [--mapping FILE ...]
       Organization Factor (and, with an oracle, precision/recall) per mapping.
   borges inspect --data DIR --mapping FILE --asn N
@@ -41,6 +47,10 @@ USAGE:
       Compare two mapping releases (merges / splits / churn).
   borges help
       This message.
+
+GLOBAL FLAGS (any command):
+  -v / -vv   narrate progress on stderr (verbose / debug)
+  -q         silence narration; only the final report and errors remain
 ";
 
 /// Runs the CLI; returns the text to print on stdout.
@@ -61,6 +71,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     }
 }
 
+/// The narration level from `-q` / `-v` / `-vv` (quiet wins).
+fn verbosity_of(opts: &Options) -> Verbosity {
+    Verbosity::from_flags(opts.boolean("q"), opts.count("v"))
+}
+
 fn seed_of(opts: &Options) -> Result<u64, CliError> {
     match opts.optional("seed")? {
         Some(s) => s
@@ -71,7 +86,8 @@ fn seed_of(opts: &Options) -> Result<u64, CliError> {
 }
 
 fn generate(opts: &Options) -> Result<String, CliError> {
-    opts.allow_only(&["out", "scale", "seed", "no-truth"])?;
+    opts.allow_only(&["out", "scale", "seed", "no-truth", "v", "q"])?;
+    let narrator = borges_telemetry::Narrator::new(verbosity_of(opts));
     let out = opts.required("out")?;
     let seed = seed_of(opts)?;
     let config = match opts.optional("scale")?.unwrap_or("medium") {
@@ -80,6 +96,7 @@ fn generate(opts: &Options) -> Result<String, CliError> {
         "paper" => GeneratorConfig::paper(seed),
         other => return Err(CliError::Usage(format!("unknown scale {other:?}"))),
     };
+    narrator.verbose(format!("generating world (seed {seed})"));
     let world = SyntheticInternet::generate(&config);
     let dir = Path::new(out);
     save(&world, dir).map_err(CliError::failed)?;
@@ -205,6 +222,11 @@ fn map(opts: &Options) -> Result<String, CliError> {
         "fault-rate",
         "retries",
         "chaos-seed",
+        "trace-out",
+        "metrics-out",
+        "report-out",
+        "v",
+        "q",
     ])?;
     let data = opts.required("data")?;
     let out = opts.required("out")?;
@@ -217,14 +239,34 @@ fn map(opts: &Options) -> Result<String, CliError> {
             .map_err(|_| CliError::Usage(format!("--threads {t:?} is not a number")))?,
         None => borges_parallel::default_threads(),
     };
+    let trace_out = opts.optional("trace-out")?;
+    let metrics_out = opts.optional("metrics-out")?;
+    let report_out = opts.optional("report-out")?;
 
+    // One telemetry context per run, on a virtual clock: spans, metrics,
+    // and narration all flow through it. Enabling it unconditionally is
+    // fine — the instrumented paths only stamp merged stats.
+    let tel = Telemetry::sim(verbosity_of(opts));
+    tel.verbose(format!("loading bundle from {data}"));
     let bundle = DatasetBundle::load(Path::new(data)).map_err(CliError::failed)?;
-    let llm = SimLlm::new(seed);
+    tel.debug(format!(
+        "bundle: {} WHOIS ASNs, {} PeeringDB networks, {} web hosts",
+        bundle.whois.asn_count(),
+        bundle.pdb.net_count(),
+        bundle.web.host_count()
+    ));
+    // The LLM sits behind a response cache so repeated prompts (and the
+    // ledger's cache row) are observable end to end.
+    let llm = CachingModel::new(SimLlm::new(seed));
     let mut coverage = String::new();
-    let borges = if let Some(chaos) = chaos {
+    let (borges, pipeline) = if let Some(chaos) = chaos {
         // The resilient path is sequential: fault bursts are stateful per
         // subject, so interleaving would perturb which attempt of a burst
         // each worker observes.
+        tel.verbose(format!(
+            "resilient pipeline: fault rate {}, chaos seed {}",
+            chaos.fault_rate, chaos.chaos_seed
+        ));
         let plan = EpisodePlan {
             transient_rate: chaos.fault_rate,
             permanent_rate: 0.0,
@@ -239,30 +281,71 @@ fn map(opts: &Options) -> Result<String, CliError> {
                 ..plan
             },
         );
-        let borges = Borges::run_resilient(&bundle.whois, &bundle.pdb, web, &model, chaos.policy);
+        let borges = Borges::run_resilient_traced(
+            &bundle.whois,
+            &bundle.pdb,
+            web,
+            &model,
+            chaos.policy,
+            &tel,
+        );
         coverage = coverage_lines(&borges);
-        borges
+        (borges, "resilient")
     } else if threads > 1 {
-        Borges::run_parallel(
+        tel.verbose(format!("parallel pipeline over {threads} threads"));
+        let borges = Borges::run_parallel_traced(
             &bundle.whois,
             &bundle.pdb,
             SimWebClient::browser(&bundle.web),
             &llm,
             threads,
-        )
+            &tel,
+        );
+        (borges, "parallel")
     } else {
-        Borges::run(
+        tel.verbose("sequential pipeline");
+        let borges = Borges::run_traced(
             &bundle.whois,
             &bundle.pdb,
             SimWebClient::browser(&bundle.web),
             &llm,
-        )
+            &tel,
+        );
+        (borges, "sequential")
     };
+    tel.verbose(format!(
+        "crawl: {} entries, {} reachable URLs; ner: {} LLM calls",
+        borges.scrape_stats.entries_with_website,
+        borges.scrape_stats.reachable_urls,
+        borges.ner.stats.llm_calls
+    ));
     let mapping = borges
-        .mappings_parallel(std::slice::from_ref(&features), threads)
+        .mappings_parallel_traced(std::slice::from_ref(&features), threads, &tel)
         .pop()
         .expect("one feature set in, one mapping out");
     std::fs::write(out, mapfile::serialize(&mapping)).map_err(|e| CliError::Failed(Box::new(e)))?;
+
+    if trace_out.is_some() || metrics_out.is_some() || report_out.is_some() {
+        let mut report = borges.run_report(&tel, pipeline, threads);
+        report
+            .caches
+            .push(CacheReport::new("llm.response", llm.cache_stats()));
+        if let Some(path) = trace_out {
+            std::fs::write(path, tel.trace_jsonl_canonical())
+                .map_err(|e| CliError::Failed(Box::new(e)))?;
+            tel.debug(format!("trace journal written to {path}"));
+        }
+        if let Some(path) = metrics_out {
+            std::fs::write(path, report.metrics.to_prometheus())
+                .map_err(|e| CliError::Failed(Box::new(e)))?;
+            tel.debug(format!("metrics written to {path}"));
+        }
+        if let Some(path) = report_out {
+            std::fs::write(path, report.to_json_pretty())
+                .map_err(|e| CliError::Failed(Box::new(e)))?;
+            tel.debug(format!("run ledger written to {path}"));
+        }
+    }
     Ok(format!(
         "{}: {} ASNs in {} organizations (features: {})\n{}",
         out,
@@ -279,7 +362,8 @@ fn load_mapping(path: &str) -> Result<AsOrgMapping, CliError> {
 }
 
 fn eval(opts: &Options) -> Result<String, CliError> {
-    opts.allow_only(&["data", "mapping"])?;
+    opts.allow_only(&["data", "mapping", "v", "q"])?;
+    let narrator = borges_telemetry::Narrator::new(verbosity_of(opts));
     let data = opts.required("data")?;
     let mapping_paths = opts.repeated("mapping");
     if mapping_paths.is_empty() {
@@ -295,6 +379,10 @@ fn eval(opts: &Options) -> Result<String, CliError> {
             .len(),
     );
 
+    narrator.verbose(format!(
+        "scoring {} mapping(s) over a {universe}-network universe",
+        mapping_paths.len()
+    ));
     let mut out = String::new();
     out.push_str(&format!("universe: {universe} networks\n\n"));
     out.push_str(&format!(
@@ -374,7 +462,7 @@ fn truth_scores(bundle: &DatasetBundle, mapping: &AsOrgMapping) -> (f64, f64) {
 }
 
 fn inspect(opts: &Options) -> Result<String, CliError> {
-    opts.allow_only(&["data", "mapping", "asn"])?;
+    opts.allow_only(&["data", "mapping", "asn", "v", "q"])?;
     let data = opts.required("data")?;
     let mapping = load_mapping(opts.required("mapping")?)?;
     let asn: Asn = opts
@@ -410,7 +498,7 @@ fn inspect(opts: &Options) -> Result<String, CliError> {
 }
 
 fn diff_cmd(opts: &Options) -> Result<String, CliError> {
-    opts.allow_only(&["before", "after"])?;
+    opts.allow_only(&["before", "after", "v", "q"])?;
     let before = load_mapping(opts.required("before")?)?;
     let after = load_mapping(opts.required("after")?)?;
     let d = diff(&before, &after);
@@ -685,6 +773,120 @@ mod tests {
             !crawl_line.trim_end().ends_with(" 0"),
             "losses expected: {out}"
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn map_writes_trace_metrics_and_ledger() {
+        let dir = tmpdir("observability");
+        let data = dir.join("world");
+        run(&args(&[
+            "generate",
+            "--out",
+            data.to_str().unwrap(),
+            "--scale",
+            "tiny",
+            "--seed",
+            "5",
+            "-q",
+        ]))
+        .unwrap();
+
+        let run_map = |threads: &str, stem: &str| {
+            let map_path = dir.join(format!("{stem}.map"));
+            let trace = dir.join(format!("{stem}.trace.jsonl"));
+            let metrics = dir.join(format!("{stem}.prom"));
+            let report = dir.join(format!("{stem}.report.json"));
+            run(&args(&[
+                "map",
+                "--data",
+                data.to_str().unwrap(),
+                "--out",
+                map_path.to_str().unwrap(),
+                "--threads",
+                threads,
+                "--trace-out",
+                trace.to_str().unwrap(),
+                "--metrics-out",
+                metrics.to_str().unwrap(),
+                "--report-out",
+                report.to_str().unwrap(),
+                "-q",
+            ]))
+            .unwrap();
+            (
+                std::fs::read_to_string(trace).unwrap(),
+                std::fs::read_to_string(metrics).unwrap(),
+                std::fs::read_to_string(report).unwrap(),
+            )
+        };
+
+        let (trace1, metrics1, report1) = run_map("1", "seq");
+        let (trace4, metrics4, report4) = run_map("4", "par");
+
+        // The canonical journal and the metrics exposition are
+        // byte-identical across thread counts — the determinism keystone,
+        // end to end through the CLI.
+        assert_eq!(trace1, trace4);
+        assert_eq!(metrics1, metrics4);
+        assert!(trace1.contains("run/crawl"), "{trace1}");
+        assert!(
+            metrics1.contains("# TYPE borges_crawl_unique_urls_total counter"),
+            "{metrics1}"
+        );
+
+        // The ledger parses, balances, and carries both cache rows.
+        let report = borges_telemetry::RunReport::from_json(&report1).unwrap();
+        assert!(report.accounted());
+        assert_eq!(report.pipeline, "sequential");
+        let names: Vec<&str> = report.caches.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["web.redirect", "llm.response"]);
+        assert!(report.caches[0].misses > 0, "crawl populated the cache");
+        let par = borges_telemetry::RunReport::from_json(&report4).unwrap();
+        assert_eq!(par.pipeline, "parallel");
+        assert_eq!(par.threads, 4);
+        // Funnels agree across schedules even though the reports differ
+        // in labels/worker rows.
+        assert_eq!(par.crawl, report.crawl);
+        assert_eq!(par.ner, report.ner);
+        assert_eq!(par.metrics, report.metrics);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn verbosity_flags_are_accepted_everywhere() {
+        let dir = tmpdir("verbosity");
+        let data = dir.join("world");
+        run(&args(&[
+            "generate",
+            "--out",
+            data.to_str().unwrap(),
+            "--scale",
+            "tiny",
+            "-v",
+        ]))
+        .unwrap();
+        let map_path = dir.join("m.map");
+        run(&args(&[
+            "map",
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            map_path.to_str().unwrap(),
+            "-vv",
+        ]))
+        .unwrap();
+        let out = run(&args(&[
+            "eval",
+            "--data",
+            data.to_str().unwrap(),
+            "--mapping",
+            map_path.to_str().unwrap(),
+            "-q",
+        ]))
+        .unwrap();
+        assert!(out.contains("universe"), "stdout report survives -q");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,6 +1,8 @@
 //! The `borges` binary. All logic lives in the library so it can be
 //! tested; this is the process shell.
 
+use borges_telemetry::{Narrator, Verbosity};
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match borges_cli::run(&args) {
@@ -8,8 +10,11 @@ fn main() {
             print!("{output}");
         }
         Err(e) => {
-            eprintln!("borges: {e}");
-            eprintln!("run `borges help` for usage");
+            // Errors go through the narration layer too — they are never
+            // silenced, even under -q.
+            let narrator = Narrator::new(Verbosity::Normal);
+            narrator.error(format!("borges: {e}"));
+            narrator.error("run `borges help` for usage");
             std::process::exit(1);
         }
     }

@@ -40,11 +40,36 @@ pub struct Options {
 impl Options {
     /// Parses `--flag value` pairs. Bare `--flag` (no value or another
     /// flag follows) records an empty string, supporting boolean flags.
+    ///
+    /// The only short flags are the verbosity trio: `-q` records a `q`,
+    /// and `-v`/`-vv`/… record one `v` per letter (so `count("v")` is
+    /// the verbosity level). They never consume a value.
     pub fn parse(args: &[String]) -> Result<Self, CliError> {
         let mut values: BTreeMap<String, Vec<String>> = BTreeMap::new();
         let mut i = 0;
         while i < args.len() {
             let arg = &args[i];
+            if arg == "-q" {
+                values
+                    .entry("q".to_string())
+                    .or_default()
+                    .push(String::new());
+                i += 1;
+                continue;
+            }
+            if let Some(vs) = arg
+                .strip_prefix('-')
+                .filter(|s| !s.is_empty() && s.chars().all(|c| c == 'v'))
+            {
+                for _ in 0..vs.len() {
+                    values
+                        .entry("v".to_string())
+                        .or_default()
+                        .push(String::new());
+                }
+                i += 1;
+                continue;
+            }
             let flag = arg
                 .strip_prefix("--")
                 .ok_or_else(|| CliError::Usage(format!("unexpected argument {arg:?}")))?;
@@ -94,6 +119,11 @@ impl Options {
     /// `true` when a boolean flag is present.
     pub fn boolean(&self, flag: &str) -> bool {
         self.values.contains_key(flag)
+    }
+
+    /// How many times a flag appeared (0 when absent).
+    pub fn count(&self, flag: &str) -> usize {
+        self.values.get(flag).map(Vec::len).unwrap_or(0)
     }
 
     /// Rejects flags outside the allowed set (typo guard).
@@ -149,6 +179,21 @@ mod tests {
     #[test]
     fn positional_arguments_are_rejected() {
         assert!(Options::parse(&args(&["stray"])).is_err());
+        assert!(Options::parse(&args(&["-x"])).is_err(), "only -v/-q exist");
+    }
+
+    #[test]
+    fn verbosity_short_flags_count_and_never_take_values() {
+        let o = Options::parse(&args(&["-v", "--out", "x"])).unwrap();
+        assert_eq!(o.count("v"), 1);
+        assert_eq!(o.required("out").unwrap(), "x");
+        let o = Options::parse(&args(&["-vv", "-v"])).unwrap();
+        assert_eq!(o.count("v"), 3);
+        let o = Options::parse(&args(&["-q", "value-like"])).unwrap_err();
+        assert!(o.to_string().contains("value-like"), "-q consumes nothing");
+        let o = Options::parse(&args(&["-q", "--out", "x"])).unwrap();
+        assert!(o.boolean("q"));
+        assert_eq!(o.count("v"), 0);
     }
 
     #[test]

@@ -28,7 +28,11 @@ use crate::web::rr::{rr_inference, RrInference};
 use borges_llm::chat::ChatModel;
 use borges_llm::RetryingModel;
 use borges_peeringdb::PdbSnapshot;
-use borges_resilience::{BreakerConfig, RetryPolicy};
+use borges_resilience::{BreakerConfig, ResilienceStats, RetryPolicy};
+use borges_telemetry::{
+    CacheReport, CacheStats, CoverageRow, CrawlFunnel, EvidenceSummary, FaviconFunnel, NerFunnel,
+    ResilienceRow, RrFunnel, RunReport, Span, Telemetry, WorkerTiming, RUN_REPORT_SCHEMA,
+};
 use borges_types::{Asn, AsnInterner};
 use borges_websim::{RetryingWebClient, ScrapeReport, ScrapeStats, Scraper, WebClient};
 use borges_whois::WhoisRegistry;
@@ -309,6 +313,54 @@ pub struct Borges {
     pub favicon: FaviconInference,
     /// Crawl funnel statistics (§5.2).
     pub scrape_stats: ScrapeStats,
+    /// Hit/miss counters of the crawl's fetch (redirect) cache.
+    /// Observational only — under a parallel crawl, racing misses on the
+    /// same URL may each count — so it feeds the run ledger, never the
+    /// `PartialEq`-compared funnel stats.
+    pub web_cache: CacheStats,
+}
+
+/// Runs `f` as one logical pipeline stage: a child span of `parent` plus
+/// a `borges_stage_<name>_ms` duration observation on the run clock. The
+/// closure gets the span to annotate with its funnel numbers — fields
+/// must come from merged, schedule-independent stats so the canonical
+/// journal stays identical across sequential and parallel execution.
+fn stage<T>(tel: &Telemetry, parent: &Span, name: &str, f: impl FnOnce(&Span) -> T) -> T {
+    let span = parent.child(name);
+    let started_ms = tel.now_ms();
+    let out = f(&span);
+    if tel.is_enabled() {
+        tel.observe_ms(
+            &format!("borges_stage_{name}_ms"),
+            tel.now_ms().saturating_sub(started_ms),
+        );
+    }
+    out
+}
+
+// Span annotations per stage. Every value is a merged funnel number —
+// proven schedule-independent by `parallel_pipeline_matches_sequential` —
+// never a per-worker observation.
+
+fn annotate_crawl(span: &Span, stats: &ScrapeStats) {
+    span.field("entries_with_website", stats.entries_with_website);
+    span.field("reachable_urls", stats.reachable_urls);
+    span.field("entries_abandoned", stats.entries_abandoned);
+}
+
+fn annotate_ner(span: &Span, ner: &NerResult) {
+    span.field("llm_calls", ner.stats.llm_calls);
+    span.field("extracted_asns", ner.stats.extracted_asns);
+}
+
+fn annotate_rr(span: &Span, rr: &RrInference) {
+    span.field("groups", rr.groups.len());
+    span.field("shared_final_urls", rr.stats.shared_final_urls);
+}
+
+fn annotate_favicon(span: &Span, favicon: &FaviconInference) {
+    span.field("groups", favicon.groups.len());
+    span.field("llm_calls", favicon.stats.llm_calls);
 }
 
 impl Borges {
@@ -320,9 +372,42 @@ impl Borges {
         web_client: C,
         model: &dyn ChatModel,
     ) -> Self {
+        Self::run_traced(whois, pdb, web_client, model, &Telemetry::disabled())
+    }
+
+    /// Like [`Borges::run`], recording a span per stage, stage-duration
+    /// histograms, and the stage funnels (as counters) into `tel`.
+    ///
+    /// Everything traced here is derived from merged, order-canonical
+    /// stats, so under a [`SimClock`](borges_resilience::SimClock) the
+    /// canonical journal and the metrics snapshot are identical to what
+    /// [`Borges::run_parallel_traced`] emits — the determinism contract
+    /// of DESIGN.md §8, pinned by `tests/telemetry.rs`.
+    pub fn run_traced<C: WebClient>(
+        whois: &WhoisRegistry,
+        pdb: &PdbSnapshot,
+        web_client: C,
+        model: &dyn ChatModel,
+        tel: &Telemetry,
+    ) -> Self {
+        let root = tel.span("run");
         let scraper = Scraper::new(web_client);
-        let report = scraper.crawl(pdb.nets().map(|n| (n.asn, n.website.as_str())));
-        Self::from_scrape(whois, pdb, &report, model, NerConfig::default())
+        let report = stage(tel, &root, "crawl", |span| {
+            let report = scraper.crawl(pdb.nets().map(|n| (n.asn, n.website.as_str())));
+            annotate_crawl(span, &report.stats);
+            report
+        });
+        let web_cache = scraper.cache_stats();
+        Self::extract_and_assemble(
+            whois,
+            pdb,
+            &report,
+            model,
+            NerConfig::default(),
+            web_cache,
+            tel,
+            &root,
+        )
     }
 
     /// Like [`Borges::run`], fanning the crawl and the LLM calls out over
@@ -336,11 +421,45 @@ impl Borges {
         model: &(dyn ChatModel + Sync),
         threads: usize,
     ) -> Self {
+        Self::run_parallel_traced(
+            whois,
+            pdb,
+            web_client,
+            model,
+            threads,
+            &Telemetry::disabled(),
+        )
+    }
+
+    /// Like [`Borges::run_parallel`], recording into `tel`. Emits the
+    /// same logical spans, span fields, and metrics as
+    /// [`Borges::run_traced`] — worker scheduling shows up only in
+    /// runtime spans and [`WorkerTiming`] rows, which canonicalization
+    /// and the metrics snapshot exclude by design.
+    pub fn run_parallel_traced<C: WebClient + Sync>(
+        whois: &WhoisRegistry,
+        pdb: &PdbSnapshot,
+        web_client: C,
+        model: &(dyn ChatModel + Sync),
+        threads: usize,
+        tel: &Telemetry,
+    ) -> Self {
+        let root = tel.span("run");
         let scraper = Scraper::new(web_client);
-        let entries: Vec<(Asn, &str)> = pdb.nets().map(|n| (n.asn, n.website.as_str())).collect();
-        let report = scraper.crawl_parallel(entries, threads);
-        let ner = crate::ner::extract_parallel(pdb, model, NerConfig::default(), threads);
-        Self::assemble(whois, pdb, &report, ner, model)
+        let report = stage(tel, &root, "crawl", |span| {
+            let entries: Vec<(Asn, &str)> =
+                pdb.nets().map(|n| (n.asn, n.website.as_str())).collect();
+            let report = scraper.crawl_parallel(entries, threads);
+            annotate_crawl(span, &report.stats);
+            report
+        });
+        let web_cache = scraper.cache_stats();
+        let ner = stage(tel, &root, "ner", |span| {
+            let ner = crate::ner::extract_parallel(pdb, model, NerConfig::default(), threads);
+            annotate_ner(span, &ner);
+            ner
+        });
+        Self::assemble(whois, pdb, &report, ner, model, web_cache, tel, &root)
     }
 
     /// Like [`Borges::run`], with every boundary wrapped in the
@@ -370,22 +489,72 @@ impl Borges {
         model: &dyn ChatModel,
         policy: RetryPolicy,
     ) -> Self {
+        Self::run_resilient_traced(
+            whois,
+            pdb,
+            web_client,
+            model,
+            policy,
+            &Telemetry::disabled(),
+        )
+    }
+
+    /// Like [`Borges::run_resilient`], recording into `tel`. On top of
+    /// the stage spans and funnels, the retry wrappers themselves emit
+    /// per-boundary attempt/recovery/abandonment counters, call-duration
+    /// histograms, and [`BreakerEvent`]s — and they share the telemetry
+    /// clock, so virtual backoff spend is visible in stage durations.
+    pub fn run_resilient_traced<C: WebClient>(
+        whois: &WhoisRegistry,
+        pdb: &PdbSnapshot,
+        web_client: C,
+        model: &dyn ChatModel,
+        policy: RetryPolicy,
+        tel: &Telemetry,
+    ) -> Self {
+        let root = tel.span("run");
         let breaker = BreakerConfig::standard();
-        let web = RetryingWebClient::new(web_client, policy).with_breakers(breaker);
+        let web = RetryingWebClient::new(web_client, policy)
+            .with_breakers(breaker)
+            .with_clock(tel.clock())
+            .with_telemetry(tel.clone());
         let scraper = Scraper::new(&web);
-        let mut report = scraper.crawl(pdb.nets().map(|n| (n.asn, n.website.as_str())));
-        report.stats.resilience = web.stats();
+        let report = stage(tel, &root, "crawl", |span| {
+            let mut report = scraper.crawl(pdb.nets().map(|n| (n.asn, n.website.as_str())));
+            report.stats.resilience = web.stats();
+            annotate_crawl(span, &report.stats);
+            report
+        });
+        let web_cache = scraper.cache_stats();
 
-        let ner_model = RetryingModel::new(model, policy).with_breaker(breaker);
-        let mut ner = extract(pdb, &ner_model, NerConfig::default());
-        ner.stats.resilience = ner_model.stats();
+        let ner = stage(tel, &root, "ner", |span| {
+            let ner_model = RetryingModel::new(model, policy)
+                .with_breaker(breaker)
+                .with_clock(tel.clock())
+                .with_telemetry(tel.clone(), "ner");
+            let mut ner = extract(pdb, &ner_model, NerConfig::default());
+            ner.stats.resilience = ner_model.stats();
+            annotate_ner(span, &ner);
+            ner
+        });
 
-        let rr = rr_inference(&report);
-        let favicon_model = RetryingModel::new(model, policy).with_breaker(breaker);
-        let mut favicon = favicon_inference(&report, &favicon_model);
-        favicon.stats.resilience = favicon_model.stats();
+        let rr = stage(tel, &root, "rr", |span| {
+            let rr = rr_inference(&report);
+            annotate_rr(span, &rr);
+            rr
+        });
+        let favicon = stage(tel, &root, "favicon", |span| {
+            let favicon_model = RetryingModel::new(model, policy)
+                .with_breaker(breaker)
+                .with_clock(tel.clock())
+                .with_telemetry(tel.clone(), "favicon");
+            let mut favicon = favicon_inference(&report, &favicon_model);
+            favicon.stats.resilience = favicon_model.stats();
+            annotate_favicon(span, &favicon);
+            favicon
+        });
 
-        Self::finish(whois, pdb, &report, ner, rr, favicon)
+        Self::finish(whois, pdb, &report, ner, rr, favicon, web_cache, tel, &root)
     }
 
     /// Like [`Borges::run`] but with a pre-computed scrape report and an
@@ -398,29 +567,96 @@ impl Borges {
         model: &dyn ChatModel,
         ner_config: NerConfig,
     ) -> Self {
-        let ner = extract(pdb, model, ner_config);
-        Self::assemble(whois, pdb, report, ner, model)
+        Self::from_scrape_traced(
+            whois,
+            pdb,
+            report,
+            model,
+            ner_config,
+            &Telemetry::disabled(),
+        )
+    }
+
+    /// Like [`Borges::from_scrape`], recording into `tel`. There is no
+    /// crawl stage (the report is pre-computed), so the trace has no
+    /// `run/crawl` span and the redirect-cache ledger row reads zero.
+    pub fn from_scrape_traced(
+        whois: &WhoisRegistry,
+        pdb: &PdbSnapshot,
+        report: &ScrapeReport,
+        model: &dyn ChatModel,
+        ner_config: NerConfig,
+        tel: &Telemetry,
+    ) -> Self {
+        let root = tel.span("run");
+        Self::extract_and_assemble(
+            whois,
+            pdb,
+            report,
+            model,
+            ner_config,
+            CacheStats::default(),
+            tel,
+            &root,
+        )
+    }
+
+    /// Shared tail of the sequential bare-stack constructors: runs NER,
+    /// then hands off to [`Borges::assemble`].
+    #[allow(clippy::too_many_arguments)]
+    fn extract_and_assemble(
+        whois: &WhoisRegistry,
+        pdb: &PdbSnapshot,
+        report: &ScrapeReport,
+        model: &dyn ChatModel,
+        ner_config: NerConfig,
+        web_cache: CacheStats,
+        tel: &Telemetry,
+        root: &Span,
+    ) -> Self {
+        let ner = stage(tel, root, "ner", |span| {
+            let ner = extract(pdb, model, ner_config);
+            annotate_ner(span, &ner);
+            ner
+        });
+        Self::assemble(whois, pdb, report, ner, model, web_cache, tel, root)
     }
 
     /// Shared tail of the bare-stack constructors: runs the web
     /// inferences over `model` directly, then hands off to
     /// [`Borges::finish`].
+    #[allow(clippy::too_many_arguments)]
     fn assemble(
         whois: &WhoisRegistry,
         pdb: &PdbSnapshot,
         report: &ScrapeReport,
         ner: NerResult,
         model: &dyn ChatModel,
+        web_cache: CacheStats,
+        tel: &Telemetry,
+        root: &Span,
     ) -> Self {
-        let rr = rr_inference(report);
-        let favicon = favicon_inference(report, model);
-        Self::finish(whois, pdb, report, ner, rr, favicon)
+        let rr = stage(tel, root, "rr", |span| {
+            let rr = rr_inference(report);
+            annotate_rr(span, &rr);
+            rr
+        });
+        let favicon = stage(tel, root, "favicon", |span| {
+            let favicon = favicon_inference(report, model);
+            annotate_favicon(span, &favicon);
+            favicon
+        });
+        Self::finish(whois, pdb, report, ner, rr, favicon, web_cache, tel, root)
     }
 
     /// Shared tail of every constructor: fixes the universe and compiles
     /// all (pre-computed) evidence to dense edge lists. Takes the web
     /// inferences ready-made so callers can run them behind whatever
     /// client/model stack they choose (see [`Borges::run_resilient`]).
+    /// Also where every stage funnel is stamped into the metrics
+    /// registry — from the merged stats, never per item inside workers,
+    /// so sequential and parallel runs emit identical snapshots.
+    #[allow(clippy::too_many_arguments)]
     fn finish(
         whois: &WhoisRegistry,
         pdb: &PdbSnapshot,
@@ -428,6 +664,9 @@ impl Borges {
         ner: NerResult,
         rr: RrInference,
         favicon: FaviconInference,
+        web_cache: CacheStats,
+        tel: &Telemetry,
+        root: &Span,
     ) -> Self {
         let mut universe: BTreeSet<Asn> = whois.all_asns().collect();
         // PeeringDB networks missing from WHOIS (rare, but real dumps have
@@ -436,10 +675,21 @@ impl Borges {
 
         let oid_w_groups = orgkeys::oid_w_groups(whois);
         let oid_p_groups = orgkeys::oid_p_groups(pdb);
-        let compiled =
-            CompiledEvidence::compile(universe, &oid_w_groups, &oid_p_groups, &ner, &rr, &favicon);
+        let compiled = stage(tel, root, "compile", |span| {
+            let compiled = CompiledEvidence::compile(
+                universe,
+                &oid_w_groups,
+                &oid_p_groups,
+                &ner,
+                &rr,
+                &favicon,
+            );
+            span.field("asns", compiled.interner.len());
+            span.field("ner_links", compiled.na.len());
+            compiled
+        });
 
-        Borges {
+        let borges = Borges {
             compiled,
             oid_w_groups,
             oid_p_groups,
@@ -447,7 +697,106 @@ impl Borges {
             rr,
             favicon,
             scrape_stats: report.stats.clone(),
+            web_cache,
+        };
+        borges.stamp_metrics(tel);
+        borges
+    }
+
+    /// Stamps every stage funnel and the evidence-base sizes into the
+    /// metrics registry as counters, following the naming convention
+    /// `borges_<stage>_<what>_total` (DESIGN.md §8).
+    fn stamp_metrics(&self, tel: &Telemetry) {
+        if !tel.is_enabled() {
+            return;
         }
+        let c = |name: &str, v: usize| tel.counter(name, v as u64);
+        let s = &self.scrape_stats;
+        c(
+            "borges_crawl_entries_with_website_total",
+            s.entries_with_website,
+        );
+        c(
+            "borges_crawl_entries_with_invalid_url_total",
+            s.entries_with_invalid_url,
+        );
+        c("borges_crawl_entries_abandoned_total", s.entries_abandoned);
+        c("borges_crawl_unique_urls_total", s.unique_urls);
+        c("borges_crawl_reachable_urls_total", s.reachable_urls);
+        c("borges_crawl_unique_final_urls_total", s.unique_final_urls);
+        c(
+            "borges_crawl_final_urls_with_favicon_total",
+            s.final_urls_with_favicon,
+        );
+        c("borges_crawl_unique_favicons_total", s.unique_favicons);
+
+        let r = &self.rr.stats;
+        c(
+            "borges_rr_networks_with_final_url_total",
+            r.networks_with_final_url,
+        );
+        c("borges_rr_blocked_networks_total", r.blocked_networks);
+        c("borges_rr_distinct_final_urls_total", r.distinct_final_urls);
+        c("borges_rr_shared_final_urls_total", r.shared_final_urls);
+
+        let n = &self.ner.stats;
+        c("borges_ner_entries_total", n.entries_total);
+        c("borges_ner_entries_with_text_total", n.entries_with_text);
+        c("borges_ner_entries_numeric_total", n.entries_numeric);
+        c("borges_ner_numeric_in_aka_total", n.numeric_in_aka);
+        c("borges_ner_numeric_in_notes_total", n.numeric_in_notes);
+        c("borges_ner_llm_calls_total", n.llm_calls);
+        c("borges_ner_llm_abandoned_total", n.llm_abandoned);
+        c("borges_ner_filtered_out_total", n.filtered_out);
+        c(
+            "borges_ner_entries_with_siblings_total",
+            n.entries_with_siblings,
+        );
+        c("borges_ner_extracted_asns_total", n.extracted_asns);
+        tel.counter("borges_ner_prompt_tokens_total", n.usage.prompt_tokens);
+        tel.counter(
+            "borges_ner_completion_tokens_total",
+            n.usage.completion_tokens,
+        );
+
+        let f = &self.favicon.stats;
+        c("borges_favicon_favicons_total", f.favicons_total);
+        c("borges_favicon_favicons_shared_total", f.favicons_shared);
+        c("borges_favicon_urls_in_shared_total", f.urls_in_shared);
+        c(
+            "borges_favicon_same_label_groups_total",
+            f.same_label_groups,
+        );
+        c("borges_favicon_merged_by_step1_total", f.merged_by_step1);
+        c("borges_favicon_llm_calls_total", f.llm_calls);
+        c("borges_favicon_llm_abandoned_total", f.llm_abandoned);
+        c("borges_favicon_merged_by_llm_total", f.merged_by_llm);
+        c(
+            "borges_favicon_framework_rejections_total",
+            f.framework_rejections,
+        );
+        c("borges_favicon_dont_know_total", f.dont_know);
+        tel.counter("borges_favicon_prompt_tokens_total", f.usage.prompt_tokens);
+        tel.counter(
+            "borges_favicon_completion_tokens_total",
+            f.usage.completion_tokens,
+        );
+
+        c("borges_evidence_asns_total", self.compiled.interner.len());
+        c(
+            "borges_evidence_whois_groups_total",
+            self.oid_w_groups.len(),
+        );
+        c("borges_evidence_pdb_groups_total", self.oid_p_groups.len());
+        c(
+            "borges_evidence_rr_groups_total",
+            self.rr.merging_groups().count(),
+        );
+        c(
+            "borges_evidence_favicon_groups_total",
+            self.favicon.groups.len(),
+        );
+        c("borges_evidence_ner_links_total", self.compiled.na.len());
     }
 
     /// The mapping universe (all delegated ASNs), ascending.
@@ -492,7 +841,62 @@ impl Borges {
     /// wall-clock time). This is how the Table 6 sweep runs all 16
     /// combinations.
     pub fn mappings_parallel(&self, features: &[FeatureSet], threads: usize) -> Vec<AsOrgMapping> {
-        borges_parallel::map_items(features, threads, |&f| self.mapping(f))
+        self.mappings_parallel_traced(features, threads, &Telemetry::disabled())
+    }
+
+    /// Like [`Borges::mappings_parallel`], recording into `tel`: one
+    /// logical `mappings/materialize` span per feature set (labelled with
+    /// the combination), a `borges_mapping_materialize_ms` histogram
+    /// observation per replay, and — because chunk-to-worker assignment
+    /// is a scheduling detail — a *runtime* span plus a [`WorkerTiming`]
+    /// ledger row per chunk. Results are unchanged from the untraced
+    /// call, bit for bit.
+    pub fn mappings_parallel_traced(
+        &self,
+        features: &[FeatureSet],
+        threads: usize,
+        tel: &Telemetry,
+    ) -> Vec<AsOrgMapping> {
+        if !tel.is_enabled() {
+            return borges_parallel::map_items(features, threads, |&f| self.mapping(f));
+        }
+        let root = tel.span("mappings");
+        root.field("combinations", features.len());
+        let timed = borges_parallel::map_chunks_timed(
+            features,
+            threads,
+            || tel.now_ms(),
+            |chunk| {
+                let chunk_span = root.child_runtime("chunk");
+                chunk_span.field("items", chunk.len());
+                chunk
+                    .iter()
+                    .map(|&f| {
+                        let span = root.child("materialize");
+                        span.field("features", f.label());
+                        let started_ms = tel.now_ms();
+                        let mapping = self.mapping(f);
+                        tel.observe_ms(
+                            "borges_mapping_materialize_ms",
+                            tel.now_ms().saturating_sub(started_ms),
+                        );
+                        mapping
+                    })
+                    .collect::<Vec<_>>()
+            },
+        );
+        let mut out = Vec::with_capacity(features.len());
+        for (mappings, timing) in timed {
+            tel.record_worker(WorkerTiming {
+                stage: "mapping".to_string(),
+                chunk: timing.chunk as u64,
+                items: timing.items as u64,
+                started_ms: timing.started_ms,
+                elapsed_ms: timing.elapsed_ms,
+            });
+            out.extend(mappings);
+        }
+        out
     }
 
     /// The AS2Org baseline (OID_W only).
@@ -520,6 +924,116 @@ impl Borges {
                 self.favicon.stats.llm_calls,
                 self.favicon.stats.llm_abandoned,
             ),
+        }
+    }
+
+    /// Builds the unified run ledger: every stage funnel, the coverage
+    /// ledger, per-boundary resilience spend, cache efficacy, sorted
+    /// breaker events and worker timings, and the full metrics snapshot,
+    /// in one serializable [`RunReport`]. `pipeline` names how the run
+    /// executed (`sequential`, `parallel`, `resilient`) and `threads` the
+    /// fan-out width — pure labels, not re-derived.
+    ///
+    /// Pass the same `tel` the run recorded into; a disabled context
+    /// yields a report with empty metrics/events but complete funnels.
+    pub fn run_report(&self, tel: &Telemetry, pipeline: &str, threads: usize) -> RunReport {
+        let u = |v: usize| v as u64;
+        let s = &self.scrape_stats;
+        let r = &self.rr.stats;
+        let n = &self.ner.stats;
+        let f = &self.favicon.stats;
+        let resilience_row = |boundary: &str, rs: &ResilienceStats| ResilienceRow {
+            boundary: boundary.to_string(),
+            calls: rs.calls,
+            attempts: rs.attempts,
+            recovered: rs.recovered,
+            abandoned: rs.abandoned,
+            breaker_trips: rs.breaker_trips,
+            breaker_fast_fails: rs.breaker_fast_fails,
+        };
+        let coverage_row = |feature: &str, cov: FeatureCoverage| CoverageRow {
+            feature: feature.to_string(),
+            attempted: u(cov.attempted),
+            succeeded: u(cov.succeeded),
+            abandoned: u(cov.abandoned),
+        };
+        let coverage = self.coverage();
+        // Arrival order of both event streams is scheduling-dependent;
+        // the ledger pins the sorted order.
+        let mut breaker_events = tel.breaker_events();
+        breaker_events.sort();
+        let mut workers = tel.worker_timings();
+        workers.sort();
+        RunReport {
+            schema: RUN_REPORT_SCHEMA.to_string(),
+            pipeline: pipeline.to_string(),
+            threads: threads as u64,
+            crawl: CrawlFunnel {
+                entries_with_website: u(s.entries_with_website),
+                entries_with_invalid_url: u(s.entries_with_invalid_url),
+                entries_abandoned: u(s.entries_abandoned),
+                unique_urls: u(s.unique_urls),
+                reachable_urls: u(s.reachable_urls),
+                unique_final_urls: u(s.unique_final_urls),
+                final_urls_with_favicon: u(s.final_urls_with_favicon),
+                unique_favicons: u(s.unique_favicons),
+            },
+            rr: RrFunnel {
+                networks_with_final_url: u(r.networks_with_final_url),
+                blocked_networks: u(r.blocked_networks),
+                distinct_final_urls: u(r.distinct_final_urls),
+                shared_final_urls: u(r.shared_final_urls),
+            },
+            ner: NerFunnel {
+                entries_total: u(n.entries_total),
+                entries_with_text: u(n.entries_with_text),
+                entries_numeric: u(n.entries_numeric),
+                numeric_in_aka: u(n.numeric_in_aka),
+                numeric_in_notes: u(n.numeric_in_notes),
+                llm_calls: u(n.llm_calls),
+                llm_abandoned: u(n.llm_abandoned),
+                filtered_out: u(n.filtered_out),
+                entries_with_siblings: u(n.entries_with_siblings),
+                extracted_asns: u(n.extracted_asns),
+                prompt_tokens: n.usage.prompt_tokens,
+                completion_tokens: n.usage.completion_tokens,
+            },
+            favicon: FaviconFunnel {
+                favicons_total: u(f.favicons_total),
+                favicons_shared: u(f.favicons_shared),
+                urls_in_shared: u(f.urls_in_shared),
+                same_label_groups: u(f.same_label_groups),
+                merged_by_step1: u(f.merged_by_step1),
+                llm_calls: u(f.llm_calls),
+                llm_abandoned: u(f.llm_abandoned),
+                merged_by_llm: u(f.merged_by_llm),
+                framework_rejections: u(f.framework_rejections),
+                dont_know: u(f.dont_know),
+                prompt_tokens: f.usage.prompt_tokens,
+                completion_tokens: f.usage.completion_tokens,
+            },
+            evidence: EvidenceSummary {
+                asns: u(self.compiled.interner.len()),
+                whois_groups: u(self.oid_w_groups.len()),
+                pdb_groups: u(self.oid_p_groups.len()),
+                rr_groups: u(self.rr.merging_groups().count()),
+                favicon_groups: u(self.favicon.groups.len()),
+                ner_links: u(self.compiled.na.len()),
+            },
+            coverage: vec![
+                coverage_row("crawl", coverage.crawl),
+                coverage_row("notes_aka", coverage.notes_aka),
+                coverage_row("favicon_groups", coverage.favicon_groups),
+            ],
+            resilience: vec![
+                resilience_row("web", &s.resilience),
+                resilience_row("llm.ner", &n.resilience),
+                resilience_row("llm.favicon", &f.resilience),
+            ],
+            caches: vec![CacheReport::new("web.redirect", self.web_cache)],
+            breaker_events,
+            workers,
+            metrics: tel.metrics_snapshot(),
         }
     }
 
@@ -987,6 +1501,149 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn traced_run_emits_stage_spans_and_funnel_counters() {
+        use borges_telemetry::{Telemetry, Verbosity};
+        let world = SyntheticInternet::generate(&GeneratorConfig::tiny(11));
+        let llm = SimLlm::flawless();
+        let tel = Telemetry::sim(Verbosity::Quiet);
+        let borges = Borges::run_traced(
+            &world.whois,
+            &world.pdb,
+            SimWebClient::browser(&world.web),
+            &llm,
+            &tel,
+        );
+        // One logical span per stage, under the root.
+        let paths: Vec<String> = tel.trace_records().iter().map(|r| r.path.clone()).collect();
+        for path in [
+            "run",
+            "run/crawl",
+            "run/ner",
+            "run/rr",
+            "run/favicon",
+            "run/compile",
+        ] {
+            assert!(paths.contains(&path.to_string()), "missing span {path}");
+        }
+        // Funnel counters come from the merged stats, verbatim.
+        let snap = tel.metrics_snapshot();
+        assert_eq!(
+            snap.counter("borges_crawl_unique_urls_total") as usize,
+            borges.scrape_stats.unique_urls
+        );
+        assert_eq!(
+            snap.counter("borges_ner_llm_calls_total") as usize,
+            borges.ner.stats.llm_calls
+        );
+        assert_eq!(
+            snap.counter("borges_evidence_asns_total") as usize,
+            borges.universe().len()
+        );
+        // Stage durations were observed (zero under SimClock, but present).
+        for metric in [
+            "borges_stage_crawl_ms",
+            "borges_stage_ner_ms",
+            "borges_stage_rr_ms",
+            "borges_stage_favicon_ms",
+            "borges_stage_compile_ms",
+        ] {
+            assert_eq!(snap.histogram(metric).unwrap().count, 1, "{metric}");
+        }
+        // The redirect cache saw every unique URL miss once (sequential).
+        assert_eq!(
+            borges.web_cache.misses as usize,
+            borges.scrape_stats.unique_urls
+        );
+    }
+
+    #[test]
+    fn traced_mappings_record_materializations_and_worker_timings() {
+        use borges_telemetry::{Telemetry, Verbosity};
+        let (_, borges) = pipeline();
+        let combos = FeatureSet::all_combinations();
+        let tel = Telemetry::sim(Verbosity::Quiet);
+        let mapped = borges.mappings_parallel_traced(&combos, 4, &tel);
+        assert_eq!(mapped, borges.mappings_parallel(&combos, 4));
+        let snap = tel.metrics_snapshot();
+        assert_eq!(
+            snap.histogram("borges_mapping_materialize_ms")
+                .unwrap()
+                .count,
+            16
+        );
+        // One worker-timing row per chunk, accounting for every item.
+        let workers = tel.worker_timings();
+        assert_eq!(workers.len(), 4);
+        assert_eq!(workers.iter().map(|w| w.items).sum::<u64>(), 16);
+        // One logical materialize span per combination, each labelled.
+        let records = tel.trace_records();
+        let materialize: Vec<_> = records
+            .iter()
+            .filter(|r| r.path == "mappings/materialize")
+            .collect();
+        assert_eq!(materialize.len(), 16);
+        let labels: BTreeSet<&str> = materialize
+            .iter()
+            .flat_map(|r| r.fields.iter())
+            .filter(|f| f.key == "features")
+            .map(|f| f.value.as_str())
+            .collect();
+        assert_eq!(labels.len(), 16, "every combination labelled distinctly");
+    }
+
+    #[test]
+    fn run_report_mirrors_stats_and_balances() {
+        use borges_telemetry::{Telemetry, Verbosity};
+        let world = SyntheticInternet::generate(&GeneratorConfig::tiny(11));
+        let llm = SimLlm::flawless();
+        let tel = Telemetry::sim(Verbosity::Quiet);
+        let borges = Borges::run_resilient_traced(
+            &world.whois,
+            &world.pdb,
+            SimWebClient::browser(&world.web),
+            &llm,
+            borges_resilience::RetryPolicy::standard(11),
+            &tel,
+        );
+        let report = borges.run_report(&tel, "resilient", 1);
+        assert_eq!(report.schema, borges_telemetry::RUN_REPORT_SCHEMA);
+        assert!(report.accounted(), "abandoned + succeeded == attempted");
+        assert_eq!(
+            report.crawl.unique_urls as usize,
+            borges.scrape_stats.unique_urls
+        );
+        assert_eq!(report.ner.llm_calls as usize, borges.ner.stats.llm_calls);
+        assert_eq!(
+            report.evidence.whois_groups as usize,
+            borges.oid_w_groups.len()
+        );
+        // Boundary rows mirror the stamped resilience stats.
+        assert_eq!(report.resilience.len(), 3);
+        assert_eq!(report.resilience[0].boundary, "web");
+        assert_eq!(
+            report.resilience[0].calls,
+            borges.scrape_stats.resilience.calls
+        );
+        assert_eq!(report.resilience[1].boundary, "llm.ner");
+        assert_eq!(
+            report.resilience[1].calls,
+            borges.ner.stats.resilience.calls
+        );
+        // The redirect-cache ledger row is present and consistent.
+        assert_eq!(report.caches.len(), 1);
+        assert_eq!(report.caches[0].name, "web.redirect");
+        assert_eq!(
+            report.caches[0].misses as usize,
+            borges.scrape_stats.unique_urls
+        );
+        // The embedded snapshot matches what the context holds, and the
+        // whole ledger round-trips through JSON.
+        assert_eq!(report.metrics, tel.metrics_snapshot());
+        let back = borges_telemetry::RunReport::from_json(&report.to_json_pretty()).unwrap();
+        assert_eq!(back, report);
     }
 
     #[test]

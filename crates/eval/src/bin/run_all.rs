@@ -1,14 +1,33 @@
 //! Regenerates every table and figure in one pass.
 //!
-//! Usage: `run_all [output-file]` — prints to stdout and, when a path is
-//! given, also writes the full report there (used to refresh
-//! EXPERIMENTS.md's measured sections).
+//! Usage: `run_all [-q | -v] [output-file]` — prints to stdout and, when
+//! a path is given, also writes the full report there (used to refresh
+//! EXPERIMENTS.md's measured sections). Narration goes through the
+//! shared verbosity layer: `-q` leaves only the report on stdout, `-v`
+//! adds progress lines on stderr.
+
+use borges_telemetry::{Narrator, Verbosity};
+
 fn main() {
+    let mut quiet = false;
+    let mut verbose = 0usize;
+    let mut out_path = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "-q" => quiet = true,
+            v if !v.is_empty() && v.starts_with('-') && v[1..].chars().all(|c| c == 'v') => {
+                verbose += v.len() - 1
+            }
+            _ => out_path = Some(arg),
+        }
+    }
+    let narrator = Narrator::new(Verbosity::from_flags(quiet, verbose));
     let ctx = borges_eval::ExperimentContext::from_env();
+    narrator.verbose("regenerating every table and figure");
     let report = borges_eval::experiments::run_all(&ctx);
     println!("{report}");
-    if let Some(path) = std::env::args().nth(1) {
+    if let Some(path) = out_path {
         std::fs::write(&path, &report).expect("write report file");
-        eprintln!("report written to {path}");
+        narrator.info(format!("report written to {path}"));
     }
 }

@@ -14,6 +14,7 @@ use borges_resilience::{
     stable_hash, BreakerConfig, BreakerVerdict, CircuitBreaker, Clock, EpisodePlan, FaultInjector,
     ResilienceStats, RetryPolicy, SimClock, TransportError,
 };
+use borges_telemetry::{BreakerEvent, CacheStats, Telemetry};
 use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -42,6 +43,7 @@ struct CacheState {
     /// Insertion order, oldest first — the eviction queue.
     order: VecDeque<String>,
     hits: u64,
+    misses: u64,
     evictions: u64,
 }
 
@@ -71,6 +73,7 @@ impl<M: ChatModel> CachingModel<M> {
                 entries: HashMap::new(),
                 order: VecDeque::new(),
                 hits: 0,
+                misses: 0,
                 evictions: 0,
             }),
             capacity: None,
@@ -96,9 +99,27 @@ impl<M: ChatModel> CachingModel<M> {
         self.state.lock().entries.len()
     }
 
+    /// Requests that fell through to the inner model.
+    pub fn misses(&self) -> u64 {
+        self.state.lock().misses
+    }
+
     /// Entries evicted to respect the capacity bound.
     pub fn evictions(&self) -> u64 {
         self.state.lock().evictions
+    }
+
+    /// One consistent `(hits, misses, evictions, entries)` reading, as a
+    /// run-ledger row. A failed inner call still counts as a miss — the
+    /// cache was consulted and could not help.
+    pub fn cache_stats(&self) -> CacheStats {
+        let state = self.state.lock();
+        CacheStats {
+            hits: state.hits,
+            misses: state.misses,
+            evictions: state.evictions,
+            entries: state.entries.len() as u64,
+        }
     }
 }
 
@@ -110,6 +131,8 @@ impl<M: ChatModel> ChatModel for CachingModel<M> {
             let found = state.entries.get(&key).map(|r| r.text.clone());
             if found.is_some() {
                 state.hits += 1;
+            } else {
+                state.misses += 1;
             }
             found
         } {
@@ -267,6 +290,8 @@ pub struct RetryingModel<M> {
     clock: Arc<dyn Clock>,
     breaker: Option<CircuitBreaker>,
     stats: Mutex<ResilienceStats>,
+    telemetry: Telemetry,
+    boundary: String,
 }
 
 impl<M: ChatModel> RetryingModel<M> {
@@ -279,6 +304,8 @@ impl<M: ChatModel> RetryingModel<M> {
             clock: Arc::new(SimClock::new()),
             breaker: None,
             stats: Mutex::new(ResilienceStats::default()),
+            telemetry: Telemetry::disabled(),
+            boundary: "llm".to_string(),
         }
     }
 
@@ -296,9 +323,26 @@ impl<M: ChatModel> RetryingModel<M> {
         self
     }
 
+    /// Attaches a telemetry context under a boundary label (e.g. `ner`,
+    /// `favicon` — there may be several model stacks in one run): every
+    /// logical completion records attempt/recovery/abandonment counters
+    /// named `borges_llm_<boundary>_*`, a call-duration histogram on this
+    /// stack's clock (backoff spend included), and a [`BreakerEvent`]
+    /// when the backend's breaker opens.
+    pub fn with_telemetry(mut self, telemetry: Telemetry, boundary: &str) -> Self {
+        self.telemetry = telemetry;
+        self.boundary = format!("llm.{boundary}");
+        self
+    }
+
     /// What the stack has spent so far.
     pub fn stats(&self) -> ResilienceStats {
         *self.stats.lock()
+    }
+
+    fn metric(&self, suffix: &str) -> String {
+        // "llm.ner" → "borges_llm_ner_<suffix>".
+        format!("borges_{}_{suffix}", self.boundary.replace('.', "_"))
     }
 }
 
@@ -307,6 +351,7 @@ impl<M: ChatModel> ChatModel for RetryingModel<M> {
         let key = stable_hash(request_fingerprint(request).as_bytes());
         let mut trips = 0u64;
         let mut fast_fails = 0u64;
+        let started_ms = self.clock.now_ms();
 
         let outcome = self.policy.run(&*self.clock, key, |_attempt| {
             if let Some(b) = &self.breaker {
@@ -343,6 +388,36 @@ impl<M: ChatModel> ChatModel for RetryingModel<M> {
         }
         if outcome.result.is_err() {
             stats.abandoned += 1;
+        }
+        drop(stats);
+
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter(&self.metric("calls_total"), 1);
+            self.telemetry
+                .counter(&self.metric("attempts_total"), outcome.attempts as u64);
+            if outcome.recovered() {
+                self.telemetry.counter(&self.metric("recovered_total"), 1);
+            }
+            if outcome.result.is_err() {
+                self.telemetry.counter(&self.metric("abandoned_total"), 1);
+            }
+            if fast_fails > 0 {
+                self.telemetry
+                    .counter(&self.metric("breaker_fast_fails_total"), fast_fails);
+            }
+            let now_ms = self.clock.now_ms();
+            self.telemetry
+                .observe_ms(&self.metric("call_ms"), now_ms.saturating_sub(started_ms));
+            if trips > 0 {
+                self.telemetry
+                    .counter(&self.metric("breaker_trips_total"), trips);
+                self.telemetry.record_breaker_event(BreakerEvent {
+                    boundary: self.boundary.clone(),
+                    key: self.inner.model_id().to_string(),
+                    transition: "open".to_string(),
+                    at_ms: now_ms,
+                });
+            }
         }
         outcome.result
     }
@@ -430,6 +505,75 @@ mod tests {
                 cached.complete(&request(asn)).unwrap().text
             );
         }
+    }
+
+    #[test]
+    fn cache_stats_read_consistently() {
+        let model = CachingModel::with_capacity(SimLlm::flawless(), 2);
+        model.complete(&request(1)).unwrap();
+        model.complete(&request(1)).unwrap();
+        model.complete(&request(2)).unwrap();
+        model.complete(&request(3)).unwrap(); // evicts request(1)
+        let stats = model.cache_stats();
+        assert_eq!(
+            stats,
+            CacheStats {
+                hits: 1,
+                misses: 3,
+                evictions: 1,
+                entries: 2,
+            }
+        );
+        assert_eq!(stats.hits + stats.misses, 4, "every lookup is accounted");
+    }
+
+    #[test]
+    fn failed_inner_calls_count_as_misses() {
+        let model = CachingModel::new(FlakyModel::new(
+            SimLlm::flawless(),
+            EpisodePlan {
+                transient_rate: 1.0,
+                permanent_rate: 0.0,
+                max_burst: 1,
+                seed: 1,
+            },
+        ));
+        // Burst of 1: first attempt fails (a miss, nothing cached),
+        // second reaches the model and caches.
+        assert!(model.complete(&request(1)).is_err());
+        assert!(model.complete(&request(1)).is_ok());
+        let stats = model.cache_stats();
+        assert_eq!((stats.misses, stats.hits, stats.entries), (2, 0, 1));
+    }
+
+    #[test]
+    fn telemetry_counts_model_calls_under_a_boundary_label() {
+        use borges_telemetry::Verbosity;
+        let tel = Telemetry::sim(Verbosity::Quiet);
+        let model = RetryingModel::new(
+            FlakyModel::new(SimLlm::new(5), EpisodePlan::calibrated(13)),
+            RetryPolicy::standard(13),
+        )
+        .with_clock(tel.clock())
+        .with_telemetry(tel.clone(), "ner");
+        for asn in 1u32..50 {
+            let _ = model.complete(&request(asn));
+        }
+        let snap = tel.metrics_snapshot();
+        let stats = model.stats();
+        assert_eq!(snap.counter("borges_llm_ner_calls_total"), stats.calls);
+        assert_eq!(
+            snap.counter("borges_llm_ner_attempts_total"),
+            stats.attempts
+        );
+        assert_eq!(
+            snap.counter("borges_llm_ner_recovered_total"),
+            stats.recovered
+        );
+        assert!(stats.recovered > 0, "chaos actually exercised retries");
+        let hist = snap.histogram("borges_llm_ner_call_ms").unwrap();
+        assert_eq!(hist.count, stats.calls);
+        assert!(hist.sum_ms > 0, "backoff spend lands in the histogram");
     }
 
     #[test]

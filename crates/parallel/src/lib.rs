@@ -65,6 +65,56 @@ where
     })
 }
 
+/// One chunk's worth of timing from [`map_chunks_timed`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkTiming {
+    /// Chunk index in input order.
+    pub chunk: usize,
+    /// Items the chunk contained.
+    pub items: usize,
+    /// Clock reading when the worker picked the chunk up.
+    pub started_ms: u64,
+    /// Clock delta the chunk took.
+    pub elapsed_ms: u64,
+}
+
+/// Like [`map_chunks`], but also times each chunk on a caller-supplied
+/// clock, pairing every result with a [`ChunkTiming`].
+///
+/// The clock is injected as a plain `now_ms` closure so this crate stays
+/// dependency-free: telemetry layers pass their run clock, tests pass a
+/// counter. Timings are observational only — results are still returned
+/// in input order and are unaffected by the clock.
+pub fn map_chunks_timed<'a, T, R, F, N>(
+    items: &'a [T],
+    threads: usize,
+    now_ms: N,
+    f: F,
+) -> Vec<(R, ChunkTiming)>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a [T]) -> R + Sync,
+    N: Fn() -> u64 + Sync,
+{
+    let indexed: Vec<(usize, &'a [T])> = {
+        let threads = threads.max(1);
+        let chunk_size = items.len().div_ceil(threads).max(1);
+        items.chunks(chunk_size).enumerate().collect()
+    };
+    map_items(&indexed, indexed.len(), |&(chunk, slice)| {
+        let started_ms = now_ms();
+        let result = f(slice);
+        let timing = ChunkTiming {
+            chunk,
+            items: slice.len(),
+            started_ms,
+            elapsed_ms: now_ms().saturating_sub(started_ms),
+        };
+        (result, timing)
+    })
+}
+
 /// Applies `f` to every item of `items` across at most `threads` scoped
 /// worker threads, returning the per-item results in input order.
 ///
@@ -128,6 +178,39 @@ mod tests {
     fn more_threads_than_items_is_fine() {
         let items = [5u32, 6];
         assert_eq!(map_items(&items, 32, |x| *x), vec![5, 6]);
+    }
+
+    #[test]
+    fn timed_chunks_match_untimed_results_and_count_items() {
+        let items: Vec<usize> = (0..103).collect();
+        let plain = map_chunks(&items, 4, |chunk| chunk.iter().sum::<usize>());
+        let ticks = AtomicUsize::new(0);
+        let timed = map_chunks_timed(
+            &items,
+            4,
+            || ticks.fetch_add(1, Ordering::Relaxed) as u64,
+            |chunk| chunk.iter().sum::<usize>(),
+        );
+        let (sums, timings): (Vec<_>, Vec<_>) = timed.into_iter().unzip();
+        assert_eq!(sums, plain);
+        assert_eq!(timings.len(), 4);
+        for (i, t) in timings.iter().enumerate() {
+            assert_eq!(t.chunk, i, "timings arrive in chunk order");
+        }
+        assert_eq!(
+            timings.iter().map(|t| t.items).sum::<usize>(),
+            items.len(),
+            "every item is in exactly one chunk"
+        );
+    }
+
+    #[test]
+    fn timed_chunks_under_a_frozen_clock_report_zero_elapsed() {
+        let items: Vec<u32> = (0..10).collect();
+        let timed = map_chunks_timed(&items, 2, || 42, |chunk| chunk.len());
+        for (_, t) in timed {
+            assert_eq!((t.started_ms, t.elapsed_ms), (42, 0));
+        }
     }
 
     #[test]

@@ -1,0 +1,308 @@
+//! Hierarchical spans and the in-memory trace sink.
+//!
+//! A [`Span`] is a guard: it opens when created, carries typed-as-text
+//! fields, and records itself into the [`TraceSink`] on drop. Timestamps
+//! come from the [`Telemetry`](crate::Telemetry) clock — under
+//! [`borges_resilience::SimClock`] a fault-free run records every span at
+//! `t = 0`, which is exactly what makes traces comparable across runs.
+//!
+//! Two kinds of span exist. [`SpanKind::Logical`] spans describe *what the
+//! pipeline did* (stages, per-combination materializations) and must be
+//! identical between sequential and parallel executions of the same world.
+//! [`SpanKind::Runtime`] spans describe *how it was scheduled* (chunk
+//! fan-out) and may differ by thread count. [`canonicalize`] keeps only
+//! the logical spans, drops the ids (allocation order differs across
+//! schedules), and sorts — the result is the byte-comparable journal the
+//! determinism tests pin.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// What a span describes: pipeline semantics or scheduling detail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpanKind {
+    /// Semantically meaningful work; identical across execution schedules.
+    Logical,
+    /// Scheduling detail (chunking, workers); varies with thread count.
+    Runtime,
+}
+
+/// One key/value annotation on a span. Values are rendered to text at
+/// record time so the trace journal needs no dynamic typing.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SpanField {
+    /// Field name, e.g. `"features"`.
+    pub key: String,
+    /// Field value rendered with `Display`.
+    pub value: String,
+}
+
+/// A finished span as stored in the sink and written to the journal.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Sink-unique id (allocation order; not stable across schedules).
+    pub id: u64,
+    /// Parent span id, 0 for roots.
+    pub parent: u64,
+    /// Slash-joined path from the root, e.g. `"run/crawl"`.
+    pub path: String,
+    /// Logical or runtime.
+    pub kind: SpanKind,
+    /// Clock reading when the span opened.
+    pub start_ms: u64,
+    /// Clock reading when the span dropped.
+    pub end_ms: u64,
+    /// Annotations, in insertion order.
+    pub fields: Vec<SpanField>,
+}
+
+/// A span as it appears in the canonicalized journal: no ids, logical
+/// spans only, sorted. Byte-identical across execution schedules.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CanonicalSpan {
+    /// Slash-joined path from the root.
+    pub path: String,
+    /// Clock reading when the span opened.
+    pub start_ms: u64,
+    /// Clock reading when the span dropped.
+    pub end_ms: u64,
+    /// Annotations, in insertion order.
+    pub fields: Vec<SpanField>,
+}
+
+/// Thread-safe in-memory store of finished spans.
+#[derive(Debug, Default)]
+pub struct TraceSink {
+    next_id: AtomicU64,
+    records: Mutex<Vec<SpanRecord>>,
+}
+
+impl TraceSink {
+    /// An empty sink; ids start at 1 (0 means "no parent").
+    pub fn new() -> Self {
+        TraceSink {
+            next_id: AtomicU64::new(1),
+            records: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Allocates the next span id.
+    pub fn next_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Stores a finished span.
+    pub fn record(&self, record: SpanRecord) {
+        self.records.lock().push(record);
+    }
+
+    /// All finished spans, in completion order.
+    pub fn records(&self) -> Vec<SpanRecord> {
+        self.records.lock().clone()
+    }
+
+    /// Number of finished spans.
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// Whether no span has finished yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Filters to logical spans, strips ids, and sorts by
+/// `(path, fields, start, end)` — the canonical journal order.
+pub fn canonicalize(records: &[SpanRecord]) -> Vec<CanonicalSpan> {
+    let mut spans: Vec<CanonicalSpan> = records
+        .iter()
+        .filter(|r| r.kind == SpanKind::Logical)
+        .map(|r| CanonicalSpan {
+            path: r.path.clone(),
+            start_ms: r.start_ms,
+            end_ms: r.end_ms,
+            fields: r.fields.clone(),
+        })
+        .collect();
+    spans.sort_by(|a, b| {
+        (&a.path, &a.fields, a.start_ms, a.end_ms).cmp(&(&b.path, &b.fields, b.start_ms, b.end_ms))
+    });
+    spans
+}
+
+/// Serializes any serializable record sequence as JSONL (one JSON object
+/// per line, trailing newline; empty string for no records).
+pub fn to_jsonl<T: Serialize>(records: &[T]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&serde_json::to_string(r).expect("span records always serialize"));
+        out.push('\n');
+    }
+    out
+}
+
+/// The open-span guard. Dropping it records the span; [`Span::child`]
+/// opens a nested span whose path extends this one's.
+pub struct Span {
+    tel: crate::Telemetry,
+    data: Option<SpanData>,
+}
+
+struct SpanData {
+    id: u64,
+    parent: u64,
+    path: String,
+    kind: SpanKind,
+    start_ms: u64,
+    fields: Mutex<Vec<SpanField>>,
+}
+
+impl Span {
+    pub(crate) fn open(
+        tel: &crate::Telemetry,
+        parent: Option<&Span>,
+        name: &str,
+        kind: SpanKind,
+    ) -> Span {
+        let data = tel.with_inner(|inner| {
+            let (parent_id, path) = match parent.and_then(|p| p.data.as_ref()) {
+                Some(p) => (p.id, format!("{}/{name}", p.path)),
+                None => (0, name.to_string()),
+            };
+            SpanData {
+                id: inner.trace.next_id(),
+                parent: parent_id,
+                path,
+                kind,
+                start_ms: inner.clock.now_ms(),
+                fields: Mutex::new(Vec::new()),
+            }
+        });
+        Span {
+            tel: tel.clone(),
+            data,
+        }
+    }
+
+    /// Opens a logical child span named `name` under this span's path.
+    pub fn child(&self, name: &str) -> Span {
+        Span::open(&self.tel, Some(self), name, SpanKind::Logical)
+    }
+
+    /// Opens a runtime (scheduling-detail) child span.
+    pub fn child_runtime(&self, name: &str) -> Span {
+        Span::open(&self.tel, Some(self), name, SpanKind::Runtime)
+    }
+
+    /// Annotates the span. Values render with `Display` immediately.
+    pub fn field(&self, key: &str, value: impl std::fmt::Display) {
+        if let Some(data) = &self.data {
+            data.fields.lock().push(SpanField {
+                key: key.to_string(),
+                value: value.to_string(),
+            });
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(data) = self.data.take() else {
+            return;
+        };
+        self.tel.with_inner(|inner| {
+            inner.trace.record(SpanRecord {
+                id: data.id,
+                parent: data.parent,
+                path: data.path.clone(),
+                kind: data.kind,
+                start_ms: data.start_ms,
+                end_ms: inner.clock.now_ms(),
+                fields: data.fields.lock().clone(),
+            });
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Telemetry, Verbosity};
+
+    #[test]
+    fn spans_nest_and_record_on_drop() {
+        let tel = Telemetry::sim(Verbosity::Quiet);
+        {
+            let root = tel.span("run");
+            let child = root.child("crawl");
+            child.field("urls", 7);
+            drop(child);
+            assert_eq!(tel.trace_records().len(), 1, "root is still open");
+        }
+        let records = tel.trace_records();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].path, "run/crawl");
+        assert_eq!(records[0].fields[0].value, "7");
+        assert_eq!(records[1].path, "run");
+        assert_eq!(records[0].parent, records[1].id);
+    }
+
+    #[test]
+    fn disabled_telemetry_records_nothing() {
+        let tel = Telemetry::disabled();
+        {
+            let root = tel.span("run");
+            root.field("k", "v");
+            let _child = root.child("stage");
+        }
+        assert!(tel.trace_records().is_empty());
+        assert_eq!(tel.trace_jsonl(), "");
+    }
+
+    #[test]
+    fn canonicalization_drops_runtime_spans_ids_and_order() {
+        let tel = Telemetry::sim(Verbosity::Quiet);
+        {
+            let root = tel.span("run");
+            let _chunk = root.child_runtime("chunk");
+            let b = root.child("b");
+            b.field("x", 1);
+            drop(b);
+            let _a = root.child("a");
+        }
+        let canon = canonicalize(&tel.trace_records());
+        let paths: Vec<&str> = canon.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            vec!["run", "run/a", "run/b"],
+            "sorted, runtime dropped"
+        );
+        let jsonl = tel.trace_jsonl_canonical();
+        assert!(!jsonl.contains("chunk"));
+        assert!(!jsonl.contains("\"id\""));
+    }
+
+    #[test]
+    fn sim_clock_timestamps_are_zero_without_sleeps() {
+        let tel = Telemetry::sim(Verbosity::Quiet);
+        {
+            let _root = tel.span("run");
+        }
+        let records = tel.trace_records();
+        assert_eq!((records[0].start_ms, records[0].end_ms), (0, 0));
+    }
+
+    #[test]
+    fn span_records_roundtrip_through_jsonl() {
+        let tel = Telemetry::sim(Verbosity::Quiet);
+        {
+            let root = tel.span("run");
+            root.field("seed", 11);
+        }
+        let jsonl = tel.trace_jsonl();
+        let parsed: SpanRecord = serde_json::from_str(jsonl.trim()).unwrap();
+        assert_eq!(parsed, tel.trace_records()[0]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Leveled narration, replacing ad-hoc `eprintln!`s.
+//!
+//! A [`Narrator`] owns a [`Verbosity`] level and writes accepted lines to
+//! stderr — stdout stays reserved for the actual results, so `-q` piped
+//! output is exactly the final report. Everything emitted is also kept in
+//! an in-memory log the tests can assert against without capturing the
+//! process's stderr.
+
+use parking_lot::Mutex;
+
+/// How much narration the user asked for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Verbosity {
+    /// `-q`: errors and the final report only.
+    Quiet,
+    /// Default: stage-level progress.
+    Normal,
+    /// `-v`: per-stage statistics.
+    Verbose,
+    /// `-vv`: everything, including per-boundary accounting.
+    Debug,
+}
+
+impl Verbosity {
+    /// Resolves the CLI flags (`-q` wins over any `-v`).
+    pub fn from_flags(quiet: bool, verbose_count: usize) -> Verbosity {
+        if quiet {
+            Verbosity::Quiet
+        } else {
+            match verbose_count {
+                0 => Verbosity::Normal,
+                1 => Verbosity::Verbose,
+                _ => Verbosity::Debug,
+            }
+        }
+    }
+}
+
+/// A leveled stderr writer with an in-memory echo for tests.
+#[derive(Debug)]
+pub struct Narrator {
+    level: Verbosity,
+    emitted: Mutex<Vec<String>>,
+}
+
+impl Narrator {
+    /// A narrator at `level`.
+    pub fn new(level: Verbosity) -> Self {
+        Narrator {
+            level,
+            emitted: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The configured level.
+    pub fn level(&self) -> Verbosity {
+        self.level
+    }
+
+    /// Emits unconditionally, prefixed `error:` — failures are never
+    /// silenced, even under `-q`.
+    pub fn error(&self, msg: impl AsRef<str>) {
+        self.emit(format!("error: {}", msg.as_ref()));
+    }
+
+    /// Emits at [`Verbosity::Normal`] and above.
+    pub fn info(&self, msg: impl AsRef<str>) {
+        if self.level >= Verbosity::Normal {
+            self.emit(msg.as_ref().to_string());
+        }
+    }
+
+    /// Emits at [`Verbosity::Verbose`] and above (`-v`).
+    pub fn verbose(&self, msg: impl AsRef<str>) {
+        if self.level >= Verbosity::Verbose {
+            self.emit(msg.as_ref().to_string());
+        }
+    }
+
+    /// Emits at [`Verbosity::Debug`] (`-vv`).
+    pub fn debug(&self, msg: impl AsRef<str>) {
+        if self.level >= Verbosity::Debug {
+            self.emit(msg.as_ref().to_string());
+        }
+    }
+
+    /// Every line actually emitted, in order.
+    pub fn emitted(&self) -> Vec<String> {
+        self.emitted.lock().clone()
+    }
+
+    fn emit(&self, line: String) {
+        eprintln!("{line}");
+        self.emitted.lock().push(line);
+    }
+}
+
+impl Default for Narrator {
+    fn default() -> Self {
+        Narrator::new(Verbosity::Normal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(Verbosity::Quiet < Verbosity::Normal);
+        assert!(Verbosity::Normal < Verbosity::Verbose);
+        assert!(Verbosity::Verbose < Verbosity::Debug);
+    }
+
+    #[test]
+    fn flags_resolve_with_quiet_winning() {
+        assert_eq!(Verbosity::from_flags(false, 0), Verbosity::Normal);
+        assert_eq!(Verbosity::from_flags(false, 1), Verbosity::Verbose);
+        assert_eq!(Verbosity::from_flags(false, 2), Verbosity::Debug);
+        assert_eq!(Verbosity::from_flags(false, 9), Verbosity::Debug);
+        assert_eq!(Verbosity::from_flags(true, 2), Verbosity::Quiet);
+    }
+
+    #[test]
+    fn quiet_silences_all_but_errors() {
+        let n = Narrator::new(Verbosity::Quiet);
+        n.info("progress");
+        n.verbose("detail");
+        n.debug("minutiae");
+        n.error("boom");
+        assert_eq!(n.emitted(), vec!["error: boom".to_string()]);
+    }
+
+    #[test]
+    fn each_level_admits_exactly_its_band() {
+        let n = Narrator::new(Verbosity::Verbose);
+        n.info("a");
+        n.verbose("b");
+        n.debug("c");
+        assert_eq!(n.emitted(), vec!["a".to_string(), "b".to_string()]);
+
+        let n = Narrator::new(Verbosity::Debug);
+        n.info("a");
+        n.debug("c");
+        assert_eq!(n.emitted().len(), 2);
+    }
+}

@@ -13,6 +13,7 @@ use borges_resilience::{
     stable_hash, BreakerConfig, BreakerRegistry, BreakerVerdict, Clock, ResilienceStats,
     RetryPolicy, SimClock, TransportError,
 };
+use borges_telemetry::{BreakerEvent, Telemetry};
 use borges_types::Url;
 use parking_lot::Mutex;
 use std::sync::Arc;
@@ -25,6 +26,7 @@ pub struct RetryingWebClient<C> {
     clock: Arc<dyn Clock>,
     breakers: Option<BreakerRegistry>,
     stats: Mutex<ResilienceStats>,
+    telemetry: Telemetry,
 }
 
 impl<C: WebClient> RetryingWebClient<C> {
@@ -37,6 +39,7 @@ impl<C: WebClient> RetryingWebClient<C> {
             clock: Arc::new(SimClock::new()),
             breakers: None,
             stats: Mutex::new(ResilienceStats::default()),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -50,6 +53,17 @@ impl<C: WebClient> RetryingWebClient<C> {
     /// [`borges_resilience::SystemClock`]).
     pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
         self.clock = clock;
+        self
+    }
+
+    /// Attaches a telemetry context: every logical fetch records attempt,
+    /// recovery, and abandonment counters, a call-duration histogram on
+    /// this stack's clock (so backoff spend is included), and a
+    /// [`BreakerEvent`] whenever a host's breaker opens. Pair with
+    /// [`RetryingWebClient::with_clock`] on the telemetry's own clock so
+    /// trace timestamps and backoff agree.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
         self
     }
 
@@ -74,6 +88,7 @@ impl<C: WebClient> WebClient for RetryingWebClient<C> {
         let breaker = self.breakers.as_ref().map(|r| r.breaker(&host));
         let mut trips = 0u64;
         let mut fast_fails = 0u64;
+        let started_ms = self.clock.now_ms();
 
         let outcome = self.policy.run(&*self.clock, key, |_attempt| {
             if let Some(b) = &breaker {
@@ -110,6 +125,36 @@ impl<C: WebClient> WebClient for RetryingWebClient<C> {
         }
         if outcome.result.is_err() {
             stats.abandoned += 1;
+        }
+        drop(stats);
+
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter("borges_web_calls_total", 1);
+            self.telemetry
+                .counter("borges_web_attempts_total", outcome.attempts as u64);
+            if outcome.recovered() {
+                self.telemetry.counter("borges_web_recovered_total", 1);
+            }
+            if outcome.result.is_err() {
+                self.telemetry.counter("borges_web_abandoned_total", 1);
+            }
+            if fast_fails > 0 {
+                self.telemetry
+                    .counter("borges_web_breaker_fast_fails_total", fast_fails);
+            }
+            let now_ms = self.clock.now_ms();
+            self.telemetry
+                .observe_ms("borges_web_call_ms", now_ms.saturating_sub(started_ms));
+            if trips > 0 {
+                self.telemetry
+                    .counter("borges_web_breaker_trips_total", trips);
+                self.telemetry.record_breaker_event(BreakerEvent {
+                    boundary: "web".to_string(),
+                    key: host,
+                    transition: "open".to_string(),
+                    at_ms: now_ms,
+                });
+            }
         }
         outcome.result
     }
@@ -214,6 +259,60 @@ mod tests {
         let before = client.stats().breaker_fast_fails;
         assert_eq!(client.fetch(&url), Err(TransportError::CircuitOpen));
         assert!(client.stats().breaker_fast_fails > before);
+    }
+
+    #[test]
+    fn telemetry_counts_attempts_and_records_breaker_trips() {
+        use borges_telemetry::Verbosity;
+        let web = web(1);
+        let tel = Telemetry::sim(Verbosity::Quiet);
+        let client = RetryingWebClient::new(
+            FlakyWebClient::new(
+                SimWebClient::browser(&web),
+                EpisodePlan {
+                    transient_rate: 1.0,
+                    permanent_rate: 0.0,
+                    max_burst: 40,
+                    seed: 2,
+                },
+            ),
+            RetryPolicy {
+                max_attempts: 3,
+                base_delay_ms: 10,
+                max_delay_ms: 10,
+                deadline_ms: u64::MAX,
+                jitter_seed: 2,
+            },
+        )
+        .with_breakers(BreakerConfig {
+            failure_threshold: 4,
+            open_ms: 1_000_000,
+        })
+        .with_clock(tel.clock())
+        .with_telemetry(tel.clone());
+        let url: Url = "https://h0.example/".parse().unwrap();
+        assert!(client.fetch(&url).is_err());
+        assert!(client.fetch(&url).is_err());
+
+        let snap = tel.metrics_snapshot();
+        assert_eq!(snap.counter("borges_web_calls_total"), 2);
+        assert_eq!(
+            snap.counter("borges_web_attempts_total"),
+            client.stats().attempts
+        );
+        assert_eq!(snap.counter("borges_web_abandoned_total"), 2);
+        assert_eq!(snap.counter("borges_web_breaker_trips_total"), 1);
+        // Backoff slept on the shared clock → the histogram saw real
+        // (virtual) durations.
+        let hist = snap.histogram("borges_web_call_ms").unwrap();
+        assert_eq!(hist.count, 2);
+        assert!(hist.sum_ms > 0, "backoff spend lands in the histogram");
+        // The trip surfaced as a breaker event with the host as key.
+        let events = tel.breaker_events();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].boundary, "web");
+        assert_eq!(events[0].key, "h0.example");
+        assert_eq!(events[0].transition, "open");
     }
 
     #[test]

@@ -16,9 +16,11 @@
 
 use crate::client::{FetchResult, WebClient};
 use borges_resilience::{ResilienceStats, TransportError};
+use borges_telemetry::CacheStats;
 use borges_types::{Asn, FaviconHash, Url};
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// What the crawl observed for one network.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -161,6 +163,8 @@ impl ScrapeReport {
 pub struct Scraper<C> {
     client: C,
     cache: Mutex<HashMap<String, Result<FetchResult, TransportError>>>,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
 }
 
 impl<C: WebClient> Scraper<C> {
@@ -169,6 +173,8 @@ impl<C: WebClient> Scraper<C> {
         Scraper {
             client,
             cache: Mutex::new(HashMap::new()),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
         }
     }
 
@@ -176,11 +182,27 @@ impl<C: WebClient> Scraper<C> {
     pub fn fetch_cached(&self, url: &Url) -> Result<FetchResult, TransportError> {
         let key = url.canonical();
         if let Some(hit) = self.cache.lock().get(&key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return hit.clone();
         }
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
         let result = self.client.fetch(url);
         self.cache.lock().insert(key, result.clone());
         result
+    }
+
+    /// Hit/miss counters for the fetch (redirect) cache. The cache is
+    /// unbounded, so `evictions` is always 0. Under a parallel crawl,
+    /// threads racing on the same uncached URL may each count a miss —
+    /// the counters are observational and feed the run ledger only, never
+    /// the `PartialEq`-compared funnel stats.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.cache_hits.load(Ordering::Relaxed),
+            misses: self.cache_misses.load(Ordering::Relaxed),
+            evictions: 0,
+            entries: self.cache.lock().len() as u64,
+        }
     }
 
     /// Crawls a batch of `(asn, raw website field)` pairs.
@@ -402,6 +424,28 @@ mod tests {
         ]);
         // All three normalize to the same canonical URL → exactly one fetch.
         assert_eq!(counting.calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn cache_stats_count_hits_and_misses() {
+        let web = web();
+        let scraper = Scraper::new(SimWebClient::browser(&web));
+        assert_eq!(scraper.cache_stats(), CacheStats::default());
+        scraper.crawl(vec![
+            (Asn::new(1), "www.cogentco.com"),
+            (Asn::new(2), "www.cogentco.com"),
+            (Asn::new(3), "http://www.cogentco.com/"),
+            (Asn::new(4), "www.gone.example"),
+        ]);
+        let stats = scraper.cache_stats();
+        assert_eq!(stats.misses, 2, "two distinct canonical URLs fetched");
+        assert_eq!(stats.hits, 2, "two entries reused the cogentco result");
+        assert_eq!(stats.entries, 2);
+        assert_eq!(stats.evictions, 0, "the fetch cache is unbounded");
+        // Negative caching counts as a hit too.
+        let url: Url = "www.gone.example".parse().unwrap();
+        let _ = scraper.fetch_cached(&url);
+        assert_eq!(scraper.cache_stats().hits, 3);
     }
 
     #[test]

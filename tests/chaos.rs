@@ -21,6 +21,7 @@ use borges_core::pipeline::{Borges, FeatureSet};
 use borges_llm::{FlakyModel, SimLlm};
 use borges_resilience::{EpisodePlan, RetryPolicy};
 use borges_synthnet::{GeneratorConfig, SyntheticInternet};
+use borges_telemetry::{RunReport, Telemetry, Verbosity};
 use borges_websim::{FlakyWebClient, SimWebClient};
 
 fn chaos_seeds() -> u64 {
@@ -126,6 +127,51 @@ fn chaos_degraded_worlds_account_for_every_loss() {
                 assert!(
                     reference.same_org(pair[0], pair[1]),
                     "seed {seed}: degraded run invented a merge {pair:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn chaos_run_ledgers_balance_and_reproduce_across_seeds() {
+    // The emitted RunReport is the soak job's receipt: for every chaos
+    // seed — recoverable and degraded alike — the ledger must balance
+    // (`abandoned + succeeded == attempted` per stage) and a repeated
+    // run under the same seed must emit byte-identical JSON.
+    let world = SyntheticInternet::generate(&GeneratorConfig::tiny(11));
+    let ledger = |seed: u64, plan: fn(u64) -> EpisodePlan, policy: &RetryPolicy| {
+        let tel = Telemetry::sim(Verbosity::Quiet);
+        let web = FlakyWebClient::new(SimWebClient::browser(&world.web), plan(seed));
+        let llm = FlakyModel::new(SimLlm::flawless(), plan(seed ^ 0xFACE));
+        let borges =
+            Borges::run_resilient_traced(&world.whois, &world.pdb, web, &llm, *policy, &tel);
+        borges.run_report(&tel, "resilient", 1).to_json_pretty()
+    };
+    for seed in 1..=chaos_seeds() {
+        for (plan, policy) in [
+            (
+                EpisodePlan::calibrated as fn(u64) -> EpisodePlan,
+                RetryPolicy::standard(seed),
+            ),
+            (EpisodePlan::with_outages, RetryPolicy::none()),
+        ] {
+            let json = ledger(seed, plan, &policy);
+            assert_eq!(
+                json,
+                ledger(seed, plan, &policy),
+                "seed {seed}: chaos ledger must be reproducible"
+            );
+            let report = RunReport::from_json(&json).expect("ledger JSON parses");
+            assert!(
+                report.accounted(),
+                "seed {seed}: abandoned + succeeded != attempted in\n{json}"
+            );
+            for row in &report.resilience {
+                assert!(
+                    row.attempts >= row.calls,
+                    "seed {seed}: {} attempted fewer times than it was called",
+                    row.boundary
                 );
             }
         }
