@@ -65,6 +65,12 @@ fn sparse_rebuild(
 }
 
 fn bench_mapping(c: &mut Criterion) {
+    // Surfaced in the output so recorded baselines carry the host shape
+    // with them instead of relying on a hand-written (and staling) note.
+    eprintln!(
+        "bench host: {} CPU(s) online",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
     let world = medium_world();
     let borges = medium_pipeline();
     let oid_w = oid_w_groups(&world.whois);

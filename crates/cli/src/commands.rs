@@ -6,7 +6,7 @@ use borges_core::impact::OrgNamer;
 use borges_core::mapfile;
 use borges_core::orgfactor::organization_factor;
 use borges_core::pipeline::{Borges, FeatureSet};
-use borges_core::AsOrgMapping;
+use borges_core::{AsOrgMapping, SnapshotState};
 use borges_llm::{CachingModel, FlakyModel, SimLlm};
 use borges_resilience::{EpisodePlan, RetryPolicy};
 use borges_synthnet::io::{save, DatasetBundle};
@@ -25,6 +25,7 @@ USAGE:
   borges map --data DIR --out FILE [--features all|none|LIST] [--seed N] [--threads N]
              [--fault-rate R] [--retries N] [--chaos-seed N]
              [--trace-out FILE] [--metrics-out FILE] [--report-out FILE]
+             [--state-out DIR]
       Run the pipeline over a bundle and write the mapping.
       LIST is comma-separated from: oid_p, na, rr, favicons.
       --threads defaults to the machine's available parallelism; it
@@ -39,6 +40,19 @@ USAGE:
       across thread counts); --metrics-out writes the counters and
       duration histograms in Prometheus exposition format;
       --report-out writes the unified run ledger as JSON.
+      --state-out persists the compiled snapshot state (interner slots,
+      edge segments, fingerprints, LLM reply memos) into DIR for a
+      later incremental `borges remap`.
+  borges remap --data DIR --base-state DIR --out FILE [--out-state DIR]
+               [--features all|none|LIST] [--seed N] [--threads N]
+               [--trace-out FILE] [--metrics-out FILE] [--report-out FILE]
+      Incrementally re-map a (possibly changed) bundle against the
+      state persisted by a previous `map --state-out` / `remap
+      --out-state`: the web is re-crawled, LLM answers replay from the
+      memo for records whose text is unchanged, and edge segments with
+      untouched fingerprints are reused verbatim. The mapping written
+      is byte-identical to a full `map` of the same bundle. --out-state
+      persists the updated state so remaps chain across snapshots.
   borges eval --data DIR --mapping FILE [--mapping FILE ...]
       Organization Factor (and, with an oracle, precision/recall) per mapping.
   borges inspect --data DIR --mapping FILE --asn N
@@ -63,6 +77,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     match command {
         "generate" => generate(&opts),
         "map" => map(&opts),
+        "remap" => remap(&opts),
         "eval" => eval(&opts),
         "inspect" => inspect(&opts),
         "diff" => diff_cmd(&opts),
@@ -225,6 +240,7 @@ fn map(opts: &Options) -> Result<String, CliError> {
         "trace-out",
         "metrics-out",
         "report-out",
+        "state-out",
         "v",
         "q",
     ])?;
@@ -324,6 +340,10 @@ fn map(opts: &Options) -> Result<String, CliError> {
         .pop()
         .expect("one feature set in, one mapping out");
     std::fs::write(out, mapfile::serialize(&mapping)).map_err(|e| CliError::Failed(Box::new(e)))?;
+    if let Some(dir) = opts.optional("state-out")? {
+        write_state(&borges, dir)?;
+        tel.debug(format!("snapshot state written to {dir}"));
+    }
 
     if trace_out.is_some() || metrics_out.is_some() || report_out.is_some() {
         let mut report = borges.run_report(&tel, pipeline, threads);
@@ -353,6 +373,130 @@ fn map(opts: &Options) -> Result<String, CliError> {
         mapping.org_count(),
         features.label(),
         coverage
+    ))
+}
+
+/// File the snapshot state lives under inside a state directory.
+const STATE_FILE: &str = "state.json";
+
+fn write_state(borges: &Borges, dir: &str) -> Result<(), CliError> {
+    let dir = Path::new(dir);
+    std::fs::create_dir_all(dir).map_err(|e| CliError::Failed(Box::new(e)))?;
+    std::fs::write(
+        dir.join(STATE_FILE),
+        borges.snapshot_state().to_json_pretty(),
+    )
+    .map_err(|e| CliError::Failed(Box::new(e)))
+}
+
+fn load_state(dir: &str) -> Result<SnapshotState, CliError> {
+    let path = Path::new(dir).join(STATE_FILE);
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| CliError::Usage(format!("--base-state: {}: {e}", path.display())))?;
+    SnapshotState::from_json(&text).map_err(|e| CliError::Usage(format!("{}: {e}", path.display())))
+}
+
+fn remap(opts: &Options) -> Result<String, CliError> {
+    opts.allow_only(&[
+        "data",
+        "base-state",
+        "out",
+        "out-state",
+        "features",
+        "seed",
+        "threads",
+        "trace-out",
+        "metrics-out",
+        "report-out",
+        "v",
+        "q",
+    ])?;
+    let data = opts.required("data")?;
+    let out = opts.required("out")?;
+    let features = parse_features(opts.optional("features")?.unwrap_or("all"))?;
+    let seed = seed_of(opts)?;
+    let threads: usize = match opts.optional("threads")? {
+        Some(t) => t
+            .parse()
+            .map_err(|_| CliError::Usage(format!("--threads {t:?} is not a number")))?,
+        None => borges_parallel::default_threads(),
+    };
+    let trace_out = opts.optional("trace-out")?;
+    let metrics_out = opts.optional("metrics-out")?;
+    let report_out = opts.optional("report-out")?;
+
+    let tel = Telemetry::sim(verbosity_of(opts));
+    let state = load_state(opts.required("base-state")?)?;
+    tel.verbose(format!("loading bundle from {data}"));
+    let bundle = DatasetBundle::load(Path::new(data)).map_err(CliError::failed)?;
+
+    // The web is always re-crawled: sites drift independently of the
+    // registries and crawling is cheap next to LLM calls. The memoized
+    // LLM replies in the state are what make the remap incremental.
+    let llm = CachingModel::new(SimLlm::new(seed));
+    let scraper = borges_websim::Scraper::new(SimWebClient::browser(&bundle.web));
+    let report = scraper.crawl(bundle.pdb.nets().map(|n| (n.asn, n.website.as_str())));
+    let borges = Borges::remap_traced(
+        &bundle.whois,
+        &bundle.pdb,
+        &report,
+        &llm,
+        borges_core::ner::NerConfig::default(),
+        &state,
+        &tel,
+    );
+    let d = borges.delta.as_ref().expect("remap records delta stats");
+    tel.verbose(format!(
+        "delta: {} dirty records, {} LLM calls replayed from memo, {} issued",
+        d.records.dirty(),
+        d.llm_calls_saved(),
+        d.ner_recomputed + d.favicon_recomputed
+    ));
+    let (segments_retained, edges_retained): (usize, usize) = d
+        .edge_rows()
+        .iter()
+        .map(|(_, s)| (s.segments_retained, s.edges_retained))
+        .fold((0, 0), |(a, b), (x, y)| (a + x, b + y));
+
+    let mapping = borges
+        .mappings_parallel_traced(std::slice::from_ref(&features), threads, &tel)
+        .pop()
+        .expect("one feature set in, one mapping out");
+    std::fs::write(out, mapfile::serialize(&mapping)).map_err(|e| CliError::Failed(Box::new(e)))?;
+    if let Some(dir) = opts.optional("out-state")? {
+        write_state(&borges, dir)?;
+        tel.debug(format!("updated snapshot state written to {dir}"));
+    }
+
+    if trace_out.is_some() || metrics_out.is_some() || report_out.is_some() {
+        let mut ledger = borges.run_report(&tel, "remap", threads);
+        ledger
+            .caches
+            .push(CacheReport::new("llm.response", llm.cache_stats()));
+        if let Some(path) = trace_out {
+            std::fs::write(path, tel.trace_jsonl_canonical())
+                .map_err(|e| CliError::Failed(Box::new(e)))?;
+        }
+        if let Some(path) = metrics_out {
+            std::fs::write(path, ledger.metrics.to_prometheus())
+                .map_err(|e| CliError::Failed(Box::new(e)))?;
+        }
+        if let Some(path) = report_out {
+            std::fs::write(path, ledger.to_json_pretty())
+                .map_err(|e| CliError::Failed(Box::new(e)))?;
+        }
+    }
+    Ok(format!(
+        "{}: {} ASNs in {} organizations (features: {})\n\
+         delta: {} dirty records; {} segments ({} edges) reused; {} LLM calls saved\n",
+        out,
+        mapping.asn_count(),
+        mapping.org_count(),
+        features.label(),
+        d.records.dirty(),
+        segments_retained,
+        edges_retained,
+        d.llm_calls_saved()
     ))
 }
 
@@ -851,6 +995,127 @@ mod tests {
         assert_eq!(par.ner, report.ner);
         assert_eq!(par.metrics, report.metrics);
 
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remap_round_trip_is_byte_identical_and_chains() {
+        let dir = tmpdir("remap");
+        let data = dir.join("world");
+        run(&args(&[
+            "generate",
+            "--out",
+            data.to_str().unwrap(),
+            "--scale",
+            "tiny",
+            "--seed",
+            "5",
+            "-q",
+        ]))
+        .unwrap();
+
+        let full_map = dir.join("full.map");
+        let state0 = dir.join("state0");
+        run(&args(&[
+            "map",
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            full_map.to_str().unwrap(),
+            "--state-out",
+            state0.to_str().unwrap(),
+            "-q",
+        ]))
+        .unwrap();
+        assert!(state0.join("state.json").exists());
+
+        let remap_map = dir.join("remap.map");
+        let state1 = dir.join("state1");
+        let report = dir.join("remap.report.json");
+        let out = run(&args(&[
+            "remap",
+            "--data",
+            data.to_str().unwrap(),
+            "--base-state",
+            state0.to_str().unwrap(),
+            "--out",
+            remap_map.to_str().unwrap(),
+            "--out-state",
+            state1.to_str().unwrap(),
+            "--report-out",
+            report.to_str().unwrap(),
+            "-q",
+        ]))
+        .unwrap();
+        // The CLI-level keystone: incremental output is byte-identical
+        // to the full map of the same bundle.
+        assert_eq!(
+            std::fs::read(&full_map).unwrap(),
+            std::fs::read(&remap_map).unwrap()
+        );
+        assert!(out.contains("delta: 0 dirty records"), "{out}");
+        assert!(out.contains("LLM calls saved"), "{out}");
+
+        // The emitted ledger parses, balances, and carries delta rows.
+        let ledger =
+            borges_telemetry::RunReport::from_json(&std::fs::read_to_string(&report).unwrap())
+                .unwrap();
+        assert!(ledger.accounted());
+        assert!(ledger.delta.incremental);
+        assert!(ledger.delta.consistent());
+        assert_eq!(ledger.delta.records.len(), 5);
+        assert_eq!(ledger.delta.edges.len(), 5);
+        assert!(ledger.delta.llm_calls_saved > 0);
+
+        // Remaps chain: the updated state drives a second remap to the
+        // same bytes.
+        let remap2 = dir.join("remap2.map");
+        run(&args(&[
+            "remap",
+            "--data",
+            data.to_str().unwrap(),
+            "--base-state",
+            state1.to_str().unwrap(),
+            "--out",
+            remap2.to_str().unwrap(),
+            "-q",
+        ]))
+        .unwrap();
+        assert_eq!(
+            std::fs::read(&full_map).unwrap(),
+            std::fs::read(&remap2).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn remap_rejects_a_missing_or_corrupt_state() {
+        let dir = tmpdir("remap-bad-state");
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = run(&args(&[
+            "remap",
+            "--data",
+            "x",
+            "--base-state",
+            dir.to_str().unwrap(),
+            "--out",
+            "y",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("state.json"), "{err}");
+
+        std::fs::write(dir.join("state.json"), "{not json").unwrap();
+        let err = run(&args(&[
+            "remap",
+            "--data",
+            "x",
+            "--base-state",
+            dir.to_str().unwrap(),
+            "--out",
+            "y",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

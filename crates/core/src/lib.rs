@@ -48,6 +48,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod blocklists;
+pub mod delta;
 pub mod diff;
 pub mod evalsets;
 pub mod impact;
@@ -60,6 +61,7 @@ pub mod pipeline;
 pub mod unionfind;
 pub mod web;
 
+pub use delta::{DeltaStats, SnapshotDelta, SnapshotState, SourceDelta, SourceFingerprints};
 pub use mapping::{AsOrgMapping, ClusterId};
 pub use orgfactor::organization_factor;
 pub use pipeline::{

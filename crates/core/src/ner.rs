@@ -94,11 +94,30 @@ impl std::ops::AddAssign for NerStats {
     }
 }
 
+/// One memoized extraction reply: the fingerprint of the subject's
+/// `notes`/`aka` text at reply time, and the *parsed, pre-filter*
+/// finding ASNs. Replaying the findings through the unchanged output
+/// filter reproduces the original extraction exactly, so a memo hit
+/// skips the LLM call — the incremental path's main saving.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NerMemoEntry {
+    /// [`crate::delta::ner_text_fp`] of `(notes, aka)` when the reply
+    /// was obtained.
+    pub fp: u64,
+    /// Parsed reply ASNs, before the output hallucination filter.
+    pub findings: Vec<Asn>,
+}
+
 /// The result of running the NER stage over a snapshot.
 #[derive(Debug, Clone, Default)]
 pub struct NerResult {
     /// For each subject ASN, the extracted (filtered) sibling ASNs.
     pub per_entry: BTreeMap<Asn, Vec<Asn>>,
+    /// Every reply obtained or replayed this run, keyed by subject —
+    /// captured on full runs too, so any run can seed a later `remap`.
+    pub memo: BTreeMap<Asn, NerMemoEntry>,
+    /// Entries answered from a prior memo instead of an LLM call.
+    pub memo_hits: usize,
     /// Funnel counters.
     pub stats: NerStats,
 }
@@ -147,7 +166,22 @@ impl Default for NerConfig {
 
 /// Runs the extraction stage over every network in the snapshot.
 pub fn extract(pdb: &PdbSnapshot, model: &dyn ChatModel, config: NerConfig) -> NerResult {
-    let mut result = extract_over(pdb.nets(), model, config);
+    extract_with_memo(pdb, model, config, &BTreeMap::new())
+}
+
+/// Like [`extract`], but consults `memo` before each LLM call: when the
+/// subject's `notes`/`aka` fingerprint matches a memoized reply, the
+/// stored findings are replayed through the identical downstream
+/// filters and no call is issued. `stats.llm_calls` counts physical
+/// calls only, so the funnel invariant
+/// `llm_abandoned + parsed == llm_calls` still holds.
+pub fn extract_with_memo(
+    pdb: &PdbSnapshot,
+    model: &dyn ChatModel,
+    config: NerConfig,
+    memo: &BTreeMap<Asn, NerMemoEntry>,
+) -> NerResult {
+    let mut result = extract_over(pdb.nets(), model, config, memo);
     finalize(&mut result);
     result
 }
@@ -164,13 +198,16 @@ pub fn extract_parallel(
     threads: usize,
 ) -> NerResult {
     let nets: Vec<&borges_peeringdb::PdbNetwork> = pdb.nets().collect();
+    let empty = BTreeMap::new();
     let partials = borges_parallel::map_chunks(&nets, threads, |chunk| {
-        extract_over(chunk.iter().copied(), model, config)
+        extract_over(chunk.iter().copied(), model, config, &empty)
     });
     let mut result = NerResult::default();
     for partial in partials {
         result.stats += partial.stats;
         result.per_entry.extend(partial.per_entry);
+        result.memo.extend(partial.memo);
+        result.memo_hits += partial.memo_hits;
     }
     // `+=` summed the per-chunk distinct counts; recompute the true
     // cross-chunk distinct count.
@@ -193,6 +230,7 @@ fn extract_over<'a>(
     nets: impl Iterator<Item = &'a borges_peeringdb::PdbNetwork>,
     model: &dyn ChatModel,
     config: NerConfig,
+    memo: &BTreeMap<Asn, NerMemoEntry>,
 ) -> NerResult {
     let mut result = NerResult::default();
     for net in nets {
@@ -215,22 +253,46 @@ fn extract_over<'a>(
             continue;
         }
 
-        let prompt = build_ie_prompt(net.asn, &net.notes, &net.aka);
-        // The call is counted before it is made: an abandoned call is
-        // still an attempted call, so `llm_abandoned + parsed == llm_calls`
-        // holds by construction.
-        result.stats.llm_calls += 1;
-        let reply = match model.complete(&ChatRequest::user(prompt)) {
-            Ok(reply) => reply,
-            Err(_transport) => {
-                // Budgets exhausted (or a hard block): record the loss and
-                // degrade gracefully — the other entries still extract.
-                result.stats.llm_abandoned += 1;
-                continue;
+        let fp = crate::delta::ner_text_fp(&net.notes, &net.aka);
+        let findings: Vec<Asn> = match memo.get(&net.asn) {
+            // A memoized reply for unchanged text: replay the parsed
+            // findings through the identical filters below, no call.
+            Some(entry) if entry.fp == fp => {
+                result.memo_hits += 1;
+                entry.findings.clone()
+            }
+            _ => {
+                let prompt = build_ie_prompt(net.asn, &net.notes, &net.aka);
+                // The call is counted before it is made: an abandoned call
+                // is still an attempted call, so
+                // `llm_abandoned + parsed == llm_calls` holds by construction.
+                result.stats.llm_calls += 1;
+                let reply = match model.complete(&ChatRequest::user(prompt)) {
+                    Ok(reply) => reply,
+                    Err(_transport) => {
+                        // Budgets exhausted (or a hard block): record the
+                        // loss and degrade gracefully — the other entries
+                        // still extract. Failures are never memoized.
+                        result.stats.llm_abandoned += 1;
+                        continue;
+                    }
+                };
+                result.stats.usage += reply.usage;
+                parse_ie_reply(&reply.text)
+                    .into_iter()
+                    .map(|f| f.asn)
+                    .collect()
             }
         };
-        result.stats.usage += reply.usage;
-        let findings = parse_ie_reply(&reply.text);
+        // Memoize every answered entry (empty findings included) so any
+        // run's state can seed a later incremental remap.
+        result.memo.insert(
+            net.asn,
+            NerMemoEntry {
+                fp,
+                findings: findings.clone(),
+            },
+        );
         if findings.is_empty() {
             continue;
         }
@@ -246,8 +308,7 @@ fn extract_over<'a>(
         };
 
         let mut siblings: Vec<Asn> = Vec::new();
-        for finding in findings {
-            let asn = finding.asn;
+        for asn in findings {
             if asn == net.asn {
                 continue;
             }
@@ -423,6 +484,42 @@ mod tests {
             assert_eq!(parallel.per_entry, sequential.per_entry);
             assert_eq!(parallel.stats, sequential.stats, "{threads} threads");
         }
+    }
+
+    #[test]
+    fn memo_replay_skips_calls_and_reproduces_output() {
+        let pdb = snapshot(&[
+            (3320, "Our subsidiaries: AS6855 and AS5391.", ""),
+            (100, "Leading regional provider.", ""),
+        ]);
+        let llm = SimLlm::flawless();
+        let first = extract(&pdb, &llm, NerConfig::default());
+        assert_eq!(first.memo.len(), 1, "answered entries are memoized");
+        assert_eq!(first.memo_hits, 0);
+
+        // Re-run over the same snapshot seeded with the memo: identical
+        // extraction, zero physical calls.
+        let replay = extract_with_memo(&pdb, &llm, NerConfig::default(), &first.memo);
+        assert_eq!(replay.per_entry, first.per_entry);
+        assert_eq!(replay.memo, first.memo);
+        assert_eq!(replay.memo_hits, 1);
+        assert_eq!(replay.stats.llm_calls, 0, "memo hit issues no call");
+        assert_eq!(replay.stats.extracted_asns, first.stats.extracted_asns);
+    }
+
+    #[test]
+    fn memo_is_guarded_by_text_fingerprint() {
+        let pdb_t0 = snapshot(&[(3320, "Our subsidiaries: AS6855.", "")]);
+        let pdb_t1 = snapshot(&[(3320, "Our subsidiaries: AS5391.", "")]);
+        let llm = SimLlm::flawless();
+        let first = extract(&pdb_t0, &llm, NerConfig::default());
+        let second = extract_with_memo(&pdb_t1, &llm, NerConfig::default(), &first.memo);
+        assert_eq!(second.memo_hits, 0, "changed text must not replay");
+        assert_eq!(second.stats.llm_calls, 1);
+        assert_eq!(
+            second.per_entry.get(&Asn::new(3320)).unwrap(),
+            &vec![Asn::new(5391)]
+        );
     }
 
     #[test]

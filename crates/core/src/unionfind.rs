@@ -192,8 +192,14 @@ impl DenseUnionFind {
     /// same canonical order as [`UnionFind::into_groups`]: members
     /// ascending, groups ordered by their smallest ASN.
     ///
-    /// Because interner ids follow ascending ASN order, one pass over
-    /// `0..len` builds every group already sorted — no per-group sort.
+    /// Because fresh interner ids follow ascending ASN order, one pass
+    /// over `0..len` builds every group already sorted — no per-group
+    /// sort. Tombstoned slots are skipped: a retired ASN is edge-free by
+    /// construction (`AsnInterner::id` filters it out of every edge
+    /// list), so skipping it only drops its singleton. For an interner
+    /// that has *appended* slots the slot order is no longer globally
+    /// sorted, so group/member order is not canonical here; the one
+    /// consumer on that path (`AsOrgMapping::from_groups`) re-sorts.
     pub fn into_groups(mut self, interner: &AsnInterner) -> Vec<Vec<Asn>> {
         assert_eq!(
             self.len(),
@@ -206,6 +212,9 @@ impl DenseUnionFind {
         let mut group_of_root: Vec<u32> = vec![u32::MAX; self.len()];
         let mut groups: Vec<Vec<Asn>> = Vec::new();
         for id in 0..n {
+            if !interner.is_live(id) {
+                continue;
+            }
             let root = self.find(id) as usize;
             let slot = if group_of_root[root] == u32::MAX {
                 group_of_root[root] = groups.len() as u32;
@@ -354,6 +363,18 @@ mod tests {
         assert!(with_extra.same_set(2, 3));
         assert!(!base.same_set(2, 3), "clone must not leak back");
         assert!(base.same_set(0, 1));
+    }
+
+    #[test]
+    fn dense_groups_skip_tombstoned_slots() {
+        let mut interner = AsnInterner::new([10, 20, 30].map(a));
+        interner.retire(a(20));
+        interner.append(a(5)); // slot 3, breaking sorted slot order
+        let mut uf = DenseUnionFind::new(interner.len());
+        uf.union(interner.id(a(10)).unwrap(), interner.id(a(5)).unwrap());
+        let groups = uf.into_groups(&interner);
+        // The dead slot's singleton vanishes; appended members appear.
+        assert_eq!(groups, vec![vec![a(10), a(5)], vec![a(30)]]);
     }
 
     #[test]

@@ -91,13 +91,34 @@ pub struct GroupDecision {
     pub outcome: GroupOutcome,
 }
 
+/// One memoized step-2 classifier reply: the fingerprint of the URL
+/// list that was sent, and the parsed verdict (`named: None` is the
+/// model's "I don't know"). A memo hit replays the verdict through the
+/// unchanged framework check and skips the multimodal LLM call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaviconMemo {
+    /// [`crate::delta::favicon_urls_fp`] of the ordered canonical URL
+    /// list when the reply was obtained.
+    pub fp: u64,
+    /// The company/technology name replied, or `None` for "I don't know".
+    pub named: Option<String>,
+}
+
 /// The output of the favicon stage.
 #[derive(Debug, Clone, Default)]
 pub struct FaviconInference {
     /// Merge-evidence groups (each: ASNs inferred to share a company).
     pub groups: Vec<Vec<Asn>>,
+    /// The favicon behind each entry of `groups` (parallel vector) —
+    /// the segmentation key incremental recompilation partitions by.
+    pub group_favicons: Vec<FaviconHash>,
     /// Per-shared-favicon decision records (for Table 5 scoring).
     pub decisions: Vec<GroupDecision>,
+    /// Every step-2 verdict obtained or replayed this run, keyed by
+    /// favicon — captured on full runs too, so any run can seed `remap`.
+    pub memo: BTreeMap<FaviconHash, FaviconMemo>,
+    /// Step-2 groups answered from a prior memo instead of an LLM call.
+    pub memo_hits: usize,
     /// Counters.
     pub stats: FaviconStats,
 }
@@ -114,6 +135,19 @@ pub fn favicon_inference_with(
     report: &ScrapeReport,
     model: &dyn ChatModel,
     apply_blocklist: bool,
+) -> FaviconInference {
+    favicon_inference_memo(report, model, apply_blocklist, &BTreeMap::new())
+}
+
+/// Like [`favicon_inference_with`], consulting `memo` before each step-2
+/// call: when a favicon's URL-list fingerprint matches a memoized
+/// verdict, the verdict is replayed and no call is issued.
+/// `stats.llm_calls` counts physical calls only.
+pub fn favicon_inference_memo(
+    report: &ScrapeReport,
+    model: &dyn ChatModel,
+    apply_blocklist: bool,
+    memo: &BTreeMap<FaviconHash, FaviconMemo>,
 ) -> FaviconInference {
     let mut out = FaviconInference::default();
     let by_favicon = report.asns_by_favicon();
@@ -158,6 +192,7 @@ pub fn favicon_inference_with(
                     .flat_map(|(_, asns)| asns.iter().copied())
                     .collect();
                 out.groups.push(asns);
+                out.group_favicons.push(favicon);
                 out.stats.merged_by_step1 += 1;
                 if group.len() == by_url.len() {
                     step1_merged_everything = true;
@@ -187,43 +222,71 @@ pub fn favicon_inference_with(
             continue;
         }
 
-        // Step 2: one LLM call for the whole favicon group.
+        // Step 2: one LLM call for the whole favicon group — unless a
+        // memoized verdict for the identical URL list can be replayed.
         let urls: Vec<String> = by_url.values().map(|(u, _)| u.canonical()).collect();
-        let request = ChatRequest {
-            messages: vec![Message {
-                role: Role::User,
-                parts: vec![
-                    Content::Text(build_classifier_prompt(&urls)),
-                    Content::Image { favicon },
-                ],
-            }],
-            params: DecodingParams::deterministic(),
-        };
-        // Count the call before issuing it, so the funnel stays exact
-        // (`llm_abandoned + parsed == llm_calls`) on every path out.
-        out.stats.llm_calls += 1;
-        let reply = match model.complete(&request) {
-            Ok(reply) => reply,
-            Err(_transport) => {
-                out.stats.llm_abandoned += 1;
-                out.decisions.push(GroupDecision {
-                    favicon,
-                    urls: group_urls,
-                    asns: group_asns,
-                    step1_merged_all: false,
-                    outcome: GroupOutcome::Abandoned,
-                });
-                continue;
+        let fp = crate::delta::favicon_urls_fp(&urls);
+        let verdict = match memo.get(&favicon) {
+            Some(entry) if entry.fp == fp => {
+                out.memo_hits += 1;
+                match &entry.named {
+                    Some(name) => ClassifierReply::Name(name.clone()),
+                    None => ClassifierReply::DontKnow,
+                }
+            }
+            _ => {
+                let request = ChatRequest {
+                    messages: vec![Message {
+                        role: Role::User,
+                        parts: vec![
+                            Content::Text(build_classifier_prompt(&urls)),
+                            Content::Image { favicon },
+                        ],
+                    }],
+                    params: DecodingParams::deterministic(),
+                };
+                // Count the call before issuing it, so the funnel stays
+                // exact (`llm_abandoned + parsed == llm_calls`) on every
+                // path out.
+                out.stats.llm_calls += 1;
+                let reply = match model.complete(&request) {
+                    Ok(reply) => reply,
+                    Err(_transport) => {
+                        // Failures are never memoized: the next run
+                        // retries the call.
+                        out.stats.llm_abandoned += 1;
+                        out.decisions.push(GroupDecision {
+                            favicon,
+                            urls: group_urls,
+                            asns: group_asns,
+                            step1_merged_all: false,
+                            outcome: GroupOutcome::Abandoned,
+                        });
+                        continue;
+                    }
+                };
+                out.stats.usage += reply.usage;
+                parse_classifier_reply(&reply.text)
             }
         };
-        out.stats.usage += reply.usage;
-        let outcome = match parse_classifier_reply(&reply.text) {
+        out.memo.insert(
+            favicon,
+            FaviconMemo {
+                fp,
+                named: match &verdict {
+                    ClassifierReply::Name(name) => Some(name.clone()),
+                    ClassifierReply::DontKnow => None,
+                },
+            },
+        );
+        let outcome = match verdict {
             ClassifierReply::Name(name) => {
                 if is_framework_name(&name) {
                     out.stats.framework_rejections += 1;
                     GroupOutcome::RejectedFramework
                 } else {
                     out.groups.push(group_asns.clone());
+                    out.group_favicons.push(favicon);
                     out.stats.merged_by_llm += 1;
                     GroupOutcome::MergedByLlm
                 }
@@ -450,6 +513,66 @@ mod tests {
         assert_eq!(inf.stats.merged_by_step1, 1);
         assert_eq!(inf.stats.framework_rejections, 1);
         assert_eq!(inf.stats.dont_know, 1);
+    }
+
+    #[test]
+    fn memo_replay_skips_calls_and_reproduces_groups() {
+        let llm = SimLlm::flawless();
+        let first = favicon_inference(&report(), &llm);
+        assert_eq!(first.memo.len(), 3, "every step-2 verdict is memoized");
+        assert_eq!(first.memo_hits, 0);
+        assert_eq!(first.groups.len(), first.group_favicons.len());
+
+        let replay = favicon_inference_memo(&report(), &llm, true, &first.memo);
+        assert_eq!(replay.groups, first.groups);
+        assert_eq!(replay.group_favicons, first.group_favicons);
+        assert_eq!(replay.memo, first.memo);
+        assert_eq!(replay.memo_hits, 3);
+        assert_eq!(replay.stats.llm_calls, 0, "memo hits issue no calls");
+        // The decision trail is reproduced verbatim, framework
+        // rejections and declines included.
+        assert_eq!(replay.stats.framework_rejections, 1);
+        assert_eq!(replay.stats.dont_know, 1);
+        assert_eq!(replay.decisions.len(), first.decisions.len());
+    }
+
+    #[test]
+    fn memo_is_guarded_by_url_list_fingerprint() {
+        let llm = SimLlm::flawless();
+        let first = favicon_inference(&report(), &llm);
+
+        // Same favicon, but the Claro group gains a third URL → its
+        // memoized verdict must not be replayed.
+        let web = SimWeb::builder()
+            .page_at(
+                "www.clarochile.cl",
+                "https://www.clarochile.cl/personas/",
+                Some(icon("claro")),
+            )
+            .page_at(
+                "www.claropr.com",
+                "https://www.claropr.com/personas/",
+                Some(icon("claro")),
+            )
+            .page_at(
+                "www.clarobr.com",
+                "https://www.clarobr.com/personas/",
+                Some(icon("claro")),
+            )
+            .build();
+        let scraper = Scraper::new(SimWebClient::browser(&web));
+        let report = scraper.crawl(vec![
+            (Asn::new(3), "www.clarochile.cl"),
+            (Asn::new(4), "www.claropr.com"),
+            (Asn::new(10), "www.clarobr.com"),
+        ]);
+        let inf = favicon_inference_memo(&report, &llm, true, &first.memo);
+        assert_eq!(inf.memo_hits, 0, "grown URL list must not replay");
+        assert_eq!(inf.stats.llm_calls, 1);
+        assert_eq!(
+            inf.groups,
+            vec![vec![Asn::new(3), Asn::new(4), Asn::new(10)]]
+        );
     }
 
     #[test]

@@ -134,6 +134,59 @@ where
     .collect()
 }
 
+/// Like [`map_items`], but balances *uneven* work across workers using
+/// the caller's per-item weight estimate instead of contiguous
+/// equal-count chunks.
+///
+/// Contiguous chunking is optimal when items cost roughly the same; it
+/// degrades badly when cost is skewed (e.g. mapping materialization,
+/// where `ALL` unions every edge list and `NONE` only clones the base
+/// forest) — the worker that drew the heavy chunk finishes last while
+/// the rest idle. This helper assigns items to workers with the classic
+/// LPT (longest-processing-time-first) greedy: items are considered in
+/// descending weight (ties broken by input index, so the assignment is
+/// deterministic), each going to the currently least-loaded worker
+/// (ties to the lowest worker id). Every worker then processes its
+/// items in *input order*, and results are returned in input order —
+/// callers cannot observe the scheduling, only the wall-clock.
+pub fn map_items_weighted<'a, T, R, F, W>(items: &'a [T], threads: usize, weight: W, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+    W: Fn(&T) -> u64,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    // LPT assignment: heaviest first onto the least-loaded worker.
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by_key(|&i| (std::cmp::Reverse(weight(&items[i])), i));
+    let mut loads: Vec<u64> = vec![0; threads];
+    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); threads];
+    for i in order {
+        let worker = (0..threads)
+            .min_by_key(|&w| (loads[w], w))
+            .expect("at least one worker");
+        loads[worker] += weight(&items[i]);
+        assignment[worker].push(i);
+    }
+    // Per-worker input order keeps any per-worker side effects (none in
+    // the workspace today) as predictable as the contiguous splitter's.
+    for worker in &mut assignment {
+        worker.sort_unstable();
+    }
+    let per_worker: Vec<Vec<(usize, R)>> = map_items(&assignment, threads, |indices| {
+        indices.iter().map(|&i| (i, f(&items[i]))).collect()
+    });
+    let mut slots: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
+    for (i, result) in per_worker.into_iter().flatten() {
+        slots[i] = Some(result);
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every input index is assigned exactly once"))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +276,70 @@ mod tests {
             }
             *x
         });
+    }
+
+    #[test]
+    fn weighted_results_match_sequential_in_input_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = items.iter().map(|x| x * 3).collect();
+        for threads in [1, 2, 3, 7, 64] {
+            // Strongly skewed weights must not perturb result order.
+            let out = map_items_weighted(&items, threads, |&x| x * x, |x| x * 3);
+            assert_eq!(out, expected, "diverged with {threads} threads");
+        }
+    }
+
+    #[test]
+    fn weighted_assignment_balances_skewed_loads() {
+        // One huge item plus many small ones: contiguous chunking puts
+        // the giant with a third of the small items on one worker; LPT
+        // gives it a worker almost to itself.
+        let weights: Vec<u64> = std::iter::once(1000u64)
+            .chain((0..99).map(|_| 10))
+            .collect();
+        let threads = 4;
+        // Replay the LPT assignment the helper documents and check the
+        // resulting load spread.
+        let mut order: Vec<usize> = (0..weights.len()).collect();
+        order.sort_by_key(|&i| (std::cmp::Reverse(weights[i]), i));
+        let mut loads = vec![0u64; threads];
+        for i in order {
+            let w = (0..threads).min_by_key(|&w| (loads[w], w)).unwrap();
+            loads[w] += weights[i];
+        }
+        let heaviest = *loads.iter().max().unwrap();
+        let total: u64 = weights.iter().sum();
+        assert!(
+            heaviest <= 1000 + 10,
+            "LPT keeps the giant nearly alone: {loads:?}"
+        );
+        assert!(heaviest * threads as u64 <= total * 3, "{loads:?}");
+        // And the helper still evaluates every item exactly once, with
+        // results in input order.
+        let evaluated = AtomicUsize::new(0);
+        let out = map_items_weighted(
+            &weights,
+            threads,
+            |&w| w,
+            |&w| {
+                evaluated.fetch_add(1, Ordering::Relaxed);
+                w
+            },
+        );
+        assert_eq!(out, weights);
+        assert_eq!(evaluated.load(Ordering::Relaxed), weights.len());
+    }
+
+    #[test]
+    fn weighted_handles_degenerate_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = map_items_weighted(&empty, 8, |_| 1, |x| *x);
+        assert!(out.is_empty());
+        assert_eq!(
+            map_items_weighted(&[9u32], 0, |_| 0, |x| x + 1),
+            vec![10],
+            "zero threads and zero weights clamp safely"
+        );
     }
 
     #[test]

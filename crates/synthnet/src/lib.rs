@@ -43,6 +43,7 @@
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod churn;
 pub mod config;
 pub mod dist;
 pub mod evolve;
@@ -54,6 +55,7 @@ pub mod scripted;
 pub mod textgen;
 pub mod topogen;
 
+pub use churn::{churn, ChurnReport};
 pub use config::GeneratorConfig;
 pub use evolve::{EvolutionEvent, EvolveError};
 pub use generate::{PopulationRecord, SyntheticInternet};

@@ -32,8 +32,9 @@ pub use metrics::{
     DURATION_BUCKETS_MS,
 };
 pub use report::{
-    BreakerEvent, CacheReport, CacheStats, CoverageRow, CrawlFunnel, EvidenceSummary,
-    FaviconFunnel, NerFunnel, ResilienceRow, RrFunnel, RunReport, WorkerTiming, RUN_REPORT_SCHEMA,
+    BreakerEvent, CacheReport, CacheStats, CoverageRow, CrawlFunnel, DeltaEdgeRow, DeltaRecordRow,
+    DeltaReport, EvidenceSummary, FaviconFunnel, NerFunnel, ResilienceRow, RrFunnel, RunReport,
+    WorkerTiming, RUN_REPORT_SCHEMA,
 };
 pub use span::{
     canonicalize, to_jsonl, CanonicalSpan, Span, SpanField, SpanKind, SpanRecord, TraceSink,

@@ -18,7 +18,8 @@ use crate::metrics::MetricsSnapshot;
 use serde::{Deserialize, Serialize};
 
 /// Schema tag stamped into every report; bump on breaking shape changes.
-pub const RUN_REPORT_SCHEMA: &str = "borges.run_report.v1";
+/// v2 added the [`DeltaReport`] row group for incremental re-mapping.
+pub const RUN_REPORT_SCHEMA: &str = "borges.run_report.v2";
 
 /// The crawl funnel (mirror of `ScrapeStats`, sans resilience).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -128,6 +129,77 @@ pub struct EvidenceSummary {
     pub favicon_groups: u64,
     /// NER subject→sibling links.
     pub ner_links: u64,
+}
+
+/// One source's record-delta classification row (incremental runs).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeltaRecordRow {
+    /// Input source (`whois_org`, `whois_aut`, `pdb_org`, `pdb_net`,
+    /// `site`).
+    pub source: String,
+    /// Records with an unchanged fingerprint.
+    pub unchanged: u64,
+    /// Records present only in the new snapshot.
+    pub added: u64,
+    /// Records present only in the old snapshot.
+    pub removed: u64,
+    /// Records present in both with a moved fingerprint.
+    pub modified: u64,
+}
+
+/// One feature's edge-segment reuse row (incremental runs).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeltaEdgeRow {
+    /// Evidence feature (`oid_w`, `oid_p`, `na`, `rr`, `favicons`).
+    pub feature: String,
+    /// Segments reused verbatim from the persisted state.
+    pub segments_retained: u64,
+    /// Segments re-derived (new key, or member partition moved).
+    pub segments_rederived: u64,
+    /// Dense edges carried over without recomputation.
+    pub edges_retained: u64,
+    /// Dense edges freshly derived.
+    pub edges_rederived: u64,
+}
+
+/// The incremental-remap row group: what the delta engine classified,
+/// reused and re-derived. On full runs this is the inert default
+/// (`incremental: false`, empty rows) so the ledger shape is identical
+/// across pipelines. Wall-clock savings are deliberately absent: the
+/// ledger must stay byte-deterministic under a simulated clock, so
+/// speedups are measured by the remap benchmark, not recorded here.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeltaReport {
+    /// Whether this run was an incremental remap.
+    pub incremental: bool,
+    /// Per-source record classification, fixed order.
+    pub records: Vec<DeltaRecordRow>,
+    /// Per-feature segment reuse, fixed order.
+    pub edges: Vec<DeltaEdgeRow>,
+    /// Interner slots carried over alive.
+    pub asns_retained: u64,
+    /// ASNs appended (new, or resurrected tombstones).
+    pub asns_added: u64,
+    /// Slots tombstoned because the ASN left the universe.
+    pub asns_retired: u64,
+    /// NER extractions replayed from the memo.
+    pub ner_reused: u64,
+    /// NER extractions that required a physical LLM call.
+    pub ner_recomputed: u64,
+    /// Favicon verdicts replayed from the memo.
+    pub favicon_reused: u64,
+    /// Favicon verdicts that required a physical LLM call.
+    pub favicon_recomputed: u64,
+    /// Physical LLM calls avoided via memo replay.
+    pub llm_calls_saved: u64,
+}
+
+impl DeltaReport {
+    /// Whether every record row balances against its edge accounting —
+    /// trivially true on full runs (no rows).
+    pub fn consistent(&self) -> bool {
+        self.llm_calls_saved == self.ner_reused + self.favicon_reused
+    }
 }
 
 /// One row of the per-feature coverage ledger.
@@ -263,6 +335,8 @@ pub struct RunReport {
     pub favicon: FaviconFunnel,
     /// Compiled evidence base sizes.
     pub evidence: EvidenceSummary,
+    /// Incremental-remap delta accounting (inert default on full runs).
+    pub delta: DeltaReport,
     /// Per-feature coverage ledger.
     pub coverage: Vec<CoverageRow>,
     /// Per-boundary retry/breaker accounting.
@@ -406,7 +480,7 @@ mod tests {
         // The schema tag and every top-level section appear, in
         // declaration order (the vendored writer preserves field order).
         let keys = [
-            "\"schema\": \"borges.run_report.v1\"",
+            "\"schema\": \"borges.run_report.v2\"",
             "\"pipeline\"",
             "\"threads\"",
             "\"crawl\"",
@@ -414,6 +488,7 @@ mod tests {
             "\"ner\"",
             "\"favicon\"",
             "\"evidence\"",
+            "\"delta\"",
             "\"coverage\"",
             "\"resilience\"",
             "\"caches\"",

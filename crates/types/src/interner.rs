@@ -7,24 +7,39 @@
 //! `Vec` storage instead of `BTreeMap<Asn, _>` trees: no per-lookup
 //! tree walks, no allocation after construction, and cheap cloning for
 //! fan-out across threads.
+//!
+//! For *snapshot sequences* the universe is fixed per snapshot but
+//! drifts between snapshots: allocations appear, others are returned.
+//! Incremental re-mapping needs the ids of surviving ASNs to stay
+//! stable across snapshots so compiled edge lists survive verbatim, so
+//! the interner supports **append-only evolution**: [`AsnInterner::retire`]
+//! tombstones a slot without moving any id, and [`AsnInterner::append`]
+//! either resurrects a tombstoned slot (same id as before) or allocates
+//! the next fresh id. Dead slots answer `id() == None`, which is exactly
+//! how out-of-universe evidence is discarded everywhere downstream.
 
 use crate::Asn;
 use std::collections::HashMap;
 
-/// A bijection between a sorted ASN universe and `0..len()` ids.
+/// A bijection between an ASN universe and dense `u32` ids, with
+/// append-only evolution across snapshots.
 ///
-/// Ids are assigned in ascending ASN order, so iterating ids `0..len()`
-/// visits the universe in sorted order — assembly code relies on this
-/// to produce canonically ordered groups without re-sorting members.
+/// For a freshly built interner ids are assigned in ascending ASN
+/// order, so iterating ids `0..len()` visits the universe in sorted
+/// order — assembly code relies on this to produce canonically ordered
+/// groups without re-sorting members. After [`AsnInterner::append`] the
+/// slot order is ascending-then-appended; consumers that need a sorted
+/// universe use [`AsnInterner::live_asns`].
 #[derive(Debug, Clone, Default)]
 pub struct AsnInterner {
     asns: Vec<Asn>,
+    live: Vec<bool>,
     index: HashMap<Asn, u32>,
 }
 
 impl AsnInterner {
     /// Builds an interner over `universe` (sorted and de-duplicated
-    /// internally; input order does not matter).
+    /// internally; input order does not matter). Every slot is live.
     pub fn new(universe: impl IntoIterator<Item = Asn>) -> Self {
         let mut asns: Vec<Asn> = universe.into_iter().collect();
         asns.sort_unstable();
@@ -38,20 +53,50 @@ impl AsnInterner {
             .enumerate()
             .map(|(i, &asn)| (asn, i as u32))
             .collect();
-        AsnInterner { asns, index }
+        let live = vec![true; asns.len()];
+        AsnInterner { asns, live, index }
     }
 
-    /// The dense id of `asn`, or `None` when it is outside the universe.
+    /// Rebuilds an interner from persisted `(asn, live)` slots in slot
+    /// (id) order — the inverse of [`AsnInterner::slots`].
+    ///
+    /// # Panics
+    /// If two slots carry the same ASN (a corrupted state file).
+    pub fn from_slots(slots: impl IntoIterator<Item = (Asn, bool)>) -> Self {
+        let mut asns = Vec::new();
+        let mut live = Vec::new();
+        let mut index = HashMap::new();
+        for (asn, alive) in slots {
+            let id = asns.len() as u32;
+            assert!(
+                index.insert(asn, id).is_none(),
+                "duplicate slot for {asn} in interner state"
+            );
+            asns.push(asn);
+            live.push(alive);
+        }
+        assert!(
+            asns.len() <= u32::MAX as usize,
+            "ASN universe exceeds u32 id space"
+        );
+        AsnInterner { asns, live, index }
+    }
+
+    /// The dense id of `asn`, or `None` when it is outside the (live)
+    /// universe — unknown or tombstoned.
     ///
     /// A `None` here is how evidence about never-allocated ASNs (e.g. an
     /// extraction false positive reading a year as an ASN) gets
     /// discarded before it can pollute a mapping.
     #[inline]
     pub fn id(&self, asn: Asn) -> Option<u32> {
-        self.index.get(&asn).copied()
+        match self.index.get(&asn) {
+            Some(&id) if self.live[id as usize] => Some(id),
+            _ => None,
+        }
     }
 
-    /// The ASN with dense id `id`.
+    /// The ASN with dense id `id` (live or tombstoned).
     ///
     /// # Panics
     /// If `id >= len()` — ids only come from [`AsnInterner::id`], so an
@@ -61,25 +106,86 @@ impl AsnInterner {
         self.asns[id as usize]
     }
 
-    /// `true` when `asn` belongs to the universe.
+    /// `true` when `asn` belongs to the live universe.
     #[inline]
     pub fn contains(&self, asn: Asn) -> bool {
-        self.index.contains_key(&asn)
+        self.id(asn).is_some()
     }
 
-    /// Universe size.
+    /// `true` when slot `id` is live (not tombstoned).
+    #[inline]
+    pub fn is_live(&self, id: u32) -> bool {
+        self.live[id as usize]
+    }
+
+    /// Ensures `asn` is live, preserving ids: a tombstoned slot is
+    /// resurrected with its old id, an unknown ASN gets the next fresh
+    /// id. Returns the slot id.
+    pub fn append(&mut self, asn: Asn) -> u32 {
+        if let Some(&id) = self.index.get(&asn) {
+            self.live[id as usize] = true;
+            return id;
+        }
+        let id = self.asns.len();
+        assert!(id < u32::MAX as usize, "ASN universe exceeds u32 id space");
+        self.asns.push(asn);
+        self.live.push(true);
+        self.index.insert(asn, id as u32);
+        id as u32
+    }
+
+    /// Tombstones `asn`: its slot (and id) is retained but it leaves
+    /// the live universe. Returns `true` when a live slot was retired.
+    pub fn retire(&mut self, asn: Asn) -> bool {
+        match self.index.get(&asn) {
+            Some(&id) if self.live[id as usize] => {
+                self.live[id as usize] = false;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Total slot count, including tombstones — the id space size dense
+    /// structures must be sized for.
     pub fn len(&self) -> usize {
         self.asns.len()
     }
 
-    /// `true` for an empty universe.
+    /// `true` when there are no slots at all.
     pub fn is_empty(&self) -> bool {
         self.asns.is_empty()
     }
 
-    /// The universe in ascending ASN order (id order).
+    /// Number of live slots.
+    pub fn live_len(&self) -> usize {
+        self.live.iter().filter(|&&l| l).count()
+    }
+
+    /// All slots in id order (live and tombstoned). For a freshly built
+    /// interner this is the universe in ascending ASN order; after
+    /// appends/retires use [`AsnInterner::live_asns`] for the universe.
     pub fn asns(&self) -> &[Asn] {
         &self.asns
+    }
+
+    /// The live universe in ascending ASN order (re-sorted, since
+    /// appended slots break slot-order monotonicity).
+    pub fn live_asns(&self) -> Vec<Asn> {
+        let mut out: Vec<Asn> = self
+            .asns
+            .iter()
+            .zip(&self.live)
+            .filter(|(_, &l)| l)
+            .map(|(&a, _)| a)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// All `(asn, live)` slots in id order, for persistence.
+    pub fn slots(&self) -> impl Iterator<Item = (Asn, bool)> + '_ {
+        self.asns.iter().copied().zip(self.live.iter().copied())
     }
 }
 
@@ -127,5 +233,73 @@ mod tests {
         let interner = AsnInterner::new([]);
         assert!(interner.is_empty());
         assert_eq!(interner.id(Asn::new(1)), None);
+    }
+
+    #[test]
+    fn retire_tombstones_without_moving_ids() {
+        let mut interner = AsnInterner::new([10, 20, 30].map(Asn::new));
+        assert!(interner.retire(Asn::new(20)));
+        assert!(!interner.retire(Asn::new(20)), "already dead");
+        assert!(!interner.retire(Asn::new(99)), "never existed");
+        // Dead slots answer no id and drop out of the live universe…
+        assert_eq!(interner.id(Asn::new(20)), None);
+        assert!(!interner.contains(Asn::new(20)));
+        assert_eq!(interner.live_asns(), vec![Asn::new(10), Asn::new(30)]);
+        assert_eq!(interner.live_len(), 2);
+        // …but the slot (and every other id) is untouched.
+        assert_eq!(interner.len(), 3);
+        assert_eq!(interner.asn(1), Asn::new(20));
+        assert!(!interner.is_live(1));
+        assert_eq!(interner.id(Asn::new(30)), Some(2));
+    }
+
+    #[test]
+    fn append_resurrects_or_extends() {
+        let mut interner = AsnInterner::new([10, 20].map(Asn::new));
+        interner.retire(Asn::new(10));
+        // Resurrection restores the original id.
+        assert_eq!(interner.append(Asn::new(10)), 0);
+        assert_eq!(interner.id(Asn::new(10)), Some(0));
+        // A genuinely new ASN extends the id space.
+        assert_eq!(interner.append(Asn::new(5)), 2);
+        assert_eq!(interner.id(Asn::new(5)), Some(2));
+        assert_eq!(interner.len(), 3);
+        // Appending a live member is a no-op returning its id.
+        assert_eq!(interner.append(Asn::new(20)), 1);
+        assert_eq!(interner.len(), 3);
+        // live_asns re-sorts across the appended slot.
+        assert_eq!(
+            interner.live_asns(),
+            vec![Asn::new(5), Asn::new(10), Asn::new(20)]
+        );
+    }
+
+    #[test]
+    fn slots_roundtrip_through_from_slots() {
+        let mut interner = AsnInterner::new([10, 20, 30].map(Asn::new));
+        interner.retire(Asn::new(20));
+        interner.append(Asn::new(7));
+        let slots: Vec<(Asn, bool)> = interner.slots().collect();
+        assert_eq!(
+            slots,
+            vec![
+                (Asn::new(10), true),
+                (Asn::new(20), false),
+                (Asn::new(30), true),
+                (Asn::new(7), true),
+            ]
+        );
+        let back = AsnInterner::from_slots(slots);
+        assert_eq!(back.len(), interner.len());
+        assert_eq!(back.live_asns(), interner.live_asns());
+        assert_eq!(back.id(Asn::new(7)), Some(3));
+        assert_eq!(back.id(Asn::new(20)), None);
+        assert_eq!(back.asn(1), Asn::new(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate slot")]
+    fn from_slots_rejects_duplicates() {
+        AsnInterner::from_slots(vec![(Asn::new(1), true), (Asn::new(1), false)]);
     }
 }
