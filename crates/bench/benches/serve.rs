@@ -1,0 +1,108 @@
+//! Serving-layer loopback sweep: request throughput through the full
+//! stack — accept queue, worker pool, routing, JSON render — over real
+//! `127.0.0.1` sockets, across client counts (1 / 4 / 16) and cache
+//! temperature (cold: LRU disabled, every `/v1/map` request
+//! re-materializes the mapping; warm: LRU capacity 16, every feature
+//! subset served from cache after the first hit).
+//!
+//! The cold/warm gap isolates the cost the [`MappingCache`] exists to
+//! amortize: mapping materialization over the medium (~11k ASN) world.
+//! The client-count sweep shows how the fixed worker pool scales on
+//! loopback, where the per-request network cost is near zero and the
+//! measured time is parse + route + render + syscall overhead.
+//!
+//! Each iteration runs `clients × REQUESTS_PER_CLIENT` round trips:
+//! every client thread opens a fresh connection per request (the server
+//! speaks one request per connection) and walks a rotating probe list
+//! covering map lookups across feature subsets, org rosters, evidence
+//! pairs, coverage, and health.
+//!
+//! The host CPU count is printed at startup so recorded baselines are
+//! interpretable without trusting a hand-written note.
+//!
+//! [`MappingCache`]: borges_serve::MappingCache
+
+use borges_bench::medium_pipeline;
+use borges_serve::{ServeClient, Server, ServerConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+/// Round trips each client thread performs per iteration.
+const REQUESTS_PER_CLIENT: usize = 8;
+
+/// The rotating request mix. Feature subsets deliberately vary so the
+/// cold server re-materializes distinct mappings while the warm one
+/// holds them all (LRU capacity 16 > 6 distinct subsets).
+const PROBES: &[&str] = &[
+    "/v1/map/AS3356",
+    "/v1/map/AS3356?features=none",
+    "/v1/map/AS174?features=oid_p,rr",
+    "/v1/org/AS3356?features=na,favicons",
+    "/v1/evidence/AS3356/AS209",
+    "/v1/coverage",
+    "/healthz",
+    "/v1/map/AS701?features=na,rr",
+];
+
+fn start_server(lru_capacity: usize) -> Server {
+    let config = ServerConfig {
+        threads: 8,
+        queue_depth: 1024,
+        lru_capacity,
+        read_timeout: Duration::from_secs(5),
+        ..ServerConfig::default()
+    };
+    Server::start(config, medium_pipeline().clone(), None).expect("bind loopback")
+}
+
+fn bench_serve(c: &mut Criterion) {
+    eprintln!(
+        "bench host: {} CPU(s) online",
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    );
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+
+    for &clients in &[1usize, 4, 16] {
+        for (mode, lru_capacity) in [("cold", 0usize), ("warm", 16)] {
+            let server = start_server(lru_capacity);
+            let addr = server.local_addr();
+            if lru_capacity > 0 {
+                // Pre-warm every probe so the warm leg measures steady
+                // state, not the first-touch materializations.
+                let client = ServeClient::new(addr);
+                for probe in PROBES {
+                    let response = client.get(probe).expect("warmup request");
+                    assert_eq!(response.status, 200, "warmup {probe}");
+                }
+            }
+            // One iteration = clients × REQUESTS_PER_CLIENT round trips;
+            // divide the reported time accordingly for per-request cost.
+            group.bench_function(&format!("{clients}_clients_{mode}"), |b| {
+                b.iter(|| {
+                    let workers: Vec<_> = (0..clients)
+                        .map(|offset| {
+                            std::thread::spawn(move || {
+                                let client =
+                                    ServeClient::new(addr).with_timeout(Duration::from_secs(60));
+                                for step in 0..REQUESTS_PER_CLIENT {
+                                    let probe = PROBES[(offset + step) % PROBES.len()];
+                                    let response = client.get(probe).expect("bench request");
+                                    assert_eq!(response.status, 200, "{probe}");
+                                }
+                            })
+                        })
+                        .collect();
+                    for worker in workers {
+                        worker.join().expect("client thread");
+                    }
+                })
+            });
+            server.stop();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

@@ -9,6 +9,7 @@ use borges_core::pipeline::{Borges, FeatureSet};
 use borges_core::{AsOrgMapping, SnapshotState};
 use borges_llm::{CachingModel, FlakyModel, SimLlm};
 use borges_resilience::{EpisodePlan, RetryPolicy};
+use borges_serve::{Reloader, Server, ServerConfig};
 use borges_synthnet::io::{save, DatasetBundle};
 use borges_synthnet::{GeneratorConfig, SyntheticInternet};
 use borges_telemetry::{CacheReport, Telemetry, Verbosity};
@@ -53,6 +54,21 @@ USAGE:
       untouched fingerprints are reused verbatim. The mapping written
       is byte-identical to a full `map` of the same bundle. --out-state
       persists the updated state so remaps chain across snapshots.
+  borges serve --data DIR [--addr HOST:PORT] [--threads N] [--queue-depth N]
+               [--lru N] [--seed N] [--addr-file FILE]
+      Serve mappings over HTTP from an in-memory compiled pipeline.
+      Endpoints: /v1/map/{asn}?features=..., /v1/org/{asn},
+      /v1/evidence/{a}/{b}, /v1/coverage, /healthz, /metrics, and
+      POST /v1/admin/reload (re-crawl + incremental remap, zero
+      downtime) / POST /v1/admin/shutdown (graceful drain).
+      --addr defaults to 127.0.0.1:8080; port 0 picks an ephemeral
+      port. --threads N fixed worker threads (default: available
+      parallelism); --queue-depth N bounds the accept queue (default
+      64) — overflow is shed with 503 + Retry-After; --lru N caches
+      that many materialized feature subsets per world (default 16;
+      0 disables). --addr-file writes the bound address once
+      listening (for scripts using port 0). Runs until shutdown,
+      then prints the request ledger.
   borges eval --data DIR --mapping FILE [--mapping FILE ...]
       Organization Factor (and, with an oracle, precision/recall) per mapping.
   borges inspect --data DIR --mapping FILE --asn N
@@ -78,6 +94,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "generate" => generate(&opts),
         "map" => map(&opts),
         "remap" => remap(&opts),
+        "serve" => serve(&opts),
         "eval" => eval(&opts),
         "inspect" => inspect(&opts),
         "diff" => diff_cmd(&opts),
@@ -130,26 +147,23 @@ fn generate(opts: &Options) -> Result<String, CliError> {
 }
 
 fn parse_features(spec: &str) -> Result<FeatureSet, CliError> {
-    match spec {
-        "all" => return Ok(FeatureSet::ALL),
-        "none" => return Ok(FeatureSet::NONE),
-        _ => {}
+    FeatureSet::parse(spec).map_err(CliError::Usage)
+}
+
+/// `--threads`, defaulting to the machine's parallelism. Zero is a
+/// usage error everywhere it appears: zero workers would run nothing.
+fn parse_threads(opts: &Options) -> Result<usize, CliError> {
+    match opts.optional("threads")? {
+        Some(t) => match t.parse::<usize>() {
+            Ok(0) => Err(CliError::Usage(
+                "--threads 0 would run no workers; pass 1 or more (or omit for the default)"
+                    .to_string(),
+            )),
+            Ok(n) => Ok(n),
+            Err(_) => Err(CliError::Usage(format!("--threads {t:?} is not a number"))),
+        },
+        None => Ok(borges_parallel::default_threads()),
     }
-    let mut features = FeatureSet::NONE;
-    for token in spec.split(',') {
-        match token.trim() {
-            "oid_p" => features.oid_p = true,
-            "na" | "notes-aka" => features.na = true,
-            "rr" => features.rr = true,
-            "favicons" | "f" => features.favicons = true,
-            other => {
-                return Err(CliError::Usage(format!(
-                    "unknown feature {other:?} (expected oid_p, na, rr, favicons)"
-                )))
-            }
-        }
-    }
-    Ok(features)
 }
 
 /// The `map` command's resilience knobs, parsed from
@@ -249,12 +263,7 @@ fn map(opts: &Options) -> Result<String, CliError> {
     let features = parse_features(opts.optional("features")?.unwrap_or("all"))?;
     let seed = seed_of(opts)?;
     let chaos = chaos_opts(opts)?;
-    let threads: usize = match opts.optional("threads")? {
-        Some(t) => t
-            .parse()
-            .map_err(|_| CliError::Usage(format!("--threads {t:?} is not a number")))?,
-        None => borges_parallel::default_threads(),
-    };
+    let threads = parse_threads(opts)?;
     let trace_out = opts.optional("trace-out")?;
     let metrics_out = opts.optional("metrics-out")?;
     let report_out = opts.optional("report-out")?;
@@ -415,12 +424,7 @@ fn remap(opts: &Options) -> Result<String, CliError> {
     let out = opts.required("out")?;
     let features = parse_features(opts.optional("features")?.unwrap_or("all"))?;
     let seed = seed_of(opts)?;
-    let threads: usize = match opts.optional("threads")? {
-        Some(t) => t
-            .parse()
-            .map_err(|_| CliError::Usage(format!("--threads {t:?} is not a number")))?,
-        None => borges_parallel::default_threads(),
-    };
+    let threads = parse_threads(opts)?;
     let trace_out = opts.optional("trace-out")?;
     let metrics_out = opts.optional("metrics-out")?;
     let report_out = opts.optional("report-out")?;
@@ -497,6 +501,109 @@ fn remap(opts: &Options) -> Result<String, CliError> {
         segments_retained,
         edges_retained,
         d.llm_calls_saved()
+    ))
+}
+
+/// A small non-negative integer flag with a default and a floor.
+fn parse_count(opts: &Options, flag: &str, default: usize, min: usize) -> Result<usize, CliError> {
+    match opts.optional(flag)? {
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(n) if n >= min => Ok(n),
+            Ok(n) => Err(CliError::Usage(format!("--{flag} {n} must be >= {min}"))),
+            Err(_) => Err(CliError::Usage(format!("--{flag} {raw:?} is not a number"))),
+        },
+        None => Ok(default),
+    }
+}
+
+fn serve(opts: &Options) -> Result<String, CliError> {
+    opts.allow_only(&[
+        "data",
+        "addr",
+        "threads",
+        "queue-depth",
+        "lru",
+        "seed",
+        "addr-file",
+        "v",
+        "q",
+    ])?;
+    let data = opts.required("data")?.to_string();
+    let addr = opts
+        .optional("addr")?
+        .unwrap_or("127.0.0.1:8080")
+        .to_string();
+    let threads = parse_threads(opts)?;
+    let queue_depth = parse_count(opts, "queue-depth", 64, 1)?;
+    let lru = parse_count(opts, "lru", 16, 0)?;
+    let seed = seed_of(opts)?;
+    let narrator = borges_telemetry::Narrator::new(verbosity_of(opts));
+
+    narrator.verbose(format!("loading bundle from {data}"));
+    let bundle = DatasetBundle::load(Path::new(&data)).map_err(CliError::failed)?;
+    let llm = CachingModel::new(SimLlm::new(seed));
+    narrator.verbose(format!("compiling pipeline over {threads} threads"));
+    let borges = if threads > 1 {
+        Borges::run_parallel(
+            &bundle.whois,
+            &bundle.pdb,
+            SimWebClient::browser(&bundle.web),
+            &llm,
+            threads,
+        )
+    } else {
+        Borges::run(
+            &bundle.whois,
+            &bundle.pdb,
+            SimWebClient::browser(&bundle.web),
+            &llm,
+        )
+    };
+
+    // `POST /v1/admin/reload` re-reads the bundle directory (which may
+    // hold snapshot T+1 by then), re-crawls, and incrementally remaps
+    // against the serving pipeline's own snapshot state — the PR 4
+    // byte-identical contract is what makes the swapped world
+    // indistinguishable from a cold start on the new data.
+    let reloader: Reloader = {
+        let data = data.clone();
+        Box::new(move |current: &Borges| {
+            let bundle = DatasetBundle::load(Path::new(&data)).map_err(|e| e.to_string())?;
+            let llm = CachingModel::new(SimLlm::new(seed));
+            let scraper = borges_websim::Scraper::new(SimWebClient::browser(&bundle.web));
+            let report = scraper.crawl(bundle.pdb.nets().map(|n| (n.asn, n.website.as_str())));
+            Ok(Borges::remap(
+                &bundle.whois,
+                &bundle.pdb,
+                &report,
+                &llm,
+                borges_core::ner::NerConfig::default(),
+                &current.snapshot_state(),
+            ))
+        })
+    };
+
+    let config = ServerConfig {
+        addr,
+        threads,
+        queue_depth,
+        lru_capacity: lru,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(config, borges, Some(reloader)).map_err(CliError::failed)?;
+    let local = server.local_addr();
+    if let Some(path) = opts.optional("addr-file")? {
+        std::fs::write(path, format!("{local}\n")).map_err(|e| CliError::Failed(Box::new(e)))?;
+    }
+    narrator.verbose(format!(
+        "serving on http://{local} ({threads} workers, queue depth {queue_depth}, lru {lru})"
+    ));
+    let ledger = server.wait();
+    Ok(format!(
+        "served {} request(s), shed {}, accepted {} — shut down cleanly\n",
+        ledger.counter("borges_serve_served_total"),
+        ledger.counter("borges_serve_shed_total"),
+        ledger.counter("borges_serve_accepted_total"),
     ))
 }
 
@@ -608,11 +715,15 @@ fn truth_scores(bundle: &DatasetBundle, mapping: &AsOrgMapping) -> (f64, f64) {
 fn inspect(opts: &Options) -> Result<String, CliError> {
     opts.allow_only(&["data", "mapping", "asn", "v", "q"])?;
     let data = opts.required("data")?;
+    // Validate the ASN before touching any file: a typo'd --asn should
+    // fail fast with a usage error, not after a mapping load.
+    let raw_asn = opts.required("asn")?;
+    let asn: Asn = raw_asn.parse().map_err(|_| {
+        CliError::Usage(format!(
+            "--asn {raw_asn:?} is not an ASN (expected AS<digits> or <digits>)"
+        ))
+    })?;
     let mapping = load_mapping(opts.required("mapping")?)?;
-    let asn: Asn = opts
-        .required("asn")?
-        .parse()
-        .map_err(|_| CliError::Usage("--asn must be a number or AS<number>".to_string()))?;
 
     let bundle = DatasetBundle::load(Path::new(data)).map_err(CliError::failed)?;
     let namer = OrgNamer::new(&bundle.pdb, &bundle.whois);
@@ -1152,6 +1263,155 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("universe"), "stdout report survives -q");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_threads_is_a_usage_error_everywhere() {
+        for cmd in [
+            vec!["map", "--data", "x", "--out", "y", "--threads", "0"],
+            vec![
+                "remap",
+                "--data",
+                "x",
+                "--base-state",
+                "s",
+                "--out",
+                "y",
+                "--threads",
+                "0",
+            ],
+            vec!["serve", "--data", "x", "--threads", "0"],
+        ] {
+            let err = run(&args(&cmd)).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{cmd:?} → {err}");
+            assert!(err.to_string().contains("--threads 0"), "{err}");
+        }
+    }
+
+    #[test]
+    fn unknown_feature_labels_are_usage_errors() {
+        for cmd in [
+            vec!["map", "--data", "x", "--out", "y", "--features", "bogus"],
+            vec![
+                "remap",
+                "--data",
+                "x",
+                "--base-state",
+                "s",
+                "--out",
+                "y",
+                "--features",
+                "oid_p,wrong",
+            ],
+        ] {
+            let err = run(&args(&cmd)).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{cmd:?} → {err}");
+            assert!(err.to_string().contains("unknown feature"), "{err}");
+        }
+    }
+
+    #[test]
+    fn unparseable_asns_are_usage_errors_before_any_io() {
+        // Paths are deliberately nonexistent: the ASN must be rejected
+        // before the command tries to open anything.
+        let err = run(&args(&[
+            "inspect",
+            "--data",
+            "/no/such/data",
+            "--mapping",
+            "/no/such/mapping",
+            "--asn",
+            "ASxyz",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        assert!(err.to_string().contains("ASxyz"), "{err}");
+    }
+
+    #[test]
+    fn serve_flag_validation() {
+        for cmd in [
+            vec!["serve", "--data", "x", "--queue-depth", "0"],
+            vec!["serve", "--data", "x", "--queue-depth", "nope"],
+            vec!["serve", "--data", "x", "--lru", "-3"],
+        ] {
+            let err = run(&args(&cmd)).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{cmd:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn serve_round_trip_serves_reloads_and_shuts_down() {
+        let dir = tmpdir("serve");
+        let data = dir.join("world");
+        run(&args(&[
+            "generate",
+            "--out",
+            data.to_str().unwrap(),
+            "--scale",
+            "tiny",
+            "--seed",
+            "5",
+            "-q",
+        ]))
+        .unwrap();
+
+        let addr_file = dir.join("addr");
+        let data_arg = data.to_str().unwrap().to_string();
+        let addr_file_arg = addr_file.to_str().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            run(&args(&[
+                "serve",
+                "--data",
+                &data_arg,
+                "--addr",
+                "127.0.0.1:0",
+                "--threads",
+                "2",
+                "--addr-file",
+                &addr_file_arg,
+                "-q",
+            ]))
+        });
+
+        // The addr file appears once the listener is bound; the
+        // trailing newline marks a complete write.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+        let addr: std::net::SocketAddr = loop {
+            if let Ok(text) = std::fs::read_to_string(&addr_file) {
+                if text.ends_with('\n') {
+                    break text.trim().parse().unwrap();
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "server never wrote its address"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+
+        let client = borges_serve::ServeClient::new(addr);
+        let health = client.get("/healthz").unwrap();
+        assert_eq!(health.status, 200);
+        assert!(health.body_text().contains("\"epoch\":0"), "{health:?}");
+
+        let map = client.get("/v1/map/AS3356?features=all").unwrap();
+        assert_eq!(map.status, 200);
+        assert!(map.body_text().contains("\"asn\":\"AS3356\""), "{map:?}");
+
+        // Reload against the unchanged bundle: the remap contract makes
+        // the swapped world identical, but the epoch must advance.
+        let reload = client.post("/v1/admin/reload", b"").unwrap();
+        assert_eq!(reload.status, 200);
+        assert!(reload.body_text().contains("\"epoch\":1"), "{reload:?}");
+        let health = client.get("/healthz").unwrap();
+        assert!(health.body_text().contains("\"epoch\":1"), "{health:?}");
+
+        let bye = client.post("/v1/admin/shutdown", b"").unwrap();
+        assert_eq!(bye.status, 200);
+        let out = server.join().unwrap().unwrap();
+        assert!(out.contains("shut down cleanly"), "{out}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

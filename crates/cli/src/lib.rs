@@ -9,6 +9,7 @@
 //! borges eval --data world/ --mapping as2org.map --mapping borges.map
 //! borges inspect --data world/ --mapping borges.map --asn 3356
 //! borges diff --before as2org.map --after borges.map
+//! borges serve --data world/ --addr 127.0.0.1:8080        # HTTP mapping API
 //! ```
 //!
 //! Argument parsing is hand-rolled (the workspace's dependency policy);

@@ -78,14 +78,55 @@ impl FeatureSet {
 
     /// All 16 combinations, in binary-counting order (Table 6 rows).
     pub fn all_combinations() -> Vec<FeatureSet> {
-        (0..16)
-            .map(|bits| FeatureSet {
-                oid_p: bits & 1 != 0,
-                na: bits & 2 != 0,
-                rr: bits & 4 != 0,
-                favicons: bits & 8 != 0,
-            })
-            .collect()
+        (0..16).map(FeatureSet::from_bits).collect()
+    }
+
+    /// Packs the four optional features into the low nibble of a byte —
+    /// a dense cache/map key. Inverse of [`FeatureSet::from_bits`].
+    pub fn bits(&self) -> u8 {
+        (self.oid_p as u8)
+            | (self.na as u8) << 1
+            | (self.rr as u8) << 2
+            | (self.favicons as u8) << 3
+    }
+
+    /// The feature set encoded by the low nibble of `bits` (high bits
+    /// are ignored). Inverse of [`FeatureSet::bits`].
+    pub fn from_bits(bits: u8) -> FeatureSet {
+        FeatureSet {
+            oid_p: bits & 1 != 0,
+            na: bits & 2 != 0,
+            rr: bits & 4 != 0,
+            favicons: bits & 8 != 0,
+        }
+    }
+
+    /// Parses a feature spec: `all`, `none`, or a comma-separated list
+    /// of `oid_p`, `na` (alias `notes-aka`), `rr`, `favicons` (alias
+    /// `f`). Shared by the CLI `--features` flag and the serving API's
+    /// `features=` query parameter, so both surfaces accept the same
+    /// vocabulary and reject the same typos.
+    pub fn parse(spec: &str) -> Result<FeatureSet, String> {
+        match spec {
+            "all" => return Ok(FeatureSet::ALL),
+            "none" => return Ok(FeatureSet::NONE),
+            _ => {}
+        }
+        let mut features = FeatureSet::NONE;
+        for token in spec.split(',') {
+            match token.trim() {
+                "oid_p" => features.oid_p = true,
+                "na" | "notes-aka" => features.na = true,
+                "rr" => features.rr = true,
+                "favicons" | "f" => features.favicons = true,
+                other => {
+                    return Err(format!(
+                        "unknown feature {other:?} (expected oid_p, na, rr, favicons)"
+                    ))
+                }
+            }
+        }
+        Ok(features)
     }
 
     /// A human-readable label like `"OID_P + N&A"` (or `"AS2Org"` for the
@@ -1044,6 +1085,39 @@ impl Borges {
         self.compiled.interner.live_asns()
     }
 
+    /// `true` when `asn` belongs to the live mapping universe. The
+    /// membership probe of the serving read path: unlike
+    /// [`Borges::universe`] it allocates nothing.
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.compiled.interner.contains(asn)
+    }
+
+    /// Number of ASNs in the live universe, without materializing it.
+    pub fn universe_len(&self) -> usize {
+        self.compiled.interner.live_len()
+    }
+
+    /// Total compiled evidence edges the given feature subset would
+    /// replay (the compulsory OID_W base included) — the cost model the
+    /// weighted materialization scheduler and the serving layer's
+    /// capacity planning both use.
+    pub fn edge_weight(&self, features: FeatureSet) -> u64 {
+        let mut w = 1 + segment_edge_count(&self.compiled.oid_w) as u64;
+        if features.oid_p {
+            w += segment_edge_count(&self.compiled.oid_p) as u64;
+        }
+        if features.na {
+            w += segment_edge_count(&self.compiled.na) as u64;
+        }
+        if features.rr {
+            w += segment_edge_count(&self.compiled.rr) as u64;
+        }
+        if features.favicons {
+            w += segment_edge_count(&self.compiled.favicons) as u64;
+        }
+        w
+    }
+
     /// Materializes the mapping for a feature subset. `OID_W` is always
     /// applied; selected features add their merge evidence on top, and
     /// union-find reconciles partially overlapping clusters (§4.1).
@@ -1110,25 +1184,12 @@ impl Borges {
             // unions every segment, NONE only clones the base forest), so
             // weight-aware assignment keeps a Table 6 sweep from pinning
             // all the heavy combinations on one worker.
-            let edge_weight = |f: &FeatureSet| {
-                let mut w = 1 + segment_edge_count(&self.compiled.oid_w) as u64;
-                if f.oid_p {
-                    w += segment_edge_count(&self.compiled.oid_p) as u64;
-                }
-                if f.na {
-                    w += segment_edge_count(&self.compiled.na) as u64;
-                }
-                if f.rr {
-                    w += segment_edge_count(&self.compiled.rr) as u64;
-                }
-                if f.favicons {
-                    w += segment_edge_count(&self.compiled.favicons) as u64;
-                }
-                w
-            };
-            return borges_parallel::map_items_weighted(features, threads, edge_weight, |&f| {
-                self.mapping(f)
-            });
+            return borges_parallel::map_items_weighted(
+                features,
+                threads,
+                |&f| self.edge_weight(f),
+                |&f| self.mapping(f),
+            );
         }
         let root = tel.span("mappings");
         root.field("combinations", features.len());
@@ -1539,6 +1600,39 @@ mod tests {
         let labels: std::collections::BTreeSet<String> =
             combos.iter().map(FeatureSet::label).collect();
         assert_eq!(labels.len(), 16, "labels must be distinct");
+    }
+
+    #[test]
+    fn feature_bits_round_trip_and_parse() {
+        for (bits, combo) in FeatureSet::all_combinations().into_iter().enumerate() {
+            assert_eq!(combo.bits(), bits as u8);
+            assert_eq!(FeatureSet::from_bits(combo.bits()), combo);
+        }
+        assert_eq!(
+            FeatureSet::from_bits(0xF0),
+            FeatureSet::NONE,
+            "high bits ignored"
+        );
+        assert_eq!(FeatureSet::parse("all").unwrap(), FeatureSet::ALL);
+        assert_eq!(FeatureSet::parse("none").unwrap(), FeatureSet::NONE);
+        let f = FeatureSet::parse("oid_p, favicons").unwrap();
+        assert!(f.oid_p && f.favicons && !f.na && !f.rr);
+        let err = FeatureSet::parse("oid_p,bogus").unwrap_err();
+        assert!(err.contains("bogus"), "{err}");
+    }
+
+    #[test]
+    fn read_path_accessors_agree_with_universe() {
+        let (_, borges) = pipeline();
+        let universe = borges.universe();
+        assert_eq!(borges.universe_len(), universe.len());
+        assert!(borges.contains(universe[0]));
+        assert!(!borges.contains(Asn::new(4_294_000_000)));
+        // Edge weight grows monotonically with the feature set.
+        let none = borges.edge_weight(FeatureSet::NONE);
+        let all = borges.edge_weight(FeatureSet::ALL);
+        assert!(none >= 1);
+        assert!(all > none, "optional features add edges");
     }
 
     #[test]

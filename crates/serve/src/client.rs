@@ -1,0 +1,148 @@
+//! A minimal loopback HTTP client for tests, benches, and the CI smoke
+//! job's Rust-side counterpart.
+//!
+//! One request per connection, mirroring the server's `Connection:
+//! close` discipline: connect, write, read to EOF, parse. The client
+//! also exposes [`ServeClient::send_raw`] so robustness tests can ship
+//! arbitrary byte garbage and still observe whatever the server says
+//! back.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response from the server.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Headers, names lowercased.
+    pub headers: BTreeMap<String, String>,
+    /// The body bytes.
+    pub body: Vec<u8>,
+    /// The complete raw response, byte for byte — what the
+    /// determinism tests compare.
+    pub raw: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The body as UTF-8 (panics on invalid UTF-8 — test convenience).
+    pub fn body_text(&self) -> &str {
+        std::str::from_utf8(&self.body).expect("response body is UTF-8")
+    }
+}
+
+/// A blocking client pinned to one server address.
+#[derive(Debug, Clone)]
+pub struct ServeClient {
+    addr: SocketAddr,
+    timeout: Duration,
+}
+
+impl ServeClient {
+    /// A client for `addr` with a 5-second socket timeout.
+    pub fn new(addr: SocketAddr) -> ServeClient {
+        ServeClient {
+            addr,
+            timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// Overrides the socket timeout (tests poking at slow paths).
+    pub fn with_timeout(mut self, timeout: Duration) -> ServeClient {
+        self.timeout = timeout;
+        self
+    }
+
+    /// `GET {target}` and parse the response.
+    pub fn get(&self, target: &str) -> std::io::Result<ClientResponse> {
+        self.request("GET", target, &[])
+    }
+
+    /// `POST {target}` with `body` and parse the response.
+    pub fn post(&self, target: &str, body: &[u8]) -> std::io::Result<ClientResponse> {
+        self.request("POST", target, body)
+    }
+
+    fn request(&self, method: &str, target: &str, body: &[u8]) -> std::io::Result<ClientResponse> {
+        let mut request = format!(
+            "{method} {target} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n\r\n",
+            self.addr,
+            body.len()
+        )
+        .into_bytes();
+        request.extend_from_slice(body);
+        let raw = self.send_raw(&request)?;
+        parse_response(&raw)
+    }
+
+    /// Writes `bytes` verbatim and reads the connection to EOF.
+    pub fn send_raw(&self, bytes: &[u8]) -> std::io::Result<Vec<u8>> {
+        let mut stream = TcpStream::connect(self.addr)?;
+        stream.set_read_timeout(Some(self.timeout))?;
+        stream.set_write_timeout(Some(self.timeout))?;
+        stream.write_all(bytes)?;
+        // Half-close the write side so a server reading for a body that
+        // never comes sees EOF rather than waiting out its timeout.
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw)?;
+        Ok(raw)
+    }
+}
+
+fn bad(detail: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, detail.to_string())
+}
+
+/// Parses a complete `Connection: close` response.
+pub fn parse_response(raw: &[u8]) -> std::io::Result<ClientResponse> {
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("no header terminator"))?;
+    let head =
+        std::str::from_utf8(&raw[..header_end]).map_err(|_| bad("non-UTF-8 response head"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| bad("empty response"))?;
+    let status = status_line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|code| code.parse::<u16>().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let mut headers = BTreeMap::new();
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            headers.insert(name.to_ascii_lowercase(), value.trim().to_string());
+        }
+    }
+    Ok(ClientResponse {
+        status,
+        headers,
+        body: raw[header_end + 4..].to_vec(),
+        raw: raw.to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_response() {
+        let raw = b"HTTP/1.1 503 Service Unavailable\r\nContent-Type: application/json\r\nContent-Length: 2\r\nConnection: close\r\nRetry-After: 1\r\n\r\n{}";
+        let resp = parse_response(raw).unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.headers["retry-after"], "1");
+        assert_eq!(resp.headers["connection"], "close");
+        assert_eq!(resp.body, b"{}");
+        assert_eq!(resp.raw, raw);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_response(b"not http").is_err());
+        assert!(parse_response(b"HTTP/1.1 twohundred OK\r\n\r\n").is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! An embedded HTTP mapping service over a compiled Borges pipeline.
+//!
+//! The ROADMAP's serving milestone, in-process and dependency-free:
+//! materialization is cheap enough (~1.6 ms for the medium world) that
+//! per-request feature subsets can be answered live, so this crate puts
+//! a small, careful HTTP/1.1 front on [`borges_core::Borges`] instead
+//! of shipping periodic file dumps.
+//!
+//! - [`http`] — a defensive parser and deterministic response writer
+//!   over `std::net`: every byte stream becomes a response or a clean
+//!   4xx/5xx, never a panic or an unbounded read.
+//! - [`world`] — the [`ServingWorld`](world::ServingWorld): one
+//!   compiled pipeline plus a per-world LRU of materialized mappings,
+//!   immutable behind an `Arc` so hot-swap is a pointer write.
+//! - [`handlers`] — routing and the read-only endpoints (`/v1/map`,
+//!   `/v1/org`, `/v1/evidence`, `/v1/coverage`, `/healthz`,
+//!   `/metrics`), every body byte-deterministic.
+//! - [`server`] — accept thread, bounded queue, fixed worker pool,
+//!   `503` + `Retry-After` load shedding, zero-downtime reload, and a
+//!   graceful drain; the ledger `shed + served == accepted` holds at
+//!   quiescence.
+//! - [`client`] — the loopback test client the integration tests,
+//!   benches, and smoke checks drive the server with.
+//!
+//! The serve crate does no IO beyond its sockets: snapshot loading and
+//! remapping arrive as an injected [`server::Reloader`] closure, which
+//! is how `borges serve` (the CLI face) ties `POST /v1/admin/reload` to
+//! [`borges_core::Borges::remap`] without this crate knowing about
+//! files.
+
+#![deny(missing_docs)]
+
+pub mod client;
+pub mod handlers;
+pub mod http;
+pub mod server;
+pub mod world;
+
+pub use client::{ClientResponse, ServeClient};
+pub use server::{Reloader, Server, ServerConfig, ShutdownHandle};
+pub use world::{MappingCache, ServingWorld};

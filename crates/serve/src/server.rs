@@ -1,0 +1,433 @@
+//! The server runtime: accept thread, bounded queue, worker pool,
+//! load shedding, hot-swap, and graceful drain.
+//!
+//! ## Threading model
+//!
+//! One accept thread owns the listener. Accepted connections go into a
+//! [`std::sync::mpsc::sync_channel`] bounded at `queue_depth`; a fixed
+//! pool of worker threads shares the receiver behind a mutex and each
+//! worker handles one connection at a time, start to finish. There is
+//! no per-connection thread and no unbounded buffer anywhere.
+//!
+//! ## Backpressure contract
+//!
+//! Every accepted connection is counted (`borges_serve_accepted_total`)
+//! and then meets exactly one of two fates: queued for a worker (which
+//! eventually counts it as `borges_serve_served_total`, whatever status
+//! it answers — including a peer that vanished before the response) or
+//! refused on the spot with `503` + `Retry-After: 1` when the queue is
+//! full (`borges_serve_shed_total`, written from the accept thread so a
+//! saturated pool cannot delay the refusal). At quiescence,
+//! `shed + served == accepted` — CI's smoke job asserts it on a live
+//! process.
+//!
+//! ## Swap semantics
+//!
+//! The current [`ServingWorld`] sits behind `Mutex<Arc<ServingWorld>>`,
+//! locked only long enough to clone or replace the `Arc` (nanoseconds —
+//! never across a materialization or remap). A request clones the `Arc`
+//! once and uses that one world for everything it does;
+//! `/v1/admin/reload` builds the next world off to the side (serving
+//! continues from the old one throughout the remap) and installs it
+//! with a momentary lock. No request
+//! ever observes half a swap, and the mapping LRU — owned by the world —
+//! starts cold in the new epoch by construction.
+//!
+//! ## Shutdown
+//!
+//! [`Server::stop`] (or `POST /v1/admin/shutdown`) sets the shutdown
+//! flag and pokes the listener with a wake connection. The accept loop
+//! exits and drops the queue sender; workers drain every connection
+//! already queued, then see the channel close and exit. Nothing
+//! accepted is abandoned.
+
+use std::io::{BufReader, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use borges_core::Borges;
+use borges_telemetry::{MetricsRegistry, MetricsSnapshot};
+use parking_lot::Mutex;
+
+use crate::handlers::{self, Route};
+use crate::http::{parse_request, Response};
+use crate::world::ServingWorld;
+
+/// How a server should run. `Default` gives a loopback ephemeral port,
+/// two workers, a queue of 32, an LRU of 16, and a 2-second read
+/// timeout.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads (must be ≥ 1).
+    pub threads: usize,
+    /// Bounded accept-queue depth (must be ≥ 1); overflow sheds.
+    pub queue_depth: usize,
+    /// Mapping-LRU capacity per world; 0 disables caching.
+    pub lru_capacity: usize,
+    /// Socket read timeout; a silent peer is answered 408 after this.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: 2,
+            queue_depth: 32,
+            lru_capacity: 16,
+            read_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Produces the next [`Borges`] for a reload, given the one currently
+/// serving (so it can run [`Borges::remap`] against the current
+/// snapshot state). Injected by the embedder: the serve crate does no
+/// IO of its own.
+pub type Reloader = Box<dyn Fn(&Borges) -> Result<Borges, String> + Send + Sync>;
+
+struct Shared {
+    world: Mutex<Arc<ServingWorld>>,
+    metrics: MetricsRegistry,
+    reloader: Option<Reloader>,
+    reload_lock: Mutex<()>,
+    shutdown: AtomicBool,
+    lru_capacity: usize,
+    read_timeout: Duration,
+    local_addr: SocketAddr,
+}
+
+impl Shared {
+    /// Builds the next world (off to the side) and swaps it in.
+    fn reload(&self) -> Result<u64, String> {
+        let reloader = self
+            .reloader
+            .as_ref()
+            .ok_or_else(|| "no reloader configured".to_string())?;
+        // Serialize reloads so concurrent requests cannot race to the
+        // same epoch number; readers are never blocked by this lock.
+        let _guard = self.reload_lock.lock();
+        let current = self.world.lock().clone();
+        let next = reloader(&current.borges)?;
+        let epoch = current.epoch + 1;
+        *self.world.lock() = Arc::new(ServingWorld::new(next, self.lru_capacity, epoch));
+        self.metrics.counter("borges_serve_reloads_total", 1);
+        Ok(epoch)
+    }
+
+    fn trigger_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the accept loop; the connection is discarded there
+        // before any counting.
+        let _ = TcpStream::connect(self.local_addr);
+    }
+}
+
+/// A running server: owns the accept thread and worker pool.
+///
+/// Dropping a `Server` without calling [`Server::stop`] or
+/// [`Server::wait`] detaches the threads (they keep serving until the
+/// process exits) — embedders that want a clean end must stop or wait.
+pub struct Server {
+    shared: Arc<Shared>,
+    accept_handle: Option<JoinHandle<()>>,
+    worker_handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the pool, and starts serving `borges`.
+    ///
+    /// Fails on a bad address, a failed bind, or a zero `threads` /
+    /// `queue_depth` (zero workers would starve every request; a
+    /// zero-depth queue would shed every request).
+    pub fn start(
+        config: ServerConfig,
+        borges: Borges,
+        reloader: Option<Reloader>,
+    ) -> std::io::Result<Server> {
+        if config.threads == 0 {
+            return Err(invalid("threads must be >= 1"));
+        }
+        if config.queue_depth == 0 {
+            return Err(invalid("queue depth must be >= 1"));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            world: Mutex::new(Arc::new(ServingWorld::new(borges, config.lru_capacity, 0))),
+            metrics: MetricsRegistry::new(),
+            reloader,
+            reload_lock: Mutex::new(()),
+            shutdown: AtomicBool::new(false),
+            lru_capacity: config.lru_capacity,
+            read_timeout: config.read_timeout,
+            local_addr,
+        });
+
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue_depth);
+        let rx = Arc::new(Mutex::new(rx));
+        let worker_handles = (0..config.threads)
+            .map(|i| {
+                let shared = shared.clone();
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("borges-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &rx))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let accept_handle = {
+            let shared = shared.clone();
+            std::thread::Builder::new()
+                .name("borges-serve-accept".to_string())
+                .spawn(move || accept_loop(&shared, &listener, tx))
+                .expect("spawn accept thread")
+        };
+
+        Ok(Server {
+            shared,
+            accept_handle: Some(accept_handle),
+            worker_handles,
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// The server's metrics registry (the `/metrics` source of truth).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.shared.metrics
+    }
+
+    /// The epoch of the world currently serving.
+    pub fn epoch(&self) -> u64 {
+        self.shared.world.lock().epoch
+    }
+
+    /// Runs the configured reloader and swaps the world, exactly as
+    /// `POST /v1/admin/reload` would.
+    pub fn reload(&self) -> Result<u64, String> {
+        self.shared.reload()
+    }
+
+    /// Replaces the serving world directly with `borges` (no reloader
+    /// involved); returns the new epoch. The programmatic face of
+    /// hot-swap, used by tests that need full control of the next
+    /// world.
+    pub fn install(&self, borges: Borges) -> u64 {
+        let _guard = self.shared.reload_lock.lock();
+        let epoch = self.shared.world.lock().epoch + 1;
+        *self.shared.world.lock() =
+            Arc::new(ServingWorld::new(borges, self.shared.lru_capacity, epoch));
+        epoch
+    }
+
+    /// Graceful shutdown: stop accepting, drain everything queued, join
+    /// every thread. Returns the final metrics — the closed ledger.
+    pub fn stop(mut self) -> MetricsSnapshot {
+        self.shared.trigger_shutdown();
+        self.join_threads();
+        self.shared.metrics.snapshot()
+    }
+
+    /// Blocks until the server shuts down by some other hand (`POST
+    /// /v1/admin/shutdown`, or a [`Server::stop`]-equivalent trigger
+    /// from another thread via [`Server::shutdown_handle`]). Returns
+    /// the final metrics.
+    pub fn wait(mut self) -> MetricsSnapshot {
+        self.join_threads();
+        self.shared.metrics.snapshot()
+    }
+
+    /// A handle that triggers the same graceful shutdown as
+    /// [`Server::stop`], usable from another thread (e.g. a signal
+    /// handler).
+    pub fn shutdown_handle(&self) -> ShutdownHandle {
+        ShutdownHandle {
+            shared: self.shared.clone(),
+        }
+    }
+
+    fn join_threads(&mut self) {
+        if let Some(handle) = self.accept_handle.take() {
+            let _ = handle.join();
+        }
+        for handle in self.worker_handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Triggers graceful shutdown from outside the serving threads.
+pub struct ShutdownHandle {
+    shared: Arc<Shared>,
+}
+
+impl ShutdownHandle {
+    /// Begin the graceful drain (idempotent).
+    pub fn shutdown(&self) {
+        self.shared.trigger_shutdown();
+    }
+}
+
+fn invalid(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidInput, msg)
+}
+
+fn accept_loop(shared: &Shared, listener: &TcpListener, tx: SyncSender<TcpStream>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => continue,
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // The wake connection (or a racer behind it): discarded
+            // uncounted — it was never accepted into the protocol.
+            break;
+        }
+        shared.metrics.counter("borges_serve_accepted_total", 1);
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(stream)) => shed(shared, stream),
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+    // Dropping the sender closes the queue: workers drain what is
+    // already in it, then exit.
+    drop(tx);
+}
+
+/// Refuses an over-capacity connection with `503` + `Retry-After`,
+/// straight from the accept thread — shedding must not itself queue.
+fn shed(shared: &Shared, stream: TcpStream) {
+    shared.metrics.counter("borges_serve_shed_total", 1);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let mut response = Response::error(503, "server overloaded, retry shortly");
+    response.retry_after = Some(1);
+    respond_close(&stream, &response, Duration::from_millis(500));
+}
+
+/// Writes the response, half-closes, and drains what the peer already
+/// sent (bounded) so the close is clean. Closing with unread bytes in
+/// the receive buffer makes the kernel send RST, which can destroy the
+/// response before the peer reads it — a refused request must still
+/// *see* its 431/503. The drain is capped by bytes, the socket read
+/// timeout, and the peer's own FIN.
+fn respond_close(stream: &TcpStream, response: &Response, drain_timeout: Duration) {
+    let _ = response.write_to(&mut &*stream);
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(drain_timeout));
+    let mut sink = [0u8; 4096];
+    let mut budget: usize = 256 * 1024;
+    while budget > 0 {
+        match (&*stream).read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => budget = budget.saturating_sub(n),
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
+    loop {
+        // Hold the receiver lock only for the dequeue itself: the
+        // guard is a temporary of this `let` and is dropped before the
+        // connection is handled.
+        let received = rx.lock().recv();
+        let stream = match received {
+            Ok(stream) => stream,
+            Err(_) => break,
+        };
+        // Counted served no matter how the conversation ends: the
+        // accept/shed/serve ledger must balance even when the peer
+        // vanishes mid-request.
+        shared.metrics.counter("borges_serve_served_total", 1);
+        if handle_connection(shared, &stream) == Action::Shutdown {
+            shared.trigger_shutdown();
+        }
+    }
+}
+
+#[derive(PartialEq)]
+enum Action {
+    None,
+    Shutdown,
+}
+
+fn handle_connection(shared: &Shared, stream: &TcpStream) -> Action {
+    let _ = stream.set_read_timeout(Some(shared.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.read_timeout));
+    let mut reader = BufReader::new(stream);
+    let request = match parse_request(&mut reader) {
+        Ok(request) => request,
+        Err(error) => {
+            shared
+                .metrics
+                .counter("borges_serve_requests_error_total", 1);
+            if let Some((status, _reason, detail)) = error.status() {
+                respond_close(
+                    stream,
+                    &Response::error(status, detail),
+                    shared.read_timeout,
+                );
+            }
+            return Action::None;
+        }
+    };
+
+    let route = handlers::route(&request);
+    let label = route.label();
+    shared
+        .metrics
+        .counter(&format!("borges_serve_requests_{label}_total"), 1);
+
+    let started = Instant::now();
+    let (response, action) = match route {
+        Route::AdminReload => match shared.reload() {
+            Ok(epoch) => (
+                Response::json(
+                    200,
+                    format!("{{\"status\":\"reloaded\",\"epoch\":{epoch}}}"),
+                ),
+                Action::None,
+            ),
+            Err(msg) => {
+                let status = if msg == "no reloader configured" {
+                    501
+                } else {
+                    500
+                };
+                (Response::error(status, &msg), Action::None)
+            }
+        },
+        Route::AdminShutdown => (
+            Response::json(200, "{\"status\":\"shutting down\"}"),
+            Action::Shutdown,
+        ),
+        ref route => {
+            // One Arc clone under a momentary lock: everything this
+            // request reads comes from this one world.
+            let world = shared.world.lock().clone();
+            (
+                handlers::respond(route, &request, &world, &shared.metrics),
+                Action::None,
+            )
+        }
+    };
+    shared.metrics.observe_ms(
+        &format!("borges_serve_latency_{label}_ms"),
+        started.elapsed().as_millis() as u64,
+    );
+    respond_close(stream, &response, shared.read_timeout);
+    action
+}

@@ -120,6 +120,14 @@ impl MetricsRegistry {
             .observe(ms);
     }
 
+    /// Reads one live counter without freezing a snapshot (0 when the
+    /// counter has never been incremented). The serving layer uses this
+    /// for its accounting invariants (`shed + served == accepted`) and
+    /// shutdown summary, where a full snapshot per probe would be waste.
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.lock().get(name).copied().unwrap_or(0)
+    }
+
     /// Freezes the registry into a sorted, serializable snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let counters = self
@@ -317,6 +325,8 @@ mod tests {
         reg.counter("a_total", 1);
         reg.counter("z_total", 3);
         reg.observe_ms("op_ms", 4);
+        assert_eq!(reg.counter_value("z_total"), 5);
+        assert_eq!(reg.counter_value("absent_total"), 0);
         let snap = reg.snapshot();
         assert_eq!(snap.counters[0].name, "a_total");
         assert_eq!(snap.counter("z_total"), 5);

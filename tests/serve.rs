@@ -1,0 +1,335 @@
+//! The serving keystones, end to end over real sockets.
+//!
+//! Three contracts from the serving layer (DESIGN.md §10), pinned here:
+//!
+//! 1. **Determinism** — identical requests return byte-identical
+//!    responses across worker-pool sizes, and before/after an LRU
+//!    eviction. The serving layer adds no nondeterminism on top of the
+//!    pipeline's.
+//! 2. **Hot-swap atomicity** — readers hammering the server during an
+//!    `Arc` swap see the old world or the new world, never a blend;
+//!    the world's epoch stamps every body, making a blend detectable.
+//! 3. **Liveness accounting** — queue overflow sheds with `503` +
+//!    `Retry-After`, graceful shutdown drains every queued connection,
+//!    and `shed + served == accepted` holds on the final ledger.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use borges_core::Borges;
+use borges_llm::SimLlm;
+use borges_serve::{ServeClient, Server, ServerConfig};
+use borges_synthnet::{churn, GeneratorConfig, SyntheticInternet};
+use borges_websim::SimWebClient;
+
+fn world_pair() -> (SyntheticInternet, SyntheticInternet) {
+    let t0 = SyntheticInternet::generate(&GeneratorConfig::tiny(5));
+    let (t1, _) = churn(&t0, 10.0, 23);
+    (t0, t1)
+}
+
+fn compile(world: &SyntheticInternet) -> Borges {
+    let llm = SimLlm::flawless();
+    Borges::run(
+        &world.whois,
+        &world.pdb,
+        SimWebClient::browser(&world.web),
+        &llm,
+    )
+}
+
+fn start(borges: Borges, threads: usize, queue_depth: usize, lru: usize) -> Server {
+    let config = ServerConfig {
+        threads,
+        queue_depth,
+        lru_capacity: lru,
+        read_timeout: Duration::from_millis(700),
+        ..ServerConfig::default()
+    };
+    Server::start(config, borges, None).expect("bind loopback")
+}
+
+/// The request set the determinism tests replay: every endpoint class,
+/// several feature subsets, plus a 400 and a 404.
+const PROBES: &[&str] = &[
+    "/healthz",
+    "/v1/coverage",
+    "/v1/map/AS3356",
+    "/v1/map/AS3356?features=none",
+    "/v1/map/3356?features=oid_p,rr",
+    "/v1/org/AS3356",
+    "/v1/org/209?features=na",
+    "/v1/evidence/AS3356/AS209",
+    "/v1/map/not-an-asn",
+    "/v1/map/AS4294967294",
+    "/no/such/route",
+];
+
+#[test]
+fn identical_requests_are_byte_identical_across_worker_counts() {
+    let borges = compile(&world_pair().0);
+    let single = start(borges.clone(), 1, 32, 16);
+    let pooled = start(borges, 4, 32, 16);
+    let client1 = ServeClient::new(single.local_addr());
+    let client4 = ServeClient::new(pooled.local_addr());
+
+    for probe in PROBES {
+        let a = client1.get(probe).expect("single-worker response");
+        let b = client4.get(probe).expect("pooled response");
+        assert_eq!(
+            a.raw,
+            b.raw,
+            "{probe} differed between 1 and 4 workers:\n{}\nvs\n{}",
+            String::from_utf8_lossy(&a.raw),
+            String::from_utf8_lossy(&b.raw)
+        );
+        // Repetition on the same server is also byte-stable (second
+        // hit is LRU-warm — the cache must not change the bytes).
+        let again = client4.get(probe).expect("repeat response");
+        assert_eq!(a.raw, again.raw, "{probe} unstable across repeats");
+    }
+    single.stop();
+    pooled.stop();
+}
+
+#[test]
+fn lru_eviction_does_not_change_bytes_and_counters_add_up() {
+    let borges = compile(&world_pair().0);
+    // Capacity 2: the third feature subset evicts the first.
+    let server = start(borges, 2, 32, 2);
+    let client = ServeClient::new(server.local_addr());
+
+    let subset_a = "/v1/map/AS3356?features=none";
+    let subset_b = "/v1/map/AS3356?features=oid_p";
+    let subset_c = "/v1/map/AS3356?features=rr,favicons";
+
+    let first = client.get(subset_a).expect("cold A");
+    let warm = client.get(subset_a).expect("warm A");
+    assert_eq!(first.raw, warm.raw, "warm hit must not change bytes");
+    client.get(subset_b).expect("cold B");
+    client.get(subset_c).expect("cold C evicts A");
+    let after_eviction = client.get(subset_a).expect("A rematerialized");
+    assert_eq!(
+        first.raw, after_eviction.raw,
+        "bytes changed across an LRU eviction"
+    );
+
+    let ledger = server.stop();
+    // 5 feature-subset materializations requested: A cold, A warm,
+    // B cold, C cold (evicting A), A cold again (evicting B).
+    assert_eq!(ledger.counter("borges_serve_lru_hits_total"), 1);
+    assert_eq!(ledger.counter("borges_serve_lru_misses_total"), 4);
+    assert_eq!(ledger.counter("borges_serve_lru_evictions_total"), 2);
+}
+
+#[test]
+fn hot_swap_under_concurrent_load_never_serves_a_mixed_world() {
+    let (t0, t1) = world_pair();
+    let before = compile(&t0);
+    let after = compile(&t1);
+
+    let server = start(before, 4, 64, 16);
+    let addr = server.local_addr();
+
+    // The reference bodies for both worlds, captured from quiet
+    // moments: epoch 0 before the swap, epoch 1 after.
+    let probe = "/v1/map/AS3356?features=all";
+    let client = ServeClient::new(addr);
+    let body_epoch0 = client.get(probe).expect("pre-swap probe").raw;
+
+    let stop_flag = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let stop = stop_flag.clone();
+            std::thread::spawn(move || {
+                let client = ServeClient::new(addr);
+                let mut bodies = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    bodies.push(client.get(probe).expect("reader probe").raw);
+                }
+                bodies
+            })
+        })
+        .collect();
+
+    // Let the readers get going, swap mid-flight, let them keep going.
+    std::thread::sleep(Duration::from_millis(100));
+    let epoch = server.install(after);
+    assert_eq!(epoch, 1);
+    std::thread::sleep(Duration::from_millis(100));
+    stop_flag.store(true, Ordering::Relaxed);
+
+    let body_epoch1 = client.get(probe).expect("post-swap probe").raw;
+    assert_ne!(
+        body_epoch0, body_epoch1,
+        "epochs must be distinguishable for the test to mean anything"
+    );
+
+    let mut saw_old = false;
+    let mut saw_new = false;
+    for handle in readers {
+        for body in handle.join().expect("reader thread") {
+            if body == body_epoch0 {
+                saw_old = true;
+            } else if body == body_epoch1 {
+                saw_new = true;
+            } else {
+                panic!(
+                    "mixed-world body observed during swap:\n{}",
+                    String::from_utf8_lossy(&body)
+                );
+            }
+        }
+    }
+    // Both worlds were actually observed — the swap happened under
+    // load, not before or after it.
+    assert!(saw_old, "no pre-swap response observed");
+    assert!(saw_new, "no post-swap response observed");
+    server.stop();
+}
+
+#[test]
+fn queue_overflow_sheds_503_and_the_ledger_balances() {
+    let borges = compile(&world_pair().0);
+    // One worker, queue depth one: a held connection plus a queued one
+    // saturate the server completely.
+    let server = start(borges, 1, 1, 16);
+    let addr = server.local_addr();
+
+    // Plug the single worker: connect and send nothing. The worker
+    // blocks in the read until the 700 ms timeout.
+    let plug_worker = TcpStream::connect(addr).expect("plug connect");
+    std::thread::sleep(Duration::from_millis(150));
+    // Fill the queue's single slot the same way.
+    let plug_queue = TcpStream::connect(addr).expect("queue connect");
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Every further connection must be refused on the spot.
+    let mut shed_seen = 0;
+    for _ in 0..3 {
+        let mut stream = TcpStream::connect(addr).expect("overflow connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        // The accept thread does not read the request before shedding.
+        let _ = stream.write_all(b"GET /healthz HTTP/1.1\r\n\r\n");
+        let _ = stream.shutdown(std::net::Shutdown::Write);
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).expect("shed response");
+        let text = String::from_utf8_lossy(&raw);
+        assert!(
+            text.starts_with("HTTP/1.1 503"),
+            "expected shed, got {text}"
+        );
+        assert!(text.contains("Retry-After: 1"), "{text}");
+        shed_seen += 1;
+    }
+    assert_eq!(shed_seen, 3);
+
+    // Release the plugs; the held and queued connections resolve (408s
+    // on silent sockets — still counted served), and the server works
+    // again.
+    drop(plug_worker);
+    drop(plug_queue);
+    // Give the worker a beat to observe both EOFs and clear the queue,
+    // so the health check below is queued rather than shed.
+    std::thread::sleep(Duration::from_millis(400));
+    let client = ServeClient::new(addr);
+    let health = client.get("/healthz").expect("healthy after shedding");
+    assert_eq!(health.status, 200);
+
+    let ledger = server.stop();
+    let accepted = ledger.counter("borges_serve_accepted_total");
+    let served = ledger.counter("borges_serve_served_total");
+    let shed = ledger.counter("borges_serve_shed_total");
+    assert_eq!(shed, 3, "exactly the overflow connections shed");
+    // 2 plugs + 1 health check worked their way through a worker.
+    assert_eq!(served, 3);
+    assert_eq!(
+        shed + served,
+        accepted,
+        "accept ledger must balance: {shed} shed + {served} served != {accepted} accepted"
+    );
+}
+
+#[test]
+fn graceful_shutdown_drains_every_queued_request() {
+    let borges = compile(&world_pair().0);
+    let server = start(borges, 1, 8, 16);
+    let addr = server.local_addr();
+    let shutdown = server.shutdown_handle();
+
+    // Plug the single worker so subsequent requests pile up in the
+    // queue, then trigger shutdown while they are still queued.
+    let plug = TcpStream::connect(addr).expect("plug connect");
+    std::thread::sleep(Duration::from_millis(100));
+
+    let clients: Vec<_> = (0..5)
+        .map(|i| {
+            std::thread::spawn(move || {
+                let client = ServeClient::new(addr).with_timeout(Duration::from_secs(10));
+                (i, client.get("/healthz").expect("queued request answered"))
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(200));
+
+    shutdown.shutdown();
+
+    // Every request accepted before the shutdown still gets its
+    // answer: the drain contract.
+    for handle in clients {
+        let (i, response) = handle.join().expect("client thread");
+        assert_eq!(response.status, 200, "queued request {i} dropped in drain");
+    }
+    drop(plug);
+
+    let ledger = server.wait();
+    assert_eq!(
+        ledger.counter("borges_serve_shed_total") + ledger.counter("borges_serve_served_total"),
+        ledger.counter("borges_serve_accepted_total"),
+        "drain must not lose accepted connections"
+    );
+    assert_eq!(ledger.counter("borges_serve_requests_healthz_total"), 5);
+}
+
+#[test]
+fn metrics_expose_the_ledger_and_count_themselves() {
+    let borges = compile(&world_pair().0);
+    let server = start(borges, 2, 32, 16);
+    let client = ServeClient::new(server.local_addr());
+
+    client.get("/healthz").expect("health");
+    client.get("/v1/map/AS3356").expect("map");
+    let metrics = client.get("/metrics").expect("metrics");
+    assert_eq!(metrics.status, 200);
+    let text = metrics.body_text().to_string();
+
+    // Prometheus exposition: HELP/TYPE pairs, and the serving counters
+    // present. The /metrics request must have counted itself before
+    // rendering, so the ledger balances *inside the body*.
+    assert!(
+        text.contains("# TYPE borges_serve_accepted_total counter"),
+        "{text}"
+    );
+    // A counter that never fired is legitimately absent — read as 0.
+    let counter = |name: &str| -> u64 {
+        text.lines()
+            .find(|l| l.starts_with(name) && !l.starts_with('#'))
+            .and_then(|l| l.split_whitespace().nth(1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0)
+    };
+    assert_eq!(
+        counter("borges_serve_accepted_total"),
+        counter("borges_serve_served_total") + counter("borges_serve_shed_total"),
+        "exposition must balance including the scrape itself:\n{text}"
+    );
+    assert_eq!(counter("borges_serve_requests_healthz_total"), 1);
+    assert_eq!(counter("borges_serve_requests_map_total"), 1);
+    assert_eq!(counter("borges_serve_requests_metrics_total"), 1);
+    server.stop();
+}
