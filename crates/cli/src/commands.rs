@@ -11,7 +11,7 @@ use borges_llm::{CachingModel, FlakyModel, SimLlm};
 use borges_resilience::{EpisodePlan, RetryPolicy};
 use borges_serve::{Reloader, Server, ServerConfig};
 use borges_synthnet::io::{save, DatasetBundle};
-use borges_synthnet::{GeneratorConfig, SyntheticInternet};
+use borges_synthnet::{generate_to_dir, GeneratorConfig, SyntheticInternet};
 use borges_telemetry::{CacheReport, Telemetry, Verbosity};
 use borges_types::Asn;
 use borges_websim::{FlakyWebClient, SimWebClient};
@@ -21,8 +21,11 @@ const HELP: &str = "\
 borges — AS-to-Organization mappings (Borges reproduction)
 
 USAGE:
-  borges generate --out DIR [--scale tiny|medium|paper] [--seed N] [--no-truth]
-      Generate a synthetic-Internet dataset bundle.
+  borges generate --out DIR [--scale tiny|medium|paper|large|million] [--seed N]
+                  [--no-truth]
+      Generate a synthetic-Internet dataset bundle. The large (~130k
+      ASNs) and million (~1M ASNs) scales stream records straight to
+      disk in bounded memory instead of materializing the world.
   borges map --data DIR --out FILE [--features all|none|LIST] [--seed N] [--threads N]
              [--fault-rate R] [--retries N] [--chaos-seed N]
              [--trace-out FILE] [--metrics-out FILE] [--report-out FILE]
@@ -30,7 +33,9 @@ USAGE:
       Run the pipeline over a bundle and write the mapping.
       LIST is comma-separated from: oid_p, na, rr, favicons.
       --threads defaults to the machine's available parallelism; it
-      drives the crawl, the LLM extraction, and mapping materialization.
+      drives the crawl, the LLM extraction, mapping materialization,
+      and the sharded union-find replay of evidence edges (output is
+      byte-identical to --threads 1 at every thread count).
       --fault-rate R injects seeded transient transport faults (R in
       [0,1]) at both the crawl and the LLM boundary; --retries N caps
       recovery at N retries per call (default 4; 0 disables recovery);
@@ -122,28 +127,49 @@ fn generate(opts: &Options) -> Result<String, CliError> {
     let narrator = borges_telemetry::Narrator::new(verbosity_of(opts));
     let out = opts.required("out")?;
     let seed = seed_of(opts)?;
-    let config = match opts.optional("scale")?.unwrap_or("medium") {
-        "tiny" => GeneratorConfig::tiny(seed),
-        "medium" => GeneratorConfig::medium(seed),
-        "paper" => GeneratorConfig::paper(seed),
+    let dir = Path::new(out);
+    // tiny/medium/paper materialize the world in memory (cheap at those
+    // scales, and other code paths want the in-memory value); large and
+    // million stream every dataset file to disk in bounded memory.
+    let (config, streamed) = match opts.optional("scale")?.unwrap_or("medium") {
+        "tiny" => (GeneratorConfig::tiny(seed), false),
+        "medium" => (GeneratorConfig::medium(seed), false),
+        "paper" => (GeneratorConfig::paper(seed), false),
+        "large" => (GeneratorConfig::large(seed), true),
+        "million" => (GeneratorConfig::million(seed), true),
         other => return Err(CliError::Usage(format!("unknown scale {other:?}"))),
     };
-    narrator.verbose(format!("generating world (seed {seed})"));
-    let world = SyntheticInternet::generate(&config);
-    let dir = Path::new(out);
-    save(&world, dir).map_err(CliError::failed)?;
+    let summary = if streamed {
+        narrator.verbose(format!(
+            "streaming ~{} ASNs to disk (seed {seed})",
+            config.approx_asn_count()
+        ));
+        let report = generate_to_dir(&config, dir).map_err(CliError::failed)?;
+        format!(
+            "generated {} ASNs ({} PeeringDB networks, {} web hosts) into {} [streamed]\n",
+            report.asns,
+            report.pdb_nets,
+            report.web_hosts,
+            dir.display()
+        )
+    } else {
+        narrator.verbose(format!("generating world (seed {seed})"));
+        let world = SyntheticInternet::generate(&config);
+        save(&world, dir).map_err(CliError::failed)?;
+        format!(
+            "generated {} ASNs ({} PeeringDB networks, {} web hosts) into {}\n",
+            world.whois.asn_count(),
+            world.pdb.net_count(),
+            world.web.host_count(),
+            dir.display()
+        )
+    };
     if opts.boolean("no-truth") {
         for oracle in ["truth.psv", "labels.psv"] {
             std::fs::remove_file(dir.join(oracle)).map_err(|e| CliError::Failed(Box::new(e)))?;
         }
     }
-    Ok(format!(
-        "generated {} ASNs ({} PeeringDB networks, {} web hosts) into {}\n",
-        world.whois.asn_count(),
-        world.pdb.net_count(),
-        world.web.host_count(),
-        dir.display()
-    ))
+    Ok(summary)
 }
 
 fn parse_features(spec: &str) -> Result<FeatureSet, CliError> {
@@ -440,13 +466,14 @@ fn remap(opts: &Options) -> Result<String, CliError> {
     let llm = CachingModel::new(SimLlm::new(seed));
     let scraper = borges_websim::Scraper::new(SimWebClient::browser(&bundle.web));
     let report = scraper.crawl(bundle.pdb.nets().map(|n| (n.asn, n.website.as_str())));
-    let borges = Borges::remap_traced(
+    let borges = Borges::remap_parallel_traced(
         &bundle.whois,
         &bundle.pdb,
         &report,
         &llm,
         borges_core::ner::NerConfig::default(),
         &state,
+        threads,
         &tel,
     );
     let d = borges.delta.as_ref().expect("remap records delta stats");

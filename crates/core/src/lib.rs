@@ -67,4 +67,4 @@ pub use orgfactor::organization_factor;
 pub use pipeline::{
     Borges, CoverageReport, Feature, FeatureContribution, FeatureCoverage, FeatureSet,
 };
-pub use unionfind::UnionFind;
+pub use unionfind::{DenseUnionFind, ShardReport, ShardTiming, UnionFind};

@@ -26,7 +26,7 @@ use crate::delta::{
 use crate::mapping::AsOrgMapping;
 use crate::ner::{extract, extract_with_memo, NerConfig, NerResult};
 use crate::orgkeys;
-use crate::unionfind::{DenseUnionFind, UnionFind};
+use crate::unionfind::{DenseUnionFind, ShardReport, UnionFind};
 use crate::web::favicon::{favicon_inference, favicon_inference_memo, FaviconInference};
 use crate::web::rr::{rr_inference, RrInference};
 use borges_llm::chat::ChatModel;
@@ -235,7 +235,11 @@ fn segment_edge_count<K>(segments: &[EdgeSegment<K>]) -> usize {
 
 impl CompiledEvidence {
     /// Full (non-incremental) compilation: a fresh interner over the
-    /// sorted universe, every segment derived from scratch.
+    /// sorted universe, every segment derived from scratch. With
+    /// `threads > 1` the OID_W base closure is replayed sharded (see
+    /// [`CompiledEvidence::build`]); the result is byte-identical either
+    /// way.
+    #[allow(clippy::too_many_arguments)]
     fn compile(
         universe: BTreeSet<Asn>,
         whois: &WhoisRegistry,
@@ -243,9 +247,11 @@ impl CompiledEvidence {
         ner: &NerResult,
         rr: &RrInference,
         favicon: &FaviconInference,
+        threads: usize,
+        tel: &Telemetry,
     ) -> Self {
         let interner = AsnInterner::new(universe);
-        Self::build(interner, None, whois, pdb, ner, rr, favicon).0
+        Self::build(interner, None, whois, pdb, ner, rr, favicon, threads, tel).0
     }
 
     /// Incremental recompilation against persisted snapshot-T state:
@@ -254,6 +260,7 @@ impl CompiledEvidence {
     /// resurrected slots), and only segments whose member fingerprint
     /// moved are re-derived — the per-feature union-find replay then
     /// happens lazily in [`Borges::mapping`], exactly as on a full run.
+    #[allow(clippy::too_many_arguments)]
     fn apply_delta(
         state: &SnapshotState,
         universe: &BTreeSet<Asn>,
@@ -262,6 +269,8 @@ impl CompiledEvidence {
         ner: &NerResult,
         rr: &RrInference,
         favicon: &FaviconInference,
+        threads: usize,
+        tel: &Telemetry,
     ) -> (Self, DeltaStats) {
         let mut interner = AsnInterner::from_slots(state.slot_pairs());
         let mut stats = DeltaStats::default();
@@ -280,8 +289,17 @@ impl CompiledEvidence {
                 stats.asns_added += 1;
             }
         }
-        let (compiled, [oid_w, oid_p, na, rr_d, favicons]) =
-            Self::build(interner, Some(state), whois, pdb, ner, rr, favicon);
+        let (compiled, [oid_w, oid_p, na, rr_d, favicons]) = Self::build(
+            interner,
+            Some(state),
+            whois,
+            pdb,
+            ner,
+            rr,
+            favicon,
+            threads,
+            tel,
+        );
         stats.oid_w = oid_w;
         stats.oid_p = oid_p;
         stats.na = na;
@@ -295,6 +313,13 @@ impl CompiledEvidence {
     /// OID_W base closure is always rebuilt from the segment edges —
     /// a union-find cannot un-union a retired bridge, and the rebuild
     /// is cheap next to group re-derivation.
+    ///
+    /// With `threads > 1` the base replay runs sharded
+    /// ([`DenseUnionFind::union_edge_lists_sharded`], DESIGN.md §11):
+    /// byte-identical output, with per-shard accounting stamped into
+    /// `tel`'s worker-timing ledger only — never the canonical trace or
+    /// metrics snapshot, which must not vary with thread count.
+    #[allow(clippy::too_many_arguments)]
     fn build(
         interner: AsnInterner,
         prior: Option<&SnapshotState>,
@@ -303,6 +328,8 @@ impl CompiledEvidence {
         ner: &NerResult,
         rr: &RrInference,
         favicon: &FaviconInference,
+        threads: usize,
+        tel: &Telemetry,
     ) -> (Self, [SegmentDelta; 5]) {
         let (p_w, p_p, p_na, p_rr, p_f) = match prior {
             Some(s) => (
@@ -322,8 +349,14 @@ impl CompiledEvidence {
             delta::merge_feature(&interner, &p_f, delta::keyed_favicon_groups(favicon));
 
         let mut base = DenseUnionFind::new(interner.len());
-        for seg in &oid_w {
-            base.union_edges(&seg.edges);
+        if threads > 1 {
+            let lists: Vec<&[(u32, u32)]> = oid_w.iter().map(|seg| seg.edges.as_slice()).collect();
+            let report = base.union_edge_lists_sharded(&lists, threads, || tel.now_ms());
+            record_shard_report(tel, "compile", &report);
+        } else {
+            for seg in &oid_w {
+                base.union_edges(&seg.edges);
+            }
         }
 
         (
@@ -463,6 +496,46 @@ fn stage<T>(tel: &Telemetry, parent: &Span, name: &str, f: impl FnOnce(&Span) ->
     out
 }
 
+/// Stamps one sharded replay's accounting into the worker-timing
+/// ledger: a `<ctx>_shard_union` row per shard (items = bucket edges),
+/// one `<ctx>_shard_cross` row (items = cross-range edges), and one
+/// `<ctx>_shard_contract` row (items = edges the contraction replayed).
+/// The ledger invariant `Σ contract.items ≤ Σ union.items + Σ
+/// cross.items` holds because each shard's spanning output is a subset
+/// of its bucket — the CI scale-equivalence job asserts it.
+///
+/// Worker rows only: the canonical trace and the metrics snapshot must
+/// stay byte-identical across thread counts (DESIGN.md §8), and the
+/// worker ledger is exactly the surface both exclude.
+fn record_shard_report(tel: &Telemetry, ctx: &str, report: &ShardReport) {
+    if !tel.is_enabled() {
+        return;
+    }
+    for t in &report.shards {
+        tel.record_worker(WorkerTiming {
+            stage: format!("{ctx}_shard_union"),
+            chunk: t.shard as u64,
+            items: t.edges as u64,
+            started_ms: t.started_ms,
+            elapsed_ms: t.elapsed_ms,
+        });
+    }
+    tel.record_worker(WorkerTiming {
+        stage: format!("{ctx}_shard_cross"),
+        chunk: 0,
+        items: report.cross_edges as u64,
+        started_ms: report.contraction_started_ms,
+        elapsed_ms: 0,
+    });
+    tel.record_worker(WorkerTiming {
+        stage: format!("{ctx}_shard_contract"),
+        chunk: 0,
+        items: report.contraction_edges as u64,
+        started_ms: report.contraction_started_ms,
+        elapsed_ms: report.contraction_elapsed_ms,
+    });
+}
+
 // Span annotations per stage. Every value is a merged funnel number —
 // proven schedule-independent by `parallel_pipeline_matches_sequential` —
 // never a per-worker observation.
@@ -530,6 +603,7 @@ impl Borges {
             model,
             NerConfig::default(),
             web_cache,
+            1,
             tel,
             &root,
         )
@@ -584,7 +658,9 @@ impl Borges {
             annotate_ner(span, &ner);
             ner
         });
-        Self::assemble(whois, pdb, &report, ner, model, web_cache, tel, &root)
+        Self::assemble(
+            whois, pdb, &report, ner, model, web_cache, threads, tel, &root,
+        )
     }
 
     /// Like [`Borges::run`], with every boundary wrapped in the
@@ -679,7 +755,9 @@ impl Borges {
             favicon
         });
 
-        Self::finish(whois, pdb, &report, ner, rr, favicon, web_cache, tel, &root)
+        Self::finish(
+            whois, pdb, &report, ner, rr, favicon, web_cache, 1, tel, &root,
+        )
     }
 
     /// Like [`Borges::run`] but with a pre-computed scrape report and an
@@ -702,6 +780,32 @@ impl Borges {
         )
     }
 
+    /// Like [`Borges::from_scrape`], but with the evidence compilation's
+    /// OID_W base replay sharded over `threads` workers
+    /// ([`CompiledEvidence::build`]). LLM extraction stays sequential —
+    /// this entry point exists for compile-bound workloads (the compile
+    /// bench, large-world CLI runs) where the crawl and LLM stages are
+    /// pre-computed or memoized. Byte-identical to
+    /// [`Borges::from_scrape`] at every thread count.
+    pub fn from_scrape_parallel(
+        whois: &WhoisRegistry,
+        pdb: &PdbSnapshot,
+        report: &ScrapeReport,
+        model: &dyn ChatModel,
+        ner_config: NerConfig,
+        threads: usize,
+    ) -> Self {
+        Self::from_scrape_parallel_traced(
+            whois,
+            pdb,
+            report,
+            model,
+            ner_config,
+            threads,
+            &Telemetry::disabled(),
+        )
+    }
+
     /// Like [`Borges::from_scrape`], recording into `tel`. There is no
     /// crawl stage (the report is pre-computed), so the trace has no
     /// `run/crawl` span and the redirect-cache ledger row reads zero.
@@ -713,6 +817,19 @@ impl Borges {
         ner_config: NerConfig,
         tel: &Telemetry,
     ) -> Self {
+        Self::from_scrape_parallel_traced(whois, pdb, report, model, ner_config, 1, tel)
+    }
+
+    /// [`Borges::from_scrape_parallel`] recording into `tel`.
+    pub fn from_scrape_parallel_traced(
+        whois: &WhoisRegistry,
+        pdb: &PdbSnapshot,
+        report: &ScrapeReport,
+        model: &dyn ChatModel,
+        ner_config: NerConfig,
+        threads: usize,
+        tel: &Telemetry,
+    ) -> Self {
         let root = tel.span("run");
         Self::extract_and_assemble(
             whois,
@@ -721,6 +838,7 @@ impl Borges {
             model,
             ner_config,
             CacheStats::default(),
+            threads,
             tel,
             &root,
         )
@@ -736,6 +854,7 @@ impl Borges {
         model: &dyn ChatModel,
         ner_config: NerConfig,
         web_cache: CacheStats,
+        threads: usize,
         tel: &Telemetry,
         root: &Span,
     ) -> Self {
@@ -744,7 +863,9 @@ impl Borges {
             annotate_ner(span, &ner);
             ner
         });
-        Self::assemble(whois, pdb, report, ner, model, web_cache, tel, root)
+        Self::assemble(
+            whois, pdb, report, ner, model, web_cache, threads, tel, root,
+        )
     }
 
     /// Shared tail of the bare-stack constructors: runs the web
@@ -758,6 +879,7 @@ impl Borges {
         ner: NerResult,
         model: &dyn ChatModel,
         web_cache: CacheStats,
+        threads: usize,
         tel: &Telemetry,
         root: &Span,
     ) -> Self {
@@ -771,7 +893,9 @@ impl Borges {
             annotate_favicon(span, &favicon);
             favicon
         });
-        Self::finish(whois, pdb, report, ner, rr, favicon, web_cache, tel, root)
+        Self::finish(
+            whois, pdb, report, ner, rr, favicon, web_cache, threads, tel, root,
+        )
     }
 
     /// Shared tail of every constructor: fixes the universe and compiles
@@ -790,6 +914,7 @@ impl Borges {
         rr: RrInference,
         favicon: FaviconInference,
         web_cache: CacheStats,
+        threads: usize,
         tel: &Telemetry,
         root: &Span,
     ) -> Self {
@@ -802,7 +927,8 @@ impl Borges {
         let oid_p_groups = orgkeys::oid_p_groups(pdb);
         let fingerprints = SourceFingerprints::capture(whois, pdb, report);
         let compiled = stage(tel, root, "compile", |span| {
-            let compiled = CompiledEvidence::compile(universe, whois, pdb, &ner, &rr, &favicon);
+            let compiled =
+                CompiledEvidence::compile(universe, whois, pdb, &ner, &rr, &favicon, threads, tel);
             span.field("asns", compiled.interner.live_len());
             span.field("ner_links", segment_edge_count(&compiled.na));
             compiled
@@ -855,6 +981,31 @@ impl Borges {
         )
     }
 
+    /// Like [`Borges::remap`], with the rebuilt OID_W base closure
+    /// replayed sharded over `threads` workers — the `--threads` flag's
+    /// effect on the incremental path. Byte-identical to
+    /// [`Borges::remap`] at every thread count.
+    pub fn remap_parallel(
+        whois: &WhoisRegistry,
+        pdb: &PdbSnapshot,
+        report: &ScrapeReport,
+        model: &dyn ChatModel,
+        ner_config: NerConfig,
+        state: &SnapshotState,
+        threads: usize,
+    ) -> Self {
+        Self::remap_parallel_traced(
+            whois,
+            pdb,
+            report,
+            model,
+            ner_config,
+            state,
+            threads,
+            &Telemetry::disabled(),
+        )
+    }
+
     /// Like [`Borges::remap`], recording into `tel`: a `remap` root span
     /// with `ner`/`rr`/`favicon` stage children plus an `apply` stage
     /// for the delta compilation, the usual funnel counters, and
@@ -866,6 +1017,21 @@ impl Borges {
         model: &dyn ChatModel,
         ner_config: NerConfig,
         state: &SnapshotState,
+        tel: &Telemetry,
+    ) -> Self {
+        Self::remap_parallel_traced(whois, pdb, report, model, ner_config, state, 1, tel)
+    }
+
+    /// [`Borges::remap_parallel`] recording into `tel`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn remap_parallel_traced(
+        whois: &WhoisRegistry,
+        pdb: &PdbSnapshot,
+        report: &ScrapeReport,
+        model: &dyn ChatModel,
+        ner_config: NerConfig,
+        state: &SnapshotState,
+        threads: usize,
         tel: &Telemetry,
     ) -> Self {
         let root = tel.span("remap");
@@ -896,8 +1062,9 @@ impl Borges {
         let fingerprints = SourceFingerprints::capture(whois, pdb, report);
 
         let (compiled, mut dstats) = stage(tel, &root, "apply", |span| {
-            let (compiled, mut dstats) =
-                CompiledEvidence::apply_delta(state, &universe, whois, pdb, &ner, &rr, &favicon);
+            let (compiled, mut dstats) = CompiledEvidence::apply_delta(
+                state, &universe, whois, pdb, &ner, &rr, &favicon, threads, tel,
+            );
             dstats.records = SnapshotDelta::compute(&state.fingerprints(), &fingerprints);
             span.field("asns", compiled.interner.live_len());
             span.field("records_dirty", dstats.records.dirty());
@@ -1156,12 +1323,57 @@ impl Borges {
         AsOrgMapping::from_groups(uf.into_groups(&self.compiled.interner))
     }
 
+    /// Like [`Borges::mapping`], but replays the selected feature edge
+    /// lists sharded over up to `shards` concurrent workers
+    /// ([`DenseUnionFind::union_edge_lists_sharded`]). Byte-identical to
+    /// the sequential replay for every feature set and shard count;
+    /// `shards <= 1` *is* the sequential replay. This is the
+    /// intra-mapping parallelism [`Borges::mappings_parallel`] falls
+    /// back to when there are fewer feature combinations than workers.
+    pub fn mapping_sharded(&self, features: FeatureSet, shards: usize) -> AsOrgMapping {
+        self.mapping_sharded_traced(features, shards, &Telemetry::disabled())
+    }
+
+    fn mapping_sharded_traced(
+        &self,
+        features: FeatureSet,
+        shards: usize,
+        tel: &Telemetry,
+    ) -> AsOrgMapping {
+        if shards <= 1 {
+            return self.mapping(features);
+        }
+        let mut uf = self.compiled.base.clone();
+        let mut lists: Vec<&[(u32, u32)]> = Vec::new();
+        if features.oid_p {
+            lists.extend(self.compiled.oid_p.iter().map(|s| s.edges.as_slice()));
+        }
+        if features.na {
+            lists.extend(self.compiled.na.iter().map(|s| s.edges.as_slice()));
+        }
+        if features.rr {
+            lists.extend(self.compiled.rr.iter().map(|s| s.edges.as_slice()));
+        }
+        if features.favicons {
+            lists.extend(self.compiled.favicons.iter().map(|s| s.edges.as_slice()));
+        }
+        let report = uf.union_edge_lists_sharded(&lists, shards, || tel.now_ms());
+        record_shard_report(tel, "mapping", &report);
+        AsOrgMapping::from_groups(uf.into_groups(&self.compiled.interner))
+    }
+
     /// Materializes one mapping per feature set, fanning the independent
     /// replays out over `threads` worker threads. Results come back in
     /// input order and are bit-identical to calling [`Borges::mapping`]
     /// sequentially (assembly is key-canonical; threads change only
     /// wall-clock time). This is how the Table 6 sweep runs all 16
     /// combinations.
+    ///
+    /// When there are fewer feature sets than workers (e.g. the CLI's
+    /// single `--features` mapping with `--threads 8`), the spare
+    /// capacity moves *inside* each replay: every materialization runs
+    /// [`Borges::mapping_sharded`] with `threads` shards instead. Pure
+    /// scheduling — the results are byte-identical either way.
     pub fn mappings_parallel(&self, features: &[FeatureSet], threads: usize) -> Vec<AsOrgMapping> {
         self.mappings_parallel_traced(features, threads, &Telemetry::disabled())
     }
@@ -1179,6 +1391,14 @@ impl Borges {
         threads: usize,
         tel: &Telemetry,
     ) -> Vec<AsOrgMapping> {
+        // With fewer combinations than workers, cross-combination
+        // fan-out cannot use the spare threads; shard inside each
+        // replay instead (byte-identical output either way).
+        let shards = if threads > 1 && features.len() < threads {
+            threads
+        } else {
+            1
+        };
         if !tel.is_enabled() {
             // Replay cost is dominated by the selected edge lists (ALL
             // unions every segment, NONE only clones the base forest), so
@@ -1188,7 +1408,7 @@ impl Borges {
                 features,
                 threads,
                 |&f| self.edge_weight(f),
-                |&f| self.mapping(f),
+                |&f| self.mapping_sharded(f, shards),
             );
         }
         let root = tel.span("mappings");
@@ -1206,7 +1426,7 @@ impl Borges {
                         let span = root.child("materialize");
                         span.field("features", f.label());
                         let started_ms = tel.now_ms();
-                        let mapping = self.mapping(f);
+                        let mapping = self.mapping_sharded_traced(f, shards, tel);
                         tel.observe_ms(
                             "borges_mapping_materialize_ms",
                             tel.now_ms().saturating_sub(started_ms),

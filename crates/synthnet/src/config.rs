@@ -120,6 +120,39 @@ impl GeneratorConfig {
         }
     }
 
+    /// Larger-than-paper scale (~130k ASNs) for the streaming generator
+    /// and the compile-sharding benches. Worlds this size should be
+    /// generated with [`crate::stream::generate_to_dir`], which never
+    /// materializes them in memory.
+    pub fn large(seed: u64) -> Self {
+        GeneratorConfig {
+            seed,
+            singleton_orgs: 100_000,
+            small_multi_orgs: 8_000,
+            conglomerates: 500,
+            transit_orgs: 800,
+            gov_mega_orgs: 10,
+            gov_mega_asns: 700,
+            ..Self::rates(seed)
+        }
+    }
+
+    /// The ROADMAP's north-star scale: ~1M ASNs. Streaming-only in
+    /// practice; materializing a world this size multiplies every record
+    /// several times over in RAM.
+    pub fn million(seed: u64) -> Self {
+        GeneratorConfig {
+            seed,
+            singleton_orgs: 780_000,
+            small_multi_orgs: 60_000,
+            conglomerates: 4_000,
+            transit_orgs: 6_000,
+            gov_mega_orgs: 20,
+            gov_mega_asns: 1_000,
+            ..Self::rates(seed)
+        }
+    }
+
     /// A few hundred ASNs for unit tests.
     pub fn tiny(seed: u64) -> Self {
         GeneratorConfig {
@@ -165,15 +198,39 @@ impl GeneratorConfig {
         }
     }
 
-    /// Rough expected ASN total for this config (used by tests to pick
-    /// sensible assertions, not by the generator).
+    /// The *expected* ASN total for this config — exact in expectation,
+    /// not a guess: each term is the category count times the mean of
+    /// its per-org size distribution in the generator (gov mega-orgs
+    /// and scripted anecdotes are deterministic, so those terms are
+    /// exact, full stop). Bench labels and CI sizing use this; actual
+    /// generated counts land within a few percent because the random
+    /// categories (small-multi, conglomerate, transit) concentrate
+    /// tightly around their means at any realistic org count.
     pub fn approx_asn_count(&self) -> usize {
-        self.singleton_orgs
-            + self.small_multi_orgs * 3
-            + self.conglomerates * 14
-            + self.transit_orgs * 4
-            + self.gov_mega_orgs * self.gov_mega_asns
+        // Uniform 2..=4 units per small-multi org.
+        let small_multi = self.small_multi_orgs * 3;
+        // Conglomerate size classes [0.45, 0.30, 0.18, 0.07] over
+        // uniform 2..=4, 5..=8, 9..=15, 14..=22 ⇒ mean 6.72 units.
+        let conglomerate = (self.conglomerates as f64 * 6.72).round() as usize;
+        // Transit size classes [0.40, 0.25, 0.20, 0.10, 0.05] over
+        // 1, 2, 3..=4, 5..=8, 9..=14 ⇒ mean 2.825 units.
+        let transit = (self.transit_orgs as f64 * 2.825).round() as usize;
+        // Deterministic: max(gov_mega_asns / (i+1), 10) units for org i.
+        let gov: usize = (0..self.gov_mega_orgs)
+            .map(|i| (self.gov_mega_asns / (i + 1)).max(10))
+            .sum();
+        scripted_asn_count() + self.singleton_orgs + small_multi + conglomerate + transit + gov
     }
+}
+
+/// ASNs contributed by the scripted paper anecdotes, present in every
+/// world regardless of scale.
+fn scripted_asn_count() -> usize {
+    let mut next_id = 0;
+    crate::scripted::scripted_orgs(&mut next_id)
+        .iter()
+        .map(|o| o.units.len())
+        .sum()
 }
 
 #[cfg(test)]
@@ -197,6 +254,53 @@ mod tests {
         assert_eq!(p.text_rate, t.text_rate);
         assert_eq!(p.website_rate, t.website_rate);
         assert!(p.singleton_orgs > t.singleton_orgs);
+    }
+
+    #[test]
+    fn large_preset_clears_the_scale_floor() {
+        assert!(GeneratorConfig::large(1).approx_asn_count() >= 100_000);
+    }
+
+    #[test]
+    fn million_preset_is_million_scale() {
+        let n = GeneratorConfig::million(1).approx_asn_count();
+        assert!(
+            (950_000..1_100_000).contains(&n),
+            "million preset expects {n} ASNs"
+        );
+    }
+
+    #[test]
+    fn expected_count_is_exact_for_deterministic_categories() {
+        // A config with only deterministic categories (gov + scripted)
+        // must predict the generated world's size *exactly*.
+        let config = GeneratorConfig {
+            singleton_orgs: 0,
+            small_multi_orgs: 0,
+            conglomerates: 0,
+            transit_orgs: 0,
+            gov_mega_orgs: 3,
+            gov_mega_asns: 40,
+            ..GeneratorConfig::tiny(9)
+        };
+        let world = crate::SyntheticInternet::generate(&config);
+        assert_eq!(world.truth.asn_count(), config.approx_asn_count());
+    }
+
+    #[test]
+    fn expected_count_tracks_generated_worlds_closely() {
+        for seed in [3, 17] {
+            let config = GeneratorConfig::tiny(seed);
+            let world = crate::SyntheticInternet::generate(&config);
+            let expected = config.approx_asn_count();
+            let actual = world.truth.asn_count();
+            let err = (actual as f64 - expected as f64).abs() / expected as f64;
+            assert!(
+                err < 0.10,
+                "seed {seed}: expected {expected}, generated {actual} ({:.1}% off)",
+                err * 100.0
+            );
+        }
     }
 
     #[test]

@@ -25,7 +25,7 @@ use crate::textgen::{self, SiblingMention};
 use borges_peeringdb::{PdbNetwork, PdbOrganization, PdbSnapshot};
 use borges_topology::AsGraph;
 use borges_types::{Asn, CountryCode, PdbOrgId, WhoisOrgId};
-use borges_websim::{RedirectKind, SimWeb};
+use borges_websim::{RedirectKind, SimWeb, SiteNode};
 use borges_whois::{AutNum, Rir, WhoisOrg, WhoisRegistry};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -118,16 +118,39 @@ impl SyntheticInternet {
 }
 
 // ---------------------------------------------------------------------
+// Org sink: where the truth pass delivers organizations
+// ---------------------------------------------------------------------
+
+/// Receives [`TruthOrg`]s one at a time as the truth pass produces them.
+///
+/// [`SyntheticInternet::generate`] materializes them into a `Vec`; the
+/// streaming path ([`crate::stream::generate_to_dir`]) writes each
+/// organization's records straight to disk and drops it, so a
+/// million-ASN world never exists in memory at once. Both paths drive
+/// the *same* truth-pass code with the same RNG draws, so the ground
+/// truth is identical regardless of the sink.
+pub(crate) trait OrgSink {
+    /// Accepts the next organization, in generation order.
+    fn accept(&mut self, org: TruthOrg);
+}
+
+impl OrgSink for Vec<TruthOrg> {
+    fn accept(&mut self, org: TruthOrg) {
+        self.push(org);
+    }
+}
+
+// ---------------------------------------------------------------------
 // ASN allocation
 // ---------------------------------------------------------------------
 
-struct AsnAllocator {
+pub(crate) struct AsnAllocator {
     next: u32,
     used: BTreeSet<Asn>,
 }
 
 impl AsnAllocator {
-    fn new(reserved: impl IntoIterator<Item = Asn>) -> Self {
+    pub(crate) fn new(reserved: impl IntoIterator<Item = Asn>) -> Self {
         AsnAllocator {
             next: 100,
             used: reserved.into_iter().collect(),
@@ -170,12 +193,12 @@ fn blank_unit(asn: Asn, country: usize, legal_name: String) -> TruthUnit {
 
 /// Government mega-orgs: hundreds of ASNs under one WHOIS org, invisible
 /// in PeeringDB (the DNIC-ARIN shape, AS2Org's largest org).
-fn gen_gov_mega(
+pub(crate) fn gen_gov_mega<S: OrgSink>(
     config: &GeneratorConfig,
     rng: &mut StdRng,
     alloc: &mut AsnAllocator,
     next_id: &mut usize,
-    orgs: &mut Vec<TruthOrg>,
+    sink: &mut S,
 ) {
     for i in 0..config.gov_mega_orgs {
         let n = (config.gov_mega_asns / (i + 1)).max(10);
@@ -187,7 +210,7 @@ fn gen_gov_mega(
                 u
             })
             .collect();
-        orgs.push(TruthOrg {
+        sink.accept(TruthOrg {
             id: TruthOrgId(*next_id),
             brand: format!("govnet{i}"),
             display_name: format!("Government Networks Directorate {i}"),
@@ -244,12 +267,12 @@ enum DomainStyle {
     Distinct,
 }
 
-fn gen_conglomerates(
+pub(crate) fn gen_conglomerates<S: OrgSink>(
     config: &GeneratorConfig,
     rng: &mut StdRng,
     alloc: &mut AsnAllocator,
     next_id: &mut usize,
-    orgs: &mut Vec<TruthOrg>,
+    sink: &mut S,
 ) {
     let mut distinct_brand_counter = 400_000usize;
     for i in 0..config.conglomerates {
@@ -416,7 +439,7 @@ fn gen_conglomerates(
             let _ = lang;
         }
 
-        orgs.push(TruthOrg {
+        sink.accept(TruthOrg {
             id: TruthOrgId(*next_id),
             brand,
             display_name: naming::legal_name(&naming::brand(10_000 + i), i),
@@ -428,12 +451,12 @@ fn gen_conglomerates(
     }
 }
 
-fn gen_transit(
+pub(crate) fn gen_transit<S: OrgSink>(
     config: &GeneratorConfig,
     rng: &mut StdRng,
     alloc: &mut AsnAllocator,
     next_id: &mut usize,
-    orgs: &mut Vec<TruthOrg>,
+    sink: &mut S,
 ) {
     for i in 0..config.transit_orgs {
         let brand = naming::brand(40_000 + i);
@@ -494,7 +517,7 @@ fn gen_transit(
         for u in &mut units {
             assign_basic_text(config, rng, u);
         }
-        orgs.push(TruthOrg {
+        sink.accept(TruthOrg {
             id: TruthOrgId(*next_id),
             brand: brand.clone(),
             display_name: naming::legal_name(&brand, i + 1),
@@ -506,12 +529,12 @@ fn gen_transit(
     }
 }
 
-fn gen_small_multi(
+pub(crate) fn gen_small_multi<S: OrgSink>(
     config: &GeneratorConfig,
     rng: &mut StdRng,
     alloc: &mut AsnAllocator,
     next_id: &mut usize,
-    orgs: &mut Vec<TruthOrg>,
+    sink: &mut S,
 ) {
     for i in 0..config.small_multi_orgs {
         let brand = naming::brand(60_000 + i);
@@ -560,7 +583,7 @@ fn gen_small_multi(
         for u in &mut units {
             assign_basic_text(config, rng, u);
         }
-        orgs.push(TruthOrg {
+        sink.accept(TruthOrg {
             id: TruthOrgId(*next_id),
             brand: brand.clone(),
             display_name: naming::legal_name(&brand, i + 2),
@@ -583,12 +606,12 @@ const SOCIAL_PLATFORMS: &[&str] = &[
     "www.peeringdb.com",
 ];
 
-fn gen_singletons(
+pub(crate) fn gen_singletons<S: OrgSink>(
     config: &GeneratorConfig,
     rng: &mut StdRng,
     alloc: &mut AsnAllocator,
     next_id: &mut usize,
-    orgs: &mut Vec<TruthOrg>,
+    sink: &mut S,
 ) {
     // Deliberate brand-label collisions between unrelated orgs sharing a
     // framework favicon: the step-1 false-positive family of Table 5.
@@ -663,7 +686,7 @@ fn gen_singletons(
                 }
             }
         }
-        orgs.push(TruthOrg {
+        sink.accept(TruthOrg {
             id: TruthOrgId(*next_id),
             brand: brand.clone(),
             display_name: naming::legal_name(&brand, i),
@@ -693,18 +716,31 @@ fn distribute_remaining_population(
         .filter(|o| o.kind == OrgKind::Singleton)
         .map(TruthOrg::total_users)
         .sum();
-    if placeholder == 0 {
+    let Some(scale) = singleton_scale(config.total_users, fixed, placeholder) else {
         return;
-    }
-    let budget = config.total_users.saturating_sub(fixed);
-    let scale = budget as f64 / placeholder as f64;
+    };
     for org in orgs.iter_mut().filter(|o| o.kind == OrgKind::Singleton) {
         for unit in &mut org.units {
             if unit.users > 0 {
-                unit.users = ((unit.users as f64 * scale) as u64).max(1);
+                unit.users = scale_users(unit.users, scale);
             }
         }
     }
+}
+
+/// The singleton population scale factor: remaining budget divided by
+/// the placeholder weight sum (`None` when there are no placeholders).
+/// Shared with the streaming path so both scale identically.
+pub(crate) fn singleton_scale(total_users: u64, fixed: u64, placeholder: u64) -> Option<f64> {
+    if placeholder == 0 {
+        return None;
+    }
+    Some(total_users.saturating_sub(fixed) as f64 / placeholder as f64)
+}
+
+/// Applies the singleton scale to one placeholder weight (floor, min 1).
+pub(crate) fn scale_users(users: u64, scale: f64) -> u64 {
+    ((users as f64 * scale) as u64).max(1)
 }
 
 // ---------------------------------------------------------------------
@@ -723,20 +759,37 @@ fn rir_of(country: &CountryInfo) -> Rir {
     }
 }
 
-pub(crate) fn emit_whois(truth: &GroundTruth, rng: &mut StdRng) -> WhoisRegistry {
-    let mut orgs: Vec<WhoisOrg> = Vec::new();
-    let mut auts: Vec<AutNum> = Vec::new();
-    let mut serial = 1usize;
+/// Per-organization WHOIS record emission.
+///
+/// Carries the handle serial counter across organizations so that both
+/// the materialized path ([`emit_whois`]) and the streaming path can
+/// produce records one organization at a time with identical draws.
+pub(crate) struct WhoisEmitter {
+    serial: usize,
+}
 
-    for org in truth.orgs() {
+impl WhoisEmitter {
+    pub(crate) fn new() -> Self {
+        WhoisEmitter { serial: 1 }
+    }
+
+    /// Appends `org`'s WHOIS org records and aut-num records to the
+    /// output vectors (two RNG draws per unit, for the `changed` date).
+    pub(crate) fn org_records(
+        &mut self,
+        org: &TruthOrg,
+        rng: &mut StdRng,
+        orgs: &mut Vec<WhoisOrg>,
+        auts: &mut Vec<AutNum>,
+    ) {
         let hq = &COUNTRIES[org.hq_country];
         let parent_rir = rir_of(hq);
         let parent_handle = WhoisOrgId::new(naming::whois_handle(
             &org.brand,
-            serial,
+            self.serial,
             parent_rir.as_str(),
         ));
-        serial += 1;
+        self.serial += 1;
         let mut parent_emitted = false;
 
         for unit in &org.units {
@@ -748,10 +801,10 @@ pub(crate) fn emit_whois(truth: &GroundTruth, rng: &mut StdRng) -> WhoisRegistry
             let handle = if unit.whois_own_org {
                 let h = WhoisOrgId::new(naming::whois_handle(
                     &format!("{}{}", org.brand, cinfo.token),
-                    serial,
+                    self.serial,
                     rir.as_str(),
                 ));
-                serial += 1;
+                self.serial += 1;
                 orgs.push(WhoisOrg {
                     id: h.clone(),
                     name: unit.legal_name.as_str().into(),
@@ -788,6 +841,15 @@ pub(crate) fn emit_whois(truth: &GroundTruth, rng: &mut StdRng) -> WhoisRegistry
             });
         }
     }
+}
+
+pub(crate) fn emit_whois(truth: &GroundTruth, rng: &mut StdRng) -> WhoisRegistry {
+    let mut orgs: Vec<WhoisOrg> = Vec::new();
+    let mut auts: Vec<AutNum> = Vec::new();
+    let mut emitter = WhoisEmitter::new();
+    for org in truth.orgs() {
+        emitter.org_records(org, rng, &mut orgs, &mut auts);
+    }
 
     WhoisRegistry::builder()
         .extend(orgs, auts)
@@ -795,28 +857,44 @@ pub(crate) fn emit_whois(truth: &GroundTruth, rng: &mut StdRng) -> WhoisRegistry
         .expect("generator emits a consistent WHOIS view")
 }
 
-pub(crate) fn emit_pdb(
-    truth: &GroundTruth,
-    rng: &mut StdRng,
-) -> (PdbSnapshot, BTreeMap<Asn, Vec<Asn>>) {
-    let mut orgs: Vec<PdbOrganization> = Vec::new();
-    let mut nets: Vec<PdbNetwork> = Vec::new();
-    let mut labels: BTreeMap<Asn, Vec<Asn>> = BTreeMap::new();
-    let mut org_id = 1u64;
-    let mut net_id = 1u64;
+/// Per-organization PeeringDB record emission.
+///
+/// Carries the org/net primary-key counters across organizations, like
+/// [`WhoisEmitter`] does for the handle serial.
+pub(crate) struct PdbEmitter {
+    org_id: u64,
+    net_id: u64,
+}
 
-    for org in truth.orgs() {
+impl PdbEmitter {
+    pub(crate) fn new() -> Self {
+        PdbEmitter {
+            org_id: 1,
+            net_id: 1,
+        }
+    }
+
+    /// Appends `org`'s PeeringDB organizations and networks to the
+    /// output vectors, recording embedded sibling labels into `labels`.
+    pub(crate) fn org_records(
+        &mut self,
+        org: &TruthOrg,
+        rng: &mut StdRng,
+        orgs: &mut Vec<PdbOrganization>,
+        nets: &mut Vec<PdbNetwork>,
+        labels: &mut BTreeMap<Asn, Vec<Asn>>,
+    ) {
         let registered: Vec<&TruthUnit> = org.units.iter().filter(|u| u.in_pdb).collect();
         if registered.is_empty() {
-            continue;
+            return;
         }
         // One consolidated org for the `pdb_own_org == false` members.
         let consolidated: Vec<&&TruthUnit> = registered.iter().filter(|u| !u.pdb_own_org).collect();
         let consolidated_org = if consolidated.is_empty() {
             None
         } else {
-            let id = PdbOrgId::new(org_id);
-            org_id += 1;
+            let id = PdbOrgId::new(self.org_id);
+            self.org_id += 1;
             orgs.push(PdbOrganization {
                 id,
                 name: org.display_name.clone(),
@@ -828,8 +906,8 @@ pub(crate) fn emit_pdb(
 
         for unit in registered {
             let oid = if unit.pdb_own_org {
-                let id = PdbOrgId::new(org_id);
-                org_id += 1;
+                let id = PdbOrgId::new(self.org_id);
+                self.org_id += 1;
                 orgs.push(PdbOrganization {
                     id,
                     name: unit.legal_name.clone(),
@@ -848,7 +926,7 @@ pub(crate) fn emit_pdb(
             }
             let website = render_website(&unit.web, &org.brand, rng);
             nets.push(PdbNetwork {
-                id: net_id,
+                id: self.net_id,
                 org_id: oid,
                 asn: unit.asn,
                 name: unit.legal_name.clone(),
@@ -856,8 +934,21 @@ pub(crate) fn emit_pdb(
                 notes,
                 website,
             });
-            net_id += 1;
+            self.net_id += 1;
         }
+    }
+}
+
+pub(crate) fn emit_pdb(
+    truth: &GroundTruth,
+    rng: &mut StdRng,
+) -> (PdbSnapshot, BTreeMap<Asn, Vec<Asn>>) {
+    let mut orgs: Vec<PdbOrganization> = Vec::new();
+    let mut nets: Vec<PdbNetwork> = Vec::new();
+    let mut labels: BTreeMap<Asn, Vec<Asn>> = BTreeMap::new();
+    let mut emitter = PdbEmitter::new();
+    for org in truth.orgs() {
+        emitter.org_records(org, rng, &mut orgs, &mut nets, &mut labels);
     }
 
     let snapshot = PdbSnapshot::builder()
@@ -927,44 +1018,115 @@ fn render_website(plan: &WebPlan, brand: &str, rng: &mut StdRng) -> String {
     }
 }
 
-pub(crate) fn emit_web(truth: &GroundTruth) -> SimWeb {
-    let mut builder = SimWeb::builder();
-    let mut registered: BTreeSet<String> = BTreeSet::new();
+/// One deferred second-pass web node: a redirect chain or a dead host,
+/// kept in arrival order until every `Own` page has been emitted.
+enum DeferredWeb {
+    Redirect {
+        reported_host: String,
+        target_host: String,
+        via: Option<String>,
+        js: bool,
+    },
+    Dead(String),
+}
 
-    // Social platforms exist regardless of who references them.
-    for platform in SOCIAL_PLATFORMS {
-        builder = builder.page(
-            platform,
-            Some(FaviconKind::Brand((*platform).to_string()).hash().unwrap()),
-        );
-        registered.insert((*platform).to_string());
+/// Per-organization web emission.
+///
+/// The materialized [`emit_web`] runs three *global* passes over the
+/// world (own pages, then redirects/dead hosts, then orphan redirect
+/// targets) so that redirect targets always resolve and a host that is
+/// both a redirect source and a target keeps its redirect. To emit the
+/// same web one organization at a time, this emitter streams `Own`
+/// pages immediately and defers the other two passes into bounded
+/// buffers (a few fields per redirect/dead plan — not whole
+/// organizations) that [`WebEmitter::seal`] replays at the end. The
+/// first-writer-wins dedup order is exactly that of the global passes.
+pub(crate) struct WebEmitter {
+    registered: BTreeSet<String>,
+    deferred: Vec<DeferredWeb>,
+    /// `(target_host, favicon)` for the orphan-target pass.
+    orphans: Vec<(String, Option<borges_types::FaviconHash>)>,
+}
+
+impl WebEmitter {
+    /// Creates the emitter and emits the always-present social-platform
+    /// pages through `emit`.
+    pub(crate) fn new(emit: &mut impl FnMut(&str, SiteNode)) -> Self {
+        let mut registered: BTreeSet<String> = BTreeSet::new();
+        for platform in SOCIAL_PLATFORMS {
+            emit(
+                platform,
+                SiteNode::page(
+                    platform,
+                    Some(FaviconKind::Brand((*platform).to_string()).hash().unwrap()),
+                ),
+            );
+            registered.insert((*platform).to_string());
+        }
+        WebEmitter {
+            registered,
+            deferred: Vec::new(),
+            orphans: Vec::new(),
+        }
     }
 
-    // First pass: every Own site, so redirect targets resolve.
-    for org in truth.orgs() {
+    /// Emits `org`'s own pages and buffers its redirect/dead plans.
+    pub(crate) fn accept(&mut self, org: &TruthOrg, emit: &mut impl FnMut(&str, SiteNode)) {
         for unit in &org.units {
-            if let WebPlan::Own {
-                host,
-                canonical_path,
-                favicon,
-            } = &unit.web
-            {
-                if registered.insert(host.clone()) {
-                    let canonical = match canonical_path {
-                        Some(path) => format!("https://{host}{path}"),
-                        None => format!("https://{host}/"),
-                    };
-                    builder = builder.page_at(host, &canonical, favicon.hash());
+            match &unit.web {
+                WebPlan::Own {
+                    host,
+                    canonical_path,
+                    favicon,
+                } => {
+                    if self.registered.insert(host.clone()) {
+                        let canonical = match canonical_path {
+                            Some(path) => format!("https://{host}{path}"),
+                            None => format!("https://{host}/"),
+                        };
+                        emit(
+                            host,
+                            SiteNode::Page {
+                                canonical: canonical.parse().expect("valid canonical url"),
+                                favicon: favicon.hash(),
+                            },
+                        );
+                    }
                 }
+                WebPlan::RedirectToHost {
+                    reported_host,
+                    target_host,
+                    via,
+                    js,
+                } => {
+                    self.deferred.push(DeferredWeb::Redirect {
+                        reported_host: reported_host.clone(),
+                        target_host: target_host.clone(),
+                        via: via.clone(),
+                        js: *js,
+                    });
+                    self.orphans.push((
+                        target_host.clone(),
+                        FaviconKind::Brand(org.brand.clone()).hash(),
+                    ));
+                }
+                WebPlan::Dead { host } => {
+                    self.deferred.push(DeferredWeb::Dead(host.clone()));
+                }
+                WebPlan::None | WebPlan::Social { .. } => {}
             }
         }
     }
 
-    // Second pass: redirects and dead hosts.
-    for org in truth.orgs() {
-        for unit in &org.units {
-            match &unit.web {
-                WebPlan::RedirectToHost {
+    /// Replays the deferred redirect/dead pass, then the orphan-target
+    /// pass. Call once, after every organization has been accepted.
+    pub(crate) fn seal(self, emit: &mut impl FnMut(&str, SiteNode)) {
+        let mut registered = self.registered;
+
+        // Second pass: redirects and dead hosts.
+        for plan in &self.deferred {
+            match plan {
+                DeferredWeb::Redirect {
                     reported_host,
                     target_host,
                     via,
@@ -978,57 +1140,79 @@ pub(crate) fn emit_web(truth: &GroundTruth) -> SimWeb {
                     match via {
                         Some(mid) => {
                             if registered.insert(reported_host.clone()) {
-                                builder = builder.redirect(
+                                emit(
                                     reported_host,
-                                    &format!("https://{mid}/"),
-                                    RedirectKind::Http,
+                                    SiteNode::Redirect {
+                                        to: format!("https://{mid}/")
+                                            .parse()
+                                            .expect("valid redirect target"),
+                                        kind: RedirectKind::Http,
+                                    },
                                 );
                             }
                             if registered.insert(mid.clone()) {
-                                builder = builder.redirect(
+                                emit(
                                     mid,
-                                    &format!("https://{target_host}/"),
-                                    final_kind,
+                                    SiteNode::Redirect {
+                                        to: format!("https://{target_host}/")
+                                            .parse()
+                                            .expect("valid redirect target"),
+                                        kind: final_kind,
+                                    },
                                 );
                             }
                         }
                         None => {
                             if registered.insert(reported_host.clone()) {
-                                builder = builder.redirect(
+                                emit(
                                     reported_host,
-                                    &format!("https://{target_host}/"),
-                                    final_kind,
+                                    SiteNode::Redirect {
+                                        to: format!("https://{target_host}/")
+                                            .parse()
+                                            .expect("valid redirect target"),
+                                        kind: final_kind,
+                                    },
                                 );
                             }
                         }
                     }
                 }
-                WebPlan::Dead { host } if registered.insert(host.clone()) => {
-                    builder = builder.down(host);
+                DeferredWeb::Dead(host) => {
+                    if registered.insert(host.clone()) {
+                        emit(host, SiteNode::Down);
+                    }
                 }
-                _ => {}
+            }
+        }
+
+        // Third pass: redirect *targets* that nothing serves and nothing
+        // redirects — e.g. the post-merger brand `www.edg.io`, which
+        // exists on the web but not yet in any PeeringDB record. They
+        // must serve a page for chains to land. This runs after the
+        // redirect pass so that a host that is both a target (Sprint →
+        // Cogent) and a source (Cogent → a later acquirer) keeps its
+        // redirect.
+        for (target_host, favicon) in &self.orphans {
+            if registered.insert(target_host.clone()) {
+                emit(target_host, SiteNode::page(target_host, *favicon));
             }
         }
     }
+}
 
-    // Third pass: redirect *targets* that nothing serves and nothing
-    // redirects —
-    // e.g. the post-merger brand `www.edg.io`, which exists on the web
-    // but not yet in any PeeringDB record. They must serve a page for
-    // chains to land. This runs after the redirect pass so that a host
-    // that is both a target (Sprint → Cogent) and a source (Cogent →
-    // a later acquirer) keeps its redirect.
+pub(crate) fn emit_web(truth: &GroundTruth) -> SimWeb {
+    let mut nodes: Vec<(String, SiteNode)> = Vec::new();
+    let mut push = |host: &str, node: SiteNode| nodes.push((host.to_string(), node));
+    let mut emitter = WebEmitter::new(&mut push);
     for org in truth.orgs() {
-        for unit in &org.units {
-            if let WebPlan::RedirectToHost { target_host, .. } = &unit.web {
-                if registered.insert(target_host.clone()) {
-                    let favicon = FaviconKind::Brand(org.brand.clone()).hash();
-                    builder = builder.page(target_host, favicon);
-                }
-            }
-        }
+        emitter.accept(org, &mut push);
     }
+    emitter.seal(&mut push);
 
+    let mut builder = SimWeb::builder();
+    for (host, node) in nodes {
+        builder = builder.node(host.parse().expect("valid host literal"), node);
+    }
     builder.build()
 }
 

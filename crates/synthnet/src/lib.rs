@@ -52,6 +52,7 @@ pub mod io;
 pub mod naming;
 pub mod orgmodel;
 pub mod scripted;
+pub mod stream;
 pub mod textgen;
 pub mod topogen;
 
@@ -59,6 +60,8 @@ pub use churn::{churn, ChurnReport};
 pub use config::GeneratorConfig;
 pub use evolve::{EvolutionEvent, EvolveError};
 pub use generate::{PopulationRecord, SyntheticInternet};
+pub use stream::{generate_to_dir, StreamReport};
+
 pub use orgmodel::{
     level3_timeline, FaviconKind, GroundTruth, MnaEvent, MnaEventKind, OrgKind, TextPlan, TruthOrg,
     TruthOrgId, TruthUnit, WebPlan,

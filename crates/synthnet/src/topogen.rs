@@ -24,8 +24,34 @@ use borges_types::Asn;
 use rand::rngs::StdRng;
 use rand::Rng;
 
+/// The per-organization summary topology emission actually needs: the
+/// category and the unit ASNs in declaration order (the first is the
+/// flagship). The streaming generator buffers one of these per org —
+/// a few bytes per ASN — instead of whole [`crate::orgmodel::TruthOrg`]s.
+pub(crate) struct OrgTopo {
+    pub(crate) kind: OrgKind,
+    pub(crate) asns: Vec<Asn>,
+}
+
+impl OrgTopo {
+    pub(crate) fn of(org: &crate::orgmodel::TruthOrg) -> Self {
+        OrgTopo {
+            kind: org.kind,
+            asns: org.units.iter().map(|u| u.asn).collect(),
+        }
+    }
+}
+
 /// Builds the relationship graph for a world.
 pub(crate) fn emit_topology(truth: &GroundTruth, rng: &mut StdRng) -> AsGraph {
+    let summaries: Vec<OrgTopo> = truth.orgs().map(OrgTopo::of).collect();
+    emit_topology_from(&summaries, rng)
+}
+
+/// [`emit_topology`] over pre-extracted per-org summaries, in the same
+/// org order with the same RNG draw sequence (the two entry points are
+/// draw-for-draw identical).
+pub(crate) fn emit_topology_from(orgs: &[OrgTopo], rng: &mut StdRng) -> AsGraph {
     let mut builder = AsGraphBuilder::new();
 
     // Classify provider pools.
@@ -34,23 +60,23 @@ pub(crate) fn emit_topology(truth: &GroundTruth, rng: &mut StdRng) -> AsGraph {
     let mut regional: Vec<(Asn, f64)> = Vec::new(); // weighted stub-provider pool
     let mut hypergiant_primaries: Vec<Asn> = Vec::new();
 
-    for org in truth.orgs() {
-        let flagship = match org.units.first() {
-            Some(u) => u.asn,
+    for org in orgs {
+        let flagship = match org.asns.first() {
+            Some(&asn) => asn,
             None => continue,
         };
         match org.kind {
             OrgKind::Transit => {
-                if org.units.len() >= 8 {
+                if org.asns.len() >= 8 {
                     tier1.push(flagship);
-                } else if org.units.len() >= 3 {
+                } else if org.asns.len() >= 3 {
                     tier2.push(flagship);
                 } else {
-                    regional.push((flagship, 1.0 + org.units.len() as f64));
+                    regional.push((flagship, 1.0 + org.asns.len() as f64));
                 }
             }
             OrgKind::Conglomerate => {
-                if org.units.len() >= 8 {
+                if org.asns.len() >= 8 {
                     tier2.push(flagship);
                 } else {
                     regional.push((flagship, 2.0));
@@ -122,9 +148,9 @@ pub(crate) fn emit_topology(truth: &GroundTruth, rng: &mut StdRng) -> AsGraph {
     }
 
     // Per-organization internal hierarchy + stub uplinks.
-    for org in truth.orgs() {
-        let flagship = match org.units.first() {
-            Some(u) => u.asn,
+    for org in orgs {
+        let flagship = match org.asns.first() {
+            Some(&asn) => asn,
             None => continue,
         };
         match org.kind {
@@ -135,8 +161,8 @@ pub(crate) fn emit_topology(truth: &GroundTruth, rng: &mut StdRng) -> AsGraph {
             | OrgKind::SmallMulti
             | OrgKind::Ixp => {
                 // Subsidiaries sit under the flagship.
-                for unit in &org.units[1..] {
-                    builder.provider_customer(flagship, unit.asn);
+                for &asn in &org.asns[1..] {
+                    builder.provider_customer(flagship, asn);
                 }
                 // Non-transit flagships also need upstreams (transit tiers
                 // were wired above; hypergiants too).
@@ -164,8 +190,8 @@ pub(crate) fn emit_topology(truth: &GroundTruth, rng: &mut StdRng) -> AsGraph {
             }
         }
         // Every unit exists as a node even if some wiring was skipped.
-        for unit in &org.units {
-            builder.node(unit.asn);
+        for &asn in &org.asns {
+            builder.node(asn);
         }
     }
 

@@ -47,3 +47,4 @@ pub use hosting::{SimWeb, SimWebBuilder};
 pub use retry::RetryingWebClient;
 pub use scraper::{ScrapeReport, ScrapeStats, ScrapedSite, Scraper};
 pub use site::{RedirectKind, SiteNode};
+pub use snapshot::SnapshotWriter;

@@ -66,6 +66,54 @@ pub fn to_json(web: &SimWeb) -> String {
     serde_json::to_string_pretty(&dump).expect("web dump serialization cannot fail")
 }
 
+/// Streams a web snapshot to a writer one host at a time, so a
+/// million-host simulated web never has to exist in memory. The output
+/// is the same `{"hosts":[{"host":…,"node":…},…]}` shape [`from_json`]
+/// reads (compact rather than pretty-printed).
+pub struct SnapshotWriter<W: std::io::Write> {
+    out: W,
+    count: usize,
+}
+
+impl<W: std::io::Write> SnapshotWriter<W> {
+    /// Starts a snapshot on `out`.
+    pub fn new(mut out: W) -> std::io::Result<Self> {
+        out.write_all(b"{\"hosts\":[")?;
+        Ok(SnapshotWriter { out, count: 0 })
+    }
+
+    /// Appends one host. Hosts may arrive in any order; re-registering a
+    /// host is the caller's bug ([`from_json`] would keep the last one,
+    /// like [`SimWebBuilder::node`]).
+    pub fn node(&mut self, host: &str, node: &SiteNode) -> std::io::Result<()> {
+        if self.count > 0 {
+            self.out.write_all(b",\n")?;
+        } else {
+            self.out.write_all(b"\n")?;
+        }
+        let entry = HostEntry {
+            host: host.to_string(),
+            node: node.clone(),
+        };
+        let json = serde_json::to_string(&entry).expect("host entry serialization cannot fail");
+        self.out.write_all(json.as_bytes())?;
+        self.count += 1;
+        Ok(())
+    }
+
+    /// Hosts written so far.
+    pub fn host_count(&self) -> usize {
+        self.count
+    }
+
+    /// Closes the JSON document and flushes, returning the host count.
+    pub fn finish(mut self) -> std::io::Result<usize> {
+        self.out.write_all(b"\n]}\n")?;
+        self.out.flush()?;
+        Ok(self.count)
+    }
+}
+
 /// Parses a web snapshot back.
 pub fn from_json(text: &str) -> Result<SimWeb, WebSnapshotError> {
     let dump: Dump = serde_json::from_str(text).map_err(WebSnapshotError::Json)?;
@@ -82,6 +130,31 @@ mod tests {
     use super::*;
     use crate::site::RedirectKind;
     use borges_types::FaviconHash;
+
+    #[test]
+    fn streaming_writer_output_loads_identically() {
+        let original = web();
+        let mut buf: Vec<u8> = Vec::new();
+        let mut writer = SnapshotWriter::new(&mut buf).unwrap();
+        for (host, node) in original.hosts() {
+            writer.node(host.as_str(), node).unwrap();
+        }
+        assert_eq!(writer.finish().unwrap(), original.host_count());
+        let back = from_json(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(back.host_count(), original.host_count());
+        for (host, node) in original.hosts() {
+            assert_eq!(back.lookup(host), Some(node), "{host} changed");
+        }
+    }
+
+    #[test]
+    fn streaming_writer_empty_snapshot_is_valid() {
+        let mut buf: Vec<u8> = Vec::new();
+        let writer = SnapshotWriter::new(&mut buf).unwrap();
+        assert_eq!(writer.finish().unwrap(), 0);
+        let back = from_json(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(back.host_count(), 0);
+    }
 
     fn web() -> SimWeb {
         SimWeb::builder()

@@ -106,8 +106,11 @@ enum Section {
     Aut,
 }
 
-const ORG_HEADER: &str = "# format:org_id|changed|org_name|country|source";
-const AUT_HEADER: &str = "# format:aut|changed|aut_name|org_id|opaque_id|source";
+/// The `# format:` header introducing organization records (public so
+/// streaming writers can emit the sections themselves).
+pub const ORG_HEADER: &str = "# format:org_id|changed|org_name|country|source";
+/// The `# format:` header introducing aut-num records.
+pub const AUT_HEADER: &str = "# format:aut|changed|aut_name|org_id|opaque_id|source";
 
 /// Parses the CAIDA AS2Org flat-file format into a validated
 /// [`WhoisRegistry`].
