@@ -29,7 +29,7 @@ USAGE:
   borges map --data DIR --out FILE [--features all|none|LIST] [--seed N] [--threads N]
              [--fault-rate R] [--retries N] [--chaos-seed N]
              [--trace-out FILE] [--metrics-out FILE] [--report-out FILE]
-             [--state-out DIR]
+             [--state-out DIR] [--store-out FILE]
       Run the pipeline over a bundle and write the mapping.
       LIST is comma-separated from: oid_p, na, rr, favicons.
       --threads defaults to the machine's available parallelism; it
@@ -49,9 +49,13 @@ USAGE:
       --state-out persists the compiled snapshot state (interner slots,
       edge segments, fingerprints, LLM reply memos) into DIR for a
       later incremental `borges remap`.
+      --store-out persists the whole compiled world as a checksummed,
+      content-addressed store artifact that `borges serve --store`
+      cold-starts from without recompiling (see `borges store`).
   borges remap --data DIR --base-state DIR --out FILE [--out-state DIR]
                [--features all|none|LIST] [--seed N] [--threads N]
                [--trace-out FILE] [--metrics-out FILE] [--report-out FILE]
+               [--store-out FILE]
       Incrementally re-map a (possibly changed) bundle against the
       state persisted by a previous `map --state-out` / `remap
       --out-state`: the web is re-crawled, LLM answers replay from the
@@ -60,12 +64,19 @@ USAGE:
       is byte-identical to a full `map` of the same bundle. --out-state
       persists the updated state so remaps chain across snapshots.
   borges serve --data DIR [--addr HOST:PORT] [--threads N] [--queue-depth N]
-               [--lru N] [--seed N] [--addr-file FILE]
+               [--lru N] [--seed N] [--addr-file FILE] [--store FILE]
       Serve mappings over HTTP from an in-memory compiled pipeline.
       Endpoints: /v1/map/{asn}?features=..., /v1/org/{asn},
       /v1/evidence/{a}/{b}, /v1/coverage, /healthz, /metrics, and
       POST /v1/admin/reload (re-crawl + incremental remap, zero
-      downtime) / POST /v1/admin/shutdown (graceful drain).
+      downtime; a {\"store\": PATH} body hot-swaps to a store
+      artifact instead) / POST /v1/admin/shutdown (graceful drain).
+      --store FILE cold-starts from a `map --store-out` artifact:
+      validated and loaded with no evidence recompilation; if the
+      artifact is damaged in any way, serve falls back to a full
+      compile from --data, records store_degraded on the ledger, and
+      classifies the damage in borges_store_* metrics. Responses are
+      byte-identical either way.
       --addr defaults to 127.0.0.1:8080; port 0 picks an ephemeral
       port. --threads N fixed worker threads (default: available
       parallelism); --queue-depth N bounds the accept queue (default
@@ -80,6 +91,18 @@ USAGE:
       Show the inferred organization around one ASN.
   borges diff --before FILE --after FILE
       Compare two mapping releases (merges / splits / churn).
+  borges store verify PATH [PATH ...]
+      Integrity-check store artifact(s): print digest, schema version,
+      and section table. Exits non-zero on any corruption class
+      (truncation, checksum or digest mismatch, schema skew, torn
+      rename, undecodable payload).
+  borges store ls CATALOG
+      List a content-addressed artifact catalog, verifying every
+      entry against both its checksums and its file name. Exits
+      non-zero if any entry is damaged or misaddressed.
+  borges store add CATALOG PATH
+      Verify an artifact and copy it (crash-safely) into CATALOG
+      under its content address: <sha256>.world.
   borges help
       This message.
 
@@ -94,6 +117,11 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some((c, rest)) => (c.as_str(), rest),
         None => return Ok(HELP.to_string()),
     };
+    // `store` takes positional operands (an action and paths), which
+    // the flag parser would reject — dispatch it before parsing.
+    if command == "store" {
+        return store(rest);
+    }
     let opts = Options::parse(rest)?;
     match command {
         "generate" => generate(&opts),
@@ -281,6 +309,7 @@ fn map(opts: &Options) -> Result<String, CliError> {
         "metrics-out",
         "report-out",
         "state-out",
+        "store-out",
         "v",
         "q",
     ])?;
@@ -374,10 +403,15 @@ fn map(opts: &Options) -> Result<String, CliError> {
         .mappings_parallel_traced(std::slice::from_ref(&features), threads, &tel)
         .pop()
         .expect("one feature set in, one mapping out");
-    std::fs::write(out, mapfile::serialize(&mapping)).map_err(|e| CliError::Failed(Box::new(e)))?;
+    write_artifact_file(out, mapfile::serialize(&mapping))?;
     if let Some(dir) = opts.optional("state-out")? {
         write_state(&borges, dir)?;
         tel.debug(format!("snapshot state written to {dir}"));
+    }
+    if let Some(path) = opts.optional("store-out")? {
+        let digest = borges_store::write_artifact(Path::new(path), &borges.to_world())
+            .map_err(CliError::failed)?;
+        tel.debug(format!("world store artifact written to {path} ({digest})"));
     }
 
     if trace_out.is_some() || metrics_out.is_some() || report_out.is_some() {
@@ -386,18 +420,15 @@ fn map(opts: &Options) -> Result<String, CliError> {
             .caches
             .push(CacheReport::new("llm.response", llm.cache_stats()));
         if let Some(path) = trace_out {
-            std::fs::write(path, tel.trace_jsonl_canonical())
-                .map_err(|e| CliError::Failed(Box::new(e)))?;
+            write_artifact_file(path, tel.trace_jsonl_canonical())?;
             tel.debug(format!("trace journal written to {path}"));
         }
         if let Some(path) = metrics_out {
-            std::fs::write(path, report.metrics.to_prometheus())
-                .map_err(|e| CliError::Failed(Box::new(e)))?;
+            write_artifact_file(path, report.metrics.to_prometheus())?;
             tel.debug(format!("metrics written to {path}"));
         }
         if let Some(path) = report_out {
-            std::fs::write(path, report.to_json_pretty())
-                .map_err(|e| CliError::Failed(Box::new(e)))?;
+            write_artifact_file(path, report.to_json_pretty())?;
             tel.debug(format!("run ledger written to {path}"));
         }
     }
@@ -414,14 +445,22 @@ fn map(opts: &Options) -> Result<String, CliError> {
 /// File the snapshot state lives under inside a state directory.
 const STATE_FILE: &str = "state.json";
 
+/// Writes a CLI output artifact crash-safely: staged to a sibling
+/// temporary file, fsynced, then atomically renamed into place. A
+/// crash mid-write leaves either the previous file or nothing — never
+/// a torn artifact.
+fn write_artifact_file(path: impl AsRef<Path>, bytes: impl AsRef<[u8]>) -> Result<(), CliError> {
+    borges_store::write_atomic(path.as_ref(), bytes.as_ref())
+        .map_err(|e| CliError::Failed(Box::new(e)))
+}
+
 fn write_state(borges: &Borges, dir: &str) -> Result<(), CliError> {
     let dir = Path::new(dir);
     std::fs::create_dir_all(dir).map_err(|e| CliError::Failed(Box::new(e)))?;
-    std::fs::write(
+    write_artifact_file(
         dir.join(STATE_FILE),
         borges.snapshot_state().to_json_pretty(),
     )
-    .map_err(|e| CliError::Failed(Box::new(e)))
 }
 
 fn load_state(dir: &str) -> Result<SnapshotState, CliError> {
@@ -443,6 +482,7 @@ fn remap(opts: &Options) -> Result<String, CliError> {
         "trace-out",
         "metrics-out",
         "report-out",
+        "store-out",
         "v",
         "q",
     ])?;
@@ -493,10 +533,15 @@ fn remap(opts: &Options) -> Result<String, CliError> {
         .mappings_parallel_traced(std::slice::from_ref(&features), threads, &tel)
         .pop()
         .expect("one feature set in, one mapping out");
-    std::fs::write(out, mapfile::serialize(&mapping)).map_err(|e| CliError::Failed(Box::new(e)))?;
+    write_artifact_file(out, mapfile::serialize(&mapping))?;
     if let Some(dir) = opts.optional("out-state")? {
         write_state(&borges, dir)?;
         tel.debug(format!("updated snapshot state written to {dir}"));
+    }
+    if let Some(path) = opts.optional("store-out")? {
+        let digest = borges_store::write_artifact(Path::new(path), &borges.to_world())
+            .map_err(CliError::failed)?;
+        tel.debug(format!("world store artifact written to {path} ({digest})"));
     }
 
     if trace_out.is_some() || metrics_out.is_some() || report_out.is_some() {
@@ -505,16 +550,13 @@ fn remap(opts: &Options) -> Result<String, CliError> {
             .caches
             .push(CacheReport::new("llm.response", llm.cache_stats()));
         if let Some(path) = trace_out {
-            std::fs::write(path, tel.trace_jsonl_canonical())
-                .map_err(|e| CliError::Failed(Box::new(e)))?;
+            write_artifact_file(path, tel.trace_jsonl_canonical())?;
         }
         if let Some(path) = metrics_out {
-            std::fs::write(path, ledger.metrics.to_prometheus())
-                .map_err(|e| CliError::Failed(Box::new(e)))?;
+            write_artifact_file(path, ledger.metrics.to_prometheus())?;
         }
         if let Some(path) = report_out {
-            std::fs::write(path, ledger.to_json_pretty())
-                .map_err(|e| CliError::Failed(Box::new(e)))?;
+            write_artifact_file(path, ledger.to_json_pretty())?;
         }
     }
     Ok(format!(
@@ -543,6 +585,11 @@ fn parse_count(opts: &Options, flag: &str, default: usize, min: usize) -> Result
     }
 }
 
+/// How a `serve --store` cold start went: `Ok(digest)` when the
+/// artifact was validated and loaded (no recompilation), `Err(kind)`
+/// when it was damaged and serve fell back to a bundle compile.
+type StoreBoot = Result<String, String>;
+
 fn serve(opts: &Options) -> Result<String, CliError> {
     opts.allow_only(&[
         "data",
@@ -552,6 +599,7 @@ fn serve(opts: &Options) -> Result<String, CliError> {
         "lru",
         "seed",
         "addr-file",
+        "store",
         "v",
         "q",
     ])?;
@@ -566,35 +614,85 @@ fn serve(opts: &Options) -> Result<String, CliError> {
     let seed = seed_of(opts)?;
     let narrator = borges_telemetry::Narrator::new(verbosity_of(opts));
 
-    narrator.verbose(format!("loading bundle from {data}"));
-    let bundle = DatasetBundle::load(Path::new(&data)).map_err(CliError::failed)?;
-    let llm = CachingModel::new(SimLlm::new(seed));
-    narrator.verbose(format!("compiling pipeline over {threads} threads"));
-    let borges = if threads > 1 {
-        Borges::run_parallel(
-            &bundle.whois,
-            &bundle.pdb,
-            SimWebClient::browser(&bundle.web),
-            &llm,
-            threads,
-        )
-    } else {
-        Borges::run(
-            &bundle.whois,
-            &bundle.pdb,
-            SimWebClient::browser(&bundle.web),
-            &llm,
-        )
+    let compile_from_bundle = || -> Result<Borges, CliError> {
+        narrator.verbose(format!("loading bundle from {data}"));
+        let bundle = DatasetBundle::load(Path::new(&data)).map_err(CliError::failed)?;
+        let llm = CachingModel::new(SimLlm::new(seed));
+        narrator.verbose(format!("compiling pipeline over {threads} threads"));
+        Ok(if threads > 1 {
+            Borges::run_parallel(
+                &bundle.whois,
+                &bundle.pdb,
+                SimWebClient::browser(&bundle.web),
+                &llm,
+                threads,
+            )
+        } else {
+            Borges::run(
+                &bundle.whois,
+                &bundle.pdb,
+                SimWebClient::browser(&bundle.web),
+                &llm,
+            )
+        })
+    };
+
+    // A valid `--store` artifact replaces the compile wholesale: the
+    // world is decoded, checksummed, and replayed into a pipeline with
+    // no crawling, no LLM calls, and no evidence recompilation. Any
+    // damage — truncation, flipped bits, schema skew, a torn rename —
+    // degrades loudly to the bundle compile instead of serving a
+    // corrupt world.
+    let store_boot: Option<StoreBoot>;
+    let borges = match opts.optional("store")? {
+        Some(path) => {
+            narrator.verbose(format!("loading world store artifact {path}"));
+            let loaded = borges_store::load_artifact(Path::new(path))
+                .map_err(|e| (e.kind().to_string(), e.to_string()))
+                .and_then(|loaded| {
+                    Borges::from_world(&loaded.world, threads)
+                        .map(|b| (b, loaded.digest))
+                        .map_err(|e| ("decode".to_string(), e))
+                });
+            match loaded {
+                Ok((borges, digest)) => {
+                    narrator.verbose(format!(
+                        "store artifact valid (digest {digest}); compile skipped"
+                    ));
+                    store_boot = Some(Ok(digest));
+                    borges
+                }
+                Err((kind, detail)) => {
+                    narrator.verbose(format!(
+                        "store artifact damaged ({kind}): {detail}; recompiling from bundle"
+                    ));
+                    store_boot = Some(Err(kind));
+                    compile_from_bundle()?
+                }
+            }
+        }
+        None => {
+            store_boot = None;
+            compile_from_bundle()?
+        }
     };
 
     // `POST /v1/admin/reload` re-reads the bundle directory (which may
     // hold snapshot T+1 by then), re-crawls, and incrementally remaps
     // against the serving pipeline's own snapshot state — the PR 4
     // byte-identical contract is what makes the swapped world
-    // indistinguishable from a cold start on the new data.
+    // indistinguishable from a cold start on the new data. A reload
+    // body naming a store artifact hot-swaps to that world instead;
+    // a damaged artifact fails the reload loudly and the old world
+    // keeps serving.
     let reloader: Reloader = {
         let data = data.clone();
-        Box::new(move |current: &Borges| {
+        Box::new(move |current: &Borges, store: Option<&str>| {
+            if let Some(path) = store {
+                let loaded = borges_store::load_artifact(Path::new(path))
+                    .map_err(|e| format!("store artifact {path}: {e} ({})", e.kind()))?;
+                return Borges::from_world(&loaded.world, threads);
+            }
             let bundle = DatasetBundle::load(Path::new(&data)).map_err(|e| e.to_string())?;
             let llm = CachingModel::new(SimLlm::new(seed));
             let scraper = borges_websim::Scraper::new(SimWebClient::browser(&bundle.web));
@@ -618,19 +716,155 @@ fn serve(opts: &Options) -> Result<String, CliError> {
         ..ServerConfig::default()
     };
     let server = Server::start(config, borges, Some(reloader)).map_err(CliError::failed)?;
+    // The cold-start outcome lands in the metrics registry (and so the
+    // final ledger): attempts, ok, degraded by corruption class, and —
+    // explicitly zero on the happy path — whether a recompile ran.
+    if let Some(boot) = &store_boot {
+        let metrics = server.metrics();
+        metrics.counter("borges_store_load_attempts_total", 1);
+        match boot {
+            Ok(_) => {
+                metrics.counter("borges_store_load_ok_total", 1);
+                metrics.counter("borges_store_degraded_total", 0);
+                metrics.counter("borges_store_recompile_total", 0);
+            }
+            Err(kind) => {
+                metrics.counter("borges_store_load_ok_total", 0);
+                metrics.counter("borges_store_degraded_total", 1);
+                metrics.counter(&format!("borges_store_degraded_{kind}_total"), 1);
+                metrics.counter("borges_store_recompile_total", 1);
+            }
+        }
+    }
     let local = server.local_addr();
     if let Some(path) = opts.optional("addr-file")? {
-        std::fs::write(path, format!("{local}\n")).map_err(|e| CliError::Failed(Box::new(e)))?;
+        write_artifact_file(path, format!("{local}\n"))?;
     }
     narrator.verbose(format!(
         "serving on http://{local} ({threads} workers, queue depth {queue_depth}, lru {lru})"
     ));
     let ledger = server.wait();
+    let store_row = match &store_boot {
+        Some(Ok(digest)) => format!("store: cold start from artifact {digest}, 0 recompiles\n"),
+        Some(Err(kind)) => format!("store_degraded: {kind} — recompiled from bundle\n"),
+        None => String::new(),
+    };
     Ok(format!(
-        "served {} request(s), shed {}, accepted {} — shut down cleanly\n",
+        "served {} request(s), shed {}, accepted {} — shut down cleanly\n{}",
         ledger.counter("borges_serve_served_total"),
         ledger.counter("borges_serve_shed_total"),
         ledger.counter("borges_serve_accepted_total"),
+        store_row,
+    ))
+}
+
+/// `borges store <verify|ls|add>` — artifact integrity tooling. Takes
+/// positional operands, so it parses them by hand instead of through
+/// `Options`.
+fn store(args: &[String]) -> Result<String, CliError> {
+    let (action, rest) = match args.split_first() {
+        Some((a, rest)) => (a.as_str(), rest),
+        None => {
+            return Err(CliError::Usage(
+                "store needs an action: verify, ls, or add".to_string(),
+            ))
+        }
+    };
+    match action {
+        "verify" => store_verify(rest),
+        "ls" => store_ls(rest),
+        "add" => store_add(rest),
+        other => Err(CliError::Usage(format!(
+            "unknown store action {other:?} (expected verify, ls, or add)"
+        ))),
+    }
+}
+
+/// Renders one artifact's provenance and section table.
+fn describe_artifact(info: &borges_store::ArtifactInfo) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("  digest          {}\n", info.digest));
+    out.push_str(&format!("  format version  {}\n", info.format_version));
+    out.push_str(&format!("  schema version  {}\n", info.schema_version));
+    out.push_str(&format!("  total bytes     {}\n", info.total_len));
+    for (name, len) in &info.sections {
+        out.push_str(&format!("  section {name:<13} {len:>12} bytes\n"));
+    }
+    out
+}
+
+fn store_verify(paths: &[String]) -> Result<String, CliError> {
+    if paths.is_empty() {
+        return Err(CliError::Usage(
+            "store verify needs at least one artifact path".to_string(),
+        ));
+    }
+    let mut out = String::new();
+    for path in paths {
+        let info = borges_store::verify_artifact(Path::new(path))
+            .map_err(|e| CliError::Failed(format!("{path}: CORRUPT ({}): {e}", e.kind()).into()))?;
+        out.push_str(&format!("{path}: ok\n"));
+        out.push_str(&describe_artifact(&info));
+    }
+    Ok(out)
+}
+
+fn store_ls(args: &[String]) -> Result<String, CliError> {
+    let [catalog] = args else {
+        return Err(CliError::Usage(
+            "store ls takes exactly one catalog directory".to_string(),
+        ));
+    };
+    let entries = borges_store::catalog_ls(Path::new(catalog)).map_err(CliError::failed)?;
+    if entries.is_empty() {
+        return Ok(format!("{catalog}: empty catalog\n"));
+    }
+    let mut out = String::new();
+    let mut damaged = 0usize;
+    for entry in &entries {
+        match &entry.info {
+            Ok(info) if entry.addressed_correctly() => {
+                out.push_str(&format!(
+                    "{:<72} ok  schema {}  {} bytes\n",
+                    entry.file_name, info.schema_version, info.total_len
+                ));
+            }
+            Ok(_) => {
+                damaged += 1;
+                out.push_str(&format!(
+                    "{:<72} MISADDRESSED (file name does not match content digest)\n",
+                    entry.file_name
+                ));
+            }
+            Err(e) => {
+                damaged += 1;
+                out.push_str(&format!(
+                    "{:<72} CORRUPT ({}): {e}\n",
+                    entry.file_name,
+                    e.kind()
+                ));
+            }
+        }
+    }
+    if damaged > 0 {
+        return Err(CliError::Failed(
+            format!("{out}{damaged} damaged entr(y/ies) in {catalog}").into(),
+        ));
+    }
+    Ok(out)
+}
+
+fn store_add(args: &[String]) -> Result<String, CliError> {
+    let [catalog, artifact] = args else {
+        return Err(CliError::Usage(
+            "store add takes a catalog directory and an artifact path".to_string(),
+        ));
+    };
+    let digest = borges_store::catalog_add(Path::new(catalog), Path::new(artifact))
+        .map_err(|e| CliError::Failed(format!("{artifact}: {e} ({})", e.kind()).into()))?;
+    Ok(format!(
+        "{}\n",
+        borges_store::catalog_path(Path::new(catalog), &digest).display()
     ))
 }
 
@@ -1439,6 +1673,251 @@ mod tests {
         assert_eq!(bye.status, 200);
         let out = server.join().unwrap().unwrap();
         assert!(out.contains("shut down cleanly"), "{out}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Spawns `borges serve` on an ephemeral port in a thread and
+    /// waits for the addr file; returns the join handle and the
+    /// bound address.
+    fn spawn_serve(
+        mut argv: Vec<String>,
+        addr_file: &std::path::Path,
+    ) -> (
+        std::thread::JoinHandle<Result<String, CliError>>,
+        std::net::SocketAddr,
+    ) {
+        argv.extend(
+            [
+                "--addr",
+                "127.0.0.1:0",
+                "--addr-file",
+                addr_file.to_str().unwrap(),
+                "-q",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        );
+        let handle = std::thread::spawn(move || run(&argv));
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(120);
+        let addr = loop {
+            if let Ok(text) = std::fs::read_to_string(addr_file) {
+                if text.ends_with('\n') {
+                    break text.trim().parse().unwrap();
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "server never wrote its address"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        };
+        (handle, addr)
+    }
+
+    #[test]
+    fn store_subcommand_verifies_catalogs_and_flags_damage() {
+        let dir = tmpdir("store-cmd");
+        let data = dir.join("world");
+        run(&args(&[
+            "generate",
+            "--out",
+            data.to_str().unwrap(),
+            "--scale",
+            "tiny",
+            "--seed",
+            "5",
+            "-q",
+        ]))
+        .unwrap();
+        let artifact = dir.join("world.store");
+        run(&args(&[
+            "map",
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            dir.join("m.map").to_str().unwrap(),
+            "--store-out",
+            artifact.to_str().unwrap(),
+            "-q",
+        ]))
+        .unwrap();
+
+        let out = run(&args(&["store", "verify", artifact.to_str().unwrap()])).unwrap();
+        assert!(out.contains("ok"), "{out}");
+        assert!(out.contains("digest"), "{out}");
+        assert!(out.contains("section meta"), "{out}");
+
+        let catalog = dir.join("catalog");
+        let out = run(&args(&[
+            "store",
+            "add",
+            catalog.to_str().unwrap(),
+            artifact.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(out.trim_end().ends_with(".world"), "{out}");
+        let out = run(&args(&["store", "ls", catalog.to_str().unwrap()])).unwrap();
+        assert!(out.contains(" ok "), "{out}");
+
+        // Damage the standalone artifact: verify must fail with the
+        // corruption class in the message, not succeed or panic.
+        let mut bytes = std::fs::read(&artifact).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&artifact, &bytes).unwrap();
+        let err = run(&args(&["store", "verify", artifact.to_str().unwrap()])).unwrap_err();
+        assert!(
+            matches!(err, CliError::Failed(_)),
+            "corruption is a failure, not a usage error: {err}"
+        );
+        assert!(err.to_string().contains("CORRUPT"), "{err}");
+
+        // A renamed catalog entry is misaddressed even though its
+        // bytes are intact.
+        let entry = std::fs::read_dir(&catalog)
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path();
+        let rogue = catalog.join(format!("{}.world", "0".repeat(64)));
+        std::fs::rename(&entry, &rogue).unwrap();
+        let err = run(&args(&["store", "ls", catalog.to_str().unwrap()])).unwrap_err();
+        assert!(err.to_string().contains("MISADDRESSED"), "{err}");
+
+        // Usage errors for malformed invocations.
+        for bad in [
+            vec!["store"],
+            vec!["store", "frobnicate"],
+            vec!["store", "verify"],
+            vec!["store", "ls"],
+            vec!["store", "add", "just-one"],
+        ] {
+            let err = run(&args(&bad)).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{bad:?} → {err}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn serve_store_cold_start_skips_compile_and_degrades_on_damage() {
+        let dir = tmpdir("serve-store");
+        let data = dir.join("world");
+        run(&args(&[
+            "generate",
+            "--out",
+            data.to_str().unwrap(),
+            "--scale",
+            "tiny",
+            "--seed",
+            "5",
+            "-q",
+        ]))
+        .unwrap();
+        let artifact = dir.join("world.store");
+        run(&args(&[
+            "map",
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            dir.join("m.map").to_str().unwrap(),
+            "--store-out",
+            artifact.to_str().unwrap(),
+            "-q",
+        ]))
+        .unwrap();
+        let serve_argv = |extra: &[&str]| {
+            let mut argv = args(&["serve", "--data", data.to_str().unwrap(), "--threads", "2"]);
+            argv.extend(extra.iter().map(|s| s.to_string()));
+            argv
+        };
+
+        // Happy path: cold start from the artifact, no recompilation —
+        // pinned by the metrics endpoint and the final ledger line.
+        let addr_file = dir.join("addr1");
+        let (handle, addr) = spawn_serve(
+            serve_argv(&["--store", artifact.to_str().unwrap()]),
+            &addr_file,
+        );
+        let client = borges_serve::ServeClient::new(addr);
+        let health = client.get("/healthz").unwrap();
+        assert_eq!(health.status, 200);
+        assert!(
+            health.body_text().contains("\"world_digest\":\""),
+            "{health:?}"
+        );
+        let metrics_resp = client.get("/metrics").unwrap();
+        let metrics = metrics_resp.body_text();
+        assert!(
+            metrics.contains("borges_store_load_ok_total 1"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("borges_store_recompile_total 0"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("borges_serve_world_digest{digest=\""),
+            "{metrics}"
+        );
+        let clean_map = client.get("/v1/map/AS3356?features=all").unwrap();
+        assert_eq!(clean_map.status, 200);
+        client.post("/v1/admin/shutdown", b"").unwrap();
+        let out = handle.join().unwrap().unwrap();
+        assert!(out.contains("store: cold start"), "{out}");
+        assert!(!out.contains("store_degraded"), "{out}");
+
+        // Reload by store artifact hot-swaps; a bogus path fails
+        // loudly and the old world keeps serving.
+        let addr_file = dir.join("addr2");
+        let (handle, addr) = spawn_serve(
+            serve_argv(&["--store", artifact.to_str().unwrap()]),
+            &addr_file,
+        );
+        let client = borges_serve::ServeClient::new(addr);
+        let body = format!("{{\"store\": {:?}}}", artifact.to_str().unwrap());
+        let reload = client.post("/v1/admin/reload", body.as_bytes()).unwrap();
+        assert_eq!(reload.status, 200, "{reload:?}");
+        let bad = client
+            .post("/v1/admin/reload", b"{\"store\": \"/no/such/artifact\"}")
+            .unwrap();
+        assert_eq!(bad.status, 500, "{bad:?}");
+        assert!(bad.body_text().contains("missing"), "{bad:?}");
+        let still = client.get("/v1/map/AS3356?features=all").unwrap();
+        assert_eq!(still.status, 200);
+        client.post("/v1/admin/shutdown", b"").unwrap();
+        handle.join().unwrap().unwrap();
+
+        // Damaged artifact: serve must fall back to the bundle compile,
+        // say so on the ledger, and serve byte-identical responses.
+        let mut bytes = std::fs::read(&artifact).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&artifact, &bytes).unwrap();
+        let addr_file = dir.join("addr3");
+        let (handle, addr) = spawn_serve(
+            serve_argv(&["--store", artifact.to_str().unwrap()]),
+            &addr_file,
+        );
+        let client = borges_serve::ServeClient::new(addr);
+        let degraded_map = client.get("/v1/map/AS3356?features=all").unwrap();
+        assert_eq!(
+            degraded_map.raw, clean_map.raw,
+            "fallback world must serve byte-identical responses"
+        );
+        let metrics_resp = client.get("/metrics").unwrap();
+        let metrics = metrics_resp.body_text();
+        assert!(
+            metrics.contains("borges_store_degraded_total 1"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("borges_store_recompile_total 1"),
+            "{metrics}"
+        );
+        client.post("/v1/admin/shutdown", b"").unwrap();
+        let out = handle.join().unwrap().unwrap();
+        assert!(out.contains("store_degraded"), "{out}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -689,10 +689,20 @@ impl SnapshotState {
     pub fn from_json(text: &str) -> Result<Self, String> {
         let state: SnapshotState =
             serde_json::from_str(text).map_err(|e| format!("malformed snapshot state: {e}"))?;
-        if state.schema != SNAPSHOT_STATE_SCHEMA {
+        state.validate()?;
+        Ok(state)
+    }
+
+    /// The structural invariants every persisted state must satisfy
+    /// before any typed accessor is trusted: the schema tag matches and
+    /// every stringified numeric key parses back. Shared between
+    /// [`SnapshotState::from_json`] and the binary store's decoder, so
+    /// both load paths reject exactly the same malformed states.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.schema != SNAPSHOT_STATE_SCHEMA {
             return Err(format!(
                 "snapshot state schema mismatch: found {:?}, expected {:?}",
-                state.schema, SNAPSHOT_STATE_SCHEMA
+                self.schema, SNAPSHOT_STATE_SCHEMA
             ));
         }
         let numeric = |records: &[SegmentRecord], what: &str| -> Result<(), String> {
@@ -703,14 +713,14 @@ impl SnapshotState {
             }
             Ok(())
         };
-        numeric(&state.oid_p, "oid_p")?;
-        numeric(&state.na, "na")?;
-        numeric(&state.favicons, "favicons")?;
+        numeric(&self.oid_p, "oid_p")?;
+        numeric(&self.na, "na")?;
+        numeric(&self.favicons, "favicons")?;
         for fps in [
-            &state.whois_aut_fps,
-            &state.pdb_org_fps,
-            &state.pdb_net_fps,
-            &state.site_fps,
+            &self.whois_aut_fps,
+            &self.pdb_org_fps,
+            &self.pdb_net_fps,
+            &self.site_fps,
         ] {
             for rec in fps {
                 rec.key
@@ -718,7 +728,7 @@ impl SnapshotState {
                     .map_err(|_| format!("non-numeric fingerprint key {:?}", rec.key))?;
             }
         }
-        Ok(state)
+        Ok(())
     }
 
     /// The interner slots as typed pairs, in dense-id order.

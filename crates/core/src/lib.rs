@@ -60,6 +60,7 @@ pub mod orgkeys;
 pub mod pipeline;
 pub mod unionfind;
 pub mod web;
+pub mod world;
 
 pub use delta::{DeltaStats, SnapshotDelta, SnapshotState, SourceDelta, SourceFingerprints};
 pub use mapping::{AsOrgMapping, ClusterId};
@@ -68,3 +69,4 @@ pub use pipeline::{
     Borges, CoverageReport, Feature, FeatureContribution, FeatureCoverage, FeatureSet,
 };
 pub use unionfind::{DenseUnionFind, ShardReport, ShardTiming, UnionFind};
+pub use world::{CompiledWorld, ServingExtras};

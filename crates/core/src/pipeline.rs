@@ -29,6 +29,9 @@ use crate::orgkeys;
 use crate::unionfind::{DenseUnionFind, ShardReport, UnionFind};
 use crate::web::favicon::{favicon_inference, favicon_inference_memo, FaviconInference};
 use crate::web::rr::{rr_inference, RrInference};
+use crate::world::{
+    CompiledWorld, FaviconGroupRecord, NerEntryRecord, RrGroupRecord, ServingExtras,
+};
 use borges_llm::chat::ChatModel;
 use borges_llm::RetryingModel;
 use borges_peeringdb::PdbSnapshot;
@@ -1116,6 +1119,191 @@ impl Borges {
             &self.ner,
             &self.favicon,
         )
+    }
+
+    /// Captures this pipeline as a persistable [`CompiledWorld`]: the
+    /// [`Borges::snapshot_state`] plus the [`ServingExtras`] a server
+    /// reads at request time. Lossless up to the two audit-only fields
+    /// `crate::world` documents (favicon decision records, memo-hit
+    /// counters); [`Borges::from_world`] inverts it.
+    pub fn to_world(&self) -> CompiledWorld {
+        fn wire_groups(groups: &[Vec<Asn>]) -> Vec<Vec<u32>> {
+            groups
+                .iter()
+                .map(|g| g.iter().map(|a| a.value()).collect())
+                .collect()
+        }
+        CompiledWorld {
+            state: self.snapshot_state(),
+            extras: ServingExtras {
+                oid_w_groups: wire_groups(&self.oid_w_groups),
+                oid_p_groups: wire_groups(&self.oid_p_groups),
+                ner_entries: self
+                    .ner
+                    .per_entry
+                    .iter()
+                    .map(|(asn, siblings)| NerEntryRecord {
+                        asn: asn.value(),
+                        siblings: siblings.iter().map(|a| a.value()).collect(),
+                    })
+                    .collect(),
+                ner_stats: (&self.ner.stats).into(),
+                rr_groups: self
+                    .rr
+                    .groups
+                    .iter()
+                    .zip(&self.rr.final_urls)
+                    .map(|(group, url)| RrGroupRecord {
+                        final_url: url.clone(),
+                        members: group.iter().map(|a| a.value()).collect(),
+                    })
+                    .collect(),
+                rr_stats: (&self.rr.stats).into(),
+                favicon_groups: self
+                    .favicon
+                    .groups
+                    .iter()
+                    .zip(&self.favicon.group_favicons)
+                    .map(|(group, hash)| FaviconGroupRecord {
+                        favicon: hash.raw(),
+                        members: group.iter().map(|a| a.value()).collect(),
+                    })
+                    .collect(),
+                favicon_stats: (&self.favicon.stats).into(),
+                scrape_stats: (&self.scrape_stats).into(),
+                web_cache: self.web_cache,
+            },
+        }
+    }
+
+    /// Rebuilds a serving pipeline from a persisted [`CompiledWorld`]
+    /// without re-deriving any evidence: no crawl, no LLM call, no
+    /// group derivation — only the cheap OID_W base-closure replay from
+    /// the stored segment edges (the same replay `remap` always does,
+    /// sharded over `threads` workers when `threads > 1`,
+    /// byte-identical either way).
+    ///
+    /// Validates before trusting ([`CompiledWorld::validate`]) and
+    /// never panics on a decoded-but-insane world: duplicate interner
+    /// slots, out-of-range edge ids, or a wrong inner schema come back
+    /// as `Err`. The keystone contract: the returned pipeline produces
+    /// byte-identical mapfiles, snapshot states, and HTTP responses to
+    /// the freshly compiled pipeline [`Borges::to_world`] captured.
+    pub fn from_world(world: &CompiledWorld, threads: usize) -> Result<Self, String> {
+        world.validate()?;
+        let state = &world.state;
+        let extras = &world.extras;
+        // Safe after validate(): slots are unique, so the rebuild's
+        // duplicate assertion cannot fire.
+        let interner = AsnInterner::from_slots(state.slot_pairs());
+
+        // Segments are reconstructed straight from the persisted record
+        // vectors, preserving compile order exactly — re-persisting a
+        // loaded world must serialize byte-identically.
+        fn segments<K>(
+            records: &[crate::delta::SegmentRecord],
+            parse: impl Fn(&str) -> Option<K>,
+        ) -> Result<Vec<EdgeSegment<K>>, String> {
+            records
+                .iter()
+                .map(|rec| {
+                    let key = parse(&rec.key)
+                        .ok_or_else(|| format!("unparseable segment key {:?}", rec.key))?;
+                    Ok(EdgeSegment {
+                        key,
+                        fp: rec.fp,
+                        edges: rec.edges.iter().map(|e| (e.a, e.b)).collect(),
+                    })
+                })
+                .collect()
+        }
+        let oid_w = segments(&state.oid_w, |k| Some(k.to_string()))?;
+        let oid_p = segments(&state.oid_p, |k| k.parse().ok())?;
+        let na = segments(&state.na, |k| k.parse().ok())?;
+        let rr_segments = segments(&state.rr, |k| Some(k.to_string()))?;
+        let favicons = segments(&state.favicons, |k| k.parse().ok())?;
+
+        let mut base = DenseUnionFind::new(interner.len());
+        if threads > 1 {
+            let lists: Vec<&[(u32, u32)]> = oid_w.iter().map(|seg| seg.edges.as_slice()).collect();
+            base.union_edge_lists_sharded(&lists, threads, || 0);
+        } else {
+            for seg in &oid_w {
+                base.union_edges(&seg.edges);
+            }
+        }
+
+        fn live_groups(groups: &[Vec<u32>]) -> Vec<Vec<Asn>> {
+            groups
+                .iter()
+                .map(|g| g.iter().map(|&n| Asn::new(n)).collect())
+                .collect()
+        }
+        let ner = NerResult {
+            per_entry: extras
+                .ner_entries
+                .iter()
+                .map(|rec| {
+                    (
+                        Asn::new(rec.asn),
+                        rec.siblings.iter().map(|&s| Asn::new(s)).collect(),
+                    )
+                })
+                .collect(),
+            memo: state.ner_memo_map(),
+            memo_hits: 0,
+            stats: (&extras.ner_stats).into(),
+        };
+        let rr = RrInference {
+            groups: extras
+                .rr_groups
+                .iter()
+                .map(|rec| rec.members.iter().map(|&n| Asn::new(n)).collect())
+                .collect(),
+            final_urls: extras
+                .rr_groups
+                .iter()
+                .map(|rec| rec.final_url.clone())
+                .collect(),
+            stats: (&extras.rr_stats).into(),
+        };
+        let favicon = FaviconInference {
+            groups: extras
+                .favicon_groups
+                .iter()
+                .map(|rec| rec.members.iter().map(|&n| Asn::new(n)).collect())
+                .collect(),
+            group_favicons: extras
+                .favicon_groups
+                .iter()
+                .map(|rec| borges_types::FaviconHash::from_raw(rec.favicon))
+                .collect(),
+            decisions: Vec::new(),
+            memo: state.favicon_memo_map(),
+            memo_hits: 0,
+            stats: (&extras.favicon_stats).into(),
+        };
+
+        Ok(Borges {
+            fingerprints: state.fingerprints(),
+            compiled: CompiledEvidence {
+                interner,
+                base,
+                oid_w,
+                oid_p,
+                na,
+                rr: rr_segments,
+                favicons,
+            },
+            oid_w_groups: live_groups(&extras.oid_w_groups),
+            oid_p_groups: live_groups(&extras.oid_p_groups),
+            ner,
+            rr,
+            favicon,
+            scrape_stats: (&extras.scrape_stats).into(),
+            web_cache: extras.web_cache,
+            delta: None,
+        })
     }
 
     /// Stamps the incremental-run reuse accounting as

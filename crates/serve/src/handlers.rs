@@ -163,9 +163,11 @@ pub fn respond(
         Route::Healthz => Response::json(
             200,
             format!(
-                "{{\"status\":\"ok\",\"epoch\":{},\"asns\":{}}}",
+                "{{\"status\":\"ok\",\"epoch\":{},\"asns\":{},\"world_digest\":\"{}\",\"store_schema\":{}}}",
                 world.epoch,
-                world.borges.universe_len()
+                world.borges.universe_len(),
+                world.digest,
+                world.store_schema
             ),
         ),
         Route::Metrics => Response::text(200, metrics.snapshot().to_prometheus()),

@@ -88,9 +88,14 @@ impl Default for ServerConfig {
 
 /// Produces the next [`Borges`] for a reload, given the one currently
 /// serving (so it can run [`Borges::remap`] against the current
-/// snapshot state). Injected by the embedder: the serve crate does no
-/// IO of its own.
-pub type Reloader = Box<dyn Fn(&Borges) -> Result<Borges, String> + Send + Sync>;
+/// snapshot state) and, when `POST /v1/admin/reload` carried a
+/// `{"store": "<path>"}` body, the store-artifact path the caller asked
+/// to swap to. Injected by the embedder: the serve crate does no IO of
+/// its own. A store-path reload that fails must fail *loudly* (`Err`,
+/// answered 500, old world keeps serving) — falling back to a bundle
+/// recompile silently would leave the operator believing the named
+/// artifact is live.
+pub type Reloader = Box<dyn Fn(&Borges, Option<&str>) -> Result<Borges, String> + Send + Sync>;
 
 struct Shared {
     world: Mutex<Arc<ServingWorld>>,
@@ -104,8 +109,9 @@ struct Shared {
 }
 
 impl Shared {
-    /// Builds the next world (off to the side) and swaps it in.
-    fn reload(&self) -> Result<u64, String> {
+    /// Builds the next world (off to the side) and swaps it in. `store`
+    /// is the artifact path from the reload request body, if any.
+    fn reload(&self, store: Option<&str>) -> Result<u64, String> {
         let reloader = self
             .reloader
             .as_ref()
@@ -114,9 +120,11 @@ impl Shared {
         // same epoch number; readers are never blocked by this lock.
         let _guard = self.reload_lock.lock();
         let current = self.world.lock().clone();
-        let next = reloader(&current.borges)?;
+        let next = reloader(&current.borges, store)?;
         let epoch = current.epoch + 1;
-        *self.world.lock() = Arc::new(ServingWorld::new(next, self.lru_capacity, epoch));
+        let world = Arc::new(ServingWorld::new(next, self.lru_capacity, epoch));
+        stamp_world_digest(&self.metrics, &world);
+        *self.world.lock() = world;
         self.metrics.counter("borges_serve_reloads_total", 1);
         Ok(epoch)
     }
@@ -161,9 +169,12 @@ impl Server {
         }
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
+        let boot = Arc::new(ServingWorld::new(borges, config.lru_capacity, 0));
+        let metrics = MetricsRegistry::new();
+        stamp_world_digest(&metrics, &boot);
         let shared = Arc::new(Shared {
-            world: Mutex::new(Arc::new(ServingWorld::new(borges, config.lru_capacity, 0))),
-            metrics: MetricsRegistry::new(),
+            world: Mutex::new(boot),
+            metrics,
             reloader,
             reload_lock: Mutex::new(()),
             shutdown: AtomicBool::new(false),
@@ -215,10 +226,16 @@ impl Server {
         self.shared.world.lock().epoch
     }
 
-    /// Runs the configured reloader and swaps the world, exactly as
-    /// `POST /v1/admin/reload` would.
+    /// Runs the configured reloader and swaps the world, exactly as a
+    /// body-less `POST /v1/admin/reload` would.
     pub fn reload(&self) -> Result<u64, String> {
-        self.shared.reload()
+        self.shared.reload(None)
+    }
+
+    /// Runs the configured reloader against a store artifact, exactly
+    /// as `POST /v1/admin/reload` with a `{"store": path}` body would.
+    pub fn reload_from_store(&self, store: &str) -> Result<u64, String> {
+        self.shared.reload(Some(store))
     }
 
     /// Replaces the serving world directly with `borges` (no reloader
@@ -228,8 +245,9 @@ impl Server {
     pub fn install(&self, borges: Borges) -> u64 {
         let _guard = self.shared.reload_lock.lock();
         let epoch = self.shared.world.lock().epoch + 1;
-        *self.shared.world.lock() =
-            Arc::new(ServingWorld::new(borges, self.shared.lru_capacity, epoch));
+        let world = Arc::new(ServingWorld::new(borges, self.shared.lru_capacity, epoch));
+        stamp_world_digest(&self.shared.metrics, &world);
+        *self.shared.world.lock() = world;
         epoch
     }
 
@@ -283,6 +301,38 @@ impl ShutdownHandle {
 
 fn invalid(msg: &str) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidInput, msg)
+}
+
+/// Marks which world is live: one tick on the digest-labeled series
+/// per install, so `/metrics` carries every digest that ever served
+/// this process and the reload/install history is reconstructible.
+fn stamp_world_digest(metrics: &MetricsRegistry, world: &ServingWorld) {
+    metrics.counter(
+        &format!("borges_serve_world_digest{{digest=\"{}\"}}", world.digest),
+        1,
+    );
+}
+
+/// The optional `/v1/admin/reload` request body.
+#[derive(serde::Deserialize)]
+struct ReloadBody {
+    store: String,
+}
+
+/// Parses the reload body: absent/empty means "reload from the
+/// embedder's default source", a JSON `{"store": path}` names a store
+/// artifact, anything else is a 400.
+fn parse_reload_store(body: &[u8]) -> Result<Option<String>, String> {
+    if body.is_empty() {
+        return Ok(None);
+    }
+    let text = std::str::from_utf8(body).map_err(|_| "request body is not UTF-8".to_string())?;
+    if text.trim().is_empty() {
+        return Ok(None);
+    }
+    let parsed: ReloadBody = serde_json::from_str(text)
+        .map_err(|err| format!("request body is not {{\"store\": path}}: {err}"))?;
+    Ok(Some(parsed.store))
 }
 
 fn accept_loop(shared: &Shared, listener: &TcpListener, tx: SyncSender<TcpStream>) {
@@ -393,22 +443,25 @@ fn handle_connection(shared: &Shared, stream: &TcpStream) -> Action {
 
     let started = Instant::now();
     let (response, action) = match route {
-        Route::AdminReload => match shared.reload() {
-            Ok(epoch) => (
-                Response::json(
-                    200,
-                    format!("{{\"status\":\"reloaded\",\"epoch\":{epoch}}}"),
+        Route::AdminReload => match parse_reload_store(&request.body) {
+            Err(msg) => (Response::error(400, &msg), Action::None),
+            Ok(store) => match shared.reload(store.as_deref()) {
+                Ok(epoch) => (
+                    Response::json(
+                        200,
+                        format!("{{\"status\":\"reloaded\",\"epoch\":{epoch}}}"),
+                    ),
+                    Action::None,
                 ),
-                Action::None,
-            ),
-            Err(msg) => {
-                let status = if msg == "no reloader configured" {
-                    501
-                } else {
-                    500
-                };
-                (Response::error(status, &msg), Action::None)
-            }
+                Err(msg) => {
+                    let status = if msg == "no reloader configured" {
+                        501
+                    } else {
+                        500
+                    };
+                    (Response::error(status, &msg), Action::None)
+                }
+            },
         },
         Route::AdminShutdown => (
             Response::json(200, "{\"status\":\"shutting down\"}"),

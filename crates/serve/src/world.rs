@@ -100,16 +100,27 @@ pub struct ServingWorld {
     pub cache: MappingCache,
     /// Monotone reload counter: 0 for the boot world, +1 per swap.
     pub epoch: u64,
+    /// The world's hex SHA-256 content address — equal to the digest of
+    /// the store artifact this world was (or would be) persisted as,
+    /// because store encoding is canonical. Reported by `/healthz` and
+    /// the `borges_serve_world_digest` metric so operators can confirm
+    /// which artifact is live after a reload.
+    pub digest: String,
+    /// The store schema version this world's artifact encoding speaks.
+    pub store_schema: u32,
 }
 
 impl ServingWorld {
     /// Wraps a pipeline as serving world `epoch` with an LRU of
     /// `lru_capacity` mappings.
     pub fn new(borges: Borges, lru_capacity: usize, epoch: u64) -> ServingWorld {
+        let digest = borges_store::world_digest(&borges.to_world());
         ServingWorld {
             borges,
             cache: MappingCache::new(lru_capacity),
             epoch,
+            digest,
+            store_schema: borges_store::STORE_SCHEMA_VERSION,
         }
     }
 

@@ -1,0 +1,256 @@
+//! World artifacts: a [`CompiledWorld`] serialized into the sectioned
+//! container and back, plus the file-level load/store/verify entry
+//! points the CLI and server use.
+//!
+//! The encoding is **canonical**: encoding a decoded world reproduces
+//! the artifact byte for byte, so the whole-file SHA-256 is a stable
+//! content address — `world_digest` of a freshly compiled pipeline
+//! equals the digest of the artifact it was loaded from, which is what
+//! lets `/healthz` prove which artifact is live.
+
+use crate::atomic::write_atomic;
+use crate::error::StoreError;
+use crate::format::{decode_container, encode_container, Section};
+use crate::sha256;
+use borges_core::delta::{FaviconMemoRecord, KeyFp, NerMemoRecord, SegmentRecord, SlotRecord};
+use borges_core::{CompiledWorld, ServingExtras, SnapshotState};
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// The world payload schema this reader writes and understands.
+pub const STORE_SCHEMA_VERSION: u32 = 1;
+
+const SECTION_META: &str = "meta";
+const SECTION_SLOTS: &str = "slots";
+const SECTION_SEGMENTS: &str = "segments";
+const SECTION_FINGERPRINTS: &str = "fingerprints";
+const SECTION_MEMOS: &str = "memos";
+const SECTION_SERVING: &str = "serving";
+
+#[derive(Serialize, Deserialize)]
+struct MetaSection {
+    inner_schema: String,
+}
+
+#[derive(Serialize, Deserialize)]
+struct SegmentsSection {
+    oid_w: Vec<SegmentRecord>,
+    oid_p: Vec<SegmentRecord>,
+    na: Vec<SegmentRecord>,
+    rr: Vec<SegmentRecord>,
+    favicons: Vec<SegmentRecord>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct FingerprintsSection {
+    whois_org: Vec<KeyFp>,
+    whois_aut: Vec<KeyFp>,
+    pdb_org: Vec<KeyFp>,
+    pdb_net: Vec<KeyFp>,
+    site: Vec<KeyFp>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct MemosSection {
+    ner: Vec<NerMemoRecord>,
+    favicon: Vec<FaviconMemoRecord>,
+}
+
+/// A validated world fresh off disk (or off a byte slice), with the
+/// provenance the server reports.
+#[derive(Debug)]
+pub struct LoadedWorld {
+    /// The decoded, semantically validated world.
+    pub world: CompiledWorld,
+    /// Hex SHA-256 content address of the artifact bytes.
+    pub digest: String,
+    /// The artifact's world schema version.
+    pub schema: u32,
+}
+
+/// What `store verify` prints: provenance and the section table,
+/// without keeping the decoded world around.
+#[derive(Debug, Clone)]
+pub struct ArtifactInfo {
+    /// Hex SHA-256 content address.
+    pub digest: String,
+    /// Container layout version.
+    pub format_version: u32,
+    /// World payload schema version.
+    pub schema_version: u32,
+    /// `(name, payload bytes)` per section, in file order.
+    pub sections: Vec<(String, u64)>,
+    /// Total artifact size in bytes.
+    pub total_len: u64,
+}
+
+/// Serializes a world into complete artifact bytes.
+pub fn encode_world(world: &CompiledWorld) -> Vec<u8> {
+    fn json<T: Serialize>(value: &T) -> Vec<u8> {
+        serde_json::to_string(value)
+            .expect("world wire structs always serialize")
+            .into_bytes()
+    }
+    let state = &world.state;
+    let sections = [
+        Section {
+            name: SECTION_META.into(),
+            payload: json(&MetaSection {
+                inner_schema: state.schema.clone(),
+            }),
+        },
+        Section {
+            name: SECTION_SLOTS.into(),
+            payload: json(&state.slots),
+        },
+        Section {
+            name: SECTION_SEGMENTS.into(),
+            payload: json(&SegmentsSection {
+                oid_w: state.oid_w.clone(),
+                oid_p: state.oid_p.clone(),
+                na: state.na.clone(),
+                rr: state.rr.clone(),
+                favicons: state.favicons.clone(),
+            }),
+        },
+        Section {
+            name: SECTION_FINGERPRINTS.into(),
+            payload: json(&FingerprintsSection {
+                whois_org: state.whois_org_fps.clone(),
+                whois_aut: state.whois_aut_fps.clone(),
+                pdb_org: state.pdb_org_fps.clone(),
+                pdb_net: state.pdb_net_fps.clone(),
+                site: state.site_fps.clone(),
+            }),
+        },
+        Section {
+            name: SECTION_MEMOS.into(),
+            payload: json(&MemosSection {
+                ner: state.ner_memo.clone(),
+                favicon: state.favicon_memo.clone(),
+            }),
+        },
+        Section {
+            name: SECTION_SERVING.into(),
+            payload: json(&world.extras),
+        },
+    ];
+    encode_container(STORE_SCHEMA_VERSION, &sections)
+}
+
+/// Hex SHA-256 content address a world *would* have on disk. For a
+/// world loaded via [`load_artifact`] this equals the source file's
+/// digest, because the encoding is canonical.
+pub fn world_digest(world: &CompiledWorld) -> String {
+    let bytes = encode_world(world);
+    // The footer's last 32 bytes are exactly the digest of the rest.
+    sha256::hex(&bytes[bytes.len() - 32..])
+}
+
+/// Parses, integrity-checks, and semantically validates artifact
+/// bytes. Never panics: every malformed input maps to a typed
+/// [`StoreError`].
+pub fn decode_world(bytes: &[u8]) -> Result<LoadedWorld, StoreError> {
+    let container = decode_container(bytes, STORE_SCHEMA_VERSION)?;
+
+    fn section<'a, T: for<'de> Deserialize<'de>>(
+        container: &'a crate::format::Container,
+        name: &str,
+    ) -> Result<T, StoreError> {
+        let section = container
+            .sections
+            .iter()
+            .find(|s| s.name == name)
+            .ok_or_else(|| StoreError::Decode {
+                section: name.to_string(),
+                detail: "section absent".into(),
+            })?;
+        let text = std::str::from_utf8(&section.payload).map_err(|_| StoreError::Decode {
+            section: name.to_string(),
+            detail: "payload is not UTF-8".into(),
+        })?;
+        serde_json::from_str(text).map_err(|err| StoreError::Decode {
+            section: name.to_string(),
+            detail: err.to_string(),
+        })
+    }
+
+    let meta: MetaSection = section(&container, SECTION_META)?;
+    let slots: Vec<SlotRecord> = section(&container, SECTION_SLOTS)?;
+    let segments: SegmentsSection = section(&container, SECTION_SEGMENTS)?;
+    let fps: FingerprintsSection = section(&container, SECTION_FINGERPRINTS)?;
+    let memos: MemosSection = section(&container, SECTION_MEMOS)?;
+    let extras: ServingExtras = section(&container, SECTION_SERVING)?;
+
+    let world = CompiledWorld {
+        state: SnapshotState {
+            schema: meta.inner_schema,
+            slots,
+            oid_w: segments.oid_w,
+            oid_p: segments.oid_p,
+            na: segments.na,
+            rr: segments.rr,
+            favicons: segments.favicons,
+            whois_org_fps: fps.whois_org,
+            whois_aut_fps: fps.whois_aut,
+            pdb_org_fps: fps.pdb_org,
+            pdb_net_fps: fps.pdb_net,
+            site_fps: fps.site,
+            ner_memo: memos.ner,
+            favicon_memo: memos.favicon,
+        },
+        extras,
+    };
+    // Checksums prove the bytes are the ones written; validation proves
+    // the written world was sane (inner schema tag, unique interner
+    // slots, edges inside the universe). A failure here means the
+    // *writer* was broken, not the disk — still a typed refusal, never
+    // a panic downstream.
+    world.validate().map_err(|detail| StoreError::Decode {
+        section: "world".into(),
+        detail,
+    })?;
+
+    Ok(LoadedWorld {
+        world,
+        digest: sha256::hex(&container.digest),
+        schema: container.schema_version,
+    })
+}
+
+/// Reads and fully validates the artifact at `path`.
+pub fn load_artifact(path: &Path) -> Result<LoadedWorld, StoreError> {
+    let bytes = std::fs::read(path).map_err(|err| StoreError::from_io(path, err))?;
+    decode_world(&bytes)
+}
+
+/// Encodes `world` and crash-safely writes it to `path`. Returns the
+/// artifact's hex content digest.
+pub fn write_artifact(path: &Path, world: &CompiledWorld) -> Result<String, StoreError> {
+    let bytes = encode_world(world);
+    write_atomic(path, &bytes).map_err(|err| StoreError::from_io(path, err))?;
+    Ok(sha256::hex(&bytes[bytes.len() - 32..]))
+}
+
+/// Integrity-checks the artifact at `path` without requiring the world
+/// to be loadable into this process: structural validation, checksums,
+/// digest, and full decode — exactly what the loader would trust.
+pub fn verify_artifact(path: &Path) -> Result<ArtifactInfo, StoreError> {
+    let bytes = std::fs::read(path).map_err(|err| StoreError::from_io(path, err))?;
+    let container = decode_container(&bytes, STORE_SCHEMA_VERSION)?;
+    let info = ArtifactInfo {
+        digest: sha256::hex(&container.digest),
+        format_version: container.format_version,
+        schema_version: container.schema_version,
+        sections: container
+            .sections
+            .iter()
+            .map(|s| (s.name.clone(), s.payload.len() as u64))
+            .collect(),
+        total_len: bytes.len() as u64,
+    };
+    // Also run the semantic decode so `store verify` catches a
+    // well-checksummed file whose payload is nonsense.
+    decode_world(&bytes)?;
+    Ok(info)
+}

@@ -1,0 +1,123 @@
+//! The single crash-safe write protocol every durable artifact in the
+//! workspace goes through: write a hidden sibling tmp file, fsync it,
+//! atomically rename over the destination, fsync the directory.
+//!
+//! A crash before the rename leaves the destination untouched (at
+//! worst a stray `.name.tmp-<pid>` sibling); a crash after the rename
+//! leaves the complete new file. No interleaving exposes a partial
+//! write under the destination name — which is what lets the loader
+//! treat a half-written file as *impossible* rather than merely
+//! unlikely, and classify a missing destination as the torn-rename
+//! crash window.
+
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// The hidden sibling path a crash-safe write of `path` stages into.
+pub fn staging_path(path: &Path) -> io::Result<PathBuf> {
+    let name = path.file_name().ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("path has no file name: {}", path.display()),
+        )
+    })?;
+    let tmp_name = format!(".{}.tmp-{}", name.to_string_lossy(), std::process::id());
+    Ok(match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => parent.join(tmp_name),
+        _ => PathBuf::from(tmp_name),
+    })
+}
+
+/// Durably replaces `path` with `bytes`: sibling tmp → `write_all` →
+/// `sync_all` → atomic rename → best-effort directory fsync. On any
+/// failure the staging file is removed and the destination is left
+/// exactly as it was.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let tmp = staging_path(path)?;
+    let staged = (|| {
+        let mut file = File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if staged.is_err() {
+        let _ = fs::remove_file(&tmp);
+        return staged;
+    }
+    // Durability of the *name* needs the directory entry flushed too.
+    // Best-effort: some filesystems refuse directory fsync, and the
+    // rename itself was already atomic.
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "borges-store-atomic-{}-{}",
+            std::process::id(),
+            name
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_and_overwrites() {
+        let dir = scratch("writes");
+        let path = dir.join("artifact.bin");
+        write_atomic(&path, b"first").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"first");
+        write_atomic(&path, b"second, longer contents").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"second, longer contents");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn leaves_no_staging_file_behind() {
+        let dir = scratch("staging");
+        let path = dir.join("artifact.bin");
+        write_atomic(&path, b"payload").unwrap();
+        let names: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["artifact.bin".to_string()]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failure_preserves_destination() {
+        let dir = scratch("failure");
+        let path = dir.join("artifact.bin");
+        write_atomic(&path, b"survives").unwrap();
+        // A destination whose parent vanished mid-flight: writing to a
+        // non-directory parent must fail without touching the original.
+        let bogus = path.join("child-of-a-file");
+        assert!(write_atomic(&bogus, b"nope").is_err());
+        assert_eq!(fs::read(&path).unwrap(), b"survives");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bare_file_name_works() {
+        let dir = scratch("cwd");
+        let path = dir.join("bare.bin");
+        write_atomic(&path, b"x").unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"x");
+        assert!(staging_path(Path::new("bare.bin"))
+            .unwrap()
+            .to_string_lossy()
+            .starts_with(".bare.bin.tmp-"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

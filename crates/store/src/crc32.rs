@@ -1,0 +1,68 @@
+//! CRC32 (IEEE 802.3, reflected polynomial `0xEDB88320`) over byte
+//! slices — the per-section checksum of the artifact format.
+//!
+//! The store cannot pull a checksum crate (the build environment is
+//! offline), so this is the classic 256-entry table implementation,
+//! pinned by the standard check value `crc32(b"123456789") ==
+//! 0xCBF43926`.
+
+const POLY: u32 = 0xEDB8_8320;
+
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// The CRC32 of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFF_u32;
+    for &byte in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(byte)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_checksum() {
+        let clean = b"the library is unlimited and cyclical".to_vec();
+        let reference = crc32(&clean);
+        for byte in 0..clean.len() {
+            for bit in 0..8 {
+                let mut flipped = clean.clone();
+                flipped[byte] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), reference, "flip at {byte}:{bit}");
+            }
+        }
+    }
+}

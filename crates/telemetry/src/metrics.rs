@@ -209,9 +209,13 @@ impl MetricsSnapshot {
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
         for c in &self.counters {
+            // A labeled sample (`name{label="..."}`) declares its TYPE
+            // under the bare family name — Prometheus metadata lines
+            // never carry labels.
+            let family = c.name.split('{').next().unwrap_or(&c.name);
             out.push_str(&format!(
-                "# TYPE {} counter\n{} {}\n",
-                c.name, c.name, c.value
+                "# TYPE {family} counter\n{} {}\n",
+                c.name, c.value
             ));
         }
         for h in &self.histograms {
