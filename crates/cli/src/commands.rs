@@ -65,6 +65,7 @@ USAGE:
       persists the updated state so remaps chain across snapshots.
   borges serve --data DIR [--addr HOST:PORT] [--threads N] [--queue-depth N]
                [--lru N] [--seed N] [--addr-file FILE] [--store FILE]
+               [--access-log FILE] [--slow-ms N]
       Serve mappings over HTTP from an in-memory compiled pipeline.
       Endpoints: /v1/map/{asn}?features=..., /v1/org/{asn},
       /v1/evidence/{a}/{b}, /v1/coverage, /healthz, /metrics, and
@@ -85,6 +86,14 @@ USAGE:
       0 disables). --addr-file writes the bound address once
       listening (for scripts using port 0). Runs until shutdown,
       then prints the request ledger.
+      --access-log FILE appends one JSONL record per request (id,
+      method, path, status, bytes, world digest, LRU outcome, queue
+      depth, duration bucket), staged crash-safe and renamed into
+      place at shutdown. --slow-ms N warns on requests slower than N
+      milliseconds and counts them in borges_serve_slow_total. Live
+      debugging: GET /v1/admin/debug/requests (recent requests),
+      /v1/admin/debug/slow?threshold_ms=N, /v1/admin/debug/events
+      (reloads, store boots, shed bursts).
   borges eval --data DIR --mapping FILE [--mapping FILE ...]
       Organization Factor (and, with an oracle, precision/recall) per mapping.
   borges inspect --data DIR --mapping FILE --asn N
@@ -600,6 +609,8 @@ fn serve(opts: &Options) -> Result<String, CliError> {
         "seed",
         "addr-file",
         "store",
+        "access-log",
+        "slow-ms",
         "v",
         "q",
     ])?;
@@ -612,7 +623,16 @@ fn serve(opts: &Options) -> Result<String, CliError> {
     let queue_depth = parse_count(opts, "queue-depth", 64, 1)?;
     let lru = parse_count(opts, "lru", 16, 0)?;
     let seed = seed_of(opts)?;
-    let narrator = borges_telemetry::Narrator::new(verbosity_of(opts));
+    let slow_ms = match opts.optional("slow-ms")? {
+        None => None,
+        Some(raw) => Some(raw.parse::<u64>().map_err(|_| {
+            CliError::Usage(format!(
+                "--slow-ms must be a non-negative integer (milliseconds), got {raw:?}"
+            ))
+        })?),
+    };
+    let access_log_path = opts.optional("access-log")?.map(String::from);
+    let narrator = std::sync::Arc::new(borges_telemetry::Narrator::new(verbosity_of(opts)));
 
     let compile_from_bundle = || -> Result<Borges, CliError> {
         narrator.verbose(format!("loading bundle from {data}"));
@@ -708,14 +728,45 @@ fn serve(opts: &Options) -> Result<String, CliError> {
         })
     };
 
+    // The access log is the runtime stream: staged crash-safe beside
+    // its destination while serving, fsynced and renamed into place on
+    // graceful shutdown (the same protocol as store artifacts).
+    let access_log = match &access_log_path {
+        Some(path) => Some(std::sync::Arc::new(
+            borges_telemetry::AccessLogWriter::create(path).map_err(CliError::failed)?,
+        )),
+        None => None,
+    };
+    let mut hooks = borges_serve::ServerHooks::default();
+    if let Some(writer) = &access_log {
+        let writer = writer.clone();
+        let log_narrator = narrator.clone();
+        hooks.access_log = Some(Box::new(move |record| {
+            if let Err(err) = writer.append_line(&record.to_json()) {
+                log_narrator.error(format!("access log write failed: {err}"));
+            }
+        }));
+    }
+    if slow_ms.is_some() {
+        let slow_narrator = narrator.clone();
+        hooks.slow = Some(Box::new(move |record| {
+            slow_narrator.info(format!(
+                "slow request {} {} {} — {} ms (status {})",
+                record.id, record.method, record.path, record.duration_ms, record.status
+            ));
+        }));
+    }
+
     let config = ServerConfig {
         addr,
         threads,
         queue_depth,
         lru_capacity: lru,
+        slow_ms,
         ..ServerConfig::default()
     };
-    let server = Server::start(config, borges, Some(reloader)).map_err(CliError::failed)?;
+    let server =
+        Server::start_with(config, borges, Some(reloader), hooks).map_err(CliError::failed)?;
     // The cold-start outcome lands in the metrics registry (and so the
     // final ledger): attempts, ok, degraded by corruption class, and —
     // explicitly zero on the happy path — whether a recompile ran.
@@ -735,6 +786,18 @@ fn serve(opts: &Options) -> Result<String, CliError> {
                 metrics.counter("borges_store_recompile_total", 1);
             }
         }
+        // The same outcome lands in the world-event journal, so
+        // /v1/admin/debug/events tells the whole boot story.
+        match boot {
+            Ok(digest) => server.record_event(
+                "store_load_ok",
+                &format!("cold start from artifact {digest}"),
+            ),
+            Err(kind) => server.record_event(
+                "store_degraded",
+                &format!("artifact damaged ({kind}); recompiled from bundle"),
+            ),
+        }
     }
     let local = server.local_addr();
     if let Some(path) = opts.optional("addr-file")? {
@@ -744,17 +807,27 @@ fn serve(opts: &Options) -> Result<String, CliError> {
         "serving on http://{local} ({threads} workers, queue depth {queue_depth}, lru {lru})"
     ));
     let ledger = server.wait();
+    // Land the access log: fsync the staged file and rename it into
+    // place — the destination appears complete or not at all.
+    let access_row = match (&access_log, &access_log_path) {
+        (Some(writer), Some(path)) => {
+            writer.finish().map_err(CliError::failed)?;
+            format!("access log: {path}\n")
+        }
+        _ => String::new(),
+    };
     let store_row = match &store_boot {
         Some(Ok(digest)) => format!("store: cold start from artifact {digest}, 0 recompiles\n"),
         Some(Err(kind)) => format!("store_degraded: {kind} — recompiled from bundle\n"),
         None => String::new(),
     };
     Ok(format!(
-        "served {} request(s), shed {}, accepted {} — shut down cleanly\n{}",
+        "served {} request(s), shed {}, accepted {} — shut down cleanly\n{}{}",
         ledger.counter("borges_serve_served_total"),
         ledger.counter("borges_serve_shed_total"),
         ledger.counter("borges_serve_accepted_total"),
         store_row,
+        access_row,
     ))
 }
 
@@ -1596,6 +1669,8 @@ mod tests {
             vec!["serve", "--data", "x", "--queue-depth", "0"],
             vec!["serve", "--data", "x", "--queue-depth", "nope"],
             vec!["serve", "--data", "x", "--lru", "-3"],
+            vec!["serve", "--data", "x", "--slow-ms", "nope"],
+            vec!["serve", "--data", "x", "--slow-ms", "-5"],
         ] {
             let err = run(&args(&cmd)).unwrap_err();
             assert!(matches!(err, CliError::Usage(_)), "{cmd:?} → {err}");
@@ -1619,8 +1694,10 @@ mod tests {
         .unwrap();
 
         let addr_file = dir.join("addr");
+        let access_log = dir.join("access.jsonl");
         let data_arg = data.to_str().unwrap().to_string();
         let addr_file_arg = addr_file.to_str().unwrap().to_string();
+        let access_log_arg = access_log.to_str().unwrap().to_string();
         let server = std::thread::spawn(move || {
             run(&args(&[
                 "serve",
@@ -1632,6 +1709,10 @@ mod tests {
                 "2",
                 "--addr-file",
                 &addr_file_arg,
+                "--access-log",
+                &access_log_arg,
+                "--slow-ms",
+                "60000",
                 "-q",
             ]))
         });
@@ -1669,10 +1750,51 @@ mod tests {
         let health = client.get("/healthz").unwrap();
         assert!(health.body_text().contains("\"epoch\":1"), "{health:?}");
 
+        // The flight recorder saw the traffic, and the event journal
+        // carries the boot install plus the reload.
+        let debug = client.get("/v1/admin/debug/requests").unwrap();
+        assert_eq!(debug.status, 200);
+        assert!(
+            debug.body_text().contains("\"path\":\"/healthz\""),
+            "{debug:?}"
+        );
+        let events = client.get("/v1/admin/debug/events").unwrap();
+        assert!(events.body_text().contains("\"kind\":\"world_installed\""));
+        assert!(events.body_text().contains("\"kind\":\"reload\""));
+
+        // The access log only lands (staging → rename) at shutdown.
+        assert!(!access_log.exists(), "access log landed before shutdown");
+
         let bye = client.post("/v1/admin/shutdown", b"").unwrap();
         assert_eq!(bye.status, 200);
+        assert!(bye.headers.contains_key("x-borges-request-id"), "{bye:?}");
         let out = server.join().unwrap().unwrap();
         assert!(out.contains("shut down cleanly"), "{out}");
+        assert!(out.contains("access log:"), "{out}");
+
+        // Every request left one JSONL record: parseable, unique ids,
+        // each carrying the digest of the world that answered it.
+        let log_text = std::fs::read_to_string(&access_log).unwrap();
+        let records: Vec<borges_telemetry::AccessRecord> = log_text
+            .lines()
+            .map(|line| serde_json::from_str(line).expect("access record parses"))
+            .collect();
+        assert!(
+            records.len() >= 7,
+            "expected a record per request: {log_text}"
+        );
+        let mut ids: Vec<&str> = records.iter().map(|r| r.id.as_str()).collect();
+        ids.sort_unstable();
+        let unique = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), unique, "request ids must be unique: {log_text}");
+        for record in &records {
+            assert_eq!(record.world.len(), 64, "world digest missing: {record:?}");
+        }
+        assert!(records.iter().any(|r| r.path == "/healthz"));
+        assert!(records
+            .iter()
+            .any(|r| r.path == "/v1/map/AS3356?features=all"));
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -1902,7 +2024,8 @@ mod tests {
         let client = borges_serve::ServeClient::new(addr);
         let degraded_map = client.get("/v1/map/AS3356?features=all").unwrap();
         assert_eq!(
-            degraded_map.raw, clean_map.raw,
+            degraded_map.canonical_raw(),
+            clean_map.canonical_raw(),
             "fallback world must serve byte-identical responses"
         );
         let metrics_resp = client.get("/metrics").unwrap();

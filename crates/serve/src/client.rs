@@ -31,6 +31,30 @@ impl ClientResponse {
     pub fn body_text(&self) -> &str {
         std::str::from_utf8(&self.body).expect("response body is UTF-8")
     }
+
+    /// The raw response with the one schedule-dependent header —
+    /// `x-borges-request-id` — removed: the request-id-free canonical
+    /// form the byte-determinism tests compare. Everything else
+    /// (status line, remaining headers, order, body) is untouched.
+    pub fn canonical_raw(&self) -> Vec<u8> {
+        let header_end = match self.raw.windows(4).position(|w| w == b"\r\n\r\n") {
+            Some(pos) => pos + 2, // keep the final CRLF of the last header line
+            None => return self.raw.clone(),
+        };
+        let mut out = Vec::with_capacity(self.raw.len());
+        for line in self.raw[..header_end].split_inclusive(|&b| b == b'\n') {
+            let lower: Vec<u8> = line
+                .iter()
+                .take("x-borges-request-id:".len())
+                .map(|b| b.to_ascii_lowercase())
+                .collect();
+            if lower != b"x-borges-request-id:" {
+                out.extend_from_slice(line);
+            }
+        }
+        out.extend_from_slice(&self.raw[header_end..]);
+        out
+    }
 }
 
 /// A blocking client pinned to one server address.
@@ -144,5 +168,29 @@ mod tests {
     fn rejects_garbage() {
         assert!(parse_response(b"not http").is_err());
         assert!(parse_response(b"HTTP/1.1 twohundred OK\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn canonical_raw_strips_only_the_request_id_header() {
+        let with_id = parse_response(
+            b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\
+              Connection: close\r\nx-borges-request-id: w3-9\r\n\r\n{}",
+        )
+        .unwrap();
+        let without_id = parse_response(
+            b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\
+              Connection: close\r\n\r\n{}",
+        )
+        .unwrap();
+        assert_ne!(with_id.raw, without_id.raw);
+        assert_eq!(with_id.canonical_raw(), without_id.canonical_raw());
+        assert_eq!(without_id.canonical_raw(), without_id.raw);
+        // Two different ids canonicalize identically.
+        let other_id = parse_response(
+            b"HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\
+              Connection: close\r\nx-borges-request-id: w0-1234\r\n\r\n{}",
+        )
+        .unwrap();
+        assert_eq!(with_id.canonical_raw(), other_id.canonical_raw());
     }
 }

@@ -1,0 +1,179 @@
+//! The flight recorder: a bounded in-memory history of recent requests
+//! and world events, behind the `/v1/admin/debug/*` endpoints.
+//!
+//! The recorder is a pure runtime surface. Its contents (request ids,
+//! durations, event sequence numbers) are schedule-dependent by design,
+//! so debug endpoints are never part of byte-determinism comparisons —
+//! they exist to answer "what just happened on *this* process" without
+//! grepping a log file. Storage is two [`RingBuffer`]s (lock held only
+//! for an O(1) push or a snapshot copy), so recording costs the hot
+//! path almost nothing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use borges_telemetry::{AccessRecord, RingBuffer};
+
+use crate::http::json_string;
+
+/// One entry in the world-event journal: reloads, store loads and
+/// degrades, shed bursts, shutdown.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeEvent {
+    /// Monotone per-process event number (order of occurrence).
+    pub seq: u64,
+    /// Short machine-readable kind: `world_installed`, `reload`,
+    /// `reload_failed`, `shed_burst`, `shutdown`, or an
+    /// embedder-supplied kind via `Server::record_event`.
+    pub kind: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+impl ServeEvent {
+    /// The event as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"seq\":{},\"kind\":{},\"detail\":{}}}",
+            self.seq,
+            json_string(&self.kind),
+            json_string(&self.detail)
+        )
+    }
+}
+
+/// What the mapping LRU did for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LruOutcome {
+    /// The request never consulted the mapping cache.
+    None,
+    /// Served from cache.
+    Hit,
+    /// Materialized fresh.
+    Miss,
+}
+
+impl LruOutcome {
+    /// The access-record label for this outcome.
+    pub fn label(&self) -> &'static str {
+        match self {
+            LruOutcome::None => "none",
+            LruOutcome::Hit => "hit",
+            LruOutcome::Miss => "miss",
+        }
+    }
+}
+
+/// Per-request facts a handler reports back to the server so the
+/// access record can carry them.
+#[derive(Debug, Clone, Copy)]
+pub struct RequestObservation {
+    /// The mapping-LRU outcome (the last cache interaction wins when a
+    /// handler consults the cache more than once).
+    pub lru: LruOutcome,
+}
+
+impl RequestObservation {
+    /// A fresh observation: no cache interaction yet.
+    pub fn new() -> RequestObservation {
+        RequestObservation {
+            lru: LruOutcome::None,
+        }
+    }
+}
+
+impl Default for RequestObservation {
+    fn default() -> Self {
+        RequestObservation::new()
+    }
+}
+
+/// The last-N memory of the server: request records and world events.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    requests: RingBuffer<AccessRecord>,
+    events: RingBuffer<ServeEvent>,
+    event_seq: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping at most `capacity` requests and `capacity`
+    /// events (0 disables retention; totals still count).
+    pub fn new(capacity: usize) -> FlightRecorder {
+        FlightRecorder {
+            requests: RingBuffer::new(capacity),
+            events: RingBuffer::new(capacity),
+            event_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Appends one request record.
+    pub fn record_request(&self, record: AccessRecord) {
+        self.requests.push(record);
+    }
+
+    /// Appends one world event, assigning it the next sequence number.
+    pub fn record_event(&self, kind: &str, detail: &str) {
+        let seq = self.event_seq.fetch_add(1, Ordering::Relaxed);
+        self.events.push(ServeEvent {
+            seq,
+            kind: kind.to_string(),
+            detail: detail.to_string(),
+        });
+    }
+
+    /// Retained request records, oldest first.
+    pub fn requests(&self) -> Vec<AccessRecord> {
+        self.requests.snapshot()
+    }
+
+    /// Requests ever recorded (including those that scrolled away).
+    pub fn requests_total(&self) -> u64 {
+        self.requests.total()
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> Vec<ServeEvent> {
+        self.events.snapshot()
+    }
+
+    /// Events ever recorded.
+    pub fn events_total(&self) -> u64 {
+        self.events.total()
+    }
+
+    /// The retention capacity of each ring.
+    pub fn capacity(&self) -> usize {
+        self.requests.capacity()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_sequenced_and_wrap() {
+        let rec = FlightRecorder::new(2);
+        rec.record_event("a", "first");
+        rec.record_event("b", "second");
+        rec.record_event("c", "third");
+        let events = rec.events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].seq, 1);
+        assert_eq!(events[0].kind, "b");
+        assert_eq!(events[1].seq, 2);
+        assert_eq!(rec.events_total(), 3);
+        assert_eq!(
+            events[1].to_json(),
+            "{\"seq\":2,\"kind\":\"c\",\"detail\":\"third\"}"
+        );
+    }
+
+    #[test]
+    fn lru_outcome_labels() {
+        assert_eq!(LruOutcome::None.label(), "none");
+        assert_eq!(LruOutcome::Hit.label(), "hit");
+        assert_eq!(LruOutcome::Miss.label(), "miss");
+        assert_eq!(RequestObservation::new().lru, LruOutcome::None);
+    }
+}

@@ -17,8 +17,27 @@ use borges_core::FeatureSet;
 use borges_telemetry::MetricsRegistry;
 use borges_types::Asn;
 
+use crate::flight::{FlightRecorder, LruOutcome, RequestObservation};
 use crate::http::{json_string, Request, Response};
 use crate::world::ServingWorld;
+
+/// Everything a read-only handler may consult: the one world the
+/// request pinned, the live metrics, and the server facts (worker
+/// count, flight recorder, slow threshold) the observability endpoints
+/// report.
+pub struct ServeContext<'a> {
+    /// The world answering this request (pinned once, never re-read).
+    pub world: &'a ServingWorld,
+    /// The server's metrics registry.
+    pub metrics: &'a MetricsRegistry,
+    /// Worker-pool size, reported by `/healthz`.
+    pub workers: usize,
+    /// The flight recorder behind `/v1/admin/debug/*`.
+    pub recorder: &'a FlightRecorder,
+    /// The configured `--slow-ms` threshold, the default for
+    /// `/v1/admin/debug/slow` when the query names none.
+    pub slow_ms: Option<u64>,
+}
 
 /// Where a request is headed, with path parameters still raw: handlers
 /// own the parse so an unparseable ASN becomes a 400 with a clear
@@ -42,6 +61,14 @@ pub enum Route {
     AdminReload,
     /// `POST /v1/admin/shutdown` — graceful drain and exit.
     AdminShutdown,
+    /// `GET /v1/admin/debug/requests` — the flight recorder's recent
+    /// request records.
+    DebugRequests,
+    /// `GET /v1/admin/debug/slow?threshold_ms=N` — recent requests at
+    /// or above a duration threshold.
+    DebugSlow,
+    /// `GET /v1/admin/debug/events` — the world-event journal.
+    DebugEvents,
     /// Known path, wrong method.
     MethodNotAllowed,
     /// No such route.
@@ -60,6 +87,9 @@ impl Route {
             Route::Metrics => "metrics",
             Route::AdminReload => "admin_reload",
             Route::AdminShutdown => "admin_shutdown",
+            Route::DebugRequests => "debug_requests",
+            Route::DebugSlow => "debug_slow",
+            Route::DebugEvents => "debug_events",
             Route::MethodNotAllowed | Route::NotFound => "other",
         }
     }
@@ -79,6 +109,9 @@ pub fn route(req: &Request) -> Route {
         ["v1", "evidence", a, b] if get => Route::Evidence((*a).to_string(), (*b).to_string()),
         ["v1", "admin", "reload"] if post => Route::AdminReload,
         ["v1", "admin", "shutdown"] if post => Route::AdminShutdown,
+        ["v1", "admin", "debug", "requests"] if get => Route::DebugRequests,
+        ["v1", "admin", "debug", "slow"] if get => Route::DebugSlow,
+        ["v1", "admin", "debug", "events"] if get => Route::DebugEvents,
         ["healthz"]
         | ["metrics"]
         | ["v1", "coverage"]
@@ -86,7 +119,10 @@ pub fn route(req: &Request) -> Route {
         | ["v1", "org", _]
         | ["v1", "evidence", _, _]
         | ["v1", "admin", "reload"]
-        | ["v1", "admin", "shutdown"] => Route::MethodNotAllowed,
+        | ["v1", "admin", "shutdown"]
+        | ["v1", "admin", "debug", "requests"]
+        | ["v1", "admin", "debug", "slow"]
+        | ["v1", "admin", "debug", "events"] => Route::MethodNotAllowed,
         _ => Route::NotFound,
     }
 }
@@ -150,27 +186,98 @@ fn asn_list(asns: &[Asn]) -> String {
     format!("[{}]", items.join(","))
 }
 
-/// Handles the read-only routes against one consistent world. Admin
-/// routes mutate server state and are handled by the server itself, so
-/// they answer 500 here — reaching this arm is a routing bug.
+/// Handles the read-only routes against one consistent world, noting
+/// per-request facts (LRU outcome) into `obs` for the access record.
+/// Admin routes mutate server state and are handled by the server
+/// itself, so they answer 500 here — reaching this arm is a routing
+/// bug.
 pub fn respond(
     route: &Route,
     req: &Request,
-    world: &ServingWorld,
-    metrics: &MetricsRegistry,
+    ctx: &ServeContext<'_>,
+    obs: &mut RequestObservation,
 ) -> Response {
+    let world = ctx.world;
+    let metrics = ctx.metrics;
     match route {
-        Route::Healthz => Response::json(
-            200,
-            format!(
-                "{{\"status\":\"ok\",\"epoch\":{},\"asns\":{},\"world_digest\":\"{}\",\"store_schema\":{}}}",
-                world.epoch,
-                world.borges.universe_len(),
-                world.digest,
-                world.store_schema
-            ),
-        ),
+        Route::Healthz => {
+            // The accept ledger rides along so liveness probes see
+            // saturation without scraping /metrics. All three counters
+            // are written at accept/dequeue time — before any handler
+            // runs — so an identical request sequence reads identical
+            // values at any worker count.
+            Response::json(
+                200,
+                format!(
+                    "{{\"status\":\"ok\",\"epoch\":{},\"asns\":{},\"world_digest\":\"{}\",\"store_schema\":{},\"workers\":{},\"accepted\":{},\"served\":{},\"shed\":{}}}",
+                    world.epoch,
+                    world.borges.universe_len(),
+                    world.digest,
+                    world.store_schema,
+                    ctx.workers,
+                    metrics.counter_value("borges_serve_accepted_total"),
+                    metrics.counter_value("borges_serve_served_total"),
+                    metrics.counter_value("borges_serve_shed_total"),
+                ),
+            )
+        }
         Route::Metrics => Response::text(200, metrics.snapshot().to_prometheus()),
+        Route::DebugRequests => {
+            let records = ctx.recorder.requests();
+            let items: Vec<String> = records.iter().map(|r| r.to_json()).collect();
+            Response::json(
+                200,
+                format!(
+                    "{{\"total\":{},\"capacity\":{},\"requests\":[{}]}}",
+                    ctx.recorder.requests_total(),
+                    ctx.recorder.capacity(),
+                    items.join(",")
+                ),
+            )
+        }
+        Route::DebugSlow => {
+            let threshold = match req.query.get("threshold_ms") {
+                None => ctx.slow_ms.unwrap_or(1_000),
+                Some(raw) => match raw.parse::<u64>() {
+                    Ok(ms) => ms,
+                    Err(_) => {
+                        return Response::error(
+                            400,
+                            &format!("invalid threshold_ms {raw:?} (expected milliseconds)"),
+                        )
+                    }
+                },
+            };
+            let slow: Vec<String> = ctx
+                .recorder
+                .requests()
+                .iter()
+                .filter(|r| r.duration_ms >= threshold)
+                .map(|r| r.to_json())
+                .collect();
+            Response::json(
+                200,
+                format!(
+                    "{{\"threshold_ms\":{},\"total\":{},\"requests\":[{}]}}",
+                    threshold,
+                    slow.len(),
+                    slow.join(",")
+                ),
+            )
+        }
+        Route::DebugEvents => {
+            let events = ctx.recorder.events();
+            let items: Vec<String> = events.iter().map(|e| e.to_json()).collect();
+            Response::json(
+                200,
+                format!(
+                    "{{\"total\":{},\"capacity\":{},\"events\":[{}]}}",
+                    ctx.recorder.events_total(),
+                    ctx.recorder.capacity(),
+                    items.join(",")
+                ),
+            )
+        }
         Route::Coverage => {
             let cov = world.borges.coverage();
             let row = |c: FeatureCoverage| {
@@ -192,9 +299,9 @@ pub fn respond(
                 ),
             )
         }
-        Route::Map(raw) => handle_map(raw, req, world, metrics),
-        Route::Org(raw) => handle_org(raw, req, world, metrics),
-        Route::Evidence(raw_a, raw_b) => handle_evidence(raw_a, raw_b, world, metrics),
+        Route::Map(raw) => handle_map(raw, req, world, metrics, obs),
+        Route::Org(raw) => handle_org(raw, req, world, metrics, obs),
+        Route::Evidence(raw_a, raw_b) => handle_evidence(raw_a, raw_b, world, metrics, obs),
         Route::AdminReload | Route::AdminShutdown => {
             Response::error(500, "admin route reached read-only handler")
         }
@@ -203,11 +310,28 @@ pub fn respond(
     }
 }
 
+/// The world's mapping, noting the cache outcome into the observation.
+fn observed_mapping(
+    world: &ServingWorld,
+    features: FeatureSet,
+    metrics: &MetricsRegistry,
+    obs: &mut RequestObservation,
+) -> std::sync::Arc<borges_core::AsOrgMapping> {
+    let (mapping, hit) = world.mapping_observed(features, metrics);
+    obs.lru = if hit {
+        LruOutcome::Hit
+    } else {
+        LruOutcome::Miss
+    };
+    mapping
+}
+
 fn handle_map(
     raw: &str,
     req: &Request,
     world: &ServingWorld,
     metrics: &MetricsRegistry,
+    obs: &mut RequestObservation,
 ) -> Response {
     let asn = match parse_asn(raw) {
         Ok(asn) => asn,
@@ -220,7 +344,7 @@ fn handle_map(
     if let Err(resp) = known_asn(world, asn) {
         return resp;
     }
-    let mapping = world.mapping(features, metrics);
+    let mapping = observed_mapping(world, features, metrics, obs);
     // `siblings_of` returns the full (sorted) cluster roster, the
     // queried ASN included; the response's `siblings` field excludes it.
     let roster = mapping.siblings_of(asn);
@@ -245,6 +369,7 @@ fn handle_org(
     req: &Request,
     world: &ServingWorld,
     metrics: &MetricsRegistry,
+    obs: &mut RequestObservation,
 ) -> Response {
     let asn = match parse_asn(raw) {
         Ok(asn) => asn,
@@ -257,7 +382,7 @@ fn handle_org(
     if let Err(resp) = known_asn(world, asn) {
         return resp;
     }
-    let mapping = world.mapping(features, metrics);
+    let mapping = observed_mapping(world, features, metrics, obs);
     // The roster is already sorted and includes the queried ASN; an
     // unmapped-but-known ASN is its own singleton organization.
     let members: Vec<Asn> = match mapping.siblings_of(asn) {
@@ -283,6 +408,7 @@ fn handle_evidence(
     raw_b: &str,
     world: &ServingWorld,
     metrics: &MetricsRegistry,
+    obs: &mut RequestObservation,
 ) -> Response {
     let a = match parse_asn(raw_a) {
         Ok(asn) => asn,
@@ -299,7 +425,7 @@ fn handle_evidence(
     }
     let features = world.borges.evidence(a, b);
     let labels: Vec<String> = features.iter().map(|f| json_string(f.label())).collect();
-    let full = world.mapping(FeatureSet::ALL, metrics);
+    let full = observed_mapping(world, FeatureSet::ALL, metrics, obs);
     Response::json(
         200,
         format!(
@@ -357,6 +483,26 @@ mod tests {
         assert_eq!(route(&get("/nope")), Route::NotFound);
         assert_eq!(route(&get("/v1/map")), Route::NotFound);
         assert_eq!(route(&get("/v1/map/AS1/extra")), Route::NotFound);
+    }
+
+    #[test]
+    fn debug_routes_are_get_only() {
+        assert_eq!(
+            route(&get("/v1/admin/debug/requests")),
+            Route::DebugRequests
+        );
+        assert_eq!(
+            route(&get("/v1/admin/debug/slow?threshold_ms=5")),
+            Route::DebugSlow
+        );
+        assert_eq!(route(&get("/v1/admin/debug/events")), Route::DebugEvents);
+        assert_eq!(route(&get("/v1/admin/debug/other")), Route::NotFound);
+        let mut post = get("/v1/admin/debug/requests");
+        post.method = "POST".to_string();
+        assert_eq!(route(&post), Route::MethodNotAllowed);
+        assert_eq!(Route::DebugRequests.label(), "debug_requests");
+        assert_eq!(Route::DebugSlow.label(), "debug_slow");
+        assert_eq!(Route::DebugEvents.label(), "debug_events");
     }
 
     #[test]

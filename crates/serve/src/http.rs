@@ -207,8 +207,9 @@ pub fn parse_request(reader: &mut impl BufRead) -> Result<Request, HttpError> {
     })
 }
 
-/// A response ready to serialize: status, media type, body, and the
-/// optional `Retry-After` seconds the load-shedding path sets.
+/// A response ready to serialize: status, media type, body, the
+/// optional `Retry-After` seconds the load-shedding path sets, and the
+/// request id the server echoes back.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Response {
     /// Status code.
@@ -219,6 +220,11 @@ pub struct Response {
     pub body: Vec<u8>,
     /// `Retry-After` seconds (503 shedding only).
     pub retry_after: Option<u32>,
+    /// Echoed as `x-borges-request-id`. Ids are schedule-dependent
+    /// (monotone per worker), so this header — and only this header —
+    /// is excluded from byte-determinism comparisons; see
+    /// `ClientResponse::canonical_raw`.
+    pub request_id: Option<String>,
 }
 
 impl Response {
@@ -229,6 +235,7 @@ impl Response {
             content_type: "application/json",
             body: body.into(),
             retry_after: None,
+            request_id: None,
         }
     }
 
@@ -239,6 +246,7 @@ impl Response {
             content_type: "text/plain; version=0.0.4",
             body: body.into(),
             retry_after: None,
+            request_id: None,
         }
     }
 
@@ -278,6 +286,9 @@ impl Response {
             self.content_type,
             self.body.len()
         )?;
+        if let Some(id) = &self.request_id {
+            write!(writer, "x-borges-request-id: {id}\r\n")?;
+        }
         if let Some(seconds) = self.retry_after {
             write!(writer, "Retry-After: {seconds}\r\n")?;
         }
@@ -438,6 +449,24 @@ mod tests {
         );
         assert!(text.contains("Retry-After: 1\r\n"), "{text}");
         assert!(text.ends_with("{\"error\":\"overloaded\"}"), "{text}");
+    }
+
+    #[test]
+    fn request_id_header_rides_between_connection_and_retry_after() {
+        let mut out = Vec::new();
+        Response {
+            request_id: Some("w2-17".to_string()),
+            retry_after: Some(1),
+            ..Response::json(200, "{}")
+        }
+        .write_to(&mut out)
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(
+            text,
+            "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\
+             Connection: close\r\nx-borges-request-id: w2-17\r\nRetry-After: 1\r\n\r\n{}"
+        );
     }
 
     #[test]

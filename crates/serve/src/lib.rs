@@ -31,11 +31,13 @@
 #![deny(missing_docs)]
 
 pub mod client;
+pub mod flight;
 pub mod handlers;
 pub mod http;
 pub mod server;
 pub mod world;
 
 pub use client::{ClientResponse, ServeClient};
-pub use server::{Reloader, Server, ServerConfig, ShutdownHandle};
+pub use flight::{FlightRecorder, LruOutcome, RequestObservation, ServeEvent};
+pub use server::{RecordHook, Reloader, Server, ServerConfig, ServerHooks, ShutdownHandle};
 pub use world::{MappingCache, ServingWorld};

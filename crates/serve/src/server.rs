@@ -43,23 +43,24 @@
 
 use std::io::{BufReader, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use borges_core::Borges;
-use borges_telemetry::{MetricsRegistry, MetricsSnapshot};
+use borges_telemetry::{duration_bucket_label, AccessRecord, MetricsRegistry, MetricsSnapshot};
 use parking_lot::Mutex;
 
-use crate::handlers::{self, Route};
-use crate::http::{parse_request, Response};
+use crate::flight::{FlightRecorder, RequestObservation};
+use crate::handlers::{self, Route, ServeContext};
+use crate::http::{parse_request, Request, Response};
 use crate::world::ServingWorld;
 
 /// How a server should run. `Default` gives a loopback ephemeral port,
-/// two workers, a queue of 32, an LRU of 16, and a 2-second read
-/// timeout.
+/// two workers, a queue of 32, an LRU of 16, a 2-second read timeout,
+/// a 256-entry flight recorder, and no slow-request threshold.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address; port 0 picks an ephemeral port.
@@ -72,6 +73,11 @@ pub struct ServerConfig {
     pub lru_capacity: usize,
     /// Socket read timeout; a silent peer is answered 408 after this.
     pub read_timeout: Duration,
+    /// Flight-recorder retention: last N requests and last N events.
+    pub recorder_capacity: usize,
+    /// Requests at or above this many milliseconds count into
+    /// `borges_serve_slow_total` and fire the slow hook.
+    pub slow_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -82,8 +88,26 @@ impl Default for ServerConfig {
             queue_depth: 32,
             lru_capacity: 16,
             read_timeout: Duration::from_secs(2),
+            recorder_capacity: 256,
+            slow_ms: None,
         }
     }
+}
+
+/// An embedder callback receiving one finished [`AccessRecord`].
+pub type RecordHook = Box<dyn Fn(&AccessRecord) + Send + Sync>;
+
+/// Embedder callbacks fired from the serving threads. Both receive the
+/// finished [`AccessRecord`]; keep them cheap — they run on the worker
+/// (or accept) thread that handled the request.
+#[derive(Default)]
+pub struct ServerHooks {
+    /// Called once per finished request with its access record — the
+    /// CLI's `--access-log` appender.
+    pub access_log: Option<RecordHook>,
+    /// Called for requests at or above `slow_ms` — the CLI's narrator
+    /// warning path.
+    pub slow: Option<RecordHook>,
 }
 
 /// Produces the next [`Borges`] for a reload, given the one currently
@@ -106,6 +130,14 @@ struct Shared {
     lru_capacity: usize,
     read_timeout: Duration,
     local_addr: SocketAddr,
+    workers: usize,
+    recorder: FlightRecorder,
+    hooks: ServerHooks,
+    slow_ms: Option<u64>,
+    /// Connections currently sitting in the accept queue (incremented
+    /// on enqueue, decremented on dequeue) — the `queue_depth` an
+    /// access record reports is this value at its accept.
+    queued: AtomicUsize,
 }
 
 impl Shared {
@@ -120,10 +152,20 @@ impl Shared {
         // same epoch number; readers are never blocked by this lock.
         let _guard = self.reload_lock.lock();
         let current = self.world.lock().clone();
-        let next = reloader(&current.borges, store)?;
+        let next = match reloader(&current.borges, store) {
+            Ok(next) => next,
+            Err(msg) => {
+                self.recorder.record_event("reload_failed", &msg);
+                return Err(msg);
+            }
+        };
         let epoch = current.epoch + 1;
         let world = Arc::new(ServingWorld::new(next, self.lru_capacity, epoch));
         stamp_world_digest(&self.metrics, &world);
+        self.recorder.record_event(
+            "reload",
+            &format!("epoch {epoch} installed, digest {}", world.digest),
+        );
         *self.world.lock() = world;
         self.metrics.counter("borges_serve_reloads_total", 1);
         Ok(epoch)
@@ -133,10 +175,94 @@ impl Shared {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
+        self.recorder
+            .record_event("shutdown", "graceful drain begun");
         // Wake the accept loop; the connection is discarded there
         // before any counting.
         let _ = TcpStream::connect(self.local_addr);
     }
+
+    /// Counts a response's status code. Must run *before* the response
+    /// bytes are written: a sequential client's next request can land
+    /// on another worker the moment it reads our bytes, and a scrape
+    /// there must already see this tick — otherwise counter values
+    /// would depend on worker scheduling.
+    fn count_status(&self, status: u16) {
+        self.metrics.counter_labeled(
+            "borges_serve_status_total",
+            &[("code", &status.to_string())],
+            1,
+        );
+    }
+
+    /// Finishes one request's bookkeeping: the labeled latency
+    /// histogram, the slow path, the flight recorder, and the
+    /// access-log hook. Wall-clock durations and schedule-dependent
+    /// ids stay confined to these runtime streams — nothing here
+    /// touches a response body or a canonical counter.
+    #[allow(clippy::too_many_arguments)]
+    fn observe_request(
+        &self,
+        id: &str,
+        request: Option<&Request>,
+        route_label: &'static str,
+        status: u16,
+        bytes: u64,
+        world: Option<&ServingWorld>,
+        obs: RequestObservation,
+        queue_depth: u64,
+        started: Instant,
+    ) {
+        let duration_ms = started.elapsed().as_millis() as u64;
+        self.metrics.observe_ms_labeled(
+            "borges_serve_latency_ms",
+            &[("route", route_label)],
+            duration_ms,
+        );
+        let (method, path) = match request {
+            Some(req) => (req.method.clone(), canonical_target(req)),
+            None => ("-".to_string(), "-".to_string()),
+        };
+        let (world_digest, world_epoch) = match world {
+            Some(world) => (world.digest.clone(), world.epoch),
+            None => (String::new(), 0),
+        };
+        let record = AccessRecord {
+            id: id.to_string(),
+            method,
+            path,
+            status,
+            bytes,
+            world: world_digest,
+            epoch: world_epoch,
+            lru: obs.lru.label().to_string(),
+            queue_depth,
+            duration_ms,
+            duration_bucket: duration_bucket_label(duration_ms),
+        };
+        if let Some(threshold) = self.slow_ms {
+            if duration_ms >= threshold {
+                self.metrics.counter("borges_serve_slow_total", 1);
+                if let Some(slow) = &self.hooks.slow {
+                    slow(&record);
+                }
+            }
+        }
+        self.recorder.record_request(record.clone());
+        if let Some(access_log) = &self.hooks.access_log {
+            access_log(&record);
+        }
+    }
+}
+
+/// The request's path plus its query re-rendered canonically (keys
+/// sorted, `k=v` joined with `&`) — what the access record reports.
+fn canonical_target(req: &Request) -> String {
+    if req.query.is_empty() {
+        return req.path.clone();
+    }
+    let pairs: Vec<String> = req.query.iter().map(|(k, v)| format!("{k}={v}")).collect();
+    format!("{}?{}", req.path, pairs.join("&"))
 }
 
 /// A running server: owns the accept thread and worker pool.
@@ -161,6 +287,17 @@ impl Server {
         borges: Borges,
         reloader: Option<Reloader>,
     ) -> std::io::Result<Server> {
+        Server::start_with(config, borges, reloader, ServerHooks::default())
+    }
+
+    /// [`Server::start`] with embedder callbacks: the access-log and
+    /// slow-request hooks the CLI wires to `--access-log`/`--slow-ms`.
+    pub fn start_with(
+        config: ServerConfig,
+        borges: Borges,
+        reloader: Option<Reloader>,
+        hooks: ServerHooks,
+    ) -> std::io::Result<Server> {
         if config.threads == 0 {
             return Err(invalid("threads must be >= 1"));
         }
@@ -172,6 +309,11 @@ impl Server {
         let boot = Arc::new(ServingWorld::new(borges, config.lru_capacity, 0));
         let metrics = MetricsRegistry::new();
         stamp_world_digest(&metrics, &boot);
+        let recorder = FlightRecorder::new(config.recorder_capacity);
+        recorder.record_event(
+            "world_installed",
+            &format!("epoch 0 installed, digest {}", boot.digest),
+        );
         let shared = Arc::new(Shared {
             world: Mutex::new(boot),
             metrics,
@@ -181,9 +323,14 @@ impl Server {
             lru_capacity: config.lru_capacity,
             read_timeout: config.read_timeout,
             local_addr,
+            workers: config.threads,
+            recorder,
+            hooks,
+            slow_ms: config.slow_ms,
+            queued: AtomicUsize::new(0),
         });
 
-        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(config.queue_depth);
+        let (tx, rx) = std::sync::mpsc::sync_channel::<(TcpStream, u64)>(config.queue_depth);
         let rx = Arc::new(Mutex::new(rx));
         let worker_handles = (0..config.threads)
             .map(|i| {
@@ -191,7 +338,7 @@ impl Server {
                 let rx = rx.clone();
                 std::thread::Builder::new()
                     .name(format!("borges-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, &rx))
+                    .spawn(move || worker_loop(&shared, &rx, i))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -247,8 +394,19 @@ impl Server {
         let epoch = self.shared.world.lock().epoch + 1;
         let world = Arc::new(ServingWorld::new(borges, self.shared.lru_capacity, epoch));
         stamp_world_digest(&self.shared.metrics, &world);
+        self.shared.recorder.record_event(
+            "world_installed",
+            &format!("epoch {epoch} installed, digest {}", world.digest),
+        );
         *self.shared.world.lock() = world;
         epoch
+    }
+
+    /// Appends an embedder event to the world-event journal (`GET
+    /// /v1/admin/debug/events`) — the CLI records store boots and
+    /// degradations here so the journal tells the whole world story.
+    pub fn record_event(&self, kind: &str, detail: &str) {
+        self.shared.recorder.record_event(kind, detail);
     }
 
     /// Graceful shutdown: stop accepting, drain everything queued, join
@@ -335,7 +493,13 @@ fn parse_reload_store(body: &[u8]) -> Result<Option<String>, String> {
     Ok(Some(parsed.store))
 }
 
-fn accept_loop(shared: &Shared, listener: &TcpListener, tx: SyncSender<TcpStream>) {
+fn accept_loop(shared: &Shared, listener: &TcpListener, tx: SyncSender<(TcpStream, u64)>) {
+    // The accept thread numbers the connections it refuses itself
+    // (`a-1`, `a-2`, ...) and coalesces consecutive sheds into one
+    // `shed_burst` journal event, flushed on the first successful
+    // enqueue after the burst (and at loop exit).
+    let mut shed_seq: u64 = 0;
+    let mut burst: u64 = 0;
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
@@ -347,25 +511,64 @@ fn accept_loop(shared: &Shared, listener: &TcpListener, tx: SyncSender<TcpStream
             break;
         }
         shared.metrics.counter("borges_serve_accepted_total", 1);
-        match tx.try_send(stream) {
-            Ok(()) => {}
-            Err(TrySendError::Full(stream)) => shed(shared, stream),
+        let depth = shared.queued.load(Ordering::SeqCst) as u64;
+        match tx.try_send((stream, depth)) {
+            Ok(()) => {
+                shared.queued.fetch_add(1, Ordering::SeqCst);
+                flush_shed_burst(shared, &mut burst);
+            }
+            Err(TrySendError::Full((stream, depth))) => {
+                shed_seq += 1;
+                burst += 1;
+                shed(shared, stream, shed_seq, depth);
+            }
             Err(TrySendError::Disconnected(_)) => break,
         }
     }
+    flush_shed_burst(shared, &mut burst);
     // Dropping the sender closes the queue: workers drain what is
     // already in it, then exit.
     drop(tx);
 }
 
+fn flush_shed_burst(shared: &Shared, burst: &mut u64) {
+    if *burst > 0 {
+        shared.recorder.record_event(
+            "shed_burst",
+            &format!("{burst} connection(s) shed while the queue was full"),
+        );
+        *burst = 0;
+    }
+}
+
 /// Refuses an over-capacity connection with `503` + `Retry-After`,
 /// straight from the accept thread — shedding must not itself queue.
-fn shed(shared: &Shared, stream: TcpStream) {
+fn shed(shared: &Shared, stream: TcpStream, shed_seq: u64, depth: u64) {
+    let started = Instant::now();
     shared.metrics.counter("borges_serve_shed_total", 1);
     let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let id = format!("a-{shed_seq}");
     let mut response = Response::error(503, "server overloaded, retry shortly");
     response.retry_after = Some(1);
+    response.request_id = Some(id.clone());
+    let bytes = response.body.len() as u64;
+    shared.count_status(503);
     respond_close(&stream, &response, Duration::from_millis(500));
+    // A shed request was never read, so it has no method/path; the
+    // record still carries the live world's digest — the world that
+    // answered (refused) it.
+    let world = shared.world.lock().clone();
+    shared.observe_request(
+        &id,
+        None,
+        "shed",
+        503,
+        bytes,
+        Some(&world),
+        RequestObservation::new(),
+        depth,
+        started,
+    );
 }
 
 /// Writes the response, half-closes, and drains what the peer already
@@ -388,21 +591,28 @@ fn respond_close(stream: &TcpStream, response: &Response, drain_timeout: Duratio
     }
 }
 
-fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<TcpStream>>>) {
+fn worker_loop(shared: &Shared, rx: &Arc<Mutex<Receiver<(TcpStream, u64)>>>, worker: usize) {
+    // Request ids are monotone per worker (`w0-1`, `w0-2`, ...): no
+    // cross-worker coordination on the hot path, and the pair
+    // (worker, seq) is unique for the life of the process.
+    let mut seq: u64 = 0;
     loop {
         // Hold the receiver lock only for the dequeue itself: the
         // guard is a temporary of this `let` and is dropped before the
         // connection is handled.
         let received = rx.lock().recv();
-        let stream = match received {
-            Ok(stream) => stream,
+        let (stream, depth) = match received {
+            Ok(pair) => pair,
             Err(_) => break,
         };
+        shared.queued.fetch_sub(1, Ordering::SeqCst);
         // Counted served no matter how the conversation ends: the
         // accept/shed/serve ledger must balance even when the peer
         // vanishes mid-request.
         shared.metrics.counter("borges_serve_served_total", 1);
-        if handle_connection(shared, &stream) == Action::Shutdown {
+        seq += 1;
+        let id = format!("w{worker}-{seq}");
+        if handle_connection(shared, &stream, &id, depth) == Action::Shutdown {
             shared.trigger_shutdown();
         }
     }
@@ -414,7 +624,8 @@ enum Action {
     Shutdown,
 }
 
-fn handle_connection(shared: &Shared, stream: &TcpStream) -> Action {
+fn handle_connection(shared: &Shared, stream: &TcpStream, id: &str, queue_depth: u64) -> Action {
+    let started = Instant::now();
     let _ = stream.set_read_timeout(Some(shared.read_timeout));
     let _ = stream.set_write_timeout(Some(shared.read_timeout));
     let mut reader = BufReader::new(stream);
@@ -424,13 +635,30 @@ fn handle_connection(shared: &Shared, stream: &TcpStream) -> Action {
             shared
                 .metrics
                 .counter("borges_serve_requests_error_total", 1);
-            if let Some((status, _reason, detail)) = error.status() {
-                respond_close(
-                    stream,
-                    &Response::error(status, detail),
-                    shared.read_timeout,
-                );
-            }
+            let status = match error.status() {
+                Some((status, _reason, detail)) => {
+                    let mut response = Response::error(status, detail);
+                    response.request_id = Some(id.to_string());
+                    shared.count_status(status);
+                    respond_close(stream, &response, shared.read_timeout);
+                    status
+                }
+                // The peer vanished unanswered: status 0 in the record,
+                // and no status-code counter tick (nothing was sent).
+                None => 0,
+            };
+            let world = shared.world.lock().clone();
+            shared.observe_request(
+                id,
+                None,
+                "error",
+                status,
+                0,
+                Some(&world),
+                RequestObservation::new(),
+                queue_depth,
+                started,
+            );
             return Action::None;
         }
     };
@@ -441,18 +669,27 @@ fn handle_connection(shared: &Shared, stream: &TcpStream) -> Action {
         .metrics
         .counter(&format!("borges_serve_requests_{label}_total"), 1);
 
-    let started = Instant::now();
-    let (response, action) = match route {
+    // One Arc clone under a momentary lock: everything this request
+    // reads comes from this one world, and its digest is what the
+    // access record reports as "the world that answered".
+    let mut world = shared.world.lock().clone();
+    let mut obs = RequestObservation::new();
+    let (mut response, action) = match route {
         Route::AdminReload => match parse_reload_store(&request.body) {
             Err(msg) => (Response::error(400, &msg), Action::None),
             Ok(store) => match shared.reload(store.as_deref()) {
-                Ok(epoch) => (
-                    Response::json(
-                        200,
-                        format!("{{\"status\":\"reloaded\",\"epoch\":{epoch}}}"),
-                    ),
-                    Action::None,
-                ),
+                Ok(epoch) => {
+                    // The answer announces the *new* world; the record
+                    // carries that world's digest.
+                    world = shared.world.lock().clone();
+                    (
+                        Response::json(
+                            200,
+                            format!("{{\"status\":\"reloaded\",\"epoch\":{epoch}}}"),
+                        ),
+                        Action::None,
+                    )
+                }
                 Err(msg) => {
                     let status = if msg == "no reloader configured" {
                         501
@@ -468,19 +705,32 @@ fn handle_connection(shared: &Shared, stream: &TcpStream) -> Action {
             Action::Shutdown,
         ),
         ref route => {
-            // One Arc clone under a momentary lock: everything this
-            // request reads comes from this one world.
-            let world = shared.world.lock().clone();
+            let ctx = ServeContext {
+                world: &world,
+                metrics: &shared.metrics,
+                workers: shared.workers,
+                recorder: &shared.recorder,
+                slow_ms: shared.slow_ms,
+            };
             (
-                handlers::respond(route, &request, &world, &shared.metrics),
+                handlers::respond(route, &request, &ctx, &mut obs),
                 Action::None,
             )
         }
     };
-    shared.metrics.observe_ms(
-        &format!("borges_serve_latency_{label}_ms"),
-        started.elapsed().as_millis() as u64,
-    );
+    response.request_id = Some(id.to_string());
+    shared.count_status(response.status);
     respond_close(stream, &response, shared.read_timeout);
+    shared.observe_request(
+        id,
+        Some(&request),
+        label,
+        response.status,
+        response.body.len() as u64,
+        Some(&world),
+        obs,
+        queue_depth,
+        started,
+    );
     action
 }

@@ -52,6 +52,19 @@ impl MappingCache {
         metrics: &MetricsRegistry,
         materialize: impl FnOnce() -> AsOrgMapping,
     ) -> Arc<AsOrgMapping> {
+        self.get_or_materialize_observed(features, metrics, materialize)
+            .0
+    }
+
+    /// [`MappingCache::get_or_materialize`], additionally reporting
+    /// whether the lookup was a cache hit — the flight recorder wants
+    /// the outcome per request, not just the aggregate counters.
+    pub fn get_or_materialize_observed(
+        &self,
+        features: FeatureSet,
+        metrics: &MetricsRegistry,
+        materialize: impl FnOnce() -> AsOrgMapping,
+    ) -> (Arc<AsOrgMapping>, bool) {
         let key = features.bits();
         if self.capacity > 0 {
             let mut entries = self.entries.lock();
@@ -61,7 +74,7 @@ impl MappingCache {
                 entries.push_back(hit);
                 drop(entries);
                 metrics.counter("borges_serve_lru_hits_total", 1);
-                return mapping;
+                return (mapping, true);
             }
         }
         metrics.counter("borges_serve_lru_misses_total", 1);
@@ -76,7 +89,7 @@ impl MappingCache {
                 entries.push_back((key, mapping.clone()));
             }
         }
-        mapping
+        (mapping, false)
     }
 
     /// Number of cached mappings right now.
@@ -126,8 +139,18 @@ impl ServingWorld {
 
     /// The mapping for `features`, served through this world's cache.
     pub fn mapping(&self, features: FeatureSet, metrics: &MetricsRegistry) -> Arc<AsOrgMapping> {
+        self.mapping_observed(features, metrics).0
+    }
+
+    /// [`ServingWorld::mapping`], additionally reporting whether the
+    /// lookup hit this world's cache.
+    pub fn mapping_observed(
+        &self,
+        features: FeatureSet,
+        metrics: &MetricsRegistry,
+    ) -> (Arc<AsOrgMapping>, bool) {
         self.cache
-            .get_or_materialize(features, metrics, || self.borges.mapping(features))
+            .get_or_materialize_observed(features, metrics, || self.borges.mapping(features))
     }
 }
 

@@ -22,14 +22,16 @@
 
 #![deny(missing_docs)]
 
+pub mod access;
 pub mod metrics;
 pub mod report;
 pub mod span;
 pub mod verbosity;
 
+pub use access::{duration_bucket_label, AccessLogWriter, AccessRecord, RingBuffer};
 pub use metrics::{
-    CounterSample, Histogram, HistogramSample, MetricsRegistry, MetricsSnapshot,
-    DURATION_BUCKETS_MS,
+    escape_label_value, labeled, CounterSample, Histogram, HistogramSample, MetricsRegistry,
+    MetricsSnapshot, DURATION_BUCKETS_MS,
 };
 pub use report::{
     BreakerEvent, CacheReport, CacheStats, CoverageRow, CrawlFunnel, DeltaEdgeRow, DeltaRecordRow,

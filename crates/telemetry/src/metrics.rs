@@ -22,6 +22,81 @@ use std::ops::AddAssign;
 /// histogram uses. An implicit `+Inf` bucket follows the last bound.
 pub const DURATION_BUCKETS_MS: [u64; 10] = [1, 5, 10, 50, 100, 500, 1_000, 5_000, 10_000, 60_000];
 
+/// Escapes a label value for Prometheus text exposition: backslash,
+/// double quote, and newline are the three characters the format
+/// reserves inside a quoted label value.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for ch in value.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Builds the registry key for a labeled series: `family{k="v",...}`
+/// with values escaped. Labels are rendered in the order given — pass
+/// them in a fixed order so the same series always gets the same key.
+pub fn labeled(family: &str, labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return family.to_string();
+    }
+    let mut out = String::with_capacity(family.len() + 16 * labels.len());
+    out.push_str(family);
+    out.push('{');
+    for (i, (key, value)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(key);
+        out.push_str("=\"");
+        out.push_str(&escape_label_value(value));
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// Splits a series name into its bare family and the label body (the
+/// text between the braces, if any).
+fn split_family(name: &str) -> (&str, Option<&str>) {
+    match name.split_once('{') {
+        Some((family, rest)) => (family, Some(rest.trim_end_matches('}'))),
+        None => (name, None),
+    }
+}
+
+/// Deterministic `# HELP` text for a metric family: a curated line for
+/// the families operators actually dashboard, a suffix-derived generic
+/// otherwise. A lookup (not registry state) so the exposition stays
+/// byte-identical across runs and `MetricsSnapshot`'s serde schema —
+/// pinned by the RunReport golden files — is untouched.
+fn help_for(family: &str) -> &'static str {
+    match family {
+        "borges_serve_accepted_total" => "Connections accepted by the listener.",
+        "borges_serve_served_total" => "Requests dequeued and handled by a worker.",
+        "borges_serve_shed_total" => "Connections shed with 503 because the accept queue was full.",
+        "borges_serve_reloads_total" => "Successful hot world reloads.",
+        "borges_serve_slow_total" => "Requests slower than the configured --slow-ms threshold.",
+        "borges_serve_latency_ms" => "Request handling latency by route, milliseconds.",
+        "borges_serve_status_total" => "Responses by HTTP status code.",
+        "borges_serve_world_digest" => "Serving world content digest (value is the install count).",
+        _ => {
+            if family.ends_with("_ms") {
+                "Duration histogram, milliseconds."
+            } else if family.ends_with("_total") {
+                "Monotone event counter."
+            } else {
+                "Borges metric."
+            }
+        }
+    }
+}
+
 const BUCKETS: usize = DURATION_BUCKETS_MS.len() + 1;
 
 /// A fixed-bucket duration histogram: per-bucket counts (not cumulative),
@@ -111,6 +186,12 @@ impl MetricsRegistry {
         *self.counters.lock().entry(name.to_string()).or_insert(0) += delta;
     }
 
+    /// Adds `delta` to a labeled counter series
+    /// (`family{k="v",...}`), escaping label values.
+    pub fn counter_labeled(&self, family: &str, labels: &[(&str, &str)], delta: u64) {
+        self.counter(&labeled(family, labels), delta);
+    }
+
     /// Records one duration observation in the named histogram.
     pub fn observe_ms(&self, name: &str, ms: u64) {
         self.histograms
@@ -118,6 +199,12 @@ impl MetricsRegistry {
             .entry(name.to_string())
             .or_default()
             .observe(ms);
+    }
+
+    /// Records one duration observation in a labeled histogram series
+    /// (`family{k="v",...}`), escaping label values.
+    pub fn observe_ms_labeled(&self, family: &str, labels: &[(&str, &str)], ms: u64) {
+        self.observe_ms(&labeled(family, labels), ms);
     }
 
     /// Reads one live counter without freezing a snapshot (0 when the
@@ -204,33 +291,68 @@ impl MetricsSnapshot {
         self.histograms.iter().find(|h| h.name == name)
     }
 
-    /// Prometheus text exposition: counters as-is, histograms expanded to
-    /// cumulative `_bucket{le=...}` series plus `_sum` and `_count`.
+    /// Prometheus text exposition: counters and histograms grouped by
+    /// family, each family headed by exactly one `# HELP` + `# TYPE`
+    /// pair under the bare family name (metadata lines never carry
+    /// labels). Labeled histograms render their label set merged with
+    /// `le` on every bucket line; histograms expand to cumulative
+    /// `_bucket{le=...}` series plus `_sum` and `_count`.
     pub fn to_prometheus(&self) -> String {
-        let mut out = String::new();
+        // Group by family first: a family's series can be interleaved
+        // with other families in the flat name sort (`fam 1`, `fam2 0`,
+        // `fam{a="b"} 1`), and metadata must appear exactly once per
+        // family, directly above all of its series.
+        let mut counter_families: BTreeMap<&str, Vec<&CounterSample>> = BTreeMap::new();
         for c in &self.counters {
-            // A labeled sample (`name{label="..."}`) declares its TYPE
-            // under the bare family name — Prometheus metadata lines
-            // never carry labels.
-            let family = c.name.split('{').next().unwrap_or(&c.name);
-            out.push_str(&format!(
-                "# TYPE {family} counter\n{} {}\n",
-                c.name, c.value
-            ));
+            let (family, _) = split_family(&c.name);
+            counter_families.entry(family).or_default().push(c);
         }
+        let mut histogram_families: BTreeMap<&str, Vec<&HistogramSample>> = BTreeMap::new();
         for h in &self.histograms {
-            out.push_str(&format!("# TYPE {} histogram\n", h.name));
-            let mut cumulative = 0u64;
-            for (i, count) in h.buckets.iter().enumerate() {
-                cumulative += count;
-                let le = DURATION_BUCKETS_MS
-                    .get(i)
-                    .map(|b| b.to_string())
-                    .unwrap_or_else(|| "+Inf".to_string());
-                out.push_str(&format!("{}_bucket{{le=\"{le}\"}} {cumulative}\n", h.name));
+            let (family, _) = split_family(&h.name);
+            histogram_families.entry(family).or_default().push(h);
+        }
+
+        let mut out = String::new();
+        for (family, samples) in &counter_families {
+            out.push_str(&format!("# HELP {family} {}\n", help_for(family)));
+            out.push_str(&format!("# TYPE {family} counter\n"));
+            for c in samples {
+                out.push_str(&format!("{} {}\n", c.name, c.value));
             }
-            out.push_str(&format!("{}_sum {}\n", h.name, h.sum_ms));
-            out.push_str(&format!("{}_count {}\n", h.name, h.count));
+        }
+        for (family, samples) in &histogram_families {
+            out.push_str(&format!("# HELP {family} {}\n", help_for(family)));
+            out.push_str(&format!("# TYPE {family} histogram\n"));
+            for h in samples {
+                let (_, labels) = split_family(&h.name);
+                let mut cumulative = 0u64;
+                for (i, count) in h.buckets.iter().enumerate() {
+                    cumulative += count;
+                    let le = DURATION_BUCKETS_MS
+                        .get(i)
+                        .map(|b| b.to_string())
+                        .unwrap_or_else(|| "+Inf".to_string());
+                    match labels {
+                        Some(inner) => out.push_str(&format!(
+                            "{family}_bucket{{{inner},le=\"{le}\"}} {cumulative}\n"
+                        )),
+                        None => {
+                            out.push_str(&format!("{family}_bucket{{le=\"{le}\"}} {cumulative}\n"))
+                        }
+                    }
+                }
+                match labels {
+                    Some(inner) => {
+                        out.push_str(&format!("{family}_sum{{{inner}}} {}\n", h.sum_ms));
+                        out.push_str(&format!("{family}_count{{{inner}}} {}\n", h.count));
+                    }
+                    None => {
+                        out.push_str(&format!("{family}_sum {}\n", h.sum_ms));
+                        out.push_str(&format!("{family}_count {}\n", h.count));
+                    }
+                }
+            }
         }
         out
     }
@@ -379,6 +501,67 @@ mod tests {
         assert!(text.contains("borges_web_call_ms_bucket{le=\"+Inf\"} 2\n"));
         assert!(text.contains("borges_web_call_ms_sum 70003\n"));
         assert!(text.contains("borges_web_call_ms_count 2\n"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+        assert_eq!(
+            labeled("f_total", &[("k", "v\"x"), ("l", "y")]),
+            "f_total{k=\"v\\\"x\",l=\"y\"}"
+        );
+        assert_eq!(labeled("bare", &[]), "bare");
+    }
+
+    #[test]
+    fn exposition_emits_one_help_and_type_per_family() {
+        let reg = MetricsRegistry::new();
+        reg.counter_labeled("borges_serve_status_total", &[("code", "200")], 3);
+        reg.counter_labeled("borges_serve_status_total", &[("code", "404")], 1);
+        // A family that interleaves with the labeled series in the
+        // flat name sort ('{' > alphanumerics).
+        reg.counter("borges_serve_status_extra_total", 7);
+        let text = reg.snapshot().to_prometheus();
+        assert_eq!(
+            text.matches("# TYPE borges_serve_status_total counter\n")
+                .count(),
+            1,
+            "exactly one TYPE line per family:\n{text}"
+        );
+        assert!(text.contains(
+            "# HELP borges_serve_status_total Responses by HTTP status code.\n\
+             # TYPE borges_serve_status_total counter\n\
+             borges_serve_status_total{code=\"200\"} 3\n\
+             borges_serve_status_total{code=\"404\"} 1\n"
+        ));
+        assert!(text.contains("# HELP borges_serve_status_extra_total Monotone event counter.\n"));
+    }
+
+    #[test]
+    fn labeled_histograms_merge_le_into_the_label_set() {
+        let reg = MetricsRegistry::new();
+        reg.observe_ms_labeled("borges_serve_latency_ms", &[("route", "map")], 3);
+        reg.observe_ms_labeled("borges_serve_latency_ms", &[("route", "org")], 70_000);
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE borges_serve_latency_ms histogram\n"));
+        assert!(
+            text.contains("borges_serve_latency_ms_bucket{route=\"map\",le=\"5\"} 1\n"),
+            "{text}"
+        );
+        assert!(
+            text.contains("borges_serve_latency_ms_bucket{route=\"org\",le=\"+Inf\"} 1\n"),
+            "{text}"
+        );
+        assert!(text.contains("borges_serve_latency_ms_sum{route=\"map\"} 3\n"));
+        assert!(text.contains("borges_serve_latency_ms_count{route=\"org\"} 1\n"));
+        assert_eq!(
+            text.matches("# TYPE borges_serve_latency_ms histogram\n")
+                .count(),
+            1
+        );
     }
 
     #[test]

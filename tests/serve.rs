@@ -5,7 +5,9 @@
 //! 1. **Determinism** — identical requests return byte-identical
 //!    responses across worker-pool sizes, and before/after an LRU
 //!    eviction. The serving layer adds no nondeterminism on top of the
-//!    pipeline's.
+//!    pipeline's. The one schedule-dependent header — the request id —
+//!    is stripped by [`ClientResponse::canonical_raw`] before
+//!    comparison; everything else must match byte for byte.
 //! 2. **Hot-swap atomicity** — readers hammering the server during an
 //!    `Arc` swap see the old world or the new world, never a blend;
 //!    the world's epoch stamps every body, making a blend detectable.
@@ -76,20 +78,37 @@ fn identical_requests_are_byte_identical_across_worker_counts() {
     let client1 = ServeClient::new(single.local_addr());
     let client4 = ServeClient::new(pooled.local_addr());
 
+    // `/healthz` reports the configured pool size — the one field that
+    // *should* differ between a 1- and a 4-worker server. Mask it (the
+    // ledger fields stay in the comparison: both servers see the same
+    // request sequence, so they must agree).
+    let mask_workers = |raw: &[u8]| {
+        String::from_utf8_lossy(raw)
+            .replace("\"workers\":1,", "\"workers\":_,")
+            .replace("\"workers\":4,", "\"workers\":_,")
+    };
     for probe in PROBES {
         let a = client1.get(probe).expect("single-worker response");
         let b = client4.get(probe).expect("pooled response");
         assert_eq!(
-            a.raw,
-            b.raw,
+            mask_workers(&a.canonical_raw()),
+            mask_workers(&b.canonical_raw()),
             "{probe} differed between 1 and 4 workers:\n{}\nvs\n{}",
             String::from_utf8_lossy(&a.raw),
             String::from_utf8_lossy(&b.raw)
         );
         // Repetition on the same server is also byte-stable (second
         // hit is LRU-warm — the cache must not change the bytes).
+        // `/healthz` is exempt: its body embeds the accept ledger,
+        // which advances with every request by design.
         let again = client4.get(probe).expect("repeat response");
-        assert_eq!(a.raw, again.raw, "{probe} unstable across repeats");
+        if *probe != "/healthz" {
+            assert_eq!(
+                a.canonical_raw(),
+                again.canonical_raw(),
+                "{probe} unstable across repeats"
+            );
+        }
     }
     single.stop();
     pooled.stop();
@@ -108,12 +127,17 @@ fn lru_eviction_does_not_change_bytes_and_counters_add_up() {
 
     let first = client.get(subset_a).expect("cold A");
     let warm = client.get(subset_a).expect("warm A");
-    assert_eq!(first.raw, warm.raw, "warm hit must not change bytes");
+    assert_eq!(
+        first.canonical_raw(),
+        warm.canonical_raw(),
+        "warm hit must not change bytes"
+    );
     client.get(subset_b).expect("cold B");
     client.get(subset_c).expect("cold C evicts A");
     let after_eviction = client.get(subset_a).expect("A rematerialized");
     assert_eq!(
-        first.raw, after_eviction.raw,
+        first.canonical_raw(),
+        after_eviction.canonical_raw(),
         "bytes changed across an LRU eviction"
     );
 
@@ -138,7 +162,7 @@ fn hot_swap_under_concurrent_load_never_serves_a_mixed_world() {
     // moments: epoch 0 before the swap, epoch 1 after.
     let probe = "/v1/map/AS3356?features=all";
     let client = ServeClient::new(addr);
-    let body_epoch0 = client.get(probe).expect("pre-swap probe").raw;
+    let body_epoch0 = client.get(probe).expect("pre-swap probe").canonical_raw();
 
     let stop_flag = Arc::new(AtomicBool::new(false));
     let readers: Vec<_> = (0..4)
@@ -148,7 +172,7 @@ fn hot_swap_under_concurrent_load_never_serves_a_mixed_world() {
                 let client = ServeClient::new(addr);
                 let mut bodies = Vec::new();
                 while !stop.load(Ordering::Relaxed) {
-                    bodies.push(client.get(probe).expect("reader probe").raw);
+                    bodies.push(client.get(probe).expect("reader probe").canonical_raw());
                 }
                 bodies
             })
@@ -162,7 +186,7 @@ fn hot_swap_under_concurrent_load_never_serves_a_mixed_world() {
     std::thread::sleep(Duration::from_millis(100));
     stop_flag.store(true, Ordering::Relaxed);
 
-    let body_epoch1 = client.get(probe).expect("post-swap probe").raw;
+    let body_epoch1 = client.get(probe).expect("post-swap probe").canonical_raw();
     assert_ne!(
         body_epoch0, body_epoch1,
         "epochs must be distinguishable for the test to mean anything"

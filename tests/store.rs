@@ -115,8 +115,8 @@ fn store_loaded_server_answers_byte_identically_to_compiled_server() {
         let a = client_a.get(probe).expect("compiled-world response");
         let b = client_b.get(probe).expect("store-world response");
         assert_eq!(
-            a.raw,
-            b.raw,
+            a.canonical_raw(),
+            b.canonical_raw(),
             "{probe} differed between compiled and store-loaded worlds:\n{}\nvs\n{}",
             String::from_utf8_lossy(&a.raw),
             String::from_utf8_lossy(&b.raw)
@@ -161,7 +161,11 @@ fn recompiled_fallback_world_serves_the_same_bytes_as_a_clean_store() {
     for probe in PROBES {
         let a = client_fallback.get(probe).expect("fallback response");
         let b = client_clean.get(probe).expect("clean-store response");
-        assert_eq!(a.raw, b.raw, "{probe} differed after fallback");
+        assert_eq!(
+            a.canonical_raw(),
+            b.canonical_raw(),
+            "{probe} differed after fallback"
+        );
     }
     fallback.stop();
     clean.stop();
