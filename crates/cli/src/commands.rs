@@ -5,7 +5,7 @@ use borges_core::diff::diff;
 use borges_core::impact::OrgNamer;
 use borges_core::mapfile;
 use borges_core::orgfactor::organization_factor;
-use borges_core::pipeline::{Borges, FeatureSet};
+use borges_core::pipeline::{Borges, FeatureSet, StreamOptions};
 use borges_core::{AsOrgMapping, SnapshotState};
 use borges_llm::{CachingModel, FlakyModel, SimLlm};
 use borges_resilience::{EpisodePlan, RetryPolicy};
@@ -27,6 +27,7 @@ USAGE:
       ASNs) and million (~1M ASNs) scales stream records straight to
       disk in bounded memory instead of materializing the world.
   borges map --data DIR --out FILE [--features all|none|LIST] [--seed N] [--threads N]
+             [--streaming] [--max-in-flight N] [--per-host-rps R]
              [--fault-rate R] [--retries N] [--chaos-seed N]
              [--trace-out FILE] [--metrics-out FILE] [--report-out FILE]
              [--state-out DIR] [--store-out FILE]
@@ -36,6 +37,16 @@ USAGE:
       drives the crawl, the LLM extraction, mapping materialization,
       and the sharded union-find replay of evidence edges (output is
       byte-identical to --threads 1 at every thread count).
+      --streaming selects the streaming ingest engine: the crawl
+      overlaps NER extraction and evidence compilation behind a
+      bounded-concurrency scheduler (--threads fetch workers) with
+      per-host FIFO admission. Output is byte-identical to the staged
+      pipeline — including under --fault-rate chaos, which composes.
+      --max-in-flight N caps fetches started but not yet completed
+      (default 8); --per-host-rps R token-bucket rate-limits each host
+      to R admissions per second of virtual pacing time. Both require
+      --streaming. Scheduler accounting lands in the run ledger's
+      worker rows (ingest_* stages), never in canonical outputs.
       --fault-rate R injects seeded transient transport faults (R in
       [0,1]) at both the crawl and the LLM boundary; --retries N caps
       recovery at N retries per call (default 4; 0 disables recovery);
@@ -284,6 +295,73 @@ fn chaos_opts(opts: &Options) -> Result<Option<ChaosOpts>, CliError> {
     }))
 }
 
+/// The `map` command's streaming knobs, parsed from `--streaming` /
+/// `--max-in-flight` / `--per-host-rps`. `None` when `--streaming` was
+/// not given — in which case the companion knobs are usage errors, so a
+/// typo'd invocation fails before any I/O rather than silently running
+/// the staged pipeline.
+fn stream_opts(
+    opts: &Options,
+    chaos: &Option<ChaosOpts>,
+    threads: usize,
+) -> Result<Option<StreamOptions>, CliError> {
+    let streaming = opts.boolean("streaming");
+    let max_in_flight = opts.optional("max-in-flight")?;
+    let per_host_rps = opts.optional("per-host-rps")?;
+    if !streaming {
+        if max_in_flight.is_some() {
+            return Err(CliError::Usage(
+                "--max-in-flight only applies to the streaming pipeline; add --streaming"
+                    .to_string(),
+            ));
+        }
+        if per_host_rps.is_some() {
+            return Err(CliError::Usage(
+                "--per-host-rps only applies to the streaming pipeline; add --streaming"
+                    .to_string(),
+            ));
+        }
+        return Ok(None);
+    }
+    let max_in_flight = match max_in_flight {
+        Some(n) => match n.parse::<usize>() {
+            Ok(0) => {
+                return Err(CliError::Usage(
+                    "--max-in-flight 0 would admit no fetches; pass 1 or more \
+                     (or omit for the default)"
+                        .to_string(),
+                ))
+            }
+            Ok(n) => n,
+            Err(_) => {
+                return Err(CliError::Usage(format!(
+                    "--max-in-flight {n:?} is not a number"
+                )))
+            }
+        },
+        None => StreamOptions::default().max_in_flight,
+    };
+    let per_host_rps = match per_host_rps {
+        Some(r) => Some(
+            r.parse::<f64>()
+                .ok()
+                .filter(|r| r.is_finite() && *r > 0.0)
+                .ok_or_else(|| {
+                    CliError::Usage(format!("--per-host-rps {r:?} is not a positive rate"))
+                })?,
+        ),
+        None => None,
+    };
+    Ok(Some(StreamOptions {
+        workers: threads,
+        max_in_flight,
+        per_host_rps,
+        policy: chaos.as_ref().map(|c| c.policy),
+        threads,
+        ..StreamOptions::default()
+    }))
+}
+
 fn coverage_lines(borges: &Borges) -> String {
     let c = borges.coverage();
     let row = |label: &str, f: borges_core::FeatureCoverage| {
@@ -314,6 +392,9 @@ fn map(opts: &Options) -> Result<String, CliError> {
         "fault-rate",
         "retries",
         "chaos-seed",
+        "streaming",
+        "max-in-flight",
+        "per-host-rps",
         "trace-out",
         "metrics-out",
         "report-out",
@@ -328,6 +409,7 @@ fn map(opts: &Options) -> Result<String, CliError> {
     let seed = seed_of(opts)?;
     let chaos = chaos_opts(opts)?;
     let threads = parse_threads(opts)?;
+    let stream = stream_opts(opts, &chaos, threads)?;
     let trace_out = opts.optional("trace-out")?;
     let metrics_out = opts.optional("metrics-out")?;
     let report_out = opts.optional("report-out")?;
@@ -348,7 +430,49 @@ fn map(opts: &Options) -> Result<String, CliError> {
     // ledger's cache row) are observable end to end.
     let llm = CachingModel::new(SimLlm::new(seed));
     let mut coverage = String::new();
-    let (borges, pipeline) = if let Some(chaos) = chaos {
+    let (borges, pipeline) = if let Some(stream) = &stream {
+        // The streaming engine overlaps crawl, NER, and compilation;
+        // per-host FIFO admission keeps it byte-identical to the staged
+        // pipelines — chaos composes (stream.policy carries it).
+        if let Some(chaos) = &chaos {
+            tel.verbose(format!(
+                "streaming pipeline: {} workers, {} in flight, fault rate {}, chaos seed {}",
+                stream.workers, stream.max_in_flight, chaos.fault_rate, chaos.chaos_seed
+            ));
+            let plan = EpisodePlan {
+                transient_rate: chaos.fault_rate,
+                permanent_rate: 0.0,
+                max_burst: 3,
+                seed: chaos.chaos_seed,
+            };
+            let web = FlakyWebClient::new(SimWebClient::browser(&bundle.web), plan);
+            let model = FlakyModel::new(
+                &llm,
+                EpisodePlan {
+                    seed: chaos.chaos_seed ^ 0x4c4c_4d00,
+                    ..plan
+                },
+            );
+            let borges =
+                Borges::run_streaming_traced(&bundle.whois, &bundle.pdb, web, &model, stream, &tel);
+            coverage = coverage_lines(&borges);
+            (borges, "streaming")
+        } else {
+            tel.verbose(format!(
+                "streaming pipeline: {} workers, {} in flight",
+                stream.workers, stream.max_in_flight
+            ));
+            let borges = Borges::run_streaming_traced(
+                &bundle.whois,
+                &bundle.pdb,
+                SimWebClient::browser(&bundle.web),
+                &llm,
+                stream,
+                &tel,
+            );
+            (borges, "streaming")
+        }
+    } else if let Some(chaos) = chaos {
         // The resilient path is sequential: fault bursts are stateful per
         // subject, so interleaving would perturb which attempt of a burst
         // each worker observes.
@@ -1439,6 +1563,212 @@ mod tests {
         assert_eq!(par.crawl, report.crawl);
         assert_eq!(par.ner, report.ner);
         assert_eq!(par.metrics, report.metrics);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn streaming_flag_validation_fails_before_any_io() {
+        // Data paths are deliberately nonexistent: a Usage error proves
+        // the flags were rejected before the command opened anything.
+        for cmd in [
+            vec![
+                "map",
+                "--data",
+                "/no/such",
+                "--out",
+                "y",
+                "--streaming",
+                "--max-in-flight",
+                "0",
+            ],
+            vec![
+                "map",
+                "--data",
+                "/no/such",
+                "--out",
+                "y",
+                "--streaming",
+                "--max-in-flight",
+                "nope",
+            ],
+            vec![
+                "map",
+                "--data",
+                "/no/such",
+                "--out",
+                "y",
+                "--streaming",
+                "--per-host-rps",
+                "0",
+            ],
+            vec![
+                "map",
+                "--data",
+                "/no/such",
+                "--out",
+                "y",
+                "--streaming",
+                "--per-host-rps",
+                "-2.5",
+            ],
+            vec![
+                "map",
+                "--data",
+                "/no/such",
+                "--out",
+                "y",
+                "--streaming",
+                "--per-host-rps",
+                "NaN",
+            ],
+            vec![
+                "map",
+                "--data",
+                "/no/such",
+                "--out",
+                "y",
+                "--streaming",
+                "--per-host-rps",
+                "fast",
+            ],
+            // The streaming knobs without --streaming are incompatible:
+            // the invocation would otherwise silently run staged.
+            vec![
+                "map",
+                "--data",
+                "/no/such",
+                "--out",
+                "y",
+                "--max-in-flight",
+                "4",
+            ],
+            vec![
+                "map",
+                "--data",
+                "/no/such",
+                "--out",
+                "y",
+                "--per-host-rps",
+                "2.5",
+            ],
+            // And --streaming is a map-only flag.
+            vec![
+                "remap",
+                "--data",
+                "/no/such",
+                "--base-state",
+                "s",
+                "--out",
+                "y",
+                "--streaming",
+            ],
+        ] {
+            let err = run(&args(&cmd)).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{cmd:?} → {err}");
+        }
+    }
+
+    #[test]
+    fn streaming_map_is_byte_identical_and_ledgers_its_scheduler() {
+        let dir = tmpdir("streaming");
+        let data = dir.join("world");
+        run(&args(&[
+            "generate",
+            "--out",
+            data.to_str().unwrap(),
+            "--scale",
+            "tiny",
+            "--seed",
+            "5",
+            "-q",
+        ]))
+        .unwrap();
+
+        let staged_map = dir.join("staged.map");
+        let staged_trace = dir.join("staged.trace.jsonl");
+        let staged_metrics = dir.join("staged.prom");
+        run(&args(&[
+            "map",
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            staged_map.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--trace-out",
+            staged_trace.to_str().unwrap(),
+            "--metrics-out",
+            staged_metrics.to_str().unwrap(),
+            "-q",
+        ]))
+        .unwrap();
+
+        let streamed_map = dir.join("streamed.map");
+        let streamed_trace = dir.join("streamed.trace.jsonl");
+        let streamed_metrics = dir.join("streamed.prom");
+        let report = dir.join("streamed.report.json");
+        run(&args(&[
+            "map",
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            streamed_map.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--streaming",
+            "--max-in-flight",
+            "3",
+            "--per-host-rps",
+            "0.5",
+            "--trace-out",
+            streamed_trace.to_str().unwrap(),
+            "--metrics-out",
+            streamed_metrics.to_str().unwrap(),
+            "--report-out",
+            report.to_str().unwrap(),
+            "-q",
+        ]))
+        .unwrap();
+
+        // The scheduler is invisible in every canonical artifact.
+        let read = |p: &std::path::Path| std::fs::read_to_string(p).unwrap();
+        assert_eq!(read(&staged_map), read(&streamed_map));
+        assert_eq!(read(&staged_trace), read(&streamed_trace));
+        assert_eq!(read(&staged_metrics), read(&streamed_metrics));
+
+        // ...and visible exactly where it belongs: the worker ledger.
+        let report = borges_telemetry::RunReport::from_json(&read(&report)).unwrap();
+        assert_eq!(report.pipeline, "streaming");
+        assert!(report.accounted());
+        let stages: Vec<&str> = report.workers.iter().map(|w| w.stage.as_str()).collect();
+        for stage in borges_telemetry::ingest::ALL_STAGES {
+            assert!(stages.contains(&stage), "missing {stage} in {stages:?}");
+        }
+        let throttle = report
+            .workers
+            .iter()
+            .find(|w| w.stage == borges_telemetry::ingest::THROTTLE_STAGE)
+            .unwrap();
+        assert!(throttle.items > 0, "0.5 rps must have throttled");
+
+        // Chaos composes: a streaming chaotic run still recovers fully
+        // and matches the staged mapping.
+        let chaos_map = dir.join("chaos.map");
+        let out = run(&args(&[
+            "map",
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            chaos_map.to_str().unwrap(),
+            "--streaming",
+            "--fault-rate",
+            "0.15",
+            "-q",
+        ]))
+        .unwrap();
+        assert!(out.contains("coverage:"), "{out}");
+        assert_eq!(read(&staged_map), read(&chaos_map));
 
         let _ = std::fs::remove_dir_all(&dir);
     }

@@ -26,6 +26,7 @@ use crate::delta::{
 use crate::mapping::AsOrgMapping;
 use crate::ner::{extract, extract_with_memo, NerConfig, NerResult};
 use crate::orgkeys;
+use crate::unionfind::SegmentFeed;
 use crate::unionfind::{DenseUnionFind, ShardReport, UnionFind};
 use crate::web::favicon::{favicon_inference, favicon_inference_memo, FaviconInference};
 use crate::web::rr::{rr_inference, RrInference};
@@ -34,17 +35,24 @@ use crate::world::{
 };
 use borges_llm::chat::ChatModel;
 use borges_llm::RetryingModel;
+use borges_parallel::{stream_indexed, StreamConfig, StreamLedger};
 use borges_peeringdb::PdbSnapshot;
-use borges_resilience::{BreakerConfig, ResilienceStats, RetryPolicy};
+use borges_resilience::{
+    stable_hash, BreakerConfig, Clock, RateLimiterRegistry, ResilienceStats, RetryPolicy, SimClock,
+};
 use borges_telemetry::{
     CacheReport, CacheStats, CoverageRow, CrawlFunnel, DeltaEdgeRow, DeltaRecordRow, DeltaReport,
     EvidenceSummary, FaviconFunnel, NerFunnel, ResilienceRow, RrFunnel, RunReport, Span, Telemetry,
     WorkerTiming, RUN_REPORT_SCHEMA,
 };
-use borges_types::{Asn, AsnInterner};
-use borges_websim::{RetryingWebClient, ScrapeReport, ScrapeStats, Scraper, WebClient};
+use borges_types::{Asn, AsnInterner, Url};
+use borges_websim::{
+    ReportAssembler, RetryingWebClient, ScrapeReport, ScrapeStats, Scraper, StreamingWebClient,
+    WebClient,
+};
 use borges_whois::WhoisRegistry;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// A subset of Borges's four optional features. The WHOIS organization
 /// key (`OID_W`) is always on — it is the compulsory base that defines
@@ -375,6 +383,96 @@ impl CompiledEvidence {
             [d_w, d_p, d_na, d_rr, d_f],
         )
     }
+
+    /// The streaming compile tail: finishes a [`StreamPrecompiled`]
+    /// (whose registry-derived segments and OID_W base feed were built
+    /// *during* the crawl overlap window) with the crawl-dependent
+    /// features. Runs the exact same `merge_feature` derivations and
+    /// the same sharded base replay as [`CompiledEvidence::compile`] —
+    /// the work is merely scheduled earlier, so the result is
+    /// byte-identical.
+    #[allow(clippy::too_many_arguments)]
+    fn compile_from_stream(
+        interner: AsnInterner,
+        oid_w: Vec<EdgeSegment<String>>,
+        oid_p: Vec<EdgeSegment<u64>>,
+        feed: SegmentFeed,
+        ner: &NerResult,
+        rr: &RrInference,
+        favicon: &FaviconInference,
+        threads: usize,
+        tel: &Telemetry,
+    ) -> Self {
+        let (na, _) =
+            delta::merge_feature(&interner, &BTreeMap::new(), delta::keyed_ner_groups(ner));
+        let (rr, _) = delta::merge_feature(&interner, &BTreeMap::new(), delta::keyed_rr_groups(rr));
+        let (favicons, _) = delta::merge_feature(
+            &interner,
+            &BTreeMap::new(),
+            delta::keyed_favicon_groups(favicon),
+        );
+        let mut base = DenseUnionFind::new(interner.len());
+        let report = feed.finish(&mut base, || tel.now_ms());
+        if threads > 1 {
+            record_shard_report(tel, "compile", &report);
+        }
+        CompiledEvidence {
+            interner,
+            base,
+            oid_w,
+            oid_p,
+            na,
+            rr,
+            favicons,
+        }
+    }
+}
+
+/// The crawl-independent compilation work a streaming run performs
+/// while fetches are still in flight: the fixed universe, the interner,
+/// both registry org-key groupings, the OID_W/OID_P edge segments, and
+/// a [`SegmentFeed`] already loaded with every OID_W edge, ready for
+/// the sharded base replay at compile time.
+struct StreamPrecompiled {
+    interner: AsnInterner,
+    oid_w: Vec<EdgeSegment<String>>,
+    oid_p: Vec<EdgeSegment<u64>>,
+    feed: SegmentFeed,
+    oid_w_groups: Vec<Vec<Asn>>,
+    oid_p_groups: Vec<Vec<Asn>>,
+}
+
+impl StreamPrecompiled {
+    /// Compiles everything derivable from the registries alone —
+    /// scheduled on the compute thread while the crawl scheduler owns
+    /// the I/O. `threads` sizes the eventual base replay's shard count,
+    /// matching what the staged compile would use.
+    fn build(whois: &WhoisRegistry, pdb: &PdbSnapshot, threads: usize) -> Self {
+        let mut universe: BTreeSet<Asn> = whois.all_asns().collect();
+        universe.extend(pdb.nets().map(|n| n.asn));
+        let oid_w_groups = orgkeys::oid_w_groups(whois);
+        let oid_p_groups = orgkeys::oid_p_groups(pdb);
+        let interner = AsnInterner::new(universe);
+        let (oid_w, _) = delta::merge_feature(
+            &interner,
+            &BTreeMap::new(),
+            delta::keyed_whois_groups(whois),
+        );
+        let (oid_p, _) =
+            delta::merge_feature(&interner, &BTreeMap::new(), delta::keyed_pdb_groups(pdb));
+        let mut feed = SegmentFeed::new(interner.len(), threads);
+        for seg in &oid_w {
+            feed.feed(&seg.edges);
+        }
+        StreamPrecompiled {
+            interner,
+            oid_w,
+            oid_p,
+            feed,
+            oid_w_groups,
+            oid_p_groups,
+        }
+    }
 }
 
 /// How much of one feature's attempted work survived the transport —
@@ -562,6 +660,141 @@ fn annotate_rr(span: &Span, rr: &RrInference) {
 fn annotate_favicon(span: &Span, favicon: &FaviconInference) {
     span.field("groups", favicon.groups.len());
     span.field("llm_calls", favicon.stats.llm_calls);
+}
+
+/// Knobs for the streaming ingest engine ([`Borges::run_streaming`]).
+#[derive(Clone)]
+pub struct StreamOptions {
+    /// Worker threads in the fetch pool.
+    pub workers: usize,
+    /// Global cap on fetches started but not yet completed.
+    pub max_in_flight: usize,
+    /// Per-host admission rate (requests per second of pacing-clock
+    /// time); `None` disables rate limiting.
+    pub per_host_rps: Option<f64>,
+    /// Instantaneous per-host burst allowance for the token buckets.
+    pub burst: u32,
+    /// Retry policy for the web and LLM boundaries. `None` runs the
+    /// bare stack (the streaming twin of [`Borges::run_parallel`]);
+    /// `Some` runs the resilient stack (the streaming twin of
+    /// [`Borges::run_resilient`]), with per-host breakers at
+    /// [`BreakerConfig::standard`].
+    pub policy: Option<RetryPolicy>,
+    /// Compute parallelism: NER fan-out (bare stack only) and the
+    /// compile-time base replay's shard count.
+    pub threads: usize,
+    /// The pacing clock token buckets read and throttled workers sleep
+    /// on. Virtual ([`SimClock`]) by default, so throttled runs are
+    /// deterministic and never actually wait; a production deployment
+    /// passes [`borges_resilience::SystemClock`]. Pacing affects
+    /// wall-clock scheduling only — never canonical outputs.
+    pub pacing: Arc<dyn Clock>,
+}
+
+impl Default for StreamOptions {
+    fn default() -> Self {
+        StreamOptions {
+            workers: 8,
+            max_in_flight: 8,
+            per_host_rps: None,
+            burst: 1,
+            policy: None,
+            threads: 1,
+            pacing: Arc::new(SimClock::new()),
+        }
+    }
+}
+
+impl std::fmt::Debug for StreamOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamOptions")
+            .field("workers", &self.workers)
+            .field("max_in_flight", &self.max_in_flight)
+            .field("per_host_rps", &self.per_host_rps)
+            .field("burst", &self.burst)
+            .field("policy", &self.policy)
+            .field("threads", &self.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One crawl entry prepared for the streaming scheduler: the parse and
+/// host-key work is done once up front so the admission gate and the
+/// per-key FIFO discipline never re-parse under the scheduler lock.
+struct StreamEntry<'a> {
+    asn: Asn,
+    raw: &'a str,
+    /// FIFO-serialization key: the host hash for fetching entries
+    /// (matching breaker/rate-limit keying), a raw-string hash for
+    /// entries that never reach the network.
+    key: u64,
+    /// The host a fetch would hit; `None` for empty/invalid websites,
+    /// which are never rate-limited.
+    host: Option<String>,
+}
+
+fn stream_entries(pdb: &PdbSnapshot) -> Vec<StreamEntry<'_>> {
+    pdb.nets()
+        .map(|n| {
+            let raw = n.website.as_str();
+            let host = raw
+                .trim()
+                .parse::<Url>()
+                .ok()
+                .map(|u| u.host().as_str().to_string());
+            let key = match &host {
+                Some(h) => stable_hash(h.as_bytes()),
+                None => stable_hash(raw.as_bytes()),
+            };
+            StreamEntry {
+                asn: n.asn,
+                raw,
+                key,
+                host,
+            }
+        })
+        .collect()
+}
+
+/// Stamps one streaming run's scheduler accounting into the
+/// worker-timing ledger (stage names from [`borges_telemetry::ingest`]).
+/// Ledger rows only — the canonical trace and metrics snapshot must
+/// stay byte-identical to the staged run, and the worker ledger is
+/// exactly the schedule-variant surface both exclude (DESIGN.md §8).
+fn record_ingest_ledger(tel: &Telemetry, ledger: &StreamLedger) {
+    if !tel.is_enabled() {
+        return;
+    }
+    for (worker, items) in ledger.per_worker.iter().enumerate() {
+        tel.record_worker(WorkerTiming {
+            stage: borges_telemetry::ingest::WORKER_STAGE.to_string(),
+            chunk: worker as u64,
+            items: *items,
+            started_ms: 0,
+            elapsed_ms: 0,
+        });
+    }
+    tel.record_worker(WorkerTiming {
+        stage: borges_telemetry::ingest::IN_FLIGHT_STAGE.to_string(),
+        chunk: 0,
+        items: ledger.in_flight_high_water as u64,
+        started_ms: 0,
+        elapsed_ms: 0,
+    });
+    tel.record_worker(WorkerTiming {
+        stage: borges_telemetry::ingest::THROTTLE_STAGE.to_string(),
+        chunk: 0,
+        items: ledger.throttle_waits,
+        started_ms: 0,
+        elapsed_ms: ledger.throttle_wait_ms,
+    });
+    tel.record_worker(WorkerTiming {
+        stage: borges_telemetry::ingest::REASSEMBLY_STAGE.to_string(),
+        chunk: 0,
+        items: ledger.reassembly_high_water as u64,
+        started_ms: 0,
+        elapsed_ms: 0,
+    });
 }
 
 impl Borges {
@@ -845,6 +1078,334 @@ impl Borges {
             tel,
             &root,
         )
+    }
+
+    /// Streaming ingest: [`Borges::run`] with the crawl overlapped
+    /// against NER extraction and registry-side evidence compilation
+    /// (DESIGN.md §14). A bounded-concurrency scheduler
+    /// ([`borges_parallel::stream_indexed`]) drives `opts.workers`
+    /// fetch workers under a global `opts.max_in_flight` cap and
+    /// optional per-host token-bucket rate limits, serializing fetches
+    /// per host in canonical input order; completions flow through a
+    /// key-canonical reassembly buffer into an incremental
+    /// [`ReportAssembler`] while later fetches are still in flight.
+    ///
+    /// Determinism contract: the mapping, canonical trace, and metrics
+    /// snapshot are **byte-identical** to the staged run
+    /// ([`Borges::run_parallel`] bare, [`Borges::run_resilient`] when
+    /// `opts.policy` is set) at every worker count, in-flight cap, and
+    /// rate limit — including under recoverable transport faults.
+    /// Scheduler concurrency shows up only in [`WorkerTiming`] ledger
+    /// rows (stage names from [`borges_telemetry::ingest`]), the one
+    /// surface the contract excludes.
+    pub fn run_streaming<C: WebClient + Sync>(
+        whois: &WhoisRegistry,
+        pdb: &PdbSnapshot,
+        web_client: C,
+        model: &(dyn ChatModel + Sync),
+        opts: &StreamOptions,
+    ) -> Self {
+        Self::run_streaming_traced(whois, pdb, web_client, model, opts, &Telemetry::disabled())
+    }
+
+    /// Like [`Borges::run_streaming`], recording into `tel`.
+    ///
+    /// Two phases keep the canonical surfaces schedule-independent.
+    /// **Phase A (overlap)** runs the crawl scheduler concurrently with
+    /// one compute thread doing NER and [`StreamPrecompiled::build`];
+    /// nothing touches the telemetry clock or opens spans — resilient
+    /// fetches spend their backoff on per-call private clocks whose
+    /// total is accumulated. **Phase B (replay)** opens the `run` span
+    /// at virtual t=0 and replays each stage in staged order, sleeping
+    /// the accumulated virtual backoff inside the matching stage span,
+    /// so timestamps and stage-duration histograms land exactly where
+    /// the staged run puts them.
+    pub fn run_streaming_traced<C: WebClient + Sync>(
+        whois: &WhoisRegistry,
+        pdb: &PdbSnapshot,
+        web_client: C,
+        model: &(dyn ChatModel + Sync),
+        opts: &StreamOptions,
+        tel: &Telemetry,
+    ) -> Self {
+        let fetcher = match opts.policy {
+            Some(policy) => StreamingWebClient::resilient(web_client, policy)
+                .with_breakers(BreakerConfig::standard())
+                .with_telemetry(tel.clone()),
+            None => StreamingWebClient::bare(web_client),
+        };
+        let scraper = Scraper::new(&fetcher);
+        let entries = stream_entries(pdb);
+        let limiter = opts
+            .per_host_rps
+            .map(|rps| RateLimiterRegistry::new(rps, opts.burst));
+        let config = StreamConfig {
+            workers: opts.workers,
+            max_in_flight: opts.max_in_flight,
+        };
+
+        let mut assembler = ReportAssembler::new();
+        let (ledger, compute_out) = std::thread::scope(|scope| {
+            let compute = scope.spawn(|| {
+                let pre = StreamPrecompiled::build(whois, pdb, opts.threads);
+                let ner = Self::stream_ner(pdb, model, NerConfig::default(), opts, tel);
+                (pre, ner)
+            });
+            let ledger = stream_indexed(
+                &entries,
+                &config,
+                |e| e.key,
+                |_key, e| match (&limiter, &e.host) {
+                    (Some(registry), Some(host)) => {
+                        registry.limiter(host).try_acquire(opts.pacing.now_ms())
+                    }
+                    _ => Ok(()),
+                },
+                |ms| opts.pacing.sleep_ms(ms),
+                |_, e| scraper.resolve(e.raw),
+                |index, resolution| assembler.push(entries[index].asn, resolution),
+            );
+            let compute_out = match compute.join() {
+                Ok(out) => out,
+                Err(panic) => std::panic::resume_unwind(panic),
+            };
+            (ledger, compute_out)
+        });
+        let (pre, (ner, ner_backoff_ms)) = compute_out;
+        let mut report = assembler.finish();
+        if opts.policy.is_some() {
+            report.stats.resilience = fetcher.stats();
+        }
+        let web_cache = scraper.cache_stats();
+
+        let root = tel.span("run");
+        stage(tel, &root, "crawl", |span| {
+            tel.clock().sleep_ms(fetcher.backoff_total_ms());
+            annotate_crawl(span, &report.stats);
+        });
+        record_ingest_ledger(tel, &ledger);
+        Self::assemble_streaming(
+            whois,
+            pdb,
+            &report,
+            ner,
+            ner_backoff_ms,
+            model,
+            opts,
+            web_cache,
+            pre,
+            tel,
+            &root,
+        )
+    }
+
+    /// [`Borges::from_scrape`]'s streaming twin: NER runs on a compute
+    /// thread while the main thread builds the registry-side evidence,
+    /// then the canonical stages replay. Byte-identical to
+    /// [`Borges::from_scrape`] /
+    /// [`Borges::from_scrape_parallel`] over the same inputs.
+    pub fn from_scrape_streaming(
+        whois: &WhoisRegistry,
+        pdb: &PdbSnapshot,
+        report: &ScrapeReport,
+        model: &(dyn ChatModel + Sync),
+        ner_config: NerConfig,
+        opts: &StreamOptions,
+    ) -> Self {
+        Self::from_scrape_streaming_traced(
+            whois,
+            pdb,
+            report,
+            model,
+            ner_config,
+            opts,
+            &Telemetry::disabled(),
+        )
+    }
+
+    /// Like [`Borges::from_scrape_streaming`], recording into `tel`.
+    /// As with [`Borges::from_scrape_traced`] there is no crawl stage,
+    /// so the trace has no `run/crawl` span and the redirect-cache
+    /// ledger row reads zero.
+    pub fn from_scrape_streaming_traced(
+        whois: &WhoisRegistry,
+        pdb: &PdbSnapshot,
+        report: &ScrapeReport,
+        model: &(dyn ChatModel + Sync),
+        ner_config: NerConfig,
+        opts: &StreamOptions,
+        tel: &Telemetry,
+    ) -> Self {
+        let ((ner, ner_backoff_ms), pre) = std::thread::scope(|scope| {
+            let compute = scope.spawn(|| Self::stream_ner(pdb, model, ner_config, opts, tel));
+            let pre = StreamPrecompiled::build(whois, pdb, opts.threads);
+            match compute.join() {
+                Ok(ner) => (ner, pre),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        });
+        let root = tel.span("run");
+        Self::assemble_streaming(
+            whois,
+            pdb,
+            report,
+            ner,
+            ner_backoff_ms,
+            model,
+            opts,
+            CacheStats::default(),
+            pre,
+            tel,
+            &root,
+        )
+    }
+
+    /// Phase-A NER for the streaming constructors. Resilient runs wrap
+    /// the model in a [`RetryingModel`] on a *private* [`SimClock`] —
+    /// the telemetry clock must not move before phase B replays the
+    /// crawl — and return the virtual backoff spend for the `ner` stage
+    /// replay. Backoff schedules depend only on (attempt, key), never on
+    /// absolute time, so the spend equals what the staged run's shared
+    /// clock would have accumulated. Bare runs fan out over
+    /// `opts.threads` with zero virtual spend.
+    fn stream_ner(
+        pdb: &PdbSnapshot,
+        model: &(dyn ChatModel + Sync),
+        ner_config: NerConfig,
+        opts: &StreamOptions,
+        tel: &Telemetry,
+    ) -> (NerResult, u64) {
+        match opts.policy {
+            Some(policy) => {
+                let clock = Arc::new(SimClock::new());
+                let ner_model = RetryingModel::new(model, policy)
+                    .with_breaker(BreakerConfig::standard())
+                    .with_clock(clock.clone())
+                    .with_telemetry(tel.clone(), "ner");
+                let mut ner = extract(pdb, &ner_model, ner_config);
+                ner.stats.resilience = ner_model.stats();
+                (ner, clock.now_ms())
+            }
+            None => (
+                crate::ner::extract_parallel(pdb, model, ner_config, opts.threads),
+                0,
+            ),
+        }
+    }
+
+    /// Phase-B tail of the streaming constructors: replays the `ner`
+    /// stage (virtual backoff + annotations), runs the pure `rr`
+    /// inference, runs the `favicon` stage *live* on the telemetry clock
+    /// (it is sequential and starts at the same virtual instant as in
+    /// the staged run, so spans, metrics, and breaker events land
+    /// identically), then finishes with the precompiled evidence.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble_streaming(
+        whois: &WhoisRegistry,
+        pdb: &PdbSnapshot,
+        report: &ScrapeReport,
+        ner: NerResult,
+        ner_backoff_ms: u64,
+        model: &(dyn ChatModel + Sync),
+        opts: &StreamOptions,
+        web_cache: CacheStats,
+        pre: StreamPrecompiled,
+        tel: &Telemetry,
+        root: &Span,
+    ) -> Self {
+        let ner = stage(tel, root, "ner", |span| {
+            tel.clock().sleep_ms(ner_backoff_ms);
+            annotate_ner(span, &ner);
+            ner
+        });
+        let rr = stage(tel, root, "rr", |span| {
+            let rr = rr_inference(report);
+            annotate_rr(span, &rr);
+            rr
+        });
+        let favicon = stage(tel, root, "favicon", |span| {
+            let favicon = match opts.policy {
+                Some(policy) => {
+                    let favicon_model = RetryingModel::new(model, policy)
+                        .with_breaker(BreakerConfig::standard())
+                        .with_clock(tel.clock())
+                        .with_telemetry(tel.clone(), "favicon");
+                    let mut favicon = favicon_inference(report, &favicon_model);
+                    favicon.stats.resilience = favicon_model.stats();
+                    favicon
+                }
+                None => favicon_inference(report, model),
+            };
+            annotate_favicon(span, &favicon);
+            favicon
+        });
+        Self::finish_streaming(
+            whois,
+            pdb,
+            report,
+            ner,
+            rr,
+            favicon,
+            web_cache,
+            pre,
+            opts.threads,
+            tel,
+            root,
+        )
+    }
+
+    /// Shared tail of the streaming constructors — the streaming
+    /// analogue of [`Borges::finish`], consuming the
+    /// [`StreamPrecompiled`] built during the overlap window instead of
+    /// re-deriving the universe and registry evidence. Span fields and
+    /// metrics are identical to the staged tail because every value
+    /// comes from the same derivations.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_streaming(
+        whois: &WhoisRegistry,
+        pdb: &PdbSnapshot,
+        report: &ScrapeReport,
+        ner: NerResult,
+        rr: RrInference,
+        favicon: FaviconInference,
+        web_cache: CacheStats,
+        pre: StreamPrecompiled,
+        threads: usize,
+        tel: &Telemetry,
+        root: &Span,
+    ) -> Self {
+        let StreamPrecompiled {
+            interner,
+            oid_w,
+            oid_p,
+            feed,
+            oid_w_groups,
+            oid_p_groups,
+        } = pre;
+        let fingerprints = SourceFingerprints::capture(whois, pdb, report);
+        let compiled = stage(tel, root, "compile", |span| {
+            let compiled = CompiledEvidence::compile_from_stream(
+                interner, oid_w, oid_p, feed, &ner, &rr, &favicon, threads, tel,
+            );
+            span.field("asns", compiled.interner.live_len());
+            span.field("ner_links", segment_edge_count(&compiled.na));
+            compiled
+        });
+
+        let borges = Borges {
+            compiled,
+            oid_w_groups,
+            oid_p_groups,
+            ner,
+            rr,
+            favicon,
+            scrape_stats: report.stats.clone(),
+            web_cache,
+            fingerprints,
+            delta: None,
+        };
+        borges.stamp_metrics(tel);
+        borges
     }
 
     /// Shared tail of the sequential bare-stack constructors: runs NER,

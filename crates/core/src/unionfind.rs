@@ -265,92 +265,25 @@ impl DenseUnionFind {
     where
         N: Fn() -> u64 + Sync,
     {
-        let n = self.len();
-        if shards <= 1 || n == 0 {
-            let started_ms = now_ms();
-            let edges: usize = lists.iter().map(|l| l.len()).sum();
-            self.union_edge_lists(lists);
-            let elapsed_ms = now_ms().saturating_sub(started_ms);
-            return ShardReport {
-                shards: vec![ShardTiming {
-                    shard: 0,
-                    edges,
-                    spanning: 0,
-                    started_ms,
-                    elapsed_ms,
-                }],
-                cross_edges: 0,
-                contraction_edges: 0,
-                contraction_started_ms: started_ms,
-                contraction_elapsed_ms: elapsed_ms,
-            };
-        }
-
-        // Equal-width contiguous ranges over the dense id space. The
-        // last range may be short; `shards > n` degenerates to
-        // single-id ranges without special cases.
-        let width = n.div_ceil(shards);
-        let range_count = n.div_ceil(width);
-        let mut buckets: Vec<Vec<(u32, u32)>> = vec![Vec::new(); range_count];
-        let mut cross: Vec<(u32, u32)> = Vec::new();
+        let mut feed = SegmentFeed::new(self.len(), shards);
         for list in lists {
-            for &(a, b) in *list {
-                let (ra, rb) = (a as usize / width, b as usize / width);
-                if ra == rb {
-                    buckets[ra].push((a, b));
-                } else {
-                    cross.push((a, b));
-                }
-            }
+            feed.feed(list);
         }
-
-        let ranges: Vec<usize> = (0..range_count).collect();
-        let shard_results: Vec<(Vec<(u32, u32)>, ShardTiming)> =
-            borges_parallel::map_items_weighted(
-                &ranges,
-                shards,
-                |&r| buckets[r].len() as u64,
-                |&r| {
-                    let started_ms = now_ms();
-                    let lo = (r * width) as u32;
-                    let hi = ((r + 1) * width).min(n) as u32;
-                    let mut local = DenseUnionFind::new((hi - lo) as usize);
-                    let mut spanning = Vec::new();
-                    for &(a, b) in &buckets[r] {
-                        if local.union(a - lo, b - lo) {
-                            spanning.push((a, b));
-                        }
-                    }
-                    let timing = ShardTiming {
-                        shard: r,
-                        edges: buckets[r].len(),
-                        spanning: spanning.len(),
-                        started_ms,
-                        elapsed_ms: now_ms().saturating_sub(started_ms),
-                    };
-                    (spanning, timing)
-                },
-            );
-
-        let contraction_started_ms = now_ms();
-        let mut contraction_edges = cross.len();
-        for (spanning, _) in &shard_results {
-            contraction_edges += spanning.len();
-            self.union_edges(spanning);
-        }
-        self.union_edges(&cross);
-        ShardReport {
-            shards: shard_results.into_iter().map(|(_, t)| t).collect(),
-            cross_edges: cross.len(),
-            contraction_edges,
-            contraction_started_ms,
-            contraction_elapsed_ms: now_ms().saturating_sub(contraction_started_ms),
-        }
+        feed.finish(self, now_ms)
     }
 
     /// Are ids `a` and `b` currently in the same set?
     pub fn same_set(&mut self, a: u32, b: u32) -> bool {
         self.find(a) == self.find(b)
+    }
+
+    /// Replays everything a [`SegmentFeed`] accumulated — convenience
+    /// for `feed.finish(&mut uf, now_ms)`.
+    pub fn union_segment_feed<N>(&mut self, feed: SegmentFeed, now_ms: N) -> ShardReport
+    where
+        N: Fn() -> u64 + Sync,
+    {
+        feed.finish(self, now_ms)
     }
 
     /// Extracts the sets as sorted ASN member lists via `interner`
@@ -392,6 +325,170 @@ impl DenseUnionFind {
             groups[slot].push(interner.asn(id));
         }
         groups
+    }
+}
+
+/// Incrementally buckets merge edges for a sharded replay into a
+/// [`DenseUnionFind`] — the streaming-ingest seam of the union layer.
+///
+/// The batch entry point ([`DenseUnionFind::union_edge_lists_sharded`])
+/// buckets every edge in one pass because it has every edge up front.
+/// A streaming consumer does not: evidence segments arrive one record
+/// at a time while later fetches are still in flight. `SegmentFeed`
+/// accepts those segments as they arrive ([`SegmentFeed::feed`]),
+/// bucketing each edge into its id range (or the cross-range pile)
+/// immediately — cheap, allocation-amortized work that overlaps with
+/// I/O — and defers the actual union work to [`SegmentFeed::finish`],
+/// which runs the same worker fan-out and contraction pass as the
+/// batch path.
+///
+/// Determinism: bucketing is a pure function of each edge, so the
+/// bucket contents (in feed order) are identical to what the batch
+/// pass would have produced from the concatenated lists — which is why
+/// `union_edge_lists_sharded` itself now delegates here. Feed order
+/// must be canonical (the streaming reassembly buffer guarantees it),
+/// and then the final partition is bit-for-bit the batch partition.
+#[derive(Debug, Clone)]
+pub struct SegmentFeed {
+    /// Universe size the target forest was built for.
+    len: usize,
+    /// Worker cap for the finish pass.
+    shards: usize,
+    /// Range width (0 in the sequential degenerate case).
+    width: usize,
+    /// Same-range edges per range (empty in the sequential case, where
+    /// everything lands in `cross`).
+    buckets: Vec<Vec<(u32, u32)>>,
+    /// Cross-range edges (sequential case: all edges, in feed order).
+    cross: Vec<(u32, u32)>,
+    /// Total edges fed.
+    fed: usize,
+}
+
+impl SegmentFeed {
+    /// A feed for a forest of `len` ids, replaying across up to
+    /// `shards` workers on finish. With `shards <= 1` or an empty
+    /// forest the finish pass is sequential (one shard row, matching
+    /// the batch path's degenerate case).
+    pub fn new(len: usize, shards: usize) -> Self {
+        let sequential = shards <= 1 || len == 0;
+        let width = if sequential { 0 } else { len.div_ceil(shards) };
+        let range_count = if sequential { 0 } else { len.div_ceil(width) };
+        SegmentFeed {
+            len,
+            shards,
+            width,
+            buckets: vec![Vec::new(); range_count],
+            cross: Vec::new(),
+            fed: 0,
+        }
+    }
+
+    /// Buckets one segment's edges. Order across calls is preserved
+    /// within every bucket, so feeding lists one at a time is
+    /// equivalent to feeding their concatenation.
+    pub fn feed(&mut self, edges: &[(u32, u32)]) {
+        self.fed += edges.len();
+        if self.width == 0 {
+            self.cross.extend_from_slice(edges);
+            return;
+        }
+        for &(a, b) in edges {
+            let (ra, rb) = (a as usize / self.width, b as usize / self.width);
+            if ra == rb {
+                self.buckets[ra].push((a, b));
+            } else {
+                self.cross.push((a, b));
+            }
+        }
+    }
+
+    /// Total edges fed so far.
+    pub fn fed_edges(&self) -> usize {
+        self.fed
+    }
+
+    /// Replays everything into `uf` — per-range local unions on up to
+    /// `shards` workers, then the contraction pass — and reports the
+    /// same ledger as [`DenseUnionFind::union_edge_lists_sharded`].
+    ///
+    /// `uf` must be sized for the `len` this feed was built with.
+    pub fn finish<N>(self, uf: &mut DenseUnionFind, now_ms: N) -> ShardReport
+    where
+        N: Fn() -> u64 + Sync,
+    {
+        assert_eq!(uf.len(), self.len, "feed/forest universe mismatch");
+        if self.width == 0 {
+            // Sequential degenerate case: every edge sits in `cross`,
+            // in feed order.
+            let started_ms = now_ms();
+            uf.union_edges(&self.cross);
+            let elapsed_ms = now_ms().saturating_sub(started_ms);
+            return ShardReport {
+                shards: vec![ShardTiming {
+                    shard: 0,
+                    edges: self.fed,
+                    spanning: 0,
+                    started_ms,
+                    elapsed_ms,
+                }],
+                cross_edges: 0,
+                contraction_edges: 0,
+                contraction_started_ms: started_ms,
+                contraction_elapsed_ms: elapsed_ms,
+            };
+        }
+
+        let SegmentFeed {
+            len: n,
+            shards,
+            width,
+            buckets,
+            cross,
+            ..
+        } = self;
+        let ranges: Vec<usize> = (0..buckets.len()).collect();
+        let shard_results: Vec<(Vec<(u32, u32)>, ShardTiming)> =
+            borges_parallel::map_items_weighted(
+                &ranges,
+                shards,
+                |&r| buckets[r].len() as u64,
+                |&r| {
+                    let started_ms = now_ms();
+                    let lo = (r * width) as u32;
+                    let hi = ((r + 1) * width).min(n) as u32;
+                    let mut local = DenseUnionFind::new((hi - lo) as usize);
+                    let mut spanning = Vec::new();
+                    for &(a, b) in &buckets[r] {
+                        if local.union(a - lo, b - lo) {
+                            spanning.push((a, b));
+                        }
+                    }
+                    let timing = ShardTiming {
+                        shard: r,
+                        edges: buckets[r].len(),
+                        spanning: spanning.len(),
+                        started_ms,
+                        elapsed_ms: now_ms().saturating_sub(started_ms),
+                    };
+                    (spanning, timing)
+                },
+            );
+
+        let contraction_started_ms = now_ms();
+        let mut contraction_edges = cross.len();
+        for (spanning, _) in &shard_results {
+            contraction_edges += spanning.len();
+            uf.union_edges(spanning);
+        }
+        uf.union_edges(&cross);
+        ShardReport {
+            shards: shard_results.into_iter().map(|(_, t)| t).collect(),
+            cross_edges: cross.len(),
+            contraction_edges,
+            contraction_started_ms,
+            contraction_elapsed_ms: now_ms().saturating_sub(contraction_started_ms),
+        }
     }
 }
 
@@ -670,6 +767,60 @@ mod tests {
         assert_eq!(report.contraction_edges, 0);
         let interner = AsnInterner::new((0..10).map(|i| a(i + 1)));
         assert_eq!(uf.into_groups(&interner).len(), 10);
+    }
+
+    #[test]
+    fn segment_feed_incremental_matches_batch() {
+        // Feeding one record's segment at a time (the streaming shape)
+        // must produce the same partition as the one-shot batch replay,
+        // at every shard count.
+        let n = 300;
+        let soup = edge_soup(n as u32, 1200, 17);
+        let lists: Vec<&[(u32, u32)]> = vec![&soup];
+        let expected = groups_of(n, &lists);
+        let interner = AsnInterner::new((0..n as u32).map(|i| a(i + 1)));
+        for shards in [1, 2, 4, 16, 299] {
+            let mut feed = SegmentFeed::new(n, shards);
+            for record in soup.chunks(7) {
+                feed.feed(record);
+            }
+            assert_eq!(feed.fed_edges(), soup.len());
+            let mut uf = DenseUnionFind::new(n);
+            let report = uf.union_segment_feed(feed, || 0);
+            let spanning: usize = report.shards.iter().map(|t| t.spanning).sum();
+            assert_eq!(
+                report.contraction_edges,
+                report.cross_edges + spanning,
+                "feed ledger out of balance at {shards} shards"
+            );
+            assert_eq!(
+                uf.into_groups(&interner),
+                expected,
+                "diverged at {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn segment_feed_empty_and_sequential_degenerates() {
+        let mut uf = DenseUnionFind::new(0);
+        let report = SegmentFeed::new(0, 8).finish(&mut uf, || 0);
+        assert_eq!(report.shards.len(), 1);
+
+        let mut feed = SegmentFeed::new(10, 1);
+        feed.feed(&[(0, 9), (1, 2)]);
+        let mut uf = DenseUnionFind::new(10);
+        let report = feed.finish(&mut uf, || 0);
+        assert_eq!(report.shards[0].edges, 2);
+        assert_eq!(report.cross_edges, 0, "sequential path reports no cross");
+        assert!(uf.same_set(0, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn segment_feed_rejects_wrong_universe() {
+        let mut uf = DenseUnionFind::new(5);
+        SegmentFeed::new(6, 2).finish(&mut uf, || 0);
     }
 
     #[test]

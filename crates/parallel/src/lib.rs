@@ -21,9 +21,18 @@
 //!
 //! The crate is dependency-free so any layer — including the web
 //! simulator, which sits *below* the core pipeline — can use it.
+//!
+//! The [`stream`] module is the non-batch sibling: a bounded-concurrency
+//! streaming scheduler (per-key FIFO, global in-flight cap, injectable
+//! admission gate) whose completions are re-ordered into canonical input
+//! order by a reassembly buffer before the consumer sees them.
 
 #![deny(missing_docs)]
 #![warn(rust_2018_idioms)]
+
+pub mod stream;
+
+pub use stream::{stream_indexed, ReassemblyBuffer, StreamConfig, StreamLedger};
 
 /// The worker-thread count to use when the caller has no opinion: the
 /// machine's available parallelism, or 1 when it cannot be determined

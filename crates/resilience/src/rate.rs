@@ -1,0 +1,274 @@
+//! Per-host token-bucket rate limiting.
+//!
+//! The streaming ingest scheduler must not hammer a host just because
+//! many PeeringDB records point at it: admission is gated by a
+//! [`TokenBucket`] per host, registered in a [`RateLimiterRegistry`]
+//! keyed by the same host string as [`crate::BreakerRegistry`] — so
+//! rate limits, breakers, and retry budgets all agree on what "one
+//! host" means and compose cleanly (admission first, then breaker,
+//! then the fetch itself).
+//!
+//! Time is whatever the caller's pacing clock says: [`TokenBucket`]
+//! never reads a wall clock itself, it is fed `now_ms` readings. Under
+//! a [`crate::SimClock`] the bucket is fully deterministic, which is
+//! what lets the property tests pin the admission bound exactly.
+//!
+//! Token arithmetic is integer-only (micro-tokens per millisecond), so
+//! admission decisions are reproducible across platforms: no float
+//! accumulation, no rounding drift.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One token = this many micro-tokens.
+const MICROS_PER_TOKEN: u64 = 1_000_000;
+
+/// A token bucket: admits at most `burst` requests instantly, then
+/// refills at `rate_per_sec` tokens per second of pacing-clock time.
+#[derive(Debug)]
+pub struct TokenBucket {
+    capacity_micro: u64,
+    refill_micro_per_ms: u64,
+    state: Mutex<BucketState>,
+}
+
+#[derive(Debug)]
+struct BucketState {
+    tokens_micro: u64,
+    last_ms: u64,
+    primed: bool,
+}
+
+impl TokenBucket {
+    /// A bucket admitting `rate_per_sec` requests per second with an
+    /// instantaneous burst of `burst` (clamped to at least 1 so the
+    /// bucket can ever admit). `rate_per_sec` must be positive and
+    /// finite; rates below 0.001/s are clamped up to the 1 micro-token
+    /// per millisecond resolution floor.
+    pub fn new(rate_per_sec: f64, burst: u32) -> Self {
+        assert!(
+            rate_per_sec.is_finite() && rate_per_sec > 0.0,
+            "rate must be positive and finite"
+        );
+        // tokens/sec → micro-tokens/ms: rate * 1e6 / 1e3.
+        let refill_micro_per_ms = ((rate_per_sec * 1_000.0).round() as u64).max(1);
+        let capacity_micro = u64::from(burst.max(1)) * MICROS_PER_TOKEN;
+        TokenBucket {
+            capacity_micro,
+            refill_micro_per_ms,
+            state: Mutex::new(BucketState {
+                tokens_micro: capacity_micro,
+                last_ms: 0,
+                primed: false,
+            }),
+        }
+    }
+
+    /// Tries to take one token at pacing time `now_ms`. On success the
+    /// token is consumed; on refusal returns how many milliseconds of
+    /// pacing time must pass before a token will be available (always
+    /// at least 1).
+    ///
+    /// `now_ms` readings are expected to be monotone per bucket; a
+    /// reading earlier than the last one refills nothing (it is not an
+    /// error — concurrent callers may race on the clock).
+    pub fn try_acquire(&self, now_ms: u64) -> Result<(), u64> {
+        let mut state = self.state.lock();
+        if !state.primed {
+            // First sighting of the clock: the bucket starts full at
+            // whatever origin the pacing clock has.
+            state.last_ms = now_ms;
+            state.primed = true;
+        }
+        let elapsed = now_ms.saturating_sub(state.last_ms);
+        if elapsed > 0 {
+            let refill = elapsed.saturating_mul(self.refill_micro_per_ms);
+            state.tokens_micro = state
+                .tokens_micro
+                .saturating_add(refill)
+                .min(self.capacity_micro);
+            state.last_ms = now_ms;
+        }
+        if state.tokens_micro >= MICROS_PER_TOKEN {
+            state.tokens_micro -= MICROS_PER_TOKEN;
+            Ok(())
+        } else {
+            let deficit = MICROS_PER_TOKEN - state.tokens_micro;
+            Err(deficit.div_ceil(self.refill_micro_per_ms).max(1))
+        }
+    }
+
+    /// The configured burst capacity, in whole tokens.
+    pub fn burst(&self) -> u64 {
+        self.capacity_micro / MICROS_PER_TOKEN
+    }
+
+    /// The configured refill rate, in micro-tokens per millisecond
+    /// (1000 × tokens-per-second, after integer rounding).
+    pub fn refill_micro_per_ms(&self) -> u64 {
+        self.refill_micro_per_ms
+    }
+}
+
+/// Lazily-created per-key token buckets sharing one configuration —
+/// the rate-limit sibling of [`crate::BreakerRegistry`], keyed the same
+/// way (the host string), so admission and breaker state always refer
+/// to the same subject.
+#[derive(Debug)]
+pub struct RateLimiterRegistry {
+    rate_per_sec: f64,
+    burst: u32,
+    buckets: Mutex<HashMap<String, Arc<TokenBucket>>>,
+}
+
+impl RateLimiterRegistry {
+    /// A registry whose buckets all admit `rate_per_sec` per second
+    /// with burst `burst`.
+    pub fn new(rate_per_sec: f64, burst: u32) -> Self {
+        assert!(
+            rate_per_sec.is_finite() && rate_per_sec > 0.0,
+            "rate must be positive and finite"
+        );
+        RateLimiterRegistry {
+            rate_per_sec,
+            burst,
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The bucket for `key`, created on first use.
+    pub fn limiter(&self, key: &str) -> Arc<TokenBucket> {
+        self.buckets
+            .lock()
+            .entry(key.to_string())
+            .or_insert_with(|| Arc::new(TokenBucket::new(self.rate_per_sec, self.burst)))
+            .clone()
+    }
+
+    /// Number of keys with a bucket so far.
+    pub fn len(&self) -> usize {
+        self.buckets.lock().len()
+    }
+
+    /// Whether no key has been rate-limited yet.
+    pub fn is_empty(&self) -> bool {
+        self.buckets.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Clock, SimClock};
+    use proptest::prelude::*;
+
+    #[test]
+    fn burst_admits_then_refuses() {
+        let bucket = TokenBucket::new(1.0, 3);
+        assert!(bucket.try_acquire(0).is_ok());
+        assert!(bucket.try_acquire(0).is_ok());
+        assert!(bucket.try_acquire(0).is_ok());
+        let wait = bucket.try_acquire(0).unwrap_err();
+        assert_eq!(wait, 1000, "1/s rate → a full second to the next token");
+    }
+
+    #[test]
+    fn refill_is_proportional_to_elapsed_time() {
+        let bucket = TokenBucket::new(2.0, 1);
+        assert!(bucket.try_acquire(0).is_ok());
+        assert!(bucket.try_acquire(0).is_err());
+        // 2/s → one token every 500 ms.
+        assert!(bucket.try_acquire(499).is_err());
+        assert!(bucket.try_acquire(500).is_ok());
+    }
+
+    #[test]
+    fn waiting_the_advertised_time_always_admits() {
+        let bucket = TokenBucket::new(0.37, 2);
+        let clock = SimClock::new();
+        for _ in 0..50 {
+            loop {
+                match bucket.try_acquire(clock.now_ms()) {
+                    Ok(()) => break,
+                    Err(wait_ms) => clock.sleep_ms(wait_ms),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn capacity_never_exceeds_burst_after_idle() {
+        let bucket = TokenBucket::new(10.0, 2);
+        assert!(bucket.try_acquire(0).is_ok());
+        // A very long idle period refills to the burst cap, no further.
+        assert!(bucket.try_acquire(1_000_000).is_ok());
+        assert!(bucket.try_acquire(1_000_000).is_ok());
+        assert!(bucket.try_acquire(1_000_000).is_err());
+    }
+
+    #[test]
+    fn sub_unit_rates_are_supported() {
+        let bucket = TokenBucket::new(0.5, 1);
+        assert!(bucket.try_acquire(0).is_ok());
+        let wait = bucket.try_acquire(0).unwrap_err();
+        assert_eq!(wait, 2000, "0.5/s → two seconds per token");
+    }
+
+    #[test]
+    fn registry_shares_buckets_per_key() {
+        let registry = RateLimiterRegistry::new(1.0, 1);
+        assert!(registry.is_empty());
+        let a = registry.limiter("h0.example");
+        let b = registry.limiter("h0.example");
+        let c = registry.limiter("h1.example");
+        assert!(Arc::ptr_eq(&a, &b), "same key → same bucket");
+        assert!(!Arc::ptr_eq(&a, &c), "distinct keys → distinct buckets");
+        assert_eq!(registry.len(), 2);
+        // Draining h0 leaves h1 untouched.
+        assert!(a.try_acquire(0).is_ok());
+        assert!(b.try_acquire(0).is_err());
+        assert!(c.try_acquire(0).is_ok());
+    }
+
+    proptest! {
+        // The admission bound: over any request schedule on a virtual
+        // pacing clock, the number of admitted requests by time T never
+        // exceeds burst + rate × T — the defining property of a token
+        // bucket. Refusal wait hints are also honored: re-asking after
+        // the advertised wait must admit.
+        #[test]
+        fn chaos_bucket_never_admits_above_its_rate(
+            rate_milli in 1u64..20_000,            // 0.001/s ..= 20/s
+            burst in 1u32..6,
+            gaps in prop::collection::vec(0u64..700, 1..120),
+        ) {
+            let rate_per_sec = rate_milli as f64 / 1000.0;
+            let bucket = TokenBucket::new(rate_per_sec, burst);
+            let clock = SimClock::new();
+            let mut admitted: u64 = 0;
+            for gap in &gaps {
+                clock.sleep_ms(*gap);
+                let now = clock.now_ms();
+                match bucket.try_acquire(now) {
+                    Ok(()) => admitted += 1,
+                    Err(wait_ms) => {
+                        // The hint is honest: waiting it out admits.
+                        clock.sleep_ms(wait_ms);
+                        prop_assert!(bucket.try_acquire(clock.now_ms()).is_ok());
+                        admitted += 1;
+                    }
+                }
+                // Admission bound at the current pacing time, in
+                // micro-tokens (exact integer arithmetic, no floats).
+                let now = clock.now_ms();
+                let budget_micro = u64::from(burst) * 1_000_000
+                    + now * bucket.refill_micro_per_ms();
+                prop_assert!(
+                    admitted * 1_000_000 <= budget_micro,
+                    "admitted {admitted} by t={now}ms exceeds burst {burst} + rate {rate_per_sec}/s"
+                );
+            }
+        }
+    }
+}

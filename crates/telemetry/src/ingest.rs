@@ -1,0 +1,55 @@
+//! Stage names for streaming-ingest ledger rows.
+//!
+//! The streaming scheduler (`borges-parallel`'s `stream_indexed`) reports
+//! its observability — per-worker completion counts, the in-flight
+//! high-water mark, throttle stalls, and the reassembly-buffer high-water
+//! mark — as [`crate::WorkerTiming`] ledger rows rather than metrics.
+//! Ledger rows are the one schedule-variant surface the determinism
+//! contract already carves out (DESIGN.md §8); metrics snapshots must
+//! stay byte-identical between staged and streaming runs, so streaming
+//! concurrency data may never touch the metrics registry.
+//!
+//! These constants are the `stage` values those rows carry. They live in
+//! borges-telemetry so the pipeline (writer) and the CLI / run-report
+//! renderers (readers) agree on the vocabulary without string literals
+//! drifting apart.
+
+/// One row per scheduler worker: `chunk` is the worker index, `items`
+/// the number of fetches that worker completed.
+pub const WORKER_STAGE: &str = "ingest_worker";
+
+/// Single row: `items` is the high-water mark of concurrently in-flight
+/// fetches (bounded by `--max-in-flight`).
+pub const IN_FLIGHT_STAGE: &str = "ingest_in_flight";
+
+/// Single row: `items` counts scheduler passes in which every queued
+/// host was rate-limited, `elapsed_ms` the total time slept waiting for
+/// token-bucket refills.
+pub const THROTTLE_STAGE: &str = "ingest_throttle";
+
+/// Single row: `items` is the reassembly buffer's high-water mark — the
+/// most out-of-order completions ever parked awaiting canonical release.
+pub const REASSEMBLY_STAGE: &str = "ingest_reassembly";
+
+/// All streaming-ingest stage names, in the order the pipeline emits them.
+pub const ALL_STAGES: [&str; 4] = [
+    WORKER_STAGE,
+    IN_FLIGHT_STAGE,
+    THROTTLE_STAGE,
+    REASSEMBLY_STAGE,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_are_distinct_and_prefixed() {
+        let mut seen = std::collections::BTreeSet::new();
+        for stage in ALL_STAGES {
+            assert!(stage.starts_with("ingest_"), "{stage} lacks prefix");
+            assert!(seen.insert(stage), "{stage} duplicated");
+        }
+        assert_eq!(seen.len(), 4);
+    }
+}

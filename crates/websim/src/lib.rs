@@ -40,11 +40,13 @@ pub mod retry;
 pub mod scraper;
 pub mod site;
 pub mod snapshot;
+pub mod streaming;
 
 pub use client::{FetchOutcome, FetchResult, SimWebClient, WebClient, MAX_REDIRECTS};
 pub use flaky::{FlakyWebClient, WEB_FAULT_KINDS};
 pub use hosting::{SimWeb, SimWebBuilder};
 pub use retry::RetryingWebClient;
-pub use scraper::{ScrapeReport, ScrapeStats, ScrapedSite, Scraper};
+pub use scraper::{ReportAssembler, Resolution, ScrapeReport, ScrapeStats, ScrapedSite, Scraper};
 pub use site::{RedirectKind, SiteNode};
 pub use snapshot::SnapshotWriter;
+pub use streaming::StreamingWebClient;

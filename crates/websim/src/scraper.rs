@@ -235,8 +235,12 @@ impl<C: WebClient> Scraper<C> {
         assemble(resolved)
     }
 
-    /// Parses and fetches one raw website field.
-    fn resolve(&self, raw: &str) -> Resolution {
+    /// Parses and fetches one raw website field — the per-entry unit of
+    /// crawl work. Public so the streaming ingest path can schedule
+    /// resolutions individually (per-host rate-limited, bounded
+    /// in-flight) and feed the outcomes to a [`ReportAssembler`]; the
+    /// batch paths above are thin wrappers over the same call.
+    pub fn resolve(&self, raw: &str) -> Resolution {
         let raw = raw.trim();
         if raw.is_empty() {
             return Resolution::Empty;
@@ -252,53 +256,86 @@ impl<C: WebClient> Scraper<C> {
 }
 
 /// The per-entry outcome of parsing + fetching a website field.
-enum Resolution {
+#[derive(Debug, Clone)]
+pub enum Resolution {
+    /// The website field was empty (after trimming).
     Empty,
+    /// The website field did not parse as a URL.
     Invalid,
+    /// The fetch completed (boxed to keep the variant small).
     Fetched(Box<(Url, FetchResult)>),
+    /// The fetch failed at the transport layer after all recovery.
     Failed(Url, TransportError),
 }
 
-/// Folds resolved entries into a report (single-threaded; canonical).
-fn assemble(entries: impl IntoIterator<Item = (Asn, Resolution)>) -> ScrapeReport {
-    let mut report = ScrapeReport::default();
-    let mut requested: BTreeSet<String> = BTreeSet::new();
-    let mut reachable: BTreeSet<String> = BTreeSet::new();
-    let mut finals: BTreeSet<String> = BTreeSet::new();
-    let mut finals_with_icon: BTreeSet<String> = BTreeSet::new();
-    let mut favicons: BTreeSet<FaviconHash> = BTreeSet::new();
+impl Resolution {
+    /// The host key this resolution's fetch hits, when it fetches at
+    /// all — the string per-host breakers and rate-limit buckets key
+    /// on. `Empty`/`Invalid` entries never reach the network.
+    pub fn host(&self) -> Option<&str> {
+        match self {
+            Resolution::Empty | Resolution::Invalid => None,
+            Resolution::Fetched(boxed) => Some(boxed.0.host().as_str()),
+            Resolution::Failed(url, _) => Some(url.host().as_str()),
+        }
+    }
+}
 
-    for (asn, resolution) in entries {
+/// Incrementally folds resolved entries into a [`ScrapeReport`] — the
+/// streaming twin of the batch fold inside [`Scraper::crawl`].
+///
+/// `push` entries in canonical input order (the streaming reassembly
+/// buffer guarantees it), then `finish`. Because the batch paths
+/// delegate to this same assembler, a streaming crawl that pushes in
+/// input order produces a byte-identical report.
+#[derive(Debug, Default)]
+pub struct ReportAssembler {
+    report: ScrapeReport,
+    requested: BTreeSet<String>,
+    reachable: BTreeSet<String>,
+    finals: BTreeSet<String>,
+    finals_with_icon: BTreeSet<String>,
+    favicons: BTreeSet<FaviconHash>,
+}
+
+impl ReportAssembler {
+    /// An empty assembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds in one entry's resolution.
+    pub fn push(&mut self, asn: Asn, resolution: Resolution) {
         let (url, fetched) = match resolution {
-            Resolution::Empty => continue,
+            Resolution::Empty => return,
             Resolution::Invalid => {
-                report.stats.entries_with_invalid_url += 1;
-                continue;
+                self.report.stats.entries_with_invalid_url += 1;
+                return;
             }
             Resolution::Failed(url, _error) => {
                 // The URL was real and we tried: it stays in the funnel's
                 // top stages, but produces no observation. abandoned +
                 // observed == entries_with_website, always.
-                report.stats.entries_with_website += 1;
-                report.stats.entries_abandoned += 1;
-                requested.insert(url.canonical());
-                continue;
+                self.report.stats.entries_with_website += 1;
+                self.report.stats.entries_abandoned += 1;
+                self.requested.insert(url.canonical());
+                return;
             }
             Resolution::Fetched(boxed) => *boxed,
         };
-        report.stats.entries_with_website += 1;
-        requested.insert(url.canonical());
+        self.report.stats.entries_with_website += 1;
+        self.requested.insert(url.canonical());
         if fetched.is_ok() {
-            reachable.insert(url.canonical());
+            self.reachable.insert(url.canonical());
         }
         if let Some(final_url) = &fetched.final_url {
-            finals.insert(final_url.canonical());
+            self.finals.insert(final_url.canonical());
             if let Some(icon) = fetched.favicon {
-                finals_with_icon.insert(final_url.canonical());
-                favicons.insert(icon);
+                self.finals_with_icon.insert(final_url.canonical());
+                self.favicons.insert(icon);
             }
         }
-        report.sites.insert(
+        self.report.sites.insert(
             asn,
             ScrapedSite {
                 requested: url,
@@ -308,13 +345,33 @@ fn assemble(entries: impl IntoIterator<Item = (Asn, Resolution)>) -> ScrapeRepor
         );
     }
 
-    report.stats.unique_urls = requested.len();
-    report.stats.reachable_urls = reachable.len();
-    report.stats.unique_final_urls = finals.len();
-    report.stats.final_urls_with_favicon = finals_with_icon.len();
-    report.stats.unique_favicons = favicons.len();
-    report.stats.debug_check_funnel();
-    report
+    /// Entries folded in that produced an observation or an accounted
+    /// skip — i.e. everything pushed (observational convenience for
+    /// ledger rows).
+    pub fn observed_sites(&self) -> usize {
+        self.report.sites.len()
+    }
+
+    /// Seals the funnel's distinct-count stages and returns the report.
+    pub fn finish(self) -> ScrapeReport {
+        let mut report = self.report;
+        report.stats.unique_urls = self.requested.len();
+        report.stats.reachable_urls = self.reachable.len();
+        report.stats.unique_final_urls = self.finals.len();
+        report.stats.final_urls_with_favicon = self.finals_with_icon.len();
+        report.stats.unique_favicons = self.favicons.len();
+        report.stats.debug_check_funnel();
+        report
+    }
+}
+
+/// Folds resolved entries into a report (single-threaded; canonical).
+fn assemble(entries: impl IntoIterator<Item = (Asn, Resolution)>) -> ScrapeReport {
+    let mut assembler = ReportAssembler::new();
+    for (asn, resolution) in entries {
+        assembler.push(asn, resolution);
+    }
+    assembler.finish()
 }
 
 #[cfg(test)]

@@ -1,0 +1,357 @@
+//! The streaming crawl client.
+//!
+//! [`StreamingWebClient`] is the concurrent sibling of
+//! [`crate::RetryingWebClient`]. The staged client backs off on **one
+//! shared clock** — correct for a sequential crawl, where each call's
+//! sleeps are the only thing advancing time — but under the streaming
+//! scheduler many fetches are in flight at once, and a shared virtual
+//! clock would entangle their backoff readings (call A's duration would
+//! include call B's sleeps), destroying the staged run's byte-for-byte
+//! telemetry.
+//!
+//! The fix is per-call clock isolation: every logical fetch runs its
+//! retry loop on a **fresh private [`SimClock`] starting at zero**.
+//! Backoff delays depend only on the attempt number and the per-host
+//! jitter key, and the deadline budget is measured from the call's own
+//! start, so the retry schedule — and therefore the per-call duration,
+//! which is exactly the call's own backoff spend — is identical to what
+//! the staged sequential client would have produced for the same fault
+//! tape. The per-call spends are also accumulated into a running total
+//! ([`StreamingWebClient::backoff_total_ms`]) so the pipeline can replay
+//! the stage's total backoff onto the shared telemetry clock afterwards,
+//! keeping trace spans byte-identical to the staged run.
+//!
+//! Breaker state (failure streaks) is still shared per host across
+//! calls; under the scheduler's per-host FIFO serialization each host's
+//! fetch sequence matches the staged order, so streak accounting is
+//! identical. Open-window *timing* is the one thing per-call clocks
+//! cannot reproduce — irrelevant under recoverable chaos (calibrated
+//! bursts never reach the trip threshold), and documented as
+//! ledger-balance-only equivalence under outage plans.
+//!
+//! With no policy attached the client is a transparent pass-through:
+//! no stats, no metrics — matching the staged bare-client paths.
+
+use crate::client::{FetchResult, WebClient};
+use borges_resilience::{
+    stable_hash, BreakerConfig, BreakerRegistry, BreakerVerdict, Clock, ResilienceStats,
+    RetryPolicy, SimClock, TransportError,
+};
+use borges_telemetry::{BreakerEvent, Telemetry};
+use borges_types::Url;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A [`WebClient`] middleware for concurrent crawls: retries transient
+/// faults on a private per-call clock, shares per-host breakers, and
+/// tallies backoff spend for later replay onto the run clock.
+pub struct StreamingWebClient<C> {
+    inner: C,
+    policy: Option<RetryPolicy>,
+    breakers: Option<BreakerRegistry>,
+    stats: Mutex<ResilienceStats>,
+    backoff_total_ms: AtomicU64,
+    telemetry: Telemetry,
+}
+
+impl<C: WebClient> StreamingWebClient<C> {
+    /// A transparent pass-through (no retries, no stats, no metrics) —
+    /// the streaming twin of crawling over a bare client.
+    pub fn bare(inner: C) -> Self {
+        StreamingWebClient {
+            inner,
+            policy: None,
+            breakers: None,
+            stats: Mutex::new(ResilienceStats::default()),
+            backoff_total_ms: AtomicU64::new(0),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Wraps `inner` under `policy`, retrying each logical fetch on its
+    /// own private clock.
+    pub fn resilient(inner: C, policy: RetryPolicy) -> Self {
+        StreamingWebClient {
+            inner,
+            policy: Some(policy),
+            breakers: None,
+            stats: Mutex::new(ResilienceStats::default()),
+            backoff_total_ms: AtomicU64::new(0),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Adds per-host circuit breakers (shared across calls; streak
+    /// accounting matches the staged client under per-host FIFO).
+    pub fn with_breakers(mut self, config: BreakerConfig) -> Self {
+        self.breakers = Some(BreakerRegistry::new(config));
+        self
+    }
+
+    /// Attaches a telemetry context — same counters, histogram, and
+    /// breaker events as [`crate::RetryingWebClient::with_telemetry`],
+    /// with per-call durations measured on each call's private clock.
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// What the stack has spent so far.
+    pub fn stats(&self) -> ResilienceStats {
+        *self.stats.lock()
+    }
+
+    /// Total backoff milliseconds across all calls so far — what the
+    /// pipeline replays onto the shared run clock after the stage.
+    pub fn backoff_total_ms(&self) -> u64 {
+        self.backoff_total_ms.load(Ordering::SeqCst)
+    }
+
+    /// Hosts whose breaker is currently open (empty without breakers).
+    pub fn open_hosts(&self) -> Vec<String> {
+        self.breakers
+            .as_ref()
+            .map(|r| r.open_keys())
+            .unwrap_or_default()
+    }
+}
+
+impl<C: WebClient> WebClient for StreamingWebClient<C> {
+    fn fetch(&self, url: &Url) -> Result<FetchResult, TransportError> {
+        let Some(policy) = &self.policy else {
+            return self.inner.fetch(url);
+        };
+        let host = url.host().as_str().to_string();
+        let key = stable_hash(host.as_bytes());
+        let breaker = self.breakers.as_ref().map(|r| r.breaker(&host));
+        let mut trips = 0u64;
+        let mut fast_fails = 0u64;
+        // The call's private clock: starts at zero, advanced only by
+        // this call's own backoff sleeps.
+        let clock = SimClock::new();
+
+        let outcome = policy.run(&clock, key, |_attempt| {
+            if let Some(b) = &breaker {
+                if !b.allow(&clock) {
+                    fast_fails += 1;
+                    return Err(TransportError::CircuitOpen);
+                }
+            }
+            match self.inner.fetch(url) {
+                Ok(result) => {
+                    if let Some(b) = &breaker {
+                        b.record_success();
+                    }
+                    Ok(result)
+                }
+                Err(e) => {
+                    if let Some(b) = &breaker {
+                        if b.record_failure(&clock) == BreakerVerdict::Tripped {
+                            trips += 1;
+                        }
+                    }
+                    Err(e)
+                }
+            }
+        });
+
+        // Final private-clock reading == this call's backoff spend.
+        let call_ms = clock.now_ms();
+        self.backoff_total_ms.fetch_add(call_ms, Ordering::SeqCst);
+
+        let mut stats = self.stats.lock();
+        stats.calls += 1;
+        stats.attempts += outcome.attempts as u64;
+        stats.breaker_trips += trips;
+        stats.breaker_fast_fails += fast_fails;
+        if outcome.recovered() {
+            stats.recovered += 1;
+        }
+        if outcome.result.is_err() {
+            stats.abandoned += 1;
+        }
+        drop(stats);
+
+        if self.telemetry.is_enabled() {
+            self.telemetry.counter("borges_web_calls_total", 1);
+            self.telemetry
+                .counter("borges_web_attempts_total", outcome.attempts as u64);
+            if outcome.recovered() {
+                self.telemetry.counter("borges_web_recovered_total", 1);
+            }
+            if outcome.result.is_err() {
+                self.telemetry.counter("borges_web_abandoned_total", 1);
+            }
+            if fast_fails > 0 {
+                self.telemetry
+                    .counter("borges_web_breaker_fast_fails_total", fast_fails);
+            }
+            self.telemetry.observe_ms("borges_web_call_ms", call_ms);
+            if trips > 0 {
+                self.telemetry
+                    .counter("borges_web_breaker_trips_total", trips);
+                self.telemetry.record_breaker_event(BreakerEvent {
+                    boundary: "web".to_string(),
+                    key: host,
+                    transition: "open".to_string(),
+                    at_ms: call_ms,
+                });
+            }
+        }
+        outcome.result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::SimWebClient;
+    use crate::flaky::FlakyWebClient;
+    use crate::hosting::SimWeb;
+    use crate::retry::RetryingWebClient;
+    use borges_resilience::EpisodePlan;
+
+    fn web(hosts: usize) -> SimWeb {
+        let mut b = SimWeb::builder();
+        for i in 0..hosts {
+            b = b.page(&format!("h{i}.example"), None);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bare_mode_is_a_transparent_pass_through() {
+        let web = web(3);
+        let bare = SimWebClient::browser(&web);
+        let client = StreamingWebClient::bare(SimWebClient::browser(&web));
+        for i in 0..3 {
+            let url: Url = format!("https://h{i}.example/").parse().unwrap();
+            assert_eq!(client.fetch(&url), bare.fetch(&url));
+        }
+        assert_eq!(client.stats(), ResilienceStats::default());
+        assert_eq!(client.backoff_total_ms(), 0);
+    }
+
+    #[test]
+    fn chaos_per_call_outcomes_and_stats_match_the_staged_client() {
+        // Same fault tape through both middlewares, sequentially: every
+        // outcome, the stats block, and the total backoff must agree —
+        // the per-call private clocks reproduce the shared-clock retry
+        // schedule exactly.
+        let web = web(120);
+        let plan = EpisodePlan::calibrated(5);
+        let policy = RetryPolicy::standard(5);
+        let staged = RetryingWebClient::new(
+            FlakyWebClient::new(SimWebClient::browser(&web), plan),
+            policy,
+        );
+        let streaming = StreamingWebClient::resilient(
+            FlakyWebClient::new(SimWebClient::browser(&web), plan),
+            policy,
+        );
+        for i in 0..120 {
+            let url: Url = format!("https://h{i}.example/").parse().unwrap();
+            assert_eq!(streaming.fetch(&url), staged.fetch(&url), "host {i}");
+        }
+        assert_eq!(streaming.stats(), staged.stats());
+        assert!(streaming.stats().recovered > 0, "chaos actually retried");
+        // The staged client's shared clock only ever advances by backoff
+        // sleeps, so its final reading is the total backoff — which the
+        // streaming client accumulated per call.
+        assert!(streaming.backoff_total_ms() > 0);
+    }
+
+    #[test]
+    fn chaos_concurrent_fetches_keep_per_call_durations_isolated() {
+        use borges_telemetry::Verbosity;
+        let web = web(64);
+        let plan = EpisodePlan::calibrated(9);
+        let policy = RetryPolicy::standard(9);
+
+        // Sequential reference run.
+        let reference = StreamingWebClient::resilient(
+            FlakyWebClient::new(SimWebClient::browser(&web), plan),
+            policy,
+        );
+        let urls: Vec<Url> = (0..64)
+            .map(|i| format!("https://h{i}.example/").parse().unwrap())
+            .collect();
+        for url in &urls {
+            reference.fetch(url).unwrap();
+        }
+
+        // Concurrent run over distinct hosts (no per-host ordering to
+        // preserve): totals and the call-duration histogram must match
+        // the sequential run exactly.
+        let tel = Telemetry::sim(Verbosity::Quiet);
+        let concurrent = StreamingWebClient::resilient(
+            FlakyWebClient::new(SimWebClient::browser(&web), plan),
+            policy,
+        )
+        .with_telemetry(tel.clone());
+        borges_parallel::map_items(&urls, 8, |url| concurrent.fetch(url).unwrap());
+        assert_eq!(concurrent.stats(), reference.stats());
+        assert_eq!(
+            concurrent.backoff_total_ms(),
+            reference.backoff_total_ms(),
+            "per-call spends are schedule-independent"
+        );
+        let snap = tel.metrics_snapshot();
+        let hist = snap.histogram("borges_web_call_ms").unwrap();
+        assert_eq!(hist.count, 64);
+        assert_eq!(hist.sum_ms, reference.backoff_total_ms());
+    }
+
+    #[test]
+    fn chaos_breaker_streaks_trip_like_the_staged_client() {
+        let plan = EpisodePlan {
+            transient_rate: 1.0,
+            permanent_rate: 0.0,
+            max_burst: 40,
+            seed: 2,
+        };
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_delay_ms: 10,
+            max_delay_ms: 10,
+            deadline_ms: u64::MAX,
+            jitter_seed: 2,
+        };
+        let config = BreakerConfig {
+            failure_threshold: 4,
+            open_ms: 1_000_000,
+        };
+        let web = web(1);
+        let client = StreamingWebClient::resilient(
+            FlakyWebClient::new(SimWebClient::browser(&web), plan),
+            policy,
+        )
+        .with_breakers(config);
+        let url: Url = "https://h0.example/".parse().unwrap();
+        assert!(client.fetch(&url).is_err());
+        assert!(client.fetch(&url).is_err());
+        assert_eq!(client.stats().breaker_trips, 1);
+        assert_eq!(client.open_hosts(), vec!["h0.example".to_string()]);
+    }
+
+    #[test]
+    fn coverage_ledger_balances_under_outages() {
+        let web = web(200);
+        let client = StreamingWebClient::resilient(
+            FlakyWebClient::new(SimWebClient::browser(&web), EpisodePlan::with_outages(9)),
+            RetryPolicy::standard(9),
+        );
+        let mut ok = 0u64;
+        for i in 0..200 {
+            let url: Url = format!("https://h{i}.example/").parse().unwrap();
+            if client.fetch(&url).is_ok() {
+                ok += 1;
+            }
+        }
+        let stats = client.stats();
+        assert_eq!(stats.calls, 200);
+        assert_eq!(stats.succeeded(), ok);
+        assert!(stats.abandoned > 0, "outage plan blocks some hosts");
+        assert_eq!(stats.succeeded() + stats.abandoned, stats.calls);
+    }
+}

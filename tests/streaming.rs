@@ -1,0 +1,309 @@
+//! The streaming-ingest determinism contract, pinned end to end.
+//!
+//! `Borges::run_streaming` overlaps the crawl with NER and evidence
+//! compilation behind a bounded-concurrency, rate-limited scheduler —
+//! and must be **invisible** in every canonical output. Three contracts
+//! (DESIGN.md §14):
+//!
+//! 1. **Schedule-independence.** Mapfiles (all 16 feature combinations),
+//!    the canonical trace journal, and the metrics snapshot are
+//!    byte-identical to the staged run at every worker count, in-flight
+//!    cap, and per-host rate limit.
+//! 2. **Chaos-independence.** Under recoverable transport faults (the
+//!    `tests/chaos.rs` model) the streaming resilient run reproduces the
+//!    staged resilient run bit for bit, and coverage stays complete.
+//! 3. **Accounting.** Under unrecoverable outages the run still
+//!    completes with `abandoned + succeeded == attempted` per feature,
+//!    and the scheduler's own ledger rows balance: per-worker completion
+//!    counts sum to the entry count.
+
+use borges_core::mapfile;
+use borges_core::ner::NerConfig;
+use borges_core::pipeline::{Borges, FeatureSet, StreamOptions};
+use borges_llm::{FlakyModel, SimLlm};
+use borges_resilience::{EpisodePlan, RetryPolicy};
+use borges_synthnet::{GeneratorConfig, SyntheticInternet};
+use borges_telemetry::{ingest, RunReport, Telemetry, Verbosity};
+use borges_websim::{FlakyWebClient, Scraper, SimWebClient};
+
+fn world() -> SyntheticInternet {
+    SyntheticInternet::generate(&GeneratorConfig::tiny(17))
+}
+
+fn opts(
+    workers: usize,
+    max_in_flight: usize,
+    per_host_rps: Option<f64>,
+    policy: Option<RetryPolicy>,
+    threads: usize,
+) -> StreamOptions {
+    StreamOptions {
+        workers,
+        max_in_flight,
+        per_host_rps,
+        policy,
+        threads,
+        ..StreamOptions::default()
+    }
+}
+
+/// Everything the determinism contract compares: the canonical trace,
+/// the metrics exposition, and the serialized mapfile of every feature
+/// combination.
+fn fingerprint(borges: &Borges, tel: &Telemetry) -> (String, String, Vec<String>) {
+    let maps = FeatureSet::all_combinations()
+        .iter()
+        .map(|&f| mapfile::serialize(&borges.mapping(f)))
+        .collect();
+    (
+        tel.trace_jsonl_canonical(),
+        tel.metrics_snapshot().to_prometheus(),
+        maps,
+    )
+}
+
+#[test]
+fn streaming_bare_run_is_byte_identical_to_staged() {
+    let world = world();
+    let llm = SimLlm::new(99);
+    let tel = Telemetry::sim(Verbosity::Quiet);
+    let staged = Borges::run_traced(
+        &world.whois,
+        &world.pdb,
+        SimWebClient::browser(&world.web),
+        &llm,
+        &tel,
+    );
+    let reference = fingerprint(&staged, &tel);
+    assert!(reference.0.contains("\"run/crawl\""), "{}", reference.0);
+
+    for threads in [1, 4] {
+        for (workers, max_in_flight, rps) in [
+            (1, 1, None),
+            (4, 2, None),
+            (8, 8, Some(50.0)),
+            (3, 7, Some(2.0)),
+        ] {
+            let tel = Telemetry::sim(Verbosity::Quiet);
+            let streamed = Borges::run_streaming_traced(
+                &world.whois,
+                &world.pdb,
+                SimWebClient::browser(&world.web),
+                &llm,
+                &opts(workers, max_in_flight, rps, None, threads),
+                &tel,
+            );
+            assert_eq!(
+                fingerprint(&streamed, &tel),
+                reference,
+                "streaming diverged at workers={workers} in_flight={max_in_flight} \
+                 rps={rps:?} threads={threads}"
+            );
+        }
+    }
+}
+
+#[test]
+fn streaming_resilient_run_is_byte_identical_under_recoverable_chaos() {
+    let world = world();
+    for seed in 1..=3u64 {
+        let policy = RetryPolicy::standard(seed);
+        let tel = Telemetry::sim(Verbosity::Quiet);
+        let staged = Borges::run_resilient_traced(
+            &world.whois,
+            &world.pdb,
+            FlakyWebClient::new(
+                SimWebClient::browser(&world.web),
+                EpisodePlan::calibrated(seed),
+            ),
+            &FlakyModel::new(SimLlm::flawless(), EpisodePlan::calibrated(seed ^ 0xFACE)),
+            policy,
+            &tel,
+        );
+        let reference = fingerprint(&staged, &tel);
+
+        for threads in [1, 4] {
+            for (workers, max_in_flight, rps) in [(4, 4, None), (6, 3, Some(25.0))] {
+                let tel = Telemetry::sim(Verbosity::Quiet);
+                let llm =
+                    FlakyModel::new(SimLlm::flawless(), EpisodePlan::calibrated(seed ^ 0xFACE));
+                let streamed = Borges::run_streaming_traced(
+                    &world.whois,
+                    &world.pdb,
+                    FlakyWebClient::new(
+                        SimWebClient::browser(&world.web),
+                        EpisodePlan::calibrated(seed),
+                    ),
+                    &llm,
+                    &opts(workers, max_in_flight, rps, Some(policy), threads),
+                    &tel,
+                );
+                assert_eq!(
+                    fingerprint(&streamed, &tel),
+                    reference,
+                    "seed {seed}: streaming chaos diverged at workers={workers} \
+                     in_flight={max_in_flight} rps={rps:?} threads={threads}"
+                );
+                let coverage = streamed.coverage();
+                assert!(coverage.accounted(), "seed {seed}: ledger must balance");
+                assert!(
+                    coverage.complete(),
+                    "seed {seed}: recoverable chaos must lose nothing"
+                );
+                assert!(
+                    streamed.scrape_stats.resilience.recovered
+                        + streamed.ner.stats.resilience.recovered
+                        + streamed.favicon.stats.resilience.recovered
+                        > 0,
+                    "seed {seed}: the plan must actually have injected faults"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn streaming_outage_runs_account_for_every_loss() {
+    // Permanent outages and no retry budget: equivalence to the staged
+    // run is off the table (breaker open-window timing diverges under
+    // per-call clocks — DESIGN.md §14), but the accounting contract
+    // still holds and nothing is silently dropped.
+    let world = world();
+    let reference = Borges::run(
+        &world.whois,
+        &world.pdb,
+        SimWebClient::browser(&world.web),
+        &SimLlm::flawless(),
+    )
+    .full();
+    for seed in 1..=3u64 {
+        let llm = FlakyModel::new(SimLlm::flawless(), EpisodePlan::with_outages(seed ^ 0xFACE));
+        let degraded = Borges::run_streaming(
+            &world.whois,
+            &world.pdb,
+            FlakyWebClient::new(
+                SimWebClient::browser(&world.web),
+                EpisodePlan::with_outages(seed),
+            ),
+            &llm,
+            &opts(4, 4, Some(10.0), Some(RetryPolicy::none()), 1),
+        );
+        let coverage = degraded.coverage();
+        assert!(
+            coverage.accounted(),
+            "seed {seed}: abandoned + succeeded != attempted"
+        );
+        assert!(
+            coverage.total_abandoned() > 0,
+            "seed {seed}: outages must cost something"
+        );
+        // Partial evidence never invents a sibling relation.
+        let full = degraded.full();
+        assert_eq!(full.asn_count(), reference.asn_count(), "seed {seed}");
+        for (_, members) in full.clusters() {
+            for pair in members.windows(2) {
+                assert!(
+                    reference.same_org(pair[0], pair[1]),
+                    "seed {seed}: degraded streaming run invented a merge {pair:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn streaming_scheduler_ledger_rows_balance_and_roundtrip() {
+    let world = world();
+    let llm = SimLlm::new(99);
+    let tel = Telemetry::sim(Verbosity::Quiet);
+    let max_in_flight = 3;
+    // A tight rate limit forces throttle stalls (virtual ones — pacing
+    // runs on a SimClock, so the test never actually sleeps).
+    let streamed = Borges::run_streaming_traced(
+        &world.whois,
+        &world.pdb,
+        SimWebClient::browser(&world.web),
+        &llm,
+        &opts(4, max_in_flight, Some(0.5), None, 1),
+        &tel,
+    );
+    let entries = world.pdb.nets().count() as u64;
+    let timings = tel.worker_timings();
+
+    let worker_total: u64 = timings
+        .iter()
+        .filter(|t| t.stage == ingest::WORKER_STAGE)
+        .map(|t| t.items)
+        .sum();
+    assert_eq!(
+        worker_total, entries,
+        "per-worker completions must sum to the entry count"
+    );
+    let in_flight = timings
+        .iter()
+        .find(|t| t.stage == ingest::IN_FLIGHT_STAGE)
+        .expect("in-flight high-water row");
+    assert!((1..=max_in_flight as u64).contains(&in_flight.items));
+    let throttle = timings
+        .iter()
+        .find(|t| t.stage == ingest::THROTTLE_STAGE)
+        .expect("throttle row");
+    assert!(
+        throttle.items > 0 && throttle.elapsed_ms > 0,
+        "a 0.5 rps limit over shared hosts must stall at least once"
+    );
+    assert!(timings.iter().any(|t| t.stage == ingest::REASSEMBLY_STAGE));
+
+    // The rows survive the run-report JSON roundtrip (what the CI
+    // ingest-equivalence job greps).
+    let json = streamed.run_report(&tel, "streaming", 1).to_json_pretty();
+    let report = RunReport::from_json(&json).expect("run report parses");
+    assert!(
+        report
+            .workers
+            .iter()
+            .any(|t| t.stage == ingest::THROTTLE_STAGE),
+        "{json}"
+    );
+}
+
+#[test]
+fn from_scrape_streaming_matches_from_scrape() {
+    let world = world();
+    let llm = SimLlm::new(99);
+    let scraper = Scraper::new(SimWebClient::browser(&world.web));
+    let report = scraper.crawl(world.pdb.nets().map(|n| (n.asn, n.website.as_str())));
+
+    let tel = Telemetry::sim(Verbosity::Quiet);
+    let staged = Borges::from_scrape_traced(
+        &world.whois,
+        &world.pdb,
+        &report,
+        &llm,
+        NerConfig::default(),
+        &tel,
+    );
+    let reference = fingerprint(&staged, &tel);
+    assert!(
+        !reference.0.contains("\"run/crawl\""),
+        "from_scrape has no crawl stage"
+    );
+
+    for threads in [1, 4] {
+        let tel = Telemetry::sim(Verbosity::Quiet);
+        let streamed = Borges::from_scrape_streaming_traced(
+            &world.whois,
+            &world.pdb,
+            &report,
+            &llm,
+            NerConfig::default(),
+            &opts(4, 4, None, None, threads),
+            &tel,
+        );
+        assert_eq!(
+            fingerprint(&streamed, &tel),
+            reference,
+            "from_scrape_streaming diverged at threads={threads}"
+        );
+    }
+}

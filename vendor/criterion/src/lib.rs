@@ -8,10 +8,81 @@
 //! prints min/mean/max. No statistics beyond that — the workspace uses
 //! the numbers for relative comparisons, which min/mean/max support.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Total measurement budget per benchmark function.
 const TIME_BUDGET: Duration = Duration::from_secs(5);
+
+/// Schema tag stamped into every baseline JSON document this harness
+/// emits (see [`write_json_if_requested`]). Bump on layout changes so
+/// downstream tooling can reject documents it does not understand.
+pub const BASELINE_SCHEMA: &str = "borges-bench-baseline/v1";
+
+/// One finished benchmark's timing summary, kept for JSON emission.
+struct BenchRecord {
+    name: String,
+    samples: u32,
+    min_ns: u128,
+    mean_ns: u128,
+    max_ns: u128,
+}
+
+/// Every benchmark this process has completed, in execution order.
+static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+/// Logical CPUs available to this process — recorded in every baseline
+/// document so numbers are interpretable before comparing across
+/// machines (a 1-CPU host cannot show fan-out wins, only overlap wins).
+pub fn cpus_online() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Writes the collected timings as a schema-tagged JSON baseline to the
+/// path named by `BORGES_BENCH_JSON`, if set. Called by
+/// [`criterion_main!`] after all groups finish; a no-op without the env
+/// var, so plain `cargo bench` behaves exactly as before.
+pub fn write_json_if_requested() {
+    let Some(path) = std::env::var_os("BORGES_BENCH_JSON") else {
+        return;
+    };
+    let records = RECORDS.lock().unwrap_or_else(|e| e.into_inner());
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{BASELINE_SCHEMA}\",\n"));
+    out.push_str(&format!("  \"cpus_online\": {},\n", cpus_online()));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 == records.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"samples\": {}, \"min_ns\": {}, \"mean_ns\": {}, \"max_ns\": {}}}{comma}\n",
+            json_escape(&r.name),
+            r.samples,
+            r.min_ns,
+            r.mean_ns,
+            r.max_ns,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion: cannot write {}: {e}", path.to_string_lossy());
+    }
+}
 
 /// The benchmark driver.
 #[derive(Debug, Default)]
@@ -116,6 +187,16 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: 
     let mean = total / n;
     let min = *bencher.samples.iter().min().expect("non-empty");
     let max = *bencher.samples.iter().max().expect("non-empty");
+    RECORDS
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .push(BenchRecord {
+            name: name.to_string(),
+            samples: n,
+            min_ns: min.as_nanos(),
+            mean_ns: mean.as_nanos(),
+            max_ns: max.as_nanos(),
+        });
     println!(
         "{name:<50} time: [{} {} {}] ({n} samples)",
         format_duration(min),
@@ -143,6 +224,7 @@ macro_rules! criterion_main {
             // cargo bench passes harness flags (e.g. `--bench`); this
             // harness takes no options, so they are ignored.
             $( $group(); )+
+            $crate::write_json_if_requested();
         }
     };
 }
