@@ -11,7 +11,7 @@ use borges_llm::{CachingModel, FlakyModel, SimLlm};
 use borges_resilience::{EpisodePlan, RetryPolicy};
 use borges_serve::{Reloader, Server, ServerConfig};
 use borges_synthnet::io::{save, DatasetBundle};
-use borges_synthnet::{generate_to_dir, GeneratorConfig, SyntheticInternet};
+use borges_synthnet::{generate_to_dir, EvolutionEvent, GeneratorConfig, SyntheticInternet};
 use borges_telemetry::{CacheReport, Telemetry, Verbosity};
 use borges_types::Asn;
 use borges_websim::{FlakyWebClient, SimWebClient};
@@ -22,15 +22,22 @@ borges — AS-to-Organization mappings (Borges reproduction)
 
 USAGE:
   borges generate --out DIR [--scale tiny|medium|paper|large|million] [--seed N]
-                  [--no-truth]
+                  [--no-truth] [--evolve EVENTS]
       Generate a synthetic-Internet dataset bundle. The large (~130k
       ASNs) and million (~1M ASNs) scales stream records straight to
       disk in bounded memory instead of materializing the world.
+      --evolve applies scripted corporate events to the generated world
+      and writes the *successor* snapshot instead (tiny/medium/paper
+      only). EVENTS is a comma list of
+      acquisition:ACQUIRER:TARGET, rebrand:BRAND:NEW, or
+      spinoff:BRAND:CC+CC:NEW (brands as lower-case labels, CC as ISO
+      country codes). Generating the same seed with and without
+      --evolve yields a before/after snapshot pair for `--timeline`.
   borges map --data DIR --out FILE [--features all|none|LIST] [--seed N] [--threads N]
              [--streaming] [--max-in-flight N] [--per-host-rps R]
              [--fault-rate R] [--retries N] [--chaos-seed N]
              [--trace-out FILE] [--metrics-out FILE] [--report-out FILE]
-             [--state-out DIR] [--store-out FILE]
+             [--state-out DIR] [--store-out FILE] [--timeline DIR]
       Run the pipeline over a bundle and write the mapping.
       LIST is comma-separated from: oid_p, na, rr, favicons.
       --threads defaults to the machine's available parallelism; it
@@ -63,10 +70,16 @@ USAGE:
       --store-out persists the whole compiled world as a checksummed,
       content-addressed store artifact that `borges serve --store`
       cold-starts from without recompiling (see `borges store`).
+      --timeline appends the compiled world to the append-only timeline
+      at DIR as its next epoch: the epoch is stamped into the world
+      (so it participates in the content address), the artifact lands
+      under DIR/worlds/, a delta against the parent epoch under
+      DIR/deltas/, and the chain manifest DIR/timeline.json is
+      rewritten atomically (see `borges timeline`).
   borges remap --data DIR --base-state DIR --out FILE [--out-state DIR]
                [--features all|none|LIST] [--seed N] [--threads N]
                [--trace-out FILE] [--metrics-out FILE] [--report-out FILE]
-               [--store-out FILE]
+               [--store-out FILE] [--timeline DIR]
       Incrementally re-map a (possibly changed) bundle against the
       state persisted by a previous `map --state-out` / `remap
       --out-state`: the web is re-crawled, LLM answers replay from the
@@ -74,15 +87,26 @@ USAGE:
       untouched fingerprints are reused verbatim. The mapping written
       is byte-identical to a full `map` of the same bundle. --out-state
       persists the updated state so remaps chain across snapshots.
+      --timeline appends the remapped world as the timeline's next
+      epoch, exactly as `map --timeline` does — successive snapshots
+      remapped with the same timeline grow one verifiable chain.
   borges serve --data DIR [--addr HOST:PORT] [--threads N] [--queue-depth N]
                [--lru N] [--seed N] [--addr-file FILE] [--store FILE]
-               [--access-log FILE] [--slow-ms N]
+               [--access-log FILE] [--slow-ms N] [--timeline DIR]
       Serve mappings over HTTP from an in-memory compiled pipeline.
       Endpoints: /v1/map/{asn}?features=..., /v1/org/{asn},
       /v1/evidence/{a}/{b}, /v1/coverage, /healthz, /metrics, and
       POST /v1/admin/reload (re-crawl + incremental remap, zero
       downtime; a {\"store\": PATH} body hot-swaps to a store
       artifact instead) / POST /v1/admin/shutdown (graceful drain).
+      --timeline DIR mounts the timeline at DIR for time travel:
+      /v1/map/{asn}?at=EPOCH answers from that chain epoch's world
+      (floor-resolved, loaded on demand into a small epoch LRU, and
+      byte-identical to serving that epoch's artifact directly),
+      /v1/org/{asn}/history walks the ASN's organization lineage
+      across the chain (merges, splits, renames), and
+      /v1/diff/{t1}/{t2} composes the per-link deltas between two
+      epochs. Without --timeline those paths answer 501.
       --store FILE cold-starts from a `map --store-out` artifact:
       validated and loaded with no evidence recompilation; if the
       artifact is damaged in any way, serve falls back to a full
@@ -118,11 +142,24 @@ USAGE:
       rename, undecodable payload).
   borges store ls CATALOG
       List a content-addressed artifact catalog, verifying every
-      entry against both its checksums and its file name. Exits
-      non-zero if any entry is damaged or misaddressed.
+      entry against both its checksums and its file name, with each
+      entry's schema version and epoch from the artifact meta
+      section. Exits non-zero if any entry is damaged or
+      misaddressed.
   borges store add CATALOG PATH
       Verify an artifact and copy it (crash-safely) into CATALOG
       under its content address: <sha256>.world.
+  borges timeline verify DIR
+      Re-verify the whole chain at DIR: the manifest parses and
+      links up, every world artifact matches its content address and
+      carries its link's epoch, every delta matches its digest.
+      Exits non-zero, naming the corruption class, on any damage.
+  borges timeline ls DIR
+      List the chain: epoch, world digest, delta digest per link.
+  borges timeline diff DIR T1 T2
+      What moved between epochs T1 and T2 (merges, splits, appeared
+      and disappeared ASNs), composed from the per-link deltas —
+      byte-identical to diffing the two worlds directly.
   borges help
       This message.
 
@@ -137,10 +174,14 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some((c, rest)) => (c.as_str(), rest),
         None => return Ok(HELP.to_string()),
     };
-    // `store` takes positional operands (an action and paths), which
-    // the flag parser would reject — dispatch it before parsing.
+    // `store` and `timeline` take positional operands (an action and
+    // paths), which the flag parser would reject — dispatch them before
+    // parsing.
     if command == "store" {
         return store(rest);
+    }
+    if command == "timeline" {
+        return timeline_cmd(rest);
     }
     let opts = Options::parse(rest)?;
     match command {
@@ -171,11 +212,15 @@ fn seed_of(opts: &Options) -> Result<u64, CliError> {
 }
 
 fn generate(opts: &Options) -> Result<String, CliError> {
-    opts.allow_only(&["out", "scale", "seed", "no-truth", "v", "q"])?;
+    opts.allow_only(&["out", "scale", "seed", "no-truth", "evolve", "v", "q"])?;
     let narrator = borges_telemetry::Narrator::new(verbosity_of(opts));
     let out = opts.required("out")?;
     let seed = seed_of(opts)?;
     let dir = Path::new(out);
+    let evolve_events = match opts.optional("evolve")? {
+        Some(spec) => Some(parse_evolution_events(spec)?),
+        None => None,
+    };
     // tiny/medium/paper materialize the world in memory (cheap at those
     // scales, and other code paths want the in-memory value); large and
     // million stream every dataset file to disk in bounded memory.
@@ -187,6 +232,11 @@ fn generate(opts: &Options) -> Result<String, CliError> {
         "million" => (GeneratorConfig::million(seed), true),
         other => return Err(CliError::Usage(format!("unknown scale {other:?}"))),
     };
+    if evolve_events.is_some() && streamed {
+        return Err(CliError::Usage(
+            "--evolve needs an in-memory world; use --scale tiny, medium, or paper".to_string(),
+        ));
+    }
     let summary = if streamed {
         narrator.verbose(format!(
             "streaming ~{} ASNs to disk (seed {seed})",
@@ -202,14 +252,25 @@ fn generate(opts: &Options) -> Result<String, CliError> {
         )
     } else {
         narrator.verbose(format!("generating world (seed {seed})"));
-        let world = SyntheticInternet::generate(&config);
+        let mut world = SyntheticInternet::generate(&config);
+        let mut evolved = "";
+        if let Some(events) = &evolve_events {
+            narrator.verbose(format!("applying {} corporate event(s)", events.len()));
+            // Re-emission is seeded off the base seed, so a given
+            // (seed, events) pair names one successor snapshot.
+            world = world
+                .evolve(events, seed + 1)
+                .map_err(|e| CliError::Usage(format!("--evolve: {e}")))?;
+            evolved = " [evolved]";
+        }
         save(&world, dir).map_err(CliError::failed)?;
         format!(
-            "generated {} ASNs ({} PeeringDB networks, {} web hosts) into {}\n",
+            "generated {} ASNs ({} PeeringDB networks, {} web hosts) into {}{}\n",
             world.whois.asn_count(),
             world.pdb.net_count(),
             world.web.host_count(),
-            dir.display()
+            dir.display(),
+            evolved
         )
     };
     if opts.boolean("no-truth") {
@@ -222,6 +283,64 @@ fn generate(opts: &Options) -> Result<String, CliError> {
 
 fn parse_features(spec: &str) -> Result<FeatureSet, CliError> {
     FeatureSet::parse(spec).map_err(CliError::Usage)
+}
+
+/// `--evolve`'s comma list of scripted corporate events:
+/// `acquisition:ACQUIRER:TARGET`, `rebrand:BRAND:NEW`, or
+/// `spinoff:BRAND:CC+CC:NEW`.
+fn parse_evolution_events(spec: &str) -> Result<Vec<EvolutionEvent>, CliError> {
+    let mut events = Vec::new();
+    for item in spec.split(',').filter(|s| !s.is_empty()) {
+        let parts: Vec<&str> = item.split(':').collect();
+        let event = match parts.as_slice() {
+            ["acquisition", acquirer, target] => EvolutionEvent::Acquisition {
+                acquirer: (*acquirer).to_string(),
+                target: (*target).to_string(),
+            },
+            ["rebrand", brand, new_brand] => EvolutionEvent::Rebrand {
+                brand: (*brand).to_string(),
+                new_brand: (*new_brand).to_string(),
+            },
+            ["spinoff", brand, countries, new_brand] => EvolutionEvent::Spinoff {
+                brand: (*brand).to_string(),
+                countries: countries.split('+').map(|c| c.to_uppercase()).collect(),
+                new_brand: (*new_brand).to_string(),
+            },
+            _ => {
+                return Err(CliError::Usage(format!(
+                    "--evolve: unparseable event {item:?} (expected acquisition:A:B, \
+                     rebrand:A:B, or spinoff:A:CC+CC:B)"
+                )))
+            }
+        };
+        events.push(event);
+    }
+    if events.is_empty() {
+        return Err(CliError::Usage(
+            "--evolve needs at least one event".to_string(),
+        ));
+    }
+    Ok(events)
+}
+
+/// Opens (creating if absent) the timeline at `dir`, mapping its typed
+/// errors onto CLI failures that name the corruption class.
+fn open_timeline(dir: &str) -> Result<borges_timeline::Timeline, CliError> {
+    borges_timeline::Timeline::open(Path::new(dir))
+        .map_err(|e| CliError::Failed(format!("timeline {dir}: {e} ({})", e.kind()).into()))
+}
+
+/// Appends the compiled world to the timeline at `dir` as its next
+/// epoch, returning the new link. Runs *before* `--store-out` so the
+/// stamped epoch lands in both artifacts.
+fn append_timeline(
+    borges: &mut Borges,
+    dir: &str,
+) -> Result<borges_timeline::TimelineLink, CliError> {
+    let mut timeline = open_timeline(dir)?;
+    timeline
+        .append(borges)
+        .map_err(|e| CliError::Failed(format!("timeline {dir}: {e} ({})", e.kind()).into()))
 }
 
 /// `--threads`, defaulting to the machine's parallelism. Zero is a
@@ -400,6 +519,7 @@ fn map(opts: &Options) -> Result<String, CliError> {
         "report-out",
         "state-out",
         "store-out",
+        "timeline",
         "v",
         "q",
     ])?;
@@ -430,7 +550,7 @@ fn map(opts: &Options) -> Result<String, CliError> {
     // ledger's cache row) are observable end to end.
     let llm = CachingModel::new(SimLlm::new(seed));
     let mut coverage = String::new();
-    let (borges, pipeline) = if let Some(stream) = &stream {
+    let (mut borges, pipeline) = if let Some(stream) = &stream {
         // The streaming engine overlaps crawl, NER, and compilation;
         // per-host FIFO admission keeps it byte-identical to the staged
         // pipelines — chaos composes (stream.policy carries it).
@@ -541,6 +661,22 @@ fn map(opts: &Options) -> Result<String, CliError> {
         write_state(&borges, dir)?;
         tel.debug(format!("snapshot state written to {dir}"));
     }
+    // Timeline append runs before --store-out: it stamps the chain
+    // epoch into the world, and the store artifact must carry it too.
+    let mut timeline_row = String::new();
+    let mut appended_link: Option<(u64, String)> = None;
+    if let Some(dir) = opts.optional("timeline")? {
+        let link = append_timeline(&mut borges, dir)?;
+        tel.debug(format!(
+            "timeline epoch {} appended ({})",
+            link.epoch, link.world_digest
+        ));
+        timeline_row = format!(
+            "timeline: epoch {} appended ({})\n",
+            link.epoch, link.world_digest
+        );
+        appended_link = Some((link.epoch, link.world_digest));
+    }
     if let Some(path) = opts.optional("store-out")? {
         let digest = borges_store::write_artifact(Path::new(path), &borges.to_world())
             .map_err(CliError::failed)?;
@@ -552,6 +688,13 @@ fn map(opts: &Options) -> Result<String, CliError> {
         report
             .caches
             .push(CacheReport::new("llm.response", llm.cache_stats()));
+        if let Some((epoch, world_digest)) = &appended_link {
+            report.timeline = borges_telemetry::TimelineReport {
+                appended: true,
+                epoch: *epoch,
+                world_digest: world_digest.clone(),
+            };
+        }
         if let Some(path) = trace_out {
             write_artifact_file(path, tel.trace_jsonl_canonical())?;
             tel.debug(format!("trace journal written to {path}"));
@@ -566,12 +709,13 @@ fn map(opts: &Options) -> Result<String, CliError> {
         }
     }
     Ok(format!(
-        "{}: {} ASNs in {} organizations (features: {})\n{}",
+        "{}: {} ASNs in {} organizations (features: {})\n{}{}",
         out,
         mapping.asn_count(),
         mapping.org_count(),
         features.label(),
-        coverage
+        coverage,
+        timeline_row
     ))
 }
 
@@ -616,6 +760,7 @@ fn remap(opts: &Options) -> Result<String, CliError> {
         "metrics-out",
         "report-out",
         "store-out",
+        "timeline",
         "v",
         "q",
     ])?;
@@ -639,7 +784,7 @@ fn remap(opts: &Options) -> Result<String, CliError> {
     let llm = CachingModel::new(SimLlm::new(seed));
     let scraper = borges_websim::Scraper::new(SimWebClient::browser(&bundle.web));
     let report = scraper.crawl(bundle.pdb.nets().map(|n| (n.asn, n.website.as_str())));
-    let borges = Borges::remap_parallel_traced(
+    let mut borges = Borges::remap_parallel_traced(
         &bundle.whois,
         &bundle.pdb,
         &report,
@@ -661,6 +806,9 @@ fn remap(opts: &Options) -> Result<String, CliError> {
         .iter()
         .map(|(_, s)| (s.segments_retained, s.edges_retained))
         .fold((0, 0), |(a, b), (x, y)| (a + x, b + y));
+    // Copied out: the timeline append below needs the pipeline mutably.
+    let dirty_records = d.records.dirty();
+    let llm_calls_saved = d.llm_calls_saved();
 
     let mapping = borges
         .mappings_parallel_traced(std::slice::from_ref(&features), threads, &tel)
@@ -670,6 +818,22 @@ fn remap(opts: &Options) -> Result<String, CliError> {
     if let Some(dir) = opts.optional("out-state")? {
         write_state(&borges, dir)?;
         tel.debug(format!("updated snapshot state written to {dir}"));
+    }
+    // As in `map`: the timeline append stamps the chain epoch into the
+    // world before the store artifact is written.
+    let mut timeline_row = String::new();
+    let mut appended_link: Option<(u64, String)> = None;
+    if let Some(dir) = opts.optional("timeline")? {
+        let link = append_timeline(&mut borges, dir)?;
+        tel.debug(format!(
+            "timeline epoch {} appended ({})",
+            link.epoch, link.world_digest
+        ));
+        timeline_row = format!(
+            "timeline: epoch {} appended ({})\n",
+            link.epoch, link.world_digest
+        );
+        appended_link = Some((link.epoch, link.world_digest));
     }
     if let Some(path) = opts.optional("store-out")? {
         let digest = borges_store::write_artifact(Path::new(path), &borges.to_world())
@@ -682,6 +846,13 @@ fn remap(opts: &Options) -> Result<String, CliError> {
         ledger
             .caches
             .push(CacheReport::new("llm.response", llm.cache_stats()));
+        if let Some((epoch, world_digest)) = &appended_link {
+            ledger.timeline = borges_telemetry::TimelineReport {
+                appended: true,
+                epoch: *epoch,
+                world_digest: world_digest.clone(),
+            };
+        }
         if let Some(path) = trace_out {
             write_artifact_file(path, tel.trace_jsonl_canonical())?;
         }
@@ -694,15 +865,16 @@ fn remap(opts: &Options) -> Result<String, CliError> {
     }
     Ok(format!(
         "{}: {} ASNs in {} organizations (features: {})\n\
-         delta: {} dirty records; {} segments ({} edges) reused; {} LLM calls saved\n",
+         delta: {} dirty records; {} segments ({} edges) reused; {} LLM calls saved\n{}",
         out,
         mapping.asn_count(),
         mapping.org_count(),
         features.label(),
-        d.records.dirty(),
+        dirty_records,
         segments_retained,
         edges_retained,
-        d.llm_calls_saved()
+        llm_calls_saved,
+        timeline_row
     ))
 }
 
@@ -723,6 +895,61 @@ fn parse_count(opts: &Options, flag: &str, default: usize, min: usize) -> Result
 /// when it was damaged and serve fell back to a bundle compile.
 type StoreBoot = Result<String, String>;
 
+/// How many chain-epoch worlds `serve --timeline` keeps resident at
+/// once. Small on purpose: each is a full compiled pipeline, and the
+/// byte-determinism contract makes evictions invisible to clients.
+const EPOCH_LRU_CAPACITY: usize = 4;
+
+/// Adapts [`borges_timeline::Timeline`] to the serve crate's injected
+/// backend, flattening the timeline's typed error kinds onto HTTP
+/// blame: an epoch the chain cannot answer is the client's problem
+/// (404), a backwards range is a bad request (400), and everything
+/// else — corruption, IO — is the server's (500).
+struct CliTimelineBackend {
+    timeline: borges_timeline::Timeline,
+    threads: usize,
+}
+
+fn timeline_query_error(e: borges_timeline::TimelineError) -> borges_serve::TimelineQueryError {
+    match e.kind() {
+        "unknown_epoch" | "empty" => borges_serve::TimelineQueryError::NotFound(e.to_string()),
+        "invalid_range" => borges_serve::TimelineQueryError::BadRequest(e.to_string()),
+        _ => borges_serve::TimelineQueryError::Internal(e.to_string()),
+    }
+}
+
+impl borges_serve::TimelineBackend for CliTimelineBackend {
+    fn link_count(&self) -> usize {
+        self.timeline.links().len()
+    }
+    fn tip_epoch(&self) -> Option<u64> {
+        self.timeline.tip().map(|l| l.epoch)
+    }
+    fn resolve_at(&self, at: u64) -> Result<u64, borges_serve::TimelineQueryError> {
+        self.timeline
+            .resolve_at(at)
+            .map(|l| l.epoch)
+            .map_err(timeline_query_error)
+    }
+    fn load(&self, epoch: u64) -> Result<Borges, borges_serve::TimelineQueryError> {
+        self.timeline
+            .load_epoch(epoch, self.threads)
+            .map_err(timeline_query_error)
+    }
+    fn history_json(&self, asn: Asn) -> Result<String, borges_serve::TimelineQueryError> {
+        self.timeline
+            .org_lineage(asn)
+            .map(|lineage| lineage.to_json())
+            .map_err(timeline_query_error)
+    }
+    fn diff_json(&self, t1: u64, t2: u64) -> Result<String, borges_serve::TimelineQueryError> {
+        self.timeline
+            .diff(t1, t2)
+            .map(|d| borges_timeline::render_diff_json(t1, t2, &d))
+            .map_err(timeline_query_error)
+    }
+}
+
 fn serve(opts: &Options) -> Result<String, CliError> {
     opts.allow_only(&[
         "data",
@@ -735,6 +962,7 @@ fn serve(opts: &Options) -> Result<String, CliError> {
         "store",
         "access-log",
         "slow-ms",
+        "timeline",
         "v",
         "q",
     ])?;
@@ -881,6 +1109,27 @@ fn serve(opts: &Options) -> Result<String, CliError> {
         }));
     }
 
+    // The chain is opened (and its manifest verified to link up) at
+    // boot; worlds load lazily on the first `?at=` naming their epoch.
+    let timeline_dir = opts.optional("timeline")?.map(String::from);
+    let mut timeline_summary: Option<(usize, Option<u64>)> = None;
+    let timeline_state = match &timeline_dir {
+        None => None,
+        Some(dir) => {
+            let timeline = open_timeline(dir)?;
+            timeline_summary = Some((timeline.links().len(), timeline.tip().map(|l| l.epoch)));
+            narrator.verbose(format!(
+                "timeline {dir} mounted ({} link(s))",
+                timeline.links().len()
+            ));
+            Some(std::sync::Arc::new(borges_serve::TimelineState::new(
+                Box::new(CliTimelineBackend { timeline, threads }),
+                EPOCH_LRU_CAPACITY,
+                lru,
+            )))
+        }
+    };
+
     let config = ServerConfig {
         addr,
         threads,
@@ -889,8 +1138,17 @@ fn serve(opts: &Options) -> Result<String, CliError> {
         slow_ms,
         ..ServerConfig::default()
     };
-    let server =
-        Server::start_with(config, borges, Some(reloader), hooks).map_err(CliError::failed)?;
+    let server = Server::start_with_timeline(config, borges, Some(reloader), hooks, timeline_state)
+        .map_err(CliError::failed)?;
+    if let (Some(dir), Some((links, tip))) = (&timeline_dir, &timeline_summary) {
+        server.record_event(
+            "timeline_mounted",
+            &format!(
+                "{dir}: {links} link(s), tip epoch {}",
+                tip.map(|e| e.to_string()).unwrap_or_else(|| "-".into())
+            ),
+        );
+    }
     // The cold-start outcome lands in the metrics registry (and so the
     // final ledger): attempts, ok, degraded by corruption class, and —
     // explicitly zero on the happy path — whether a recompile ran.
@@ -983,6 +1241,7 @@ fn describe_artifact(info: &borges_store::ArtifactInfo) -> String {
     out.push_str(&format!("  digest          {}\n", info.digest));
     out.push_str(&format!("  format version  {}\n", info.format_version));
     out.push_str(&format!("  schema version  {}\n", info.schema_version));
+    out.push_str(&format!("  epoch           {}\n", info.epoch));
     out.push_str(&format!("  total bytes     {}\n", info.total_len));
     for (name, len) in &info.sections {
         out.push_str(&format!("  section {name:<13} {len:>12} bytes\n"));
@@ -1022,8 +1281,8 @@ fn store_ls(args: &[String]) -> Result<String, CliError> {
         match &entry.info {
             Ok(info) if entry.addressed_correctly() => {
                 out.push_str(&format!(
-                    "{:<72} ok  schema {}  {} bytes\n",
-                    entry.file_name, info.schema_version, info.total_len
+                    "{:<72} ok  schema {}  epoch {}  {} bytes\n",
+                    entry.file_name, info.schema_version, info.epoch, info.total_len
                 ));
             }
             Ok(_) => {
@@ -1062,6 +1321,90 @@ fn store_add(args: &[String]) -> Result<String, CliError> {
     Ok(format!(
         "{}\n",
         borges_store::catalog_path(Path::new(catalog), &digest).display()
+    ))
+}
+
+/// `borges timeline <verify|ls|diff>` — chain tooling over a timeline
+/// directory. Positional operands, same parsing discipline as `store`.
+fn timeline_cmd(args: &[String]) -> Result<String, CliError> {
+    let (action, rest) = match args.split_first() {
+        Some((a, rest)) => (a.as_str(), rest),
+        None => {
+            return Err(CliError::Usage(
+                "timeline needs an action: verify, ls, or diff".to_string(),
+            ))
+        }
+    };
+    match action {
+        "verify" => timeline_verify(rest),
+        "ls" => timeline_ls(rest),
+        "diff" => timeline_diff(rest),
+        other => Err(CliError::Usage(format!(
+            "unknown timeline action {other:?} (expected verify, ls, or diff)"
+        ))),
+    }
+}
+
+fn timeline_verify(args: &[String]) -> Result<String, CliError> {
+    let [dir] = args else {
+        return Err(CliError::Usage(
+            "timeline verify takes exactly one timeline directory".to_string(),
+        ));
+    };
+    let timeline = open_timeline(dir)?;
+    let report = timeline
+        .verify()
+        .map_err(|e| CliError::Failed(format!("{dir}: {e} ({})", e.kind()).into()))?;
+    Ok(format!(
+        "{dir}: ok\n  links   {}\n  worlds  {} verified\n  deltas  {} verified\n",
+        report.links, report.worlds_ok, report.deltas_ok
+    ))
+}
+
+fn timeline_ls(args: &[String]) -> Result<String, CliError> {
+    let [dir] = args else {
+        return Err(CliError::Usage(
+            "timeline ls takes exactly one timeline directory".to_string(),
+        ));
+    };
+    let timeline = open_timeline(dir)?;
+    if timeline.links().is_empty() {
+        return Ok(format!("{dir}: empty timeline\n"));
+    }
+    let mut out = String::new();
+    for link in timeline.links() {
+        out.push_str(&format!(
+            "epoch {:>5}  world {}  delta {}\n",
+            link.epoch,
+            link.world_digest,
+            link.delta_digest.as_deref().unwrap_or("-")
+        ));
+    }
+    Ok(out)
+}
+
+fn timeline_diff(args: &[String]) -> Result<String, CliError> {
+    let [dir, raw_t1, raw_t2] = args else {
+        return Err(CliError::Usage(
+            "timeline diff takes a timeline directory and two epochs".to_string(),
+        ));
+    };
+    let parse = |raw: &String| {
+        raw.parse::<u64>().map_err(|_| {
+            CliError::Usage(format!(
+                "invalid epoch {raw:?} (expected a non-negative integer)"
+            ))
+        })
+    };
+    let (t1, t2) = (parse(raw_t1)?, parse(raw_t2)?);
+    let timeline = open_timeline(dir)?;
+    let diff = timeline.diff(t1, t2).map_err(|e| match e.kind() {
+        "invalid_range" | "unknown_epoch" | "empty" => CliError::Usage(format!("{e}")),
+        _ => CliError::Failed(format!("{dir}: {e} ({})", e.kind()).into()),
+    })?;
+    Ok(format!(
+        "{}\n",
+        borges_timeline::render_diff_json(t1, t2, &diff)
     ))
 }
 
@@ -2244,6 +2587,146 @@ mod tests {
             vec!["store", "verify"],
             vec!["store", "ls"],
             vec!["store", "add", "just-one"],
+        ] {
+            let err = run(&args(&bad)).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{bad:?} → {err}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn timeline_subcommand_chains_epochs_and_detects_tampering() {
+        let dir = tmpdir("timeline-cmd");
+        let data = dir.join("world");
+        let evolved = dir.join("world-evolved");
+        run(&args(&[
+            "generate",
+            "--out",
+            data.to_str().unwrap(),
+            "--scale",
+            "tiny",
+            "--seed",
+            "5",
+            "-q",
+        ]))
+        .unwrap();
+        // The same seed plus a scripted acquisition: a before/after
+        // snapshot pair whose only difference is the corporate event.
+        run(&args(&[
+            "generate",
+            "--out",
+            evolved.to_str().unwrap(),
+            "--scale",
+            "tiny",
+            "--seed",
+            "5",
+            "--evolve",
+            "acquisition:cogent:orange",
+            "-q",
+        ]))
+        .unwrap();
+
+        let timeline = dir.join("tl");
+        let state = dir.join("state");
+        let out = run(&args(&[
+            "map",
+            "--data",
+            data.to_str().unwrap(),
+            "--out",
+            dir.join("m0.map").to_str().unwrap(),
+            "--state-out",
+            state.to_str().unwrap(),
+            "--timeline",
+            timeline.to_str().unwrap(),
+            "-q",
+        ]))
+        .unwrap();
+        assert!(out.contains("timeline: epoch 0 appended"), "{out}");
+        let out = run(&args(&[
+            "remap",
+            "--data",
+            evolved.to_str().unwrap(),
+            "--base-state",
+            state.to_str().unwrap(),
+            "--out",
+            dir.join("m1.map").to_str().unwrap(),
+            "--timeline",
+            timeline.to_str().unwrap(),
+            "-q",
+        ]))
+        .unwrap();
+        assert!(out.contains("timeline: epoch 1 appended"), "{out}");
+
+        let tl = timeline.to_str().unwrap();
+        let out = run(&args(&["timeline", "verify", tl])).unwrap();
+        assert!(out.contains(": ok"), "{out}");
+        assert!(out.contains("links   2"), "{out}");
+        assert!(out.contains("worlds  2 verified"), "{out}");
+        assert!(out.contains("deltas  1 verified"), "{out}");
+
+        let out = run(&args(&["timeline", "ls", tl])).unwrap();
+        assert_eq!(out.lines().count(), 2, "{out}");
+        assert!(out.contains("epoch     0"), "{out}");
+        assert!(out.contains("epoch     1"), "{out}");
+        // The genesis link has no delta; the second does.
+        let first = out.lines().next().unwrap();
+        assert!(first.ends_with("delta -"), "{first}");
+
+        // The scripted acquisition merges cogent (AS174) and orange
+        // (AS3215) — the composed diff must say so.
+        let out = run(&args(&["timeline", "diff", tl, "0", "1"])).unwrap();
+        let parsed: serde_json::Value = serde_json::from_str(&out).expect("diff renders JSON");
+        assert_eq!(parsed["t1"], serde_json::json!(0), "{out}");
+        assert_eq!(parsed["empty"], serde_json::json!(false), "{out}");
+        let merges = parsed["merges"].as_array().unwrap();
+        assert!(
+            merges.iter().any(|m| {
+                let frags: Vec<Vec<&str>> = m["fragments"]
+                    .as_array()
+                    .unwrap()
+                    .iter()
+                    .map(|g| {
+                        g.as_array()
+                            .unwrap()
+                            .iter()
+                            .map(|v| v.as_str().unwrap())
+                            .collect()
+                    })
+                    .collect();
+                frags.iter().any(|g| g.contains(&"AS174"))
+                    && frags.iter().any(|g| g.contains(&"AS3215"))
+            }),
+            "{out}"
+        );
+
+        // Backwards range is a usage error, not a crash.
+        let err = run(&args(&["timeline", "diff", tl, "1", "0"])).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+
+        // Flip one byte in a chained world: verify must fail loudly
+        // with the corruption class, and non-zero (Failed, not Usage).
+        let world_file = std::fs::read_dir(timeline.join("worlds"))
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path();
+        let mut bytes = std::fs::read(&world_file).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&world_file, &bytes).unwrap();
+        let err = run(&args(&["timeline", "verify", tl])).unwrap_err();
+        assert!(matches!(err, CliError::Failed(_)), "{err}");
+        assert!(err.to_string().contains("CORRUPT"), "{err}");
+
+        // Usage errors for malformed invocations.
+        for bad in [
+            vec!["timeline"],
+            vec!["timeline", "frobnicate"],
+            vec!["timeline", "verify"],
+            vec!["timeline", "ls"],
+            vec!["timeline", "diff", "just-one"],
+            vec!["timeline", "diff", tl, "zero", "1"],
         ] {
             let err = run(&args(&bad)).unwrap_err();
             assert!(matches!(err, CliError::Usage(_)), "{bad:?} → {err}");

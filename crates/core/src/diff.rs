@@ -36,7 +36,7 @@ pub struct SplitEvent {
 }
 
 /// The full difference between two mappings.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MappingDiff {
     /// Organizations that combined.
     pub merges: Vec<MergeEvent>,
@@ -211,5 +211,85 @@ mod tests {
         let after = m(&[&[1, 2, 9]]);
         let d = diff(&before, &after);
         assert_eq!(d.unchanged_clusters, 0);
+    }
+
+    #[test]
+    fn identity_diff_is_empty_and_equal() {
+        let a = m(&[&[1, 2], &[3, 4, 5], &[9]]);
+        let d = diff(&a, &a.clone());
+        assert!(d.is_empty());
+        assert_eq!(
+            d,
+            MappingDiff {
+                unchanged_clusters: 3,
+                ..Default::default()
+            }
+        );
+    }
+
+    #[test]
+    fn empty_world_against_populated_is_pure_churn() {
+        let empty = AsOrgMapping::default();
+        let populated = m(&[&[1, 2], &[7]]);
+        let grown = diff(&empty, &populated);
+        assert!(grown.merges.is_empty(), "appearing ASNs are not merges");
+        assert!(grown.splits.is_empty());
+        assert_eq!(grown.appeared, vec![Asn::new(1), Asn::new(2), Asn::new(7)]);
+        assert!(grown.disappeared.is_empty());
+        assert_eq!(grown.unchanged_clusters, 0);
+        assert!(!grown.is_empty());
+
+        let shrunk = diff(&populated, &empty);
+        assert!(shrunk.merges.is_empty());
+        assert!(shrunk.splits.is_empty());
+        assert!(shrunk.appeared.is_empty());
+        assert_eq!(
+            shrunk.disappeared,
+            vec![Asn::new(1), Asn::new(2), Asn::new(7)]
+        );
+
+        assert!(diff(&empty, &empty.clone()).is_empty());
+    }
+
+    use proptest::prelude::*;
+
+    fn partition(assign: &[usize]) -> AsOrgMapping {
+        let mut groups: BTreeMap<usize, Vec<Asn>> = BTreeMap::new();
+        for (i, &g) in assign.iter().enumerate() {
+            groups.entry(g).or_default().push(Asn::new(i as u32 + 1));
+        }
+        AsOrgMapping::from_groups(groups.into_values())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        // Swapping the arguments turns every merge into the equal-and-
+        // opposite split (and vice versa), flips appeared/disappeared,
+        // and preserves the unchanged count — diff is an involution up
+        // to renaming the event kinds.
+        #[test]
+        fn merge_and_split_are_symmetric_under_argument_swap(
+            before_assign in prop::collection::vec(0usize..5, 1..16),
+            after_assign in prop::collection::vec(0usize..5, 1..16),
+        ) {
+            let a = partition(&before_assign);
+            let b = partition(&after_assign);
+            let ab = diff(&a, &b);
+            let ba = diff(&b, &a);
+
+            prop_assert_eq!(ab.merges.len(), ba.splits.len());
+            for (merge, split) in ab.merges.iter().zip(&ba.splits) {
+                prop_assert_eq!(merge.after, split.before);
+                prop_assert_eq!(&merge.fragments, &split.pieces);
+            }
+            prop_assert_eq!(ab.splits.len(), ba.merges.len());
+            for (split, merge) in ab.splits.iter().zip(&ba.merges) {
+                prop_assert_eq!(split.before, merge.after);
+                prop_assert_eq!(&split.pieces, &merge.fragments);
+            }
+            prop_assert_eq!(&ab.appeared, &ba.disappeared);
+            prop_assert_eq!(&ab.disappeared, &ba.appeared);
+            prop_assert_eq!(ab.unchanged_clusters, ba.unchanged_clusters);
+        }
     }
 }

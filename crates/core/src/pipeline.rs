@@ -43,7 +43,7 @@ use borges_resilience::{
 use borges_telemetry::{
     CacheReport, CacheStats, CoverageRow, CrawlFunnel, DeltaEdgeRow, DeltaRecordRow, DeltaReport,
     EvidenceSummary, FaviconFunnel, NerFunnel, ResilienceRow, RrFunnel, RunReport, Span, Telemetry,
-    WorkerTiming, RUN_REPORT_SCHEMA,
+    TimelineReport, WorkerTiming, RUN_REPORT_SCHEMA,
 };
 use borges_types::{Asn, AsnInterner, Url};
 use borges_websim::{
@@ -577,6 +577,11 @@ pub struct Borges {
     /// Delta accounting when this pipeline was built incrementally by
     /// [`Borges::remap`]; `None` on full runs.
     pub delta: Option<DeltaStats>,
+    /// Timeline epoch this world was published at; `0` until a timeline
+    /// append stamps it (see [`Borges::set_world_epoch`]). Exported
+    /// through [`Borges::to_world`] so the epoch participates in the
+    /// artifact's content address.
+    world_epoch: u64,
 }
 
 /// Runs `f` as one logical pipeline stage: a child span of `parent` plus
@@ -1403,6 +1408,7 @@ impl Borges {
             web_cache,
             fingerprints,
             delta: None,
+            world_epoch: 0,
         };
         borges.stamp_metrics(tel);
         borges
@@ -1509,6 +1515,7 @@ impl Borges {
             web_cache,
             fingerprints,
             delta: None,
+            world_epoch: 0,
         };
         borges.stamp_metrics(tel);
         borges
@@ -1658,6 +1665,7 @@ impl Borges {
             web_cache: CacheStats::default(),
             fingerprints,
             delta: Some(dstats),
+            world_epoch: 0,
         };
         borges.stamp_metrics(tel);
         borges.stamp_delta_metrics(tel);
@@ -1696,6 +1704,7 @@ impl Borges {
         }
         CompiledWorld {
             state: self.snapshot_state(),
+            epoch: self.world_epoch,
             extras: ServingExtras {
                 oid_w_groups: wire_groups(&self.oid_w_groups),
                 oid_p_groups: wire_groups(&self.oid_p_groups),
@@ -1864,7 +1873,21 @@ impl Borges {
             scrape_stats: (&extras.scrape_stats).into(),
             web_cache: extras.web_cache,
             delta: None,
+            world_epoch: world.epoch,
         })
+    }
+
+    /// The timeline epoch this world was published at; `0` if never
+    /// published.
+    pub fn world_epoch(&self) -> u64 {
+        self.world_epoch
+    }
+
+    /// Stamps the timeline epoch. Called by the timeline layer *before*
+    /// the artifact is encoded, so the epoch participates in the
+    /// content address and survives [`Borges::from_world`].
+    pub fn set_world_epoch(&mut self, epoch: u64) {
+        self.world_epoch = epoch;
     }
 
     /// Stamps the incremental-run reuse accounting as
@@ -2321,6 +2344,9 @@ impl Borges {
                 ner_links: u(segment_edge_count(&self.compiled.na)),
             },
             delta: self.delta_report(),
+            // The pipeline doesn't know about chains; the CLI overwrites
+            // this row after a `--timeline` append.
+            timeline: TimelineReport::default(),
             coverage: vec![
                 coverage_row("crawl", coverage.crawl),
                 coverage_row("notes_aka", coverage.notes_aka),

@@ -367,6 +367,12 @@ pub struct CompiledWorld {
     pub state: SnapshotState,
     /// Everything else a serving pipeline reads.
     pub extras: ServingExtras,
+    /// Timeline epoch this world was published at. `0` for worlds that
+    /// were never appended to a timeline; stamped by the timeline layer
+    /// before the artifact is written, so the epoch participates in the
+    /// content address and a relabeled chain link is detectable.
+    #[serde(default)]
+    pub epoch: u64,
 }
 
 impl CompiledWorld {
@@ -437,6 +443,7 @@ mod tests {
                 ..SnapshotState::default()
             },
             extras: ServingExtras::default(),
+            epoch: 0,
         }
     }
 

@@ -19,6 +19,7 @@ use borges_types::Asn;
 
 use crate::flight::{FlightRecorder, LruOutcome, RequestObservation};
 use crate::http::{json_string, Request, Response};
+use crate::timeline::TimelineState;
 use crate::world::ServingWorld;
 
 /// Everything a read-only handler may consult: the one world the
@@ -37,6 +38,9 @@ pub struct ServeContext<'a> {
     /// The configured `--slow-ms` threshold, the default for
     /// `/v1/admin/debug/slow` when the query names none.
     pub slow_ms: Option<u64>,
+    /// The mounted timeline, when `--timeline` configured one: the
+    /// history/diff endpoints and the `/healthz` timeline field.
+    pub timeline: Option<&'a TimelineState>,
 }
 
 /// Where a request is headed, with path parameters still raw: handlers
@@ -51,6 +55,12 @@ pub enum Route {
     Org(String),
     /// `GET /v1/evidence/{a}/{b}` — which features link two ASNs.
     Evidence(String, String),
+    /// `GET /v1/org/{asn}/history` — the ASN's organization lineage
+    /// across the mounted timeline.
+    History(String),
+    /// `GET /v1/diff/{t1}/{t2}` — what moved between two timeline
+    /// epochs.
+    DiffEpochs(String, String),
     /// `GET /v1/coverage` — the pipeline's evidence-coverage ledger.
     Coverage,
     /// `GET /healthz` — liveness plus world epoch.
@@ -69,8 +79,9 @@ pub enum Route {
     DebugSlow,
     /// `GET /v1/admin/debug/events` — the world-event journal.
     DebugEvents,
-    /// Known path, wrong method.
-    MethodNotAllowed,
+    /// Known path, wrong method; carries the method the path accepts
+    /// (the 405 response's `Allow` header).
+    MethodNotAllowed(&'static str),
     /// No such route.
     NotFound,
 }
@@ -82,6 +93,8 @@ impl Route {
             Route::Map(_) => "map",
             Route::Org(_) => "org",
             Route::Evidence(_, _) => "evidence",
+            Route::History(_) => "org_history",
+            Route::DiffEpochs(_, _) => "diff",
             Route::Coverage => "coverage",
             Route::Healthz => "healthz",
             Route::Metrics => "metrics",
@@ -90,7 +103,7 @@ impl Route {
             Route::DebugRequests => "debug_requests",
             Route::DebugSlow => "debug_slow",
             Route::DebugEvents => "debug_events",
-            Route::MethodNotAllowed | Route::NotFound => "other",
+            Route::MethodNotAllowed(_) | Route::NotFound => "other",
         }
     }
 }
@@ -105,8 +118,10 @@ pub fn route(req: &Request) -> Route {
         ["metrics"] if get => Route::Metrics,
         ["v1", "coverage"] if get => Route::Coverage,
         ["v1", "map", asn] if get => Route::Map((*asn).to_string()),
+        ["v1", "org", org, "history"] if get => Route::History((*org).to_string()),
         ["v1", "org", org] if get => Route::Org((*org).to_string()),
         ["v1", "evidence", a, b] if get => Route::Evidence((*a).to_string(), (*b).to_string()),
+        ["v1", "diff", t1, t2] if get => Route::DiffEpochs((*t1).to_string(), (*t2).to_string()),
         ["v1", "admin", "reload"] if post => Route::AdminReload,
         ["v1", "admin", "shutdown"] if post => Route::AdminShutdown,
         ["v1", "admin", "debug", "requests"] if get => Route::DebugRequests,
@@ -116,13 +131,14 @@ pub fn route(req: &Request) -> Route {
         | ["metrics"]
         | ["v1", "coverage"]
         | ["v1", "map", _]
+        | ["v1", "org", _, "history"]
         | ["v1", "org", _]
         | ["v1", "evidence", _, _]
-        | ["v1", "admin", "reload"]
-        | ["v1", "admin", "shutdown"]
+        | ["v1", "diff", _, _]
         | ["v1", "admin", "debug", "requests"]
         | ["v1", "admin", "debug", "slow"]
-        | ["v1", "admin", "debug", "events"] => Route::MethodNotAllowed,
+        | ["v1", "admin", "debug", "events"] => Route::MethodNotAllowed("GET"),
+        ["v1", "admin", "reload"] | ["v1", "admin", "shutdown"] => Route::MethodNotAllowed("POST"),
         _ => Route::NotFound,
     }
 }
@@ -206,10 +222,23 @@ pub fn respond(
             // are written at accept/dequeue time — before any handler
             // runs — so an identical request sequence reads identical
             // values at any worker count.
+            // The timeline field appears only when one is mounted, so
+            // timeline-less deployments keep their pinned bytes.
+            let timeline = match ctx.timeline {
+                None => String::new(),
+                Some(state) => format!(
+                    ",\"timeline\":{{\"links\":{},\"tip\":{}}}",
+                    state.backend().link_count(),
+                    match state.backend().tip_epoch() {
+                        Some(epoch) => epoch.to_string(),
+                        None => "null".to_string(),
+                    }
+                ),
+            };
             Response::json(
                 200,
                 format!(
-                    "{{\"status\":\"ok\",\"epoch\":{},\"asns\":{},\"world_digest\":\"{}\",\"store_schema\":{},\"workers\":{},\"accepted\":{},\"served\":{},\"shed\":{}}}",
+                    "{{\"status\":\"ok\",\"epoch\":{},\"asns\":{},\"world_digest\":\"{}\",\"store_schema\":{},\"workers\":{},\"accepted\":{},\"served\":{},\"shed\":{}{}}}",
                     world.epoch,
                     world.borges.universe_len(),
                     world.digest,
@@ -218,6 +247,7 @@ pub fn respond(
                     metrics.counter_value("borges_serve_accepted_total"),
                     metrics.counter_value("borges_serve_served_total"),
                     metrics.counter_value("borges_serve_shed_total"),
+                    timeline,
                 ),
             )
         }
@@ -302,10 +332,16 @@ pub fn respond(
         Route::Map(raw) => handle_map(raw, req, world, metrics, obs),
         Route::Org(raw) => handle_org(raw, req, world, metrics, obs),
         Route::Evidence(raw_a, raw_b) => handle_evidence(raw_a, raw_b, world, metrics, obs),
+        Route::History(raw) => handle_history(raw, ctx),
+        Route::DiffEpochs(raw_t1, raw_t2) => handle_diff(raw_t1, raw_t2, ctx),
         Route::AdminReload | Route::AdminShutdown => {
             Response::error(500, "admin route reached read-only handler")
         }
-        Route::MethodNotAllowed => Response::error(405, "method not allowed"),
+        Route::MethodNotAllowed(allow) => {
+            let mut response = Response::error(405, "method not allowed");
+            response.allow = Some(allow);
+            response
+        }
         Route::NotFound => Response::error(404, "no such route"),
     }
 }
@@ -439,6 +475,46 @@ fn handle_evidence(
     )
 }
 
+fn handle_history(raw: &str, ctx: &ServeContext<'_>) -> Response {
+    let Some(state) = ctx.timeline else {
+        return Response::error(501, "no timeline configured");
+    };
+    let asn = match parse_asn(raw) {
+        Ok(asn) => asn,
+        Err(resp) => return resp,
+    };
+    match state.backend().history_json(asn) {
+        Ok(body) => Response::json(200, body),
+        Err(err) => err.to_response(),
+    }
+}
+
+fn handle_diff(raw_t1: &str, raw_t2: &str, ctx: &ServeContext<'_>) -> Response {
+    let Some(state) = ctx.timeline else {
+        return Response::error(501, "no timeline configured");
+    };
+    let parse_epoch = |raw: &str| {
+        raw.parse::<u64>().map_err(|_| {
+            Response::error(
+                400,
+                &format!("invalid epoch {raw:?} (expected a non-negative integer)"),
+            )
+        })
+    };
+    let t1 = match parse_epoch(raw_t1) {
+        Ok(t) => t,
+        Err(resp) => return resp,
+    };
+    let t2 = match parse_epoch(raw_t2) {
+        Ok(t) => t,
+        Err(resp) => return resp,
+    };
+    match state.backend().diff_json(t1, t2) {
+        Ok(body) => Response::json(200, body),
+        Err(err) => err.to_response(),
+    }
+}
+
 /// An org is an anonymous cluster; its stable public name is the lowest
 /// member ASN.
 fn org_name(asn: Asn, siblings: &[Asn]) -> Asn {
@@ -480,6 +556,14 @@ mod tests {
             route(&get("/v1/evidence/AS1/AS2")),
             Route::Evidence("AS1".into(), "AS2".into())
         );
+        assert_eq!(
+            route(&get("/v1/org/AS174/history")),
+            Route::History("AS174".into())
+        );
+        assert_eq!(
+            route(&get("/v1/diff/0/2")),
+            Route::DiffEpochs("0".into(), "2".into())
+        );
         assert_eq!(route(&get("/nope")), Route::NotFound);
         assert_eq!(route(&get("/v1/map")), Route::NotFound);
         assert_eq!(route(&get("/v1/map/AS1/extra")), Route::NotFound);
@@ -499,7 +583,7 @@ mod tests {
         assert_eq!(route(&get("/v1/admin/debug/other")), Route::NotFound);
         let mut post = get("/v1/admin/debug/requests");
         post.method = "POST".to_string();
-        assert_eq!(route(&post), Route::MethodNotAllowed);
+        assert_eq!(route(&post), Route::MethodNotAllowed("GET"));
         assert_eq!(Route::DebugRequests.label(), "debug_requests");
         assert_eq!(Route::DebugSlow.label(), "debug_slow");
         assert_eq!(Route::DebugEvents.label(), "debug_events");
@@ -509,10 +593,10 @@ mod tests {
     fn wrong_method_is_distinguished_from_wrong_path() {
         let mut post = get("/healthz");
         post.method = "POST".to_string();
-        assert_eq!(route(&post), Route::MethodNotAllowed);
+        assert_eq!(route(&post), Route::MethodNotAllowed("GET"));
 
         let mut reload_get = get("/v1/admin/reload");
-        assert_eq!(route(&reload_get), Route::MethodNotAllowed);
+        assert_eq!(route(&reload_get), Route::MethodNotAllowed("POST"));
         reload_get.method = "POST".to_string();
         assert_eq!(route(&reload_get), Route::AdminReload);
     }
@@ -530,6 +614,9 @@ mod tests {
     fn route_labels_are_stable() {
         assert_eq!(Route::Map("x".into()).label(), "map");
         assert_eq!(Route::Metrics.label(), "metrics");
+        assert_eq!(Route::History("x".into()).label(), "org_history");
+        assert_eq!(Route::DiffEpochs("0".into(), "1".into()).label(), "diff");
+        assert_eq!(Route::MethodNotAllowed("GET").label(), "other");
         assert_eq!(Route::NotFound.label(), "other");
     }
 }

@@ -220,6 +220,9 @@ pub struct Response {
     pub body: Vec<u8>,
     /// `Retry-After` seconds (503 shedding only).
     pub retry_after: Option<u32>,
+    /// `Allow` header value (405 responses only): the method the
+    /// routed path accepts.
+    pub allow: Option<&'static str>,
     /// Echoed as `x-borges-request-id`. Ids are schedule-dependent
     /// (monotone per worker), so this header — and only this header —
     /// is excluded from byte-determinism comparisons; see
@@ -235,6 +238,7 @@ impl Response {
             content_type: "application/json",
             body: body.into(),
             retry_after: None,
+            allow: None,
             request_id: None,
         }
     }
@@ -246,6 +250,7 @@ impl Response {
             content_type: "text/plain; version=0.0.4",
             body: body.into(),
             retry_after: None,
+            allow: None,
             request_id: None,
         }
     }
@@ -286,6 +291,9 @@ impl Response {
             self.content_type,
             self.body.len()
         )?;
+        if let Some(allow) = self.allow {
+            write!(writer, "Allow: {allow}\r\n")?;
+        }
         if let Some(id) = &self.request_id {
             write!(writer, "x-borges-request-id: {id}\r\n")?;
         }
@@ -466,6 +474,25 @@ mod tests {
             text,
             "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: 2\r\n\
              Connection: close\r\nx-borges-request-id: w2-17\r\nRetry-After: 1\r\n\r\n{}"
+        );
+    }
+
+    #[test]
+    fn allow_header_rides_first_after_connection() {
+        let mut out = Vec::new();
+        Response {
+            allow: Some("GET"),
+            request_id: Some("w0-1".to_string()),
+            ..Response::error(405, "method not allowed")
+        }
+        .write_to(&mut out)
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(
+            text,
+            "HTTP/1.1 405 Method Not Allowed\r\nContent-Type: application/json\r\n\
+             Content-Length: 30\r\nConnection: close\r\nAllow: GET\r\n\
+             x-borges-request-id: w0-1\r\n\r\n{\"error\":\"method not allowed\"}"
         );
     }
 

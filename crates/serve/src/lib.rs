@@ -19,6 +19,11 @@
 //!   `503` + `Retry-After` load shedding, zero-downtime reload, and a
 //!   graceful drain; the ledger `shed + served == accepted` holds at
 //!   quiescence.
+//! - [`timeline`] — time-travel serving: an injected
+//!   [`TimelineBackend`](timeline::TimelineBackend) (the CLI wraps
+//!   `borges_timeline::Timeline`) plus an epoch-keyed LRU of loaded
+//!   worlds, behind `?at=`, `/v1/org/{asn}/history`, and
+//!   `/v1/diff/{t1}/{t2}`.
 //! - [`client`] — the loopback test client the integration tests,
 //!   benches, and smoke checks drive the server with.
 //!
@@ -35,9 +40,11 @@ pub mod flight;
 pub mod handlers;
 pub mod http;
 pub mod server;
+pub mod timeline;
 pub mod world;
 
 pub use client::{ClientResponse, ServeClient};
 pub use flight::{FlightRecorder, LruOutcome, RequestObservation, ServeEvent};
 pub use server::{RecordHook, Reloader, Server, ServerConfig, ServerHooks, ShutdownHandle};
+pub use timeline::{TimelineBackend, TimelineQueryError, TimelineState};
 pub use world::{MappingCache, ServingWorld};

@@ -56,6 +56,7 @@ use parking_lot::Mutex;
 use crate::flight::{FlightRecorder, RequestObservation};
 use crate::handlers::{self, Route, ServeContext};
 use crate::http::{parse_request, Request, Response};
+use crate::timeline::TimelineState;
 use crate::world::ServingWorld;
 
 /// How a server should run. `Default` gives a loopback ephemeral port,
@@ -134,6 +135,9 @@ struct Shared {
     recorder: FlightRecorder,
     hooks: ServerHooks,
     slow_ms: Option<u64>,
+    /// The mounted timeline, when `--timeline` configured one: `?at=`
+    /// resolution, the history/diff endpoints, and the epoch LRU.
+    timeline: Option<Arc<TimelineState>>,
     /// Connections currently sitting in the accept queue (incremented
     /// on enqueue, decremented on dequeue) — the `queue_depth` an
     /// access record reports is this value at its accept.
@@ -298,6 +302,19 @@ impl Server {
         reloader: Option<Reloader>,
         hooks: ServerHooks,
     ) -> std::io::Result<Server> {
+        Server::start_with_timeline(config, borges, reloader, hooks, None)
+    }
+
+    /// [`Server::start_with`] plus a mounted timeline: `?at=` queries,
+    /// `/v1/org/{asn}/history`, and `/v1/diff/{t1}/{t2}` answer from
+    /// it; without one those paths answer 501.
+    pub fn start_with_timeline(
+        config: ServerConfig,
+        borges: Borges,
+        reloader: Option<Reloader>,
+        hooks: ServerHooks,
+        timeline: Option<Arc<TimelineState>>,
+    ) -> std::io::Result<Server> {
         if config.threads == 0 {
             return Err(invalid("threads must be >= 1"));
         }
@@ -306,13 +323,17 @@ impl Server {
         }
         let listener = TcpListener::bind(&config.addr)?;
         let local_addr = listener.local_addr()?;
-        let boot = Arc::new(ServingWorld::new(borges, config.lru_capacity, 0));
+        // The boot world keeps the epoch its artifact carries (a
+        // timeline world serves its chain epoch, not a hardcoded 0),
+        // so serving an epoch directly and via `?at=` agree bytewise.
+        let boot_epoch = borges.world_epoch();
+        let boot = Arc::new(ServingWorld::new(borges, config.lru_capacity, boot_epoch));
         let metrics = MetricsRegistry::new();
         stamp_world_digest(&metrics, &boot);
         let recorder = FlightRecorder::new(config.recorder_capacity);
         recorder.record_event(
             "world_installed",
-            &format!("epoch 0 installed, digest {}", boot.digest),
+            &format!("epoch {boot_epoch} installed, digest {}", boot.digest),
         );
         let shared = Arc::new(Shared {
             world: Mutex::new(boot),
@@ -327,6 +348,7 @@ impl Server {
             recorder,
             hooks,
             slow_ms: config.slow_ms,
+            timeline,
             queued: AtomicUsize::new(0),
         });
 
@@ -705,17 +727,51 @@ fn handle_connection(shared: &Shared, stream: &TcpStream, id: &str, queue_depth:
             Action::Shutdown,
         ),
         ref route => {
-            let ctx = ServeContext {
-                world: &world,
-                metrics: &shared.metrics,
-                workers: shared.workers,
-                recorder: &shared.recorder,
-                slow_ms: shared.slow_ms,
-            };
-            (
-                handlers::respond(route, &request, &ctx, &mut obs),
-                Action::None,
-            )
+            // `?at=` re-pins the request to a timeline epoch's world
+            // *before* the handler runs, so everything downstream —
+            // handler, access record, world digest — sees exactly one
+            // world, same as a live request.
+            let mut early: Option<Response> = None;
+            if matches!(route, Route::Map(_)) {
+                if let Some(raw_at) = request.query.get("at") {
+                    match raw_at.parse::<u64>() {
+                        Err(_) => {
+                            early = Some(Response::error(
+                                400,
+                                &format!(
+                                    "invalid at {raw_at:?} (expected a non-negative integer epoch)"
+                                ),
+                            ))
+                        }
+                        Ok(at) => match &shared.timeline {
+                            None => early = Some(Response::error(501, "no timeline configured")),
+                            Some(state) => {
+                                match state.world_at(at, &shared.metrics, &shared.recorder) {
+                                    Ok(epoch_world) => world = epoch_world,
+                                    Err(err) => early = Some(err.to_response()),
+                                }
+                            }
+                        },
+                    }
+                }
+            }
+            match early {
+                Some(response) => (response, Action::None),
+                None => {
+                    let ctx = ServeContext {
+                        world: &world,
+                        metrics: &shared.metrics,
+                        workers: shared.workers,
+                        recorder: &shared.recorder,
+                        slow_ms: shared.slow_ms,
+                        timeline: shared.timeline.as_deref(),
+                    };
+                    (
+                        handlers::respond(route, &request, &ctx, &mut obs),
+                        Action::None,
+                    )
+                }
+            }
         }
     };
     response.request_id = Some(id.to_string());

@@ -1,0 +1,245 @@
+//! Time-travel serving: an injected timeline backend plus an
+//! epoch-keyed LRU of loaded worlds.
+//!
+//! The serve crate stays IO-free (the same discipline as
+//! [`crate::server::Reloader`]): the CLI injects a [`TimelineBackend`]
+//! that knows how to resolve and load chain epochs, and this module
+//! owns the serving-side policy — which epochs stay resident
+//! ([`TimelineState`]'s LRU), how loads are counted
+//! (`borges_timeline_*` metrics), and how backend failures map onto
+//! HTTP statuses.
+//!
+//! ## Contracts
+//!
+//! * **Never mixed**: a `?at=` request pins exactly one epoch's
+//!   [`ServingWorld`] for everything it reads, same as a live request
+//!   pins the current world.
+//! * **Byte determinism**: a loaded epoch world is built from the
+//!   artifact alone, and its serving epoch is the artifact's stamped
+//!   epoch — so a `?at=e` response is byte-identical to serving that
+//!   epoch's world directly, across worker counts and LRU evictions.
+
+use std::sync::Arc;
+
+use borges_core::Borges;
+use borges_telemetry::MetricsRegistry;
+use parking_lot::Mutex;
+
+use crate::flight::FlightRecorder;
+use crate::http::Response;
+use crate::world::ServingWorld;
+
+/// Why a timeline query failed, already sorted by blame: the request
+/// ([`BadRequest`](TimelineQueryError::BadRequest)), the chain's extent
+/// ([`NotFound`](TimelineQueryError::NotFound)), or the timeline itself
+/// ([`Internal`](TimelineQueryError::Internal) — corruption or IO, the
+/// backend's typed kinds flattened into the detail string).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TimelineQueryError {
+    /// The request names an epoch/range the chain cannot answer → 404.
+    NotFound(String),
+    /// The request itself is malformed (e.g. a backwards range) → 400.
+    BadRequest(String),
+    /// The timeline is broken or unreadable → 500.
+    Internal(String),
+}
+
+impl TimelineQueryError {
+    /// The HTTP response this failure answers with.
+    pub fn to_response(&self) -> Response {
+        match self {
+            TimelineQueryError::NotFound(detail) => Response::error(404, detail),
+            TimelineQueryError::BadRequest(detail) => Response::error(400, detail),
+            TimelineQueryError::Internal(detail) => Response::error(500, detail),
+        }
+    }
+}
+
+/// What the CLI injects: resolution, loading, and the two rendered
+/// query bodies. Implementations wrap `borges_timeline::Timeline`; the
+/// serve crate deliberately does not depend on that crate (or any
+/// file IO) itself.
+pub trait TimelineBackend: Send + Sync {
+    /// Number of links in the chain.
+    fn link_count(&self) -> usize;
+    /// The newest epoch, if the chain is non-empty.
+    fn tip_epoch(&self) -> Option<u64>;
+    /// Floor-resolves `?at=` to a chain epoch.
+    fn resolve_at(&self, at: u64) -> Result<u64, TimelineQueryError>;
+    /// Loads the world at exactly `epoch` (verifying it against the
+    /// chain) as a serving-ready pipeline.
+    fn load(&self, epoch: u64) -> Result<Borges, TimelineQueryError>;
+    /// The deterministic `/v1/org/{asn}/history` body.
+    fn history_json(&self, asn: borges_types::Asn) -> Result<String, TimelineQueryError>;
+    /// The deterministic `/v1/diff/{t1}/{t2}` body.
+    fn diff_json(&self, t1: u64, t2: u64) -> Result<String, TimelineQueryError>;
+}
+
+/// The serving side of a mounted timeline: the backend plus a bounded,
+/// epoch-keyed LRU of loaded worlds (most-recently-used first).
+/// Capacity 0 disables residency — every `?at=` load is a miss.
+pub struct TimelineState {
+    backend: Box<dyn TimelineBackend>,
+    cache: Mutex<Vec<(u64, Arc<ServingWorld>)>>,
+    capacity: usize,
+    /// Mapping-LRU capacity handed to each loaded epoch world.
+    lru_capacity: usize,
+}
+
+impl TimelineState {
+    /// Mounts `backend`, keeping at most `capacity` epoch worlds
+    /// resident; each gets a mapping LRU of `lru_capacity`.
+    pub fn new(
+        backend: Box<dyn TimelineBackend>,
+        capacity: usize,
+        lru_capacity: usize,
+    ) -> TimelineState {
+        TimelineState {
+            backend,
+            cache: Mutex::new(Vec::new()),
+            capacity,
+            lru_capacity,
+        }
+    }
+
+    /// The injected backend (history/diff queries go straight to it).
+    pub fn backend(&self) -> &dyn TimelineBackend {
+        self.backend.as_ref()
+    }
+
+    /// Number of epoch worlds currently resident.
+    pub fn resident(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// Resolves `?at=` and returns that epoch's world, loading and
+    /// caching it on a miss. Loading runs *outside* the cache lock;
+    /// two racing misses on one epoch both load, and whichever inserts
+    /// second adopts the first's world — harmless, because loads are
+    /// deterministic.
+    pub fn world_at(
+        &self,
+        at: u64,
+        metrics: &MetricsRegistry,
+        recorder: &FlightRecorder,
+    ) -> Result<Arc<ServingWorld>, TimelineQueryError> {
+        let epoch = self.backend.resolve_at(at)?;
+        if self.capacity > 0 {
+            let mut cache = self.cache.lock();
+            if let Some(pos) = cache.iter().position(|(e, _)| *e == epoch) {
+                let entry = cache.remove(pos);
+                let world = entry.1.clone();
+                cache.insert(0, entry);
+                drop(cache);
+                metrics.counter("borges_timeline_lru_hits_total", 1);
+                return Ok(world);
+            }
+        }
+        metrics.counter("borges_timeline_lru_misses_total", 1);
+        let borges = self.backend.load(epoch)?;
+        // The serving epoch is the artifact's stamped epoch, so the
+        // body is byte-identical to serving that artifact directly.
+        let world = Arc::new(ServingWorld::new(borges, self.lru_capacity, epoch));
+        metrics.counter("borges_timeline_epoch_loads_total", 1);
+        recorder.record_event(
+            "timeline_epoch_load",
+            &format!("epoch {epoch} loaded, digest {}", world.digest),
+        );
+        if self.capacity > 0 {
+            let mut cache = self.cache.lock();
+            if let Some(pos) = cache.iter().position(|(e, _)| *e == epoch) {
+                // A racer beat us; adopt its world so at most one
+                // instance of an epoch is ever resident.
+                let entry = cache.remove(pos);
+                let world = entry.1.clone();
+                cache.insert(0, entry);
+                return Ok(world);
+            }
+            cache.insert(0, (epoch, world.clone()));
+            if cache.len() > self.capacity {
+                if let Some((evicted, _)) = cache.pop() {
+                    metrics.counter("borges_timeline_lru_evictions_total", 1);
+                    recorder.record_event(
+                        "timeline_epoch_evict",
+                        &format!("epoch {evicted} evicted from the epoch cache"),
+                    );
+                }
+            }
+        }
+        Ok(world)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A backend that refuses everything — enough to exercise the
+    /// error plumbing without a real chain (integration tests drive
+    /// the real `borges_timeline::Timeline` through the CLI adapter).
+    struct EmptyBackend;
+
+    impl TimelineBackend for EmptyBackend {
+        fn link_count(&self) -> usize {
+            0
+        }
+        fn tip_epoch(&self) -> Option<u64> {
+            None
+        }
+        fn resolve_at(&self, _at: u64) -> Result<u64, TimelineQueryError> {
+            Err(TimelineQueryError::NotFound("timeline has no links".into()))
+        }
+        fn load(&self, _epoch: u64) -> Result<Borges, TimelineQueryError> {
+            Err(TimelineQueryError::Internal("no worlds".into()))
+        }
+        fn history_json(&self, _asn: borges_types::Asn) -> Result<String, TimelineQueryError> {
+            Err(TimelineQueryError::NotFound("timeline has no links".into()))
+        }
+        fn diff_json(&self, t1: u64, t2: u64) -> Result<String, TimelineQueryError> {
+            if t1 > t2 {
+                return Err(TimelineQueryError::BadRequest(format!(
+                    "invalid range: t1 {t1} > t2 {t2}"
+                )));
+            }
+            Err(TimelineQueryError::NotFound("timeline has no links".into()))
+        }
+    }
+
+    #[test]
+    fn query_errors_map_to_statuses() {
+        assert_eq!(
+            TimelineQueryError::NotFound("x".into())
+                .to_response()
+                .status,
+            404
+        );
+        assert_eq!(
+            TimelineQueryError::BadRequest("x".into())
+                .to_response()
+                .status,
+            400
+        );
+        assert_eq!(
+            TimelineQueryError::Internal("x".into())
+                .to_response()
+                .status,
+            500
+        );
+    }
+
+    #[test]
+    fn empty_backend_resolution_is_a_404_and_nothing_is_cached() {
+        let state = TimelineState::new(Box::new(EmptyBackend), 4, 4);
+        let metrics = MetricsRegistry::new();
+        let recorder = FlightRecorder::new(8);
+        let err = match state.world_at(0, &metrics, &recorder) {
+            Ok(_) => panic!("an empty backend must not resolve"),
+            Err(err) => err,
+        };
+        assert_eq!(err.to_response().status, 404);
+        assert_eq!(state.resident(), 0);
+        assert_eq!(metrics.counter_value("borges_timeline_lru_misses_total"), 0);
+        assert_eq!(state.backend().link_count(), 0);
+        assert_eq!(state.backend().tip_epoch(), None);
+    }
+}

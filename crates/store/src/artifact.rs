@@ -30,6 +30,11 @@ const SECTION_SERVING: &str = "serving";
 #[derive(Serialize, Deserialize)]
 struct MetaSection {
     inner_schema: String,
+    /// Timeline epoch of the captured world; `0` when the world was
+    /// never published to a timeline. `default` keeps pre-epoch
+    /// artifacts decodable.
+    #[serde(default)]
+    epoch: u64,
 }
 
 #[derive(Serialize, Deserialize)]
@@ -78,6 +83,9 @@ pub struct ArtifactInfo {
     pub format_version: u32,
     /// World payload schema version.
     pub schema_version: u32,
+    /// Timeline epoch recorded in the meta section (`0` if the world
+    /// was never published to a timeline).
+    pub epoch: u64,
     /// `(name, payload bytes)` per section, in file order.
     pub sections: Vec<(String, u64)>,
     /// Total artifact size in bytes.
@@ -97,6 +105,7 @@ pub fn encode_world(world: &CompiledWorld) -> Vec<u8> {
             name: SECTION_META.into(),
             payload: json(&MetaSection {
                 inner_schema: state.schema.clone(),
+                epoch: world.epoch,
             }),
         },
         Section {
@@ -183,6 +192,7 @@ pub fn decode_world(bytes: &[u8]) -> Result<LoadedWorld, StoreError> {
     let extras: ServingExtras = section(&container, SECTION_SERVING)?;
 
     let world = CompiledWorld {
+        epoch: meta.epoch,
         state: SnapshotState {
             schema: meta.inner_schema,
             slots,
@@ -242,6 +252,7 @@ pub fn verify_artifact(path: &Path) -> Result<ArtifactInfo, StoreError> {
         digest: sha256::hex(&container.digest),
         format_version: container.format_version,
         schema_version: container.schema_version,
+        epoch: 0,
         sections: container
             .sections
             .iter()
@@ -251,6 +262,9 @@ pub fn verify_artifact(path: &Path) -> Result<ArtifactInfo, StoreError> {
     };
     // Also run the semantic decode so `store verify` catches a
     // well-checksummed file whose payload is nonsense.
-    decode_world(&bytes)?;
-    Ok(info)
+    let loaded = decode_world(&bytes)?;
+    Ok(ArtifactInfo {
+        epoch: loaded.world.epoch,
+        ..info
+    })
 }

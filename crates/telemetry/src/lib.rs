@@ -37,7 +37,7 @@ pub use metrics::{
 pub use report::{
     BreakerEvent, CacheReport, CacheStats, CoverageRow, CrawlFunnel, DeltaEdgeRow, DeltaRecordRow,
     DeltaReport, EvidenceSummary, FaviconFunnel, NerFunnel, ResilienceRow, RrFunnel, RunReport,
-    WorkerTiming, RUN_REPORT_SCHEMA,
+    TimelineReport, WorkerTiming, RUN_REPORT_SCHEMA,
 };
 pub use span::{
     canonicalize, to_jsonl, CanonicalSpan, Span, SpanField, SpanKind, SpanRecord, TraceSink,

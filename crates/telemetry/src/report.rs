@@ -202,6 +202,20 @@ impl DeltaReport {
     }
 }
 
+/// The timeline row group: which chain link this run appended, when a
+/// `--timeline` directory was mounted. Inert default otherwise, and
+/// `#[serde(default)]` on the way in, so pre-timeline v2 ledgers still
+/// parse and the shape stays identical across runs.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimelineReport {
+    /// Whether this run appended a link to a timeline chain.
+    pub appended: bool,
+    /// Chain epoch of the appended link (0 when not appended).
+    pub epoch: u64,
+    /// Content digest of the appended world (empty when not appended).
+    pub world_digest: String,
+}
+
 /// One row of the per-feature coverage ledger.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct CoverageRow {
@@ -337,6 +351,9 @@ pub struct RunReport {
     pub evidence: EvidenceSummary,
     /// Incremental-remap delta accounting (inert default on full runs).
     pub delta: DeltaReport,
+    /// Timeline chain accounting (inert default without `--timeline`).
+    #[serde(default)]
+    pub timeline: TimelineReport,
     /// Per-feature coverage ledger.
     pub coverage: Vec<CoverageRow>,
     /// Per-boundary retry/breaker accounting.
@@ -489,6 +506,7 @@ mod tests {
             "\"favicon\"",
             "\"evidence\"",
             "\"delta\"",
+            "\"timeline\"",
             "\"coverage\"",
             "\"resilience\"",
             "\"caches\"",
@@ -503,6 +521,22 @@ mod tests {
                 .unwrap_or_else(|| panic!("{key} missing or out of order"));
             last += at;
         }
+    }
+
+    #[test]
+    fn pre_timeline_reports_still_parse() {
+        // A v2 ledger written before the timeline row group existed
+        // has no "timeline" key; it must deserialize to the inert
+        // default, not fail.
+        let mut json = sample().to_json_pretty();
+        let start = json
+            .find("  \"timeline\": {")
+            .expect("timeline group present");
+        let end = json[start..].find("},\n").expect("group closes") + start + 3;
+        json.replace_range(start..end, "");
+        let back = RunReport::from_json(&json).unwrap();
+        assert_eq!(back.timeline, TimelineReport::default());
+        assert!(!back.timeline.appended);
     }
 
     #[test]

@@ -1,0 +1,317 @@
+//! Organization lineage: one ASN's history across the chain.
+//!
+//! The paper's discussion (§7) regrets that single-snapshot methods
+//! cannot show organizational motion — acquisitions, rebrandings,
+//! spinoffs. A timeline *can*: walking the chain and classifying each
+//! epoch transition with [`borges_core::diff`] yields a per-ASN
+//! storyline ("absorbed two fragments at epoch 3, spun off at epoch 5")
+//! that the serve layer exposes as `/v1/org/{asn}/history`.
+
+use borges_core::diff::MappingDiff;
+use borges_core::mapping::AsOrgMapping;
+use borges_types::Asn;
+
+/// What happened to the ASN's organization at one epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineageStep {
+    /// The chain epoch this step describes.
+    pub epoch: u64,
+    /// Event kind: `genesis`, `appeared`, `disappeared`, `absent`,
+    /// `merged`, `split`, `reshuffled`, `membership`, or `unchanged`.
+    pub kind: &'static str,
+    /// The organization's anchor (lowest member ASN) at this epoch, if
+    /// the ASN is mapped.
+    pub org: Option<u32>,
+    /// Sorted members of the organization at this epoch (empty when
+    /// the ASN is unmapped).
+    pub members: Vec<u32>,
+    /// For `merged`/`reshuffled`: the absorbed fragments. For `split`:
+    /// the scattered pieces. Empty otherwise.
+    pub detail: Vec<Vec<u32>>,
+}
+
+/// An ASN's full history across the chain, oldest epoch first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrgLineage {
+    /// The ASN the lineage follows.
+    pub asn: u32,
+    /// One step per chain link, in epoch order.
+    pub steps: Vec<LineageStep>,
+}
+
+/// Classifies what happened to `asn` at one epoch transition. `prev`
+/// is `None` only for the genesis link; `d` must be `diff(prev, cur)`
+/// when `prev` is present.
+pub fn classify(
+    epoch: u64,
+    prev: Option<&AsOrgMapping>,
+    cur: &AsOrgMapping,
+    d: Option<&MappingDiff>,
+    asn: Asn,
+) -> LineageStep {
+    let members: Vec<u32> = cur.siblings_of(asn).iter().map(|a| a.value()).collect();
+    let org = members.first().copied();
+    let in_cur = org.is_some();
+
+    let (kind, detail) = match prev {
+        None => (if in_cur { "genesis" } else { "absent" }, Vec::new()),
+        Some(p) => {
+            let in_prev = p.cluster_of(asn).is_some();
+            match (in_prev, in_cur) {
+                (false, false) => ("absent", Vec::new()),
+                (false, true) => ("appeared", Vec::new()),
+                (true, false) => ("disappeared", Vec::new()),
+                (true, true) => {
+                    let d = d.expect("diff accompanies a non-genesis step");
+                    let cur_id = cur.cluster_of(asn).expect("asn is in cur");
+                    let prev_id = p.cluster_of(asn).expect("asn is in prev");
+                    let merged = d.merges.iter().find(|m| m.after == cur_id);
+                    let split = d.splits.iter().find(|s| s.before == prev_id);
+                    let flatten = |groups: &[Vec<Asn>]| {
+                        groups
+                            .iter()
+                            .map(|g| g.iter().map(|a| a.value()).collect())
+                            .collect()
+                    };
+                    match (merged, split) {
+                        (Some(m), Some(_)) => ("reshuffled", flatten(&m.fragments)),
+                        (Some(m), None) => ("merged", flatten(&m.fragments)),
+                        (None, Some(s)) => ("split", flatten(&s.pieces)),
+                        (None, None) => {
+                            if p.siblings_of(asn) == cur.siblings_of(asn) {
+                                ("unchanged", Vec::new())
+                            } else {
+                                ("membership", Vec::new())
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    };
+    LineageStep {
+        epoch,
+        kind,
+        org,
+        members,
+        detail,
+    }
+}
+
+fn asn_str(n: u32) -> String {
+    format!("\"AS{n}\"")
+}
+
+fn asn_list(list: &[u32]) -> String {
+    let parts: Vec<String> = list.iter().map(|&n| asn_str(n)).collect();
+    format!("[{}]", parts.join(","))
+}
+
+fn asn_groups(groups: &[Vec<u32>]) -> String {
+    let parts: Vec<String> = groups.iter().map(|g| asn_list(g)).collect();
+    format!("[{}]", parts.join(","))
+}
+
+impl OrgLineage {
+    /// Deterministic JSON rendering — the `/v1/org/{asn}/history` body.
+    pub fn to_json(&self) -> String {
+        let steps: Vec<String> = self
+            .steps
+            .iter()
+            .map(|s| {
+                let org = match s.org {
+                    Some(n) => asn_str(n),
+                    None => "null".to_string(),
+                };
+                format!(
+                    "{{\"epoch\":{},\"kind\":\"{}\",\"org\":{},\"members\":{},\"detail\":{}}}",
+                    s.epoch,
+                    s.kind,
+                    org,
+                    asn_list(&s.members),
+                    asn_groups(&s.detail)
+                )
+            })
+            .collect();
+        format!(
+            "{{\"asn\":{},\"steps\":[{}]}}",
+            asn_str(self.asn),
+            steps.join(",")
+        )
+    }
+}
+
+/// Deterministic JSON rendering of a [`MappingDiff`] between two chain
+/// epochs — the `/v1/diff/{t1}/{t2}` body. Organizations are labelled
+/// by the lowest ASN across their fragments/pieces, so the rendering
+/// is self-contained and stable.
+pub fn render_diff_json(t1: u64, t2: u64, d: &MappingDiff) -> String {
+    let label = |groups: &[Vec<Asn>]| {
+        groups
+            .iter()
+            .filter_map(|g| g.first())
+            .map(|a| a.value())
+            .min()
+            .expect("diff events have members")
+    };
+    let flatten = |groups: &[Vec<Asn>]| -> Vec<Vec<u32>> {
+        groups
+            .iter()
+            .map(|g| g.iter().map(|a| a.value()).collect())
+            .collect()
+    };
+    let merges: Vec<String> = d
+        .merges
+        .iter()
+        .map(|m| {
+            format!(
+                "{{\"org\":{},\"fragments\":{}}}",
+                asn_str(label(&m.fragments)),
+                asn_groups(&flatten(&m.fragments))
+            )
+        })
+        .collect();
+    let splits: Vec<String> = d
+        .splits
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"org\":{},\"pieces\":{}}}",
+                asn_str(label(&s.pieces)),
+                asn_groups(&flatten(&s.pieces))
+            )
+        })
+        .collect();
+    let appeared: Vec<u32> = d.appeared.iter().map(|a| a.value()).collect();
+    let disappeared: Vec<u32> = d.disappeared.iter().map(|a| a.value()).collect();
+    format!(
+        "{{\"t1\":{},\"t2\":{},\"empty\":{},\"merges\":[{}],\"splits\":[{}],\"appeared\":{},\"disappeared\":{},\"unchanged_clusters\":{}}}",
+        t1,
+        t2,
+        d.is_empty(),
+        merges.join(","),
+        splits.join(","),
+        asn_list(&appeared),
+        asn_list(&disappeared),
+        d.unchanged_clusters
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use borges_core::diff::diff;
+
+    fn m(groups: &[&[u32]]) -> AsOrgMapping {
+        AsOrgMapping::from_groups(
+            groups
+                .iter()
+                .map(|g| g.iter().map(|&x| Asn::new(x)).collect()),
+        )
+    }
+
+    fn a(n: u32) -> Asn {
+        Asn::new(n)
+    }
+
+    #[test]
+    fn genesis_and_absent_at_first_epoch() {
+        let cur = m(&[&[1, 2]]);
+        let s = classify(0, None, &cur, None, a(1));
+        assert_eq!(s.kind, "genesis");
+        assert_eq!(s.org, Some(1));
+        assert_eq!(s.members, vec![1, 2]);
+        let s = classify(0, None, &cur, None, a(9));
+        assert_eq!(s.kind, "absent");
+        assert_eq!(s.org, None);
+        assert!(s.members.is_empty());
+    }
+
+    #[test]
+    fn merge_is_seen_by_every_member() {
+        let prev = m(&[&[1, 2], &[3]]);
+        let cur = m(&[&[1, 2, 3]]);
+        let d = diff(&prev, &cur);
+        for asn in [1, 3] {
+            let s = classify(1, Some(&prev), &cur, Some(&d), a(asn));
+            assert_eq!(s.kind, "merged", "AS{asn}");
+            assert_eq!(s.detail, vec![vec![1, 2], vec![3]]);
+        }
+    }
+
+    #[test]
+    fn split_appear_disappear_membership_unchanged() {
+        let prev = m(&[&[1, 2], &[5, 6], &[7]]);
+        let cur = m(&[&[1], &[2], &[5, 6, 9], &[10]]);
+        let d = diff(&prev, &cur);
+        assert_eq!(classify(1, Some(&prev), &cur, Some(&d), a(1)).kind, "split");
+        assert_eq!(
+            classify(1, Some(&prev), &cur, Some(&d), a(9)).kind,
+            "appeared"
+        );
+        assert_eq!(
+            classify(1, Some(&prev), &cur, Some(&d), a(7)).kind,
+            "disappeared"
+        );
+        assert_eq!(
+            classify(1, Some(&prev), &cur, Some(&d), a(5)).kind,
+            "membership",
+            "AS9 joined AS5's org without a structural merge"
+        );
+        let same = diff(&prev, &prev.clone());
+        assert_eq!(
+            classify(1, Some(&prev), &prev, Some(&same), a(5)).kind,
+            "unchanged"
+        );
+    }
+
+    #[test]
+    fn lineage_json_is_deterministic_and_shaped() {
+        let lineage = OrgLineage {
+            asn: 174,
+            steps: vec![
+                LineageStep {
+                    epoch: 0,
+                    kind: "genesis",
+                    org: Some(174),
+                    members: vec![174, 1239],
+                    detail: vec![],
+                },
+                LineageStep {
+                    epoch: 1,
+                    kind: "absent",
+                    org: None,
+                    members: vec![],
+                    detail: vec![],
+                },
+            ],
+        };
+        assert_eq!(
+            lineage.to_json(),
+            "{\"asn\":\"AS174\",\"steps\":[\
+             {\"epoch\":0,\"kind\":\"genesis\",\"org\":\"AS174\",\"members\":[\"AS174\",\"AS1239\"],\"detail\":[]},\
+             {\"epoch\":1,\"kind\":\"absent\",\"org\":null,\"members\":[],\"detail\":[]}]}"
+        );
+    }
+
+    #[test]
+    fn diff_json_is_deterministic_and_shaped() {
+        let before = m(&[&[1, 2], &[3]]);
+        let after = m(&[&[1, 2, 3], &[9]]);
+        let d = diff(&before, &after);
+        assert_eq!(
+            render_diff_json(0, 1, &d),
+            "{\"t1\":0,\"t2\":1,\"empty\":false,\
+             \"merges\":[{\"org\":\"AS1\",\"fragments\":[[\"AS1\",\"AS2\"],[\"AS3\"]]}],\
+             \"splits\":[],\"appeared\":[\"AS9\"],\"disappeared\":[],\"unchanged_clusters\":0}"
+        );
+    }
+
+    #[test]
+    fn empty_diff_renders_empty_true() {
+        let a = m(&[&[1, 2]]);
+        let d = diff(&a, &a.clone());
+        let json = render_diff_json(3, 3, &d);
+        assert!(json.contains("\"empty\":true"), "{json}");
+    }
+}
